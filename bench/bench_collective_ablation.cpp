@@ -1,0 +1,73 @@
+// Design-choice ablation: flat vs binomial-tree collectives. Both send the
+// same p-1 messages for a broadcast, but the flat algorithm serializes them
+// through the root (critical path p-1) while the binomial tree pipelines
+// them (critical path ceil(log2 p)) — the reason real MPI libraries use
+// trees. Measured in-process, then costed on the modeled Chameleon network.
+
+#include <cmath>
+#include <cstdio>
+
+#include "cluster/specs.hpp"
+#include "mp/ops.hpp"
+#include "mp/runtime.hpp"
+#include "support/strings.hpp"
+#include "support/text_table.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using Algo = pdc::mp::Communicator::CollectiveAlgo;
+
+double time_bcast(int procs, Algo algo, int rounds) {
+  pdc::WallTimer timer;
+  pdc::mp::run(procs, [&](pdc::mp::Communicator& comm) {
+    std::vector<double> payload;
+    for (int i = 0; i < rounds; ++i) {
+      if (comm.rank() == 0) payload.assign(64, 1.0);
+      comm.bcast(payload, 0, algo);
+    }
+  });
+  timer.stop();
+  return timer.elapsed_seconds() / rounds;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pdc;
+
+  std::puts("== Ablation: flat vs binomial-tree collectives ==\n");
+
+  const cluster::NetworkSpec net = cluster::chameleon_cluster(4).inter_node;
+  constexpr double kMsgBytes = 64 * sizeof(double);
+
+  TextTable table({"ranks", "flat (measured)", "binomial (measured)",
+                   "flat depth", "tree depth", "flat @Chameleon",
+                   "tree @Chameleon", "model speedup"});
+  for (std::size_t c = 1; c < 8; ++c) table.set_align(c, Align::Right);
+
+  for (int procs : {2, 4, 8, 16, 32}) {
+    const double flat_s = time_bcast(procs, Algo::Flat, 50);
+    const double tree_s = time_bcast(procs, Algo::Binomial, 50);
+    const int flat_depth = procs - 1;
+    const int tree_depth =
+        static_cast<int>(std::ceil(std::log2(static_cast<double>(procs))));
+    const double flat_model = flat_depth * net.transfer_seconds(kMsgBytes);
+    const double tree_model = tree_depth * net.transfer_seconds(kMsgBytes);
+    table.add_row({std::to_string(procs),
+                   strings::fixed(flat_s * 1e6, 1) + " us",
+                   strings::fixed(tree_s * 1e6, 1) + " us",
+                   std::to_string(flat_depth), std::to_string(tree_depth),
+                   strings::fixed(flat_model * 1e6, 1) + " us",
+                   strings::fixed(tree_model * 1e6, 1) + " us",
+                   strings::fixed(flat_model / tree_model, 2) + "x"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("");
+  std::puts("both algorithms send exactly p-1 messages; the tree shortens "
+            "the critical path from p-1 to ceil(log2 p) rounds.");
+  std::puts("(in-process measurements share one mailbox fabric, so the "
+            "modeled network column carries the cluster-scale lesson.)");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Drug-design exemplar scaling and the static-vs-dynamic scheduling
+// ablation the module teaches: ligand scoring cost varies with length, so
+// dynamic scheduling balances load where static chunks cannot. Measured on
+// this host, then simulated (discrete-event) on the paper's platforms.
+
+#include <cstdio>
+
+#include "cluster/cost_model.hpp"
+#include "cluster/master_worker_sim.hpp"
+#include "exemplars/drugdesign.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/text_table.hpp"
+#include "support/timer.hpp"
+
+int main() {
+  using namespace pdc;
+
+  exemplars::DrugDesignConfig config;
+  config.num_ligands = 6000;
+  config.max_ligand_length = 48;
+  // A longer protein makes each LCS non-trivial (as in the real exemplar,
+  // which screens against a full protein sequence).
+  const std::string base = config.protein;
+  for (int i = 0; i < 9; ++i) config.protein += base;
+
+  std::puts("== Drug design exemplar (LCS ligand screening) ==\n");
+
+  WallTimer serial_timer;
+  const exemplars::DrugResult serial = exemplars::screen_serial(config);
+  serial_timer.stop();
+  const double t1 = serial_timer.elapsed_seconds();
+  std::printf("serial: %.4f s, best score %d (%zu ligand(s))\n\n", t1,
+              serial.max_score, serial.best_ligands.size());
+
+  TextTable measured({"threads", "schedule", "seconds", "speedup", "match"});
+  measured.set_align(2, Align::Right);
+  measured.set_align(3, Align::Right);
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    WallTimer timer;
+    const exemplars::DrugResult result =
+        exemplars::screen_smp(config, threads, /*chunk=*/4);
+    timer.stop();
+    measured.add_row({std::to_string(threads), "dynamic,4",
+                      strings::fixed(timer.elapsed_seconds(), 4),
+                      strings::fixed(t1 / timer.elapsed_seconds(), 2),
+                      result == serial ? "yes" : "NO"});
+  }
+  std::printf("measured on this host:\n%s\n", measured.render().c_str());
+
+  // Scheduling ablation on modeled platforms. Scoring cost scales with
+  // ligand length x protein length; the longest candidates dominate, so the
+  // task bag is heavily skewed — exactly the situation the module uses to
+  // motivate dynamic scheduling.
+  const auto ligands = exemplars::make_ligands(config);
+  std::vector<double> task_cost;
+  task_cost.reserve(ligands.size());
+  for (const auto& ligand : ligands) {
+    const auto len = static_cast<double>(ligand.size());
+    // Quadratic in ligand length: long ligands also get rescored against
+    // sub-windows in the full exemplar.
+    task_cost.push_back(1e-6 * len * len *
+                        static_cast<double>(config.protein.size()));
+  }
+
+  for (const auto& platform :
+       {cluster::raspberry_pi_4(), cluster::st_olaf_vm()}) {
+    const cluster::MasterWorkerSim sim(platform);
+    TextTable ablation(
+        {"workers", "static makespan", "dynamic makespan", "dynamic wins by",
+         "dynamic utilization"});
+    for (std::size_t c = 1; c < 5; ++c) ablation.set_align(c, Align::Right);
+    for (int workers : cluster::power_of_two_procs(platform.total_cores())) {
+      if (workers == 1) continue;
+      const auto fixed = sim.simulate_static(task_cost, workers);
+      const auto dynamic = sim.simulate_dynamic(task_cost, workers);
+      ablation.add_row(
+          {std::to_string(workers), strings::fixed(fixed.makespan, 5) + " s",
+           strings::fixed(dynamic.makespan, 5) + " s",
+           strings::fixed(fixed.makespan / dynamic.makespan, 2) + "x",
+           strings::fixed(dynamic.busy_fraction * 100.0, 1) + "%"});
+    }
+    std::printf("scheduling ablation (discrete-event sim) on %s:\n%s\n",
+                platform.name.c_str(), ablation.render().c_str());
+  }
+
+  std::puts("expected shape: dynamic scheduling beats static block "
+            "assignment whenever ligand lengths (task costs) are skewed.");
+  return 0;
+}

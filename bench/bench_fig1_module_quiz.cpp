@@ -1,0 +1,48 @@
+// Regenerates Fig. 1: the Runestone virtual-module view of section 2.3
+// "Race Conditions" — the explanatory video followed by multiple-choice
+// question sp_mc_2 — and demonstrates the auto-grading interaction.
+
+#include <cstdio>
+
+#include "courseware/pi_module.hpp"
+#include "courseware/questions.hpp"
+#include "courseware/session.hpp"
+
+int main() {
+  using namespace pdc::courseware;
+
+  const auto module = build_raspberry_pi_module();
+
+  std::puts("FIG. 1: view of small portion of Raspberry Pi virtual module\n");
+  std::fputs(module->section("2.3").render().c_str(), stdout);
+
+  // Reproduce the interaction: a learner picks B (wrong), then C (right).
+  ModuleSession session(*module);
+  const auto* question =
+      dynamic_cast<const MultipleChoice*>(&module->question("sp_mc_2"));
+  if (question == nullptr) {
+    std::puts("ERROR: sp_mc_2 is not a multiple-choice question");
+    return 1;
+  }
+
+  std::puts("learner selects B -> grading...");
+  const bool first = session.submit_choice("sp_mc_2", std::size_t{1});
+  std::printf("  incorrect (as expected: %s)\n  feedback: %s\n",
+              first ? "BUG" : "ok", question->feedback_for(1).c_str());
+
+  std::puts("learner selects C -> grading...");
+  const bool second = session.submit_choice("sp_mc_2", std::size_t{2});
+  std::printf("  correct (%s) after %d attempts\n  feedback: %s\n",
+              second ? "ok" : "BUG", session.attempts("sp_mc_2"),
+              question->feedback_for(2).c_str());
+
+  int lab_minutes = 0;  // chapters 2-4; chapter 1 (setup) precedes the lab
+  for (std::size_t c = 1; c < module->chapters().size(); ++c) {
+    lab_minutes += module->chapters()[c]->expected_minutes();
+  }
+  std::printf("\nmodule: %zu questions; lab pacing %d minutes (the paper's "
+              "2-hour period) + %d minutes of setup\n",
+              module->question_count(), lab_minutes,
+              module->expected_minutes() - lab_minutes);
+  return (first || !second) ? 1 : 0;
+}

@@ -1,0 +1,24 @@
+// Regenerates Fig. 3: pre/post-workshop confidence histograms plus the
+// paired t-test. Paper: pre = 2.82, post = 3.59, p = 0.0004.
+
+#include <cstdio>
+
+#include "assessment/report.hpp"
+#include "assessment/stats.hpp"
+
+int main() {
+  using namespace pdc::assessment;
+  const WorkshopEvaluation eval = WorkshopEvaluation::july_2020();
+
+  std::fputs(render_figure_3(eval).c_str(), stdout);
+
+  const PairedTTest test = paired_t_test(eval.confidence_pre().as_doubles(),
+                                         eval.confidence_post().as_doubles());
+  std::puts("");
+  std::puts("paper:      pre_m = 2.82, post_m = 3.59, p = 0.0004");
+  std::printf("reproduced: pre_m = %.2f, post_m = %.2f, p = %.2g  "
+              "(t(%d) = %.2f, Cohen's d = %.2f)\n",
+              test.mean_pre, test.mean_post, test.p_two_tailed,
+              static_cast<int>(test.df), test.t, test.cohens_d);
+  return 0;
+}

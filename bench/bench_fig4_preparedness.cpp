@@ -1,0 +1,27 @@
+// Regenerates Fig. 4: pre/post-workshop preparedness histograms plus the
+// paired t-test. Paper: pre = 2.59, post = 3.77, p = 4.18e-08.
+
+#include <cstdio>
+
+#include "assessment/report.hpp"
+#include "assessment/stats.hpp"
+
+int main() {
+  using namespace pdc::assessment;
+  const WorkshopEvaluation eval = WorkshopEvaluation::july_2020();
+
+  std::fputs(render_figure_4(eval).c_str(), stdout);
+
+  const PairedTTest test =
+      paired_t_test(eval.preparedness_pre().as_doubles(),
+                    eval.preparedness_post().as_doubles());
+  std::puts("");
+  std::puts("paper:      pre_m = 2.59, post_m = 3.77, p = 4.18e-08");
+  std::printf("reproduced: pre_m = %.2f, post_m = %.2f, p = %.2g  "
+              "(t(%d) = %.2f, Cohen's d = %.2f)\n",
+              test.mean_pre, test.mean_post, test.p_two_tailed,
+              static_cast<int>(test.df), test.t, test.cohens_d);
+  std::puts("(reconstruction matches the reported order of magnitude; raw "
+            "responses were not published — see DESIGN.md)");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Forest Fire Simulation exemplar (Section III-B): the Monte Carlo
+// probability sweep scientific result (burned fraction & burn duration vs
+// spread probability — a sharp phase transition), the serial/threads/ranks
+// equivalence, and measured scaling of the trial farm.
+
+#include <cstdio>
+
+#include "cluster/cost_model.hpp"
+#include "exemplars/forestfire.hpp"
+#include "support/bar_chart.hpp"
+#include "support/strings.hpp"
+#include "support/text_table.hpp"
+#include "support/timer.hpp"
+
+int main() {
+  using namespace pdc;
+
+  constexpr int kGrid = 25;
+  constexpr int kTrials = 200;
+  constexpr std::uint64_t kSeed = 2020;
+
+  std::puts("== Forest fire Monte Carlo sweep (25x25 forest, 200 trials "
+            "per probability) ==\n");
+
+  WallTimer serial_timer;
+  const auto sweep = exemplars::sweep_serial(
+      kGrid, exemplars::default_probabilities(), kTrials, kSeed);
+  serial_timer.stop();
+  const double t1 = serial_timer.elapsed_seconds();
+
+  TextTable curve({"spread prob", "mean burned %", "mean burn time (steps)"});
+  curve.set_align(1, Align::Right);
+  curve.set_align(2, Align::Right);
+  std::vector<std::string> labels;
+  std::vector<double> burned;
+  for (const auto& point : sweep) {
+    curve.add_row({strings::fixed(point.probability, 1),
+                   strings::fixed(point.mean_burned_fraction * 100.0, 1),
+                   strings::fixed(point.mean_steps, 1)});
+    labels.push_back("p=" + strings::fixed(point.probability, 1));
+    burned.push_back(point.mean_burned_fraction * 100.0);
+  }
+  std::fputs(curve.render().c_str(), stdout);
+
+  BarChart chart(labels);
+  chart.set_title("\nburned fraction vs spread probability (phase transition):");
+  chart.add_series({"% burned", burned});
+  std::fputs(chart.render().c_str(), stdout);
+
+  std::printf("\nserial sweep time: %.4f s\n", t1);
+
+  TextTable scaling({"strategy", "workers", "seconds", "speedup",
+                     "identical to serial"});
+  scaling.set_align(2, Align::Right);
+  scaling.set_align(3, Align::Right);
+  const auto check = [&](const std::vector<exemplars::SweepPoint>& other) {
+    for (std::size_t k = 0; k < sweep.size(); ++k) {
+      if (other[k].mean_burned_fraction != sweep[k].mean_burned_fraction ||
+          other[k].mean_steps != sweep[k].mean_steps) {
+        return std::string("NO");
+      }
+    }
+    return std::string("yes (bit-identical)");
+  };
+  for (std::size_t threads : {2u, 4u}) {
+    WallTimer timer;
+    const auto result = exemplars::sweep_smp(
+        kGrid, exemplars::default_probabilities(), kTrials, kSeed, threads);
+    timer.stop();
+    scaling.add_row({"threads (smp)", std::to_string(threads),
+                     strings::fixed(timer.elapsed_seconds(), 4),
+                     strings::fixed(t1 / timer.elapsed_seconds(), 2),
+                     check(result)});
+  }
+  for (int procs : {2, 4}) {
+    WallTimer timer;
+    const auto result = exemplars::sweep_mp(
+        kGrid, exemplars::default_probabilities(), kTrials, kSeed, procs);
+    timer.stop();
+    scaling.add_row({"ranks (mp)", std::to_string(procs),
+                     strings::fixed(timer.elapsed_seconds(), 4),
+                     strings::fixed(t1 / timer.elapsed_seconds(), 2),
+                     check(result)});
+  }
+  std::printf("\nparallel trial farming, measured on this host:\n%s\n",
+              scaling.render().c_str());
+
+  // Predicted scaling where the paper's learners ran it: a trial farm is
+  // embarrassingly parallel with one reduction at the end.
+  cluster::WorkloadSpec work;
+  work.total_gflop = 0.05;
+  work.serial_fraction = 0.002;
+  work.num_supersteps = 1;
+  work.bytes_per_exchange = 16000.0;  // the per-trial result vectors
+
+  for (const auto& platform :
+       {cluster::st_olaf_vm(), cluster::chameleon_cluster(4)}) {
+    const cluster::CostModel model(platform);
+    TextTable predicted({"procs", "speedup", "efficiency"});
+    predicted.set_align(1, Align::Right);
+    predicted.set_align(2, Align::Right);
+    for (const auto& point : model.scaling_curve(
+             work, cluster::power_of_two_procs(platform.total_cores()))) {
+      predicted.add_row({std::to_string(point.procs),
+                         strings::fixed(point.speedup, 2),
+                         strings::fixed(point.efficiency, 2)});
+    }
+    std::printf("model-predicted scaling on %s:\n%s\n", platform.name.c_str(),
+                predicted.render().c_str());
+  }
+
+  std::puts("expected shape: sharp burn-fraction transition near p ~ 0.5-0.6; "
+            "burn duration peaks near the transition; trial farm scales "
+            "nearly linearly on the cluster platforms.");
+  return 0;
+}

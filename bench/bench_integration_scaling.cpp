@@ -1,0 +1,89 @@
+// The in-module benchmarking study (Section III-A): trapezoidal
+// numerical-integration scaling. Measured on this host (honest numbers —
+// a 1-core CI container shows efficiency ~ 1/p) and predicted by the
+// platform cost model for the Raspberry Pi 4, where the paper's learners
+// ran it (near-linear shape to 4 cores).
+
+#include <cstdio>
+
+#include "cluster/cost_model.hpp"
+#include "exemplars/integration.hpp"
+#include "smp/config.hpp"
+#include "support/text_table.hpp"
+#include "support/strings.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+double time_once(const std::function<double()>& fn, double* result) {
+  pdc::WallTimer timer;
+  *result = fn();
+  timer.stop();
+  return timer.elapsed_seconds();
+}
+
+}  // namespace
+
+int main() {
+  using namespace pdc;
+  constexpr std::int64_t kIntervals = 2'000'000;
+
+  std::puts("== Numerical integration scaling (trapezoid, sqrt(1-x^2) on "
+            "[-1,1], 2e6 intervals; 2*integral -> pi) ==\n");
+
+  double serial_result = 0.0;
+  const double t1 = time_once(
+      [&] {
+        return exemplars::trapezoid_serial(exemplars::half_circle, -1.0, 1.0,
+                                           kIntervals);
+      },
+      &serial_result);
+  std::printf("serial: %.6f s, 2*integral = %.9f\n\n", t1, 2.0 * serial_result);
+
+  TextTable measured({"threads", "seconds", "speedup", "efficiency", "value"});
+  for (std::size_t c = 1; c < 5; ++c) measured.set_align(c, Align::Right);
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    double value = 0.0;
+    const double tp = time_once(
+        [&] {
+          return exemplars::trapezoid_smp(exemplars::half_circle, -1.0, 1.0,
+                                          kIntervals, threads);
+        },
+        &value);
+    measured.add_row({std::to_string(threads), strings::fixed(tp, 4),
+                      strings::fixed(t1 / tp, 2),
+                      strings::fixed(t1 / tp / threads, 2),
+                      strings::fixed(2.0 * value, 9)});
+  }
+  std::printf("measured on this host (%zu hardware threads):\n%s\n",
+              smp::hardware_threads(), measured.render().c_str());
+
+  // Model prediction on the learners' platform: Raspberry Pi 4 and the
+  // larger systems used for the distributed module.
+  cluster::WorkloadSpec work;
+  work.total_gflop = 0.02;        // ~10 flops per interval
+  work.serial_fraction = 0.001;   // endpoint handling + loop setup
+  work.num_supersteps = 1;        // single final reduction
+  work.bytes_per_exchange = 8.0;
+
+  for (const auto& platform :
+       {cluster::raspberry_pi_4(), cluster::st_olaf_vm(),
+        cluster::chameleon_cluster(4)}) {
+    const cluster::CostModel model(platform);
+    TextTable predicted({"procs", "seconds", "speedup", "efficiency"});
+    for (std::size_t c = 1; c < 4; ++c) predicted.set_align(c, Align::Right);
+    for (const auto& point : model.scaling_curve(
+             work, cluster::power_of_two_procs(platform.total_cores()))) {
+      predicted.add_row({std::to_string(point.procs),
+                         strings::fixed(point.seconds, 6),
+                         strings::fixed(point.speedup, 2),
+                         strings::fixed(point.efficiency, 2)});
+    }
+    std::printf("model-predicted scaling on %s:\n%s\n", platform.name.c_str(),
+                predicted.render().c_str());
+  }
+
+  std::puts("expected shape: near-linear speedup to the core count "
+            "(embarrassingly parallel loop + one reduction).");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// google-benchmark microbenchmarks of the message-passing runtime: p2p
+// latency/throughput and the collectives the mpi4py module teaches.
+
+#include <benchmark/benchmark.h>
+
+#include "mp/ops.hpp"
+#include "mp/runtime.hpp"
+
+namespace {
+
+using namespace pdc;
+
+void BM_JobLaunch(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mp::run(procs, [](mp::Communicator&) {});
+  }
+}
+BENCHMARK(BM_JobLaunch)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_PingPong(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mp::run(2, [&](mp::Communicator& comm) {
+      for (int i = 0; i < rounds; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(i, 1);
+          benchmark::DoNotOptimize(comm.recv<int>(1));
+        } else {
+          const int v = comm.recv<int>(0);
+          comm.send(v, 0);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_PingPong)->Arg(100);
+
+void BM_LargePayloadSend(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const std::vector<char> payload(bytes, 'x');
+  for (auto _ : state) {
+    mp::run(2, [&](mp::Communicator& comm) {
+      if (comm.rank() == 0) {
+        comm.send(payload, 1);
+      } else {
+        benchmark::DoNotOptimize(comm.recv<std::vector<char>>(0));
+      }
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_LargePayloadSend)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Broadcast(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mp::run(procs, [](mp::Communicator& comm) {
+      std::vector<int> data;
+      if (comm.rank() == 0) data.assign(256, 7);
+      comm.bcast(data, 0);
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+}
+BENCHMARK(BM_Broadcast)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Allreduce(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mp::run(procs, [](mp::Communicator& comm) {
+      benchmark::DoNotOptimize(comm.allreduce(comm.rank(), mp::ops::Sum{}));
+    });
+  }
+}
+BENCHMARK(BM_Allreduce)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Barrier(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mp::run(4, [&](mp::Communicator& comm) {
+      for (int i = 0; i < rounds; ++i) comm.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_Barrier)->Arg(50);
+
+void BM_ScatterGatherChunks(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mp::run(procs, [](mp::Communicator& comm) {
+      std::vector<double> data;
+      if (comm.rank() == 0) data.assign(4096, 1.5);
+      const auto mine = comm.scatter_chunks(data, 0);
+      const auto back = comm.gather_chunks(mine, 0);
+      benchmark::DoNotOptimize(back.data());
+    });
+  }
+}
+BENCHMARK(BM_ScatterGatherChunks)->Arg(2)->Arg(4);
+
+void BM_CommSplit(benchmark::State& state) {
+  for (auto _ : state) {
+    mp::run(8, [](mp::Communicator& comm) {
+      auto sub = comm.split(comm.rank() % 2, comm.rank());
+      benchmark::DoNotOptimize(sub.rank());
+    });
+  }
+}
+BENCHMARK(BM_CommSplit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// google-benchmark microbenchmarks of the shared-memory runtime: the cost
+// of the constructs the OpenMP module teaches (fork-join, worksharing
+// schedules, reduction, barrier, critical vs atomic).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "smp/parallel.hpp"
+#include "smp/thread_pool.hpp"
+
+namespace {
+
+using namespace pdc;
+
+void BM_ForkJoin(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    smp::parallel(threads, [](smp::TeamContext&) {});
+  }
+}
+BENCHMARK(BM_ForkJoin)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ParallelForStatic(benchmark::State& state) {
+  const auto n = state.range(0);
+  std::vector<double> data(static_cast<std::size_t>(n), 1.0);
+  for (auto _ : state) {
+    smp::parallel_for_ranges(
+        0, n,
+        [&](std::int64_t begin, std::int64_t end) {
+          for (std::int64_t i = begin; i < end; ++i) {
+            data[static_cast<std::size_t>(i)] *= 1.0000001;
+          }
+        },
+        smp::Schedule::static_blocks(), 4);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelForStatic)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_ParallelForDynamic(benchmark::State& state) {
+  const auto n = state.range(0);
+  std::vector<double> data(static_cast<std::size_t>(n), 1.0);
+  for (auto _ : state) {
+    smp::parallel_for_ranges(
+        0, n,
+        [&](std::int64_t begin, std::int64_t end) {
+          for (std::int64_t i = begin; i < end; ++i) {
+            data[static_cast<std::size_t>(i)] *= 1.0000001;
+          }
+        },
+        smp::Schedule::dynamic(64), 4);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelForDynamic)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_ParallelSum(benchmark::State& state) {
+  const auto n = state.range(0);
+  for (auto _ : state) {
+    const double sum = smp::parallel_sum<double>(
+        0, n, [](std::int64_t i) { return static_cast<double>(i); },
+        smp::Schedule::static_blocks(), 4);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelSum)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_Barrier(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    smp::parallel(4, [&](smp::TeamContext& ctx) {
+      for (int i = 0; i < rounds; ++i) ctx.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_Barrier)->Arg(16)->Arg(64);
+
+void BM_CriticalIncrement(benchmark::State& state) {
+  const int per_thread = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    long balance = 0;
+    smp::parallel(4, [&](smp::TeamContext& ctx) {
+      for (int i = 0; i < per_thread; ++i) {
+        ctx.critical([&] { ++balance; });
+      }
+    });
+    benchmark::DoNotOptimize(balance);
+  }
+  state.SetItemsProcessed(state.iterations() * per_thread * 4);
+}
+BENCHMARK(BM_CriticalIncrement)->Arg(1000);
+
+void BM_AtomicIncrement(benchmark::State& state) {
+  const int per_thread = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::atomic<long> balance{0};
+    smp::parallel(4, [&](smp::TeamContext&) {
+      for (int i = 0; i < per_thread; ++i) {
+        balance.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    benchmark::DoNotOptimize(balance.load());
+  }
+  state.SetItemsProcessed(state.iterations() * per_thread * 4);
+}
+BENCHMARK(BM_AtomicIncrement)->Arg(1000);
+
+void BM_TeamReduce(benchmark::State& state) {
+  for (auto _ : state) {
+    smp::parallel(4, [](smp::TeamContext& ctx) {
+      const int total = ctx.reduce_sum(static_cast<int>(ctx.thread_num()));
+      benchmark::DoNotOptimize(total);
+    });
+  }
+}
+BENCHMARK(BM_TeamReduce);
+
+void BM_ThreadPoolSubmit(benchmark::State& state) {
+  smp::ThreadPool pool(2);
+  for (auto _ : state) {
+    auto future = pool.submit([] { return 1; });
+    benchmark::DoNotOptimize(future.get());
+  }
+}
+BENCHMARK(BM_ThreadPoolSubmit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Regenerates Table I: "Approximate cost breakdown of mailed Raspberry Pi
+// kit". Paper total: $100.66.
+
+#include <cstdio>
+
+#include "kit/kit.hpp"
+#include "support/strings.hpp"
+
+int main() {
+  using namespace pdc;
+
+  const kit::Catalog catalog = kit::Catalog::year_2020();
+  const kit::Kit kit = kit::Kit::standard_2020(catalog);
+
+  std::puts("TABLE I: APPROXIMATE COST BREAKDOWN OF MAILED RASPBERRY PI KIT");
+  std::fputs(kit.bill_of_materials().render().c_str(), stdout);
+
+  std::printf("\npaper total: $100.66 | reproduced total: %s\n",
+              strings::money(kit.total_cost_bulk()).c_str());
+  std::printf("retail (non-bulk) total for comparison: %s\n",
+              strings::money(kit.total_cost_retail()).c_str());
+
+  const auto problems = kit.validate();
+  if (problems.empty()) {
+    std::puts("kit validation: OK (image/hardware compatible, I/O path "
+              "complete, within budget)");
+  } else {
+    for (const auto& problem : problems) {
+      std::printf("kit validation problem: %s\n", problem.c_str());
+    }
+    return 1;
+  }
+  return 0;
+}

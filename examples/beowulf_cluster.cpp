@@ -1,0 +1,50 @@
+// Build a Beowulf teaching cluster out of the paper's $100 Pi kits, price
+// it, validate it, and ask the performance model what the finished cluster
+// will deliver — the "connect multiple SBCs to form their own Beowulf
+// cluster" thread of Section II, end to end.
+
+#include <cstdio>
+
+#include "cluster/cost_model.hpp"
+#include "kit/beowulf.hpp"
+#include "support/strings.hpp"
+
+int main() {
+  using namespace pdc;
+
+  const kit::Catalog catalog = kit::Catalog::year_2020();
+
+  for (int nodes : {2, 4, 6}) {
+    const auto cluster = kit::BeowulfCluster::pi_teaching_cluster(catalog, nodes);
+    std::printf("== %s ==\n", cluster.name().c_str());
+    std::fputs(cluster.bill_of_materials().render().c_str(), stdout);
+    std::printf("cost per core: %s   (%d cores total)\n",
+                strings::money(cluster.cost_per_core()).c_str(), 4 * nodes);
+
+    const auto problems = cluster.validate();
+    if (problems.empty()) {
+      std::puts("build check: OK");
+    } else {
+      for (const auto& problem : problems) {
+        std::printf("build problem: %s\n", problem.c_str());
+      }
+    }
+
+    // What will it deliver? Ask the cost model about the forest-fire sweep.
+    const cluster::CostModel model(cluster.as_cluster_spec());
+    cluster::WorkloadSpec work{20.0, 0.01, 5, 8192.0};
+    std::printf("predicted speedup on the full cluster (%d ranks): %.1fx\n\n",
+                4 * nodes,
+                model.scaling_curve(work, {4 * nodes})[0].speedup);
+  }
+
+  // And the classic mistake: six nodes on a five-port switch.
+  kit::BeowulfCluster overfull("overfull build",
+                               kit::Kit::standard_2020(catalog), 6);
+  overfull.add_shared_part(catalog.at("switch-5port"));
+  std::puts("== deliberately broken build ==");
+  for (const auto& problem : overfull.validate()) {
+    std::printf("build problem: %s\n", problem.c_str());
+  }
+  return 0;
+}

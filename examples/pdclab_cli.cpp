@@ -1,0 +1,136 @@
+// pdclab_cli — the instructor's shell driver for the teaching materials:
+//
+//   pdclab_cli list [omp|mpi]             catalog of patternlets
+//   pdclab_cli show <id>                  description + source listing
+//   pdclab_cli run <id> [-t N] [-p N]     execute a patternlet
+//   pdclab_cli glossary                   the pattern vocabulary
+//   pdclab_cli module <pi|distributed>    a module's table of contents
+//
+// Exit code 0 on success, 1 on usage errors or unknown ids.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "courseware/mpi_module.hpp"
+#include "courseware/pi_module.hpp"
+#include "patterns/taxonomy.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace {
+
+using namespace pdc;
+
+int usage() {
+  std::puts(
+      "usage:\n"
+      "  pdclab_cli list [omp|mpi]\n"
+      "  pdclab_cli show <patternlet-id>\n"
+      "  pdclab_cli run <patternlet-id> [-t threads] [-p procs]\n"
+      "  pdclab_cli glossary\n"
+      "  pdclab_cli module <pi|distributed>");
+  return 1;
+}
+
+int cmd_list(int argc, char** argv) {
+  const auto& registry = patternlets::global_registry();
+  std::vector<const patterns::Patternlet*> items;
+  if (argc >= 3 && std::strcmp(argv[2], "omp") == 0) {
+    items = registry.by_paradigm(patterns::Paradigm::SharedMemory);
+  } else if (argc >= 3 && std::strcmp(argv[2], "mpi") == 0) {
+    items = registry.by_paradigm(patterns::Paradigm::MessagePassing);
+  } else {
+    items = registry.all();
+  }
+  for (const auto* patternlet : items) {
+    std::printf("%-34s %s\n", patternlet->info().id.c_str(),
+                patternlet->info().title.c_str());
+  }
+  std::printf("(%zu patternlets)\n", items.size());
+  return 0;
+}
+
+int cmd_show(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto& registry = patternlets::global_registry();
+  if (!registry.contains(argv[2])) {
+    std::fprintf(stderr, "no patternlet '%s' (try: pdclab_cli list)\n",
+                 argv[2]);
+    return 1;
+  }
+  const auto& info = registry.at(argv[2]).info();
+  std::printf("%s — %s\n", info.id.c_str(), info.title.c_str());
+  std::printf("paradigm: %s\npatterns: ",
+              patterns::to_string(info.paradigm).c_str());
+  for (std::size_t i = 0; i < info.patterns.size(); ++i) {
+    std::printf("%s%s", i ? ", " : "",
+                patterns::to_string(info.patterns[i]).c_str());
+  }
+  std::printf("\n\n%s\n\n--- source ---\n%s\n", info.description.c_str(),
+              info.source_listing.c_str());
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto& registry = patternlets::global_registry();
+  if (!registry.contains(argv[2])) {
+    std::fprintf(stderr, "no patternlet '%s' (try: pdclab_cli list)\n",
+                 argv[2]);
+    return 1;
+  }
+  patterns::RunOptions options;
+  for (int i = 3; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "-t") == 0) {
+      options.num_threads = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "-p") == 0) {
+      options.num_procs = std::atoi(argv[i + 1]);
+    } else {
+      return usage();
+    }
+  }
+  if (options.num_threads < 1 || options.num_procs < 1) {
+    std::fputs("thread and process counts must be positive\n", stderr);
+    return 1;
+  }
+  for (const auto& line : registry.at(argv[2]).run(options)) {
+    std::printf("%s\n", line.c_str());
+  }
+  return 0;
+}
+
+int cmd_glossary() {
+  for (patterns::Pattern p : patterns::all_patterns()) {
+    std::printf("%-30s [%s]\n    %s\n", patterns::to_string(p).c_str(),
+                patterns::to_string(patterns::category_of(p)).c_str(),
+                patterns::definition_of(p).c_str());
+  }
+  return 0;
+}
+
+int cmd_module(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::unique_ptr<courseware::Module> module;
+  if (std::strcmp(argv[2], "pi") == 0) {
+    module = courseware::build_raspberry_pi_module();
+  } else if (std::strcmp(argv[2], "distributed") == 0) {
+    module = courseware::build_distributed_module();
+  } else {
+    return usage();
+  }
+  std::fputs(module->table_of_contents().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  if (command == "list") return cmd_list(argc, argv);
+  if (command == "show") return cmd_show(argc, argv);
+  if (command == "run") return cmd_run(argc, argv);
+  if (command == "glossary") return cmd_glossary();
+  if (command == "module") return cmd_module(argc, argv);
+  return usage();
+}

@@ -1,0 +1,54 @@
+// Replay Section IV-B's remote-lab incident: an "eager beaver" participant
+// races ahead of the instructions, locks their client out of VNC, falls
+// back to ssh (the documented workaround), and still completes the
+// exercise on the 64-core St. Olaf VM.
+
+#include <cstdio>
+
+#include "remote/lab.hpp"
+
+int main() {
+  using namespace pdc::remote;
+
+  RemoteVm vm = RemoteVm::st_olaf();
+
+  std::puts("== participant 9, diligent: reads the instructions first ==");
+  {
+    const ConnectionOutcome outcome = connect_with_fallback(
+        vm, {"participant9", "workshop2020-9"}, "ip-9", 0.0);
+    for (const auto& line : render_transcript(outcome)) {
+      std::printf("  %s\n", line.c_str());
+    }
+  }
+
+  std::puts("\n== participant 3, eager beaver: three guesses first ==");
+  const ConnectionOutcome outcome = connect_with_fallback(
+      vm, {"participant3", "workshop2020-3"}, "ip-3", 5.0,
+      /*wrong_attempts_first=*/3);
+  for (const auto& line : render_transcript(outcome)) {
+    std::printf("  %s\n", line.c_str());
+  }
+
+  if (!outcome.connected) return 1;
+
+  std::puts("\n== completing the exercise over the ssh session ==");
+  for (const auto& command :
+       {"ls", "mpirun -np 16 python 09reduce.py",
+        "mpirun -np 64 python 00spmd.py"}) {
+    std::printf("$ %s\n", command);
+    const auto output = vm.run_command(*outcome.session_id, command);
+    std::size_t shown = 0;
+    for (const auto& line : output) {
+      if (shown++ == 6) {
+        std::printf("  ... (%zu more lines)\n", output.size() - 6);
+        break;
+      }
+      std::printf("  %s\n", line.c_str());
+    }
+  }
+
+  std::puts("\n(the lesson from the paper: 'eager beaver' students who "
+            "neglect to follow directions may cause issues, which can be "
+            "especially problematic when learners work asynchronously)");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Walk the "Raspberry Pi virtual handout" the way a remote learner would:
+// read the table of contents, watch (well, list) the setup videos, run the
+// hands-on patternlet activities, and answer every quiz question — then
+// print the session's gradebook.
+
+#include <cstdio>
+
+#include "courseware/pi_module.hpp"
+#include "courseware/questions.hpp"
+#include "courseware/session.hpp"
+#include "patternlets/patternlets.hpp"
+
+int main() {
+  using namespace pdc::courseware;
+
+  const auto module = build_raspberry_pi_module();
+  const auto& registry = pdc::patternlets::global_registry();
+
+  std::puts("================ table of contents ================");
+  std::fputs(module->table_of_contents().c_str(), stdout);
+
+  ModuleSession session(*module);
+
+  std::puts("\n================ working through the module ================");
+  for (const auto& chapter : module->chapters()) {
+    std::printf("\n--- %s ---\n", chapter->title().c_str());
+    for (const auto& section : chapter->sections()) {
+      std::printf("\n[%s %s]\n", section->number().c_str(),
+                  section->title().c_str());
+      for (const auto& item : section->items()) {
+        if (const auto* activity =
+                dynamic_cast<const HandsOnActivity*>(item.get())) {
+          std::printf("  hands-on %s -> running %s:\n",
+                      activity->activity_id().c_str(),
+                      activity->patternlet_id().c_str());
+          const auto output = activity->execute(registry);
+          // Show at most 4 lines per activity to keep the walkthrough tight.
+          std::size_t shown = 0;
+          for (const auto& line : output) {
+            if (shown++ == 4) {
+              std::printf("    ... (%zu more lines)\n", output.size() - 4);
+              break;
+            }
+            std::printf("    %s\n", line.c_str());
+          }
+        } else if (item->kind() == "video") {
+          std::printf("  %s", item->render().c_str());
+        }
+      }
+      session.record_time(section->number(),
+                          static_cast<double>(section->expected_minutes()));
+      session.complete_section(section->number());
+    }
+  }
+
+  std::puts("\n================ answering the quizzes ================");
+  // This learner is diligent but misses sp_mc_2 on the first try (picking
+  // B, the mutual-exclusion distractor), exactly the Fig. 1 interaction.
+  session.submit_blank("setup_fib_1", "3B");
+  session.submit_choice("setup_mc_1", std::size_t{1});
+  session.submit_choice("sp_mc_1", std::size_t{2});
+  {
+    const auto* dnd =
+        dynamic_cast<const DragAndDrop*>(&module->question("sp_dd_1"));
+    session.submit_matching("sp_dd_1", dnd->pairs());
+  }
+  session.submit_choice("sp_mc_2", std::size_t{1});  // wrong first try
+  session.submit_choice("sp_mc_2", std::size_t{2});
+  session.submit_choice("sp_mc_3", std::size_t{1});
+  session.submit_blank("sp_fib_1", "13");
+  session.submit_choice("sp_mc_4", std::size_t{1});
+  session.submit_blank("ex_fib_1", "4");
+  session.submit_choice("ex_mc_1", std::size_t{0});
+
+  std::printf("score:        %.0f%%\n", session.score() * 100.0);
+  std::printf("completion:   %.0f%% of sections\n",
+              session.completion_fraction() * 100.0);
+  std::printf("time on task: %.0f minutes (budgeted: %d)\n",
+              session.total_minutes(), module->expected_minutes());
+  std::printf("attempts on the Fig. 1 race-condition question: %d\n",
+              session.attempts("sp_mc_2"));
+  std::printf("finished: %s\n", session.finished() ? "yes" : "no");
+  return session.finished() ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+#include "assessment/likert.hpp"
+
+#include <cmath>
+
+#include "assessment/stats.hpp"
+#include "support/error.hpp"
+
+namespace pdc::assessment {
+
+LikertScale LikertScale::usefulness() {
+  return LikertScale{{"not at all useful", "slightly useful",
+                      "moderately useful", "very useful", "extremely useful"}};
+}
+
+LikertScale LikertScale::confidence() {
+  return LikertScale{
+      {"not at all", "slightly", "moderately", "very", "extremely"}};
+}
+
+LikertScale LikertScale::preparedness() {
+  return LikertScale{
+      {"not at all", "a little bit", "somewhat", "quite a bit", "very much"}};
+}
+
+const std::string& LikertScale::label(int v) const {
+  if (v < 1 || v > 5) {
+    throw InvalidArgument("LikertScale: value must be in [1, 5]");
+  }
+  return labels[static_cast<std::size_t>(v - 1)];
+}
+
+LikertItem::LikertItem(std::string id, std::string prompt, LikertScale scale)
+    : id_(std::move(id)), prompt_(std::move(prompt)), scale_(std::move(scale)) {
+  if (id_.empty()) throw InvalidArgument("LikertItem: id required");
+}
+
+void LikertItem::add_response(int value) {
+  if (value < 1 || value > 5) {
+    throw InvalidArgument("LikertItem: response must be in [1, 5]");
+  }
+  responses_.push_back(value);
+}
+
+void LikertItem::add_responses(const std::vector<int>& values) {
+  for (int v : values) add_response(v);
+}
+
+double LikertItem::mean() const {
+  return assessment::mean(as_doubles());
+}
+
+double LikertItem::mean_2dp() const {
+  return std::round(mean() * 100.0) / 100.0;
+}
+
+std::array<int, 5> LikertItem::histogram() const {
+  std::array<int, 5> counts{};
+  for (int v : responses_) ++counts[static_cast<std::size_t>(v - 1)];
+  return counts;
+}
+
+std::vector<double> LikertItem::as_doubles() const {
+  std::vector<double> out;
+  out.reserve(responses_.size());
+  for (int v : responses_) out.push_back(static_cast<double>(v));
+  return out;
+}
+
+}  // namespace pdc::assessment

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace pdc::assessment {
+
+/// A 5-point Likert scale: value v in [1, 5] carries label labels[v-1].
+struct LikertScale {
+  std::array<std::string, 5> labels;
+
+  /// "not at all useful" ... "extremely useful" (Table II's scale).
+  static LikertScale usefulness();
+
+  /// "not at all" ... "extremely" (Fig. 3's confidence scale).
+  static LikertScale confidence();
+
+  /// "not at all" ... "very much" (Fig. 4's preparedness scale).
+  static LikertScale preparedness();
+
+  /// Label for value v (throws pdc::InvalidArgument unless 1 <= v <= 5).
+  [[nodiscard]] const std::string& label(int v) const;
+};
+
+/// One survey item plus its collected integer responses (1..5).
+class LikertItem {
+ public:
+  LikertItem(std::string id, std::string prompt, LikertScale scale);
+
+  /// Record one response; throws pdc::InvalidArgument outside [1, 5].
+  void add_response(int value);
+
+  /// Record many responses.
+  void add_responses(const std::vector<int>& values);
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& prompt() const noexcept { return prompt_; }
+  [[nodiscard]] const LikertScale& scale() const noexcept { return scale_; }
+  [[nodiscard]] const std::vector<int>& responses() const noexcept {
+    return responses_;
+  }
+
+  /// Number of responses collected.
+  [[nodiscard]] std::size_t count() const noexcept { return responses_.size(); }
+
+  /// Mean response (throws if no responses).
+  [[nodiscard]] double mean() const;
+
+  /// Mean rounded to two decimals, as the paper reports.
+  [[nodiscard]] double mean_2dp() const;
+
+  /// Histogram: counts[v-1] = number of responses with value v.
+  [[nodiscard]] std::array<int, 5> histogram() const;
+
+  /// Responses as doubles (for the stats functions).
+  [[nodiscard]] std::vector<double> as_doubles() const;
+
+ private:
+  std::string id_;
+  std::string prompt_;
+  LikertScale scale_;
+  std::vector<int> responses_;
+};
+
+}  // namespace pdc::assessment

@@ -1,0 +1,109 @@
+#include "assessment/report.hpp"
+
+#include <cmath>
+
+#include "assessment/stats.hpp"
+#include "support/bar_chart.hpp"
+#include "support/strings.hpp"
+#include "support/text_table.hpp"
+
+namespace pdc::assessment {
+
+std::string render_table_ii(const WorkshopEvaluation& eval) {
+  TextTable table({"Session", "(A)", "(B)"});
+  table.set_align(1, Align::Right);
+  table.set_align(2, Align::Right);
+  table.add_row({"OpenMP on Raspberry Pi",
+                 strings::fixed(eval.openmp_usefulness_courses().mean_2dp(), 2),
+                 strings::fixed(eval.openmp_usefulness_development().mean_2dp(), 2)});
+  table.add_row({"MPI & Distr. Cluster Computing",
+                 strings::fixed(eval.mpi_usefulness_courses().mean_2dp(), 2),
+                 strings::fixed(eval.mpi_usefulness_development().mean_2dp(), 2)});
+  std::string out =
+      "TABLE II: How useful was each session for (A) implementing PDC in "
+      "your courses; (B) your professional development?\n";
+  out += table.render();
+  return out;
+}
+
+namespace {
+
+std::string render_pre_post_figure(const std::string& caption,
+                                   const LikertItem& pre,
+                                   const LikertItem& post) {
+  std::vector<std::string> categories(pre.scale().labels.begin(),
+                                      pre.scale().labels.end());
+  BarChart chart(categories);
+  chart.set_title(caption);
+
+  const auto to_doubles = [](const std::array<int, 5>& counts) {
+    return std::vector<double>(counts.begin(), counts.end());
+  };
+  chart.add_series({"Pre-Survey", to_doubles(pre.histogram())});
+  chart.add_series({"Post-Survey", to_doubles(post.histogram())});
+
+  const PairedTTest test = paired_t_test(pre.as_doubles(), post.as_doubles());
+  char stats_line[160];
+  std::snprintf(stats_line, sizeof(stats_line),
+                "paired t-test: pre_m = %.2f, post_m = %.2f, t(%d) = %.2f, "
+                "p = %.3g\n",
+                test.mean_pre, test.mean_post, static_cast<int>(test.df),
+                test.t, test.p_two_tailed);
+  return chart.render() + stats_line;
+}
+
+}  // namespace
+
+std::string render_figure_3(const WorkshopEvaluation& eval) {
+  return render_pre_post_figure(
+      "Fig. 3: Indicate your current level of confidence in implementing "
+      "PDC topics in your courses.",
+      eval.confidence_pre(), eval.confidence_post());
+}
+
+std::string render_figure_4(const WorkshopEvaluation& eval) {
+  return render_pre_post_figure(
+      "Fig. 4: How prepared do you feel to successfully implement PDC "
+      "topics in your courses?",
+      eval.preparedness_pre(), eval.preparedness_post());
+}
+
+std::string render_demographics(const WorkshopEvaluation& eval) {
+  const auto& people = eval.participants();
+  const double n = static_cast<double>(people.size());
+
+  int faculty = 0, grad = 0, tt = 0, ntt = 0;
+  int male = 0, female = 0, other = 0;
+  int us = 0, pr = 0, intl = 0;
+  for (const auto& p : people) {
+    faculty += p.role == Participant::Role::Faculty;
+    grad += p.role == Participant::Role::GradStudent;
+    tt += p.track == Participant::Track::TenureTrack;
+    ntt += p.track == Participant::Track::NonTenureTrack;
+    male += p.gender == Participant::Gender::Male;
+    female += p.gender == Participant::Gender::Female;
+    other += p.gender == Participant::Gender::Other;
+    us += p.location == Participant::Location::ContinentalUS;
+    pr += p.location == Participant::Location::PuertoRico;
+    intl += p.location == Participant::Location::International;
+  }
+  const auto pct = [&](int count) {
+    return std::to_string(
+               static_cast<int>(std::round(100.0 * count / n))) + "%";
+  };
+
+  std::string out = "Workshop participants: " +
+                    std::to_string(people.size()) + "\n";
+  out += "  roles:    " + pct(faculty) + " faculty, " + pct(grad) +
+         " graduate students\n";
+  out += "  tracks:   " + pct(tt) + " tenured/tenure-track, " + pct(ntt) +
+         " non-tenure-track, " + pct(grad) + " graduate students\n";
+  out += "  gender:   " + pct(male) + " male, " + pct(female) + " female, " +
+         pct(other) + " other\n";
+  out += "  location: " + std::to_string(us) + " continental US, " +
+         std::to_string(pr) + " Puerto Rico, " + std::to_string(intl) +
+         " international\n";
+  return out;
+}
+
+}  // namespace pdc::assessment

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "assessment/workshop.hpp"
+
+namespace pdc::assessment {
+
+/// Renderers that regenerate the paper's evaluation artifacts as text.
+
+/// Table II: "How useful was each session for (A) implementing PDC in your
+/// courses; (B) your professional development?"
+std::string render_table_ii(const WorkshopEvaluation& eval);
+
+/// Fig. 3: pre/post confidence histograms plus the paired t-test line
+/// (pre = 2.82, post = 3.59, p = 0.0004 in the paper).
+std::string render_figure_3(const WorkshopEvaluation& eval);
+
+/// Fig. 4: pre/post preparedness histograms plus the paired t-test line
+/// (pre = 2.59, post = 3.77, p = 4.18e-08 in the paper).
+std::string render_figure_4(const WorkshopEvaluation& eval);
+
+/// Demographic summary of Section IV's first paragraphs.
+std::string render_demographics(const WorkshopEvaluation& eval);
+
+}  // namespace pdc::assessment

@@ -1,0 +1,233 @@
+#include "assessment/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace pdc::assessment {
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) throw InvalidArgument("mean: empty sample");
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double sample_variance(const std::vector<double>& values) {
+  if (values.size() < 2) {
+    throw InvalidArgument("sample_variance: need at least two values");
+  }
+  const double m = mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return ss / static_cast<double>(values.size() - 1);
+}
+
+double sample_stddev(const std::vector<double>& values) {
+  return std::sqrt(sample_variance(values));
+}
+
+double median(std::vector<double> values) {
+  if (values.empty()) throw InvalidArgument("median: empty sample");
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+double ln_gamma(double x) {
+  // Lanczos approximation, g = 7, n = 9 coefficients.
+  static const double kCoeffs[] = {
+      0.99999999999980993,  676.5203681218851,    -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059,  12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - ln_gamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = kCoeffs[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += kCoeffs[i] / (x + i);
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t + std::log(a);
+}
+
+namespace {
+
+/// Continued fraction for the incomplete beta function (Lentz's algorithm).
+double beta_cont_frac(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 3e-15;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (a <= 0.0 || b <= 0.0) {
+    throw InvalidArgument("incomplete_beta: a and b must be positive");
+  }
+  if (x < 0.0 || x > 1.0) {
+    throw InvalidArgument("incomplete_beta: x must be in [0, 1]");
+  }
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  // Use the symmetry relation to stay in the rapidly converging region.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cont_frac(a, b, x) / a;
+  }
+  return 1.0 - std::exp(ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) +
+                        b * std::log(1.0 - x) + a * std::log(x)) *
+                   beta_cont_frac(b, a, 1.0 - x) / b;
+}
+
+double t_two_tailed_p(double t, double df) {
+  if (df <= 0.0) throw InvalidArgument("t_two_tailed_p: df must be positive");
+  return incomplete_beta(df / 2.0, 0.5, df / (df + t * t));
+}
+
+PairedTTest paired_t_test(const std::vector<double>& pre,
+                          const std::vector<double>& post) {
+  if (pre.size() != post.size()) {
+    throw InvalidArgument("paired_t_test: samples must be the same size");
+  }
+  if (pre.size() < 2) {
+    throw InvalidArgument("paired_t_test: need at least two pairs");
+  }
+  std::vector<double> diffs(pre.size());
+  for (std::size_t i = 0; i < pre.size(); ++i) diffs[i] = post[i] - pre[i];
+
+  PairedTTest result;
+  result.n = pre.size();
+  result.mean_pre = mean(pre);
+  result.mean_post = mean(post);
+  result.mean_diff = mean(diffs);
+  result.sd_diff = sample_stddev(diffs);
+  if (result.sd_diff == 0.0) {
+    throw InvalidArgument("paired_t_test: zero variance in differences");
+  }
+  result.df = static_cast<double>(pre.size() - 1);
+  result.t = result.mean_diff /
+             (result.sd_diff / std::sqrt(static_cast<double>(pre.size())));
+  result.p_two_tailed = t_two_tailed_p(result.t, result.df);
+  result.cohens_d = result.mean_diff / result.sd_diff;
+  return result;
+}
+
+WelchTTest welch_t_test(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  if (a.size() < 2 || b.size() < 2) {
+    throw InvalidArgument("welch_t_test: each sample needs >= 2 values");
+  }
+  const double va = sample_variance(a) / static_cast<double>(a.size());
+  const double vb = sample_variance(b) / static_cast<double>(b.size());
+  if (va + vb == 0.0) {
+    throw InvalidArgument("welch_t_test: both samples have zero variance");
+  }
+  WelchTTest result;
+  result.t = (mean(a) - mean(b)) / std::sqrt(va + vb);
+  result.df = (va + vb) * (va + vb) /
+              (va * va / (static_cast<double>(a.size()) - 1.0) +
+               vb * vb / (static_cast<double>(b.size()) - 1.0));
+  result.p_two_tailed = t_two_tailed_p(result.t, result.df);
+  return result;
+}
+
+double normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+WilcoxonTest wilcoxon_signed_rank(const std::vector<double>& pre,
+                                  const std::vector<double>& post) {
+  if (pre.size() != post.size()) {
+    throw InvalidArgument("wilcoxon: samples must be the same size");
+  }
+  // Non-zero differences, as (|d|, sign) pairs.
+  struct Diff {
+    double magnitude;
+    bool positive;
+  };
+  std::vector<Diff> diffs;
+  for (std::size_t i = 0; i < pre.size(); ++i) {
+    const double d = post[i] - pre[i];
+    if (d != 0.0) diffs.push_back(Diff{std::abs(d), d > 0.0});
+  }
+  if (diffs.size() < 4) {
+    throw InvalidArgument(
+        "wilcoxon: need at least 4 non-zero differences for the normal "
+        "approximation");
+  }
+  std::sort(diffs.begin(), diffs.end(),
+            [](const Diff& a, const Diff& b) { return a.magnitude < b.magnitude; });
+
+  const std::size_t n = diffs.size();
+  WilcoxonTest result;
+  result.n_nonzero = n;
+
+  // Average ranks over tie groups; accumulate W+ and the tie correction.
+  double tie_correction = 0.0;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j < n && diffs[j].magnitude == diffs[i].magnitude) ++j;
+    const double group = static_cast<double>(j - i);
+    const double avg_rank = (static_cast<double>(i + 1) +
+                             static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (diffs[k].positive) result.w_plus += avg_rank;
+    }
+    tie_correction += group * group * group - group;
+    i = j;
+  }
+
+  const double nd = static_cast<double>(n);
+  const double mean = nd * (nd + 1.0) / 4.0;
+  const double variance =
+      nd * (nd + 1.0) * (2.0 * nd + 1.0) / 24.0 - tie_correction / 48.0;
+  if (variance <= 0.0) {
+    throw InvalidArgument("wilcoxon: zero variance (all differences tied?)");
+  }
+  // Continuity correction toward the mean.
+  const double delta = result.w_plus - mean;
+  const double corrected =
+      delta > 0.0 ? delta - 0.5 : (delta < 0.0 ? delta + 0.5 : 0.0);
+  result.z = corrected / std::sqrt(variance);
+  result.p_two_tailed = 2.0 * normal_cdf(-std::abs(result.z));
+  if (result.p_two_tailed > 1.0) result.p_two_tailed = 1.0;
+  return result;
+}
+
+}  // namespace pdc::assessment

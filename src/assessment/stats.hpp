@@ -1,0 +1,81 @@
+#pragma once
+
+#include <vector>
+
+namespace pdc::assessment {
+
+/// Arithmetic mean. Throws pdc::InvalidArgument on empty input.
+double mean(const std::vector<double>& values);
+
+/// Sample variance (n-1 denominator). Requires at least two values.
+double sample_variance(const std::vector<double>& values);
+
+/// Sample standard deviation.
+double sample_stddev(const std::vector<double>& values);
+
+/// Median (average of middle two for even n).
+double median(std::vector<double> values);
+
+/// Natural log of the gamma function (Lanczos approximation, |err| < 2e-10).
+double ln_gamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b), the workhorse behind the
+/// Student's t distribution.
+double incomplete_beta(double a, double b, double x);
+
+/// Two-tailed p-value of a Student's t statistic with `df` degrees of
+/// freedom: P(|T| >= |t|).
+double t_two_tailed_p(double t, double df);
+
+/// Result of a paired Student's t-test (the test the paper applies to its
+/// pre/post workshop surveys).
+struct PairedTTest {
+  std::size_t n = 0;
+  double mean_pre = 0.0;
+  double mean_post = 0.0;
+  double mean_diff = 0.0;    ///< mean of (post - pre)
+  double sd_diff = 0.0;      ///< sample sd of the differences
+  double t = 0.0;
+  double df = 0.0;
+  double p_two_tailed = 1.0;
+  double cohens_d = 0.0;     ///< mean_diff / sd_diff
+};
+
+/// Paired t-test of post vs pre (same subjects, in the same order).
+/// Requires equal sizes and n >= 2, with nonzero difference variance.
+PairedTTest paired_t_test(const std::vector<double>& pre,
+                          const std::vector<double>& post);
+
+/// Result of Welch's unequal-variance two-sample t-test.
+struct WelchTTest {
+  double t = 0.0;
+  double df = 0.0;
+  double p_two_tailed = 1.0;
+};
+
+/// Welch's t-test of two independent samples (each of size >= 2).
+WelchTTest welch_t_test(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+
+/// Result of a Wilcoxon signed-rank test (normal approximation with tie
+/// correction and continuity correction) — the nonparametric companion to
+/// the paired t-test, appropriate for ordinal Likert responses like the
+/// paper's pre/post surveys.
+struct WilcoxonTest {
+  std::size_t n_nonzero = 0;   ///< pairs with a non-zero difference
+  double w_plus = 0.0;         ///< sum of ranks of positive differences
+  double z = 0.0;
+  double p_two_tailed = 1.0;
+};
+
+/// Wilcoxon signed-rank test of post vs pre (paired, same order). Zero
+/// differences are dropped (Wilcoxon's original treatment); ties in
+/// |difference| receive average ranks with the variance correction.
+/// Requires at least 4 non-zero differences for the approximation.
+WilcoxonTest wilcoxon_signed_rank(const std::vector<double>& pre,
+                                  const std::vector<double>& post);
+
+}  // namespace pdc::assessment

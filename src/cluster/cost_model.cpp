@@ -1,0 +1,81 @@
+#include "cluster/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace pdc::cluster {
+
+double amdahl_speedup(int p, double serial_fraction) {
+  if (p < 1) throw InvalidArgument("amdahl_speedup: p must be >= 1");
+  if (serial_fraction < 0.0 || serial_fraction > 1.0) {
+    throw InvalidArgument("amdahl_speedup: serial fraction must be in [0,1]");
+  }
+  return 1.0 / (serial_fraction + (1.0 - serial_fraction) / p);
+}
+
+double gustafson_speedup(int p, double serial_fraction) {
+  if (p < 1) throw InvalidArgument("gustafson_speedup: p must be >= 1");
+  if (serial_fraction < 0.0 || serial_fraction > 1.0) {
+    throw InvalidArgument("gustafson_speedup: serial fraction must be in [0,1]");
+  }
+  return p - serial_fraction * (p - 1);
+}
+
+CostModel::CostModel(ClusterSpec platform) : platform_(std::move(platform)) {
+  if (platform_.node.cores < 1 || platform_.num_nodes < 1) {
+    throw InvalidArgument("CostModel: platform must have at least one core");
+  }
+  if (platform_.node.core_gflops <= 0.0) {
+    throw InvalidArgument("CostModel: core speed must be positive");
+  }
+}
+
+double CostModel::predict_seconds(const WorkloadSpec& work, int procs) const {
+  if (procs < 1) throw InvalidArgument("predict_seconds: procs must be >= 1");
+  const int usable = std::min(procs, platform_.total_cores());
+
+  const double serial_gflop = work.total_gflop * work.serial_fraction;
+  const double parallel_gflop = work.total_gflop - serial_gflop;
+  const double compute =
+      serial_gflop / platform_.node.core_gflops +
+      parallel_gflop / (platform_.node.core_gflops * usable);
+
+  double comm = 0.0;
+  if (usable > 1 && work.num_supersteps > 0) {
+    const bool crosses_nodes = usable > platform_.node.cores;
+    const NetworkSpec& net =
+        crosses_nodes ? platform_.inter_node : platform_.intra_node;
+    // Tree collective: ceil(log2(p)) rounds of one message each.
+    const double rounds = std::ceil(std::log2(static_cast<double>(usable)));
+    comm = work.num_supersteps * rounds *
+           net.transfer_seconds(work.bytes_per_exchange);
+  }
+  return compute + comm;
+}
+
+std::vector<ScalingPoint> CostModel::scaling_curve(
+    const WorkloadSpec& work, const std::vector<int>& proc_counts) const {
+  const double t1 = predict_seconds(work, 1);
+  std::vector<ScalingPoint> curve;
+  curve.reserve(proc_counts.size());
+  for (int p : proc_counts) {
+    ScalingPoint point;
+    point.procs = p;
+    point.seconds = predict_seconds(work, p);
+    point.speedup = t1 / point.seconds;
+    point.efficiency = point.speedup / p;
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+std::vector<int> power_of_two_procs(int max_procs) {
+  if (max_procs < 1) throw InvalidArgument("power_of_two_procs: need >= 1");
+  std::vector<int> counts;
+  for (int p = 1; p <= max_procs; p *= 2) counts.push_back(p);
+  return counts;
+}
+
+}  // namespace pdc::cluster

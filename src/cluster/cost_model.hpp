@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "cluster/specs.hpp"
+
+namespace pdc::cluster {
+
+/// Amdahl's-law speedup for a workload whose `serial_fraction` cannot be
+/// parallelized: S(p) = 1 / (s + (1-s)/p).
+double amdahl_speedup(int p, double serial_fraction);
+
+/// Gustafson's scaled speedup: S(p) = p - s * (p - 1). Included because the
+/// handout's benchmarking discussion contrasts the two laws.
+double gustafson_speedup(int p, double serial_fraction);
+
+/// Description of a data-parallel computation plus its communication needs,
+/// in the BSP spirit: `num_supersteps` alternations of compute and a
+/// collective exchange of `bytes_per_exchange` bytes.
+struct WorkloadSpec {
+  double total_gflop = 1.0;          ///< parallelizable + serial compute
+  double serial_fraction = 0.0;      ///< fraction that cannot parallelize
+  int num_supersteps = 1;            ///< compute/communicate rounds
+  double bytes_per_exchange = 0.0;   ///< payload of each collective round
+};
+
+/// One point of a predicted scaling curve.
+struct ScalingPoint {
+  int procs = 1;
+  double seconds = 0.0;
+  double speedup = 1.0;
+  double efficiency = 1.0;
+};
+
+/// Analytic platform performance model.
+///
+/// Compute time follows Amdahl on the platform's per-core speed; each
+/// superstep adds a tree-structured collective costed with the Hockney
+/// alpha-beta network model, choosing the intra-node network while all
+/// ranks fit on one node and the (slower) inter-node network otherwise.
+/// This deliberately simple model is what regenerates the paper's
+/// platform-shape claims: the 1-core Colab VM pins at speedup 1, the
+/// 64-core St. Olaf VM scales until Amdahl bites, and Chameleon scales
+/// across nodes with visible communication overhead.
+class CostModel {
+ public:
+  explicit CostModel(ClusterSpec platform);
+
+  /// Predicted wall time (seconds) of `work` on `procs` ranks. `procs` is
+  /// clamped to the platform's total cores: oversubscribed ranks do not
+  /// speed up a machine, which is exactly the Colab lesson.
+  [[nodiscard]] double predict_seconds(const WorkloadSpec& work, int procs) const;
+
+  /// Full scaling curve for the given rank counts.
+  [[nodiscard]] std::vector<ScalingPoint> scaling_curve(
+      const WorkloadSpec& work, const std::vector<int>& proc_counts) const;
+
+  [[nodiscard]] const ClusterSpec& platform() const noexcept { return platform_; }
+
+ private:
+  ClusterSpec platform_;
+};
+
+/// Standard proc counts {1, 2, 4, ..., max_procs} used by the benches.
+std::vector<int> power_of_two_procs(int max_procs);
+
+}  // namespace pdc::cluster

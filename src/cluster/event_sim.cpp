@@ -1,0 +1,27 @@
+#include "cluster/event_sim.hpp"
+
+#include "support/error.hpp"
+
+namespace pdc::cluster {
+
+void EventSim::schedule(double t, Callback fn) {
+  if (t < now_) {
+    throw InvalidArgument("EventSim::schedule: cannot schedule in the past");
+  }
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+double EventSim::run() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; move the callback out via const_cast is
+    // unnecessary — copy the small wrapper instead, then pop.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.fn();
+  }
+  return now_;
+}
+
+}  // namespace pdc::cluster

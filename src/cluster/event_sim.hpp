@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace pdc::cluster {
+
+/// Minimal discrete-event simulation engine.
+///
+/// Events are (time, callback) pairs processed in nondecreasing time order;
+/// ties break by insertion order so simulations are fully deterministic.
+/// Callbacks may schedule further events. This drives the master-worker
+/// platform simulator and is reusable for any queueing-style model.
+class EventSim {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at absolute simulation time `t` (must be >= now()).
+  void schedule(double t, Callback fn);
+
+  /// Schedule `fn` at now() + dt.
+  void schedule_in(double dt, Callback fn) { schedule(now() + dt, std::move(fn)); }
+
+  /// Current simulation time (the timestamp of the event being processed,
+  /// or of the last processed event once run() returns).
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Process events until the queue is empty; returns the final time.
+  double run();
+
+  /// Number of events processed so far (for tests and diagnostics).
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace pdc::cluster

@@ -1,0 +1,96 @@
+#include "cluster/master_worker_sim.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cluster/event_sim.hpp"
+#include "support/error.hpp"
+
+namespace pdc::cluster {
+
+MasterWorkerSim::MasterWorkerSim(ClusterSpec platform)
+    : platform_(std::move(platform)) {
+  if (platform_.total_cores() < 1) {
+    throw InvalidArgument("MasterWorkerSim: platform must have cores");
+  }
+}
+
+double MasterWorkerSim::dispatch_cost(int workers) const {
+  // A dispatch is a request + reply pair of small messages.
+  const bool crosses_nodes = workers + 1 > platform_.node.cores;
+  const NetworkSpec& net =
+      crosses_nodes ? platform_.inter_node : platform_.intra_node;
+  return 2.0 * net.transfer_seconds(64.0);
+}
+
+namespace {
+
+SimResult summarize(std::vector<double> worker_busy, double makespan) {
+  SimResult result;
+  result.makespan = makespan;
+  result.worker_busy = std::move(worker_busy);
+  if (makespan > 0.0 && !result.worker_busy.empty()) {
+    const double total = std::accumulate(result.worker_busy.begin(),
+                                         result.worker_busy.end(), 0.0);
+    result.busy_fraction =
+        total / (makespan * static_cast<double>(result.worker_busy.size()));
+  }
+  return result;
+}
+
+}  // namespace
+
+SimResult MasterWorkerSim::simulate_dynamic(
+    const std::vector<double>& task_seconds, int workers) const {
+  if (workers < 1) throw InvalidArgument("simulate_dynamic: need >= 1 worker");
+  const double speed = platform_.node.core_gflops;
+  const double dispatch = dispatch_cost(workers);
+
+  EventSim sim;
+  std::size_t next_task = 0;
+  std::vector<double> busy(static_cast<std::size_t>(workers), 0.0);
+  double makespan = 0.0;
+
+  // Each worker becomes idle, asks the master for work, runs the task, and
+  // repeats. The callback closure *is* the worker's state machine.
+  std::function<void(int)> worker_idle = [&](int w) {
+    if (next_task >= task_seconds.size()) return;  // no work left: retire
+    const double run_time = task_seconds[next_task++] / speed;
+    busy[static_cast<std::size_t>(w)] += run_time;
+    sim.schedule_in(dispatch + run_time, [&, w] {
+      makespan = std::max(makespan, sim.now());
+      worker_idle(w);
+    });
+  };
+
+  for (int w = 0; w < workers; ++w) {
+    sim.schedule(0.0, [&, w] { worker_idle(w); });
+  }
+  sim.run();
+  return summarize(std::move(busy), makespan);
+}
+
+SimResult MasterWorkerSim::simulate_static(
+    const std::vector<double>& task_seconds, int workers) const {
+  if (workers < 1) throw InvalidArgument("simulate_static: need >= 1 worker");
+  const double speed = platform_.node.core_gflops;
+  const std::size_t n = task_seconds.size();
+  const auto p = static_cast<std::size_t>(workers);
+
+  std::vector<double> busy(p, 0.0);
+  const std::size_t base = n / p;
+  const std::size_t extra = n % p;
+  std::size_t offset = 0;
+  for (std::size_t w = 0; w < p; ++w) {
+    const std::size_t len = base + (w < extra ? 1 : 0);
+    for (std::size_t i = offset; i < offset + len; ++i) {
+      busy[w] += task_seconds[i] / speed;
+    }
+    offset += len;
+  }
+  const double makespan =
+      busy.empty() ? 0.0 : *std::max_element(busy.begin(), busy.end());
+  return summarize(std::move(busy), makespan);
+}
+
+}  // namespace pdc::cluster

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "cluster/specs.hpp"
+
+namespace pdc::cluster {
+
+/// Result of simulating one schedule of a task bag on p workers.
+struct SimResult {
+  double makespan = 0.0;           ///< wall time until the last task finishes
+  double busy_fraction = 0.0;      ///< mean worker utilization
+  std::vector<double> worker_busy; ///< per-worker total compute time
+};
+
+/// Discrete-event simulation of the two scheduling strategies the drug
+/// design exemplar contrasts, on a modeled platform.
+///
+/// Tasks are given as compute times *on one reference core*; the platform's
+/// core speed scales them, and each dynamic dispatch pays one round-trip of
+/// the platform's network (inter-node once workers exceed one node).
+class MasterWorkerSim {
+ public:
+  explicit MasterWorkerSim(ClusterSpec platform);
+
+  /// Dynamic (self-scheduling) master-worker: each idle worker requests the
+  /// next task from the master, paying dispatch latency per task. This is
+  /// the MPI master-worker patternlet's strategy.
+  [[nodiscard]] SimResult simulate_dynamic(const std::vector<double>& task_seconds,
+                                           int workers) const;
+
+  /// Static block assignment: worker w gets the contiguous block of tasks
+  /// it would get from schedule(static). No per-task dispatch cost, but no
+  /// load balancing either.
+  [[nodiscard]] SimResult simulate_static(const std::vector<double>& task_seconds,
+                                          int workers) const;
+
+  [[nodiscard]] const ClusterSpec& platform() const noexcept { return platform_; }
+
+ private:
+  [[nodiscard]] double dispatch_cost(int workers) const;
+
+  ClusterSpec platform_;
+};
+
+}  // namespace pdc::cluster

@@ -1,0 +1,60 @@
+#include "cluster/specs.hpp"
+
+namespace pdc::cluster {
+
+ClusterSpec raspberry_pi_3b() {
+  ClusterSpec spec;
+  spec.name = "Raspberry Pi 3B";
+  spec.node = MachineSpec{"BCM2837 Cortex-A53 @1.2GHz", 4, 0.6, 1.0};
+  spec.num_nodes = 1;
+  spec.inter_node = NetworkSpec{500.0, 0.1};  // 100 Mb Ethernet, if clustered
+  spec.intra_node = NetworkSpec{1.0, 10.0};
+  return spec;
+}
+
+ClusterSpec raspberry_pi_4() {
+  ClusterSpec spec;
+  spec.name = "Raspberry Pi 4 (2GB)";
+  spec.node = MachineSpec{"BCM2711 Cortex-A72 @1.5GHz", 4, 1.5, 2.0};
+  spec.num_nodes = 1;
+  spec.inter_node = NetworkSpec{200.0, 1.0};  // GbE
+  spec.intra_node = NetworkSpec{0.8, 15.0};
+  return spec;
+}
+
+ClusterSpec colab_vm() {
+  ClusterSpec spec;
+  spec.name = "Google Colab VM (2020 free tier)";
+  spec.node = MachineSpec{"Xeon vCPU @2.2GHz", 1, 3.0, 12.0};
+  spec.num_nodes = 1;
+  spec.inter_node = NetworkSpec{100.0, 1.0};
+  spec.intra_node = NetworkSpec{0.5, 50.0};
+  return spec;
+}
+
+ClusterSpec st_olaf_vm() {
+  ClusterSpec spec;
+  spec.name = "St. Olaf 64-core VM";
+  spec.node = MachineSpec{"EPYC-class server @2.0GHz", 64, 4.0, 256.0};
+  spec.num_nodes = 1;
+  spec.inter_node = NetworkSpec{50.0, 10.0};
+  spec.intra_node = NetworkSpec{0.3, 100.0};
+  return spec;
+}
+
+ClusterSpec chameleon_cluster(int num_nodes) {
+  ClusterSpec spec;
+  spec.name = "Chameleon cluster (" + std::to_string(num_nodes) + " nodes)";
+  spec.node = MachineSpec{"Haswell Xeon E5-2670v3 @2.3GHz", 24, 4.5, 128.0};
+  spec.num_nodes = num_nodes;
+  spec.inter_node = NetworkSpec{25.0, 10.0};  // 10 GbE
+  spec.intra_node = NetworkSpec{0.3, 100.0};
+  return spec;
+}
+
+std::vector<ClusterSpec> all_presets() {
+  return {raspberry_pi_3b(), raspberry_pi_4(), colab_vm(), st_olaf_vm(),
+          chameleon_cluster(4)};
+}
+
+}  // namespace pdc::cluster

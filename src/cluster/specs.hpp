@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pdc::cluster {
+
+/// One node's compute resources.
+struct MachineSpec {
+  std::string name;
+  int cores = 1;
+  double core_gflops = 1.0;  ///< sustained GFLOP/s per core
+  double memory_gb = 1.0;
+};
+
+/// Interconnect characteristics, Hockney-style (alpha-beta model).
+struct NetworkSpec {
+  double latency_us = 50.0;        ///< per-message latency (alpha)
+  double bandwidth_gbps = 1.0;     ///< link bandwidth (1/beta)
+
+  /// Time in seconds to move `bytes` point-to-point.
+  [[nodiscard]] double transfer_seconds(double bytes) const noexcept {
+    return latency_us * 1e-6 + bytes * 8.0 / (bandwidth_gbps * 1e9);
+  }
+};
+
+/// A whole execution platform: `num_nodes` identical nodes joined by a
+/// network. Shared-memory "communication" inside a node is modeled with a
+/// much cheaper intra-node network.
+struct ClusterSpec {
+  std::string name;
+  MachineSpec node;
+  int num_nodes = 1;
+  NetworkSpec inter_node;
+  NetworkSpec intra_node{0.5, 100.0};  ///< memory-bus scale defaults
+
+  [[nodiscard]] int total_cores() const noexcept { return node.cores * num_nodes; }
+  [[nodiscard]] double total_gflops() const noexcept {
+    return node.core_gflops * total_cores();
+  }
+};
+
+/// The platforms the paper's modules ran on (Sections III-A, III-B):
+
+/// Raspberry Pi 3B: quad-core Cortex-A53 @1.2 GHz (the minimum model the
+/// custom image supports).
+ClusterSpec raspberry_pi_3b();
+
+/// Raspberry Pi 4 (2 GB CanaKit from Table I): quad-core Cortex-A72 @1.5 GHz.
+ClusterSpec raspberry_pi_4();
+
+/// Google Colab free tier, 2020: a single-core cloud VM — the platform that
+/// "prevents learners from experiencing parallel speedup".
+ClusterSpec colab_vm();
+
+/// The 64-core VM on a large server at St. Olaf used for the exemplars.
+ClusterSpec st_olaf_vm();
+
+/// A Chameleon Cloud bare-metal cluster allocation: `num_nodes` Haswell-class
+/// 24-core nodes on a 10 GbE fabric.
+ClusterSpec chameleon_cluster(int num_nodes = 4);
+
+/// All five presets, in the order above (for sweeps and tables).
+std::vector<ClusterSpec> all_presets();
+
+}  // namespace pdc::cluster

@@ -1,0 +1,81 @@
+#include "courseware/content.hpp"
+
+#include "patterns/registry.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace pdc::courseware {
+
+TextBlock::TextBlock(std::string text) : text_(std::move(text)) {
+  if (text_.empty()) throw InvalidArgument("TextBlock: text required");
+}
+
+std::string TextBlock::render() const { return text_ + "\n"; }
+
+Video::Video(std::string title, int duration_seconds, std::string url,
+             std::string transcript)
+    : title_(std::move(title)),
+      duration_s_(duration_seconds),
+      url_(std::move(url)),
+      transcript_(std::move(transcript)) {
+  if (duration_s_ <= 0) {
+    throw InvalidArgument("Video: duration must be positive");
+  }
+}
+
+std::string Video::render() const {
+  const int minutes = duration_s_ / 60;
+  const int seconds = duration_s_ % 60;
+  std::string out = "[VIDEO] " + title_ + " (" + std::to_string(minutes) + ":" +
+                    (seconds < 10 ? "0" : "") + std::to_string(seconds) + ")";
+  if (!url_.empty()) out += "  <" + url_ + ">";
+  out += "\n";
+  if (!transcript_.empty()) {
+    out += "  transcript: " + transcript_ + "\n";
+  }
+  return out;
+}
+
+CodeListing::CodeListing(std::string language, std::string caption,
+                         std::string code)
+    : language_(std::move(language)),
+      caption_(std::move(caption)),
+      code_(std::move(code)) {
+  if (code_.empty()) throw InvalidArgument("CodeListing: code required");
+}
+
+std::string CodeListing::render() const {
+  std::string out;
+  if (!caption_.empty()) out += caption_ + "\n";
+  out += "```" + language_ + "\n" + code_;
+  if (code_.back() != '\n') out += "\n";
+  out += "```\n";
+  return out;
+}
+
+HandsOnActivity::HandsOnActivity(std::string activity_id,
+                                 std::string instructions,
+                                 std::string patternlet_id,
+                                 patterns::RunOptions options)
+    : id_(std::move(activity_id)),
+      instructions_(std::move(instructions)),
+      patternlet_id_(std::move(patternlet_id)),
+      options_(options) {
+  if (id_.empty()) throw InvalidArgument("HandsOnActivity: id required");
+  if (patternlet_id_.empty()) {
+    throw InvalidArgument("HandsOnActivity: patternlet id required");
+  }
+}
+
+std::string HandsOnActivity::render() const {
+  return "[HANDS-ON " + id_ + "] " + instructions_ + "\n  run: " +
+         patternlet_id_ + " (threads=" + std::to_string(options_.num_threads) +
+         ", procs=" + std::to_string(options_.num_procs) + ")\n";
+}
+
+std::vector<std::string> HandsOnActivity::execute(
+    const patterns::Registry& registry) const {
+  return registry.at(patternlet_id_).run(options_);
+}
+
+}  // namespace pdc::courseware

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "patterns/patternlet.hpp"
+
+namespace pdc::patterns {
+class Registry;
+}
+
+namespace pdc::courseware {
+
+/// Base class of everything that can appear in a module section: expository
+/// text, videos, code listings, hands-on activities, and the interactive
+/// questions defined in questions.hpp.
+class ContentItem {
+ public:
+  virtual ~ContentItem() = default;
+
+  /// Machine-readable kind, e.g. "text", "video", "multiple-choice".
+  [[nodiscard]] virtual std::string kind() const = 0;
+
+  /// Plain-text rendering for terminal display (what the bench binaries
+  /// print when they regenerate Fig. 1).
+  [[nodiscard]] virtual std::string render() const = 0;
+
+  /// True for interactive questions that can be graded.
+  [[nodiscard]] virtual bool is_gradable() const { return false; }
+
+  /// Stable activity id (Runestone-style, e.g. "sp_mc_2"); empty for
+  /// non-interactive items.
+  [[nodiscard]] virtual std::string activity_id() const { return {}; }
+};
+
+/// A paragraph (or several) of expository text.
+class TextBlock final : public ContentItem {
+ public:
+  explicit TextBlock(std::string text);
+  [[nodiscard]] std::string kind() const override { return "text"; }
+  [[nodiscard]] std::string render() const override;
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+
+ private:
+  std::string text_;
+};
+
+/// An instructional video. The binary cannot embed MP4s, so the model keeps
+/// what the engine actually needs: identity, duration (for pacing), and a
+/// transcript stub (for search/accessibility).
+class Video final : public ContentItem {
+ public:
+  Video(std::string title, int duration_seconds, std::string url,
+        std::string transcript = {});
+  [[nodiscard]] std::string kind() const override { return "video"; }
+  [[nodiscard]] std::string render() const override;
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] int duration_seconds() const noexcept { return duration_s_; }
+  [[nodiscard]] const std::string& url() const noexcept { return url_; }
+  [[nodiscard]] const std::string& transcript() const noexcept {
+    return transcript_;
+  }
+
+ private:
+  std::string title_;
+  int duration_s_;
+  std::string url_;
+  std::string transcript_;
+};
+
+/// A displayed source listing (the patternlet code the learner reads).
+class CodeListing final : public ContentItem {
+ public:
+  CodeListing(std::string language, std::string caption, std::string code);
+  [[nodiscard]] std::string kind() const override { return "code"; }
+  [[nodiscard]] std::string render() const override;
+  [[nodiscard]] const std::string& language() const noexcept { return language_; }
+  [[nodiscard]] const std::string& code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& caption() const noexcept { return caption_; }
+
+ private:
+  std::string language_;
+  std::string caption_;
+  std::string code_;
+};
+
+/// A hands-on exercise: "run this patternlet on your Pi with these
+/// parameters". Bound to the patternlet registry so the courseware (and the
+/// virtual_module example) can actually execute it.
+class HandsOnActivity final : public ContentItem {
+ public:
+  HandsOnActivity(std::string activity_id, std::string instructions,
+                  std::string patternlet_id, patterns::RunOptions options);
+
+  [[nodiscard]] std::string kind() const override { return "activity"; }
+  [[nodiscard]] std::string render() const override;
+  [[nodiscard]] std::string activity_id() const override { return id_; }
+  [[nodiscard]] const std::string& patternlet_id() const noexcept {
+    return patternlet_id_;
+  }
+  [[nodiscard]] const patterns::RunOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const std::string& instructions() const noexcept {
+    return instructions_;
+  }
+
+  /// Execute the bound patternlet from `registry` and return its output.
+  [[nodiscard]] std::vector<std::string> execute(
+      const patterns::Registry& registry) const;
+
+ private:
+  std::string id_;
+  std::string instructions_;
+  std::string patternlet_id_;
+  patterns::RunOptions options_;
+};
+
+}  // namespace pdc::courseware

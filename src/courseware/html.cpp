@@ -1,0 +1,129 @@
+#include "courseware/html.hpp"
+
+#include "courseware/questions.hpp"
+#include "support/strings.hpp"
+
+namespace pdc::courseware {
+
+std::string html_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&#39;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string render_item_html(const ContentItem& item) {
+  if (const auto* text = dynamic_cast<const TextBlock*>(&item)) {
+    return "<p>" + html_escape(text->text()) + "</p>\n";
+  }
+  if (const auto* video = dynamic_cast<const Video*>(&item)) {
+    const int m = video->duration_seconds() / 60;
+    const int s = video->duration_seconds() % 60;
+    std::string out = "<div class=\"video\"><a href=\"" +
+                      html_escape(video->url()) + "\">&#9654; " +
+                      html_escape(video->title()) + "</a> <span class=\"duration\">" +
+                      std::to_string(m) + ":" + (s < 10 ? "0" : "") +
+                      std::to_string(s) + "</span></div>\n";
+    return out;
+  }
+  if (const auto* code = dynamic_cast<const CodeListing*>(&item)) {
+    std::string out;
+    if (!code->caption().empty()) {
+      out += "<p class=\"caption\">" + html_escape(code->caption()) + "</p>\n";
+    }
+    out += "<pre class=\"code " + html_escape(code->language()) + "\">" +
+           html_escape(code->code()) + "</pre>\n";
+    return out;
+  }
+  if (const auto* act = dynamic_cast<const HandsOnActivity*>(&item)) {
+    return "<div class=\"activity\" id=\"" + html_escape(act->activity_id()) +
+           "\"><b>Hands-on:</b> " + html_escape(act->instructions()) +
+           " <code>" + html_escape(act->patternlet_id()) + "</code></div>\n";
+  }
+  if (const auto* mcq = dynamic_cast<const MultipleChoice*>(&item)) {
+    std::string out = "<form class=\"mcq\" id=\"" +
+                      html_escape(mcq->activity_id()) + "\"><p>" +
+                      html_escape(mcq->prompt()) + "</p>\n";
+    for (std::size_t i = 0; i < mcq->choices().size(); ++i) {
+      out += "  <label><input type=\"radio\" name=\"" +
+             html_escape(mcq->activity_id()) + "\" value=\"" +
+             std::to_string(i) + "\"> " +
+             html_escape(mcq->choices()[i].text) + "</label><br>\n";
+    }
+    out += "  <button type=\"button\">Check me</button>\n</form>\n";
+    return out;
+  }
+  if (const auto* fib = dynamic_cast<const FillInBlank*>(&item)) {
+    return "<form class=\"fib\" id=\"" + html_escape(fib->activity_id()) +
+           "\"><p>" + html_escape(fib->prompt()) +
+           " <input type=\"text\" size=\"12\"></p></form>\n";
+  }
+  if (const auto* dnd = dynamic_cast<const DragAndDrop*>(&item)) {
+    std::string out = "<div class=\"dnd\" id=\"" +
+                      html_escape(dnd->activity_id()) + "\"><p>" +
+                      html_escape(dnd->prompt()) + "</p>\n  <ul class=\"terms\">";
+    for (const auto& [term, target] : dnd->pairs()) {
+      out += "<li draggable=\"true\">" + html_escape(term) + "</li>";
+    }
+    out += "</ul>\n  <ul class=\"targets\">";
+    for (const auto& [term, target] : dnd->pairs()) {
+      out += "<li>" + html_escape(target) + "</li>";
+    }
+    out += "</ul>\n</div>\n";
+    return out;
+  }
+  // Unknown item kinds degrade to their text rendering.
+  return "<pre>" + html_escape(item.render()) + "</pre>\n";
+}
+
+}  // namespace
+
+std::string render_module_html(const Module& module) {
+  std::string out = "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n";
+  out += "<title>" + html_escape(module.title()) + "</title>\n</head>\n<body>\n";
+  out += "<h1>" + html_escape(module.title()) + "</h1>\n";
+  out += "<p class=\"description\">" + html_escape(module.description()) +
+         "</p>\n";
+
+  // Table of contents.
+  out += "<nav><ul>\n";
+  for (const auto& chapter : module.chapters()) {
+    out += "  <li>" + html_escape(chapter->title()) + "<ul>\n";
+    for (const auto& section : chapter->sections()) {
+      out += "    <li><a href=\"#sec-" + html_escape(section->number()) +
+             "\">" + html_escape(section->number()) + " " +
+             html_escape(section->title()) + "</a> (" +
+             std::to_string(section->expected_minutes()) + " min)</li>\n";
+    }
+    out += "  </ul></li>\n";
+  }
+  out += "</ul></nav>\n";
+
+  // Body.
+  for (const auto& chapter : module.chapters()) {
+    out += "<h2>" + html_escape(chapter->title()) + "</h2>\n";
+    for (const auto& section : chapter->sections()) {
+      out += "<h3 id=\"sec-" + html_escape(section->number()) + "\">" +
+             html_escape(section->number()) + " " +
+             html_escape(section->title()) + "</h3>\n";
+      for (const auto& item : section->items()) {
+        out += render_item_html(*item);
+      }
+    }
+  }
+  out += "</body>\n</html>\n";
+  return out;
+}
+
+}  // namespace pdc::courseware

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "courseware/module.hpp"
+
+namespace pdc::courseware {
+
+/// Escape text for safe inclusion in HTML (&, <, >, ", ').
+std::string html_escape(const std::string& text);
+
+/// Render a module as a single self-contained HTML page in the visual
+/// spirit of a Runestone book chapter: a nav-style table of contents,
+/// chapter/section headings, embedded videos as links with duration badges,
+/// <pre> code listings, and interactive questions as forms (statically
+/// rendered; grading happens in the engine, not the page).
+std::string render_module_html(const Module& module);
+
+}  // namespace pdc::courseware

@@ -1,0 +1,127 @@
+#include "courseware/module.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace pdc::courseware {
+
+Section::Section(std::string number, std::string title, int expected_minutes)
+    : number_(std::move(number)),
+      title_(std::move(title)),
+      minutes_(expected_minutes) {
+  if (minutes_ <= 0) {
+    throw InvalidArgument("Section: expected minutes must be positive");
+  }
+}
+
+Section& Section::add(std::unique_ptr<ContentItem> item) {
+  if (!item) throw InvalidArgument("Section::add: null item");
+  items_.push_back(std::move(item));
+  return *this;
+}
+
+std::vector<const ContentItem*> Section::gradable_items() const {
+  std::vector<const ContentItem*> out;
+  for (const auto& item : items_) {
+    if (item->is_gradable()) out.push_back(item.get());
+  }
+  return out;
+}
+
+std::string Section::render() const {
+  std::string out = number_ + " " + title_ + "\n";
+  out += strings::repeat("-", out.size() - 1) + "\n";
+  for (const auto& item : items_) {
+    out += item->render() + "\n";
+  }
+  return out;
+}
+
+Chapter::Chapter(std::string title) : title_(std::move(title)) {
+  if (title_.empty()) throw InvalidArgument("Chapter: title required");
+}
+
+Section& Chapter::add_section(std::string number, std::string title,
+                              int expected_minutes) {
+  sections_.push_back(std::make_unique<Section>(
+      std::move(number), std::move(title), expected_minutes));
+  return *sections_.back();
+}
+
+int Chapter::expected_minutes() const {
+  int total = 0;
+  for (const auto& section : sections_) total += section->expected_minutes();
+  return total;
+}
+
+Module::Module(std::string title, std::string description)
+    : title_(std::move(title)), description_(std::move(description)) {
+  if (title_.empty()) throw InvalidArgument("Module: title required");
+}
+
+Chapter& Module::add_chapter(std::string title) {
+  chapters_.push_back(std::make_unique<Chapter>(std::move(title)));
+  return *chapters_.back();
+}
+
+int Module::expected_minutes() const {
+  int total = 0;
+  for (const auto& chapter : chapters_) total += chapter->expected_minutes();
+  return total;
+}
+
+std::size_t Module::question_count() const {
+  std::size_t count = 0;
+  for (const auto& chapter : chapters_) {
+    for (const auto& section : chapter->sections()) {
+      count += section->gradable_items().size();
+    }
+  }
+  return count;
+}
+
+const Section& Module::section(const std::string& number) const {
+  for (const auto& chapter : chapters_) {
+    for (const auto& section : chapter->sections()) {
+      if (section->number() == number) return *section;
+    }
+  }
+  throw NotFound("Module: no section numbered '" + number + "'");
+}
+
+const ContentItem& Module::question(const std::string& activity_id) const {
+  for (const auto& chapter : chapters_) {
+    for (const auto& section : chapter->sections()) {
+      for (const ContentItem* item : section->gradable_items()) {
+        if (item->activity_id() == activity_id) return *item;
+      }
+    }
+  }
+  throw NotFound("Module: no question with activity id '" + activity_id + "'");
+}
+
+std::string Module::table_of_contents() const {
+  std::string out = title_ + "\n";
+  for (const auto& chapter : chapters_) {
+    out += chapter->title() + "\n";
+    for (const auto& section : chapter->sections()) {
+      out += "  " + section->number() + " " + section->title() + " (" +
+             std::to_string(section->expected_minutes()) + " min)\n";
+    }
+  }
+  out += "Total: " + std::to_string(expected_minutes()) + " minutes\n";
+  return out;
+}
+
+std::string Module::render() const {
+  std::string out = "=== " + title_ + " ===\n" + description_ + "\n\n";
+  for (const auto& chapter : chapters_) {
+    out += "## " + chapter->title() + "\n\n";
+    for (const auto& section : chapter->sections()) {
+      out += section->render() + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace pdc::courseware

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "courseware/content.hpp"
+
+namespace pdc::courseware {
+
+/// A titled run of content items with a pacing budget — Runestone's unit of
+/// self-paced work.
+class Section {
+ public:
+  Section(std::string number, std::string title, int expected_minutes);
+
+  /// Append an item (builder style).
+  Section& add(std::unique_ptr<ContentItem> item);
+
+  [[nodiscard]] const std::string& number() const noexcept { return number_; }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] int expected_minutes() const noexcept { return minutes_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<ContentItem>>& items()
+      const noexcept {
+    return items_;
+  }
+
+  /// All gradable questions in the section, in order.
+  [[nodiscard]] std::vector<const ContentItem*> gradable_items() const;
+
+  /// Plain-text rendering with the section heading.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::string number_;
+  std::string title_;
+  int minutes_;
+  std::vector<std::unique_ptr<ContentItem>> items_;
+};
+
+/// A titled group of sections (e.g. "2. Shared-Memory Concepts").
+class Chapter {
+ public:
+  explicit Chapter(std::string title);
+
+  Section& add_section(std::string number, std::string title,
+                       int expected_minutes);
+
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Section>>& sections()
+      const noexcept {
+    return sections_;
+  }
+  [[nodiscard]] int expected_minutes() const;
+
+ private:
+  std::string title_;
+  std::vector<std::unique_ptr<Section>> sections_;
+};
+
+/// A complete self-paced virtual module (the paper's "virtual handout").
+class Module {
+ public:
+  Module(std::string title, std::string description);
+
+  Chapter& add_chapter(std::string title);
+
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::string& description() const noexcept {
+    return description_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Chapter>>& chapters()
+      const noexcept {
+    return chapters_;
+  }
+
+  /// Total pacing budget in minutes (the paper's modules target ~120).
+  [[nodiscard]] int expected_minutes() const;
+
+  /// Count of gradable questions across all sections.
+  [[nodiscard]] std::size_t question_count() const;
+
+  /// Find a section by its number (e.g. "2.3"); throws pdc::NotFound.
+  [[nodiscard]] const Section& section(const std::string& number) const;
+
+  /// Find a gradable item anywhere in the module by activity id; throws
+  /// pdc::NotFound.
+  [[nodiscard]] const ContentItem& question(const std::string& activity_id) const;
+
+  /// Table of contents (one line per section with pacing).
+  [[nodiscard]] std::string table_of_contents() const;
+
+  /// Full plain-text rendering of the module.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::string title_;
+  std::string description_;
+  std::vector<std::unique_ptr<Chapter>> chapters_;
+};
+
+}  // namespace pdc::courseware

@@ -1,0 +1,172 @@
+#include "courseware/mpi_module.hpp"
+
+#include "courseware/questions.hpp"
+#include "patterns/taxonomy.hpp"
+
+namespace pdc::courseware {
+
+namespace {
+
+std::unique_ptr<TextBlock> text(std::string t) {
+  return std::make_unique<TextBlock>(std::move(t));
+}
+
+std::unique_ptr<HandsOnActivity> activity(std::string id, std::string instr,
+                                          std::string patternlet_id,
+                                          int procs = 4) {
+  patterns::RunOptions options;
+  options.num_procs = procs;
+  return std::make_unique<HandsOnActivity>(std::move(id), std::move(instr),
+                                           std::move(patternlet_id), options);
+}
+
+}  // namespace
+
+std::unique_ptr<Module> build_distributed_module() {
+  auto module = std::make_unique<Module>(
+      "Hands-on Distributed Computing with mpi4py in the Cloud",
+      "A self-paced 2-hour module: learn the message-passing patterns with "
+      "mpi4py patternlets in a Google Colab notebook (no setup beyond a "
+      "free Google account), then experience real speedup by running an "
+      "exemplar on a cluster.");
+
+  // ---- Chapter 1: the Colab patternlets hour.
+  auto& colab = module->add_chapter("1. Message Passing in the Colab");
+  {
+    auto& s = colab.add_section("1.1", "Getting started with Colab", 10);
+    s.add(text(
+        "Open the shared notebook and save a copy to your Google Drive. "
+        "Code cells run on a cloud VM: %%writefile saves a cell as a Python "
+        "file and !mpirun launches it on several processes. The VM has a "
+        "single core -- fine for learning the concepts, but remember that "
+        "real speedup needs real parallel hardware."));
+    s.add(std::make_unique<Video>(
+        "Colab in three minutes: cells, files, and mpirun", 184,
+        "https://colab.research.google.com/drive/mpi4py_patternlets"));
+    s.add(std::make_unique<MultipleChoice>(
+        "dm_mc_1",
+        "Q-1: The Colab VM has one core. What can it still teach well?",
+        std::vector<Choice>{
+            {"Parallel speedup", "No -- one core cannot run faster than "
+                                 "itself; that is the cluster's job."},
+            {"Message-passing concepts and patterns",
+             "Right: processes, ranks, sends and receives all behave "
+             "faithfully on one core."},
+            {"Nothing useful", "Too pessimistic!"}},
+        std::set<std::size_t>{1}));
+  }
+  {
+    auto& s = colab.add_section("1.2", "SPMD and point-to-point messages", 25);
+    s.add(activity("dm_act_1",
+                   "Run 00spmd.py with -np 4, then -np 2 and -np 8. What "
+                   "changes?",
+                   "mpi/00-spmd"));
+    s.add(activity("dm_act_2", "Run the send-receive patternlet.",
+                   "mpi/01-send-receive"));
+    s.add(activity("dm_act_3",
+                   "Run the master-worker patternlet and identify the "
+                   "conductor's rank.",
+                   "mpi/03-master-worker"));
+    s.add(std::make_unique<FillInBlank>(
+        "dm_fib_1",
+        "In an SPMD program every process runs the same program but learns "
+        "its own identity, called its ____.",
+        std::vector<std::string>{"rank", "id", "process rank"}));
+  }
+  {
+    auto& s = colab.add_section("1.3", "Collective communication", 25);
+    s.add(activity("dm_act_4", "Broadcast a list from the conductor.",
+                   "mpi/06-broadcast"));
+    s.add(activity("dm_act_5", "Scatter chunks and gather them back.",
+                   "mpi/07-scatter"));
+    s.add(activity("dm_act_6", "Reduce: sum and max across processes.",
+                   "mpi/09-reduce"));
+    // Collective-vocabulary matching straight from the taxonomy.
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (patterns::Pattern p :
+         {patterns::Pattern::Broadcast, patterns::Pattern::Scatter,
+          patterns::Pattern::Gather, patterns::Pattern::Reduction}) {
+      pairs.emplace_back(patterns::to_string(p), patterns::definition_of(p));
+    }
+    s.add(std::make_unique<DragAndDrop>(
+        "dm_dd_1", "Match each collective to what it does:", std::move(pairs)));
+  }
+
+  // ---- Chapter 2: the exemplar hour on real hardware.
+  auto& exemplar = module->add_chapter("2. Experiencing Speedup on a Cluster");
+  {
+    auto& s = exemplar.add_section("2.1", "Choose your platform", 10);
+    s.add(text(
+        "Two routes to real parallel hardware: (i) a Jupyter notebook whose "
+        "backend is a cluster on the Chameleon Cloud testbed, or (ii) a VNC "
+        "connection to a 64-core VM at St. Olaf. Both run the same "
+        "exemplars; pick either. If your VNC access gets blocked (it "
+        "happens when logins are attempted before reading the "
+        "instructions!), ssh to the same VM instead."));
+    s.add(std::make_unique<MultipleChoice>(
+        "dm_mc_2",
+        "Q-2: Your VNC connection is refused after several failed login "
+        "attempts. What should you do?",
+        std::vector<Choice>{
+            {"Keep retrying VNC with the right password",
+             "The firewall block ignores your now-correct password."},
+            {"ssh to the same VM and continue in the terminal",
+             "Right -- that is exactly the workaround the workshop used."},
+            {"Give up on the exercise", "Never!"}},
+        std::set<std::size_t>{1}));
+  }
+  {
+    auto& s = exemplar.add_section("2.2", "Exemplar: Forest Fire Simulation",
+                                   30);
+    s.add(text(
+        "A Monte Carlo study: light the center of a forest, spread fire to "
+        "neighbors with probability p, and average hundreds of trials per p "
+        "to plot burned area and burn duration. The trials are independent "
+        "-- farm them across ranks and watch the sweep accelerate."));
+    s.add(std::make_unique<FillInBlank>(
+        "dm_fib_2",
+        "If a sweep of 2000 independent trials takes 64 seconds on 1 "
+        "process, a perfectly balanced 16-process run takes about ____ "
+        "seconds.",
+        4.0, 0.01));
+  }
+  {
+    auto& s = exemplar.add_section("2.3", "Exemplar: Drug Design", 30);
+    s.add(text(
+        "Score candidate ligands against a protein with the longest common "
+        "subsequence. Scoring cost varies with ligand length, so use the "
+        "master-worker pattern: the conductor deals ligands to whichever "
+        "worker frees up first."));
+    s.add(std::make_unique<MultipleChoice>(
+        "dm_mc_3",
+        "Q-3: Why master-worker here rather than equal chunks?",
+        std::vector<Choice>{
+            {"Ligand scoring costs vary, so pre-assigned chunks imbalance",
+             "Correct: dealing work on demand keeps every worker busy."},
+            {"MPI cannot scatter strings", "It can."},
+            {"Master-worker is always fastest",
+             "Not always -- the master can become the bottleneck."}},
+        std::set<std::size_t>{0}));
+    s.add(std::make_unique<FillInBlank>(
+        "dm_fib_3",
+        "With one conductor and 15 workers on 16 cores, at most ____ "
+        "processes score ligands at any instant.",
+        15.0, 0.0));
+  }
+  {
+    auto& s = exemplar.add_section("2.4", "Your benchmarking report", 20);
+    s.add(text(
+        "Run your chosen exemplar on 1, 2, 4, 8 and 16 processes; tabulate "
+        "time, speedup (t1/tp) and efficiency (speedup/p); then explain "
+        "where and why efficiency starts to fall. Amdahl's law plus "
+        "communication costs should cover it."));
+    s.add(std::make_unique<FillInBlank>(
+        "dm_fib_4",
+        "A run with speedup 12 on 16 processes has efficiency ____.",
+        0.75, 0.001));
+  }
+
+  return module;
+}
+
+}  // namespace pdc::courseware

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <memory>
+
+#include "courseware/module.hpp"
+
+namespace pdc::courseware {
+
+/// Build the distributed-memory module of Section III-B as courseware: the
+/// first hour introduces message passing via the mpi4py patternlets in
+/// Google Colab; the second hour lets the learner pick an exemplar (the
+/// Forest Fire Simulation or the Drug Design example) and a platform (the
+/// Chameleon-backed Jupyter notebook or the St. Olaf 64-core VM) to
+/// experience real speedup. Paced to the standard 2-hour lab.
+///
+/// Hands-on activities bind to the `mpi/...` patternlets of
+/// `pdc::patternlets::global_registry()`; the Colab itself is modeled by
+/// `pdc::notebook::build_mpi4py_notebook()`.
+std::unique_ptr<Module> build_distributed_module();
+
+}  // namespace pdc::courseware

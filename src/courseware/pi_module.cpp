@@ -1,0 +1,269 @@
+#include "courseware/pi_module.hpp"
+
+#include "courseware/questions.hpp"
+#include "patterns/taxonomy.hpp"
+
+namespace pdc::courseware {
+
+namespace {
+
+std::unique_ptr<TextBlock> text(std::string t) {
+  return std::make_unique<TextBlock>(std::move(t));
+}
+
+std::unique_ptr<HandsOnActivity> activity(std::string id, std::string instr,
+                                          std::string patternlet_id,
+                                          std::size_t threads = 4) {
+  patterns::RunOptions options;
+  options.num_threads = threads;
+  return std::make_unique<HandsOnActivity>(std::move(id), std::move(instr),
+                                           std::move(patternlet_id), options);
+}
+
+}  // namespace
+
+std::unique_ptr<Module> build_raspberry_pi_module() {
+  auto module = std::make_unique<Module>(
+      "Hands-on Multicore Computing with OpenMP on the Raspberry Pi",
+      "A self-paced 2-hour virtual module: set up your Raspberry Pi, learn "
+      "the vocabulary of shared-memory parallel computing, explore the "
+      "OpenMP patternlets hands-on, and finish with two exemplar "
+      "applications and a small benchmarking study.");
+
+  // ---- Chapter 1: setup (the videos credited with the zero-issue session).
+  auto& setup = module->add_chapter("1. Getting Started with your Raspberry Pi");
+  {
+    auto& s = setup.add_section("1.1", "Unboxing and flashing your kit", 5);
+    s.add(text(
+        "Your mailed kit contains a CanaKit Raspberry Pi 4, an Ethernet "
+        "cable, an Ethernet-USB adapter, and a 16GB microSD card preloaded "
+        "with the custom CSinParallel system image. If you already own a Pi "
+        "(model 3B or newer), download the image and flash it yourself."));
+    s.add(std::make_unique<Video>(
+        "Flashing the CSinParallel image onto your microSD card", 263,
+        "https://pdcbook.calvin.edu/pdcbook/RaspberryPiHandout/setup1",
+        "Insert the card, run the imager, select the csip-image zip, write, "
+        "verify, eject."));
+    s.add(std::make_unique<FillInBlank>(
+        "setup_fib_1",
+        "The custom system image works on all Raspberry Pi models from the "
+        "____ onward.",
+        std::vector<std::string>{"3b", "pi 3b", "raspberry pi 3b", "3 b"}));
+  }
+  {
+    auto& s = setup.add_section("1.2", "Connecting the Pi to your laptop", 5);
+    s.add(text(
+        "Your laptop doubles as the Pi's monitor, keyboard and mouse: "
+        "connect the Ethernet cable between the Pi and the Ethernet-USB "
+        "adapter, plug the adapter into your laptop, and open a VNC viewer "
+        "at raspberrypi.local. This works the same on Linux, macOS and "
+        "Windows."));
+    s.add(std::make_unique<Video>(
+        "Connecting with a direct Ethernet link and VNC", 341,
+        "https://pdcbook.calvin.edu/pdcbook/RaspberryPiHandout/setup2",
+        "Cable, adapter, link-local addressing, VNC viewer, troubleshooting "
+        "tips for common failures."));
+    s.add(std::make_unique<MultipleChoice>(
+        "setup_mc_1", "Q-1: Why do the kits include an Ethernet-USB dongle?",
+        std::vector<Choice>{
+            {"To speed up the Pi's internet downloads",
+             "No -- the link is between your laptop and the Pi."},
+            {"So the Pi and a laptop can talk directly, with the laptop "
+             "acting as the Pi's display and keyboard",
+             "Right: no monitor, spare keyboard, or router required."},
+            {"To let the Pi join a Beowulf cluster",
+             "Clusters are fun, but that is not what the kit targets."}},
+        std::set<std::size_t>{1}));
+  }
+
+  // ---- Chapter 2: concepts (the first half hour of the module).
+  auto& concepts = module->add_chapter("2. Shared-Memory Concepts");
+  {
+    auto& s = concepts.add_section("2.1", "Processes, threads, and cores", 10);
+    s.add(text(
+        "A process is a running program with its own memory; a thread is an "
+        "independent flow of control inside a process, sharing that memory "
+        "with its sibling threads. Your Raspberry Pi's CPU has four cores, "
+        "so four threads can execute truly simultaneously."));
+    s.add(std::make_unique<Video>(
+        "Processes, threads, and your Pi's four cores", 178,
+        "https://pdcbook.calvin.edu/pdcbook/RaspberryPiHandout/concepts1"));
+    s.add(std::make_unique<MultipleChoice>(
+        "sp_mc_1",
+        "Q-1: Two threads of the same process always share which of the "
+        "following?",
+        std::vector<Choice>{
+            {"Their program counter", "Each thread has its own."},
+            {"Their function-call stack", "Each thread has its own stack."},
+            {"The process's global memory",
+             "Correct -- and that sharing is both the power and the danger."}},
+        std::set<std::size_t>{2}));
+  }
+  {
+    auto& s = concepts.add_section("2.2", "OpenMP and the patternlets", 10);
+    s.add(text(
+        "OpenMP lets you parallelize C programs by adding #pragma "
+        "directives. Each patternlet is a tiny, complete program that "
+        "isolates one parallel design pattern; you will build and run each "
+        "one on your Pi, predict its output, and then explain what you "
+        "actually observed."));
+    s.add(std::make_unique<CodeListing>(
+        "c", "Your first patternlet (omp/00-spmd):",
+        "#pragma omp parallel\n"
+        "{\n"
+        "  int id = omp_get_thread_num();\n"
+        "  int numThreads = omp_get_num_threads();\n"
+        "  printf(\"Hello from thread %d of %d\\n\", id, numThreads);\n"
+        "}\n"));
+    // Pattern-vocabulary matching built straight from the taxonomy.
+    std::vector<std::pair<std::string, std::string>> pairs;
+    for (patterns::Pattern p :
+         {patterns::Pattern::SPMD, patterns::Pattern::ForkJoin,
+          patterns::Pattern::Reduction, patterns::Pattern::Barrier}) {
+      pairs.emplace_back(patterns::to_string(p), patterns::definition_of(p));
+    }
+    s.add(std::make_unique<DragAndDrop>(
+        "sp_dd_1", "Match each pattern to its definition:", std::move(pairs)));
+  }
+  {
+    auto& s = concepts.add_section("2.3", "Race Conditions", 10);
+    s.add(text("The following video will help you understand what is going "
+               "on:"));
+    s.add(std::make_unique<Video>(
+        "Race conditions", 122,
+        "https://pdcbook.calvin.edu/pdcbook/RaspberryPiHandout/race",
+        "Two threads read the same balance, both add one, both write back: "
+        "one update vanishes."));
+    s.add(text("Try and answer the following question:"));
+    // The exact question shown in the paper's Fig. 1 (activity sp_mc_2).
+    s.add(std::make_unique<MultipleChoice>(
+        "sp_mc_2", "Q-2: What is a race condition?",
+        std::vector<Choice>{
+            {"It is the smallest set of instructions that must execute "
+             "sequentially to ensure correctness.",
+             "That describes a critical section's *contents*, not the race."},
+            {"It is a mechanism that helps protect a resource.",
+             "That describes mutual exclusion -- the *cure*, not the disease."},
+            {"It is something that arises when two or more threads attempt "
+             "to modify a shared variable.",
+             "Correct: uncoordinated concurrent updates make the outcome "
+             "depend on timing."}},
+        std::set<std::size_t>{2}));
+  }
+
+  // ---- Chapter 3: the hands-on hour.
+  auto& hands_on = module->add_chapter("3. Exploring the Patternlets");
+  {
+    auto& s = hands_on.add_section("3.1", "SPMD and fork-join", 15);
+    s.add(activity("sp_act_1",
+                   "Build and run the SPMD patternlet three times. Does the "
+                   "greeting order repeat?",
+                   "omp/00-spmd"));
+    s.add(activity("sp_act_2",
+                   "Run the fork-join patternlets and map each output line "
+                   "to its region.",
+                   "omp/01-fork-join"));
+    s.add(std::make_unique<MultipleChoice>(
+        "sp_mc_3",
+        "Q-3: With 4 threads, how many 'During...' lines does the fork-join "
+        "patternlet print?",
+        std::vector<Choice>{{"1", "Each team member executes the block."},
+                            {"4", "Correct: one per team member."},
+                            {"It varies", "The count is fixed; the order is "
+                                          "what varies."}},
+        std::set<std::size_t>{1}));
+  }
+  {
+    auto& s = hands_on.add_section("3.2", "Parallel loops", 15);
+    s.add(activity("sp_act_3",
+                   "Run the equal-chunks loop; note which iterations thread "
+                   "0 performs.",
+                   "omp/03-parallel-loop-equal-chunks"));
+    s.add(activity("sp_act_4",
+                   "Now the chunks-of-1 loop; compare the assignment of "
+                   "iterations to threads.",
+                   "omp/04-parallel-loop-chunks-of-1"));
+    s.add(std::make_unique<FillInBlank>(
+        "sp_fib_1",
+        "With 16 iterations and 4 threads, schedule(static,1) gives thread 1 "
+        "iterations 1, 5, 9, and ____.",
+        13.0, 0.0));
+  }
+  {
+    auto& s = hands_on.add_section("3.3", "Races, mutual exclusion, reduction",
+                                   15);
+    s.add(activity("sp_act_5",
+                   "Run the race-condition patternlet several times and "
+                   "record the lost-update counts.",
+                   "omp/07-race-condition"));
+    s.add(activity("sp_act_6",
+                   "Fix it two ways: run the critical and atomic versions.",
+                   "omp/08-critical"));
+    s.add(activity("sp_act_7", "And the reduction patternlet.",
+                   "omp/05-reduction"));
+    s.add(std::make_unique<MultipleChoice>(
+        "sp_mc_4",
+        "Q-4: Which fix should you prefer for a single simple update of one "
+        "shared variable?",
+        std::vector<Choice>{
+            {"#pragma omp critical",
+             "Works, but serializes more than necessary."},
+            {"#pragma omp atomic",
+             "Correct: hardware-level and cheapest for single updates."},
+            {"Running with one thread", "Safe but defeats the purpose!"}},
+        std::set<std::size_t>{1}));
+  }
+  {
+    auto& s = hands_on.add_section("3.4", "Coordination patterns", 15);
+    s.add(activity("sp_act_8", "Run the master-worker patternlet.",
+                   "omp/10-master-worker"));
+    s.add(activity("sp_act_9",
+                   "Run the barrier patternlet: verify no AFTER precedes a "
+                   "BEFORE.",
+                   "omp/11-barrier"));
+    s.add(activity("sp_act_10",
+                   "Run the dynamic-schedule patternlet and explain why the "
+                   "iteration order is scrambled.",
+                   "omp/13-dynamic-schedule"));
+  }
+
+  // ---- Chapter 4: exemplars + the benchmarking study (final half hour).
+  auto& exemplars = module->add_chapter("4. Exemplar Applications");
+  {
+    auto& s = exemplars.add_section("4.1", "Numerical integration", 10);
+    s.add(text(
+        "Approximate pi by integrating sqrt(1-x^2) over [-1,1] with the "
+        "trapezoidal rule. The loop's iterations are independent, so a "
+        "parallel-for with a reduction parallelizes it directly."));
+    s.add(std::make_unique<FillInBlank>(
+        "ex_fib_1",
+        "A program that takes 8.0 seconds on 1 thread and 2.0 seconds on 4 "
+        "threads achieved a speedup of ____.",
+        4.0, 0.01));
+  }
+  {
+    auto& s = exemplars.add_section("4.2", "Drug design and benchmarking", 20);
+    s.add(text(
+        "Score randomly generated ligands against a protein string with the "
+        "longest-common-subsequence measure; longer ligands cost more to "
+        "score, so a dynamic schedule balances the load. Time the serial "
+        "and parallel versions on 1, 2, and 4 cores of your Pi and tabulate "
+        "speedup and efficiency -- your first benchmarking study."));
+    s.add(std::make_unique<MultipleChoice>(
+        "ex_mc_1",
+        "Q-5: Why does the drug-design exemplar benefit from "
+        "schedule(dynamic) while numerical integration does not?",
+        std::vector<Choice>{
+            {"Its iterations have unequal costs",
+             "Correct: ligand lengths vary, so static chunks imbalance."},
+            {"It uses more memory", "Memory use is not the issue."},
+            {"Dynamic scheduling is always faster",
+             "Dynamic scheduling adds overhead; it pays off only under "
+             "imbalance."}},
+        std::set<std::size_t>{0}));
+  }
+
+  return module;
+}
+
+}  // namespace pdc::courseware

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <memory>
+
+#include "courseware/module.hpp"
+
+namespace pdc::courseware {
+
+/// Build the "Raspberry Pi virtual handout" — the Runestone Interactive
+/// stand-alone module of Section III-A, reconstructed as data for the
+/// courseware engine.
+///
+/// Structure and pacing follow the paper: a setup chapter with video
+/// walkthroughs, a half hour of processes/threads/multicore concepts
+/// (including the race-condition section shown in Fig. 1, with its video
+/// and multiple-choice question `sp_mc_2`), an hour of hands-on OpenMP
+/// patternlets, and a final half hour with the numerical-integration and
+/// drug-design exemplars plus a small benchmarking study — 2 hours total.
+///
+/// The hands-on activities reference patternlet ids from
+/// `pdc::patternlets::global_registry()`, so the module is runnable, not
+/// just readable.
+std::unique_ptr<Module> build_raspberry_pi_module();
+
+}  // namespace pdc::courseware

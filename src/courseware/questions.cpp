@@ -1,0 +1,140 @@
+#include "courseware/questions.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace pdc::courseware {
+
+Question::Question(std::string activity_id, std::string prompt)
+    : id_(std::move(activity_id)), prompt_(std::move(prompt)) {
+  if (id_.empty()) throw InvalidArgument("Question: activity id required");
+  if (prompt_.empty()) throw InvalidArgument("Question: prompt required");
+}
+
+MultipleChoice::MultipleChoice(std::string activity_id, std::string prompt,
+                               std::vector<Choice> choices,
+                               std::set<std::size_t> correct)
+    : Question(std::move(activity_id), std::move(prompt)),
+      choices_(std::move(choices)),
+      correct_(std::move(correct)) {
+  if (choices_.size() < 2) {
+    throw InvalidArgument("MultipleChoice: need at least two choices");
+  }
+  if (correct_.empty()) {
+    throw InvalidArgument("MultipleChoice: need at least one correct choice");
+  }
+  for (std::size_t c : correct_) {
+    if (c >= choices_.size()) {
+      throw InvalidArgument("MultipleChoice: correct index out of range");
+    }
+  }
+}
+
+std::string MultipleChoice::render() const {
+  std::string out = prompt_ + "\n";
+  for (std::size_t i = 0; i < choices_.size(); ++i) {
+    out += "  ";
+    out += static_cast<char>('A' + i);
+    out += ". " + choices_[i].text + "\n";
+  }
+  out += "  [Check me]   Activity: " + id_ + "\n";
+  return out;
+}
+
+bool MultipleChoice::grade(const std::set<std::size_t>& selected) const {
+  for (std::size_t s : selected) {
+    if (s >= choices_.size()) {
+      throw InvalidArgument("MultipleChoice::grade: choice out of range");
+    }
+  }
+  return selected == correct_;
+}
+
+const std::string& MultipleChoice::feedback_for(std::size_t choice) const {
+  if (choice >= choices_.size()) {
+    throw InvalidArgument("MultipleChoice::feedback_for: choice out of range");
+  }
+  return choices_[choice].feedback;
+}
+
+FillInBlank::FillInBlank(std::string activity_id, std::string prompt,
+                         std::vector<std::string> accepted)
+    : Question(std::move(activity_id), std::move(prompt)) {
+  if (accepted.empty()) {
+    throw InvalidArgument("FillInBlank: need at least one accepted answer");
+  }
+  accepted_.reserve(accepted.size());
+  for (const auto& a : accepted) {
+    accepted_.push_back(strings::to_lower(strings::trim(a)));
+  }
+}
+
+FillInBlank::FillInBlank(std::string activity_id, std::string prompt,
+                         double expected, double tolerance)
+    : Question(std::move(activity_id), std::move(prompt)),
+      expected_number_(expected),
+      tolerance_(tolerance) {
+  if (tolerance < 0.0) {
+    throw InvalidArgument("FillInBlank: tolerance must be non-negative");
+  }
+}
+
+std::string FillInBlank::render() const {
+  return prompt_ + "  ________   Activity: " + id_ + "\n";
+}
+
+bool FillInBlank::grade(const std::string& answer) const {
+  const std::string cleaned = strings::to_lower(strings::trim(answer));
+  if (expected_number_) {
+    char* end = nullptr;
+    const double value = std::strtod(cleaned.c_str(), &end);
+    if (end == cleaned.c_str()) return false;  // not a number
+    return std::abs(value - *expected_number_) <= tolerance_;
+  }
+  return std::find(accepted_.begin(), accepted_.end(), cleaned) !=
+         accepted_.end();
+}
+
+DragAndDrop::DragAndDrop(
+    std::string activity_id, std::string prompt,
+    std::vector<std::pair<std::string, std::string>> pairs)
+    : Question(std::move(activity_id), std::move(prompt)),
+      pairs_(std::move(pairs)) {
+  if (pairs_.size() < 2) {
+    throw InvalidArgument("DragAndDrop: need at least two pairs");
+  }
+}
+
+std::string DragAndDrop::render() const {
+  std::string out = prompt_ + "\n";
+  out += "  drag:   ";
+  for (const auto& [term, target] : pairs_) out += "[" + term + "] ";
+  out += "\n  targets: ";
+  for (const auto& [term, target] : pairs_) out += "(" + target + ") ";
+  out += "\n  Activity: " + id_ + "\n";
+  return out;
+}
+
+double DragAndDrop::partial_credit(
+    const std::vector<std::pair<std::string, std::string>>& placed) const {
+  std::size_t correct = 0;
+  for (const auto& [term, target] : placed) {
+    for (const auto& [want_term, want_target] : pairs_) {
+      if (term == want_term && target == want_target) {
+        ++correct;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(pairs_.size());
+}
+
+bool DragAndDrop::grade(
+    const std::vector<std::pair<std::string, std::string>>& placed) const {
+  return placed.size() == pairs_.size() && partial_credit(placed) == 1.0;
+}
+
+}  // namespace pdc::courseware

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "courseware/content.hpp"
+
+namespace pdc::courseware {
+
+/// Base class of gradable items (Runestone's interactive questions).
+class Question : public ContentItem {
+ public:
+  Question(std::string activity_id, std::string prompt);
+
+  [[nodiscard]] bool is_gradable() const override { return true; }
+  [[nodiscard]] std::string activity_id() const override { return id_; }
+  [[nodiscard]] const std::string& prompt() const noexcept { return prompt_; }
+
+ protected:
+  std::string id_;
+  std::string prompt_;
+};
+
+/// One selectable option of a multiple-choice question, with the per-option
+/// feedback Runestone shows after checking.
+struct Choice {
+  std::string text;
+  std::string feedback;
+};
+
+/// Multiple-choice question (single- or multi-select) — the question type
+/// shown in the paper's Fig. 1.
+class MultipleChoice final : public Question {
+ public:
+  MultipleChoice(std::string activity_id, std::string prompt,
+                 std::vector<Choice> choices, std::set<std::size_t> correct);
+
+  [[nodiscard]] std::string kind() const override { return "multiple-choice"; }
+  [[nodiscard]] std::string render() const override;
+
+  /// Grade a selection; exact match with the correct set is required.
+  [[nodiscard]] bool grade(const std::set<std::size_t>& selected) const;
+
+  /// Single-select convenience.
+  [[nodiscard]] bool grade(std::size_t selected) const {
+    return grade(std::set<std::size_t>{selected});
+  }
+
+  /// Feedback for one choice (after the learner checks an answer).
+  [[nodiscard]] const std::string& feedback_for(std::size_t choice) const;
+
+  [[nodiscard]] const std::vector<Choice>& choices() const noexcept {
+    return choices_;
+  }
+  [[nodiscard]] const std::set<std::size_t>& correct() const noexcept {
+    return correct_;
+  }
+
+ private:
+  std::vector<Choice> choices_;
+  std::set<std::size_t> correct_;
+};
+
+/// Fill-in-the-blank question. Accepts any of a set of string answers
+/// (case-insensitive, trimmed) or a numeric answer within a tolerance.
+class FillInBlank final : public Question {
+ public:
+  /// Text-answer variant.
+  FillInBlank(std::string activity_id, std::string prompt,
+              std::vector<std::string> accepted);
+
+  /// Numeric-answer variant: correct iff |answer - expected| <= tolerance.
+  FillInBlank(std::string activity_id, std::string prompt, double expected,
+              double tolerance);
+
+  [[nodiscard]] std::string kind() const override { return "fill-in-blank"; }
+  [[nodiscard]] std::string render() const override;
+
+  /// Grade a raw learner answer (string form; numeric questions parse it).
+  [[nodiscard]] bool grade(const std::string& answer) const;
+
+ private:
+  std::vector<std::string> accepted_;       // lowercase, trimmed
+  std::optional<double> expected_number_;
+  double tolerance_ = 0.0;
+};
+
+/// Drag-and-drop matching question: each draggable term must be dropped on
+/// its matching target (e.g. pattern name -> definition).
+class DragAndDrop final : public Question {
+ public:
+  /// `pairs` maps each term to its correct target.
+  DragAndDrop(std::string activity_id, std::string prompt,
+              std::vector<std::pair<std::string, std::string>> pairs);
+
+  [[nodiscard]] std::string kind() const override { return "drag-and-drop"; }
+  [[nodiscard]] std::string render() const override;
+
+  /// Grade a full matching; true iff every term maps to its correct target.
+  [[nodiscard]] bool grade(
+      const std::vector<std::pair<std::string, std::string>>& placed) const;
+
+  /// Fraction of terms placed correctly (partial credit display).
+  [[nodiscard]] double partial_credit(
+      const std::vector<std::pair<std::string, std::string>>& placed) const;
+
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& pairs()
+      const noexcept {
+    return pairs_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> pairs_;
+};
+
+}  // namespace pdc::courseware

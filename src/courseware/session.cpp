@@ -1,0 +1,110 @@
+#include "courseware/session.hpp"
+
+#include "support/error.hpp"
+
+namespace pdc::courseware {
+
+ModuleSession::ModuleSession(const Module& module) : module_(&module) {}
+
+bool ModuleSession::record(const std::string& activity_id, bool correct) {
+  AttemptRecord& rec = records_[activity_id];
+  ++rec.attempts;
+  if (correct) rec.correct = true;
+  return correct;
+}
+
+bool ModuleSession::submit_choice(const std::string& activity_id,
+                                  const std::set<std::size_t>& selected) {
+  const auto* question =
+      dynamic_cast<const MultipleChoice*>(&module_->question(activity_id));
+  if (!question) {
+    throw InvalidArgument("submit_choice: '" + activity_id +
+                          "' is not a multiple-choice question");
+  }
+  return record(activity_id, question->grade(selected));
+}
+
+bool ModuleSession::submit_blank(const std::string& activity_id,
+                                 const std::string& answer) {
+  const auto* question =
+      dynamic_cast<const FillInBlank*>(&module_->question(activity_id));
+  if (!question) {
+    throw InvalidArgument("submit_blank: '" + activity_id +
+                          "' is not a fill-in-the-blank question");
+  }
+  return record(activity_id, question->grade(answer));
+}
+
+bool ModuleSession::submit_matching(
+    const std::string& activity_id,
+    const std::vector<std::pair<std::string, std::string>>& placed) {
+  const auto* question =
+      dynamic_cast<const DragAndDrop*>(&module_->question(activity_id));
+  if (!question) {
+    throw InvalidArgument("submit_matching: '" + activity_id +
+                          "' is not a drag-and-drop question");
+  }
+  return record(activity_id, question->grade(placed));
+}
+
+void ModuleSession::record_time(const std::string& section_number,
+                                double minutes) {
+  if (minutes < 0.0) {
+    throw InvalidArgument("record_time: minutes must be non-negative");
+  }
+  (void)module_->section(section_number);  // validates the number
+  minutes_[section_number] += minutes;
+}
+
+void ModuleSession::complete_section(const std::string& section_number) {
+  (void)module_->section(section_number);  // validates the number
+  completed_sections_.insert(section_number);
+}
+
+int ModuleSession::attempts(const std::string& activity_id) const {
+  const auto it = records_.find(activity_id);
+  return it == records_.end() ? 0 : it->second.attempts;
+}
+
+bool ModuleSession::is_correct(const std::string& activity_id) const {
+  const auto it = records_.find(activity_id);
+  return it != records_.end() && it->second.correct;
+}
+
+double ModuleSession::score() const {
+  const std::size_t total = module_->question_count();
+  if (total == 0) return 1.0;
+  std::size_t correct = 0;
+  for (const auto& [id, rec] : records_) {
+    if (rec.correct) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+std::size_t ModuleSession::section_count() const {
+  std::size_t count = 0;
+  for (const auto& chapter : module_->chapters()) {
+    count += chapter->sections().size();
+  }
+  return count;
+}
+
+double ModuleSession::completion_fraction() const {
+  const std::size_t total = section_count();
+  if (total == 0) return 1.0;
+  return static_cast<double>(completed_sections_.size()) /
+         static_cast<double>(total);
+}
+
+double ModuleSession::total_minutes() const {
+  double total = 0.0;
+  for (const auto& [number, minutes] : minutes_) total += minutes;
+  return total;
+}
+
+bool ModuleSession::finished() const {
+  return completion_fraction() == 1.0 &&
+         score() == 1.0;
+}
+
+}  // namespace pdc::courseware

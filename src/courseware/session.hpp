@@ -1,0 +1,84 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "courseware/module.hpp"
+#include "courseware/questions.hpp"
+
+namespace pdc::courseware {
+
+/// Per-question bookkeeping within a learner session.
+struct AttemptRecord {
+  int attempts = 0;
+  bool correct = false;
+};
+
+/// One learner's pass through a module: answers, attempts, time on task,
+/// and completion state — the course/assignment-management side of
+/// Runestone that the paper highlights.
+class ModuleSession {
+ public:
+  /// The module must outlive the session.
+  explicit ModuleSession(const Module& module);
+
+  /// Submit a multiple-choice answer; returns whether it was correct.
+  /// Throws pdc::NotFound for an unknown id and pdc::InvalidArgument if the
+  /// activity is not a multiple-choice question.
+  bool submit_choice(const std::string& activity_id,
+                     const std::set<std::size_t>& selected);
+
+  /// Single-select convenience.
+  bool submit_choice(const std::string& activity_id, std::size_t selected) {
+    return submit_choice(activity_id, std::set<std::size_t>{selected});
+  }
+
+  /// Submit a fill-in-the-blank answer.
+  bool submit_blank(const std::string& activity_id, const std::string& answer);
+
+  /// Submit a drag-and-drop matching.
+  bool submit_matching(
+      const std::string& activity_id,
+      const std::vector<std::pair<std::string, std::string>>& placed);
+
+  /// Record self-paced time spent in a section (validates the number).
+  void record_time(const std::string& section_number, double minutes);
+
+  /// Mark a section visited/completed (validates the number).
+  void complete_section(const std::string& section_number);
+
+  /// Attempts made on one question (0 if never tried).
+  [[nodiscard]] int attempts(const std::string& activity_id) const;
+
+  /// Whether the question has been answered correctly at least once.
+  [[nodiscard]] bool is_correct(const std::string& activity_id) const;
+
+  /// Questions answered correctly / total questions in the module.
+  [[nodiscard]] double score() const;
+
+  /// Sections completed / total sections.
+  [[nodiscard]] double completion_fraction() const;
+
+  /// Total recorded minutes across sections.
+  [[nodiscard]] double total_minutes() const;
+
+  /// True once every section is complete and every question correct.
+  [[nodiscard]] bool finished() const;
+
+ private:
+  /// Record the graded outcome of one submission.
+  bool record(const std::string& activity_id, bool correct);
+
+  /// Total number of sections in the module.
+  [[nodiscard]] std::size_t section_count() const;
+
+  const Module* module_;
+  std::map<std::string, AttemptRecord> records_;
+  std::set<std::string> completed_sections_;
+  std::map<std::string, double> minutes_;
+};
+
+}  // namespace pdc::courseware

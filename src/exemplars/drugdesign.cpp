@@ -1,0 +1,218 @@
+#include "exemplars/drugdesign.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "mp/ops.hpp"
+#include "mp/runtime.hpp"
+#include "smp/parallel.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace pdc::exemplars {
+
+namespace {
+
+constexpr char kBases[] = {'a', 'c', 'g', 't'};
+
+/// Fold one (ligand, score) into a running best-so-far.
+void merge_candidate(DrugResult& result, const std::string& ligand, int s) {
+  if (s > result.max_score) {
+    result.max_score = s;
+    result.best_ligands = {ligand};
+  } else if (s == result.max_score) {
+    result.best_ligands.push_back(ligand);
+  }
+}
+
+/// Merge two partial results.
+void merge_results(DrugResult& into, const DrugResult& from) {
+  if (from.max_score > into.max_score) {
+    into = from;
+  } else if (from.max_score == into.max_score) {
+    into.best_ligands.insert(into.best_ligands.end(),
+                             from.best_ligands.begin(),
+                             from.best_ligands.end());
+  }
+}
+
+void finalize(DrugResult& result) {
+  std::sort(result.best_ligands.begin(), result.best_ligands.end());
+  result.best_ligands.erase(
+      std::unique(result.best_ligands.begin(), result.best_ligands.end()),
+      result.best_ligands.end());
+}
+
+void check_config(const DrugDesignConfig& config) {
+  if (config.num_ligands < 1) {
+    throw InvalidArgument("drug design: need at least one ligand");
+  }
+  if (config.max_ligand_length < 2) {
+    throw InvalidArgument("drug design: max ligand length must be >= 2");
+  }
+  if (config.protein.empty()) {
+    throw InvalidArgument("drug design: protein must be non-empty");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> make_ligands(const DrugDesignConfig& config) {
+  check_config(config);
+  Rng rng(config.seed);
+  std::vector<std::string> ligands;
+  ligands.reserve(static_cast<std::size_t>(config.num_ligands));
+  for (int i = 0; i < config.num_ligands; ++i) {
+    const auto length = static_cast<std::size_t>(
+        rng.uniform_int(2, config.max_ligand_length));
+    std::string ligand;
+    ligand.reserve(length);
+    for (std::size_t c = 0; c < length; ++c) {
+      ligand += kBases[rng.uniform_int(0, 3)];
+    }
+    ligands.push_back(std::move(ligand));
+  }
+  return ligands;
+}
+
+int score(const std::string& ligand, const std::string& protein) {
+  // Classic LCS dynamic program with a rolling row.
+  const std::size_t m = ligand.size();
+  const std::size_t n = protein.size();
+  std::vector<int> prev(n + 1, 0), cur(n + 1, 0);
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      if (ligand[i - 1] == protein[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+DrugResult screen_serial(const DrugDesignConfig& config) {
+  const auto ligands = make_ligands(config);
+  DrugResult result;
+  for (const auto& ligand : ligands) {
+    merge_candidate(result, ligand, score(ligand, config.protein));
+  }
+  finalize(result);
+  return result;
+}
+
+DrugResult screen_smp(const DrugDesignConfig& config, std::size_t num_threads,
+                      std::size_t chunk) {
+  const auto ligands = make_ligands(config);
+  DrugResult result;
+  std::mutex result_mutex;
+  smp::parallel(num_threads, [&](smp::TeamContext& ctx) {
+    DrugResult local;
+    ctx.for_each(
+        0, static_cast<std::int64_t>(ligands.size()),
+        smp::Schedule::dynamic(chunk),
+        [&](std::int64_t i) {
+          const auto& ligand = ligands[static_cast<std::size_t>(i)];
+          merge_candidate(local, ligand, score(ligand, config.protein));
+        },
+        /*nowait=*/true);
+    std::lock_guard lock(result_mutex);
+    merge_results(result, local);
+  });
+  finalize(result);
+  return result;
+}
+
+DrugResult screen_rank(mp::Communicator& comm, const DrugDesignConfig& config) {
+  // Every rank regenerates the full deterministic ligand list from the
+  // shared seed (cheaper than scattering it), then scores its slice.
+  const auto ligands = make_ligands(config);
+  DrugResult local;
+  for (std::size_t i = static_cast<std::size_t>(comm.rank());
+       i < ligands.size(); i += static_cast<std::size_t>(comm.size())) {
+    merge_candidate(local, ligands[i], score(ligands[i], config.protein));
+  }
+
+  const int global_max = comm.allreduce(local.max_score, mp::ops::Max{});
+  const std::vector<std::string> mine =
+      local.max_score == global_max ? local.best_ligands
+                                    : std::vector<std::string>{};
+  std::vector<std::string> best = comm.gather_chunks(mine, 0);
+  comm.bcast(best, 0);
+
+  DrugResult result;
+  result.max_score = global_max;
+  result.best_ligands = std::move(best);
+  finalize(result);
+  return result;
+}
+
+DrugResult screen_master_worker(mp::Communicator& comm,
+                                const DrugDesignConfig& config) {
+  constexpr int kWorkTag = 1;
+  constexpr int kStopTag = 2;
+  constexpr int kResultTag = 3;
+  if (comm.size() < 2) {
+    throw InvalidArgument("screen_master_worker: needs at least 2 processes");
+  }
+
+  if (comm.rank() == 0) {
+    const auto ligands = make_ligands(config);
+    DrugResult result;
+    std::size_t next = 0;
+    int outstanding = 0;
+
+    // Prime every worker with one ligand (or stop it immediately).
+    for (int w = 1; w < comm.size(); ++w) {
+      if (next < ligands.size()) {
+        comm.send(ligands[next++], w, kWorkTag);
+        ++outstanding;
+      } else {
+        comm.send(std::string{}, w, kStopTag);
+      }
+    }
+    // Deal the remaining ligands to whichever worker finishes first.
+    while (outstanding > 0) {
+      mp::Status status;
+      const int s = comm.recv<int>(mp::kAnySource, kResultTag, &status);
+      const auto ligand = comm.recv<std::string>(status.source, kResultTag);
+      merge_candidate(result, ligand, s);
+      if (next < ligands.size()) {
+        comm.send(ligands[next++], status.source, kWorkTag);
+      } else {
+        comm.send(std::string{}, status.source, kStopTag);
+        --outstanding;
+      }
+    }
+    finalize(result);
+    return result;
+  }
+
+  // Worker: score ligands until told to stop.
+  for (;;) {
+    mp::Status status;
+    const auto ligand =
+        comm.recv<std::string>(0, mp::kAnyTag, &status);
+    if (status.tag == kStopTag) break;
+    comm.send(score(ligand, config.protein), 0, kResultTag);
+    comm.send(ligand, 0, kResultTag);
+  }
+  return DrugResult{};
+}
+
+DrugResult screen_mp(const DrugDesignConfig& config, int num_procs) {
+  DrugResult result;
+  std::mutex result_mutex;
+  mp::run(num_procs, [&](mp::Communicator& comm) {
+    DrugResult mine = screen_rank(comm, config);
+    if (comm.rank() == 0) {
+      std::lock_guard lock(result_mutex);
+      result = std::move(mine);
+    }
+  });
+  return result;
+}
+
+}  // namespace pdc::exemplars

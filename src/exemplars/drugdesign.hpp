@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mp/communicator.hpp"
+
+namespace pdc::exemplars {
+
+/// The drug-design exemplar used by both modules' second hour: generate
+/// candidate ligands (short strings), score each against a protein by
+/// longest common subsequence, and report the best binder(s). Scoring cost
+/// grows with ligand length, so the workload is naturally unbalanced —
+/// which is why this exemplar motivates dynamic scheduling and the
+/// master-worker pattern.
+
+struct DrugDesignConfig {
+  int num_ligands = 120;
+  int max_ligand_length = 6;   ///< lengths are uniform in [2, max]
+  std::string protein =
+      "tcatgaagtacctgaacatgcagactgcagtcggtacctaaggtgcatgcaacaatcgt";
+  std::uint64_t seed = 42;
+};
+
+/// Generated candidate ligands, in generation order (deterministic for a
+/// given config).
+std::vector<std::string> make_ligands(const DrugDesignConfig& config);
+
+/// Binding score: length of the longest common subsequence of `ligand` and
+/// `protein` (O(|ligand| * |protein|) dynamic program).
+int score(const std::string& ligand, const std::string& protein);
+
+/// Outcome of a full screen: the maximal score and every ligand achieving it
+/// (sorted lexicographically so results compare deterministically).
+struct DrugResult {
+  int max_score = 0;
+  std::vector<std::string> best_ligands;
+
+  bool operator==(const DrugResult&) const = default;
+};
+
+/// Sequential screen of all ligands.
+DrugResult screen_serial(const DrugDesignConfig& config);
+
+/// Shared-memory screen: the ligand list is a shared work queue consumed
+/// with a dynamic schedule (chunks of `chunk`), per the exemplar's lesson
+/// on load balancing. `num_threads == 0` uses the default team size.
+DrugResult screen_smp(const DrugDesignConfig& config,
+                      std::size_t num_threads = 0, std::size_t chunk = 2);
+
+/// Message-passing SPMD kernel: ligands are generated redundantly from the
+/// shared seed; each rank scores a round-robin slice, then the results are
+/// combined with reductions. Returns the full result on every rank.
+DrugResult screen_rank(mp::Communicator& comm, const DrugDesignConfig& config);
+
+/// Master-worker message-passing kernel: rank 0 deals ligands one at a time
+/// to whichever worker is free (requires size >= 2). Returns the result on
+/// rank 0; workers return an empty result.
+DrugResult screen_master_worker(mp::Communicator& comm,
+                                const DrugDesignConfig& config);
+
+/// Convenience wrapper launching `num_procs` ranks of screen_rank.
+DrugResult screen_mp(const DrugDesignConfig& config, int num_procs);
+
+}  // namespace pdc::exemplars

@@ -1,0 +1,234 @@
+#include "exemplars/forestfire.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <string>
+
+#include "mp/ops.hpp"
+#include "mp/runtime.hpp"
+#include "smp/parallel.hpp"
+#include "support/error.hpp"
+
+namespace pdc::exemplars {
+
+FireSim::FireSim(const FireParams& params)
+    : size_(params.grid_size),
+      probability_(params.spread_probability),
+      rng_(params.seed),
+      grid_(static_cast<std::size_t>(params.grid_size) *
+                static_cast<std::size_t>(params.grid_size),
+            Cell::Unburnt) {
+  if (size_ < 3) throw InvalidArgument("FireSim: grid must be at least 3x3");
+  if (probability_ < 0.0 || probability_ > 1.0) {
+    throw InvalidArgument("FireSim: spread probability must be in [0, 1]");
+  }
+  grid_[index(size_ / 2, size_ / 2)] = Cell::Burning;  // light the center
+}
+
+bool FireSim::step() {
+  // Two-phase update: ignitions are decided against the *current* burning
+  // set, then applied, so newly lit trees never spread in the same step.
+  std::vector<std::size_t> ignite;
+  bool any_burning = false;
+  for (int row = 0; row < size_; ++row) {
+    for (int col = 0; col < size_; ++col) {
+      if (grid_[index(row, col)] != Cell::Burning) continue;
+      any_burning = true;
+      const int dr[] = {-1, 1, 0, 0};
+      const int dc[] = {0, 0, -1, 1};
+      for (int d = 0; d < 4; ++d) {
+        const int nr = row + dr[d];
+        const int nc = col + dc[d];
+        if (nr < 0 || nr >= size_ || nc < 0 || nc >= size_) continue;
+        if (grid_[index(nr, nc)] != Cell::Unburnt) continue;
+        if (rng_.bernoulli(probability_)) {
+          ignite.push_back(index(nr, nc));
+        }
+      }
+    }
+  }
+  if (!any_burning) return false;
+
+  // Burning trees burn out; newly ignited trees catch fire.
+  for (auto& cell : grid_) {
+    if (cell == Cell::Burning) cell = Cell::Burnt;
+  }
+  for (std::size_t i : ignite) grid_[i] = Cell::Burning;
+  ++steps_;
+  return count(Cell::Burning) > 0;
+}
+
+FireResult FireSim::run() {
+  while (step()) {
+  }
+  FireResult result;
+  result.steps = steps_;
+  result.burned_fraction =
+      static_cast<double>(count(Cell::Burnt)) /
+      static_cast<double>(grid_.size());
+  return result;
+}
+
+Cell FireSim::at(int row, int col) const {
+  if (row < 0 || row >= size_ || col < 0 || col >= size_) {
+    throw InvalidArgument("FireSim::at: cell out of range");
+  }
+  return grid_[index(row, col)];
+}
+
+int FireSim::count(Cell state) const {
+  return static_cast<int>(std::count(grid_.begin(), grid_.end(), state));
+}
+
+std::vector<std::string> FireSim::render() const {
+  std::vector<std::string> rows;
+  rows.reserve(static_cast<std::size_t>(size_));
+  for (int row = 0; row < size_; ++row) {
+    std::string text;
+    text.reserve(static_cast<std::size_t>(size_));
+    for (int col = 0; col < size_; ++col) {
+      switch (grid_[index(row, col)]) {
+        case Cell::Unburnt: text += '.'; break;
+        case Cell::Burning: text += '*'; break;
+        case Cell::Burnt: text += ' '; break;
+      }
+    }
+    rows.push_back(std::move(text));
+  }
+  return rows;
+}
+
+FireResult burn_once(const FireParams& params) { return FireSim(params).run(); }
+
+std::vector<double> default_probabilities() {
+  std::vector<double> probs;
+  for (int i = 1; i <= 10; ++i) probs.push_back(i / 10.0);
+  return probs;
+}
+
+namespace {
+
+/// Deterministic per-trial seed shared by every execution strategy.
+std::uint64_t trial_seed(std::uint64_t base, std::size_t prob_index,
+                         int trials, int trial) {
+  SplitMix64 mix(base + prob_index * static_cast<std::uint64_t>(trials) +
+                 static_cast<std::uint64_t>(trial));
+  return mix.next();
+}
+
+void check_sweep_args(int grid_size, int trials) {
+  if (grid_size < 3) throw InvalidArgument("sweep: grid must be at least 3x3");
+  if (trials < 1) throw InvalidArgument("sweep: need at least one trial");
+}
+
+/// Reduce per-trial outcomes into the sweep, always in trial order, so that
+/// every strategy — serial, threads, ranks — produces bit-identical means.
+std::vector<SweepPoint> summarize(const std::vector<double>& probabilities,
+                                  int trials,
+                                  const std::vector<double>& burned_by_trial,
+                                  const std::vector<double>& steps_by_trial) {
+  std::vector<SweepPoint> sweep(probabilities.size());
+  for (std::size_t k = 0; k < probabilities.size(); ++k) {
+    sweep[k].probability = probabilities[k];
+    double burned = 0.0, steps = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      const std::size_t w = k * static_cast<std::size_t>(trials) +
+                            static_cast<std::size_t>(t);
+      burned += burned_by_trial[w];
+      steps += steps_by_trial[w];
+    }
+    sweep[k].mean_burned_fraction = burned / trials;
+    sweep[k].mean_steps = steps / trials;
+  }
+  return sweep;
+}
+
+/// Run flat-work-index trial `w` and record its outcome.
+void run_trial(int grid_size, const std::vector<double>& probabilities,
+               int trials, std::uint64_t seed, std::int64_t w,
+               std::vector<double>& burned_by_trial,
+               std::vector<double>& steps_by_trial) {
+  const auto k = static_cast<std::size_t>(w / trials);
+  const int t = static_cast<int>(w % trials);
+  FireParams params{grid_size, probabilities[k], trial_seed(seed, k, trials, t)};
+  const FireResult r = burn_once(params);
+  burned_by_trial[static_cast<std::size_t>(w)] = r.burned_fraction;
+  steps_by_trial[static_cast<std::size_t>(w)] = r.steps;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> sweep_serial(int grid_size,
+                                     const std::vector<double>& probabilities,
+                                     int trials, std::uint64_t seed) {
+  check_sweep_args(grid_size, trials);
+  const auto total = static_cast<std::int64_t>(probabilities.size()) * trials;
+  std::vector<double> burned(static_cast<std::size_t>(total), 0.0);
+  std::vector<double> steps(static_cast<std::size_t>(total), 0.0);
+  for (std::int64_t w = 0; w < total; ++w) {
+    run_trial(grid_size, probabilities, trials, seed, w, burned, steps);
+  }
+  return summarize(probabilities, trials, burned, steps);
+}
+
+std::vector<SweepPoint> sweep_smp(int grid_size,
+                                  const std::vector<double>& probabilities,
+                                  int trials, std::uint64_t seed,
+                                  std::size_t num_threads) {
+  check_sweep_args(grid_size, trials);
+  const auto total = static_cast<std::int64_t>(probabilities.size()) * trials;
+  // Each flat index is written by exactly one thread: data-race free
+  // without locks, and the later fixed-order reduction is exact.
+  std::vector<double> burned(static_cast<std::size_t>(total), 0.0);
+  std::vector<double> steps(static_cast<std::size_t>(total), 0.0);
+  smp::parallel_for(
+      0, total,
+      [&](std::int64_t w) {
+        run_trial(grid_size, probabilities, trials, seed, w, burned, steps);
+      },
+      smp::Schedule::dynamic(4), num_threads);
+  return summarize(probabilities, trials, burned, steps);
+}
+
+std::vector<SweepPoint> sweep_rank(mp::Communicator& comm, int grid_size,
+                                   const std::vector<double>& probabilities,
+                                   int trials, std::uint64_t seed) {
+  check_sweep_args(grid_size, trials);
+  const auto total = static_cast<std::int64_t>(probabilities.size()) * trials;
+
+  // Each rank fills only its round-robin slice; everywhere else stays 0, so
+  // the element-wise allreduce sum reconstructs the exact per-trial values.
+  std::vector<double> burned(static_cast<std::size_t>(total), 0.0);
+  std::vector<double> steps(static_cast<std::size_t>(total), 0.0);
+  for (std::int64_t w = comm.rank(); w < total; w += comm.size()) {
+    run_trial(grid_size, probabilities, trials, seed, w, burned, steps);
+  }
+
+  const auto vector_sum = [](const std::vector<double>& a,
+                             const std::vector<double>& b) {
+    std::vector<double> out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+    return out;
+  };
+  const std::vector<double> all_burned = comm.allreduce(burned, vector_sum);
+  const std::vector<double> all_steps = comm.allreduce(steps, vector_sum);
+  return summarize(probabilities, trials, all_burned, all_steps);
+}
+
+std::vector<SweepPoint> sweep_mp(int grid_size,
+                                 const std::vector<double>& probabilities,
+                                 int trials, std::uint64_t seed,
+                                 int num_procs) {
+  std::vector<SweepPoint> sweep;
+  std::mutex sweep_mutex;
+  mp::run(num_procs, [&](mp::Communicator& comm) {
+    auto mine = sweep_rank(comm, grid_size, probabilities, trials, seed);
+    if (comm.rank() == 0) {
+      std::lock_guard lock(sweep_mutex);
+      sweep = std::move(mine);
+    }
+  });
+  return sweep;
+}
+
+}  // namespace pdc::exemplars

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mp/communicator.hpp"
+#include "support/rng.hpp"
+
+namespace pdc::exemplars {
+
+/// The Forest Fire Simulation exemplar from the distributed module's second
+/// hour (Section III-B): a Monte Carlo study of fire percolation. A fire is
+/// lit in the center of a square forest; each burning tree ignites each
+/// unburnt 4-neighbor with a fixed spread probability, burns for one time
+/// step, and burns out. Sweeping the spread probability and averaging many
+/// trials reveals a sharp phase transition in both burned area and burn
+/// duration — the scientific payoff that makes the parallel speedup worth
+/// teaching.
+
+/// State of one grid cell.
+enum class Cell : std::uint8_t { Unburnt, Burning, Burnt };
+
+/// Parameters of a single fire.
+struct FireParams {
+  int grid_size = 25;              ///< forest is grid_size x grid_size trees
+  double spread_probability = 0.5; ///< chance a burning tree ignites a neighbor
+  std::uint64_t seed = 1;          ///< RNG stream for this trial
+};
+
+/// Outcome of a single fire.
+struct FireResult {
+  double burned_fraction = 0.0;  ///< trees burnt / total trees
+  int steps = 0;                 ///< time steps until the fire died out
+};
+
+/// Step-by-step fire simulation (exposed so the courseware can animate it
+/// and tests can check invariants between steps).
+class FireSim {
+ public:
+  explicit FireSim(const FireParams& params);
+
+  /// Advance one time step; returns true while any tree is still burning.
+  bool step();
+
+  /// Run to completion and report the result.
+  FireResult run();
+
+  /// Cell state at (row, col).
+  [[nodiscard]] Cell at(int row, int col) const;
+
+  /// Number of cells currently in each state.
+  [[nodiscard]] int count(Cell state) const;
+
+  /// Steps taken so far.
+  [[nodiscard]] int steps() const noexcept { return steps_; }
+
+  [[nodiscard]] int grid_size() const noexcept { return size_; }
+
+  /// Render the grid: '.' unburnt, '*' burning, ' ' burnt (one string per row).
+  [[nodiscard]] std::vector<std::string> render() const;
+
+ private:
+  [[nodiscard]] std::size_t index(int row, int col) const {
+    return static_cast<std::size_t>(row) * static_cast<std::size_t>(size_) +
+           static_cast<std::size_t>(col);
+  }
+
+  int size_;
+  double probability_;
+  pdc::Rng rng_;
+  std::vector<Cell> grid_;
+  int steps_ = 0;
+};
+
+/// One fire, start to finish.
+FireResult burn_once(const FireParams& params);
+
+/// One point of the probability sweep.
+struct SweepPoint {
+  double probability = 0.0;
+  double mean_burned_fraction = 0.0;
+  double mean_steps = 0.0;
+
+  bool operator==(const SweepPoint&) const = default;
+};
+
+/// The sweep the exemplar plots: spread probabilities 0.1, 0.2, ..., 1.0.
+std::vector<double> default_probabilities();
+
+/// Monte Carlo sweep, sequential. Trial t of probability index k uses the
+/// deterministic RNG stream (seed, k * trials + t), so the parallel
+/// versions below produce bit-identical results — a tested invariant.
+std::vector<SweepPoint> sweep_serial(int grid_size,
+                                     const std::vector<double>& probabilities,
+                                     int trials, std::uint64_t seed);
+
+/// Shared-memory sweep: trials are distributed over a thread team with a
+/// dynamic schedule. Identical output to sweep_serial.
+std::vector<SweepPoint> sweep_smp(int grid_size,
+                                  const std::vector<double>& probabilities,
+                                  int trials, std::uint64_t seed,
+                                  std::size_t num_threads = 0);
+
+/// Message-passing SPMD kernel: trials are sliced round-robin across ranks
+/// and combined with reductions; every rank returns the full sweep.
+/// Identical output to sweep_serial.
+std::vector<SweepPoint> sweep_rank(mp::Communicator& comm, int grid_size,
+                                   const std::vector<double>& probabilities,
+                                   int trials, std::uint64_t seed);
+
+/// Convenience wrapper launching `num_procs` ranks of sweep_rank.
+std::vector<SweepPoint> sweep_mp(int grid_size,
+                                 const std::vector<double>& probabilities,
+                                 int trials, std::uint64_t seed, int num_procs);
+
+}  // namespace pdc::exemplars

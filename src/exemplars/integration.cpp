@@ -1,0 +1,166 @@
+#include "exemplars/integration.hpp"
+
+#include <cmath>
+
+#include "mp/ops.hpp"
+#include "mp/runtime.hpp"
+#include "smp/parallel.hpp"
+#include "support/error.hpp"
+
+namespace pdc::exemplars {
+
+double half_circle(double x) { return std::sqrt(1.0 - x * x); }
+
+double sine(double x) { return std::sin(x); }
+
+namespace {
+void check_args(double a, double b, std::int64_t n) {
+  if (n < 1) throw InvalidArgument("trapezoid: need at least one subinterval");
+  if (!(a <= b)) throw InvalidArgument("trapezoid: require a <= b");
+}
+}  // namespace
+
+double trapezoid_serial(const Fn& f, double a, double b, std::int64_t n) {
+  check_args(a, b, n);
+  const double h = (b - a) / static_cast<double>(n);
+  double sum = (f(a) + f(b)) / 2.0;
+  for (std::int64_t i = 1; i < n; ++i) {
+    sum += f(a + static_cast<double>(i) * h);
+  }
+  return sum * h;
+}
+
+double midpoint_serial(const Fn& f, double a, double b, std::int64_t n) {
+  check_args(a, b, n);
+  const double h = (b - a) / static_cast<double>(n);
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    sum += f(a + (static_cast<double>(i) + 0.5) * h);
+  }
+  return sum * h;
+}
+
+namespace {
+void check_simpson_args(double a, double b, std::int64_t n) {
+  check_args(a, b, n);
+  if (n % 2 != 0) {
+    throw InvalidArgument("simpson: n must be even");
+  }
+}
+
+/// Simpson weight of interior point i (4 for odd, 2 for even indices).
+double simpson_weight(std::int64_t i) { return i % 2 == 1 ? 4.0 : 2.0; }
+}  // namespace
+
+double simpson_serial(const Fn& f, double a, double b, std::int64_t n) {
+  check_simpson_args(a, b, n);
+  const double h = (b - a) / static_cast<double>(n);
+  double sum = f(a) + f(b);
+  for (std::int64_t i = 1; i < n; ++i) {
+    sum += simpson_weight(i) * f(a + static_cast<double>(i) * h);
+  }
+  return sum * h / 3.0;
+}
+
+double simpson_smp(const Fn& f, double a, double b, std::int64_t n,
+                   std::size_t num_threads) {
+  check_simpson_args(a, b, n);
+  const double h = (b - a) / static_cast<double>(n);
+  const double interior = smp::parallel_sum<double>(
+      1, n,
+      [&](std::int64_t i) {
+        return simpson_weight(i) * f(a + static_cast<double>(i) * h);
+      },
+      smp::Schedule::static_blocks(), num_threads);
+  return (f(a) + f(b) + interior) * h / 3.0;
+}
+
+double trapezoid_smp(const Fn& f, double a, double b, std::int64_t n,
+                     std::size_t num_threads, smp::Schedule sched) {
+  check_args(a, b, n);
+  const double h = (b - a) / static_cast<double>(n);
+  const double interior = smp::parallel_sum<double>(
+      1, n, [&](std::int64_t i) { return f(a + static_cast<double>(i) * h); },
+      sched, num_threads);
+  return ((f(a) + f(b)) / 2.0 + interior) * h;
+}
+
+double trapezoid_rank(mp::Communicator& comm, const Fn& f, double a, double b,
+                      std::int64_t n) {
+  check_args(a, b, n);
+  const double h = (b - a) / static_cast<double>(n);
+  const auto p = static_cast<std::int64_t>(comm.size());
+  const auto r = static_cast<std::int64_t>(comm.rank());
+
+  // Block decomposition of the interior points 1..n-1, plus the endpoint
+  // halves on rank 0.
+  const std::int64_t interior = n - 1;
+  const std::int64_t base = interior / p;
+  const std::int64_t extra = interior % p;
+  const std::int64_t begin = 1 + r * base + std::min(r, extra);
+  const std::int64_t end = begin + base + (r < extra ? 1 : 0);
+
+  double local = 0.0;
+  for (std::int64_t i = begin; i < end; ++i) {
+    local += f(a + static_cast<double>(i) * h);
+  }
+  if (comm.rank() == 0) local += (f(a) + f(b)) / 2.0;
+
+  const double total = comm.allreduce(local, mp::ops::Sum{});
+  return total * h;
+}
+
+double trapezoid_hybrid_rank(mp::Communicator& comm, const Fn& f, double a,
+                             double b, std::int64_t n,
+                             std::size_t threads_per_rank) {
+  check_args(a, b, n);
+  const double h = (b - a) / static_cast<double>(n);
+  const auto p = static_cast<std::int64_t>(comm.size());
+  const auto r = static_cast<std::int64_t>(comm.rank());
+
+  const std::int64_t interior = n - 1;
+  const std::int64_t base = interior / p;
+  const std::int64_t extra = interior % p;
+  const std::int64_t begin = 1 + r * base + std::min(r, extra);
+  const std::int64_t end = begin + base + (r < extra ? 1 : 0);
+
+  // Level 2: a thread team spans this rank's slice.
+  double local = smp::parallel_sum<double>(
+      begin, end, [&](std::int64_t i) { return f(a + static_cast<double>(i) * h); },
+      smp::Schedule::static_blocks(), threads_per_rank);
+  if (comm.rank() == 0) local += (f(a) + f(b)) / 2.0;
+
+  const double total = comm.allreduce(local, mp::ops::Sum{});
+  return total * h;
+}
+
+double trapezoid_hybrid(const Fn& f, double a, double b, std::int64_t n,
+                        int num_procs, std::size_t threads_per_rank) {
+  double result = 0.0;
+  std::mutex result_mutex;
+  mp::run(num_procs, [&](mp::Communicator& comm) {
+    const double integral =
+        trapezoid_hybrid_rank(comm, f, a, b, n, threads_per_rank);
+    if (comm.rank() == 0) {
+      std::lock_guard lock(result_mutex);
+      result = integral;
+    }
+  });
+  return result;
+}
+
+double trapezoid_mp(const Fn& f, double a, double b, std::int64_t n,
+                    int num_procs) {
+  double result = 0.0;
+  std::mutex result_mutex;
+  mp::run(num_procs, [&](mp::Communicator& comm) {
+    const double integral = trapezoid_rank(comm, f, a, b, n);
+    if (comm.rank() == 0) {
+      std::lock_guard lock(result_mutex);
+      result = integral;
+    }
+  });
+  return result;
+}
+
+}  // namespace pdc::exemplars

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "mp/communicator.hpp"
+#include "smp/schedule.hpp"
+
+namespace pdc::exemplars {
+
+/// The numerical-integration exemplar from the shared-memory module's last
+/// half hour: approximate a definite integral with the trapezoidal rule,
+/// serially and in parallel, and study the speedup.
+
+/// Integrand type.
+using Fn = std::function<double(double)>;
+
+/// f(x) = sqrt(1 - x^2); integrating over [-1, 1] gives pi/2, so learners
+/// can check their parallel result against a constant they know.
+double half_circle(double x);
+
+/// f(x) = sin(x) (integral over [0, pi] is exactly 2).
+double sine(double x);
+
+/// Trapezoidal rule with `n` subintervals on [a, b], sequential.
+double trapezoid_serial(const Fn& f, double a, double b, std::int64_t n);
+
+/// Midpoint (rectangle) rule with `n` subintervals, sequential — the rule
+/// the handout starts from before introducing the trapezoid.
+double midpoint_serial(const Fn& f, double a, double b, std::int64_t n);
+
+/// Composite Simpson's rule with `n` subintervals (n must be even),
+/// sequential. Fourth-order accurate: the benchmarking discussion's example
+/// of trading algorithm for parallelism.
+double simpson_serial(const Fn& f, double a, double b, std::int64_t n);
+
+/// Simpson's rule on a thread team (parallel reduction over the interior).
+double simpson_smp(const Fn& f, double a, double b, std::int64_t n,
+                   std::size_t num_threads = 0);
+
+/// Same computation on a fork-join thread team using a parallel reduction.
+/// `num_threads == 0` uses the default team size.
+double trapezoid_smp(const Fn& f, double a, double b, std::int64_t n,
+                     std::size_t num_threads = 0,
+                     smp::Schedule sched = smp::Schedule::static_blocks());
+
+/// SPMD kernel for message-passing ranks: each rank integrates its
+/// block-decomposed slice of the subintervals, then an allreduce combines
+/// the partial sums; every rank returns the full integral.
+double trapezoid_rank(mp::Communicator& comm, const Fn& f, double a, double b,
+                      std::int64_t n);
+
+/// Convenience wrapper: launch `num_procs` ranks running trapezoid_rank and
+/// return the integral.
+double trapezoid_mp(const Fn& f, double a, double b, std::int64_t n,
+                    int num_procs);
+
+/// Hybrid (MPI+OpenMP style) kernel: ranks block-decompose the interval as
+/// in trapezoid_rank, and each rank evaluates its slice with a thread team
+/// — the two-level structure of real cluster codes, where one process per
+/// node spans that node's cores. Every rank returns the full integral.
+double trapezoid_hybrid_rank(mp::Communicator& comm, const Fn& f, double a,
+                             double b, std::int64_t n,
+                             std::size_t threads_per_rank);
+
+/// Convenience wrapper: `num_procs` ranks x `threads_per_rank` threads.
+double trapezoid_hybrid(const Fn& f, double a, double b, std::int64_t n,
+                        int num_procs, std::size_t threads_per_rank);
+
+}  // namespace pdc::exemplars

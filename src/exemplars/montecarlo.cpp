@@ -1,0 +1,97 @@
+#include "exemplars/montecarlo.hpp"
+
+#include <mutex>
+#include <vector>
+
+#include "mp/ops.hpp"
+#include "mp/runtime.hpp"
+#include "smp/parallel.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace pdc::exemplars {
+
+namespace {
+
+void check_args(std::int64_t darts, int num_streams) {
+  if (darts < 1) throw InvalidArgument("pi: need at least one dart");
+  if (num_streams < 1) throw InvalidArgument("pi: need at least one stream");
+  if (darts % num_streams != 0) {
+    throw InvalidArgument("pi: darts must be divisible by num_streams so "
+                          "every strategy throws identical streams");
+  }
+}
+
+/// Hits scored by stream `stream` throwing `darts_per_stream` darts.
+std::int64_t throw_stream(std::uint64_t seed, int stream,
+                          std::int64_t darts_per_stream) {
+  Rng rng = Rng::for_stream(seed, static_cast<std::uint64_t>(stream));
+  std::int64_t hits = 0;
+  for (std::int64_t i = 0; i < darts_per_stream; ++i) {
+    const double x = rng.uniform();
+    const double y = rng.uniform();
+    hits += (x * x + y * y <= 1.0);
+  }
+  return hits;
+}
+
+}  // namespace
+
+PiEstimate pi_serial(std::int64_t darts, std::uint64_t seed, int num_streams) {
+  check_args(darts, num_streams);
+  const std::int64_t per_stream = darts / num_streams;
+  PiEstimate estimate{darts, 0};
+  for (int s = 0; s < num_streams; ++s) {
+    estimate.hits += throw_stream(seed, s, per_stream);
+  }
+  return estimate;
+}
+
+PiEstimate pi_smp(std::int64_t darts, std::uint64_t seed, int num_streams,
+                  std::size_t num_threads) {
+  check_args(darts, num_streams);
+  const std::int64_t per_stream = darts / num_streams;
+  // One slot per stream, each written by exactly one thread; summing the
+  // slots in stream order afterwards keeps the result exact.
+  std::vector<std::int64_t> hits_by_stream(
+      static_cast<std::size_t>(num_streams), 0);
+  smp::parallel_for(
+      0, num_streams,
+      [&](std::int64_t s) {
+        hits_by_stream[static_cast<std::size_t>(s)] =
+            throw_stream(seed, static_cast<int>(s), per_stream);
+      },
+      smp::Schedule::dynamic(1), num_threads);
+
+  PiEstimate estimate{darts, 0};
+  for (std::int64_t h : hits_by_stream) estimate.hits += h;
+  return estimate;
+}
+
+PiEstimate pi_rank(mp::Communicator& comm, std::int64_t darts,
+                   std::uint64_t seed, int num_streams) {
+  check_args(darts, num_streams);
+  const std::int64_t per_stream = darts / num_streams;
+  std::int64_t local_hits = 0;
+  for (int s = comm.rank(); s < num_streams; s += comm.size()) {
+    local_hits += throw_stream(seed, s, per_stream);
+  }
+  PiEstimate estimate{darts, comm.allreduce(local_hits, mp::ops::Sum{})};
+  return estimate;
+}
+
+PiEstimate pi_mp(std::int64_t darts, std::uint64_t seed, int num_streams,
+                 int num_procs) {
+  PiEstimate estimate;
+  std::mutex estimate_mutex;
+  mp::run(num_procs, [&](mp::Communicator& comm) {
+    PiEstimate mine = pi_rank(comm, darts, seed, num_streams);
+    if (comm.rank() == 0) {
+      std::lock_guard lock(estimate_mutex);
+      estimate = mine;
+    }
+  });
+  return estimate;
+}
+
+}  // namespace pdc::exemplars

@@ -1,0 +1,99 @@
+#include "kit/beowulf.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace pdc::kit {
+
+BeowulfCluster::BeowulfCluster(std::string name, Kit node_kit, int num_nodes)
+    : name_(std::move(name)), node_kit_(std::move(node_kit)),
+      num_nodes_(num_nodes) {
+  if (num_nodes_ < 1) {
+    throw InvalidArgument("BeowulfCluster: need at least one node");
+  }
+}
+
+BeowulfCluster BeowulfCluster::pi_teaching_cluster(const Catalog& catalog,
+                                                   int num_nodes) {
+  BeowulfCluster cluster(
+      std::to_string(num_nodes) + "-node Raspberry Pi teaching cluster",
+      Kit::standard_2020(catalog), num_nodes);
+  cluster.add_shared_part(
+      catalog.at(num_nodes <= 4 ? "switch-5port" : "switch-8port"));
+  cluster.add_shared_part(catalog.at("patch-cable"), num_nodes);
+  cluster.add_shared_part(catalog.at("usb-power-hub"));
+  return cluster;
+}
+
+void BeowulfCluster::add_shared_part(const Part& part, int quantity) {
+  if (quantity < 1) {
+    throw InvalidArgument("BeowulfCluster: quantity must be >= 1");
+  }
+  shared_parts_.push_back(KitLine{part, quantity});
+}
+
+double BeowulfCluster::total_cost_bulk() const {
+  double total = node_kit_.total_cost_bulk() * num_nodes_;
+  for (const auto& line : shared_parts_) {
+    total += line.part.bulk_cost * line.quantity;
+  }
+  return total;
+}
+
+double BeowulfCluster::cost_per_core() const {
+  return total_cost_bulk() / (4.0 * num_nodes_);  // 4 cores per Pi node
+}
+
+std::vector<std::string> BeowulfCluster::validate() const {
+  std::vector<std::string> problems = node_kit_.validate();
+
+  int switch_ports = 0;
+  bool has_switch = false;
+  for (const auto& line : shared_parts_) {
+    if (line.part.kind == PartKind::Network) {
+      has_switch = true;
+      switch_ports += line.part.ports * line.quantity;
+    }
+  }
+  if (num_nodes_ > 1) {
+    if (!has_switch) {
+      problems.push_back("multi-node cluster has no Ethernet switch");
+    } else if (switch_ports < num_nodes_ + 1) {
+      problems.push_back(
+          "switch has " + std::to_string(switch_ports) + " ports but " +
+          std::to_string(num_nodes_) + " nodes + 1 uplink need " +
+          std::to_string(num_nodes_ + 1));
+    }
+  }
+  return problems;
+}
+
+cluster::ClusterSpec BeowulfCluster::as_cluster_spec() const {
+  cluster::ClusterSpec spec;
+  spec.name = name_;
+  spec.node = cluster::MachineSpec{"Raspberry Pi node", 4, 1.5, 2.0};
+  spec.num_nodes = num_nodes_;
+  spec.inter_node = cluster::NetworkSpec{200.0, 1.0};  // switched GbE
+  spec.intra_node = cluster::NetworkSpec{0.8, 15.0};
+  return spec;
+}
+
+TextTable BeowulfCluster::bill_of_materials() const {
+  TextTable table({"Part", "Qty", "Cost"});
+  table.set_align(1, Align::Right);
+  table.set_align(2, Align::Right);
+  for (const auto& line : node_kit_.lines()) {
+    const int quantity = line.quantity * num_nodes_;
+    table.add_row({line.part.name, std::to_string(quantity),
+                   strings::money(line.part.bulk_cost * quantity)});
+  }
+  for (const auto& line : shared_parts_) {
+    table.add_row({line.part.name, std::to_string(line.quantity),
+                   strings::money(line.part.bulk_cost * line.quantity)});
+  }
+  table.add_rule();
+  table.add_row({"Total Cluster Cost", "", strings::money(total_cost_bulk())});
+  return table;
+}
+
+}  // namespace pdc::kit

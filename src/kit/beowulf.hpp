@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/specs.hpp"
+#include "kit/kit.hpp"
+#include "support/text_table.hpp"
+
+namespace pdc::kit {
+
+/// A Beowulf cluster built from single-board computers — the "students can
+/// connect multiple SBCs to form their own Beowulf cluster" thread of
+/// Section II (Toth's portable clusters, Iridis-Pi), and the natural next
+/// step after the single-Pi kit.
+///
+/// The builder aggregates N node kits plus shared networking gear, rolls up
+/// the bill of materials, validates the build, and emits a
+/// `cluster::ClusterSpec` so the performance model can predict what the
+/// built cluster delivers.
+class BeowulfCluster {
+ public:
+  /// `node_kit` is duplicated `num_nodes` times; the head node doubles as a
+  /// compute node (standard practice in teaching clusters).
+  BeowulfCluster(std::string name, Kit node_kit, int num_nodes);
+
+  /// The classic 4-node Raspberry Pi teaching cluster built from the
+  /// standard 2020 kits plus a 5-port switch and short patch cables.
+  static BeowulfCluster pi_teaching_cluster(const Catalog& catalog,
+                                            int num_nodes = 4);
+
+  /// Add shared (non-per-node) gear: switch, PSU, patch cables, frame...
+  void add_shared_part(const Part& part, int quantity = 1);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] const Kit& node_kit() const noexcept { return node_kit_; }
+
+  /// Bulk cost: num_nodes * node kit + shared gear.
+  [[nodiscard]] double total_cost_bulk() const;
+
+  /// Per-core cost at bulk prices (4 cores per Pi node).
+  [[nodiscard]] double cost_per_core() const;
+
+  /// Build problems; empty means ready. Checks the node kit itself, that
+  /// the switch has enough ports (nodes + 1 uplink), and that at least one
+  /// switch is present for multi-node builds.
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// The equivalent platform spec for the cost model: num_nodes Pi-class
+  /// nodes on switched 100 Mb-to-1 Gb Ethernet.
+  [[nodiscard]] cluster::ClusterSpec as_cluster_spec() const;
+
+  /// Full bill of materials (node kits expanded plus shared gear).
+  [[nodiscard]] TextTable bill_of_materials() const;
+
+ private:
+  std::string name_;
+  Kit node_kit_;
+  int num_nodes_;
+  std::vector<KitLine> shared_parts_;
+};
+
+}  // namespace pdc::kit

@@ -1,0 +1,24 @@
+#include "kit/image.hpp"
+
+namespace pdc::kit {
+
+std::string to_string(PiModel model) {
+  switch (model) {
+    case PiModel::Pi1: return "Raspberry Pi 1";
+    case PiModel::Pi2: return "Raspberry Pi 2";
+    case PiModel::Pi3B: return "Raspberry Pi 3B";
+    case PiModel::Pi3BPlus: return "Raspberry Pi 3B+";
+    case PiModel::Pi4: return "Raspberry Pi 4";
+    case PiModel::Pi400: return "Raspberry Pi 400";
+  }
+  return "unknown Raspberry Pi";
+}
+
+bool is_multicore(PiModel model) { return model != PiModel::Pi1; }
+
+bool SystemImage::supports(PiModel model) const {
+  // PiModel enumerators are ordered by generation.
+  return static_cast<int>(model) >= static_cast<int>(minimum_model);
+}
+
+}  // namespace pdc::kit

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pdc::kit {
+
+/// Raspberry Pi hardware generations relevant to the materials.
+enum class PiModel {
+  Pi1,
+  Pi2,
+  Pi3B,
+  Pi3BPlus,
+  Pi4,
+  Pi400,
+};
+
+/// Display name, e.g. "Raspberry Pi 3B+".
+std::string to_string(PiModel model);
+
+/// Whether the model has a multicore CPU (everything from the Pi 2 on).
+bool is_multicore(PiModel model);
+
+/// The customized system image mailed on the kits' microSD cards
+/// ("csip-image"). The paper's image was "tested and confirmed to work on
+/// all Raspberry Pi models from the 3B onward" and is kept current with
+/// Ansible; we model the version, the supported hardware and the preloaded
+/// course content so kit validation is a real check.
+struct SystemImage {
+  std::string version = "3.0.2";
+  PiModel minimum_model = PiModel::Pi3B;
+  std::vector<std::string> preloaded_modules = {
+      "openmp-patternlets", "integration-exemplar", "drugdesign-exemplar"};
+
+  /// True if the image boots on `model` (minimum_model or newer).
+  [[nodiscard]] bool supports(PiModel model) const;
+
+  /// The CSinParallel image download used in the workshop.
+  [[nodiscard]] std::string download_url() const {
+    return "http://csinparallel.cs.stolaf.edu/2020-06-18-csip-image-" +
+           version + ".zip";
+  }
+};
+
+}  // namespace pdc::kit

@@ -1,0 +1,99 @@
+#include "kit/kit.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace pdc::kit {
+
+Kit::Kit(std::string name, PiModel model, SystemImage image)
+    : name_(std::move(name)), model_(model), image_(std::move(image)) {}
+
+Kit Kit::standard_2020(const Catalog& catalog) {
+  Kit kit("Mailed Raspberry Pi kit (July 2020 workshop)", PiModel::Pi4,
+          SystemImage{});
+  kit.add(catalog.at("canakit-pi4-2g"));
+  kit.add(catalog.at("eth-usb-a"));
+  kit.add(catalog.at("usb-a-c"));
+  kit.add(catalog.at("eth-cable"));
+  kit.add(catalog.at("microsd-16g"));
+  kit.add(catalog.at("kit-case"));
+  return kit;
+}
+
+void Kit::add(const Part& part, int quantity) {
+  if (quantity < 1) throw InvalidArgument("Kit::add: quantity must be >= 1");
+  lines_.push_back(KitLine{part, quantity});
+}
+
+double Kit::total_cost_bulk() const {
+  double total = 0.0;
+  for (const auto& line : lines_) total += line.part.bulk_cost * line.quantity;
+  return total;
+}
+
+double Kit::total_cost_retail() const {
+  double total = 0.0;
+  for (const auto& line : lines_) total += line.part.unit_cost * line.quantity;
+  return total;
+}
+
+std::vector<std::string> Kit::validate(double budget) const {
+  std::vector<std::string> problems;
+
+  if (!image_.supports(model_)) {
+    problems.push_back("system image v" + image_.version +
+                       " does not support " + to_string(model_));
+  }
+  if (!is_multicore(model_)) {
+    problems.push_back(to_string(model_) +
+                       " is a uniprocessor: the OpenMP module needs multicore");
+  }
+
+  bool has_computer = false, has_storage = false, has_cable = false,
+       has_eth_adapter = false;
+  for (const auto& line : lines_) {
+    switch (line.part.kind) {
+      case PartKind::Computer: has_computer = true; break;
+      case PartKind::Storage: has_storage = true; break;
+      case PartKind::Cable: has_cable = true; break;
+      case PartKind::Adapter:
+        if (line.part.id.find("eth") != std::string::npos) {
+          has_eth_adapter = true;
+        }
+        break;
+      default: break;
+    }
+  }
+  if (!has_computer) problems.push_back("kit has no single-board computer");
+  if (!has_storage) {
+    problems.push_back("kit has no microSD card to carry the system image");
+  }
+  if (!has_cable || !has_eth_adapter) {
+    problems.push_back(
+        "kit cannot connect the Pi to a laptop: needs an Ethernet cable and "
+        "an Ethernet-USB adapter");
+  }
+
+  if (const double cost = total_cost_bulk(); cost > budget) {
+    problems.push_back("bulk cost " + strings::money(cost) +
+                       " exceeds the budget " + strings::money(budget));
+  }
+  return problems;
+}
+
+TextTable Kit::bill_of_materials() const {
+  TextTable table({"Part", "Cost"});
+  table.set_align(1, Align::Right);
+  for (const auto& line : lines_) {
+    const std::string label =
+        line.quantity == 1
+            ? line.part.name
+            : line.part.name + " (x" + std::to_string(line.quantity) + ")";
+    table.add_row({label, strings::money(line.part.bulk_cost * line.quantity)});
+  }
+  table.add_rule();
+  table.add_row({"Total Kit Cost", strings::money(total_cost_bulk())});
+  return table;
+}
+
+}  // namespace pdc::kit

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kit/image.hpp"
+#include "kit/parts.hpp"
+#include "support/text_table.hpp"
+
+namespace pdc::kit {
+
+/// One line of a kit: a catalog part and a quantity.
+struct KitLine {
+  Part part;
+  int quantity = 1;
+};
+
+/// A mailable Raspberry Pi kit: parts + flashed system image.
+///
+/// `standard_2020(catalog)` reconstructs exactly the kit in the paper's
+/// Table I; `validate()` enforces the constraints Section III-A states
+/// (complete I/O path from laptop to Pi, image/hardware compatibility,
+/// storage present, ≈$100 budget).
+class Kit {
+ public:
+  Kit(std::string name, PiModel model, SystemImage image);
+
+  /// The $100 kit mailed to workshop participants (Table I).
+  static Kit standard_2020(const Catalog& catalog);
+
+  /// Add `quantity` of `part` to the kit.
+  void add(const Part& part, int quantity = 1);
+
+  /// Total cost at bulk prices (what the authors paid, Table I).
+  [[nodiscard]] double total_cost_bulk() const;
+
+  /// Total cost at single-unit retail prices (what one instructor pays).
+  [[nodiscard]] double total_cost_retail() const;
+
+  /// Lines in insertion order.
+  [[nodiscard]] const std::vector<KitLine>& lines() const noexcept {
+    return lines_;
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] PiModel model() const noexcept { return model_; }
+  [[nodiscard]] const SystemImage& image() const noexcept { return image_; }
+
+  /// Problems that would stop a remote learner from using the kit; empty
+  /// means the kit is ready to mail. Checks: image supports the Pi model,
+  /// a storage card is present, the laptop-to-Pi connection path exists
+  /// (Ethernet cable + Ethernet-USB adapter), and the bulk cost stays
+  /// within `budget` dollars.
+  [[nodiscard]] std::vector<std::string> validate(double budget = 105.0) const;
+
+  /// Render the bill of materials in the layout of the paper's Table I.
+  [[nodiscard]] TextTable bill_of_materials() const;
+
+ private:
+  std::string name_;
+  PiModel model_;
+  SystemImage image_;
+  std::vector<KitLine> lines_;
+};
+
+}  // namespace pdc::kit

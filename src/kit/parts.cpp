@@ -1,0 +1,64 @@
+#include "kit/parts.hpp"
+
+#include "support/error.hpp"
+
+namespace pdc::kit {
+
+Catalog Catalog::year_2020() {
+  Catalog catalog;
+  // The six Table I parts; bulk_cost is the Table I price.
+  catalog.add({"canakit-pi4-2g", "CanaKit with 2G Raspberry Pi",
+               PartKind::Computer, 69.99, 62.99});
+  catalog.add({"eth-usb-a", "Ethernet-USB A dongle", PartKind::Adapter, 18.99,
+               15.95});
+  catalog.add({"usb-a-c", "USB A-C dongle", PartKind::Adapter, 6.99, 3.99});
+  catalog.add({"eth-cable", "Ethernet cable", PartKind::Cable, 4.99, 1.55});
+  catalog.add({"microsd-16g", "16G MicroSD", PartKind::Storage, 7.99, 5.41});
+  catalog.add({"kit-case", "Kit case", PartKind::Enclosure, 12.99, 10.77});
+  // Extras referenced elsewhere in the materials (pre-flashed cards for
+  // students who already own a Pi, and the older 3B+ option).
+  catalog.add({"canakit-pi3b+", "CanaKit with Raspberry Pi 3B+",
+               PartKind::Computer, 54.99, 49.99});
+  catalog.add({"microsd-32g", "32G MicroSD", PartKind::Storage, 11.99, 8.25});
+  // Beowulf-build gear (Section II: "students can connect multiple SBCs to
+  // form their own Beowulf cluster").
+  catalog.add({"switch-5port", "5-port Gigabit Ethernet switch",
+               PartKind::Network, 17.99, 14.50, 5});
+  catalog.add({"switch-8port", "8-port Gigabit Ethernet switch",
+               PartKind::Network, 24.99, 21.00, 8});
+  catalog.add({"patch-cable", "6-inch Ethernet patch cable", PartKind::Cable,
+               2.49, 0.99});
+  catalog.add({"usb-power-hub", "6-port USB power hub", PartKind::Other,
+               29.99, 24.95});
+  return catalog;
+}
+
+void Catalog::add(Part part) {
+  if (part.id.empty()) throw InvalidArgument("Catalog::add: part id required");
+  if (part.unit_cost < 0.0 || part.bulk_cost < 0.0) {
+    throw InvalidArgument("Catalog::add: negative cost for part " + part.id);
+  }
+  for (auto& existing : parts_) {
+    if (existing.id == part.id) {
+      existing = std::move(part);
+      return;
+    }
+  }
+  parts_.push_back(std::move(part));
+}
+
+std::optional<Part> Catalog::find(const std::string& id) const {
+  for (const auto& part : parts_) {
+    if (part.id == id) return part;
+  }
+  return std::nullopt;
+}
+
+const Part& Catalog::at(const std::string& id) const {
+  for (const auto& part : parts_) {
+    if (part.id == id) return part;
+  }
+  throw NotFound("Catalog: no part with id '" + id + "'");
+}
+
+}  // namespace pdc::kit

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pdc::kit {
+
+/// Category of a kit component, used for packing and compatibility checks.
+enum class PartKind {
+  Computer,      ///< the SBC bundle itself
+  Adapter,       ///< dongles (Ethernet-USB, USB A-C, ...)
+  Cable,
+  Storage,       ///< microSD cards
+  Enclosure,     ///< cases and packaging
+  Network,       ///< switches (for Beowulf builds)
+  Other,
+};
+
+/// One purchasable component.
+struct Part {
+  std::string id;          ///< stable catalog key, e.g. "canakit-pi4-2g"
+  std::string name;        ///< display name as in the paper's Table I
+  PartKind kind = PartKind::Other;
+  double unit_cost = 0.0;  ///< single-quantity price in USD
+  double bulk_cost = 0.0;  ///< per-unit price when bought in bulk
+  int ports = 0;           ///< port count for Network parts (0 = n/a)
+};
+
+/// The component catalog behind the paper's mailed Raspberry Pi kit.
+///
+/// Prices are the bulk prices from Table I (the paper notes the ≈$100 total
+/// was achievable "because several of these materials can be bought in
+/// bulk"); unit costs are representative mid-2020 retail prices.
+class Catalog {
+ public:
+  /// The catalog as of the July 2020 workshop, including every Table I part.
+  static Catalog year_2020();
+
+  /// Add or replace a part (instructors adapt kits to local suppliers).
+  void add(Part part);
+
+  /// Look up a part by id.
+  [[nodiscard]] std::optional<Part> find(const std::string& id) const;
+
+  /// Look up by id; throws pdc::NotFound if the part does not exist.
+  [[nodiscard]] const Part& at(const std::string& id) const;
+
+  /// All parts, in insertion order.
+  [[nodiscard]] const std::vector<Part>& parts() const noexcept { return parts_; }
+
+ private:
+  std::vector<Part> parts_;
+};
+
+}  // namespace pdc::kit

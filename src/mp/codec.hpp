@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <typeinfo>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace pdc::mp {
+
+using Bytes = std::vector<std::byte>;
+
+/// Serialization trait used by every send/receive and collective.
+///
+/// Supported out of the box:
+///   - any trivially copyable type (ints, doubles, PODs, std::array of same)
+///   - std::string
+///   - std::vector<T> for trivially copyable T
+///   - std::vector<std::string>
+///
+/// Users extend the runtime to their own message types by specializing
+/// `Codec<T>` with `encode` and `decode`.
+template <typename T, typename Enable = void>
+struct Codec;
+
+template <typename T>
+struct Codec<T, std::enable_if_t<std::is_trivially_copyable_v<T>>> {
+  static Bytes encode(const T& value) {
+    Bytes out(sizeof(T));
+    std::memcpy(out.data(), &value, sizeof(T));
+    return out;
+  }
+  static T decode(const Bytes& in) {
+    if (in.size() != sizeof(T)) {
+      throw InvalidArgument("Codec: payload size " + std::to_string(in.size()) +
+                            " does not match sizeof(T)=" +
+                            std::to_string(sizeof(T)));
+    }
+    T value;
+    std::memcpy(&value, in.data(), sizeof(T));
+    return value;
+  }
+};
+
+template <>
+struct Codec<std::string> {
+  static Bytes encode(const std::string& value) {
+    Bytes out(value.size());
+    std::memcpy(out.data(), value.data(), value.size());
+    return out;
+  }
+  static std::string decode(const Bytes& in) {
+    return std::string(reinterpret_cast<const char*>(in.data()), in.size());
+  }
+};
+
+template <typename T>
+struct Codec<std::vector<T>, std::enable_if_t<std::is_trivially_copyable_v<T>>> {
+  static Bytes encode(const std::vector<T>& value) {
+    Bytes out(value.size() * sizeof(T));
+    if (!value.empty()) {
+      std::memcpy(out.data(), value.data(), out.size());
+    }
+    return out;
+  }
+  static std::vector<T> decode(const Bytes& in) {
+    if (in.size() % sizeof(T) != 0) {
+      throw InvalidArgument("Codec: payload size is not a multiple of element size");
+    }
+    std::vector<T> value(in.size() / sizeof(T));
+    if (!value.empty()) {
+      std::memcpy(value.data(), in.data(), in.size());
+    }
+    return value;
+  }
+};
+
+template <>
+struct Codec<std::vector<std::string>> {
+  static Bytes encode(const std::vector<std::string>& value) {
+    Bytes out;
+    auto push_u64 = [&out](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+      }
+    };
+    push_u64(value.size());
+    for (const auto& s : value) {
+      push_u64(s.size());
+      for (char c : s) out.push_back(static_cast<std::byte>(c));
+    }
+    return out;
+  }
+  static std::vector<std::string> decode(const Bytes& in) {
+    std::size_t pos = 0;
+    auto read_u64 = [&]() -> std::uint64_t {
+      if (pos + 8 > in.size()) {
+        throw InvalidArgument("Codec: truncated string-vector payload");
+      }
+      std::uint64_t v = 0;
+      for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(in[pos + static_cast<std::size_t>(i)]) << (8 * i);
+      }
+      pos += 8;
+      return v;
+    };
+    const std::uint64_t count = read_u64();
+    std::vector<std::string> value;
+    value.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t len = read_u64();
+      if (pos + len > in.size()) {
+        throw InvalidArgument("Codec: truncated string payload");
+      }
+      value.emplace_back(reinterpret_cast<const char*>(in.data() + pos), len);
+      pos += len;
+    }
+    return value;
+  }
+};
+
+/// Stable hash identifying T for datatype-matching checks.
+template <typename T>
+std::size_t type_hash() {
+  return typeid(T).hash_code();
+}
+
+}  // namespace pdc::mp

@@ -1,0 +1,144 @@
+#include "mp/communicator.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace pdc::mp {
+
+Communicator Communicator::world(Universe& universe, int my_world_rank) {
+  auto members = std::make_shared<std::vector<int>>();
+  members->reserve(static_cast<std::size_t>(universe.size()));
+  for (int r = 0; r < universe.size(); ++r) members->push_back(r);
+  return Communicator(universe, /*comm_id=*/0, std::move(members),
+                      my_world_rank);
+}
+
+const std::string& Communicator::processor_name() const {
+  return universe_->hostname((*members_)[static_cast<std::size_t>(my_rank_)]);
+}
+
+void Communicator::print(std::string line) {
+  universe_->log_line(std::move(line));
+}
+
+Status Communicator::probe(int source, int tag) {
+  check_recv_args(source, tag);
+  return my_mailbox().probe(comm_id_, source, tag);
+}
+
+std::optional<Status> Communicator::iprobe(int source, int tag) {
+  check_recv_args(source, tag);
+  return my_mailbox().try_probe(comm_id_, source, tag);
+}
+
+void Communicator::barrier() {
+  // Flat gather-then-release; O(p) messages, plenty for teaching scale.
+  const int tag = next_collective_tag();
+  constexpr char kToken = 'B';
+  if (my_rank_ == 0) {
+    for (int r = 1; r < size(); ++r) {
+      (void)recv_internal<char>(r, tag);
+    }
+    for (int r = 1; r < size(); ++r) {
+      post(kToken, r, tag);
+    }
+  } else {
+    post(kToken, 0, tag);
+    (void)recv_internal<char>(0, tag);
+  }
+}
+
+Communicator Communicator::dup() {
+  // Rank 0 allocates the fresh context id and broadcasts it; the group and
+  // local ranks carry over unchanged.
+  const int tag = next_collective_tag();
+  std::uint64_t new_id = 0;
+  if (my_rank_ == 0) {
+    new_id = universe_->new_comm_id();
+    for (int r = 1; r < size(); ++r) {
+      post(new_id, r, tag);
+    }
+  } else {
+    new_id = recv_internal<std::uint64_t>(0, tag);
+  }
+  return Communicator(*universe_, new_id, members_, my_rank_);
+}
+
+Communicator Communicator::split(int color, int key) {
+  const int tag = next_collective_tag();
+
+  // Stage 1: rank 0 learns every rank's (color, key).
+  struct Entry {
+    int color;
+    int key;
+    int old_rank;
+  };
+  const std::vector<int> mine{color, key, my_rank_};
+  std::vector<std::vector<int>> entries;
+  if (my_rank_ == 0) {
+    entries.resize(static_cast<std::size_t>(size()));
+    entries[0] = mine;
+    for (int r = 1; r < size(); ++r) {
+      std::vector<int> e = recv_internal<std::vector<int>>(r, tag);
+      entries[static_cast<std::size_t>(e[2])] = std::move(e);
+    }
+  } else {
+    post(mine, 0, tag);
+  }
+
+  // Stage 2: rank 0 forms the groups and tells each rank its new
+  // communicator: [comm_id_lo, comm_id_hi, new_rank, member_world_ranks...].
+  std::vector<int> assignment;
+  if (my_rank_ == 0) {
+    std::vector<Entry> sorted;
+    sorted.reserve(entries.size());
+    for (const auto& e : entries) {
+      sorted.push_back(Entry{e[0], e[1], e[2]});
+    }
+    std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+      return std::tie(a.color, a.key, a.old_rank) <
+             std::tie(b.color, b.key, b.old_rank);
+    });
+
+    std::size_t i = 0;
+    std::vector<std::vector<int>> per_rank(static_cast<std::size_t>(size()));
+    while (i < sorted.size()) {
+      std::size_t j = i;
+      while (j < sorted.size() && sorted[j].color == sorted[i].color) ++j;
+      const std::uint64_t new_id = universe_->new_comm_id();
+      std::vector<int> group_world_ranks;
+      for (std::size_t k = i; k < j; ++k) {
+        group_world_ranks.push_back(
+            (*members_)[static_cast<std::size_t>(sorted[k].old_rank)]);
+      }
+      for (std::size_t k = i; k < j; ++k) {
+        std::vector<int> msg;
+        msg.push_back(static_cast<int>(new_id & 0xffffffffu));
+        msg.push_back(static_cast<int>(new_id >> 32));
+        msg.push_back(static_cast<int>(k - i));  // new local rank
+        msg.insert(msg.end(), group_world_ranks.begin(),
+                   group_world_ranks.end());
+        per_rank[static_cast<std::size_t>(sorted[k].old_rank)] = std::move(msg);
+      }
+      i = j;
+    }
+    for (int r = 1; r < size(); ++r) {
+      post(per_rank[static_cast<std::size_t>(r)], r, tag);
+    }
+    assignment = std::move(per_rank[0]);
+  } else {
+    assignment = recv_internal<std::vector<int>>(0, tag);
+  }
+
+  const std::uint64_t new_id =
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(assignment[0])) |
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(assignment[1]))
+       << 32);
+  const int new_rank = assignment[2];
+  auto new_members = std::make_shared<std::vector<int>>(
+      assignment.begin() + 3, assignment.end());
+
+  return Communicator(*universe_, new_id, std::move(new_members), new_rank);
+}
+
+}  // namespace pdc::mp

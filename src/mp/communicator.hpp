@@ -1,0 +1,544 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mp/codec.hpp"
+#include "mp/message.hpp"
+#include "mp/universe.hpp"
+#include "support/error.hpp"
+
+namespace pdc::mp {
+
+class Communicator;
+
+/// Handle for a nonblocking send. Sends in this runtime are eager/buffered,
+/// so the operation is complete the moment isend returns; the handle exists
+/// so code reads like its MPI counterpart.
+class SendRequest {
+ public:
+  /// Completes immediately.
+  void wait() noexcept {}
+  /// Always true.
+  [[nodiscard]] bool test() const noexcept { return true; }
+};
+
+/// Handle for a nonblocking receive of a T (MPI_Irecv + MPI_Wait/MPI_Test).
+template <typename T>
+class RecvRequest {
+ public:
+  RecvRequest(Communicator& comm, int source, int tag)
+      : comm_(&comm), source_(source), tag_(tag) {}
+
+  /// Non-blocking completion check; on success the value is buffered and
+  /// wait() returns it without blocking.
+  bool test();
+
+  /// Block until the message arrives and return its payload.
+  T wait(Status* status = nullptr);
+
+ private:
+  Communicator* comm_;
+  int source_;
+  int tag_;
+  std::optional<T> value_;
+  Status status_{};
+};
+
+/// An MPI-style communicator: an ordered group of ranks with an isolated
+/// message context. Rank r of this communicator is world rank members()[r].
+///
+/// Point-to-point operations take *local* ranks. All collective operations
+/// must be called by every rank of the communicator in the same order.
+class Communicator {
+ public:
+  /// The world communicator for `my_world_rank` (built by mp::run).
+  static Communicator world(Universe& universe, int my_world_rank);
+
+  /// This rank's id within the communicator.
+  [[nodiscard]] int rank() const noexcept { return my_rank_; }
+
+  /// Number of ranks in the communicator.
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(members_->size());
+  }
+
+  /// World ranks of the members, indexed by local rank.
+  [[nodiscard]] const std::vector<int>& members() const noexcept {
+    return *members_;
+  }
+
+  /// Name of the host this rank runs on (MPI_Get_processor_name).
+  [[nodiscard]] const std::string& processor_name() const;
+
+  /// Append a line to the job's shared output log; the patternlets use this
+  /// the way mpi4py scripts use print().
+  void print(std::string line);
+
+  /// The universe this communicator belongs to.
+  [[nodiscard]] Universe& universe() const noexcept { return *universe_; }
+
+  // ---- point to point -------------------------------------------------
+
+  /// Eager (buffered, non-blocking-in-effect) send of `value` to `dest`.
+  template <typename T>
+  void send(const T& value, int dest, int tag = 0) {
+    check_peer(dest, "send");
+    check_tag(tag);
+    post(value, dest, tag);
+  }
+
+  /// Blocking receive of a T. `source`/`tag` accept kAnySource/kAnyTag.
+  template <typename T>
+  T recv(int source = kAnySource, int tag = kAnyTag, Status* status = nullptr) {
+    check_recv_args(source, tag);
+    Envelope e = my_mailbox().receive(comm_id_, source, tag);
+    return unpack<T>(std::move(e), status);
+  }
+
+  /// Non-blocking receive: nullopt when no matching message is queued.
+  template <typename T>
+  std::optional<T> try_recv(int source = kAnySource, int tag = kAnyTag,
+                            Status* status = nullptr) {
+    check_recv_args(source, tag);
+    auto e = my_mailbox().try_receive(comm_id_, source, tag);
+    if (!e) return std::nullopt;
+    return unpack<T>(std::move(*e), status);
+  }
+
+  /// Blocking receive with timeout; nullopt if nothing matched in time.
+  /// Turns protocol deadlocks into testable failures.
+  template <typename T>
+  std::optional<T> recv_for(std::chrono::milliseconds timeout,
+                            int source = kAnySource, int tag = kAnyTag,
+                            Status* status = nullptr) {
+    check_recv_args(source, tag);
+    auto e = my_mailbox().receive_for(comm_id_, source, tag, timeout);
+    if (!e) return std::nullopt;
+    return unpack<T>(std::move(*e), status);
+  }
+
+  /// Nonblocking send (completes immediately; see SendRequest).
+  template <typename T>
+  SendRequest isend(const T& value, int dest, int tag = 0) {
+    send(value, dest, tag);
+    return SendRequest{};
+  }
+
+  /// Nonblocking receive handle.
+  template <typename T>
+  RecvRequest<T> irecv(int source = kAnySource, int tag = kAnyTag) {
+    check_recv_args(source, tag);
+    return RecvRequest<T>(*this, source, tag);
+  }
+
+  /// Combined send+receive (MPI_Sendrecv); safe because sends are buffered.
+  template <typename T>
+  T sendrecv(const T& send_value, int dest, int send_tag, int source,
+             int recv_tag, Status* status = nullptr) {
+    send(send_value, dest, send_tag);
+    return recv<T>(source, recv_tag, status);
+  }
+
+  /// Blocking probe for a matching message (MPI_Probe).
+  Status probe(int source = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking probe (MPI_Iprobe).
+  std::optional<Status> iprobe(int source = kAnySource, int tag = kAnyTag);
+
+  // ---- collectives -----------------------------------------------------
+
+  /// Algorithm used by a collective call.
+  ///
+  /// Flat: the root sends/receives every message itself — O(p) messages on
+  /// the root's critical path, trivially correct, combination strictly in
+  /// rank order (safe for non-commutative operators). The default.
+  ///
+  /// Binomial: a binomial tree — the same O(p) total messages but only
+  /// O(log p) rounds on the critical path, the algorithm real MPI libraries
+  /// use for small payloads. Reductions combine in tree order, so the
+  /// operator must be commutative (all of mp::ops' scalar ops are).
+  enum class CollectiveAlgo { Flat, Binomial };
+
+  /// Block until every rank of the communicator has entered the barrier.
+  void barrier();
+
+  /// Broadcast `value` from `root` to every rank, in place (MPI_Bcast).
+  template <typename T>
+  void bcast(T& value, int root = 0,
+             CollectiveAlgo algo = CollectiveAlgo::Flat) {
+    check_peer(root, "bcast");
+    const int tag = next_collective_tag();
+    if (algo == CollectiveAlgo::Flat) {
+      if (my_rank_ == root) {
+        for (int r = 0; r < size(); ++r) {
+          if (r != root) post(value, r, tag);
+        }
+      } else {
+        value = recv_internal<T>(root, tag);
+      }
+      return;
+    }
+
+    // Binomial tree (the classic MPICH small-message algorithm): each rank
+    // first receives from its tree parent (unless it is the root), then
+    // forwards down its subtrees, highest bit first.
+    const int p = size();
+    const int vrank = (my_rank_ - root + p) % p;
+    int mask = 1;
+    while (mask < p) {
+      if (vrank & mask) {
+        value = recv_internal<T>((my_rank_ - mask + p) % p, tag);
+        break;
+      }
+      mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+      if (vrank + mask < p) {
+        post(value, (my_rank_ + mask) % p, tag);
+      }
+      mask >>= 1;
+    }
+  }
+
+  /// Gather one value per rank to `root`; returns the full rank-ordered
+  /// vector at root and an empty vector elsewhere (MPI_Gather).
+  template <typename T>
+  std::vector<T> gather(const T& value, int root = 0) {
+    check_peer(root, "gather");
+    const int tag = next_collective_tag();
+    if (my_rank_ == root) {
+      std::vector<T> all;
+      all.reserve(static_cast<std::size_t>(size()));
+      for (int r = 0; r < size(); ++r) {
+        all.push_back(r == root ? value : recv_internal<T>(r, tag));
+      }
+      return all;
+    }
+    post(value, root, tag);
+    return {};
+  }
+
+  /// Gather one value per rank to every rank (MPI_Allgather).
+  template <typename T>
+  std::vector<T> allgather(const T& value) {
+    std::vector<T> all = gather(value, 0);
+    bcast(all, 0);
+    return all;
+  }
+
+  /// Distribute `values[r]` to rank r from `root`; returns this rank's
+  /// element (MPI_Scatter). `values` is only read at root and must have
+  /// exactly size() entries there.
+  template <typename T>
+  T scatter(const std::vector<T>& values, int root = 0) {
+    check_peer(root, "scatter");
+    const int tag = next_collective_tag();
+    if (my_rank_ == root) {
+      if (values.size() != static_cast<std::size_t>(size())) {
+        throw InvalidArgument("scatter: need exactly one value per rank");
+      }
+      for (int r = 0; r < size(); ++r) {
+        if (r != root) post(values[static_cast<std::size_t>(r)], r, tag);
+      }
+      return values[static_cast<std::size_t>(root)];
+    }
+    return recv_internal<T>(root, tag);
+  }
+
+  /// Block-decompose `data` (read at root only) into size() contiguous
+  /// chunks — the first (n mod size) chunks one element longer — and send
+  /// chunk r to rank r (MPI_Scatterv with the patternlets' decomposition).
+  template <typename T>
+  std::vector<T> scatter_chunks(const std::vector<T>& data, int root = 0) {
+    check_peer(root, "scatter_chunks");
+    const int tag = next_collective_tag();
+    if (my_rank_ == root) {
+      const std::size_t n = data.size();
+      const std::size_t p = static_cast<std::size_t>(size());
+      const std::size_t base = n / p;
+      const std::size_t extra = n % p;
+      std::vector<T> mine;
+      std::size_t offset = 0;
+      for (std::size_t r = 0; r < p; ++r) {
+        const std::size_t len = base + (r < extra ? 1 : 0);
+        std::vector<T> chunk(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                             data.begin() + static_cast<std::ptrdiff_t>(offset + len));
+        offset += len;
+        if (static_cast<int>(r) == root) {
+          mine = std::move(chunk);
+        } else {
+          post(chunk, static_cast<int>(r), tag);
+        }
+      }
+      return mine;
+    }
+    return recv_internal<std::vector<T>>(root, tag);
+  }
+
+  /// Concatenate per-rank vectors at root, in rank order (MPI_Gatherv).
+  template <typename T>
+  std::vector<T> gather_chunks(const std::vector<T>& chunk, int root = 0) {
+    check_peer(root, "gather_chunks");
+    const int tag = next_collective_tag();
+    if (my_rank_ == root) {
+      std::vector<T> all;
+      for (int r = 0; r < size(); ++r) {
+        std::vector<T> part =
+            r == root ? chunk : recv_internal<std::vector<T>>(r, tag);
+        all.insert(all.end(), part.begin(), part.end());
+      }
+      return all;
+    }
+    post(chunk, root, tag);
+    return {};
+  }
+
+  /// Reduce every rank's `local` with `op`; the result is returned at root,
+  /// and each non-root rank gets its own `local` back (mirroring MPI, where
+  /// recvbuf is undefined off-root). With the default Flat algorithm the
+  /// combination happens strictly in rank order, so merely-associative
+  /// (non-commutative) operators give deterministic results; Binomial
+  /// combines in tree order and requires a commutative operator.
+  template <typename T, typename Op>
+  T reduce(const T& local, Op op, int root = 0,
+           CollectiveAlgo algo = CollectiveAlgo::Flat) {
+    check_peer(root, "reduce");
+    const int tag = next_collective_tag();
+    if (algo == CollectiveAlgo::Flat) {
+      if (my_rank_ == root) {
+        // Combine in rank order for determinism with non-commutative ops.
+        std::optional<T> acc;
+        for (int r = 0; r < size(); ++r) {
+          T contribution = r == root ? local : recv_internal<T>(r, tag);
+          acc = acc ? op(*acc, contribution) : contribution;
+        }
+        return *acc;
+      }
+      post(local, root, tag);
+      return local;
+    }
+
+    // Binomial tree: the mirror image of the binomial bcast. Each rank
+    // absorbs its children's partial results, then sends its own partial
+    // up to its parent.
+    const int p = size();
+    const int vrank = (my_rank_ - root + p) % p;
+    T acc = local;
+    int mask = 1;
+    while (mask < p) {
+      if ((vrank & mask) == 0) {
+        if (vrank + mask < p) {
+          acc = op(acc, recv_internal<T>((my_rank_ + mask) % p, tag));
+        }
+      } else {
+        post(acc, (my_rank_ - mask + p) % p, tag);
+        break;
+      }
+      mask <<= 1;
+    }
+    return my_rank_ == root ? acc : local;
+  }
+
+  /// Reduce and broadcast the result to every rank (MPI_Allreduce).
+  template <typename T, typename Op>
+  T allreduce(const T& local, Op op) {
+    T result = reduce(local, op, 0);
+    bcast(result, 0);
+    return result;
+  }
+
+  /// Inclusive prefix reduction: rank r returns op-fold of ranks 0..r
+  /// (MPI_Scan). Linear chain, deterministic.
+  template <typename T, typename Op>
+  T scan(const T& local, Op op) {
+    const int tag = next_collective_tag();
+    T acc = local;
+    if (my_rank_ > 0) {
+      acc = op(recv_internal<T>(my_rank_ - 1, tag), local);
+    }
+    if (my_rank_ + 1 < size()) {
+      post(acc, my_rank_ + 1, tag);
+    }
+    return acc;
+  }
+
+  /// Exclusive prefix reduction: rank 0 returns `identity`, rank r > 0
+  /// returns op-fold of ranks 0..r-1 (MPI_Exscan).
+  template <typename T, typename Op>
+  T exscan(const T& local, Op op, const T& identity) {
+    const int tag = next_collective_tag();
+    T prefix = identity;
+    if (my_rank_ > 0) {
+      prefix = recv_internal<T>(my_rank_ - 1, tag);
+    }
+    if (my_rank_ + 1 < size()) {
+      post(my_rank_ == 0 ? local : op(prefix, local), my_rank_ + 1, tag);
+    }
+    return prefix;
+  }
+
+  /// Personalized all-to-all exchange: element d of `per_dest` goes to rank
+  /// d; returns a vector whose element s came from rank s (MPI_Alltoall).
+  template <typename T>
+  std::vector<T> alltoall(const std::vector<T>& per_dest) {
+    if (per_dest.size() != static_cast<std::size_t>(size())) {
+      throw InvalidArgument("alltoall: need exactly one value per rank");
+    }
+    const int tag = next_collective_tag();
+    for (int r = 0; r < size(); ++r) {
+      if (r != my_rank_) post(per_dest[static_cast<std::size_t>(r)], r, tag);
+    }
+    std::vector<T> received;
+    received.reserve(static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) {
+      received.push_back(r == my_rank_ ? per_dest[static_cast<std::size_t>(r)]
+                                       : recv_internal<T>(r, tag));
+    }
+    return received;
+  }
+
+  /// Partition the communicator (MPI_Comm_split): ranks with equal `color`
+  /// form a new communicator, ordered by (key, old rank). Collective.
+  Communicator split(int color, int key);
+
+  /// Duplicate the communicator (MPI_Comm_dup): same group and ranks, but a
+  /// fresh message context, so a library's traffic cannot collide with its
+  /// caller's. Collective.
+  Communicator dup();
+
+  /// In-place exchange (MPI_Sendrecv_replace): send `value` to `dest`,
+  /// replace it with what `source` sent.
+  template <typename T>
+  void sendrecv_replace(T& value, int dest, int send_tag, int source,
+                        int recv_tag, Status* status = nullptr) {
+    value = sendrecv(value, dest, send_tag, source, recv_tag, status);
+  }
+
+ private:
+  friend class Universe;
+  template <typename>
+  friend class RecvRequest;
+
+  Communicator(Universe& universe, std::uint64_t comm_id,
+               std::shared_ptr<const std::vector<int>> members, int my_rank)
+      : universe_(&universe),
+        comm_id_(comm_id),
+        members_(std::move(members)),
+        my_rank_(my_rank) {}
+
+  Mailbox& my_mailbox() const {
+    return universe_->mailbox((*members_)[static_cast<std::size_t>(my_rank_)]);
+  }
+
+  void check_peer(int r, const char* what) const {
+    if (r < 0 || r >= size()) {
+      throw InvalidArgument(std::string(what) + ": rank " + std::to_string(r) +
+                            " out of range for communicator of size " +
+                            std::to_string(size()));
+    }
+  }
+
+  static void check_tag(int tag) {
+    if (tag < 0 || tag >= kMaxUserTag) {
+      throw InvalidArgument("tag " + std::to_string(tag) +
+                            " outside the valid range [0, 2^29)");
+    }
+  }
+
+  void check_recv_args(int source, int tag) const {
+    if (source != kAnySource) check_peer(source, "recv");
+    if (tag != kAnyTag) {
+      if (tag < 0) throw InvalidArgument("recv: negative tag (use kAnyTag)");
+    }
+  }
+
+  /// Serialize and deliver, bypassing user-facing validation (internal tags
+  /// exceed kMaxUserTag by design).
+  template <typename T>
+  void post(const T& value, int dest, int tag) {
+    universe_->record_send();
+    Envelope e;
+    e.comm_id = comm_id_;
+    e.source = my_rank_;
+    e.tag = tag;
+    e.type_hash = type_hash<T>();
+    e.payload = Codec<T>::encode(value);
+    universe_->mailbox((*members_)[static_cast<std::size_t>(dest)])
+        .deliver(std::move(e));
+  }
+
+  template <typename T>
+  T recv_internal(int source, int tag) {
+    Envelope e = my_mailbox().receive(comm_id_, source, tag);
+    return unpack<T>(std::move(e), nullptr);
+  }
+
+  template <typename T>
+  T unpack(Envelope e, Status* status) const {
+    if (e.type_hash != type_hash<T>()) {
+      throw InvalidArgument(
+          "recv: message datatype does not match the receive type "
+          "(sent with a different template parameter)");
+    }
+    if (status) *status = Status{e.source, e.tag, e.payload.size()};
+    return Codec<T>::decode(e.payload);
+  }
+
+  /// Per-rank collective sequence number; identical across ranks because
+  /// collectives must be invoked in the same order on every rank.
+  int next_collective_tag() noexcept {
+    return kCollectiveTagBase | (collective_seq_++ & 0x0FFFFFFF);
+  }
+
+  static constexpr int kCollectiveTagBase = 1 << 30;
+
+  Universe* universe_;
+  std::uint64_t comm_id_;
+  std::shared_ptr<const std::vector<int>> members_;
+  int my_rank_;
+  int collective_seq_ = 0;
+};
+
+/// Wait for every request and collect the values in order (MPI_Waitall).
+template <typename T>
+std::vector<T> wait_all(std::vector<RecvRequest<T>>& requests) {
+  std::vector<T> values;
+  values.reserve(requests.size());
+  for (auto& request : requests) values.push_back(request.wait());
+  return values;
+}
+
+/// True iff every request has completed (MPI_Testall); completed values are
+/// buffered inside the requests for a later wait.
+template <typename T>
+bool test_all(std::vector<RecvRequest<T>>& requests) {
+  bool all = true;
+  for (auto& request : requests) all = request.test() && all;
+  return all;
+}
+
+template <typename T>
+bool RecvRequest<T>::test() {
+  if (value_) return true;
+  auto got = comm_->try_recv<T>(source_, tag_, &status_);
+  if (!got) return false;
+  value_ = std::move(*got);
+  return true;
+}
+
+template <typename T>
+T RecvRequest<T>::wait(Status* status) {
+  if (!value_) {
+    value_ = comm_->recv<T>(source_, tag_, &status_);
+  }
+  if (status) *status = status_;
+  return *value_;
+}
+
+}  // namespace pdc::mp

@@ -1,0 +1,103 @@
+#include "mp/mailbox.hpp"
+
+namespace pdc::mp {
+
+void Mailbox::deliver(Envelope envelope) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(envelope));
+  }
+  arrived_.notify_all();
+}
+
+std::size_t Mailbox::find_match(std::uint64_t comm_id, int source,
+                                int tag) const {
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Envelope& e = queue_[i];
+    if (e.comm_id != comm_id) continue;
+    if (source != kAnySource && e.source != source) continue;
+    if (tag != kAnyTag && e.tag != tag) continue;
+    return i;
+  }
+  return npos;
+}
+
+Envelope Mailbox::receive(std::uint64_t comm_id, int source, int tag) {
+  std::unique_lock lock(mutex_);
+  std::size_t index;
+  arrived_.wait(lock, [&] {
+    if (aborted_) return true;
+    index = find_match(comm_id, source, tag);
+    return index != npos;
+  });
+  if (aborted_) throw Aborted{};
+  Envelope out = std::move(queue_[index]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+  return out;
+}
+
+std::optional<Envelope> Mailbox::try_receive(std::uint64_t comm_id, int source,
+                                             int tag) {
+  std::lock_guard lock(mutex_);
+  if (aborted_) throw Aborted{};
+  const std::size_t index = find_match(comm_id, source, tag);
+  if (index == npos) return std::nullopt;
+  Envelope out = std::move(queue_[index]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+  return out;
+}
+
+std::optional<Envelope> Mailbox::receive_for(std::uint64_t comm_id, int source,
+                                             int tag,
+                                             std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mutex_);
+  std::size_t index = npos;
+  const bool matched = arrived_.wait_for(lock, timeout, [&] {
+    if (aborted_) return true;
+    index = find_match(comm_id, source, tag);
+    return index != npos;
+  });
+  if (aborted_) throw Aborted{};
+  if (!matched || index == npos) return std::nullopt;
+  Envelope out = std::move(queue_[index]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+  return out;
+}
+
+Status Mailbox::probe(std::uint64_t comm_id, int source, int tag) {
+  std::unique_lock lock(mutex_);
+  std::size_t index;
+  arrived_.wait(lock, [&] {
+    if (aborted_) return true;
+    index = find_match(comm_id, source, tag);
+    return index != npos;
+  });
+  if (aborted_) throw Aborted{};
+  const Envelope& e = queue_[index];
+  return Status{e.source, e.tag, e.payload.size()};
+}
+
+std::optional<Status> Mailbox::try_probe(std::uint64_t comm_id, int source,
+                                         int tag) {
+  std::lock_guard lock(mutex_);
+  if (aborted_) throw Aborted{};
+  const std::size_t index = find_match(comm_id, source, tag);
+  if (index == npos) return std::nullopt;
+  const Envelope& e = queue_[index];
+  return Status{e.source, e.tag, e.payload.size()};
+}
+
+std::size_t Mailbox::queued() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+void Mailbox::abort() {
+  {
+    std::lock_guard lock(mutex_);
+    aborted_ = true;
+  }
+  arrived_.notify_all();
+}
+
+}  // namespace pdc::mp

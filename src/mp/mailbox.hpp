@@ -1,0 +1,79 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "mp/message.hpp"
+
+namespace pdc::mp {
+
+/// Thrown to unblock ranks stuck in a receive when the job aborts (a peer
+/// rank threw) — instead of hanging the process, as a real MPI job would.
+class Aborted : public std::exception {
+ public:
+  const char* what() const noexcept override {
+    return "mp job aborted: another rank raised an error";
+  }
+};
+
+/// One rank's incoming message queue.
+///
+/// Delivery is FIFO; receive matching scans the queue in arrival order for
+/// the first envelope whose (communicator, source, tag) satisfies the
+/// receive, which gives MPI's non-overtaking guarantee: two messages from
+/// the same source on the same communicator and tag are received in the
+/// order they were sent. Sends are eager/buffered (a send never blocks),
+/// matching the small-message behaviour of real MPI that the patternlets
+/// rely on.
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueue a message (called from the sending rank's thread).
+  void deliver(Envelope envelope);
+
+  /// Block until a matching message arrives, then remove and return it.
+  /// `source`/`tag` may be kAnySource/kAnyTag. Throws Aborted if abort()
+  /// is called while waiting.
+  Envelope receive(std::uint64_t comm_id, int source, int tag);
+
+  /// Non-blocking receive: returns the first matching message or nullopt.
+  std::optional<Envelope> try_receive(std::uint64_t comm_id, int source, int tag);
+
+  /// Blocking receive with a deadline; nullopt on timeout. Used by tests to
+  /// turn would-be deadlocks into failures instead of hangs.
+  std::optional<Envelope> receive_for(std::uint64_t comm_id, int source, int tag,
+                                      std::chrono::milliseconds timeout);
+
+  /// Blocking probe: waits for a matching message and returns its Status
+  /// without removing it (MPI_Probe).
+  Status probe(std::uint64_t comm_id, int source, int tag);
+
+  /// Non-blocking probe (MPI_Iprobe).
+  std::optional<Status> try_probe(std::uint64_t comm_id, int source, int tag);
+
+  /// Number of queued messages (any communicator), for tests/diagnostics.
+  std::size_t queued() const;
+
+  /// Wake all blocked receivers with an Aborted exception.
+  void abort();
+
+ private:
+  /// Index of first match in queue_, or npos. Caller holds mutex_.
+  std::size_t find_match(std::uint64_t comm_id, int source, int tag) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  mutable std::mutex mutex_;
+  std::condition_variable arrived_;
+  std::deque<Envelope> queue_;
+  bool aborted_ = false;
+};
+
+}  // namespace pdc::mp

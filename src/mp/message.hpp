@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pdc::mp {
+
+/// Wildcard source rank for receives (MPI_ANY_SOURCE).
+inline constexpr int kAnySource = -1;
+
+/// Wildcard message tag for receives (MPI_ANY_TAG).
+inline constexpr int kAnyTag = -1;
+
+/// User tags must lie in [0, kMaxUserTag); larger values are reserved for
+/// the runtime's collective-operation protocol.
+inline constexpr int kMaxUserTag = 1 << 29;
+
+/// Completion information for a receive or probe (MPI_Status).
+struct Status {
+  int source = kAnySource;       ///< local rank of the sender
+  int tag = kAnyTag;             ///< tag the message was sent with
+  std::size_t bytes = 0;         ///< payload size in bytes
+};
+
+/// A message in flight: the envelope (communicator, source, tag) plus the
+/// serialized payload. The payload's type hash lets the runtime reject a
+/// receive whose C++ type does not match what was sent — the moral
+/// equivalent of MPI datatype matching, surfaced as an exception instead of
+/// silent corruption.
+struct Envelope {
+  std::uint64_t comm_id = 0;
+  int source = 0;                ///< local rank within the communicator
+  int tag = 0;
+  std::size_t type_hash = 0;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace pdc::mp

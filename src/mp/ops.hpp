@@ -1,0 +1,68 @@
+#pragma once
+
+#include <algorithm>
+
+namespace pdc::mp::ops {
+
+/// Reduction operators for Communicator::reduce / allreduce / scan,
+/// mirroring MPI_SUM, MPI_PROD, MPI_MIN, MPI_MAX, MPI_LAND, MPI_LOR.
+/// All are associative; Sum/Prod/Min/Max are also commutative. The runtime
+/// always combines in rank order, so even merely associative user operators
+/// give deterministic results.
+
+struct Sum {
+  template <typename T>
+  T operator()(const T& a, const T& b) const { return a + b; }
+};
+
+struct Prod {
+  template <typename T>
+  T operator()(const T& a, const T& b) const { return a * b; }
+};
+
+struct Min {
+  template <typename T>
+  T operator()(const T& a, const T& b) const { return std::min(a, b); }
+};
+
+struct Max {
+  template <typename T>
+  T operator()(const T& a, const T& b) const { return std::max(a, b); }
+};
+
+struct LogicalAnd {
+  bool operator()(bool a, bool b) const { return a && b; }
+};
+
+struct LogicalOr {
+  bool operator()(bool a, bool b) const { return a || b; }
+};
+
+/// Value-with-location pair for MinLoc/MaxLoc reductions (MPI_MINLOC /
+/// MPI_MAXLOC): tracks which rank contributed the extremal value.
+template <typename T>
+struct Located {
+  T value{};
+  int rank = 0;
+  bool operator==(const Located&) const = default;
+};
+
+struct MinLoc {
+  template <typename T>
+  Located<T> operator()(const Located<T>& a, const Located<T>& b) const {
+    if (b.value < a.value) return b;
+    if (a.value < b.value) return a;
+    return a.rank <= b.rank ? a : b;
+  }
+};
+
+struct MaxLoc {
+  template <typename T>
+  Located<T> operator()(const Located<T>& a, const Located<T>& b) const {
+    if (a.value < b.value) return b;
+    if (b.value < a.value) return a;
+    return a.rank <= b.rank ? a : b;
+  }
+};
+
+}  // namespace pdc::mp::ops

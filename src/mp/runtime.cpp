@@ -1,0 +1,73 @@
+#include "mp/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace pdc::mp {
+
+RunResult run(const RunConfig& cfg,
+              const std::function<void(Communicator&)>& program) {
+  if (cfg.num_procs < 1) {
+    throw InvalidArgument("mp::run requires at least one process");
+  }
+  std::vector<std::string> hostnames = cfg.hostnames;
+  if (hostnames.empty()) {
+    hostnames.assign(static_cast<std::size_t>(cfg.num_procs),
+                     cfg.default_hostname);
+  }
+  if (hostnames.size() != static_cast<std::size_t>(cfg.num_procs)) {
+    throw InvalidArgument("mp::run: hostnames must be empty or match num_procs");
+  }
+
+  Universe universe(cfg.num_procs, std::move(hostnames));
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto run_rank = [&](int rank) {
+    Communicator comm = Communicator::world(universe, rank);
+    try {
+      program(comm);
+    } catch (...) {
+      {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      universe.abort();
+    }
+  };
+
+  std::vector<std::thread> ranks;
+  ranks.reserve(static_cast<std::size_t>(cfg.num_procs));
+  for (int r = 0; r < cfg.num_procs; ++r) {
+    ranks.emplace_back(run_rank, r);
+  }
+  for (auto& t : ranks) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  return RunResult{universe.log()};
+}
+
+RunResult run(int num_procs, const std::function<void(Communicator&)>& program) {
+  RunConfig cfg;
+  cfg.num_procs = num_procs;
+  return run(cfg, program);
+}
+
+std::vector<std::string> cluster_hostnames(int num_procs, int num_nodes,
+                                           const std::string& stem) {
+  if (num_procs < 1 || num_nodes < 1) {
+    throw InvalidArgument("cluster_hostnames: counts must be positive");
+  }
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(num_procs));
+  for (int r = 0; r < num_procs; ++r) {
+    names.push_back(stem + std::to_string(r % num_nodes));
+  }
+  return names;
+}
+
+}  // namespace pdc::mp

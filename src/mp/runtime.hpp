@@ -1,0 +1,50 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mp/communicator.hpp"
+
+namespace pdc::mp {
+
+/// Configuration for one message-passing job (the moral equivalent of an
+/// `mpirun` command line).
+struct RunConfig {
+  /// Number of ranks (processes) to launch. Must be >= 1.
+  int num_procs = 4;
+
+  /// Hostnames, one per rank. Leave empty to place every rank on a single
+  /// default host — exactly the situation in the paper's Fig. 2, where all
+  /// four Colab ranks report the same container id.
+  std::vector<std::string> hostnames;
+
+  /// Default hostname used when `hostnames` is empty. The paper's Colab VM
+  /// reported the Docker container id "d6ff4f902ed6"; we keep that spirit
+  /// with a recognizable default.
+  std::string default_hostname = "d6ff4f902ed6";
+};
+
+/// Outcome of a job: everything the ranks print()ed, in arrival order.
+struct RunResult {
+  std::vector<std::string> output;
+};
+
+/// Launch `cfg.num_procs` ranks, each executing `program(comm)` with its
+/// own world communicator, and join them (the in-process `mpirun`).
+///
+/// If any rank throws, the job is aborted: ranks blocked in receives are
+/// woken with mp::Aborted, all ranks are joined, and the first error is
+/// rethrown to the caller.
+RunResult run(const RunConfig& cfg,
+              const std::function<void(Communicator&)>& program);
+
+/// Convenience overload: `run({.num_procs = n}, program)`.
+RunResult run(int num_procs, const std::function<void(Communicator&)>& program);
+
+/// Helper used throughout the patternlets: round-robin hostnames over a
+/// simulated cluster of `num_nodes` nodes named "<stem>0".."<stem>N-1".
+std::vector<std::string> cluster_hostnames(int num_procs, int num_nodes,
+                                           const std::string& stem = "node");
+
+}  // namespace pdc::mp

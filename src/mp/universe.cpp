@@ -1,0 +1,52 @@
+#include "mp/universe.hpp"
+
+#include "support/error.hpp"
+
+namespace pdc::mp {
+
+Universe::Universe(int num_procs, std::vector<std::string> hostnames)
+    : num_procs_(num_procs), hostnames_(std::move(hostnames)) {
+  if (num_procs < 1) {
+    throw InvalidArgument("Universe requires at least one process");
+  }
+  if (hostnames_.size() != static_cast<std::size_t>(num_procs)) {
+    throw InvalidArgument("Universe: hostnames must match process count");
+  }
+  mailboxes_.reserve(static_cast<std::size_t>(num_procs));
+  for (int r = 0; r < num_procs; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+Mailbox& Universe::mailbox(int world_rank) {
+  if (world_rank < 0 || world_rank >= num_procs_) {
+    throw InvalidArgument("Universe::mailbox: rank " +
+                          std::to_string(world_rank) + " out of range");
+  }
+  return *mailboxes_[static_cast<std::size_t>(world_rank)];
+}
+
+const std::string& Universe::hostname(int world_rank) const {
+  if (world_rank < 0 || world_rank >= num_procs_) {
+    throw InvalidArgument("Universe::hostname: rank " +
+                          std::to_string(world_rank) + " out of range");
+  }
+  return hostnames_[static_cast<std::size_t>(world_rank)];
+}
+
+void Universe::log_line(std::string line) {
+  std::lock_guard lock(log_mutex_);
+  log_.push_back(std::move(line));
+}
+
+std::vector<std::string> Universe::log() const {
+  std::lock_guard lock(log_mutex_);
+  return log_;
+}
+
+void Universe::abort() {
+  aborted_.store(true, std::memory_order_release);
+  for (auto& mailbox : mailboxes_) mailbox->abort();
+}
+
+}  // namespace pdc::mp

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mp/mailbox.hpp"
+
+namespace pdc::mp {
+
+/// The shared world of one message-passing job: every rank's mailbox, the
+/// hostname table, the communicator-id allocator and the captured output
+/// log. Created by `mp::run(...)`; user code interacts with it only through
+/// `Communicator`.
+class Universe {
+ public:
+  /// `hostnames[r]` is the processor name reported to world rank r. Must
+  /// have exactly `num_procs` entries.
+  Universe(int num_procs, std::vector<std::string> hostnames);
+
+  Universe(const Universe&) = delete;
+  Universe& operator=(const Universe&) = delete;
+
+  /// World size.
+  [[nodiscard]] int size() const noexcept { return num_procs_; }
+
+  /// Mailbox of world rank `world_rank`.
+  Mailbox& mailbox(int world_rank);
+
+  /// Processor name of world rank `world_rank` (MPI_Get_processor_name).
+  [[nodiscard]] const std::string& hostname(int world_rank) const;
+
+  /// Allocate a fresh communicator id (used by Communicator::split).
+  std::uint64_t new_comm_id() noexcept {
+    return next_comm_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Append one line to the job's output log (thread-safe; arrival order).
+  void log_line(std::string line);
+
+  /// Snapshot of the output log so far.
+  [[nodiscard]] std::vector<std::string> log() const;
+
+  /// Abort the job: wake every blocked receive with mp::Aborted.
+  void abort();
+
+  /// Count one sent message (called by Communicator on every post).
+  void record_send() noexcept {
+    messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Total messages sent in this job so far (diagnostics; used by the
+  /// collective-algorithm ablation bench).
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+
+  /// Whether abort() has been called.
+  [[nodiscard]] bool aborted() const noexcept {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const int num_procs_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::string> hostnames_;
+  std::atomic<std::uint64_t> next_comm_id_{1};  // 0 is COMM_WORLD
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<bool> aborted_{false};
+
+  mutable std::mutex log_mutex_;
+  std::vector<std::string> log_;
+};
+
+}  // namespace pdc::mp

@@ -1,0 +1,100 @@
+#include "notebook/colab.hpp"
+
+#include "patternlets/patternlets.hpp"
+
+namespace pdc::notebook {
+
+namespace {
+
+/// Add the (markdown, %%writefile, !mpirun) cell triple for one patternlet.
+void add_patternlet_cells(Notebook& nb, const std::string& heading,
+                          const std::string& explanation,
+                          const std::string& patternlet_id,
+                          const std::string& filename, int np = 4) {
+  const auto& patternlet = patternlets::global_registry().at(patternlet_id);
+  nb.add_markdown("## " + heading + "\n" + explanation);
+  nb.add_code("%%writefile " + filename + "\n" +
+              patternlet.info().source_listing);
+  nb.add_code("! mpirun --allow-run-as-root -np " + std::to_string(np) +
+              " python " + filename);
+}
+
+}  // namespace
+
+std::unique_ptr<Notebook> build_mpi4py_notebook() {
+  auto nb = std::make_unique<Notebook>("mpi4py_patternlets.ipynb");
+
+  nb->add_markdown(
+      "# Distributed parallel programming patterns using mpi4py\n"
+      "This notebook introduces message passing with short patternlet "
+      "programs. Each example is written to a file with %%writefile, then "
+      "launched on several processes with mpirun. The VM backing this "
+      "notebook has a single core, but the message-passing *concepts* "
+      "demonstrate perfectly well; to experience real speedup, run the "
+      "exemplars on a cluster afterwards.");
+
+  add_patternlet_cells(
+      *nb, "Single Program, Multiple Data",
+      "This code forms the basis of all of the other examples that follow. "
+      "It is the fundamental way we structure parallel programs today.\n"
+      "Next we see how we can use the mpirun program to execute the above "
+      "python code using 4 processes. The value after -np is the number of "
+      "processes to use when running the file of python code saved when "
+      "executing the previous code cell.",
+      "mpi/00-spmd", "00spmd.py");
+
+  add_patternlet_cells(
+      *nb, "Send and Receive",
+      "The conductor process sends a personal greeting to every other "
+      "process. send and recv are the two fundamental operations of "
+      "message passing.",
+      "mpi/01-send-receive", "01sendreceive.py");
+
+  add_patternlet_cells(
+      *nb, "Master-Worker",
+      "One process coordinates; the rest do the work. Try changing -np and "
+      "re-running.",
+      "mpi/03-master-worker", "03masterworker.py");
+
+  add_patternlet_cells(
+      *nb, "Parallel Loop, Slices",
+      "Loop iterations are dealt round-robin across the processes, like "
+      "dealing cards.",
+      "mpi/04-parallel-loop-slices", "04loopslices.py");
+
+  add_patternlet_cells(
+      *nb, "Broadcast",
+      "The conductor obtains the data and broadcasts it so every process "
+      "has a copy.",
+      "mpi/06-broadcast", "06broadcast.py");
+
+  add_patternlet_cells(
+      *nb, "Scatter",
+      "The conductor splits the data and each process receives just its "
+      "chunk.",
+      "mpi/07-scatter", "07scatter.py");
+
+  add_patternlet_cells(
+      *nb, "Gather",
+      "The inverse of scatter: each process contributes its part and the "
+      "conductor reassembles the whole.",
+      "mpi/08-gather", "08gather.py");
+
+  add_patternlet_cells(
+      *nb, "Reduce",
+      "All processes contribute values that are combined with an operator "
+      "such as sum or max.",
+      "mpi/09-reduce", "09reduce.py");
+
+  nb->add_markdown(
+      "## Where to next\n"
+      "You have now used the core message-passing patterns. For the second "
+      "hour, pick an exemplar -- the Forest Fire Simulation or the Drug "
+      "Design example -- and run it on a real multicore system (the "
+      "Chameleon-backed Jupyter notebook or the 64-core VM) to experience "
+      "speedup and scalability.");
+
+  return nb;
+}
+
+}  // namespace pdc::notebook

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <memory>
+
+#include "notebook/notebook.hpp"
+
+namespace pdc::notebook {
+
+/// Build "mpi4py_patternlets.ipynb" — the Google Colab notebook of Section
+/// III-B and Fig. 2 — as a Notebook document.
+///
+/// Each patternlet gets a markdown explanation, a `%%writefile NNname.py`
+/// cell whose body is the patternlet's actual mpi4py listing, and a
+/// `!mpirun --allow-run-as-root -np 4 python NNname.py` cell. Run it with
+/// an ExecutionEngine over ProgramRegistry::mpi4py_standard().
+std::unique_ptr<Notebook> build_mpi4py_notebook();
+
+}  // namespace pdc::notebook

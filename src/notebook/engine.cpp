@@ -1,0 +1,210 @@
+#include "notebook/engine.hpp"
+
+#include <algorithm>
+
+#include "mp/runtime.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace pdc::notebook {
+
+void ProgramRegistry::bind(std::string filename,
+                           patternlets::MpProgram program) {
+  if (filename.empty()) {
+    throw InvalidArgument("ProgramRegistry::bind: filename required");
+  }
+  if (!program) {
+    throw InvalidArgument("ProgramRegistry::bind: program required");
+  }
+  programs_[std::move(filename)] = std::move(program);
+}
+
+std::optional<patternlets::MpProgram> ProgramRegistry::find(
+    const std::string& filename) const {
+  const auto it = programs_.find(filename);
+  if (it == programs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> ProgramRegistry::filenames() const {
+  std::vector<std::string> names;
+  names.reserve(programs_.size());
+  for (const auto& [name, program] : programs_) names.push_back(name);
+  return names;
+}
+
+ProgramRegistry ProgramRegistry::mpi4py_standard() {
+  ProgramRegistry registry;
+  const std::pair<const char*, const char*> bindings[] = {
+      {"00spmd.py", "spmd"},
+      {"01sendreceive.py", "send-receive"},
+      {"02pairexchange.py", "pair-exchange"},
+      {"03masterworker.py", "master-worker"},
+      {"04loopslices.py", "loop-slices"},
+      {"05loopchunks.py", "loop-chunks"},
+      {"06broadcast.py", "broadcast"},
+      {"07scatter.py", "scatter"},
+      {"08gather.py", "gather"},
+      {"09reduce.py", "reduce"},
+      {"10allreduce.py", "allreduce"},
+      {"11barrier.py", "barrier"},
+      {"12tags.py", "tags"},
+      {"13anysource.py", "any-source"},
+      {"14ring.py", "ring"},
+  };
+  for (const auto& [file, program] : bindings) {
+    registry.bind(file, patternlets::mpi_program(program));
+  }
+  return registry;
+}
+
+ExecutionEngine::ExecutionEngine(ProgramRegistry programs, EngineConfig config)
+    : programs_(std::move(programs)), config_(std::move(config)) {
+  if (config_.max_procs < 1) {
+    throw InvalidArgument("ExecutionEngine: max_procs must be >= 1");
+  }
+}
+
+std::vector<std::string> ExecutionEngine::execute_source(
+    const std::string& source) {
+  const std::vector<std::string> lines = strings::split(source, '\n');
+
+  // `%%writefile NAME` consumes the whole cell (Jupyter cell magic).
+  if (!lines.empty() &&
+      strings::starts_with(strings::trim(lines[0]), "%%writefile")) {
+    const auto tokens = strings::split_ws(lines[0]);
+    if (tokens.size() != 2) {
+      return {"UsageError: %%writefile requires exactly one filename"};
+    }
+    std::string body;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      body += lines[i];
+      body += '\n';
+    }
+    const bool existed = files_.write(tokens[1], std::move(body));
+    return {(existed ? "Overwriting " : "Writing ") + tokens[1]};
+  }
+
+  // Otherwise: run `!` shell lines; anything else the kernel cannot run.
+  std::vector<std::string> outputs;
+  bool warned_python = false;
+  for (const auto& raw : lines) {
+    const std::string line = strings::trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    if (line[0] == '!') {
+      auto shell_output = run_shell_line(strings::trim(line.substr(1)));
+      outputs.insert(outputs.end(), shell_output.begin(), shell_output.end());
+    } else if (!warned_python) {
+      outputs.push_back(
+          "[pdclab kernel] skipped Python statement(s): this notebook "
+          "executes code via %%writefile + !mpirun");
+      warned_python = true;
+    }
+  }
+  return outputs;
+}
+
+void ExecutionEngine::execute(Cell& cell) {
+  if (cell.kind != CellKind::Code) return;
+  cell.outputs = execute_source(cell.source);
+  cell.execution_count = next_execution_++;
+}
+
+void ExecutionEngine::run_all(Notebook& notebook) {
+  for (auto& cell : notebook.cells()) execute(cell);
+}
+
+std::vector<std::string> ExecutionEngine::run_shell_line(
+    const std::string& command) {
+  const std::vector<std::string> tokens = strings::split_ws(command);
+  if (tokens.empty()) return {};
+  const std::string& program = tokens[0];
+
+  if (program == "mpirun" || program == "mpiexec") {
+    return run_mpirun(tokens);
+  }
+  if (program == "python" || program == "python3") {
+    if (tokens.size() != 2) return {"usage: python <file.py>"};
+    return run_python(tokens[1], 1);
+  }
+  if (program == "ls") {
+    std::vector<std::string> names = files_.list();
+    if (names.empty()) return {};
+    return {strings::join(names, "  ")};
+  }
+  if (program == "cat") {
+    if (tokens.size() != 2) return {"usage: cat <file>"};
+    const auto content = files_.read(tokens[1]);
+    if (!content) return {"cat: " + tokens[1] + ": No such file or directory"};
+    std::vector<std::string> out = strings::split(*content, '\n');
+    while (!out.empty() && out.back().empty()) out.pop_back();
+    return out;
+  }
+  return {"/bin/bash: " + program + ": command not found"};
+}
+
+std::vector<std::string> ExecutionEngine::run_mpirun(
+    const std::vector<std::string>& tokens) {
+  int num_procs = -1;
+  std::string filename;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    if (tok == "-np" || tok == "-n") {
+      if (i + 1 >= tokens.size()) return {"mpirun: option " + tok + " requires a value"};
+      try {
+        num_procs = std::stoi(tokens[i + 1]);
+      } catch (const std::exception&) {
+        return {"mpirun: invalid process count '" + tokens[i + 1] + "'"};
+      }
+      ++i;
+    } else if (tok == "python" || tok == "python3") {
+      if (i + 1 >= tokens.size()) return {"mpirun: python requires a file"};
+      filename = tokens[i + 1];
+      ++i;
+    } else if (strings::starts_with(tok, "--")) {
+      // Flags like --allow-run-as-root are accepted and ignored.
+    } else {
+      return {"mpirun: unrecognized argument '" + tok + "'"};
+    }
+  }
+  if (num_procs <= 0) {
+    return {"mpirun: a positive -np <count> is required"};
+  }
+  if (num_procs > config_.max_procs) {
+    return {"mpirun: this VM allows at most " +
+            std::to_string(config_.max_procs) + " processes"};
+  }
+  if (filename.empty()) {
+    return {"mpirun: nothing to run (expected: python <file.py>)"};
+  }
+  return run_python(filename, num_procs);
+}
+
+std::vector<std::string> ExecutionEngine::run_python(
+    const std::string& filename, int num_procs) {
+  if (!files_.exists(filename)) {
+    return {"python: can't open file '" + filename +
+            "': [Errno 2] No such file or directory"};
+  }
+  const auto program = programs_.find(filename);
+  if (!program) {
+    return {"[pdclab kernel] no native program is bound to '" + filename +
+            "' (the teaching files are pre-bound; arbitrary Python is not "
+            "interpreted)"};
+  }
+  mp::RunConfig cfg;
+  cfg.num_procs = num_procs;
+  if (!config_.cluster_hosts.empty()) {
+    cfg.hostnames.reserve(static_cast<std::size_t>(num_procs));
+    for (int r = 0; r < num_procs; ++r) {
+      cfg.hostnames.push_back(
+          config_.cluster_hosts[static_cast<std::size_t>(r) %
+                                config_.cluster_hosts.size()]);
+    }
+  } else {
+    cfg.default_hostname = config_.hostname;
+  }
+  return mp::run(cfg, *program).output;
+}
+
+}  // namespace pdc::notebook

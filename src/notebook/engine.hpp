@@ -1,0 +1,87 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "notebook/filestore.hpp"
+#include "notebook/notebook.hpp"
+#include "patternlets/mpi_programs.hpp"
+
+namespace pdc::notebook {
+
+/// Binds virtual .py file names to native rank programs, so that
+/// `!mpirun -np 4 python 00spmd.py` executes real message-passing code.
+/// (The kernel cannot interpret arbitrary Python; the notebook's teaching
+/// files are pre-bound, exactly the set the Colab material ships.)
+class ProgramRegistry {
+ public:
+  /// Bind (or rebind) a file name to a rank program.
+  void bind(std::string filename, patternlets::MpProgram program);
+
+  /// The bound program for `filename`, if any.
+  [[nodiscard]] std::optional<patternlets::MpProgram> find(
+      const std::string& filename) const;
+
+  /// Sorted bound file names.
+  [[nodiscard]] std::vector<std::string> filenames() const;
+
+  /// The standard binding: every mpi4py patternlet file ("00spmd.py",
+  /// "01sendreceive.py", ..., "14ring.py") mapped to its rank program.
+  static ProgramRegistry mpi4py_standard();
+
+ private:
+  std::map<std::string, patternlets::MpProgram> programs_;
+};
+
+/// Execution-environment knobs (which VM the notebook is "running on").
+struct EngineConfig {
+  /// Hostname every rank reports — the Colab container id in Fig. 2.
+  std::string hostname = "d6ff4f902ed6";
+
+  /// Optional per-rank hostnames (simulating the Chameleon cluster backend);
+  /// when set, ranks are placed round-robin across these hosts.
+  std::vector<std::string> cluster_hosts;
+
+  /// Upper bound accepted for `-np` (the Colab VM would not launch more).
+  int max_procs = 64;
+};
+
+/// Executes notebook cells: `%%writefile` magics, `!` shell commands
+/// (mpirun/python/ls/cat), and records outputs on the cells — the back end
+/// behind the paper's Fig. 2 interaction.
+class ExecutionEngine {
+ public:
+  explicit ExecutionEngine(ProgramRegistry programs, EngineConfig config = {});
+
+  /// Execute one cell source and return its output lines (the cell itself
+  /// is not modified; use execute() for that).
+  std::vector<std::string> execute_source(const std::string& source);
+
+  /// Execute a code cell: outputs and execution_count are updated.
+  /// Markdown cells are left untouched.
+  void execute(Cell& cell);
+
+  /// Execute every cell of the notebook in order.
+  void run_all(Notebook& notebook);
+
+  /// The engine's virtual filesystem.
+  [[nodiscard]] FileStore& files() noexcept { return files_; }
+  [[nodiscard]] const FileStore& files() const noexcept { return files_; }
+
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+ private:
+  std::vector<std::string> run_shell_line(const std::string& command);
+  std::vector<std::string> run_mpirun(const std::vector<std::string>& tokens);
+  std::vector<std::string> run_python(const std::string& filename,
+                                      int num_procs);
+
+  ProgramRegistry programs_;
+  EngineConfig config_;
+  FileStore files_;
+  int next_execution_ = 1;
+};
+
+}  // namespace pdc::notebook

@@ -1,0 +1,35 @@
+#include "notebook/filestore.hpp"
+
+#include "support/error.hpp"
+
+namespace pdc::notebook {
+
+bool FileStore::write(const std::string& name, std::string content) {
+  if (name.empty()) throw InvalidArgument("FileStore::write: name required");
+  const bool existed = files_.contains(name);
+  files_[name] = std::move(content);
+  return existed;
+}
+
+std::optional<std::string> FileStore::read(const std::string& name) const {
+  const auto it = files_.find(name);
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool FileStore::exists(const std::string& name) const {
+  return files_.contains(name);
+}
+
+bool FileStore::remove(const std::string& name) {
+  return files_.erase(name) > 0;
+}
+
+std::vector<std::string> FileStore::list() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, content] : files_) names.push_back(name);
+  return names;
+}
+
+}  // namespace pdc::notebook

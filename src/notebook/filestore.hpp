@@ -1,0 +1,38 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pdc::notebook {
+
+/// The notebook VM's in-memory filesystem: where `%%writefile 00spmd.py`
+/// puts its cell body, and where `!mpirun ... python 00spmd.py` looks the
+/// file up again.
+class FileStore {
+ public:
+  /// Write (create or overwrite) a file; returns true if it already existed
+  /// (Jupyter prints "Overwriting" vs "Writing" based on this).
+  bool write(const std::string& name, std::string content);
+
+  /// Read a file if present.
+  [[nodiscard]] std::optional<std::string> read(const std::string& name) const;
+
+  /// Whether `name` exists.
+  [[nodiscard]] bool exists(const std::string& name) const;
+
+  /// Remove a file; returns whether it existed.
+  bool remove(const std::string& name);
+
+  /// Sorted list of file names (the `!ls` view).
+  [[nodiscard]] std::vector<std::string> list() const;
+
+  /// Number of files.
+  [[nodiscard]] std::size_t size() const noexcept { return files_.size(); }
+
+ private:
+  std::map<std::string, std::string> files_;
+};
+
+}  // namespace pdc::notebook

@@ -1,0 +1,107 @@
+#include "notebook/ipynb.hpp"
+
+#include <cstdio>
+
+#include "support/strings.hpp"
+
+namespace pdc::notebook {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// nbformat stores multi-line text as an array of lines, each (except the
+/// last) ending in "\n".
+std::string source_array(const std::string& text, const std::string& indent) {
+  auto lines = strings::split(text, '\n');
+  // Splitting "a\n" yields {"a", ""}; the trailing artifact is not a line.
+  if (lines.size() > 1 && lines.back().empty()) lines.pop_back();
+  std::string out = "[";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n" + indent + "  \"" + json_escape(lines[i]) +
+           (i + 1 < lines.size() ? "\\n\"" : "\"");
+  }
+  out += lines.empty() ? "]" : "\n" + indent + "]";
+  return out;
+}
+
+std::string output_lines_array(const std::vector<std::string>& lines,
+                               const std::string& indent) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n" + indent + "  \"" + json_escape(lines[i]) +
+           (i + 1 < lines.size() ? "\\n\"" : "\"");
+  }
+  out += lines.empty() ? "]" : "\n" + indent + "]";
+  return out;
+}
+
+}  // namespace
+
+std::string to_ipynb_json(const Notebook& notebook) {
+  std::string out = "{\n \"cells\": [";
+  bool first_cell = true;
+  for (const auto& cell : notebook.cells()) {
+    if (!first_cell) out += ",";
+    first_cell = false;
+    out += "\n  {\n";
+    if (cell.kind == CellKind::Markdown) {
+      out += "   \"cell_type\": \"markdown\",\n";
+      out += "   \"metadata\": {},\n";
+      out += "   \"source\": " + source_array(cell.source, "   ") + "\n";
+    } else {
+      out += "   \"cell_type\": \"code\",\n";
+      out += "   \"execution_count\": " +
+             (cell.execution_count > 0 ? std::to_string(cell.execution_count)
+                                       : "null") +
+             ",\n";
+      out += "   \"metadata\": {},\n";
+      out += "   \"outputs\": [";
+      if (!cell.outputs.empty()) {
+        out += "\n    {\n     \"name\": \"stdout\",\n";
+        out += "     \"output_type\": \"stream\",\n";
+        out += "     \"text\": " + output_lines_array(cell.outputs, "     ") +
+               "\n    }\n   ";
+      }
+      out += "],\n";
+      out += "   \"source\": " + source_array(cell.source, "   ") + "\n";
+    }
+    out += "  }";
+  }
+  out += "\n ],\n";
+  out += " \"metadata\": {\n";
+  out += "  \"kernelspec\": {\n";
+  out += "   \"display_name\": \"pdclab (in-process mp runtime)\",\n";
+  out += "   \"language\": \"python\",\n";
+  out += "   \"name\": \"pdclab\"\n  },\n";
+  out += "  \"title\": \"" + json_escape(notebook.title()) + "\"\n },\n";
+  out += " \"nbformat\": 4,\n \"nbformat_minor\": 5\n}\n";
+  return out;
+}
+
+}  // namespace pdc::notebook

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "notebook/notebook.hpp"
+
+namespace pdc::notebook {
+
+/// Escape a string for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters; non-ASCII bytes pass through, which is
+/// valid because the document is UTF-8).
+std::string json_escape(const std::string& text);
+
+/// Serialize the notebook to Jupyter's on-disk format (nbformat 4.5), so a
+/// notebook authored and executed in pdclab opens in real Jupyter/Colab:
+/// markdown cells verbatim, code cells with their captured stdout as a
+/// stream output and their execution counts. This is the interop artifact
+/// that lets an instructor round-trip the teaching materials.
+std::string to_ipynb_json(const Notebook& notebook);
+
+}  // namespace pdc::notebook

@@ -1,0 +1,457 @@
+// The message-passing patternlets: the mpi4py examples from the paper's
+// Colab notebook (Section III-B, Fig. 2), reproduced on the pdc::mp runtime.
+//
+// Each patternlet's protocol lives in a named *rank program* (also exposed
+// through mpi_program(), so the notebook engine can bind it to a virtual
+// .py file); `source_listing` holds the mpi4py Python the learner reads.
+
+#include <algorithm>
+#include <numeric>
+
+#include "mp/ops.hpp"
+#include "mp/runtime.hpp"
+#include "patternlets/mpi_programs.hpp"
+#include "patternlets/patternlets.hpp"
+#include "support/error.hpp"
+
+namespace pdc::patternlets {
+
+using patterns::OutputLog;
+using patterns::Paradigm;
+using patterns::Pattern;
+using patterns::Patternlet;
+using patterns::PatternletInfo;
+using patterns::RunOptions;
+
+namespace {
+
+PatternletInfo info(std::string id, std::string title,
+                    std::vector<Pattern> patterns, std::string description,
+                    std::string listing) {
+  PatternletInfo out;
+  out.id = std::move(id);
+  out.title = std::move(title);
+  out.paradigm = Paradigm::MessagePassing;
+  out.patterns = std::move(patterns);
+  out.description = std::move(description);
+  out.source_listing = std::move(listing);
+  return out;
+}
+
+// ---- rank programs -----------------------------------------------------
+
+void spmd_program(mp::Communicator& comm) {
+  comm.print("Greetings from process " + std::to_string(comm.rank()) + " of " +
+             std::to_string(comm.size()) + " on " + comm.processor_name());
+}
+
+void send_receive_program(mp::Communicator& comm) {
+  if (comm.size() < 2) {
+    comm.print("Please run this program with at least 2 processes");
+    return;
+  }
+  if (comm.rank() == 0) {
+    for (int dest = 1; dest < comm.size(); ++dest) {
+      comm.send(std::string("hello, process ") + std::to_string(dest), dest);
+    }
+    comm.print("Process 0 sent a greeting to every other process");
+  } else {
+    const auto message = comm.recv<std::string>(0);
+    comm.print("Process " + std::to_string(comm.rank()) + " received: '" +
+               message + "'");
+  }
+}
+
+void pair_exchange_program(mp::Communicator& comm) {
+  if (comm.size() % 2 != 0) {
+    comm.print("Please run this program with an even number of processes");
+    return;
+  }
+  // Evens exchange with their odd right neighbor. Because sends are
+  // buffered, send-then-receive cannot deadlock.
+  const int partner = comm.rank() % 2 == 0 ? comm.rank() + 1 : comm.rank() - 1;
+  comm.send(comm.rank() * comm.rank(), partner);
+  const int received = comm.recv<int>(partner);
+  comm.print("Process " + std::to_string(comm.rank()) +
+             " exchanged with process " + std::to_string(partner) +
+             " and received " + std::to_string(received));
+}
+
+void master_worker_program(mp::Communicator& comm) {
+  if (comm.rank() == 0) {
+    comm.print("Greetings from the master, process 0 of " +
+               std::to_string(comm.size()));
+  } else {
+    comm.print("Hello from worker process " + std::to_string(comm.rank()) +
+               " of " + std::to_string(comm.size()));
+  }
+}
+
+void loop_slices_program(mp::Communicator& comm) {
+  constexpr int kIterations = 16;
+  for (int i = comm.rank(); i < kIterations; i += comm.size()) {
+    comm.print("Process " + std::to_string(comm.rank()) +
+               " is performing iteration " + std::to_string(i));
+  }
+}
+
+void loop_chunks_program(mp::Communicator& comm) {
+  constexpr int kIterations = 16;
+  const int base = kIterations / comm.size();
+  const int extra = kIterations % comm.size();
+  const int begin = comm.rank() * base + std::min(comm.rank(), extra);
+  const int end = begin + base + (comm.rank() < extra ? 1 : 0);
+  for (int i = begin; i < end; ++i) {
+    comm.print("Process " + std::to_string(comm.rank()) +
+               " is performing iteration " + std::to_string(i));
+  }
+}
+
+void broadcast_program(mp::Communicator& comm) {
+  std::vector<int> data;
+  if (comm.rank() == 0) {
+    data = {8, 19, 7, 24, 1, 16};  // the "input read by the conductor"
+  }
+  comm.bcast(data, 0);
+  comm.print("Process " + std::to_string(comm.rank()) + " now has " +
+             std::to_string(data.size()) + " values; first is " +
+             std::to_string(data.at(0)));
+}
+
+void scatter_program(mp::Communicator& comm) {
+  std::vector<int> whole;
+  if (comm.rank() == 0) {
+    whole.resize(static_cast<std::size_t>(comm.size()) * 3);
+    std::iota(whole.begin(), whole.end(), 1);
+  }
+  const std::vector<int> mine = comm.scatter_chunks(whole, 0);
+  std::string text;
+  for (int v : mine) text += std::to_string(v) + " ";
+  comm.print("Process " + std::to_string(comm.rank()) +
+             " received chunk: " + text);
+}
+
+void gather_program(mp::Communicator& comm) {
+  std::vector<int> part = {comm.rank() * 10, comm.rank() * 10 + 1};
+  const std::vector<int> whole = comm.gather_chunks(part, 0);
+  if (comm.rank() == 0) {
+    std::string text;
+    for (int v : whole) text += std::to_string(v) + " ";
+    comm.print("Process 0 gathered: " + text);
+  } else {
+    comm.print("Process " + std::to_string(comm.rank()) +
+               " contributed its part");
+  }
+}
+
+void reduce_program(mp::Communicator& comm) {
+  const int square = comm.rank() * comm.rank();
+  const int sum = comm.reduce(square, mp::ops::Sum{}, 0);
+  const int maximum = comm.reduce(square, mp::ops::Max{}, 0);
+  if (comm.rank() == 0) {
+    comm.print("Sum of squares of ranks:  " + std::to_string(sum));
+    comm.print("Max of squares of ranks:  " + std::to_string(maximum));
+  }
+}
+
+void allreduce_program(mp::Communicator& comm) {
+  const int total = comm.allreduce(comm.rank() + 1, mp::ops::Sum{});
+  comm.print("Process " + std::to_string(comm.rank()) +
+             " knows the total is " + std::to_string(total));
+}
+
+void barrier_program(mp::Communicator& comm) {
+  comm.print("Process " + std::to_string(comm.rank()) + " BEFORE the barrier");
+  comm.barrier();
+  comm.print("Process " + std::to_string(comm.rank()) + " AFTER the barrier");
+}
+
+void tags_program(mp::Communicator& comm) {
+  constexpr int kDataTag = 1;
+  constexpr int kControlTag = 2;
+  if (comm.size() < 2) {
+    comm.print("Please run this program with at least 2 processes");
+    return;
+  }
+  if (comm.rank() == 0) {
+    // Send data first, control second -- the worker receives them in the
+    // opposite order by asking for the tags it wants.
+    comm.send(std::string("the payload"), 1, kDataTag);
+    comm.send(std::string("shut down"), 1, kControlTag);
+  } else if (comm.rank() == 1) {
+    const auto control = comm.recv<std::string>(0, kControlTag);
+    const auto data = comm.recv<std::string>(0, kDataTag);
+    comm.print("Worker got control message '" + control + "' first");
+    comm.print("Worker then got data message '" + data + "'");
+  }
+}
+
+void any_source_program(mp::Communicator& comm) {
+  if (comm.rank() == 0) {
+    // Collect one result from every worker, in whatever order they finish;
+    // Status reveals who each message came from.
+    for (int i = 1; i < comm.size(); ++i) {
+      mp::Status status;
+      const int value = comm.recv<int>(mp::kAnySource, mp::kAnyTag, &status);
+      comm.print("Master received " + std::to_string(value) +
+                 " from process " + std::to_string(status.source));
+    }
+  } else {
+    comm.send(comm.rank() * 100, 0);
+  }
+}
+
+void ring_program(mp::Communicator& comm) {
+  const int right = (comm.rank() + 1) % comm.size();
+  const int left = (comm.rank() - 1 + comm.size()) % comm.size();
+  if (comm.rank() == 0) {
+    comm.send(1, right);
+    const int token = comm.recv<int>(left);
+    comm.print("The token returned to process 0 with value " +
+               std::to_string(token) + " after visiting all " +
+               std::to_string(comm.size()) + " processes");
+  } else {
+    const int token = comm.recv<int>(left);
+    comm.print("Process " + std::to_string(comm.rank()) + " passes token " +
+               std::to_string(token + 1));
+    comm.send(token + 1, right);
+  }
+}
+
+struct NamedProgram {
+  const char* name;
+  void (*fn)(mp::Communicator&);
+};
+
+constexpr NamedProgram kPrograms[] = {
+    {"spmd", spmd_program},
+    {"send-receive", send_receive_program},
+    {"pair-exchange", pair_exchange_program},
+    {"master-worker", master_worker_program},
+    {"loop-slices", loop_slices_program},
+    {"loop-chunks", loop_chunks_program},
+    {"broadcast", broadcast_program},
+    {"scatter", scatter_program},
+    {"gather", gather_program},
+    {"reduce", reduce_program},
+    {"allreduce", allreduce_program},
+    {"barrier", barrier_program},
+    {"tags", tags_program},
+    {"any-source", any_source_program},
+    {"ring", ring_program},
+};
+
+/// Patternlet body that launches the named rank program on
+/// opts.num_procs ranks and copies the job log out.
+Patternlet::Body body_of(const char* name) {
+  MpProgram program = mpi_program(name);
+  return [program = std::move(program)](const RunOptions& opts,
+                                        OutputLog& log) {
+    mp::RunResult result = mp::run(opts.num_procs, program);
+    for (auto& line : result.output) log.println(std::move(line));
+  };
+}
+
+}  // namespace
+
+MpProgram mpi_program(const std::string& name) {
+  for (const auto& entry : kPrograms) {
+    if (name == entry.name) return MpProgram(entry.fn);
+  }
+  throw NotFound("mpi_program: no rank program named '" + name + "'");
+}
+
+std::vector<std::string> mpi_program_names() {
+  std::vector<std::string> names;
+  for (const auto& entry : kPrograms) names.emplace_back(entry.name);
+  return names;
+}
+
+void register_mpi(patterns::Registry& registry) {
+  registry.add(Patternlet(
+      info("mpi/00-spmd", "SPMD: greetings from every process",
+           {Pattern::SPMD, Pattern::MessagePassing},
+           "The fundamental structure of message-passing programs: every "
+           "process runs the same program and discovers its rank, the world "
+           "size, and its host. This is the exact example in the paper's "
+           "Fig. 2, run in the Colab with `mpirun -np 4`.",
+           R"(from mpi4py import MPI
+
+def main():
+    comm = MPI.COMM_WORLD
+    id = comm.Get_rank()
+    numProcesses = comm.Get_size()
+    myHostName = MPI.Get_processor_name()
+    print("Greetings from process {} of {} on {}"\
+        .format(id, numProcesses, myHostName))
+
+main())"),
+      body_of("spmd")));
+
+  registry.add(Patternlet(
+      info("mpi/01-send-receive", "Send-receive",
+           {Pattern::MessagePassing},
+           "The conductor (rank 0) sends a personalized greeting to every "
+           "other process, which receives and prints it: the two fundamental "
+           "operations of the paradigm.",
+           R"(if id == 0:
+    for dest in range(1, numProcesses):
+        comm.send("hello, process {}".format(dest), dest=dest)
+else:
+    message = comm.recv(source=0)
+    print("Process {} received: '{}'".format(id, message)))"),
+      body_of("send-receive")));
+
+  registry.add(Patternlet(
+      info("mpi/02-pair-exchange", "Pairwise exchange",
+           {Pattern::MessagePassing},
+           "Adjacent even/odd processes swap values. Requires an even number "
+           "of processes; the send-then-receive order matters in real MPI, "
+           "where unbuffered sends can deadlock.",
+           R"(partner = id + 1 if id % 2 == 0 else id - 1
+comm.send(id * id, dest=partner)
+received = comm.recv(source=partner))"),
+      body_of("pair-exchange")));
+
+  registry.add(Patternlet(
+      info("mpi/03-master-worker", "Master-worker",
+           {Pattern::MasterWorker},
+           "Rank 0 takes the coordinator role; all other ranks act as "
+           "workers. The structure behind the forest-fire and drug-design "
+           "exemplars' job distribution.",
+           R"(if id == 0:
+    print("Greetings from the master, process 0 of {}".format(n))
+else:
+    print("Hello from worker process {} of {}".format(id, n)))"),
+      body_of("master-worker")));
+
+  registry.add(Patternlet(
+      info("mpi/04-parallel-loop-slices", "Parallel loop, slices",
+           {Pattern::ParallelLoopChunksOf1},
+           "Loop iterations dealt round-robin across processes: process r "
+           "performs iterations r, r+P, r+2P, ...",
+           R"(for i in range(id, ITERATIONS, numProcesses):
+    print("Process {} is performing iteration {}".format(id, i)))"),
+      body_of("loop-slices")));
+
+  registry.add(Patternlet(
+      info("mpi/05-parallel-loop-equal-chunks",
+           "Parallel loop, equal chunks",
+           {Pattern::ParallelLoopEqualChunks},
+           "Each process computes its own contiguous block of the iteration "
+           "space from its rank -- the owner-computes rule.",
+           R"(chunk = ITERATIONS // numProcesses
+start = id * chunk
+for i in range(start, start + chunk):
+    print("Process {} is performing iteration {}".format(id, i)))"),
+      body_of("loop-chunks")));
+
+  registry.add(Patternlet(
+      info("mpi/06-broadcast", "Broadcast",
+           {Pattern::Broadcast},
+           "The conductor reads (here: creates) a data list and broadcasts "
+           "it; afterwards every process holds the full list.",
+           R"(if id == 0:
+    data = readInput()
+else:
+    data = None
+data = comm.bcast(data, root=0))"),
+      body_of("broadcast")));
+
+  registry.add(Patternlet(
+      info("mpi/07-scatter", "Scatter",
+           {Pattern::Scatter, Pattern::ParallelLoopEqualChunks},
+           "The conductor splits an array into equal chunks and sends one to "
+           "each process; each process works on only its own chunk.",
+           R"(if id == 0:
+    whole = list(range(1, 3 * numProcesses + 1))
+else:
+    whole = None
+mine = comm.scatter(chunks(whole), root=0))"),
+      body_of("scatter")));
+
+  registry.add(Patternlet(
+      info("mpi/08-gather", "Gather",
+           {Pattern::Gather},
+           "Each process contributes its partial array; the conductor "
+           "reassembles them in rank order into the complete result.",
+           R"(part = [id * 10, id * 10 + 1]
+whole = comm.gather(part, root=0)
+if id == 0:
+    print("gathered:", flatten(whole)))"),
+      body_of("gather")));
+
+  registry.add(Patternlet(
+      info("mpi/09-reduce", "Reduce",
+           {Pattern::Reduction},
+           "Every process contributes a value; the runtime combines them "
+           "with an operator (sum, max, ...) delivering the result to the "
+           "conductor.",
+           R"(square = id * id
+total = comm.reduce(square, op=MPI.SUM, root=0)
+largest = comm.reduce(square, op=MPI.MAX, root=0))"),
+      body_of("reduce")));
+
+  registry.add(Patternlet(
+      info("mpi/10-allreduce", "Reduce to all",
+           {Pattern::Reduction, Pattern::Broadcast},
+           "Like reduce, but every process receives the combined result -- a "
+           "reduce fused with a broadcast.",
+           R"(total = comm.allreduce(id + 1, op=MPI.SUM)
+print("Process {} knows the total is {}".format(id, total)))"),
+      body_of("allreduce")));
+
+  registry.add(Patternlet(
+      info("mpi/11-barrier", "Barrier",
+           {Pattern::Barrier},
+           "No process prints its AFTER line until every process has printed "
+           "its BEFORE line: the barrier divides time into phases across "
+           "separate machines.",
+           R"(print("Process {} BEFORE the barrier".format(id))
+comm.Barrier()
+print("Process {} AFTER the barrier".format(id)))"),
+      body_of("barrier")));
+
+  registry.add(Patternlet(
+      info("mpi/12-tags", "Tagged messages",
+           {Pattern::TaggedMessages, Pattern::MessagePassing},
+           "Tags let a receiver select which kind of message to take next, "
+           "independent of arrival order: the worker here deliberately "
+           "receives the control message before the earlier-sent data.",
+           R"(comm.send(payload, dest=1, tag=DATA)
+comm.send("shut down", dest=1, tag=CONTROL)
+# worker:
+ctrl = comm.recv(source=0, tag=CONTROL)
+data = comm.recv(source=0, tag=DATA))"),
+      body_of("tags")));
+
+  registry.add(Patternlet(
+      info("mpi/13-any-source", "Receive from any source",
+           {Pattern::MessagePassing, Pattern::MasterWorker},
+           "The master collects results in completion order using a wildcard "
+           "source, then learns who sent each message from the Status "
+           "object -- the key to responsive master-worker programs.",
+           R"(status = MPI.Status()
+value = comm.recv(source=MPI.ANY_SOURCE, status=status)
+print("received", value, "from", status.Get_source()))"),
+      body_of("any-source")));
+
+  registry.add(Patternlet(
+      info("mpi/14-ring", "Ring pass",
+           {Pattern::RingPass, Pattern::MessagePassing},
+           "A token travels around the ring of processes, incremented at "
+           "each hop, returning to process 0 with value equal to the number "
+           "of processes -- the communication skeleton of many iterative "
+           "distributed algorithms.",
+           R"(right = (id + 1) % numProcesses
+left  = (id - 1) % numProcesses
+if id == 0:
+    comm.send(1, dest=right)
+    token = comm.recv(source=left)
+else:
+    token = comm.recv(source=left)
+    comm.send(token + 1, dest=right))"),
+      body_of("ring")));
+}
+
+}  // namespace pdc::patternlets

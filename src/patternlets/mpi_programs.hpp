@@ -1,0 +1,26 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mp/communicator.hpp"
+
+namespace pdc::patternlets {
+
+/// A rank program: the body one MPI process executes (what an mpi4py file's
+/// main() does). The message-passing patternlets wrap these with metadata;
+/// the notebook engine binds them to virtual .py file names so that
+/// `!mpirun -np 4 python 00spmd.py` runs real code.
+using MpProgram = std::function<void(mp::Communicator&)>;
+
+/// Look up a rank program by short name ("spmd", "send-receive",
+/// "pair-exchange", "master-worker", "loop-slices", "loop-chunks",
+/// "broadcast", "scatter", "gather", "reduce", "allreduce", "barrier",
+/// "tags", "any-source", "ring"). Throws pdc::NotFound.
+MpProgram mpi_program(const std::string& name);
+
+/// All program names, in patternlet order.
+std::vector<std::string> mpi_program_names();
+
+}  // namespace pdc::patternlets

@@ -1,0 +1,437 @@
+// The shared-memory patternlets: the OpenMP examples the Runestone module's
+// hands-on hour walks through, reproduced on the pdc::smp runtime.
+//
+// Each patternlet keeps the original OpenMP C listing (what the learner
+// reads in the virtual handout) in `source_listing`, while `body` executes
+// the same semantics with pdc::smp and captures the printed lines.
+
+#include <atomic>
+#include <thread>
+
+#include "patternlets/patternlets.hpp"
+#include "smp/parallel.hpp"
+#include "support/strings.hpp"
+
+namespace pdc::patternlets {
+
+using patterns::OutputLog;
+using patterns::Paradigm;
+using patterns::Pattern;
+using patterns::Patternlet;
+using patterns::PatternletInfo;
+using patterns::RunOptions;
+
+namespace {
+
+PatternletInfo info(std::string id, std::string title,
+                    std::vector<Pattern> patterns, std::string description,
+                    std::string listing) {
+  PatternletInfo out;
+  out.id = std::move(id);
+  out.title = std::move(title);
+  out.paradigm = Paradigm::SharedMemory;
+  out.patterns = std::move(patterns);
+  out.description = std::move(description);
+  out.source_listing = std::move(listing);
+  return out;
+}
+
+// ---- omp/00-spmd ------------------------------------------------------
+
+void spmd_body(const RunOptions& opts, OutputLog& log) {
+  smp::parallel(opts.num_threads, [&](smp::TeamContext& ctx) {
+    log.println("Hello from thread " + std::to_string(ctx.thread_num()) +
+                " of " + std::to_string(ctx.num_threads()));
+  });
+}
+
+// ---- omp/01-fork-join --------------------------------------------------
+
+void fork_join_body(const RunOptions& opts, OutputLog& log) {
+  log.println("Before...");
+  smp::parallel(opts.num_threads, [&](smp::TeamContext&) {
+    log.println("During...");
+  });
+  log.println("After.");
+}
+
+// ---- omp/02-fork-join2 -------------------------------------------------
+
+void fork_join2_body(const RunOptions& opts, OutputLog& log) {
+  log.println("Beginning (sequential, 1 thread)");
+  smp::parallel(opts.num_threads, [&](smp::TeamContext&) {
+    log.println("Part I (default team)");
+  });
+  log.println("Between (sequential again)");
+  smp::parallel(opts.num_threads >= 2 ? opts.num_threads / 2 : 1,
+                [&](smp::TeamContext&) { log.println("Part II (half team)"); });
+  log.println("End (sequential)");
+}
+
+// ---- omp/03-parallel-loop-equal-chunks ----------------------------------
+
+void loop_equal_chunks_body(const RunOptions& opts, OutputLog& log) {
+  constexpr std::int64_t kIterations = 16;
+  smp::parallel(opts.num_threads, [&](smp::TeamContext& ctx) {
+    ctx.for_each(0, kIterations, smp::Schedule::static_blocks(),
+                 [&](std::int64_t i) {
+                   log.println("Thread " + std::to_string(ctx.thread_num()) +
+                               " performed iteration " + std::to_string(i));
+                 });
+  });
+}
+
+// ---- omp/04-parallel-loop-chunks-of-1 -----------------------------------
+
+void loop_chunks_of_1_body(const RunOptions& opts, OutputLog& log) {
+  constexpr std::int64_t kIterations = 16;
+  smp::parallel(opts.num_threads, [&](smp::TeamContext& ctx) {
+    ctx.for_each(0, kIterations, smp::Schedule::static_chunks(1),
+                 [&](std::int64_t i) {
+                   log.println("Thread " + std::to_string(ctx.thread_num()) +
+                               " performed iteration " + std::to_string(i));
+                 });
+  });
+}
+
+// ---- omp/05-reduction ----------------------------------------------------
+
+void reduction_body(const RunOptions& opts, OutputLog& log) {
+  constexpr std::int64_t kN = 1000000;
+  // Sequential sum 1..N for reference.
+  const std::int64_t expected = kN * (kN + 1) / 2;
+  const std::int64_t total = smp::parallel_sum<std::int64_t>(
+      1, kN + 1, [](std::int64_t i) { return i; },
+      smp::Schedule::static_blocks(), opts.num_threads);
+  log.println("Sequential sum of 1.." + std::to_string(kN) + " is " +
+              std::to_string(expected));
+  log.println("Parallel sum with reduction is " + std::to_string(total));
+  log.println(total == expected ? "The reduction got the right answer."
+                                : "MISMATCH: the reduction lost updates!");
+}
+
+// ---- omp/06-private ------------------------------------------------------
+
+void private_body(const RunOptions& opts, OutputLog& log) {
+  // Each thread squares its own private copy of `id`; no interference.
+  smp::parallel(opts.num_threads, [&](smp::TeamContext& ctx) {
+    const std::size_t id = ctx.thread_num();       // private by construction
+    const std::size_t squared = id * id;
+    log.println("Thread " + std::to_string(id) + ": private id squared is " +
+                std::to_string(squared));
+  });
+}
+
+// ---- omp/07-race-condition ------------------------------------------------
+
+/// Non-atomic read-modify-write on a shared counter. The load and store are
+/// individually atomic (so the C++ program stays well-defined) but the
+/// increment is not, which is precisely the lost-update race the handout's
+/// video (Fig. 1's section) explains. The occasional yield widens the race
+/// window so the loss is observable even on one hardware core.
+void race_condition_body(const RunOptions& opts, OutputLog& log) {
+  constexpr int kPerThread = 20000;
+  std::atomic<int> balance{0};
+  smp::parallel(opts.num_threads, [&](smp::TeamContext&) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const int seen = balance.load(std::memory_order_relaxed);
+      if (i % 512 == 0) std::this_thread::yield();
+      balance.store(seen + 1, std::memory_order_relaxed);
+    }
+  });
+  const int expected = static_cast<int>(opts.num_threads) * kPerThread;
+  const int actual = balance.load();
+  log.println("Expected balance: " + std::to_string(expected));
+  log.println("Actual balance:   " + std::to_string(actual));
+  log.println(actual == expected
+                  ? "No updates lost this time -- run it again!"
+                  : "Lost " + std::to_string(expected - actual) +
+                        " updates to the race condition.");
+}
+
+// ---- omp/08-critical -------------------------------------------------------
+
+void critical_body(const RunOptions& opts, OutputLog& log) {
+  constexpr int kPerThread = 20000;
+  int balance = 0;  // shared, but only ever touched inside the critical section
+  smp::parallel(opts.num_threads, [&](smp::TeamContext& ctx) {
+    for (int i = 0; i < kPerThread; ++i) {
+      ctx.critical([&] { ++balance; });
+    }
+  });
+  const int expected = static_cast<int>(opts.num_threads) * kPerThread;
+  log.println("Expected balance: " + std::to_string(expected));
+  log.println("Actual balance:   " + std::to_string(balance));
+  log.println(balance == expected
+                  ? "The critical section made the update safe."
+                  : "MISMATCH despite mutual exclusion -- this is a bug!");
+}
+
+// ---- omp/09-atomic -----------------------------------------------------------
+
+void atomic_body(const RunOptions& opts, OutputLog& log) {
+  constexpr int kPerThread = 20000;
+  std::atomic<int> balance{0};
+  smp::parallel(opts.num_threads, [&](smp::TeamContext&) {
+    for (int i = 0; i < kPerThread; ++i) {
+      balance.fetch_add(1, std::memory_order_relaxed);  // indivisible update
+    }
+  });
+  const int expected = static_cast<int>(opts.num_threads) * kPerThread;
+  log.println("Expected balance: " + std::to_string(expected));
+  log.println("Actual balance:   " + std::to_string(balance.load()));
+  log.println("The atomic increment is indivisible, so no updates are lost.");
+}
+
+// ---- omp/10-master-worker ------------------------------------------------------
+
+void master_worker_body(const RunOptions& opts, OutputLog& log) {
+  smp::parallel(opts.num_threads, [&](smp::TeamContext& ctx) {
+    if (ctx.master([&] {
+          log.println("Greetings from the master, thread 0 of " +
+                      std::to_string(ctx.num_threads()));
+        })) {
+      return;
+    }
+    log.println("Hello from worker thread " + std::to_string(ctx.thread_num()) +
+                " of " + std::to_string(ctx.num_threads()));
+  });
+}
+
+// ---- omp/11-barrier ---------------------------------------------------------------
+
+void barrier_body(const RunOptions& opts, OutputLog& log) {
+  smp::parallel(opts.num_threads, [&](smp::TeamContext& ctx) {
+    log.println("Thread " + std::to_string(ctx.thread_num()) +
+                " BEFORE the barrier");
+    ctx.barrier();
+    log.println("Thread " + std::to_string(ctx.thread_num()) +
+                " AFTER the barrier");
+  });
+}
+
+// ---- omp/12-sections -----------------------------------------------------------------
+
+void sections_body(const RunOptions& opts, OutputLog& log) {
+  smp::parallel(opts.num_threads, [&](smp::TeamContext& ctx) {
+    ctx.sections({
+        [&] { log.println("Section A: reading the input"); },
+        [&] { log.println("Section B: prefetching the model"); },
+        [&] { log.println("Section C: warming the cache"); },
+        [&] { log.println("Section D: opening the output"); },
+    });
+    ctx.single([&] { log.println("All sections complete."); });
+  });
+}
+
+// ---- omp/13-dynamic-schedule -------------------------------------------------------------
+
+void dynamic_schedule_body(const RunOptions& opts, OutputLog& log) {
+  // Triangular workload: iteration i costs ~i units. A static schedule
+  // leaves the last thread with most of the work; dynamic balances it.
+  constexpr std::int64_t kIterations = 12;
+  smp::parallel(opts.num_threads, [&](smp::TeamContext& ctx) {
+    ctx.for_each(0, kIterations, smp::Schedule::dynamic(1),
+                 [&](std::int64_t i) {
+                   // Simulated uneven work.
+                   std::int64_t sink = 0;
+                   for (std::int64_t k = 0; k < i * 1000; ++k) sink += k;
+                   asm volatile("" : : "r"(sink));  // keep the loop alive
+                   log.println("Thread " + std::to_string(ctx.thread_num()) +
+                               " finished weighted iteration " +
+                               std::to_string(i));
+                 });
+  });
+}
+
+}  // namespace
+
+void register_omp(patterns::Registry& registry) {
+  registry.add(Patternlet(
+      info("omp/00-spmd", "SPMD: hello from every thread",
+           {Pattern::SPMD, Pattern::ForkJoin},
+           "Every thread runs the same block; each discovers its own id and "
+           "the team size. This single-program-multiple-data structure is the "
+           "foundation of all the patternlets that follow. Note the output "
+           "order changes from run to run.",
+           R"(#pragma omp parallel
+{
+  int id = omp_get_thread_num();
+  int numThreads = omp_get_num_threads();
+  printf("Hello from thread %d of %d\n", id, numThreads);
+})"),
+      spmd_body));
+
+  registry.add(Patternlet(
+      info("omp/01-fork-join", "Fork-join: one region",
+           {Pattern::ForkJoin},
+           "The program is sequential before and after the parallel region; "
+           "inside it, a team of threads each executes the block once.",
+           R"(printf("Before...\n");
+#pragma omp parallel
+  printf("During...\n");
+printf("After.\n");)"),
+      fork_join_body));
+
+  registry.add(Patternlet(
+      info("omp/02-fork-join2", "Fork-join: consecutive regions",
+           {Pattern::ForkJoin},
+           "Two parallel regions in sequence, the second with a different "
+           "team size, showing that fork-join can be applied repeatedly and "
+           "reconfigured between phases.",
+           R"(#pragma omp parallel
+  printf("Part I\n");
+// back to one thread here
+#pragma omp parallel num_threads(THREADS/2)
+  printf("Part II\n");)"),
+      fork_join2_body));
+
+  registry.add(Patternlet(
+      info("omp/03-parallel-loop-equal-chunks",
+           "Parallel loop, equal chunks",
+           {Pattern::ParallelLoopEqualChunks},
+           "The canonical data decomposition: the loop's iterations are "
+           "divided into one contiguous chunk per thread, so thread 0 gets "
+           "the first chunk, thread 1 the next, and so on.",
+           R"(#pragma omp parallel for schedule(static)
+for (int i = 0; i < 16; ++i) {
+  printf("Thread %d performed iteration %d\n",
+         omp_get_thread_num(), i);
+})"),
+      loop_equal_chunks_body));
+
+  registry.add(Patternlet(
+      info("omp/04-parallel-loop-chunks-of-1",
+           "Parallel loop, chunks of 1",
+           {Pattern::ParallelLoopChunksOf1},
+           "The same loop dealt out round-robin, one iteration at a time, "
+           "like dealing cards: thread t performs iterations t, t+T, t+2T...",
+           R"(#pragma omp parallel for schedule(static, 1)
+for (int i = 0; i < 16; ++i) {
+  printf("Thread %d performed iteration %d\n",
+         omp_get_thread_num(), i);
+})"),
+      loop_chunks_of_1_body));
+
+  registry.add(Patternlet(
+      info("omp/05-reduction", "Reduction",
+           {Pattern::Reduction},
+           "Each thread sums its own chunk into a private accumulator; the "
+           "runtime then combines the partial sums. The parallel total "
+           "matches the sequential one exactly.",
+           R"(long total = 0;
+#pragma omp parallel for reduction(+:total)
+for (long i = 1; i <= N; ++i) {
+  total += i;
+})"),
+      reduction_body));
+
+  registry.add(Patternlet(
+      info("omp/06-private", "Private variables",
+           {Pattern::PrivateVariable},
+           "Each thread works on its own private copy of a variable, so "
+           "threads cannot interfere with one another's intermediate values.",
+           R"(#pragma omp parallel private(id)
+{
+  id = omp_get_thread_num();
+  printf("Thread %d: private id squared is %d\n", id, id*id);
+})"),
+      private_body));
+
+  registry.add(Patternlet(
+      info("omp/07-race-condition", "Race condition (anti-pattern)",
+           {Pattern::RaceCondition},
+           "Multiple threads increment a shared balance without any "
+           "coordination. Because load-increment-store is not indivisible, "
+           "threads overwrite each other's updates and the final balance "
+           "comes up short -- by a different amount every run. This is the "
+           "race-condition lesson of the handout's section 2.3.",
+           R"(int balance = 0;
+#pragma omp parallel for
+for (int i = 0; i < N; ++i) {
+  balance = balance + 1;   // NOT atomic: lost updates!
+})"),
+      race_condition_body));
+
+  registry.add(Patternlet(
+      info("omp/08-critical", "Mutual exclusion: critical",
+           {Pattern::MutualExclusion},
+           "The same shared update wrapped in a critical section: only one "
+           "thread at a time may execute it, so no updates are lost (at the "
+           "cost of serializing the increments).",
+           R"(#pragma omp parallel for
+for (int i = 0; i < N; ++i) {
+  #pragma omp critical
+  { balance = balance + 1; }
+})"),
+      critical_body));
+
+  registry.add(Patternlet(
+      info("omp/09-atomic", "Mutual exclusion: atomic",
+           {Pattern::AtomicOperation},
+           "The lighter-weight fix: a hardware atomic increment. Ideal when "
+           "the critical section is a single simple update of one location.",
+           R"(#pragma omp parallel for
+for (int i = 0; i < N; ++i) {
+  #pragma omp atomic
+  balance += 1;
+})"),
+      atomic_body));
+
+  registry.add(Patternlet(
+      info("omp/10-master-worker", "Master-worker",
+           {Pattern::MasterWorker},
+           "Thread 0 takes the coordinator role while the other threads act "
+           "as workers -- the structure behind the drug-design exemplar's "
+           "work queue.",
+           R"(#pragma omp parallel
+{
+  if (omp_get_thread_num() == 0)
+    printf("Greetings from the master\n");
+  else
+    printf("Hello from worker %d\n", omp_get_thread_num());
+})"),
+      master_worker_body));
+
+  registry.add(Patternlet(
+      info("omp/11-barrier", "Barrier",
+           {Pattern::Barrier},
+           "Every BEFORE line prints before any AFTER line: no thread passes "
+           "the barrier until all have arrived.",
+           R"(#pragma omp parallel
+{
+  printf("Thread %d BEFORE\n", omp_get_thread_num());
+  #pragma omp barrier
+  printf("Thread %d AFTER\n", omp_get_thread_num());
+})"),
+      barrier_body));
+
+  registry.add(Patternlet(
+      info("omp/12-sections", "Sections",
+           {Pattern::Sections},
+           "Four independent tasks are distributed across the team; each "
+           "runs exactly once, possibly in parallel with the others.",
+           R"(#pragma omp parallel sections
+{
+  #pragma omp section
+  { readInput(); }
+  #pragma omp section
+  { prefetchModel(); }
+  ...
+})"),
+      sections_body));
+
+  registry.add(Patternlet(
+      info("omp/13-dynamic-schedule", "Dynamic schedule",
+           {Pattern::DynamicLoopSchedule},
+           "With a triangular workload (iteration i costs ~i), a static "
+           "split overloads the last thread; schedule(dynamic) lets each "
+           "thread grab the next iteration when it frees up.",
+           R"(#pragma omp parallel for schedule(dynamic, 1)
+for (int i = 0; i < 12; ++i) {
+  doWeightedWork(i);   // cost grows with i
+})"),
+      dynamic_schedule_body));
+}
+
+}  // namespace pdc::patternlets

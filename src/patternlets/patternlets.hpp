@@ -1,0 +1,22 @@
+#pragma once
+
+#include "patterns/registry.hpp"
+
+namespace pdc::patternlets {
+
+/// Register the 14 shared-memory (OpenMP-style) patternlets under ids
+/// "omp/00-spmd" ... "omp/13-dynamic-schedule".
+void register_omp(patterns::Registry& registry);
+
+/// Register the 15 message-passing (MPI-style) patternlets under ids
+/// "mpi/00-spmd" ... "mpi/14-ring".
+void register_mpi(patterns::Registry& registry);
+
+/// Register both collections.
+void register_all(patterns::Registry& registry);
+
+/// Process-wide registry with every patternlet pre-registered (lazily
+/// initialized, thread-safe). Most callers want this.
+patterns::Registry& global_registry();
+
+}  // namespace pdc::patternlets

@@ -1,0 +1,19 @@
+#include "patternlets/patternlets.hpp"
+
+namespace pdc::patternlets {
+
+void register_all(patterns::Registry& registry) {
+  register_omp(registry);
+  register_mpi(registry);
+}
+
+patterns::Registry& global_registry() {
+  static patterns::Registry* registry = [] {
+    auto* r = new patterns::Registry();
+    register_all(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace pdc::patternlets

@@ -1,0 +1,29 @@
+#include "patterns/patternlet.hpp"
+
+#include "support/error.hpp"
+
+namespace pdc::patterns {
+
+void OutputLog::println(std::string line) {
+  std::lock_guard lock(mutex_);
+  lines_.push_back(std::move(line));
+}
+
+std::vector<std::string> OutputLog::lines() const {
+  std::lock_guard lock(mutex_);
+  return lines_;
+}
+
+Patternlet::Patternlet(PatternletInfo info, Body body)
+    : info_(std::move(info)), body_(std::move(body)) {
+  if (info_.id.empty()) throw InvalidArgument("Patternlet: id required");
+  if (!body_) throw InvalidArgument("Patternlet: body required");
+}
+
+std::vector<std::string> Patternlet::run(const RunOptions& options) const {
+  OutputLog log;
+  body_(options, log);
+  return log.lines();
+}
+
+}  // namespace pdc::patterns

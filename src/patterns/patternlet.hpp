@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "patterns/taxonomy.hpp"
+
+namespace pdc::patterns {
+
+/// Thread-safe line collector: the "console" that a patternlet's threads or
+/// ranks print to, so a run's output can be captured, displayed by the
+/// courseware/notebook, and asserted on by tests.
+class OutputLog {
+ public:
+  /// Append one line (atomic with respect to other appenders).
+  void println(std::string line);
+
+  /// Snapshot of lines in arrival order.
+  [[nodiscard]] std::vector<std::string> lines() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+/// Knobs for one patternlet run: the values a learner passes to
+/// OMP_NUM_THREADS or `mpirun -np`.
+struct RunOptions {
+  std::size_t num_threads = 4;  ///< shared-memory team size
+  int num_procs = 4;            ///< message-passing rank count
+  std::uint64_t seed = 42;      ///< for patternlets with random workloads
+};
+
+/// Static description of a patternlet: everything the courseware shows a
+/// learner *before* they run it.
+struct PatternletInfo {
+  std::string id;           ///< stable key, e.g. "omp/00-spmd"
+  std::string title;        ///< display title, e.g. "SPMD: hello from threads"
+  Paradigm paradigm = Paradigm::SharedMemory;
+  std::vector<Pattern> patterns;  ///< patterns this patternlet illustrates
+  std::string description;        ///< expository paragraph from the handout
+  std::string source_listing;     ///< the short teaching code shown verbatim
+};
+
+/// A runnable patternlet: metadata plus an executable body whose printed
+/// lines are captured and returned.
+class Patternlet {
+ public:
+  using Body = std::function<void(const RunOptions&, OutputLog&)>;
+
+  Patternlet(PatternletInfo info, Body body);
+
+  [[nodiscard]] const PatternletInfo& info() const noexcept { return info_; }
+
+  /// Execute the patternlet and return everything it printed, in the order
+  /// it was printed. Interleaving across threads/ranks is real — observing
+  /// the nondeterminism is part of the lesson.
+  [[nodiscard]] std::vector<std::string> run(const RunOptions& options) const;
+
+ private:
+  PatternletInfo info_;
+  Body body_;
+};
+
+}  // namespace pdc::patterns

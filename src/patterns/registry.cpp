@@ -1,0 +1,66 @@
+#include "patterns/registry.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace pdc::patterns {
+
+void Registry::add(Patternlet patternlet) {
+  if (contains(patternlet.info().id)) {
+    throw InvalidArgument("Registry: duplicate patternlet id '" +
+                          patternlet.info().id + "'");
+  }
+  items_.push_back(std::make_unique<Patternlet>(std::move(patternlet)));
+}
+
+bool Registry::contains(const std::string& id) const {
+  for (const auto& item : items_) {
+    if (item->info().id == id) return true;
+  }
+  return false;
+}
+
+const Patternlet& Registry::at(const std::string& id) const {
+  for (const auto& item : items_) {
+    if (item->info().id == id) return *item;
+  }
+  throw NotFound("Registry: no patternlet with id '" + id + "'");
+}
+
+namespace {
+std::vector<const Patternlet*> sorted_by_id(std::vector<const Patternlet*> v) {
+  std::sort(v.begin(), v.end(), [](const Patternlet* a, const Patternlet* b) {
+    return a->info().id < b->info().id;
+  });
+  return v;
+}
+}  // namespace
+
+std::vector<const Patternlet*> Registry::all() const {
+  std::vector<const Patternlet*> v;
+  v.reserve(items_.size());
+  for (const auto& item : items_) v.push_back(item.get());
+  return sorted_by_id(std::move(v));
+}
+
+std::vector<const Patternlet*> Registry::by_paradigm(Paradigm p) const {
+  std::vector<const Patternlet*> v;
+  for (const auto& item : items_) {
+    if (item->info().paradigm == p) v.push_back(item.get());
+  }
+  return sorted_by_id(std::move(v));
+}
+
+std::vector<const Patternlet*> Registry::by_pattern(Pattern pattern) const {
+  std::vector<const Patternlet*> v;
+  for (const auto& item : items_) {
+    const auto& pats = item->info().patterns;
+    if (std::find(pats.begin(), pats.end(), pattern) != pats.end()) {
+      v.push_back(item.get());
+    }
+  }
+  return sorted_by_id(std::move(v));
+}
+
+}  // namespace pdc::patterns

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "patterns/patternlet.hpp"
+
+namespace pdc::patterns {
+
+/// Catalog of patternlets, keyed by id.
+///
+/// The patternlets library registers the full CSinParallel-style collection
+/// via `pdc::patternlets::register_all(...)`; the courseware, notebook,
+/// examples and tests all look patternlets up here.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Register a patternlet; throws pdc::InvalidArgument on duplicate id.
+  void add(Patternlet patternlet);
+
+  /// True if `id` is registered.
+  [[nodiscard]] bool contains(const std::string& id) const;
+
+  /// Look up by id; throws pdc::NotFound.
+  [[nodiscard]] const Patternlet& at(const std::string& id) const;
+
+  /// All patternlets sorted by id.
+  [[nodiscard]] std::vector<const Patternlet*> all() const;
+
+  /// All patternlets of one paradigm, sorted by id.
+  [[nodiscard]] std::vector<const Patternlet*> by_paradigm(Paradigm p) const;
+
+  /// All patternlets that illustrate `pattern`, sorted by id.
+  [[nodiscard]] std::vector<const Patternlet*> by_pattern(Pattern pattern) const;
+
+  /// Number of registered patternlets.
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Patternlet>> items_;
+};
+
+}  // namespace pdc::patterns

@@ -1,0 +1,163 @@
+#include "patterns/taxonomy.hpp"
+
+namespace pdc::patterns {
+
+std::string to_string(Paradigm paradigm) {
+  switch (paradigm) {
+    case Paradigm::SharedMemory: return "shared memory";
+    case Paradigm::MessagePassing: return "message passing";
+  }
+  return "?";
+}
+
+std::string to_string(PatternCategory category) {
+  switch (category) {
+    case PatternCategory::ProgramStructure: return "program structure";
+    case PatternCategory::DataDecomposition: return "data decomposition";
+    case PatternCategory::Communication: return "communication";
+    case PatternCategory::Coordination: return "coordination";
+    case PatternCategory::AntiPattern: return "anti-pattern";
+  }
+  return "?";
+}
+
+std::string to_string(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::SPMD: return "single program, multiple data";
+    case Pattern::ForkJoin: return "fork-join";
+    case Pattern::ParallelLoopEqualChunks: return "parallel loop, equal chunks";
+    case Pattern::ParallelLoopChunksOf1: return "parallel loop, chunks of 1";
+    case Pattern::DynamicLoopSchedule: return "dynamic loop schedule";
+    case Pattern::Reduction: return "reduction";
+    case Pattern::PrivateVariable: return "private variable";
+    case Pattern::RaceCondition: return "race condition";
+    case Pattern::MutualExclusion: return "mutual exclusion";
+    case Pattern::AtomicOperation: return "atomic operation";
+    case Pattern::Barrier: return "barrier";
+    case Pattern::MasterWorker: return "master-worker";
+    case Pattern::Sections: return "sections";
+    case Pattern::MessagePassing: return "message passing";
+    case Pattern::Broadcast: return "broadcast";
+    case Pattern::Scatter: return "scatter";
+    case Pattern::Gather: return "gather";
+    case Pattern::TaggedMessages: return "tagged messages";
+    case Pattern::RingPass: return "ring pass";
+  }
+  return "?";
+}
+
+PatternCategory category_of(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::SPMD:
+    case Pattern::ForkJoin:
+    case Pattern::MasterWorker:
+    case Pattern::Sections:
+      return PatternCategory::ProgramStructure;
+    case Pattern::ParallelLoopEqualChunks:
+    case Pattern::ParallelLoopChunksOf1:
+    case Pattern::DynamicLoopSchedule:
+    case Pattern::Scatter:
+    case Pattern::Gather:
+      return PatternCategory::DataDecomposition;
+    case Pattern::MessagePassing:
+    case Pattern::Broadcast:
+    case Pattern::TaggedMessages:
+    case Pattern::RingPass:
+      return PatternCategory::Communication;
+    case Pattern::Reduction:
+    case Pattern::PrivateVariable:
+    case Pattern::MutualExclusion:
+    case Pattern::AtomicOperation:
+    case Pattern::Barrier:
+      return PatternCategory::Coordination;
+    case Pattern::RaceCondition:
+      return PatternCategory::AntiPattern;
+  }
+  return PatternCategory::ProgramStructure;
+}
+
+std::string definition_of(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::SPMD:
+      return "every process/thread runs the same program, acting on its own "
+             "id and data";
+    case Pattern::ForkJoin:
+      return "a sequential flow forks a team of workers and joins them back "
+             "before continuing";
+    case Pattern::ParallelLoopEqualChunks:
+      return "loop iterations are divided into one contiguous block per "
+             "worker";
+    case Pattern::ParallelLoopChunksOf1:
+      return "loop iterations are dealt out round-robin, one at a time";
+    case Pattern::DynamicLoopSchedule:
+      return "workers grab the next chunk of iterations as they become free, "
+             "balancing uneven work";
+    case Pattern::Reduction:
+      return "per-worker partial results are combined with an associative "
+             "operation into one value";
+    case Pattern::PrivateVariable:
+      return "each worker gets its own copy of a variable so updates do not "
+             "collide";
+    case Pattern::RaceCondition:
+      return "two or more threads update a shared variable without "
+             "coordination, losing updates nondeterministically";
+    case Pattern::MutualExclusion:
+      return "a critical section ensures only one thread at a time touches a "
+             "shared resource";
+    case Pattern::AtomicOperation:
+      return "a hardware-indivisible update protects a single shared memory "
+             "location";
+    case Pattern::Barrier:
+      return "no worker proceeds past the barrier until all have arrived";
+    case Pattern::MasterWorker:
+      return "one coordinator hands out work to and collects results from "
+             "the other workers";
+    case Pattern::Sections:
+      return "independent tasks are each assigned to a different worker";
+    case Pattern::MessagePassing:
+      return "processes with separate memories cooperate by sending and "
+             "receiving messages";
+    case Pattern::Broadcast:
+      return "one process sends the same data to every other process";
+    case Pattern::Scatter:
+      return "one process splits a data set and sends each piece to a "
+             "different process";
+    case Pattern::Gather:
+      return "every process sends its piece to one process, which reassembles "
+             "the whole";
+    case Pattern::TaggedMessages:
+      return "message tags let a receiver distinguish kinds of messages from "
+             "the same sender";
+    case Pattern::RingPass:
+      return "each process receives from its left neighbor and sends to its "
+             "right, around a ring";
+  }
+  return "?";
+}
+
+const std::vector<Pattern>& all_patterns() {
+  static const std::vector<Pattern> kAll = {
+      Pattern::SPMD,
+      Pattern::ForkJoin,
+      Pattern::ParallelLoopEqualChunks,
+      Pattern::ParallelLoopChunksOf1,
+      Pattern::DynamicLoopSchedule,
+      Pattern::Reduction,
+      Pattern::PrivateVariable,
+      Pattern::RaceCondition,
+      Pattern::MutualExclusion,
+      Pattern::AtomicOperation,
+      Pattern::Barrier,
+      Pattern::MasterWorker,
+      Pattern::Sections,
+      Pattern::MessagePassing,
+      Pattern::Broadcast,
+      Pattern::Scatter,
+      Pattern::Gather,
+      Pattern::TaggedMessages,
+      Pattern::RingPass,
+  };
+  return kAll;
+}
+
+}  // namespace pdc::patterns

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pdc::patterns {
+
+/// Which programming model a patternlet teaches (the paper's two modules).
+enum class Paradigm {
+  SharedMemory,    ///< module 1: OpenMP-style multithreading on the Pi
+  MessagePassing,  ///< module 2: MPI/mpi4py-style multiprocessing
+};
+
+std::string to_string(Paradigm paradigm);
+
+/// Level of the OPL-inspired hierarchy a pattern belongs to.
+enum class PatternCategory {
+  ProgramStructure,   ///< how the computation is organized (SPMD, fork-join)
+  DataDecomposition,  ///< how data/iterations are divided
+  Communication,      ///< how processes exchange data
+  Coordination,       ///< how activities synchronize
+  AntiPattern,        ///< what can go wrong (race conditions)
+};
+
+std::string to_string(PatternCategory category);
+
+/// The parallel design patterns the patternlets illustrate — the working
+/// vocabulary of "parallel thinking" that Adams' patternlets paper distills
+/// from the Berkeley/Intel OPL project.
+enum class Pattern {
+  SPMD,
+  ForkJoin,
+  ParallelLoopEqualChunks,
+  ParallelLoopChunksOf1,
+  DynamicLoopSchedule,
+  Reduction,
+  PrivateVariable,
+  RaceCondition,
+  MutualExclusion,
+  AtomicOperation,
+  Barrier,
+  MasterWorker,
+  Sections,
+  MessagePassing,
+  Broadcast,
+  Scatter,
+  Gather,
+  TaggedMessages,
+  RingPass,
+};
+
+std::string to_string(Pattern pattern);
+
+/// Category of each pattern in the hierarchy.
+PatternCategory category_of(Pattern pattern);
+
+/// One-sentence teaching definition shown by the courseware glossary.
+std::string definition_of(Pattern pattern);
+
+/// Every Pattern enumerator, in declaration order.
+const std::vector<Pattern>& all_patterns();
+
+}  // namespace pdc::patterns

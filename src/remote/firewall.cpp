@@ -1,0 +1,62 @@
+#include "remote/firewall.hpp"
+
+#include "support/error.hpp"
+
+namespace pdc::remote {
+
+Firewall::Firewall(Policy policy) : policy_(policy) {
+  if (policy.max_failures < 1) {
+    throw InvalidArgument("Firewall: max_failures must be >= 1");
+  }
+  if (policy.lockout_minutes <= 0.0) {
+    throw InvalidArgument("Firewall: lockout_minutes must be positive");
+  }
+}
+
+bool Firewall::record_failure(const std::string& client, double now_minutes) {
+  // A lapsed block must be cleared first so the count restarts cleanly.
+  (void)is_blocked(client, now_minutes);
+  ClientState& state = clients_[client];
+  ++state.failures;
+  if (state.failures >= policy_.max_failures) {
+    state.blocked_until = now_minutes + policy_.lockout_minutes;
+    return true;
+  }
+  return state.blocked_until >= now_minutes;
+}
+
+void Firewall::record_success(const std::string& client) {
+  const auto it = clients_.find(client);
+  if (it != clients_.end()) {
+    it->second.failures = 0;  // the block (if any) deliberately remains
+  }
+}
+
+bool Firewall::is_blocked(const std::string& client,
+                          double now_minutes) const {
+  const auto it = clients_.find(client);
+  if (it == clients_.end()) return false;
+  ClientState& state = it->second;
+  if (state.blocked_until < 0.0) return false;
+  if (now_minutes >= state.blocked_until) {
+    state.blocked_until = -1.0;  // block lapsed
+    state.failures = 0;
+    return false;
+  }
+  return true;
+}
+
+void Firewall::unblock(const std::string& client) {
+  const auto it = clients_.find(client);
+  if (it != clients_.end()) {
+    it->second.blocked_until = -1.0;
+    it->second.failures = 0;
+  }
+}
+
+int Firewall::failures(const std::string& client) const {
+  const auto it = clients_.find(client);
+  return it == clients_.end() ? 0 : it->second.failures;
+}
+
+}  // namespace pdc::remote

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace pdc::remote {
+
+/// Fail2ban-style connection firewall: repeated authentication failures
+/// from one client temporarily block that client.
+///
+/// This is the mechanism behind Section IV-B's incident: "eager beaver"
+/// participants raced ahead of the instructions, tried to log in to the St.
+/// Olaf VM incorrectly, and triggered "a VNC-firewall issue that
+/// temporarily suspended their remote access via VNC" — while SSH (a
+/// separate, unfirewalled gateway) kept working.
+class Firewall {
+ public:
+  struct Policy {
+    int max_failures = 3;          ///< failures before the client is blocked
+    double lockout_minutes = 30.0; ///< how long a block lasts
+  };
+
+  explicit Firewall(Policy policy);
+
+  /// Record one failed authentication from `client` at time `now_minutes`.
+  /// Returns true if the client is now blocked.
+  bool record_failure(const std::string& client, double now_minutes);
+
+  /// Record a successful authentication: resets the failure counter
+  /// (an existing active block is NOT lifted — the learner's correct
+  /// password no longer helps, which is what made the incident confusing).
+  void record_success(const std::string& client);
+
+  /// Whether `client` is blocked at time `now_minutes`. A lapsed block is
+  /// forgotten (and the failure count reset).
+  [[nodiscard]] bool is_blocked(const std::string& client,
+                                double now_minutes) const;
+
+  /// Administrative unblock (what the workshop staff did live).
+  void unblock(const std::string& client);
+
+  /// Consecutive failures currently recorded for `client`.
+  [[nodiscard]] int failures(const std::string& client) const;
+
+  [[nodiscard]] const Policy& policy() const noexcept { return policy_; }
+
+ private:
+  struct ClientState {
+    int failures = 0;
+    double blocked_until = -1.0;  ///< minute the block lapses; < 0 = none
+  };
+
+  Policy policy_;
+  mutable std::map<std::string, ClientState> clients_;
+};
+
+}  // namespace pdc::remote

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "remote/vm.hpp"
+
+namespace pdc::remote {
+
+/// One step of a learner's connection transcript.
+struct ConnectionEvent {
+  double minute = 0.0;
+  AccessMethod method = AccessMethod::Vnc;
+  bool success = false;
+  std::string detail;
+};
+
+/// Outcome of connect_with_fallback.
+struct ConnectionOutcome {
+  bool connected = false;
+  std::optional<int> session_id;
+  AccessMethod method_used = AccessMethod::Vnc;
+  std::vector<ConnectionEvent> transcript;
+};
+
+/// The remote-lab connection procedure with the workaround from Section
+/// IV-B: try VNC (the prescribed graphical route); if the learner's earlier
+/// mistakes got their client blocked by the VNC firewall, fall back to SSH
+/// — "the participants could still ssh to the VM to complete the exercise".
+///
+/// `wrong_attempts_first` models the eager-beaver behaviour: that many
+/// wrong-password VNC attempts are made (one minute apart) before the
+/// learner reads the instructions and uses the right credentials.
+ConnectionOutcome connect_with_fallback(RemoteVm& vm,
+                                        const Credentials& good_credentials,
+                                        const std::string& client,
+                                        double start_minute,
+                                        int wrong_attempts_first = 0);
+
+/// Render a transcript as the narrative lines an instructor would see in
+/// the helpdesk channel.
+std::vector<std::string> render_transcript(const ConnectionOutcome& outcome);
+
+}  // namespace pdc::remote

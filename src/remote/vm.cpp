@@ -1,0 +1,124 @@
+#include "remote/vm.hpp"
+
+#include "patternlets/patternlets.hpp"
+#include "support/error.hpp"
+
+namespace pdc::remote {
+
+std::string to_string(AccessMethod method) {
+  return method == AccessMethod::Vnc ? "VNC" : "SSH";
+}
+
+namespace {
+
+notebook::ExecutionEngine make_engine(const std::string& hostname, int cores) {
+  notebook::EngineConfig config;
+  config.hostname = hostname;
+  config.max_procs = cores;
+  return notebook::ExecutionEngine(notebook::ProgramRegistry::mpi4py_standard(),
+                                   config);
+}
+
+}  // namespace
+
+RemoteVm::RemoteVm(std::string hostname, int cores,
+                   Firewall::Policy vnc_policy)
+    : hostname_(std::move(hostname)),
+      cores_(cores),
+      vnc_firewall_(vnc_policy),
+      engine_(make_engine(hostname_, cores)) {
+  if (cores_ < 1) throw InvalidArgument("RemoteVm: cores must be >= 1");
+  // The teaching .py files are preloaded on the VM image, so a session can
+  // `mpirun` them immediately — no %%writefile step needed over VNC/SSH.
+  for (const auto& name :
+       notebook::ProgramRegistry::mpi4py_standard().filenames()) {
+    engine_.files().write(name, "# preloaded CSinParallel teaching file\n");
+  }
+}
+
+RemoteVm RemoteVm::st_olaf(int num_participants) {
+  RemoteVm vm("stolaf-vm", 64, Firewall::Policy{3, 30.0});
+  for (int i = 1; i <= num_participants; ++i) {
+    vm.add_account("participant" + std::to_string(i),
+                   "workshop2020-" + std::to_string(i));
+  }
+  return vm;
+}
+
+void RemoteVm::add_account(const std::string& username,
+                           const std::string& password) {
+  if (username.empty()) throw InvalidArgument("RemoteVm: username required");
+  accounts_[username] = password;
+}
+
+bool RemoteVm::authenticate(const Credentials& credentials) const {
+  const auto it = accounts_.find(credentials.username);
+  return it != accounts_.end() && it->second == credentials.password;
+}
+
+LoginResult RemoteVm::login(AccessMethod method, const Credentials& credentials,
+                            const std::string& client, double now_minutes) {
+  LoginResult result;
+
+  if (method == AccessMethod::Vnc &&
+      vnc_firewall_.is_blocked(client, now_minutes)) {
+    result.message = "VNC: connection refused (client " + client +
+                     " temporarily blocked by the firewall)";
+    return result;
+  }
+
+  if (!authenticate(credentials)) {
+    if (method == AccessMethod::Vnc) {
+      const bool now_blocked =
+          vnc_firewall_.record_failure(client, now_minutes);
+      result.message = now_blocked
+                           ? "VNC: authentication failed; too many attempts "
+                             "-- client blocked for " +
+                                 std::to_string(static_cast<int>(
+                                     vnc_firewall_.policy().lockout_minutes)) +
+                                 " minutes"
+                           : "VNC: authentication failed";
+    } else {
+      result.message = "SSH: permission denied";
+    }
+    return result;
+  }
+
+  if (method == AccessMethod::Vnc) vnc_firewall_.record_success(client);
+
+  const int id = next_session_id_++;
+  sessions_[id] = Session{credentials.username, method};
+  result.success = true;
+  result.session_id = id;
+  result.message = to_string(method) + ": " + credentials.username +
+                   " logged in to " + hostname_ + " (" +
+                   std::to_string(cores_) + " cores)";
+  return result;
+}
+
+bool RemoteVm::logout(int session_id) {
+  return sessions_.erase(session_id) > 0;
+}
+
+std::vector<std::string> RemoteVm::run_command(int session_id,
+                                               const std::string& command) {
+  if (!sessions_.contains(session_id)) {
+    throw NotFound("RemoteVm: no active session " +
+                   std::to_string(session_id));
+  }
+  return engine_.execute_source("!" + command);
+}
+
+int RemoteVm::active_sessions() const {
+  return static_cast<int>(sessions_.size());
+}
+
+int RemoteVm::sessions_of(const std::string& username) const {
+  int count = 0;
+  for (const auto& [id, session] : sessions_) {
+    count += session.username == username;
+  }
+  return count;
+}
+
+}  // namespace pdc::remote

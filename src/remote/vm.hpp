@@ -1,0 +1,97 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "notebook/engine.hpp"
+#include "remote/firewall.hpp"
+
+namespace pdc::remote {
+
+/// How a learner reaches the remote VM. VNC (the graphical desktop route
+/// the instructions prescribed) sits behind the firewall; SSH does not.
+enum class AccessMethod { Vnc, Ssh };
+
+std::string to_string(AccessMethod method);
+
+/// A login attempt's credentials.
+struct Credentials {
+  std::string username;
+  std::string password;
+};
+
+/// Outcome of a login attempt.
+struct LoginResult {
+  bool success = false;
+  std::optional<int> session_id;  ///< set on success
+  std::string message;            ///< human-readable outcome
+};
+
+/// The remote multicore VM of Section III-B option 3: "a VNC connection to
+/// a 64-core VM running on a large server at St. Olaf". Models accounts,
+/// VNC/SSH gateways (VNC firewalled), login sessions, and an execution
+/// environment (the same engine that backs the notebook, configured with
+/// the VM's core count) so a logged-in session can actually run the
+/// mpi4py exemplar files.
+class RemoteVm {
+ public:
+  RemoteVm(std::string hostname, int cores,
+           Firewall::Policy vnc_policy = Firewall::Policy{});
+
+  /// The standard workshop configuration: host "stolaf-vm", 64 cores,
+  /// 3-strike / 30-minute VNC firewall, one account per participant
+  /// ("participant1".."participantN" with per-user passwords), and the
+  /// mpi4py teaching files preloaded.
+  static RemoteVm st_olaf(int num_participants = 22);
+
+  /// Create a user account.
+  void add_account(const std::string& username, const std::string& password);
+
+  /// Attempt a login from `client` (an IP-ish client id) at workshop time
+  /// `now_minutes`. VNC consults the firewall; SSH does not.
+  LoginResult login(AccessMethod method, const Credentials& credentials,
+                    const std::string& client, double now_minutes);
+
+  /// End a session; returns false if the id is unknown.
+  bool logout(int session_id);
+
+  /// Run a shell-style command line ("mpirun -np 16 python 09reduce.py",
+  /// "ls", ...) inside a session. Throws pdc::NotFound for a dead session.
+  std::vector<std::string> run_command(int session_id,
+                                       const std::string& command);
+
+  /// Live session count.
+  [[nodiscard]] int active_sessions() const;
+
+  /// Sessions currently held by `username`.
+  [[nodiscard]] int sessions_of(const std::string& username) const;
+
+  [[nodiscard]] const std::string& hostname() const noexcept {
+    return hostname_;
+  }
+  [[nodiscard]] int cores() const noexcept { return cores_; }
+
+  /// The VNC gateway's firewall (exposed for administration and tests).
+  [[nodiscard]] Firewall& vnc_firewall() noexcept { return vnc_firewall_; }
+
+ private:
+  struct Session {
+    std::string username;
+    AccessMethod method;
+  };
+
+  [[nodiscard]] bool authenticate(const Credentials& credentials) const;
+
+  std::string hostname_;
+  int cores_;
+  Firewall vnc_firewall_;
+  std::map<std::string, std::string> accounts_;  // username -> password
+  std::map<int, Session> sessions_;
+  int next_session_id_ = 1;
+  notebook::ExecutionEngine engine_;
+};
+
+}  // namespace pdc::remote

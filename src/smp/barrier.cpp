@@ -1,0 +1,27 @@
+#include "smp/barrier.hpp"
+
+#include "support/error.hpp"
+
+namespace pdc::smp {
+
+CyclicBarrier::CyclicBarrier(std::size_t parties) : parties_(parties) {
+  if (parties == 0) {
+    throw InvalidArgument("CyclicBarrier requires at least one party");
+  }
+}
+
+std::size_t CyclicBarrier::arrive_and_wait() {
+  std::unique_lock lock(mutex_);
+  const std::size_t my_index = arrived_++;
+  if (arrived_ == parties_) {
+    arrived_ = 0;
+    ++generation_;
+    released_.notify_all();
+    return my_index;
+  }
+  const std::size_t my_generation = generation_;
+  released_.wait(lock, [&] { return generation_ != my_generation; });
+  return my_index;
+}
+
+}  // namespace pdc::smp

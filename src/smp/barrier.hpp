@@ -1,0 +1,42 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace pdc::smp {
+
+/// Reusable (cyclic) barrier for a fixed-size thread team.
+///
+/// This is the synchronization primitive behind the `barrier` patternlet and
+/// the implicit barriers at the end of worksharing constructs. It uses a
+/// generation counter rather than sense-reversal so it is trivially correct
+/// for any number of reuse cycles, and it blocks on a condition variable
+/// (friendly to oversubscribed hosts, e.g. a 1-core CI container running a
+/// 16-thread teaching example).
+class CyclicBarrier {
+ public:
+  /// A barrier for `parties` threads. Requires parties >= 1.
+  explicit CyclicBarrier(std::size_t parties);
+
+  CyclicBarrier(const CyclicBarrier&) = delete;
+  CyclicBarrier& operator=(const CyclicBarrier&) = delete;
+
+  /// Block until all `parties` threads have arrived; then all are released
+  /// and the barrier resets for the next cycle. Returns the arrival index
+  /// within this cycle (0 for the first arriver, parties-1 for the last),
+  /// which tests use to observe barrier semantics.
+  std::size_t arrive_and_wait();
+
+  /// Number of participating threads.
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::mutex mutex_;
+  std::condition_variable released_;
+  std::size_t arrived_ = 0;
+  std::size_t generation_ = 0;
+};
+
+}  // namespace pdc::smp

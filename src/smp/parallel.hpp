@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "smp/team.hpp"
+
+namespace pdc::smp {
+
+/// Fork-join convenience: run `body(i)` for every i in [lo, hi) on a fresh
+/// team of `num_threads` threads (0 = default) with the given schedule.
+/// Equivalent to `#pragma omp parallel for schedule(...)`.
+inline void parallel_for(std::int64_t lo, std::int64_t hi,
+                         const std::function<void(std::int64_t)>& body,
+                         Schedule sched = Schedule::static_blocks(),
+                         std::size_t num_threads = 0) {
+  parallel(num_threads, [&](TeamContext& ctx) {
+    ctx.for_each(lo, hi, sched, body, /*nowait=*/true);
+  });
+}
+
+/// Range-chunk fork-join loop; `body(begin, end)` is called once per
+/// dispatched chunk. Prefer this for tight numeric loops.
+inline void parallel_for_ranges(
+    std::int64_t lo, std::int64_t hi,
+    const std::function<void(std::int64_t, std::int64_t)>& body,
+    Schedule sched = Schedule::static_blocks(), std::size_t num_threads = 0) {
+  parallel(num_threads, [&](TeamContext& ctx) {
+    ctx.for_ranges(lo, hi, sched, body, /*nowait=*/true);
+  });
+}
+
+/// Fork-join reduction: each thread folds its share of [lo, hi) into a local
+/// accumulator starting from `identity` using `fold(acc, i)`; thread locals
+/// are then combined with `combine`. Equivalent to
+/// `#pragma omp parallel for reduction(...)`.
+template <typename T, typename Fold, typename Combine>
+T parallel_reduce(std::int64_t lo, std::int64_t hi, T identity, Fold fold,
+                  Combine combine, Schedule sched = Schedule::static_blocks(),
+                  std::size_t num_threads = 0) {
+  T result = identity;
+  std::mutex result_mutex;
+  parallel(num_threads, [&](TeamContext& ctx) {
+    T local = identity;
+    ctx.for_ranges(
+        lo, hi, sched,
+        [&](std::int64_t begin, std::int64_t end) {
+          for (std::int64_t i = begin; i < end; ++i) local = fold(local, i);
+        },
+        /*nowait=*/true);
+    std::lock_guard lock(result_mutex);
+    result = combine(result, local);
+  });
+  return result;
+}
+
+/// Sum-reduction over [lo, hi) of `term(i)`.
+template <typename T, typename Term>
+T parallel_sum(std::int64_t lo, std::int64_t hi, Term term,
+               Schedule sched = Schedule::static_blocks(),
+               std::size_t num_threads = 0) {
+  return parallel_reduce(
+      lo, hi, T{}, [&](T acc, std::int64_t i) { return acc + term(i); },
+      [](T a, T b) { return a + b; }, sched, num_threads);
+}
+
+/// In-place parallel inclusive prefix scan: data[i] becomes
+/// op(data[0], ..., data[i]). The classic two-phase block algorithm the
+/// PDC curriculum teaches: each thread scans its contiguous block, one
+/// thread scans the block totals, then every block after the first folds
+/// its prefix offset in. `op` must be associative. Equivalent to
+/// std::inclusive_scan, but built from the course's own constructs.
+template <typename T, typename Op>
+void parallel_inclusive_scan(std::vector<T>& data, Op op,
+                             std::size_t num_threads = 0) {
+  if (data.size() < 2) return;
+  const auto n = static_cast<std::int64_t>(data.size());
+
+  // Block totals, shared across the team; element t is written only by
+  // thread t in phase 1 and only read after the barrier.
+  std::vector<T> block_total;
+
+  parallel(num_threads, [&](TeamContext& ctx) {
+    const auto threads = static_cast<std::int64_t>(ctx.num_threads());
+    const auto me = static_cast<std::int64_t>(ctx.thread_num());
+    // The same contiguous decomposition Schedule::static_blocks() uses.
+    const std::int64_t base = n / threads;
+    const std::int64_t extra = n % threads;
+    const std::int64_t begin = me * base + std::min(me, extra);
+    const std::int64_t end = begin + base + (me < extra ? 1 : 0);
+
+    ctx.single([&] { block_total.assign(ctx.num_threads(), T{}); });
+
+    // Phase 1: sequential scan of my block.
+    for (std::int64_t i = begin + 1; i < end; ++i) {
+      data[static_cast<std::size_t>(i)] =
+          op(data[static_cast<std::size_t>(i - 1)],
+             data[static_cast<std::size_t>(i)]);
+    }
+    if (begin < end) {
+      block_total[static_cast<std::size_t>(me)] =
+          data[static_cast<std::size_t>(end - 1)];
+    }
+    ctx.barrier();
+
+    // Phase 2: one thread turns block totals into exclusive block prefixes.
+    // Empty blocks (possible when threads > elements) are skipped rather
+    // than folded, because T{} need not be op's identity.
+    ctx.single([&] {
+      T running = block_total[0];  // block 0 is never empty (n >= 2)
+      for (std::size_t t = 1; t < block_total.size(); ++t) {
+        const std::int64_t size =
+            base + (static_cast<std::int64_t>(t) < extra ? 1 : 0);
+        const T mine = block_total[t];
+        block_total[t] = running;
+        if (size > 0) running = op(running, mine);
+      }
+    });
+
+    // Phase 3: every block after the first folds its prefix in. Empty
+    // blocks (more threads than elements) have begin == end and skip.
+    if (me > 0 && begin < end) {
+      const T& prefix = block_total[static_cast<std::size_t>(me)];
+      for (std::int64_t i = begin; i < end; ++i) {
+        data[static_cast<std::size_t>(i)] =
+            op(prefix, data[static_cast<std::size_t>(i)]);
+      }
+    }
+  });
+}
+
+}  // namespace pdc::smp

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace pdc::smp {
+
+/// Loop iteration schedule for worksharing constructs, mirroring OpenMP's
+/// schedule(static | static,chunk | dynamic,chunk | guided,chunk) clause.
+/// The "parallel loop, equal chunks" and "parallel loop, chunks of 1"
+/// patternlets are Static and StaticChunk(1) respectively.
+struct Schedule {
+  enum class Kind { Static, StaticChunk, Dynamic, Guided };
+
+  Kind kind = Kind::Static;
+  /// Chunk size; interpretation depends on kind (ignored for Static,
+  /// block size for StaticChunk/Dynamic, minimum chunk for Guided).
+  std::size_t chunk = 1;
+
+  /// Contiguous equal blocks, one per thread (OpenMP `schedule(static)`).
+  static constexpr Schedule static_blocks() noexcept {
+    return Schedule{Kind::Static, 0};
+  }
+  /// Round-robin chunks of the given size (OpenMP `schedule(static, c)`).
+  static constexpr Schedule static_chunks(std::size_t chunk_size) noexcept {
+    return Schedule{Kind::StaticChunk, chunk_size};
+  }
+  /// First-come first-served chunks (OpenMP `schedule(dynamic, c)`).
+  static constexpr Schedule dynamic(std::size_t chunk_size = 1) noexcept {
+    return Schedule{Kind::Dynamic, chunk_size};
+  }
+  /// Exponentially shrinking chunks (OpenMP `schedule(guided, c)`).
+  static constexpr Schedule guided(std::size_t min_chunk = 1) noexcept {
+    return Schedule{Kind::Guided, min_chunk};
+  }
+
+  /// Human-readable name, e.g. "dynamic,4".
+  [[nodiscard]] std::string name() const {
+    switch (kind) {
+      case Kind::Static: return "static";
+      case Kind::StaticChunk: return "static," + std::to_string(chunk);
+      case Kind::Dynamic: return "dynamic," + std::to_string(chunk);
+      case Kind::Guided: return "guided," + std::to_string(chunk);
+    }
+    return "?";
+  }
+};
+
+}  // namespace pdc::smp

@@ -1,0 +1,58 @@
+#include "smp/task_group.hpp"
+
+#include "support/error.hpp"
+
+namespace pdc::smp {
+
+TaskGroup::TaskGroup(ThreadPool& pool) : pool_(&pool) {}
+
+TaskGroup::~TaskGroup() {
+  // Draining in the destructor keeps the invariant that captured state
+  // outlives every task, even if the user forgot to wait().
+  try {
+    wait();
+  } catch (...) {
+    // Swallowing here is the lesser evil; wait() is where errors belong.
+  }
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  if (!task) throw InvalidArgument("TaskGroup::run: task required");
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  spawned_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mutex_);
+    waited_ = false;
+  }
+  pool_->submit([this, task = std::move(task)] {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Possibly the last task; wake the waiter to re-check.
+      std::lock_guard lock(mutex_);
+      drained_.notify_all();
+    } else {
+      drained_.notify_all();
+    }
+  });
+}
+
+void TaskGroup::wait() {
+  std::unique_lock lock(mutex_);
+  drained_.wait(lock, [&] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+  waited_ = true;
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace pdc::smp

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+
+#include "smp/thread_pool.hpp"
+
+namespace pdc::smp {
+
+/// Structured task parallelism over a ThreadPool: the teaching analogue of
+/// OpenMP's `task` + `taskwait`. Tasks may spawn nested tasks into the same
+/// group; wait() returns only when the whole tree has completed.
+///
+/// Exceptions thrown by tasks are captured; wait() rethrows the first one
+/// after the group drains (mirroring how `parallel` handles exceptions).
+///
+/// Tasks must not call wait() themselves — with a bounded pool that is a
+/// classic self-deadlock (every worker blocked waiting for tasks no worker
+/// is free to run). Recursive algorithms instead spawn children and return,
+/// exactly as with OpenMP tasks without taskwait-in-task.
+class TaskGroup {
+ public:
+  /// The pool must outlive the group.
+  explicit TaskGroup(ThreadPool& pool);
+
+  /// Drains the group (so captured state always outlives every task); any
+  /// unobserved task exception is dropped — call wait() to receive errors.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Spawn a task; safe to call from inside other tasks of this group.
+  void run(std::function<void()> task);
+
+  /// Block until every spawned task (including ones spawned while waiting)
+  /// has finished; rethrows the first task exception, if any.
+  void wait();
+
+  /// Tasks spawned so far (diagnostics).
+  [[nodiscard]] std::size_t spawned() const noexcept {
+    return spawned_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ThreadPool* pool_;
+  std::atomic<std::size_t> outstanding_{0};
+  std::atomic<std::size_t> spawned_{0};
+  std::mutex mutex_;
+  std::condition_variable drained_;
+  std::exception_ptr first_error_;
+  bool waited_ = true;  // a fresh group has nothing pending
+};
+
+}  // namespace pdc::smp

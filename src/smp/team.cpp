@@ -1,0 +1,200 @@
+#include "smp/team.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "smp/config.hpp"
+
+namespace pdc::smp {
+
+Team::Team(std::size_t num_threads)
+    : num_threads_(num_threads), barrier_(num_threads) {
+  if (num_threads == 0) {
+    throw InvalidArgument("Team requires at least one thread");
+  }
+}
+
+std::mutex& Team::critical_mutex(const std::string& name) {
+  std::lock_guard lock(criticals_mutex_);
+  auto& slot = criticals_[name];
+  if (!slot) slot = std::make_unique<std::mutex>();
+  return *slot;
+}
+
+Team::Slot& Team::acquire_slot(std::uint64_t id) {
+  std::lock_guard lock(slots_mutex_);
+  auto& slot = slots_[id];
+  if (!slot) slot = std::make_unique<Slot>();
+  return *slot;
+}
+
+void Team::depart_slot(std::uint64_t id) {
+  std::lock_guard lock(slots_mutex_);
+  const auto it = slots_.find(id);
+  if (it == slots_.end()) return;
+  if (++it->second->departed == num_threads_) {
+    slots_.erase(it);
+  }
+}
+
+bool TeamContext::single(const std::function<void()>& fn, bool nowait) {
+  const std::uint64_t id = next_construct_id();
+  auto& slot = team_->acquire_slot(id);
+  bool i_ran = false;
+  {
+    std::lock_guard lock(slot.mutex);
+    if (!slot.claimed) {
+      slot.claimed = true;
+      i_ran = true;
+    }
+  }
+  if (i_ran) fn();
+  team_->depart_slot(id);
+  if (!nowait) barrier();
+  return i_ran;
+}
+
+void TeamContext::for_ranges(
+    std::int64_t lo, std::int64_t hi, Schedule sched,
+    const std::function<void(std::int64_t, std::int64_t)>& body, bool nowait) {
+  const std::int64_t n = std::max<std::int64_t>(0, hi - lo);
+  const auto threads = static_cast<std::int64_t>(num_threads());
+  const auto me = static_cast<std::int64_t>(thread_num());
+
+  switch (sched.kind) {
+    case Schedule::Kind::Static: {
+      // Contiguous blocks; the first (n % threads) blocks get one extra
+      // iteration so the imbalance is at most 1.
+      const std::int64_t base = n / threads;
+      const std::int64_t extra = n % threads;
+      const std::int64_t begin =
+          lo + me * base + std::min(me, extra);
+      const std::int64_t end = begin + base + (me < extra ? 1 : 0);
+      if (begin < end) body(begin, end);
+      break;
+    }
+    case Schedule::Kind::StaticChunk: {
+      const auto chunk = static_cast<std::int64_t>(std::max<std::size_t>(1, sched.chunk));
+      for (std::int64_t start = me * chunk; start < n; start += threads * chunk) {
+        body(lo + start, lo + std::min(n, start + chunk));
+      }
+      break;
+    }
+    case Schedule::Kind::Dynamic: {
+      const auto chunk = static_cast<std::int64_t>(std::max<std::size_t>(1, sched.chunk));
+      const std::uint64_t id = next_construct_id();
+      auto& slot = team_->acquire_slot(id);
+      for (;;) {
+        const std::int64_t start =
+            slot.next.fetch_add(chunk, std::memory_order_relaxed);
+        if (start >= n) break;
+        body(lo + start, lo + std::min(n, start + chunk));
+      }
+      team_->depart_slot(id);
+      break;
+    }
+    case Schedule::Kind::Guided: {
+      const auto min_chunk = static_cast<std::int64_t>(std::max<std::size_t>(1, sched.chunk));
+      const std::uint64_t id = next_construct_id();
+      auto& slot = team_->acquire_slot(id);
+      for (;;) {
+        std::int64_t start = slot.next.load(std::memory_order_relaxed);
+        std::int64_t chunk;
+        do {
+          if (start >= n) {
+            chunk = 0;
+            break;
+          }
+          const std::int64_t remaining = n - start;
+          chunk = std::max(min_chunk, remaining / (2 * threads));
+          chunk = std::min(chunk, remaining);
+        } while (!slot.next.compare_exchange_weak(start, start + chunk,
+                                                  std::memory_order_relaxed));
+        if (chunk == 0) break;
+        body(lo + start, lo + start + chunk);
+      }
+      team_->depart_slot(id);
+      break;
+    }
+  }
+  if (!nowait) barrier();
+}
+
+void TeamContext::for_each(std::int64_t lo, std::int64_t hi, Schedule sched,
+                           const std::function<void(std::int64_t)>& body,
+                           bool nowait) {
+  for_ranges(
+      lo, hi, sched,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) body(i);
+      },
+      nowait);
+}
+
+void TeamContext::OrderedContext::run(std::int64_t i,
+                                      const std::function<void()>& fn) {
+  std::unique_lock lock(*mutex_);
+  cv_->wait(lock, [&] { return *next_ == i - lo_; });
+  fn();  // still holding the lock: the region is serialized by design
+  ++*next_;
+  cv_->notify_all();
+}
+
+void TeamContext::for_each_ordered(
+    std::int64_t lo, std::int64_t hi, Schedule sched,
+    const std::function<void(std::int64_t, OrderedContext&)>& body,
+    bool nowait) {
+  // A dedicated slot provides the ordered-region turnstile; the inner
+  // worksharing loop allocates its own dispatch slot as usual.
+  const std::uint64_t id = next_construct_id();
+  auto& slot = team_->acquire_slot(id);
+  OrderedContext ordered(slot.mutex, slot.cv, slot.ordered_next, lo);
+  for_each(
+      lo, hi, sched, [&](std::int64_t i) { body(i, ordered); },
+      /*nowait=*/true);
+  team_->depart_slot(id);
+  if (!nowait) barrier();
+}
+
+void TeamContext::sections(const std::vector<std::function<void()>>& tasks,
+                           bool nowait) {
+  for_each(
+      0, static_cast<std::int64_t>(tasks.size()), Schedule::dynamic(1),
+      [&](std::int64_t i) { tasks[static_cast<std::size_t>(i)](); }, nowait);
+}
+
+void parallel(std::size_t num_threads,
+              const std::function<void(TeamContext&)>& body) {
+  const std::size_t n = num_threads == 0 ? default_num_threads() : num_threads;
+  Team team(n);
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto run_member = [&](std::size_t thread_num) {
+    TeamContext ctx(team, thread_num);
+    try {
+      body(ctx);
+    } catch (...) {
+      std::lock_guard lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(n - 1);
+  for (std::size_t t = 1; t < n; ++t) {
+    workers.emplace_back(run_member, t);
+  }
+  run_member(0);  // the calling thread is team member 0, as in OpenMP
+  for (auto& worker : workers) worker.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel(const std::function<void(TeamContext&)>& body) {
+  parallel(0, body);
+}
+
+}  // namespace pdc::smp

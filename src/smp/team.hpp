@@ -1,0 +1,223 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "smp/barrier.hpp"
+#include "smp/schedule.hpp"
+#include "support/error.hpp"
+
+namespace pdc::smp {
+
+class TeamContext;
+
+/// Shared state of one fork-join thread team.
+///
+/// A Team is created by `pdc::smp::parallel(...)`; user code only ever sees
+/// the per-thread `TeamContext` view. All worksharing constructs (loops,
+/// single, reductions, sections) must be encountered by every thread of the
+/// team in the same order — the same rule OpenMP imposes — because matching
+/// is by per-thread construct sequence number.
+class Team {
+ public:
+  explicit Team(std::size_t num_threads);
+
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const noexcept { return num_threads_; }
+
+  /// Team-wide barrier (also used for the implicit barriers of worksharing
+  /// constructs).
+  CyclicBarrier& barrier() noexcept { return barrier_; }
+
+  /// The mutex backing a named critical section; created on first use.
+  std::mutex& critical_mutex(const std::string& name);
+
+ private:
+  friend class TeamContext;
+
+  /// Shared per-construct rendezvous state, keyed by construct sequence id.
+  struct Slot {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::atomic<std::int64_t> next{0};        // loop dispatch cursor
+    std::int64_t ordered_next = 0;            // ordered-region turn counter
+    std::shared_ptr<void> payload;            // reduction accumulator
+    std::size_t arrived = 0;
+    std::size_t departed = 0;
+    bool ready = false;                       // reduction result complete
+    bool claimed = false;                     // `single` executor chosen
+  };
+
+  /// Get (creating if first arrival) the slot for construct `id`.
+  Slot& acquire_slot(std::uint64_t id);
+
+  /// Called once per thread when done with construct `id`; the last thread
+  /// to depart frees the slot so long-running teams don't leak state.
+  void depart_slot(std::uint64_t id);
+
+  const std::size_t num_threads_;
+  CyclicBarrier barrier_;
+
+  std::mutex slots_mutex_;
+  std::map<std::uint64_t, std::unique_ptr<Slot>> slots_;
+
+  std::mutex criticals_mutex_;
+  std::map<std::string, std::unique_ptr<std::mutex>> criticals_;
+};
+
+/// Per-thread view of a parallel region: what OpenMP exposes through
+/// omp_get_thread_num(), `#pragma omp for/critical/single/master/barrier`
+/// and reduction clauses.
+class TeamContext {
+ public:
+  TeamContext(Team& team, std::size_t thread_num)
+      : team_(&team), thread_num_(thread_num) {}
+
+  /// This thread's id within the team, in [0, num_threads()).
+  [[nodiscard]] std::size_t thread_num() const noexcept { return thread_num_; }
+
+  /// Team size.
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return team_->num_threads();
+  }
+
+  /// Block until every team member reaches the barrier.
+  void barrier() { team_->barrier().arrive_and_wait(); }
+
+  /// Execute `fn` under the team's unnamed critical-section mutex.
+  void critical(const std::function<void()>& fn) { critical("", fn); }
+
+  /// Execute `fn` under the named critical-section mutex. Distinct names
+  /// never contend with each other, exactly as in OpenMP.
+  void critical(const std::string& name, const std::function<void()>& fn) {
+    std::lock_guard lock(team_->critical_mutex(name));
+    fn();
+  }
+
+  /// Execute `fn` on thread 0 only (no implied barrier). Returns true on the
+  /// thread that ran it.
+  bool master(const std::function<void()>& fn) {
+    if (thread_num_ != 0) return false;
+    fn();
+    return true;
+  }
+
+  /// Execute `fn` on exactly one (first-arriving) thread. Unless `nowait`,
+  /// all threads synchronize afterwards, as with OpenMP's implicit barrier.
+  /// Returns true on the thread that executed `fn`.
+  bool single(const std::function<void()>& fn, bool nowait = false);
+
+  /// Worksharing loop over the half-open index range [lo, hi): the team's
+  /// threads collectively execute `body(i)` exactly once per index, divided
+  /// according to `sched`. Implicit trailing barrier unless `nowait`.
+  void for_each(std::int64_t lo, std::int64_t hi, Schedule sched,
+                const std::function<void(std::int64_t)>& body,
+                bool nowait = false);
+
+  /// Range-chunk variant of for_each: `body(begin, end)` receives each
+  /// dispatched chunk, which avoids per-index call overhead in hot loops.
+  void for_ranges(std::int64_t lo, std::int64_t hi, Schedule sched,
+                  const std::function<void(std::int64_t, std::int64_t)>& body,
+                  bool nowait = false);
+
+  /// Worksharing sections: each task runs exactly once, tasks distributed
+  /// dynamically across the team. Implicit trailing barrier unless `nowait`.
+  void sections(const std::vector<std::function<void()>>& tasks,
+                bool nowait = false);
+
+  /// The `ordered` region of an ordered worksharing loop: code passed to
+  /// run() executes strictly in iteration order even though the rest of the
+  /// loop body runs in parallel (OpenMP's `ordered` clause + directive).
+  /// Obtained only from for_each_ordered.
+  class OrderedContext {
+   public:
+    /// Execute `fn` for iteration `i` once every iteration before `i` has
+    /// completed its ordered region. Must be called exactly once per
+    /// iteration, with that iteration's index.
+    void run(std::int64_t i, const std::function<void()>& fn);
+
+   private:
+    friend class TeamContext;
+    OrderedContext(std::mutex& mutex, std::condition_variable& cv,
+                   std::int64_t& next, std::int64_t lo)
+        : mutex_(&mutex), cv_(&cv), next_(&next), lo_(lo) {}
+    std::mutex* mutex_;
+    std::condition_variable* cv_;
+    std::int64_t* next_;  ///< next iteration allowed into the region
+    std::int64_t lo_;
+  };
+
+  /// Ordered worksharing loop over [lo, hi): iterations are distributed by
+  /// `sched` and `body(i, ordered)` bodies run concurrently, but whatever
+  /// each body passes to `ordered.run(i, ...)` executes in ascending
+  /// iteration order — the construct behind pipelined loops that must emit
+  /// results in order. Implicit trailing barrier unless `nowait`.
+  void for_each_ordered(
+      std::int64_t lo, std::int64_t hi, Schedule sched,
+      const std::function<void(std::int64_t, OrderedContext&)>& body,
+      bool nowait = false);
+
+  /// Team-wide reduction: combines every thread's `local` value with
+  /// `combine` (associative & commutative) and returns the result on every
+  /// thread. Acts as a barrier.
+  template <typename T, typename Combine>
+  T reduce(const T& local, Combine combine) {
+    const std::uint64_t id = next_construct_id();
+    auto& slot = team_->acquire_slot(id);
+    T result;
+    {
+      std::unique_lock lock(slot.mutex);
+      if (!slot.payload) {
+        slot.payload = std::make_shared<T>(local);
+      } else {
+        auto& acc = *std::static_pointer_cast<T>(slot.payload);
+        acc = combine(acc, local);
+      }
+      if (++slot.arrived == num_threads()) {
+        slot.ready = true;
+        slot.cv.notify_all();
+      } else {
+        slot.cv.wait(lock, [&] { return slot.ready; });
+      }
+      result = *std::static_pointer_cast<T>(slot.payload);
+    }
+    team_->depart_slot(id);
+    return result;
+  }
+
+  /// Sum-reduction convenience (the reduction patternlet's `+` clause).
+  template <typename T>
+  T reduce_sum(const T& local) {
+    return reduce(local, [](const T& a, const T& b) { return a + b; });
+  }
+
+ private:
+  /// Sequence number for the next worksharing/collective construct this
+  /// thread encounters. Identical across threads by the same-order rule.
+  std::uint64_t next_construct_id() noexcept { return construct_counter_++; }
+
+  Team* team_;
+  std::size_t thread_num_;
+  std::uint64_t construct_counter_ = 0;
+};
+
+/// Fork `num_threads` threads running `body(ctx)` and join them (the
+/// fork-join patternlet; equivalent to `#pragma omp parallel`).
+/// The first exception thrown by any thread is rethrown to the caller after
+/// all threads have joined. `num_threads == 0` uses default_num_threads().
+void parallel(std::size_t num_threads,
+              const std::function<void(TeamContext&)>& body);
+
+/// As above with the default thread count.
+void parallel(const std::function<void(TeamContext&)>& body);
+
+}  // namespace pdc::smp

@@ -1,0 +1,55 @@
+#include "smp/thread_pool.hpp"
+
+#include "smp/config.hpp"
+
+namespace pdc::smp {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = num_threads == 0 ? default_num_threads() : num_threads;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+    queue_.clear();
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+    }
+    idle_.notify_all();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace pdc::smp

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pdc::smp {
+
+/// Persistent worker pool with a shared FIFO task queue.
+///
+/// The fork-join `parallel(...)` construct deliberately creates fresh
+/// threads (that *is* the fork-join patternlet); the pool exists for
+/// longer-lived pipelines — the drug-design exemplar's shared work queue and
+/// the notebook engine's background execution — where thread reuse matters.
+class ThreadPool {
+ public:
+  /// Start `num_threads` workers (0 = default_num_threads()).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains nothing: pending tasks are discarded, running tasks complete.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the future resolves with its result (or exception).
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    auto future = packaged->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([packaged] { (*packaged)(); });
+    }
+    work_available_.notify_one();
+    return future;
+  }
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Tasks currently waiting in the queue (for observability/tests).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace pdc::smp

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pdc {
+
+/// One series in a grouped bar chart (e.g. "Pre-Survey" counts per bin).
+struct BarSeries {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// ASCII grouped bar chart, used by the bench binaries that regenerate the
+/// paper's Figures 3 and 4 (pre/post survey histograms).
+///
+/// Renders horizontal bars, one group per category, one bar per series,
+/// scaled so the longest bar occupies `max_bar_width` characters.
+class BarChart {
+ public:
+  /// `categories` labels the groups (x-axis of the paper's figures).
+  explicit BarChart(std::vector<std::string> categories);
+
+  /// Add a series; its value count must equal the category count.
+  void add_series(BarSeries series);
+
+  /// Chart title printed above the bars.
+  void set_title(std::string title);
+
+  /// Width in characters of the longest bar (default 40).
+  void set_max_bar_width(std::size_t width);
+
+  /// Render the chart as plain text.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> categories_;
+  std::vector<BarSeries> series_;
+  std::size_t max_bar_width_ = 40;
+};
+
+}  // namespace pdc

@@ -1,0 +1,90 @@
+#include "support/csv.hpp"
+
+#include "support/error.hpp"
+
+namespace pdc {
+
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Csv::Csv(std::vector<std::string> header) { rows_.push_back(std::move(header)); }
+
+void Csv::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string Csv::to_string() const {
+  std::string out;
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += needs_quoting(row[c]) ? quote(row[c]) : row[c];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Csv Csv::parse(const std::string& text) {
+  Csv doc;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+      row_has_content = true;
+    } else if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+      row_has_content = true;
+    } else if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      if (row_has_content || !field.empty()) {
+        row.push_back(std::move(field));
+        field.clear();
+        doc.rows_.push_back(std::move(row));
+        row.clear();
+        row_has_content = false;
+      }
+    } else {
+      field += c;
+      row_has_content = true;
+    }
+  }
+  if (in_quotes) throw InvalidArgument("Csv::parse: unterminated quoted field");
+  if (row_has_content || !field.empty()) {
+    row.push_back(std::move(field));
+    doc.rows_.push_back(std::move(row));
+  }
+  return doc;
+}
+
+}  // namespace pdc

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pdc {
+
+/// Minimal CSV document (RFC-4180-style quoting) used to export bench
+/// results so downstream plotting scripts can regenerate the paper figures.
+class Csv {
+ public:
+  Csv() = default;
+
+  /// Construct with a header row.
+  explicit Csv(std::vector<std::string> header);
+
+  /// Append a data row (ragged rows are allowed, like real-world CSVs).
+  void add_row(std::vector<std::string> row);
+
+  /// Serialize, quoting any field containing a comma, quote, or newline.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse a CSV document. Handles quoted fields with embedded commas,
+  /// escaped quotes ("") and newlines. Throws pdc::InvalidArgument on an
+  /// unterminated quoted field.
+  static Csv parse(const std::string& text);
+
+  /// All rows, header (if any) first.
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pdc

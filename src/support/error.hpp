@@ -1,0 +1,29 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pdc {
+
+/// Base class for every error thrown by pdclab.
+///
+/// All subsystems throw `pdc::Error` (or a subclass) so that callers can
+/// catch library failures distinctly from standard-library exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a lookup (patternlet id, file name, part id, ...) fails.
+class NotFound : public Error {
+ public:
+  explicit NotFound(const std::string& what) : Error(what) {}
+};
+
+}  // namespace pdc

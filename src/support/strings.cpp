@@ -1,0 +1,100 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace pdc::strings {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delim) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_ws(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return std::string(text.substr(begin, end - begin));
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::string repeat(std::string_view unit, std::size_t count) {
+  std::string out;
+  out.reserve(unit.size() * count);
+  for (std::size_t i = 0; i < count; ++i) out += unit;
+  return out;
+}
+
+std::string money(double dollars) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "$%.2f", dollars);
+  return buf;
+}
+
+std::string fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string pad_left(std::string_view text, std::size_t width) {
+  if (text.size() >= width) return std::string(text);
+  return std::string(width - text.size(), ' ') + std::string(text);
+}
+
+std::string pad_right(std::string_view text, std::size_t width) {
+  if (text.size() >= width) return std::string(text);
+  return std::string(text) + std::string(width - text.size(), ' ');
+}
+
+std::string replace_all(std::string text, std::string_view from,
+                        std::string_view to) {
+  if (from.empty()) return text;
+  std::size_t pos = 0;
+  while ((pos = text.find(from, pos)) != std::string::npos) {
+    text.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return text;
+}
+
+}  // namespace pdc::strings

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdc::strings {
+
+/// Split `text` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Split on runs of whitespace, dropping empty tokens.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Strip leading and trailing whitespace.
+std::string trim(std::string_view text);
+
+/// Join `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Lowercase ASCII copy.
+std::string to_lower(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Repeat `unit` `count` times.
+std::string repeat(std::string_view unit, std::size_t count);
+
+/// Format a dollar amount with two decimals, e.g. 100.66 -> "$100.66".
+std::string money(double dollars);
+
+/// Format a double with `digits` digits after the decimal point.
+std::string fixed(double value, int digits);
+
+/// Left-pad (align right) `text` to `width` with spaces.
+std::string pad_left(std::string_view text, std::size_t width);
+
+/// Right-pad (align left) `text` to `width` with spaces.
+std::string pad_right(std::string_view text, std::size_t width);
+
+/// Replace every occurrence of `from` in `text` with `to`.
+std::string replace_all(std::string text, std::string_view from,
+                        std::string_view to);
+
+}  // namespace pdc::strings

@@ -1,0 +1,80 @@
+#include "support/text_table.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace pdc {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)), aligns_(header_.size(), Align::Left) {
+  if (header_.empty()) {
+    throw InvalidArgument("TextTable requires at least one column");
+  }
+}
+
+void TextTable::set_align(std::size_t col, Align align) {
+  if (col >= aligns_.size()) {
+    throw InvalidArgument("TextTable::set_align: column out of range");
+  }
+  aligns_[col] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw InvalidArgument("TextTable::add_row: expected " +
+                          std::to_string(header_.size()) + " cells, got " +
+                          std::to_string(row.size()));
+  }
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::add_rule() { rows_.push_back(Row{{}, true}); }
+
+std::size_t TextTable::row_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& row : rows_) {
+    if (!row.is_rule) ++n;
+  }
+  return n;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.is_rule) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) line += strings::repeat("-", w + 2) + "+";
+    return line + "\n";
+  }();
+
+  const auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const auto padded = aligns_[c] == Align::Left
+                              ? strings::pad_right(cells[c], widths[c])
+                              : strings::pad_left(cells[c], widths[c]);
+      line += " " + padded + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out = rule + render_row(header_) + rule;
+  for (const auto& row : rows_) {
+    out += row.is_rule ? rule : render_row(row.cells);
+  }
+  out += rule;
+  return out;
+}
+
+}  // namespace pdc

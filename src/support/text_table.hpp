@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pdc {
+
+/// Column alignment inside a TextTable.
+enum class Align { Left, Right };
+
+/// Plain-text table renderer used by every bench binary that regenerates a
+/// table from the paper.
+///
+/// Example:
+///   TextTable t({"Part", "Cost"});
+///   t.set_align(1, Align::Right);
+///   t.add_row({"Ethernet cable", "$1.55"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  /// Construct with header labels; column count is fixed thereafter.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Set the alignment of column `col` (default Align::Left).
+  void set_align(std::size_t col, Align align);
+
+  /// Append a body row. Throws pdc::InvalidArgument on column-count mismatch.
+  void add_row(std::vector<std::string> row);
+
+  /// Append a horizontal rule (rendered as a separator line).
+  void add_rule();
+
+  /// Number of body rows (rules excluded).
+  [[nodiscard]] std::size_t row_count() const noexcept;
+
+  /// Render the table with unicode-free ASCII borders.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_rule = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace pdc

@@ -1,0 +1,5 @@
+#include "support/timer.hpp"
+
+// WallTimer is header-only; this translation unit exists so the support
+// library always has at least one object file per header group and so a
+// future non-inline extension has a home.

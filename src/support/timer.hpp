@@ -1,0 +1,44 @@
+#pragma once
+
+#include <chrono>
+
+namespace pdc {
+
+/// Monotonic wall-clock timer with the interface the CSinParallel exemplars
+/// teach (start / stop / elapsed seconds).
+class WallTimer {
+ public:
+  /// Constructing starts the timer.
+  WallTimer() noexcept { start(); }
+
+  /// (Re)start the timer.
+  void start() noexcept {
+    begin_ = Clock::now();
+    running_ = true;
+  }
+
+  /// Stop the timer; elapsed() then reports the frozen duration.
+  void stop() noexcept {
+    end_ = Clock::now();
+    running_ = false;
+  }
+
+  /// Elapsed seconds since start() (to now if still running).
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    const auto end = running_ ? Clock::now() : end_;
+    return std::chrono::duration<double>(end - begin_).count();
+  }
+
+  /// Elapsed milliseconds since start().
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point begin_{};
+  Clock::time_point end_{};
+  bool running_ = false;
+};
+
+}  // namespace pdc

@@ -1,0 +1,58 @@
+#include "assessment/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdc::assessment {
+namespace {
+
+TEST(Report, TableIiCarriesThePaperMeans) {
+  const std::string out = render_table_ii(WorkshopEvaluation::july_2020());
+  EXPECT_NE(out.find("TABLE II"), std::string::npos);
+  EXPECT_NE(out.find("OpenMP on Raspberry Pi"), std::string::npos);
+  EXPECT_NE(out.find("MPI & Distr. Cluster Computing"), std::string::npos);
+  EXPECT_NE(out.find("4.55"), std::string::npos);
+  EXPECT_NE(out.find("4.45"), std::string::npos);
+  EXPECT_NE(out.find("4.38"), std::string::npos);
+  EXPECT_NE(out.find("4.29"), std::string::npos);
+}
+
+TEST(Report, Figure3ShowsBothSeriesAndStats) {
+  const std::string out = render_figure_3(WorkshopEvaluation::july_2020());
+  EXPECT_NE(out.find("Fig. 3"), std::string::npos);
+  EXPECT_NE(out.find("Pre-Survey"), std::string::npos);
+  EXPECT_NE(out.find("Post-Survey"), std::string::npos);
+  EXPECT_NE(out.find("not at all"), std::string::npos);
+  EXPECT_NE(out.find("extremely"), std::string::npos);
+  EXPECT_NE(out.find("pre_m = 2.82"), std::string::npos);
+  EXPECT_NE(out.find("post_m = 3.59"), std::string::npos);
+  EXPECT_NE(out.find("t(21)"), std::string::npos);
+}
+
+TEST(Report, Figure4ShowsPreparednessStats) {
+  const std::string out = render_figure_4(WorkshopEvaluation::july_2020());
+  EXPECT_NE(out.find("Fig. 4"), std::string::npos);
+  EXPECT_NE(out.find("pre_m = 2.59"), std::string::npos);
+  EXPECT_NE(out.find("post_m = 3.77"), std::string::npos);
+  EXPECT_NE(out.find("very much"), std::string::npos);
+}
+
+TEST(Report, DemographicsMatchSectionIV) {
+  const std::string out = render_demographics(WorkshopEvaluation::july_2020());
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_NE(out.find("86% faculty"), std::string::npos);  // 19/22 rounds to 86
+  EXPECT_NE(out.find("77% male"), std::string::npos);
+  EXPECT_NE(out.find("18% female"), std::string::npos);
+  EXPECT_NE(out.find("5% other"), std::string::npos);
+  EXPECT_NE(out.find("19 continental US"), std::string::npos);
+  EXPECT_NE(out.find("1 Puerto Rico"), std::string::npos);
+  EXPECT_NE(out.find("2 international"), std::string::npos);
+}
+
+TEST(Report, FiguresRenderBars) {
+  const std::string out = render_figure_3(WorkshopEvaluation::july_2020());
+  EXPECT_NE(out.find('#'), std::string::npos);  // pre series bars
+  EXPECT_NE(out.find('='), std::string::npos);  // post series bars
+}
+
+}  // namespace
+}  // namespace pdc::assessment

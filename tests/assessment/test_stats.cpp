@@ -1,0 +1,188 @@
+#include "assessment/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace pdc::assessment {
+namespace {
+
+TEST(Descriptive, MeanAndVariance) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(sample_variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(sample_stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+TEST(Descriptive, ValidatesInput) {
+  EXPECT_THROW(mean({}), InvalidArgument);
+  EXPECT_THROW(median({}), InvalidArgument);
+  EXPECT_THROW(sample_variance({1.0}), InvalidArgument);
+}
+
+TEST(LnGamma, KnownValues) {
+  EXPECT_NEAR(ln_gamma(1.0), 0.0, 1e-10);           // 0! = 1
+  EXPECT_NEAR(ln_gamma(2.0), 0.0, 1e-10);           // 1! = 1
+  EXPECT_NEAR(ln_gamma(5.0), std::log(24.0), 1e-9); // 4! = 24
+  EXPECT_NEAR(ln_gamma(0.5), std::log(std::sqrt(M_PI)), 1e-9);
+  EXPECT_NEAR(ln_gamma(11.0), std::log(3628800.0), 1e-7);
+}
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetricCaseAtHalf) {
+  // I_{1/2}(a, a) = 1/2 for any a.
+  for (double a : {0.5, 1.0, 3.0, 10.5}) {
+    EXPECT_NEAR(incomplete_beta(a, a, 0.5), 0.5, 1e-10) << a;
+  }
+}
+
+TEST(IncompleteBeta, UniformCaseIsIdentity) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.25, 0.7, 0.99}) {
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-12) << x;
+  }
+}
+
+TEST(IncompleteBeta, KnownClosedForm) {
+  // I_x(2, 2) = x^2 (3 - 2x).
+  for (double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(incomplete_beta(2.0, 2.0, x), x * x * (3 - 2 * x), 1e-10);
+  }
+}
+
+TEST(IncompleteBeta, ValidatesArguments) {
+  EXPECT_THROW(incomplete_beta(0.0, 1.0, 0.5), InvalidArgument);
+  EXPECT_THROW(incomplete_beta(1.0, -1.0, 0.5), InvalidArgument);
+  EXPECT_THROW(incomplete_beta(1.0, 1.0, 1.5), InvalidArgument);
+}
+
+TEST(StudentT, TwoTailedPMatchesReferenceValues) {
+  // Reference values from standard t tables / R's pt():
+  // 2 * pt(-2.086, 20) = 0.0500 (approximately)
+  EXPECT_NEAR(t_two_tailed_p(2.086, 20.0), 0.05, 5e-4);
+  // 2 * pt(-1.0, 10) = 0.34089...
+  EXPECT_NEAR(t_two_tailed_p(1.0, 10.0), 0.34089, 1e-4);
+  // 2 * pt(-3.0, 5) = 0.030099...
+  EXPECT_NEAR(t_two_tailed_p(3.0, 5.0), 0.030099, 1e-5);
+  // t = 0 -> p = 1.
+  EXPECT_NEAR(t_two_tailed_p(0.0, 8.0), 1.0, 1e-12);
+}
+
+TEST(StudentT, SymmetricInSignOfT) {
+  EXPECT_NEAR(t_two_tailed_p(2.5, 12.0), t_two_tailed_p(-2.5, 12.0), 1e-12);
+}
+
+TEST(StudentT, LargerTGivesSmallerP) {
+  double prev = 1.0;
+  for (double t : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double p = t_two_tailed_p(t, 21.0);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PairedT, HandComputedExample) {
+  // diffs = {1, 1, 1, 1, -1}: mean 0.6, sd = sqrt(0.8), n = 5
+  // t = 0.6 / (sqrt(0.8)/sqrt(5)) = 1.5
+  const std::vector<double> pre{1, 1, 1, 1, 1};
+  const std::vector<double> post{2, 2, 2, 2, 0};
+  const PairedTTest r = paired_t_test(pre, post);
+  EXPECT_EQ(r.n, 5u);
+  EXPECT_DOUBLE_EQ(r.mean_diff, 0.6);
+  EXPECT_NEAR(r.t, 1.5, 1e-12);
+  EXPECT_DOUBLE_EQ(r.df, 4.0);
+  // 2 * pt(-1.5, 4) = 0.2080
+  EXPECT_NEAR(r.p_two_tailed, 0.2080, 1e-3);
+  EXPECT_NEAR(r.cohens_d, 0.6 / std::sqrt(0.8), 1e-12);
+}
+
+TEST(PairedT, ValidatesInput) {
+  EXPECT_THROW(paired_t_test({1.0, 2.0}, {1.0}), InvalidArgument);
+  EXPECT_THROW(paired_t_test({1.0}, {2.0}), InvalidArgument);
+  // Zero variance in differences.
+  EXPECT_THROW(paired_t_test({1.0, 2.0, 3.0}, {2.0, 3.0, 4.0}),
+               InvalidArgument);
+}
+
+TEST(WelchT, EqualSamplesGiveTZero) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const WelchTTest r = welch_t_test(a, a);
+  EXPECT_NEAR(r.t, 0.0, 1e-12);
+  EXPECT_NEAR(r.p_two_tailed, 1.0, 1e-9);
+}
+
+TEST(WelchT, KnownExample) {
+  // Reference values computed independently (Welch formulas + numerical
+  // integration of the t density): t = -2.08958, df = 18.9378, p = 0.050388.
+  const std::vector<double> a{27.5, 21.0, 19.0, 23.6, 17.0, 17.9,
+                              16.9, 20.1, 21.9, 22.6, 23.1, 19.6};
+  const std::vector<double> b{27.1, 22.0, 20.8, 23.4, 23.4, 23.5,
+                              25.8, 22.0, 24.8, 20.2, 21.9, 22.1};
+  const WelchTTest r = welch_t_test(a, b);
+  EXPECT_NEAR(r.t, -2.08958, 1e-4);
+  EXPECT_NEAR(r.df, 18.9378, 1e-3);
+  EXPECT_NEAR(r.p_two_tailed, 0.050388, 1e-5);
+}
+
+TEST(WelchT, ValidatesInput) {
+  EXPECT_THROW(welch_t_test({1.0}, {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(welch_t_test({1.0, 1.0}, {2.0, 2.0}), InvalidArgument);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959964), 0.975, 1e-5);
+  EXPECT_NEAR(normal_cdf(-1.959964), 0.025, 1e-5);
+  EXPECT_NEAR(normal_cdf(5.0), 1.0, 1e-6);
+}
+
+TEST(Wilcoxon, ClassicNineDataPointExample) {
+  // The classic R example (Hollander & Wolfe): V = 40; with the normal
+  // approximation + continuity correction, z = 2.0140, p = 0.04401
+  // (reference values computed independently).
+  const std::vector<double> pre{0.878, 0.647, 0.598, 2.05, 1.06,
+                                1.29,  1.06,  3.14,  1.29};
+  const std::vector<double> post{1.83, 0.50, 1.62, 2.48, 1.68,
+                                 1.88, 1.55, 3.06, 1.30};
+  const WilcoxonTest r = wilcoxon_signed_rank(pre, post);
+  EXPECT_EQ(r.n_nonzero, 9u);
+  EXPECT_DOUBLE_EQ(r.w_plus, 40.0);
+  EXPECT_NEAR(r.z, 2.0140, 1e-4);
+  EXPECT_NEAR(r.p_two_tailed, 0.04401, 1e-4);
+}
+
+TEST(Wilcoxon, DropsZeroDifferences) {
+  const std::vector<double> pre{1, 2, 3, 4, 5, 6};
+  const std::vector<double> post{1, 3, 4, 5, 6, 7};  // first pair ties
+  const WilcoxonTest r = wilcoxon_signed_rank(pre, post);
+  EXPECT_EQ(r.n_nonzero, 5u);
+}
+
+TEST(Wilcoxon, SymmetricDataGivesPNearOne) {
+  const std::vector<double> pre{1, 2, 3, 4, 5, 6};
+  const std::vector<double> post{3, 4, 5, 2, 3, 4};  // +2,+2,+2,-2,-2,-2
+  const WilcoxonTest r = wilcoxon_signed_rank(pre, post);
+  EXPECT_NEAR(r.p_two_tailed, 1.0, 1e-9);
+}
+
+TEST(Wilcoxon, ValidatesInput) {
+  EXPECT_THROW(wilcoxon_signed_rank({1, 2}, {1}), InvalidArgument);
+  // Fewer than 4 non-zero differences.
+  EXPECT_THROW(wilcoxon_signed_rank({1, 1, 1, 1, 1}, {2, 2, 1, 1, 1}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pdc::assessment

@@ -1,0 +1,216 @@
+// Verifies the reconstructed workshop dataset reproduces every aggregate
+// the paper reports: demographics, Table II means, the Fig. 3 and Fig. 4
+// histograms/means, and the paired t-test statistics.
+
+#include "assessment/workshop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assessment/stats.hpp"
+#include "support/error.hpp"
+
+namespace pdc::assessment {
+namespace {
+
+using Role = Participant::Role;
+using Track = Participant::Track;
+using Gender = Participant::Gender;
+using Location = Participant::Location;
+
+int count(const std::vector<Participant>& people, auto member, auto value) {
+  int n = 0;
+  for (const auto& p : people) n += (p.*member == value);
+  return n;
+}
+
+TEST(Workshop, HasTwentyTwoParticipants) {
+  EXPECT_EQ(WorkshopEvaluation::july_2020().participants().size(), 22u);
+}
+
+TEST(Workshop, RoleMarginals) {
+  const auto eval = WorkshopEvaluation::july_2020();
+  // "a mix of faculty members (85%) and graduate students (15%)"
+  EXPECT_EQ(count(eval.participants(), &Participant::role, Role::Faculty), 19);
+  EXPECT_EQ(count(eval.participants(), &Participant::role, Role::GradStudent),
+            3);
+}
+
+TEST(Workshop, GenderMarginals) {
+  const auto eval = WorkshopEvaluation::july_2020();
+  // "77% male, 18% female, 5% other" of 22 -> 17 / 4 / 1.
+  EXPECT_EQ(count(eval.participants(), &Participant::gender, Gender::Male), 17);
+  EXPECT_EQ(count(eval.participants(), &Participant::gender, Gender::Female),
+            4);
+  EXPECT_EQ(count(eval.participants(), &Participant::gender, Gender::Other), 1);
+}
+
+TEST(Workshop, LocationMarginals) {
+  const auto eval = WorkshopEvaluation::july_2020();
+  // "19 continental US, one Puerto Rico, two international".
+  EXPECT_EQ(count(eval.participants(), &Participant::location,
+                  Location::ContinentalUS),
+            19);
+  EXPECT_EQ(
+      count(eval.participants(), &Participant::location, Location::PuertoRico),
+      1);
+  EXPECT_EQ(count(eval.participants(), &Participant::location,
+                  Location::International),
+            2);
+}
+
+TEST(Workshop, TrackMarginals) {
+  const auto eval = WorkshopEvaluation::july_2020();
+  // "46% tenured/tenure-track, 39% non-tenure-track, 15% grad" -> 10/9/3.
+  EXPECT_EQ(
+      count(eval.participants(), &Participant::track, Track::TenureTrack), 10);
+  EXPECT_EQ(
+      count(eval.participants(), &Participant::track, Track::NonTenureTrack),
+      9);
+  EXPECT_EQ(
+      count(eval.participants(), &Participant::track, Track::GradStudent), 3);
+}
+
+TEST(TableII, OpenMpSessionMeansMatchThePaper) {
+  const auto eval = WorkshopEvaluation::july_2020();
+  EXPECT_DOUBLE_EQ(eval.openmp_usefulness_courses().mean_2dp(), 4.55);
+  EXPECT_DOUBLE_EQ(eval.openmp_usefulness_development().mean_2dp(), 4.45);
+  EXPECT_EQ(eval.openmp_usefulness_courses().count(), 22u);
+  EXPECT_EQ(eval.openmp_usefulness_development().count(), 22u);
+}
+
+TEST(TableII, MpiSessionMeansMatchThePaper) {
+  const auto eval = WorkshopEvaluation::july_2020();
+  EXPECT_DOUBLE_EQ(eval.mpi_usefulness_courses().mean_2dp(), 4.38);
+  EXPECT_DOUBLE_EQ(eval.mpi_usefulness_development().mean_2dp(), 4.29);
+  // The documented inference: the MPI items have one non-respondent.
+  EXPECT_EQ(eval.mpi_usefulness_courses().count(), 21u);
+  EXPECT_EQ(eval.mpi_usefulness_development().count(), 21u);
+}
+
+TEST(TableII, OpenMpSessionOutratesMpiSession) {
+  // The paper: the Pi session was the highest-rated.
+  const auto eval = WorkshopEvaluation::july_2020();
+  EXPECT_GT(eval.openmp_usefulness_courses().mean(),
+            eval.mpi_usefulness_courses().mean());
+  EXPECT_GT(eval.openmp_usefulness_development().mean(),
+            eval.mpi_usefulness_development().mean());
+}
+
+TEST(TableII, AllSessionsRatedAboveFour) {
+  // "they rated each of the workshop's sessions at 4 or higher".
+  const auto eval = WorkshopEvaluation::july_2020();
+  for (const LikertItem* item :
+       {&eval.openmp_usefulness_courses(), &eval.openmp_usefulness_development(),
+        &eval.mpi_usefulness_courses(), &eval.mpi_usefulness_development()}) {
+    EXPECT_GE(item->mean(), 4.0);
+  }
+}
+
+TEST(Fig3, ConfidenceMeansMatchThePaper) {
+  const auto eval = WorkshopEvaluation::july_2020();
+  EXPECT_DOUBLE_EQ(eval.confidence_pre().mean_2dp(), 2.82);
+  EXPECT_DOUBLE_EQ(eval.confidence_post().mean_2dp(), 3.59);
+}
+
+TEST(Fig3, HistogramsMatchTheReconstruction) {
+  const auto eval = WorkshopEvaluation::july_2020();
+  EXPECT_EQ(eval.confidence_pre().histogram(),
+            (std::array<int, 5>{2, 7, 7, 5, 1}));
+  EXPECT_EQ(eval.confidence_post().histogram(),
+            (std::array<int, 5>{0, 3, 8, 6, 5}));
+}
+
+TEST(Fig3, PairedTTestMatchesReportedP) {
+  // The paper: pre = 2.82, post = 3.59, p = 0.0004.
+  const auto eval = WorkshopEvaluation::july_2020();
+  const PairedTTest r = paired_t_test(eval.confidence_pre().as_doubles(),
+                                      eval.confidence_post().as_doubles());
+  EXPECT_EQ(r.n, 22u);
+  EXPECT_DOUBLE_EQ(r.df, 21.0);
+  EXPECT_GT(r.t, 0.0);
+  EXPECT_GT(r.p_two_tailed, 1e-4);
+  EXPECT_LT(r.p_two_tailed, 8e-4);  // same order as the reported 4e-4
+}
+
+TEST(Fig4, PreparednessMeansMatchThePaper) {
+  const auto eval = WorkshopEvaluation::july_2020();
+  EXPECT_DOUBLE_EQ(eval.preparedness_pre().mean_2dp(), 2.59);
+  EXPECT_DOUBLE_EQ(eval.preparedness_post().mean_2dp(), 3.77);
+}
+
+TEST(Fig4, HistogramsMatchTheReconstruction) {
+  const auto eval = WorkshopEvaluation::july_2020();
+  EXPECT_EQ(eval.preparedness_pre().histogram(),
+            (std::array<int, 5>{3, 8, 6, 5, 0}));
+  EXPECT_EQ(eval.preparedness_post().histogram(),
+            (std::array<int, 5>{0, 2, 6, 9, 5}));
+}
+
+TEST(Fig4, PairedTTestIsFarMoreSignificantThanFig3) {
+  // The paper: p = 4.18e-08 for preparedness vs 4e-4 for confidence.
+  const auto eval = WorkshopEvaluation::july_2020();
+  const PairedTTest prep = paired_t_test(eval.preparedness_pre().as_doubles(),
+                                         eval.preparedness_post().as_doubles());
+  const PairedTTest conf = paired_t_test(eval.confidence_pre().as_doubles(),
+                                         eval.confidence_post().as_doubles());
+  EXPECT_LT(prep.p_two_tailed, 1e-6);
+  EXPECT_GT(prep.p_two_tailed, 1e-9);
+  EXPECT_LT(prep.p_two_tailed, conf.p_two_tailed / 100.0);
+}
+
+TEST(Fig4, NobodyFeltLessPreparedAfterward) {
+  const auto eval = WorkshopEvaluation::july_2020();
+  const auto& pre = eval.preparedness_pre().responses();
+  const auto& post = eval.preparedness_post().responses();
+  for (std::size_t i = 0; i < pre.size(); ++i) {
+    EXPECT_GE(post[i], pre[i]);
+  }
+}
+
+TEST(Fig3And4, NonparametricTestAgreesWithTheTTest) {
+  // Likert responses are ordinal; the Wilcoxon signed-rank test is the
+  // textbook-correct check and must agree in direction and significance.
+  // Reference values (computed independently): confidence z = 3.2011,
+  // p = 0.001369; preparedness z = 3.9599, p = 7.498e-05.
+  const auto eval = WorkshopEvaluation::july_2020();
+  const WilcoxonTest conf = wilcoxon_signed_rank(
+      eval.confidence_pre().as_doubles(), eval.confidence_post().as_doubles());
+  EXPECT_EQ(conf.n_nonzero, 15u);
+  EXPECT_NEAR(conf.z, 3.2011, 1e-4);
+  EXPECT_NEAR(conf.p_two_tailed, 0.0013690, 1e-6);
+
+  const WilcoxonTest prep = wilcoxon_signed_rank(
+      eval.preparedness_pre().as_doubles(),
+      eval.preparedness_post().as_doubles());
+  EXPECT_EQ(prep.n_nonzero, 19u);
+  EXPECT_NEAR(prep.z, 3.9599, 1e-4);
+  EXPECT_NEAR(prep.p_two_tailed, 7.4979e-05, 1e-8);
+  EXPECT_LT(prep.p_two_tailed, conf.p_two_tailed);
+}
+
+TEST(Workshop, FallPlansMatchThePaper) {
+  const auto eval = WorkshopEvaluation::july_2020();
+  EXPECT_DOUBLE_EQ(eval.fraction_planning_remote(), 0.39);
+  EXPECT_DOUBLE_EQ(eval.fraction_planning_hybrid(), 0.35);
+  EXPECT_DOUBLE_EQ(eval.fraction_planning_in_person(), 0.17);
+}
+
+TEST(Likert, ScalesCarryTheFigureLabels) {
+  EXPECT_EQ(LikertScale::confidence().label(1), "not at all");
+  EXPECT_EQ(LikertScale::confidence().label(5), "extremely");
+  EXPECT_EQ(LikertScale::preparedness().label(2), "a little bit");
+  EXPECT_EQ(LikertScale::preparedness().label(5), "very much");
+  EXPECT_EQ(LikertScale::usefulness().label(5), "extremely useful");
+}
+
+TEST(Likert, ItemValidatesResponses) {
+  LikertItem item("x", "p", LikertScale::confidence());
+  EXPECT_THROW(item.add_response(0), InvalidArgument);
+  EXPECT_THROW(item.add_response(6), InvalidArgument);
+  item.add_response(3);
+  EXPECT_EQ(item.count(), 1u);
+  EXPECT_DOUBLE_EQ(item.mean(), 3.0);
+}
+
+}  // namespace
+}  // namespace pdc::assessment

@@ -1,0 +1,72 @@
+#include "cluster/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace pdc::cluster {
+namespace {
+
+TEST(EventSim, ProcessesEventsInTimeOrder) {
+  EventSim sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_DOUBLE_EQ(sim.run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventSim, TiesBreakByInsertionOrder) {
+  EventSim sim;
+  std::vector<int> order;
+  sim.schedule(1.0, [&] { order.push_back(10); });
+  sim.schedule(1.0, [&] { order.push_back(20); });
+  sim.schedule(1.0, [&] { order.push_back(30); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(EventSim, CallbacksCanScheduleMoreEvents) {
+  EventSim sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) sim.schedule_in(1.0, step);
+  };
+  sim.schedule(0.0, step);
+  EXPECT_DOUBLE_EQ(sim.run(), 4.0);
+  EXPECT_EQ(chain, 5);
+}
+
+TEST(EventSim, NowAdvancesWithEvents) {
+  EventSim sim;
+  double observed = -1.0;
+  sim.schedule(2.5, [&] { observed = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(observed, 2.5);
+}
+
+TEST(EventSim, SchedulingInThePastThrows) {
+  EventSim sim;
+  sim.schedule(5.0, [&] {
+    EXPECT_THROW(sim.schedule(1.0, [] {}), InvalidArgument);
+  });
+  sim.run();
+}
+
+TEST(EventSim, CountsProcessedEvents) {
+  EventSim sim;
+  for (int i = 0; i < 10; ++i) sim.schedule(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.processed(), 10u);
+}
+
+TEST(EventSim, EmptyRunReturnsZero) {
+  EventSim sim;
+  EXPECT_DOUBLE_EQ(sim.run(), 0.0);
+}
+
+}  // namespace
+}  // namespace pdc::cluster

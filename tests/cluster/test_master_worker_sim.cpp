@@ -1,0 +1,113 @@
+#include "cluster/master_worker_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace pdc::cluster {
+namespace {
+
+/// Skewed task bag: a few long tasks among many short ones (the drug-design
+/// ligand-length situation).
+std::vector<double> skewed_tasks(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tasks.push_back(rng.bernoulli(0.1) ? 10.0 : 0.5);
+  }
+  return tasks;
+}
+
+TEST(MasterWorkerSim, SingleWorkerMakespanIsTotalWork) {
+  const MasterWorkerSim sim(st_olaf_vm());
+  const std::vector<double> tasks{4.0, 4.0, 4.0, 4.0};
+  const SimResult result = sim.simulate_static(tasks, 1);
+  const double speed = st_olaf_vm().node.core_gflops;
+  EXPECT_NEAR(result.makespan, 16.0 / speed, 1e-9);
+}
+
+TEST(MasterWorkerSim, StaticSplitsUniformWorkEvenly) {
+  const MasterWorkerSim sim(st_olaf_vm());
+  const std::vector<double> tasks(16, 1.0);
+  const SimResult result = sim.simulate_static(tasks, 4);
+  const double speed = st_olaf_vm().node.core_gflops;
+  EXPECT_NEAR(result.makespan, 4.0 / speed, 1e-9);
+  EXPECT_NEAR(result.busy_fraction, 1.0, 1e-9);
+}
+
+TEST(MasterWorkerSim, DynamicBeatsStaticOnSkewedWork) {
+  const MasterWorkerSim sim(st_olaf_vm());
+  const auto tasks = skewed_tasks(200, 42);
+  const SimResult dynamic = sim.simulate_dynamic(tasks, 8);
+  const SimResult fixed = sim.simulate_static(tasks, 8);
+  EXPECT_LT(dynamic.makespan, fixed.makespan)
+      << "dynamic scheduling must win under load imbalance";
+}
+
+TEST(MasterWorkerSim, DynamicUtilizationIsHighOnSkewedWork) {
+  const MasterWorkerSim sim(st_olaf_vm());
+  const auto tasks = skewed_tasks(400, 7);
+  const SimResult result = sim.simulate_dynamic(tasks, 8);
+  EXPECT_GT(result.busy_fraction, 0.85);
+}
+
+TEST(MasterWorkerSim, MoreWorkersNeverSlowDynamicDown) {
+  const MasterWorkerSim sim(st_olaf_vm());
+  const auto tasks = skewed_tasks(300, 3);
+  double prev = sim.simulate_dynamic(tasks, 1).makespan;
+  for (int workers : {2, 4, 8, 16}) {
+    const double current = sim.simulate_dynamic(tasks, workers).makespan;
+    EXPECT_LE(current, prev * 1.001);
+    prev = current;
+  }
+}
+
+TEST(MasterWorkerSim, DynamicPaysDispatchOverhead) {
+  const MasterWorkerSim sim(raspberry_pi_4());
+  const std::vector<double> tasks(64, 1.0);  // uniform: static is optimal
+  const SimResult dynamic = sim.simulate_dynamic(tasks, 4);
+  const SimResult fixed = sim.simulate_static(tasks, 4);
+  EXPECT_GE(dynamic.makespan, fixed.makespan);
+}
+
+TEST(MasterWorkerSim, WorkerBusyTimesSumToTotalWork) {
+  const MasterWorkerSim sim(st_olaf_vm());
+  const auto tasks = skewed_tasks(100, 11);
+  const double total_ref =
+      std::accumulate(tasks.begin(), tasks.end(), 0.0) /
+      st_olaf_vm().node.core_gflops;
+  for (const auto& result :
+       {sim.simulate_dynamic(tasks, 5), sim.simulate_static(tasks, 5)}) {
+    const double busy_total = std::accumulate(result.worker_busy.begin(),
+                                              result.worker_busy.end(), 0.0);
+    EXPECT_NEAR(busy_total, total_ref, 1e-9);
+  }
+}
+
+TEST(MasterWorkerSim, EmptyTaskBagYieldsZeroMakespan) {
+  const MasterWorkerSim sim(st_olaf_vm());
+  EXPECT_DOUBLE_EQ(sim.simulate_dynamic({}, 4).makespan, 0.0);
+  EXPECT_DOUBLE_EQ(sim.simulate_static({}, 4).makespan, 0.0);
+}
+
+TEST(MasterWorkerSim, ValidatesWorkerCount) {
+  const MasterWorkerSim sim(st_olaf_vm());
+  EXPECT_THROW(sim.simulate_dynamic({1.0}, 0), InvalidArgument);
+  EXPECT_THROW(sim.simulate_static({1.0}, 0), InvalidArgument);
+}
+
+TEST(MasterWorkerSim, IsDeterministic) {
+  const MasterWorkerSim sim(chameleon_cluster(2));
+  const auto tasks = skewed_tasks(150, 21);
+  const SimResult a = sim.simulate_dynamic(tasks, 12);
+  const SimResult b = sim.simulate_dynamic(tasks, 12);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.worker_busy, b.worker_busy);
+}
+
+}  // namespace
+}  // namespace pdc::cluster

@@ -1,0 +1,90 @@
+#include "courseware/content.hpp"
+
+#include <gtest/gtest.h>
+
+#include "patternlets/patternlets.hpp"
+#include "support/error.hpp"
+
+namespace pdc::courseware {
+namespace {
+
+TEST(TextBlock, RendersItsText) {
+  const TextBlock block("Threads share memory.");
+  EXPECT_EQ(block.kind(), "text");
+  EXPECT_NE(block.render().find("Threads share memory."), std::string::npos);
+  EXPECT_FALSE(block.is_gradable());
+}
+
+TEST(TextBlock, RequiresText) {
+  EXPECT_THROW(TextBlock(""), InvalidArgument);
+}
+
+TEST(Video, RendersTitleAndDuration) {
+  const Video video("Race conditions", 122, "https://example.org/race");
+  const std::string out = video.render();
+  EXPECT_NE(out.find("Race conditions"), std::string::npos);
+  EXPECT_NE(out.find("2:02"), std::string::npos);  // Fig. 1's video length
+  EXPECT_NE(out.find("https://example.org/race"), std::string::npos);
+}
+
+TEST(Video, RequiresPositiveDuration) {
+  EXPECT_THROW(Video("t", 0, "u"), InvalidArgument);
+  EXPECT_THROW(Video("t", -5, "u"), InvalidArgument);
+}
+
+TEST(Video, TranscriptIsOptionalButRendered) {
+  const Video with("t", 60, "u", "the transcript");
+  EXPECT_NE(with.render().find("the transcript"), std::string::npos);
+  const Video without("t", 60, "u");
+  EXPECT_EQ(without.render().find("transcript"), std::string::npos);
+}
+
+TEST(CodeListing, RendersFencedCode) {
+  const CodeListing listing("c", "A patternlet:", "int main() {}\n");
+  const std::string out = listing.render();
+  EXPECT_NE(out.find("```c"), std::string::npos);
+  EXPECT_NE(out.find("int main() {}"), std::string::npos);
+  EXPECT_NE(out.find("A patternlet:"), std::string::npos);
+}
+
+TEST(CodeListing, RequiresCode) {
+  EXPECT_THROW(CodeListing("c", "cap", ""), InvalidArgument);
+}
+
+TEST(HandsOnActivity, RendersInstructionsAndBinding) {
+  patterns::RunOptions options;
+  options.num_threads = 4;
+  const HandsOnActivity activity("act_1", "Run it thrice.", "omp/00-spmd",
+                                 options);
+  EXPECT_EQ(activity.activity_id(), "act_1");
+  const std::string out = activity.render();
+  EXPECT_NE(out.find("Run it thrice."), std::string::npos);
+  EXPECT_NE(out.find("omp/00-spmd"), std::string::npos);
+  EXPECT_NE(out.find("threads=4"), std::string::npos);
+}
+
+TEST(HandsOnActivity, ExecutesItsPatternlet) {
+  patterns::RunOptions options;
+  options.num_threads = 3;
+  const HandsOnActivity activity("act_2", "Run.", "omp/00-spmd", options);
+  const auto lines =
+      activity.execute(patternlets::global_registry());
+  EXPECT_EQ(lines.size(), 3u);
+}
+
+TEST(HandsOnActivity, UnknownPatternletThrowsOnExecute) {
+  const HandsOnActivity activity("act_3", "Run.", "omp/99-nonexistent",
+                                 patterns::RunOptions{});
+  EXPECT_THROW(activity.execute(patternlets::global_registry()), NotFound);
+}
+
+TEST(HandsOnActivity, RequiresIds) {
+  EXPECT_THROW(
+      HandsOnActivity("", "i", "omp/00-spmd", patterns::RunOptions{}),
+      InvalidArgument);
+  EXPECT_THROW(HandsOnActivity("id", "i", "", patterns::RunOptions{}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pdc::courseware

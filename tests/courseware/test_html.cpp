@@ -1,0 +1,80 @@
+#include "courseware/html.hpp"
+
+#include <gtest/gtest.h>
+
+#include "courseware/pi_module.hpp"
+#include "courseware/questions.hpp"
+
+namespace pdc::courseware {
+namespace {
+
+TEST(HtmlEscape, EscapesAllSpecialCharacters) {
+  EXPECT_EQ(html_escape("a < b && c > d"), "a &lt; b &amp;&amp; c &gt; d");
+  EXPECT_EQ(html_escape("say \"hi\" & 'bye'"),
+            "say &quot;hi&quot; &amp; &#39;bye&#39;");
+  EXPECT_EQ(html_escape("plain"), "plain");
+  EXPECT_EQ(html_escape(""), "");
+}
+
+TEST(HtmlRender, ProducesACompletePage) {
+  const auto module = build_raspberry_pi_module();
+  const std::string html = render_module_html(*module);
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  EXPECT_NE(html.find("<title>"), std::string::npos);
+}
+
+TEST(HtmlRender, TocLinksToEverySection) {
+  const auto module = build_raspberry_pi_module();
+  const std::string html = render_module_html(*module);
+  for (const auto& chapter : module->chapters()) {
+    for (const auto& section : chapter->sections()) {
+      EXPECT_NE(html.find("href=\"#sec-" + section->number() + "\""),
+                std::string::npos)
+          << section->number();
+      EXPECT_NE(html.find("id=\"sec-" + section->number() + "\""),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(HtmlRender, QuestionsBecomeForms) {
+  const auto module = build_raspberry_pi_module();
+  const std::string html = render_module_html(*module);
+  EXPECT_NE(html.find("<form class=\"mcq\" id=\"sp_mc_2\">"),
+            std::string::npos);
+  EXPECT_NE(html.find("type=\"radio\""), std::string::npos);
+  EXPECT_NE(html.find("Check me"), std::string::npos);
+  EXPECT_NE(html.find("<form class=\"fib\""), std::string::npos);
+  EXPECT_NE(html.find("class=\"dnd\""), std::string::npos);
+}
+
+TEST(HtmlRender, CodeListingsAreEscapedInsidePre) {
+  Module module("T", "d");
+  auto& chapter = module.add_chapter("C");
+  auto& section = chapter.add_section("1.1", "code", 5);
+  section.add(std::make_unique<CodeListing>(
+      "c", "cap", "if (a < b && c > d) { printf(\"x\"); }\n"));
+  const std::string html = render_module_html(module);
+  EXPECT_NE(html.find("a &lt; b &amp;&amp; c &gt; d"), std::string::npos);
+  EXPECT_EQ(html.find("a < b && c > d"), std::string::npos);
+}
+
+TEST(HtmlRender, VideosRenderWithDurationBadge) {
+  Module module("T", "d");
+  auto& chapter = module.add_chapter("C");
+  auto& section = chapter.add_section("1.1", "v", 5);
+  section.add(std::make_unique<Video>("Race conditions", 122, "https://x"));
+  const std::string html = render_module_html(module);
+  EXPECT_NE(html.find("2:02"), std::string::npos);
+  EXPECT_NE(html.find("href=\"https://x\""), std::string::npos);
+}
+
+TEST(HtmlRender, ActivitiesNameTheirPatternlet) {
+  const auto module = build_raspberry_pi_module();
+  const std::string html = render_module_html(*module);
+  EXPECT_NE(html.find("<code>omp/00-spmd</code>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdc::courseware

@@ -1,0 +1,90 @@
+// The encoded distributed-memory module (Section III-B as courseware).
+
+#include "courseware/mpi_module.hpp"
+
+#include <gtest/gtest.h>
+
+#include "courseware/questions.hpp"
+#include "courseware/session.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace pdc::courseware {
+namespace {
+
+TEST(DistributedModule, HasTwoChapters) {
+  const auto module = build_distributed_module();
+  EXPECT_EQ(module->chapters().size(), 2u);
+}
+
+TEST(DistributedModule, ChosenPathPacesToTwoHours) {
+  // Learners work through ONE of the two exemplar sections (2.2 or 2.3),
+  // so the effective pacing is the module total minus one exemplar.
+  const auto module = build_distributed_module();
+  const int full = module->expected_minutes();
+  const int one_exemplar = module->section("2.2").expected_minutes();
+  EXPECT_EQ(module->section("2.3").expected_minutes(), one_exemplar);
+  EXPECT_EQ(full - one_exemplar, 120);
+}
+
+TEST(DistributedModule, FirstHourIsTheColabPatternlets) {
+  const auto module = build_distributed_module();
+  EXPECT_EQ(module->chapters()[0]->expected_minutes(), 60);
+}
+
+TEST(DistributedModule, ActivitiesBindToMessagePassingPatternlets) {
+  const auto module = build_distributed_module();
+  const auto& registry = patternlets::global_registry();
+  int activities = 0;
+  for (const auto& chapter : module->chapters()) {
+    for (const auto& section : chapter->sections()) {
+      for (const auto& item : section->items()) {
+        if (const auto* activity =
+                dynamic_cast<const HandsOnActivity*>(item.get())) {
+          ++activities;
+          EXPECT_EQ(activity->patternlet_id().substr(0, 4), "mpi/");
+          EXPECT_TRUE(registry.contains(activity->patternlet_id()));
+          // The activities actually run.
+          EXPECT_FALSE(activity->execute(registry).empty());
+        }
+      }
+    }
+  }
+  EXPECT_GE(activities, 6);
+}
+
+TEST(DistributedModule, TeachesTheVncSshWorkaround) {
+  const auto module = build_distributed_module();
+  const auto* question =
+      dynamic_cast<const MultipleChoice*>(&module->question("dm_mc_2"));
+  ASSERT_NE(question, nullptr);
+  EXPECT_TRUE(question->grade(std::size_t{1}));  // "ssh to the same VM"
+}
+
+TEST(DistributedModule, ALearnerCanCompleteIt) {
+  const auto module = build_distributed_module();
+  ModuleSession session(*module);
+  session.submit_choice("dm_mc_1", std::size_t{1});
+  session.submit_blank("dm_fib_1", "rank");
+  {
+    const auto* dnd =
+        dynamic_cast<const DragAndDrop*>(&module->question("dm_dd_1"));
+    ASSERT_NE(dnd, nullptr);
+    session.submit_matching("dm_dd_1", dnd->pairs());
+  }
+  session.submit_choice("dm_mc_2", std::size_t{1});
+  session.submit_blank("dm_fib_2", "4");
+  session.submit_choice("dm_mc_3", std::size_t{0});
+  session.submit_blank("dm_fib_3", "15");
+  session.submit_blank("dm_fib_4", "0.75");
+  EXPECT_DOUBLE_EQ(session.score(), 1.0);
+}
+
+TEST(DistributedModule, NumericAnswersAreChecked) {
+  const auto module = build_distributed_module();
+  ModuleSession session(*module);
+  EXPECT_FALSE(session.submit_blank("dm_fib_4", "12"));
+  EXPECT_TRUE(session.submit_blank("dm_fib_4", "0.75"));
+}
+
+}  // namespace
+}  // namespace pdc::courseware

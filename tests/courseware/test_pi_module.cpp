@@ -1,0 +1,154 @@
+// Tests that the encoded "Raspberry Pi virtual handout" matches what the
+// paper describes: structure, pacing, the Fig. 1 race-condition question,
+// and runnable hands-on activities.
+
+#include "courseware/pi_module.hpp"
+
+#include <gtest/gtest.h>
+
+#include "courseware/questions.hpp"
+#include "courseware/session.hpp"
+#include "patternlets/patternlets.hpp"
+
+namespace pdc::courseware {
+namespace {
+
+TEST(PiModule, HasFourChapters) {
+  const auto module = build_raspberry_pi_module();
+  EXPECT_EQ(module->chapters().size(), 4u);
+}
+
+TEST(PiModule, CoreContentPacesToTwoHours) {
+  // The paper's 2-hour budget covers the concepts + hands-on + exemplars
+  // chapters (setup happens before the lab period).
+  const auto module = build_raspberry_pi_module();
+  int core_minutes = 0;
+  for (std::size_t c = 1; c < module->chapters().size(); ++c) {
+    core_minutes += module->chapters()[c]->expected_minutes();
+  }
+  EXPECT_EQ(core_minutes, 120);
+}
+
+TEST(PiModule, PacingMatchesThePaperBreakdown) {
+  // First half hour: concepts. Next hour: patternlets. Last half hour:
+  // exemplars (Section III-A).
+  const auto module = build_raspberry_pi_module();
+  EXPECT_EQ(module->chapters()[1]->expected_minutes(), 30);
+  EXPECT_EQ(module->chapters()[2]->expected_minutes(), 60);
+  EXPECT_EQ(module->chapters()[3]->expected_minutes(), 30);
+}
+
+TEST(PiModule, RaceConditionSectionMatchesFig1) {
+  const auto module = build_raspberry_pi_module();
+  const Section& race = module->section("2.3");
+  EXPECT_EQ(race.title(), "Race Conditions");
+
+  // A video then an MCQ, as in the figure.
+  bool has_video = false;
+  for (const auto& item : race.items()) {
+    if (item->kind() == "video") has_video = true;
+  }
+  EXPECT_TRUE(has_video);
+
+  const auto* question =
+      dynamic_cast<const MultipleChoice*>(&module->question("sp_mc_2"));
+  ASSERT_NE(question, nullptr);
+  EXPECT_EQ(question->prompt(), "Q-2: What is a race condition?");
+  ASSERT_EQ(question->choices().size(), 3u);
+  // Fig. 1's correct answer is C: concurrent modification of a shared
+  // variable.
+  EXPECT_TRUE(question->grade(std::size_t{2}));
+  EXPECT_FALSE(question->grade(std::size_t{1}));
+}
+
+TEST(PiModule, EveryHandsOnActivityBindsToARealPatternlet) {
+  const auto module = build_raspberry_pi_module();
+  const auto& registry = patternlets::global_registry();
+  int activities = 0;
+  for (const auto& chapter : module->chapters()) {
+    for (const auto& section : chapter->sections()) {
+      for (const auto& item : section->items()) {
+        if (const auto* activity =
+                dynamic_cast<const HandsOnActivity*>(item.get())) {
+          ++activities;
+          EXPECT_TRUE(registry.contains(activity->patternlet_id()))
+              << activity->patternlet_id();
+        }
+      }
+    }
+  }
+  EXPECT_GE(activities, 10);
+}
+
+TEST(PiModule, HandsOnActivitiesActuallyRun) {
+  const auto module = build_raspberry_pi_module();
+  const auto& registry = patternlets::global_registry();
+  // Execute the first activity of chapter 3 end to end.
+  const Section& section = module->section("3.1");
+  const HandsOnActivity* first = nullptr;
+  for (const auto& item : section.items()) {
+    if ((first = dynamic_cast<const HandsOnActivity*>(item.get()))) break;
+  }
+  ASSERT_NE(first, nullptr);
+  const auto output = first->execute(registry);
+  EXPECT_FALSE(output.empty());
+}
+
+TEST(PiModule, HasAtLeastTenQuestions) {
+  EXPECT_GE(build_raspberry_pi_module()->question_count(), 10u);
+}
+
+TEST(PiModule, ALearnerCanFinishTheModule) {
+  const auto module = build_raspberry_pi_module();
+  ModuleSession session(*module);
+
+  // Answer every question correctly (exercising every grading path).
+  session.submit_blank("setup_fib_1", "3B");
+  session.submit_choice("setup_mc_1", std::size_t{1});
+  session.submit_choice("sp_mc_1", std::size_t{2});
+  {
+    const auto* dnd =
+        dynamic_cast<const DragAndDrop*>(&module->question("sp_dd_1"));
+    ASSERT_NE(dnd, nullptr);
+    session.submit_matching("sp_dd_1", dnd->pairs());
+  }
+  session.submit_choice("sp_mc_2", std::size_t{2});
+  session.submit_choice("sp_mc_3", std::size_t{1});
+  session.submit_blank("sp_fib_1", "13");
+  session.submit_choice("sp_mc_4", std::size_t{1});
+  session.submit_blank("ex_fib_1", "4.0");
+  session.submit_choice("ex_mc_1", std::size_t{0});
+
+  EXPECT_DOUBLE_EQ(session.score(), 1.0);
+
+  for (const auto& chapter : module->chapters()) {
+    for (const auto& section : chapter->sections()) {
+      session.complete_section(section->number());
+    }
+  }
+  EXPECT_TRUE(session.finished());
+}
+
+TEST(PiModule, SetupChapterContainsWalkthroughVideos) {
+  // "The video walkthroughs available in the first chapter ... provide
+  // step-by-step instructions" (Section IV-A, factor 2).
+  const auto module = build_raspberry_pi_module();
+  int videos = 0;
+  for (const auto& section : module->chapters()[0]->sections()) {
+    for (const auto& item : section->items()) {
+      if (item->kind() == "video") ++videos;
+    }
+  }
+  EXPECT_GE(videos, 2);
+}
+
+TEST(PiModule, RendersWithoutError) {
+  const auto module = build_raspberry_pi_module();
+  const std::string out = module->render();
+  EXPECT_NE(out.find("Race Conditions"), std::string::npos);
+  EXPECT_NE(out.find("Drug design"), std::string::npos);
+  EXPECT_GT(out.size(), 2000u);
+}
+
+}  // namespace
+}  // namespace pdc::courseware

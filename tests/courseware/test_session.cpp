@@ -1,0 +1,112 @@
+#include "courseware/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace pdc::courseware {
+namespace {
+
+std::unique_ptr<Module> quiz_module() {
+  auto module = std::make_unique<Module>("Quiz", "d");
+  auto& chapter = module->add_chapter("1");
+  auto& s1 = chapter.add_section("1.1", "a", 10);
+  s1.add(std::make_unique<MultipleChoice>(
+      "mc", "pick B", std::vector<Choice>{{"A", ""}, {"B", ""}},
+      std::set<std::size_t>{1}));
+  s1.add(std::make_unique<FillInBlank>("fib", "2*3 = ____", 6.0, 0.0));
+  auto& s2 = chapter.add_section("1.2", "b", 10);
+  s2.add(std::make_unique<DragAndDrop>(
+      "dnd", "match",
+      std::vector<std::pair<std::string, std::string>>{{"x", "1"},
+                                                       {"y", "2"}}));
+  return module;
+}
+
+TEST(ModuleSession, GradesAndRecordsAttempts) {
+  const auto module = quiz_module();
+  ModuleSession session(*module);
+  EXPECT_FALSE(session.submit_choice("mc", std::size_t{0}));
+  EXPECT_TRUE(session.submit_choice("mc", std::size_t{1}));
+  EXPECT_EQ(session.attempts("mc"), 2);
+  EXPECT_TRUE(session.is_correct("mc"));
+}
+
+TEST(ModuleSession, CorrectStaysCorrectAfterLaterWrongAnswer) {
+  const auto module = quiz_module();
+  ModuleSession session(*module);
+  EXPECT_TRUE(session.submit_blank("fib", "6"));
+  EXPECT_FALSE(session.submit_blank("fib", "7"));
+  EXPECT_TRUE(session.is_correct("fib"));
+  EXPECT_EQ(session.attempts("fib"), 2);
+}
+
+TEST(ModuleSession, ScoreIsCorrectOverTotal) {
+  const auto module = quiz_module();
+  ModuleSession session(*module);
+  EXPECT_DOUBLE_EQ(session.score(), 0.0);
+  session.submit_choice("mc", std::size_t{1});
+  EXPECT_NEAR(session.score(), 1.0 / 3.0, 1e-12);
+  session.submit_blank("fib", "6");
+  session.submit_matching("dnd", {{"x", "1"}, {"y", "2"}});
+  EXPECT_DOUBLE_EQ(session.score(), 1.0);
+}
+
+TEST(ModuleSession, WrongQuestionTypeThrows) {
+  const auto module = quiz_module();
+  ModuleSession session(*module);
+  EXPECT_THROW(session.submit_choice("fib", std::size_t{0}), InvalidArgument);
+  EXPECT_THROW(session.submit_blank("mc", "B"), InvalidArgument);
+  EXPECT_THROW(session.submit_matching("mc", {}), InvalidArgument);
+}
+
+TEST(ModuleSession, UnknownActivityThrows) {
+  const auto module = quiz_module();
+  ModuleSession session(*module);
+  EXPECT_THROW(session.submit_choice("ghost", std::size_t{0}), NotFound);
+}
+
+TEST(ModuleSession, SectionCompletionFraction) {
+  const auto module = quiz_module();
+  ModuleSession session(*module);
+  EXPECT_DOUBLE_EQ(session.completion_fraction(), 0.0);
+  session.complete_section("1.1");
+  EXPECT_DOUBLE_EQ(session.completion_fraction(), 0.5);
+  session.complete_section("1.1");  // idempotent
+  EXPECT_DOUBLE_EQ(session.completion_fraction(), 0.5);
+  session.complete_section("1.2");
+  EXPECT_DOUBLE_EQ(session.completion_fraction(), 1.0);
+}
+
+TEST(ModuleSession, CompleteSectionValidatesNumber) {
+  const auto module = quiz_module();
+  ModuleSession session(*module);
+  EXPECT_THROW(session.complete_section("4.4"), NotFound);
+}
+
+TEST(ModuleSession, TimeTracking) {
+  const auto module = quiz_module();
+  ModuleSession session(*module);
+  session.record_time("1.1", 8.5);
+  session.record_time("1.1", 1.5);
+  session.record_time("1.2", 12.0);
+  EXPECT_DOUBLE_EQ(session.total_minutes(), 22.0);
+  EXPECT_THROW(session.record_time("1.1", -1.0), InvalidArgument);
+  EXPECT_THROW(session.record_time("9.9", 5.0), NotFound);
+}
+
+TEST(ModuleSession, FinishedRequiresEverything) {
+  const auto module = quiz_module();
+  ModuleSession session(*module);
+  EXPECT_FALSE(session.finished());
+  session.complete_section("1.1");
+  session.complete_section("1.2");
+  EXPECT_FALSE(session.finished());  // questions unanswered
+  session.submit_choice("mc", std::size_t{1});
+  session.submit_blank("fib", "6");
+  session.submit_matching("dnd", {{"x", "1"}, {"y", "2"}});
+  EXPECT_TRUE(session.finished());
+}
+
+}  // namespace
+}  // namespace pdc::courseware

@@ -1,0 +1,57 @@
+// The hybrid (ranks x threads) integration kernel.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exemplars/integration.hpp"
+#include "mp/runtime.hpp"
+
+namespace pdc::exemplars {
+namespace {
+
+TEST(Hybrid, MatchesSerialResult) {
+  const double serial = trapezoid_serial(sine, 0.0, M_PI, 40000);
+  const double hybrid = trapezoid_hybrid(sine, 0.0, M_PI, 40000, 2, 2);
+  EXPECT_NEAR(hybrid, serial, 1e-10);
+}
+
+TEST(Hybrid, EveryRankReturnsTheIntegral) {
+  mp::run(3, [](mp::Communicator& comm) {
+    const double integral =
+        trapezoid_hybrid_rank(comm, sine, 0.0, M_PI, 12000, 2);
+    EXPECT_NEAR(integral, 2.0, 1e-6);
+  });
+}
+
+class HybridShapeTest
+    : public ::testing::TestWithParam<std::pair<int, std::size_t>> {};
+
+TEST_P(HybridShapeTest, AllProcessThreadShapesAgree) {
+  const auto [procs, threads] = GetParam();
+  const double serial = trapezoid_serial(half_circle, -1.0, 1.0, 30000);
+  const double hybrid =
+      trapezoid_hybrid(half_circle, -1.0, 1.0, 30000, procs, threads);
+  EXPECT_NEAR(hybrid, serial, 1e-10)
+      << procs << " ranks x " << threads << " threads";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HybridShapeTest,
+    ::testing::Values(std::pair<int, std::size_t>{1, 1},
+                      std::pair<int, std::size_t>{1, 4},
+                      std::pair<int, std::size_t>{4, 1},
+                      std::pair<int, std::size_t>{2, 2},
+                      std::pair<int, std::size_t>{3, 2},
+                      std::pair<int, std::size_t>{2, 4}));
+
+TEST(Hybrid, DegenerateOneByOneEqualsRankKernel) {
+  mp::run(1, [](mp::Communicator& comm) {
+    const double plain = trapezoid_rank(comm, sine, 0.0, 1.0, 5000);
+    const double hybrid = trapezoid_hybrid_rank(comm, sine, 0.0, 1.0, 5000, 1);
+    EXPECT_DOUBLE_EQ(hybrid, plain);
+  });
+}
+
+}  // namespace
+}  // namespace pdc::exemplars

@@ -1,0 +1,141 @@
+#include "exemplars/integration.hpp"
+
+#include "mp/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace pdc::exemplars {
+namespace {
+
+TEST(TrapezoidSerial, IntegratesLinearFunctionExactly) {
+  // Trapezoid rule is exact for linear integrands.
+  const double result =
+      trapezoid_serial([](double x) { return 2.0 * x + 1.0; }, 0.0, 4.0, 7);
+  EXPECT_NEAR(result, 20.0, 1e-12);
+}
+
+TEST(TrapezoidSerial, HalfCircleGivesPi) {
+  const double half_area = trapezoid_serial(half_circle, -1.0, 1.0, 200000);
+  EXPECT_NEAR(2.0 * half_area, M_PI, 1e-3);
+}
+
+TEST(TrapezoidSerial, SineOverHalfPeriodIsTwo) {
+  EXPECT_NEAR(trapezoid_serial(sine, 0.0, M_PI, 100000), 2.0, 1e-8);
+}
+
+TEST(TrapezoidSerial, ValidatesArguments) {
+  EXPECT_THROW(trapezoid_serial(sine, 0.0, 1.0, 0), InvalidArgument);
+  EXPECT_THROW(trapezoid_serial(sine, 2.0, 1.0, 10), InvalidArgument);
+}
+
+TEST(TrapezoidSmp, MatchesSerialBitForBit) {
+  // Static-block decomposition sums in a different order, so allow only
+  // floating-point-roundoff differences.
+  const double serial = trapezoid_serial(sine, 0.0, M_PI, 100001);
+  const double parallel = trapezoid_smp(sine, 0.0, M_PI, 100001, 4);
+  EXPECT_NEAR(parallel, serial, 1e-10);
+}
+
+TEST(TrapezoidSmp, SingleThreadDegenerate) {
+  const double serial = trapezoid_serial(half_circle, -1.0, 1.0, 5000);
+  const double one_thread = trapezoid_smp(half_circle, -1.0, 1.0, 5000, 1);
+  EXPECT_DOUBLE_EQ(one_thread, serial);
+}
+
+TEST(TrapezoidMp, MatchesSerialAcrossRankCounts) {
+  const double serial = trapezoid_serial(sine, 0.0, M_PI, 30000);
+  for (int procs : {1, 2, 3, 4, 7}) {
+    EXPECT_NEAR(trapezoid_mp(sine, 0.0, M_PI, 30000, procs), serial, 1e-10)
+        << procs << " ranks";
+  }
+}
+
+TEST(TrapezoidRank, EveryRankReturnsTheIntegral) {
+  mp::run(4, [&](mp::Communicator& comm) {
+    const double integral = trapezoid_rank(comm, sine, 0.0, M_PI, 10000);
+    EXPECT_NEAR(integral, 2.0, 1e-6);
+  });
+}
+
+TEST(TrapezoidMp, FewerIntervalsThanRanksStillCorrect) {
+  const double serial = trapezoid_serial(sine, 0.0, 1.0, 2);
+  EXPECT_NEAR(trapezoid_mp(sine, 0.0, 1.0, 2, 8), serial, 1e-12);
+}
+
+class TrapezoidConvergenceTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(TrapezoidConvergenceTest, ErrorShrinksWithMoreIntervals) {
+  const std::int64_t n = GetParam();
+  const double estimate = trapezoid_smp(sine, 0.0, M_PI, n, 3);
+  // Trapezoid error ~ (b-a)^3 / (12 n^2) * max|f''| = pi^3 / (12 n^2).
+  const double bound = std::pow(M_PI, 3) / (12.0 * static_cast<double>(n) *
+                                            static_cast<double>(n));
+  EXPECT_LE(std::abs(estimate - 2.0), bound * 1.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, TrapezoidConvergenceTest,
+                         ::testing::Values(8, 64, 512, 4096, 32768));
+
+TEST(Midpoint, LinearFunctionsAreExact) {
+  const double result =
+      midpoint_serial([](double x) { return 3.0 * x - 1.0; }, 0.0, 2.0, 5);
+  EXPECT_NEAR(result, 4.0, 1e-12);
+}
+
+TEST(Midpoint, ConvergesToSine) {
+  EXPECT_NEAR(midpoint_serial(sine, 0.0, M_PI, 50000), 2.0, 1e-7);
+}
+
+TEST(Simpson, CubicIsExact) {
+  // Simpson integrates cubics exactly.
+  const double result = simpson_serial(
+      [](double x) { return x * x * x - 2.0 * x * x + 3.0; }, 0.0, 2.0, 4);
+  EXPECT_NEAR(result, 4.0 - 16.0 / 3.0 + 6.0, 1e-12);
+}
+
+TEST(Simpson, RequiresEvenIntervalCount) {
+  EXPECT_THROW(simpson_serial(sine, 0.0, 1.0, 3), InvalidArgument);
+  EXPECT_NO_THROW(simpson_serial(sine, 0.0, 1.0, 4));
+}
+
+TEST(Simpson, FourthOrderConvergence) {
+  // Doubling n must shrink the error by ~16x (trapezoid only manages ~4x).
+  const double e1 = std::abs(simpson_serial(sine, 0.0, M_PI, 16) - 2.0);
+  const double e2 = std::abs(simpson_serial(sine, 0.0, M_PI, 32) - 2.0);
+  EXPECT_NEAR(e1 / e2, 16.0, 1.5);
+
+  const double t1 = std::abs(trapezoid_serial(sine, 0.0, M_PI, 16) - 2.0);
+  const double t2 = std::abs(trapezoid_serial(sine, 0.0, M_PI, 32) - 2.0);
+  EXPECT_NEAR(t1 / t2, 4.0, 0.5);
+}
+
+TEST(Simpson, BeatsTrapezoidAtEqualCost) {
+  const double simpson_err =
+      std::abs(simpson_serial(half_circle, -0.9, 0.9, 1000) -
+               (simpson_serial(half_circle, -0.9, 0.9, 100000)));
+  const double trap_err =
+      std::abs(trapezoid_serial(half_circle, -0.9, 0.9, 1000) -
+               (simpson_serial(half_circle, -0.9, 0.9, 100000)));
+  EXPECT_LT(simpson_err, trap_err);
+}
+
+TEST(Simpson, SmpMatchesSerial) {
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    EXPECT_NEAR(simpson_smp(sine, 0.0, M_PI, 10000, threads),
+                simpson_serial(sine, 0.0, M_PI, 10000), 1e-12)
+        << threads << " threads";
+  }
+}
+
+TEST(Integrands, KnownPointValues) {
+  EXPECT_DOUBLE_EQ(half_circle(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(half_circle(1.0), 0.0);
+  EXPECT_NEAR(sine(M_PI / 2), 1.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace pdc::exemplars

@@ -1,0 +1,81 @@
+#include "exemplars/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mp/runtime.hpp"
+#include "support/error.hpp"
+
+namespace pdc::exemplars {
+namespace {
+
+TEST(MonteCarloPi, ConvergesToPi) {
+  const PiEstimate estimate = pi_serial(400000, 42, 4);
+  EXPECT_EQ(estimate.darts, 400000);
+  EXPECT_NEAR(estimate.value(), M_PI, 0.02);
+}
+
+TEST(MonteCarloPi, DeterministicForSeed) {
+  EXPECT_EQ(pi_serial(40000, 7, 4), pi_serial(40000, 7, 4));
+  EXPECT_NE(pi_serial(40000, 7, 4).hits, pi_serial(40000, 8, 4).hits);
+}
+
+TEST(MonteCarloPi, ValidatesArguments) {
+  EXPECT_THROW(pi_serial(0, 1, 1), InvalidArgument);
+  EXPECT_THROW(pi_serial(100, 1, 0), InvalidArgument);
+  EXPECT_THROW(pi_serial(100, 1, 3), InvalidArgument);  // not divisible
+}
+
+TEST(MonteCarloPi, MoreStreamsSameExpectation) {
+  const double a = pi_serial(240000, 5, 4).value();
+  const double b = pi_serial(240000, 5, 12).value();
+  EXPECT_NEAR(a, b, 0.05);
+}
+
+class PiStrategyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PiStrategyTest, SmpIsBitIdenticalToSerial) {
+  const PiEstimate serial = pi_serial(80000, 11, 8);
+  const PiEstimate smp =
+      pi_smp(80000, 11, 8, static_cast<std::size_t>(GetParam()));
+  EXPECT_EQ(smp, serial);
+}
+
+TEST_P(PiStrategyTest, MpIsBitIdenticalToSerial) {
+  const PiEstimate serial = pi_serial(80000, 11, 8);
+  EXPECT_EQ(pi_mp(80000, 11, 8, GetParam()), serial);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, PiStrategyTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(MonteCarloPi, EveryRankGetsTheEstimate) {
+  const PiEstimate serial = pi_serial(40000, 3, 4);
+  mp::run(4, [&](mp::Communicator& comm) {
+    EXPECT_EQ(pi_rank(comm, 40000, 3, 4), serial);
+  });
+}
+
+TEST(MonteCarloPi, MoreRanksThanStreamsStillCorrect) {
+  const PiEstimate serial = pi_serial(20000, 9, 2);
+  EXPECT_EQ(pi_mp(20000, 9, 2, 6), serial);
+}
+
+TEST(MonteCarloPi, EmptyEstimateIsZero) {
+  EXPECT_DOUBLE_EQ(PiEstimate{}.value(), 0.0);
+}
+
+TEST(MonteCarloPi, ErrorShrinksWithSampleSize) {
+  // Monte Carlo error ~ 1/sqrt(n): with 100x the darts, the error over a
+  // few seeds should shrink clearly.
+  double small_err = 0.0, large_err = 0.0;
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    small_err += std::abs(pi_serial(4000, seed, 4).value() - M_PI);
+    large_err += std::abs(pi_serial(400000, seed, 4).value() - M_PI);
+  }
+  EXPECT_LT(large_err, small_err);
+}
+
+}  // namespace
+}  // namespace pdc::exemplars

@@ -1,0 +1,132 @@
+// Cross-module integration tests: the full paths a learner or instructor
+// actually exercises, spanning courseware -> patternlets -> runtimes,
+// notebook -> mp, kit -> cluster model, and remote -> notebook engine.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/cost_model.hpp"
+#include "courseware/html.hpp"
+#include "courseware/mpi_module.hpp"
+#include "courseware/pi_module.hpp"
+#include "courseware/session.hpp"
+#include "exemplars/forestfire.hpp"
+#include "kit/beowulf.hpp"
+#include "notebook/colab.hpp"
+#include "notebook/engine.hpp"
+#include "notebook/ipynb.hpp"
+#include "patternlets/patternlets.hpp"
+#include "remote/lab.hpp"
+
+namespace pdc {
+namespace {
+
+TEST(EndToEnd, EveryActivityInBothModulesExecutes) {
+  const auto& registry = patternlets::global_registry();
+  std::vector<std::unique_ptr<courseware::Module>> modules;
+  modules.push_back(courseware::build_raspberry_pi_module());
+  modules.push_back(courseware::build_distributed_module());
+  for (const auto& module : modules) {
+    for (const auto& chapter : module->chapters()) {
+      for (const auto& section : chapter->sections()) {
+        for (const auto& item : section->items()) {
+          if (const auto* activity =
+                  dynamic_cast<const courseware::HandsOnActivity*>(
+                      item.get())) {
+            EXPECT_FALSE(activity->execute(registry).empty())
+                << activity->patternlet_id();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(EndToEnd, EveryPatternletRunsAtSeveralWidths) {
+  // The whole catalog, shared-memory and message-passing, at 1/2/4 workers.
+  const auto& registry = patternlets::global_registry();
+  for (const auto* patternlet : registry.all()) {
+    for (int width : {1, 2, 4}) {
+      patterns::RunOptions options;
+      options.num_threads = static_cast<std::size_t>(width);
+      options.num_procs = width;
+      // Must not throw or hang. Output may legitimately be empty at width 1
+      // (e.g. any-source's master has no workers to hear from); at width 4
+      // every patternlet prints something.
+      const auto lines = patternlet->run(options);
+      if (width == 4) {
+        EXPECT_FALSE(lines.empty())
+            << patternlet->info().id << " @ width " << width;
+      }
+    }
+  }
+}
+
+TEST(EndToEnd, ColabNotebookToIpynbToHtmlModulePipeline) {
+  // Execute the notebook, export it, and render both modules to HTML — the
+  // complete authoring pipeline an instructor would ship.
+  auto nb = notebook::build_mpi4py_notebook();
+  notebook::ExecutionEngine engine(
+      notebook::ProgramRegistry::mpi4py_standard());
+  engine.run_all(*nb);
+  const std::string ipynb = notebook::to_ipynb_json(*nb);
+  EXPECT_GT(ipynb.size(), 4000u);
+
+  const auto pi_module = courseware::build_raspberry_pi_module();
+  const std::string html = courseware::render_module_html(*pi_module);
+  EXPECT_GT(html.size(), 8000u);
+  EXPECT_NE(html.find("sp_mc_2"), std::string::npos);
+}
+
+TEST(EndToEnd, BeowulfBuildPredictsForestFireSpeedup) {
+  // Kits -> cluster -> model -> prediction for the actual exemplar sweep.
+  const auto beowulf =
+      kit::BeowulfCluster::pi_teaching_cluster(kit::Catalog::year_2020(), 4);
+  ASSERT_TRUE(beowulf.validate().empty());
+
+  const cluster::CostModel model(beowulf.as_cluster_spec());
+  cluster::WorkloadSpec sweep_work{30.0, 0.005, 10, 16000.0};
+  const auto curve =
+      model.scaling_curve(sweep_work, cluster::power_of_two_procs(16));
+  EXPECT_GT(curve.back().speedup, 10.0);
+  // And the real (small) sweep still matches serial when farmed on ranks.
+  const auto serial = exemplars::sweep_serial(15, {0.5}, 8, 3);
+  const auto farmed = exemplars::sweep_mp(15, {0.5}, 8, 3, 4);
+  EXPECT_EQ(farmed[0].mean_burned_fraction, serial[0].mean_burned_fraction);
+}
+
+TEST(EndToEnd, LockedOutLearnerStillFinishesTheDistributedModule) {
+  // The full Section IV-B arc: lockout -> ssh -> run the module's
+  // collective exercises on the remote VM -> answer the module's questions.
+  remote::RemoteVm vm = remote::RemoteVm::st_olaf();
+  const remote::ConnectionOutcome outcome = remote::connect_with_fallback(
+      vm, {"participant8", "workshop2020-8"}, "ip-8", 0.0,
+      /*wrong_attempts_first=*/3);
+  ASSERT_TRUE(outcome.connected);
+  EXPECT_EQ(outcome.method_used, remote::AccessMethod::Ssh);
+
+  const auto reduce_output =
+      vm.run_command(*outcome.session_id, "mpirun -np 8 python 09reduce.py");
+  EXPECT_EQ(reduce_output.size(), 2u);
+
+  const auto module = courseware::build_distributed_module();
+  courseware::ModuleSession session(*module);
+  EXPECT_TRUE(session.submit_choice("dm_mc_2", std::size_t{1}));
+}
+
+TEST(EndToEnd, RegistryCountsMatchTheDocumentedCatalog) {
+  const auto& registry = patternlets::global_registry();
+  EXPECT_EQ(registry.size(), 29u);
+  EXPECT_EQ(registry.by_paradigm(patterns::Paradigm::SharedMemory).size(),
+            14u);
+  EXPECT_EQ(registry.by_paradigm(patterns::Paradigm::MessagePassing).size(),
+            15u);
+  // Every pattern in the taxonomy is illustrated by at least one patternlet.
+  for (patterns::Pattern p : patterns::all_patterns()) {
+    EXPECT_FALSE(registry.by_pattern(p).empty()) << patterns::to_string(p);
+  }
+}
+
+}  // namespace
+}  // namespace pdc

@@ -1,0 +1,106 @@
+#include "kit/beowulf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cost_model.hpp"
+#include "support/error.hpp"
+
+namespace pdc::kit {
+namespace {
+
+TEST(Beowulf, TeachingClusterValidatesClean) {
+  const auto cluster =
+      BeowulfCluster::pi_teaching_cluster(Catalog::year_2020());
+  EXPECT_TRUE(cluster.validate().empty());
+  EXPECT_EQ(cluster.num_nodes(), 4);
+}
+
+TEST(Beowulf, CostScalesWithNodes) {
+  const Catalog catalog = Catalog::year_2020();
+  const auto four = BeowulfCluster::pi_teaching_cluster(catalog, 4);
+  const auto two = BeowulfCluster::pi_teaching_cluster(catalog, 2);
+  EXPECT_GT(four.total_cost_bulk(), two.total_cost_bulk());
+  // Four node kits at $100.66 plus the shared gear.
+  EXPECT_GT(four.total_cost_bulk(), 4 * 100.66);
+  EXPECT_LT(four.total_cost_bulk(), 4 * 100.66 + 60.0);
+}
+
+TEST(Beowulf, CostPerCoreIsCommodity) {
+  const auto cluster =
+      BeowulfCluster::pi_teaching_cluster(Catalog::year_2020());
+  // 16 cores for roughly $450: the whole point of SBC clusters.
+  EXPECT_LT(cluster.cost_per_core(), 35.0);
+  EXPECT_GT(cluster.cost_per_core(), 15.0);
+}
+
+TEST(Beowulf, FivePortSwitchCannotCarrySixNodes) {
+  const Catalog catalog = Catalog::year_2020();
+  BeowulfCluster cluster("overfull", Kit::standard_2020(catalog), 6);
+  cluster.add_shared_part(catalog.at("switch-5port"));
+  const auto problems = cluster.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("ports"), std::string::npos);
+}
+
+TEST(Beowulf, EightPortSwitchCarriesSixNodes) {
+  const auto cluster =
+      BeowulfCluster::pi_teaching_cluster(Catalog::year_2020(), 6);
+  EXPECT_TRUE(cluster.validate().empty());
+}
+
+TEST(Beowulf, MultiNodeWithoutSwitchIsFlagged) {
+  BeowulfCluster cluster("switchless",
+                         Kit::standard_2020(Catalog::year_2020()), 3);
+  const auto problems = cluster.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("switch"), std::string::npos);
+}
+
+TEST(Beowulf, SingleNodeNeedsNoSwitch) {
+  BeowulfCluster cluster("solo", Kit::standard_2020(Catalog::year_2020()), 1);
+  EXPECT_TRUE(cluster.validate().empty());
+}
+
+TEST(Beowulf, NodeKitProblemsPropagate) {
+  const Catalog catalog = Catalog::year_2020();
+  Kit broken("no-storage", PiModel::Pi4, SystemImage{});
+  broken.add(catalog.at("canakit-pi4-2g"));
+  broken.add(catalog.at("eth-cable"));
+  broken.add(catalog.at("eth-usb-a"));
+  BeowulfCluster cluster("built on sand", broken, 2);
+  cluster.add_shared_part(catalog.at("switch-5port"));
+  const auto problems = cluster.validate();
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("microSD"), std::string::npos);
+}
+
+TEST(Beowulf, ClusterSpecFeedsTheCostModel) {
+  const auto beowulf =
+      BeowulfCluster::pi_teaching_cluster(Catalog::year_2020(), 4);
+  const cluster::ClusterSpec spec = beowulf.as_cluster_spec();
+  EXPECT_EQ(spec.total_cores(), 16);
+
+  const cluster::CostModel model(spec);
+  cluster::WorkloadSpec work{10.0, 0.01, 5, 4096.0};
+  const auto curve = model.scaling_curve(work, {1, 4, 16});
+  EXPECT_GT(curve.back().speedup, 8.0);  // a real cluster, if a small one
+}
+
+TEST(Beowulf, BillOfMaterialsExpandsNodeKits) {
+  const auto cluster =
+      BeowulfCluster::pi_teaching_cluster(Catalog::year_2020(), 4);
+  const std::string bom = cluster.bill_of_materials().render();
+  EXPECT_NE(bom.find("CanaKit with 2G Raspberry Pi"), std::string::npos);
+  EXPECT_NE(bom.find(" 4 |"), std::string::npos);  // quantity column
+  EXPECT_NE(bom.find("Gigabit Ethernet switch"), std::string::npos);
+  EXPECT_NE(bom.find("Total Cluster Cost"), std::string::npos);
+}
+
+TEST(Beowulf, ValidatesConstruction) {
+  EXPECT_THROW(
+      BeowulfCluster("x", Kit::standard_2020(Catalog::year_2020()), 0),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pdc::kit

@@ -1,0 +1,81 @@
+#include "mp/codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdc::mp {
+namespace {
+
+TEST(Codec, RoundTripsInt) {
+  const Bytes bytes = Codec<int>::encode(-12345);
+  EXPECT_EQ(bytes.size(), sizeof(int));
+  EXPECT_EQ(Codec<int>::decode(bytes), -12345);
+}
+
+TEST(Codec, RoundTripsDouble) {
+  const Bytes bytes = Codec<double>::encode(3.14159);
+  EXPECT_DOUBLE_EQ(Codec<double>::decode(bytes), 3.14159);
+}
+
+TEST(Codec, RoundTripsPodStruct) {
+  struct Point {
+    double x, y;
+    int label;
+    bool operator==(const Point&) const = default;
+  };
+  const Point p{1.5, -2.5, 7};
+  EXPECT_EQ(Codec<Point>::decode(Codec<Point>::encode(p)), p);
+}
+
+TEST(Codec, RoundTripsString) {
+  const std::string s("hello \0 embedded-nul", 20);  // embedded NUL survives
+  EXPECT_EQ(Codec<std::string>::decode(Codec<std::string>::encode(s)), s);
+}
+
+TEST(Codec, RoundTripsEmptyString) {
+  EXPECT_EQ(Codec<std::string>::decode(Codec<std::string>::encode("")), "");
+}
+
+TEST(Codec, RoundTripsIntVector) {
+  const std::vector<int> v{1, -2, 3, 1000000};
+  EXPECT_EQ(Codec<std::vector<int>>::decode(Codec<std::vector<int>>::encode(v)),
+            v);
+}
+
+TEST(Codec, RoundTripsEmptyVector) {
+  const std::vector<double> v;
+  EXPECT_EQ(
+      Codec<std::vector<double>>::decode(Codec<std::vector<double>>::encode(v)),
+      v);
+}
+
+TEST(Codec, RoundTripsStringVector) {
+  const std::vector<std::string> v{"alpha", "", "gamma with spaces",
+                                   std::string(1000, 'x')};
+  EXPECT_EQ(Codec<std::vector<std::string>>::decode(
+                Codec<std::vector<std::string>>::encode(v)),
+            v);
+}
+
+TEST(Codec, WrongSizePayloadThrows) {
+  Bytes too_short(2);
+  EXPECT_THROW(Codec<double>::decode(too_short), InvalidArgument);
+}
+
+TEST(Codec, MisalignedVectorPayloadThrows) {
+  Bytes bytes(7);  // not a multiple of sizeof(int)
+  EXPECT_THROW(Codec<std::vector<int>>::decode(bytes), InvalidArgument);
+}
+
+TEST(Codec, TruncatedStringVectorThrows) {
+  Bytes bytes = Codec<std::vector<std::string>>::encode({"hello"});
+  bytes.resize(bytes.size() - 2);
+  EXPECT_THROW(Codec<std::vector<std::string>>::decode(bytes), InvalidArgument);
+}
+
+TEST(Codec, TypeHashDistinguishesTypes) {
+  EXPECT_NE(type_hash<int>(), type_hash<double>());
+  EXPECT_EQ(type_hash<int>(), type_hash<int>());
+}
+
+}  // namespace
+}  // namespace pdc::mp

@@ -1,0 +1,106 @@
+// dup, sendrecv_replace, and the request-set helpers.
+
+#include <gtest/gtest.h>
+
+#include "mp/ops.hpp"
+#include "mp/runtime.hpp"
+
+namespace pdc::mp {
+namespace {
+
+TEST(CommDup, SameGroupFreshContext) {
+  run(4, [](Communicator& comm) {
+    Communicator copy = comm.dup();
+    EXPECT_EQ(copy.rank(), comm.rank());
+    EXPECT_EQ(copy.size(), comm.size());
+    EXPECT_EQ(copy.members(), comm.members());
+  });
+}
+
+TEST(CommDup, ContextsIsolateTraffic) {
+  // A message sent on the duplicate must not be receivable on the parent.
+  run(2, [](Communicator& comm) {
+    Communicator copy = comm.dup();
+    if (comm.rank() == 0) {
+      copy.send(1, 1, 5);
+      comm.send(2, 1, 5);
+    } else {
+      // Receive from the parent first: the dup's message must not satisfy it.
+      EXPECT_EQ(comm.recv<int>(0, 5), 2);
+      EXPECT_EQ(copy.recv<int>(0, 5), 1);
+    }
+  });
+}
+
+TEST(CommDup, CollectivesWorkOnTheDuplicate) {
+  run(5, [](Communicator& comm) {
+    Communicator copy = comm.dup();
+    EXPECT_EQ(copy.allreduce(1, ops::Sum{}), 5);
+  });
+}
+
+TEST(CommDup, DupOfSplitWorks) {
+  run(4, [](Communicator& comm) {
+    Communicator half = comm.split(comm.rank() % 2, comm.rank());
+    Communicator copy = half.dup();
+    EXPECT_EQ(copy.size(), 2);
+    EXPECT_EQ(copy.allreduce(copy.rank(), ops::Sum{}), 1);
+  });
+}
+
+TEST(SendrecvReplace, SwapsValuesInPlace) {
+  run(2, [](Communicator& comm) {
+    int value = comm.rank() * 11 + 1;  // 1 on rank 0, 12 on rank 1
+    const int partner = 1 - comm.rank();
+    comm.sendrecv_replace(value, partner, 0, partner, 0);
+    EXPECT_EQ(value, partner * 11 + 1);
+  });
+}
+
+TEST(SendrecvReplace, RingRotation) {
+  run(5, [](Communicator& comm) {
+    const int right = (comm.rank() + 1) % comm.size();
+    const int left = (comm.rank() - 1 + comm.size()) % comm.size();
+    int value = comm.rank();
+    comm.sendrecv_replace(value, right, 0, left, 0);
+    EXPECT_EQ(value, left);  // everyone now holds their left neighbor's rank
+  });
+}
+
+TEST(RequestSets, WaitAllCollectsInRequestOrder) {
+  run(4, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<RecvRequest<int>> requests;
+      for (int r = 1; r < comm.size(); ++r) {
+        requests.push_back(comm.irecv<int>(r, 7));
+      }
+      const std::vector<int> values = wait_all(requests);
+      EXPECT_EQ(values, (std::vector<int>{10, 20, 30}));
+    } else {
+      comm.send(comm.rank() * 10, 0, 7);
+    }
+  });
+}
+
+TEST(RequestSets, TestAllReflectsCompletion) {
+  run(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<RecvRequest<int>> requests;
+      requests.push_back(comm.irecv<int>(1, 1));
+      requests.push_back(comm.irecv<int>(1, 2));
+      EXPECT_FALSE(test_all(requests));  // nothing sent yet
+      comm.barrier();
+      while (!test_all(requests)) {
+        std::this_thread::yield();
+      }
+      EXPECT_EQ(wait_all(requests), (std::vector<int>{100, 200}));
+    } else {
+      comm.barrier();
+      comm.send(100, 0, 1);
+      comm.send(200, 0, 2);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace pdc::mp

@@ -1,0 +1,143 @@
+#include "mp/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace pdc::mp {
+namespace {
+
+Envelope make(std::uint64_t comm, int src, int tag, std::byte payload_byte) {
+  Envelope e;
+  e.comm_id = comm;
+  e.source = src;
+  e.tag = tag;
+  e.payload = {payload_byte};
+  return e;
+}
+
+TEST(Mailbox, DeliverThenReceive) {
+  Mailbox box;
+  box.deliver(make(0, 1, 5, std::byte{0xAB}));
+  const Envelope e = box.receive(0, 1, 5);
+  EXPECT_EQ(e.source, 1);
+  EXPECT_EQ(e.tag, 5);
+  EXPECT_EQ(e.payload.at(0), std::byte{0xAB});
+}
+
+TEST(Mailbox, WildcardSourceMatchesAnySender) {
+  Mailbox box;
+  box.deliver(make(0, 3, 7, std::byte{1}));
+  const Envelope e = box.receive(0, kAnySource, 7);
+  EXPECT_EQ(e.source, 3);
+}
+
+TEST(Mailbox, WildcardTagMatchesAnyTag) {
+  Mailbox box;
+  box.deliver(make(0, 2, 99, std::byte{1}));
+  const Envelope e = box.receive(0, 2, kAnyTag);
+  EXPECT_EQ(e.tag, 99);
+}
+
+TEST(Mailbox, NonOvertakingSameSourceSameTag) {
+  Mailbox box;
+  box.deliver(make(0, 1, 0, std::byte{10}));
+  box.deliver(make(0, 1, 0, std::byte{20}));
+  EXPECT_EQ(box.receive(0, 1, 0).payload.at(0), std::byte{10});
+  EXPECT_EQ(box.receive(0, 1, 0).payload.at(0), std::byte{20});
+}
+
+TEST(Mailbox, TagSelectionSkipsEarlierNonMatching) {
+  Mailbox box;
+  box.deliver(make(0, 1, 1, std::byte{10}));  // data
+  box.deliver(make(0, 1, 2, std::byte{20}));  // control
+  // Receiving tag 2 first must skip over the earlier tag-1 message.
+  EXPECT_EQ(box.receive(0, 1, 2).payload.at(0), std::byte{20});
+  EXPECT_EQ(box.receive(0, 1, 1).payload.at(0), std::byte{10});
+}
+
+TEST(Mailbox, CommunicatorIsolation) {
+  Mailbox box;
+  box.deliver(make(7, 0, 0, std::byte{70}));
+  box.deliver(make(8, 0, 0, std::byte{80}));
+  EXPECT_EQ(box.receive(8, 0, 0).payload.at(0), std::byte{80});
+  EXPECT_EQ(box.receive(7, 0, 0).payload.at(0), std::byte{70});
+}
+
+TEST(Mailbox, TryReceiveReturnsNulloptWhenEmpty) {
+  Mailbox box;
+  EXPECT_FALSE(box.try_receive(0, kAnySource, kAnyTag).has_value());
+}
+
+TEST(Mailbox, ReceiveForTimesOut) {
+  Mailbox box;
+  const auto result =
+      box.receive_for(0, kAnySource, kAnyTag, std::chrono::milliseconds(30));
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Mailbox, ReceiveForSucceedsWhenMessageArrivesLate) {
+  Mailbox box;
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    box.deliver(make(0, 0, 0, std::byte{42}));
+  });
+  const auto result =
+      box.receive_for(0, kAnySource, kAnyTag, std::chrono::milliseconds(2000));
+  sender.join();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->payload.at(0), std::byte{42});
+}
+
+TEST(Mailbox, BlockingReceiveWakesOnDelivery) {
+  Mailbox box;
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    box.deliver(make(0, 5, 1, std::byte{9}));
+  });
+  const Envelope e = box.receive(0, 5, 1);
+  sender.join();
+  EXPECT_EQ(e.payload.at(0), std::byte{9});
+}
+
+TEST(Mailbox, ProbeReportsWithoutRemoving) {
+  Mailbox box;
+  box.deliver(make(0, 4, 6, std::byte{1}));
+  const Status status = box.probe(0, kAnySource, kAnyTag);
+  EXPECT_EQ(status.source, 4);
+  EXPECT_EQ(status.tag, 6);
+  EXPECT_EQ(status.bytes, 1u);
+  EXPECT_EQ(box.queued(), 1u);  // still there
+}
+
+TEST(Mailbox, TryProbeOnEmptyReturnsNullopt) {
+  Mailbox box;
+  EXPECT_FALSE(box.try_probe(0, kAnySource, kAnyTag).has_value());
+}
+
+TEST(Mailbox, AbortWakesBlockedReceivers) {
+  Mailbox box;
+  std::thread receiver([&] {
+    EXPECT_THROW(box.receive(0, kAnySource, kAnyTag), Aborted);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  box.abort();
+  receiver.join();
+}
+
+TEST(Mailbox, OperationsAfterAbortThrow) {
+  Mailbox box;
+  box.abort();
+  EXPECT_THROW(box.try_receive(0, kAnySource, kAnyTag), Aborted);
+  EXPECT_THROW(box.try_probe(0, kAnySource, kAnyTag), Aborted);
+}
+
+TEST(Mailbox, QueuedCountsAllCommunicators) {
+  Mailbox box;
+  box.deliver(make(0, 0, 0, std::byte{1}));
+  box.deliver(make(1, 0, 0, std::byte{2}));
+  EXPECT_EQ(box.queued(), 2u);
+}
+
+}  // namespace
+}  // namespace pdc::mp

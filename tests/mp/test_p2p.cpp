@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "mp/runtime.hpp"
+#include "support/error.hpp"
+
+namespace pdc::mp {
+namespace {
+
+TEST(P2P, SendRecvString) {
+  std::atomic<bool> received{false};
+  run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(std::string("ping"), 1);
+    } else {
+      EXPECT_EQ(comm.recv<std::string>(0), "ping");
+      received.store(true);
+    }
+  });
+  EXPECT_TRUE(received.load());
+}
+
+TEST(P2P, SendRecvVector) {
+  run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(std::vector<double>{1.0, 2.0, 3.0}, 1);
+    } else {
+      EXPECT_EQ(comm.recv<std::vector<double>>(0),
+                (std::vector<double>{1.0, 2.0, 3.0}));
+    }
+  });
+}
+
+TEST(P2P, StatusReportsSourceTagBytes) {
+  run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(42, 1, /*tag=*/17);
+    } else {
+      Status status;
+      EXPECT_EQ(comm.recv<int>(kAnySource, kAnyTag, &status), 42);
+      EXPECT_EQ(status.source, 0);
+      EXPECT_EQ(status.tag, 17);
+      EXPECT_EQ(status.bytes, sizeof(int));
+    }
+  });
+}
+
+TEST(P2P, TypeMismatchIsDetected) {
+  run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(3.14, 1);
+    } else {
+      EXPECT_THROW(comm.recv<int>(0), InvalidArgument);
+    }
+  });
+}
+
+TEST(P2P, TagsSelectMessages) {
+  run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, 10);
+      comm.send(2, 1, 20);
+    } else {
+      EXPECT_EQ(comm.recv<int>(0, 20), 2);  // out of arrival order
+      EXPECT_EQ(comm.recv<int>(0, 10), 1);
+    }
+  });
+}
+
+TEST(P2P, AnySourceCollectsFromEveryone) {
+  run(5, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      int sum = 0;
+      for (int i = 1; i < comm.size(); ++i) {
+        sum += comm.recv<int>(kAnySource);
+      }
+      EXPECT_EQ(sum, 1 + 2 + 3 + 4);
+    } else {
+      comm.send(comm.rank(), 0);
+    }
+  });
+}
+
+TEST(P2P, SendToSelfWorks) {
+  run(1, [&](Communicator& comm) {
+    comm.send(std::string("me"), 0);
+    EXPECT_EQ(comm.recv<std::string>(0), "me");
+  });
+}
+
+TEST(P2P, SendRecvCombined) {
+  run(2, [&](Communicator& comm) {
+    const int partner = 1 - comm.rank();
+    const int got =
+        comm.sendrecv(comm.rank() * 100, partner, 0, partner, 0);
+    EXPECT_EQ(got, partner * 100);
+  });
+}
+
+TEST(P2P, IsendCompletesImmediately) {
+  run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      SendRequest req = comm.isend(7, 1);
+      EXPECT_TRUE(req.test());
+      req.wait();
+    } else {
+      EXPECT_EQ(comm.recv<int>(0), 7);
+    }
+  });
+}
+
+TEST(P2P, IrecvWaitDeliversValue) {
+  run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(std::string("async"), 1, 3);
+    } else {
+      auto req = comm.irecv<std::string>(0, 3);
+      Status status;
+      EXPECT_EQ(req.wait(&status), "async");
+      EXPECT_EQ(status.tag, 3);
+    }
+  });
+}
+
+TEST(P2P, IrecvTestPollsWithoutBlocking) {
+  run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.barrier();
+      comm.send(1, 1);
+    } else {
+      auto req = comm.irecv<int>(0);
+      EXPECT_FALSE(req.test());  // nothing sent yet
+      comm.barrier();
+      while (!req.test()) {
+        std::this_thread::yield();
+      }
+      EXPECT_EQ(req.wait(), 1);
+    }
+  });
+}
+
+TEST(P2P, ProbeThenRecv) {
+  run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(std::vector<int>{1, 2, 3, 4}, 1, 9);
+    } else {
+      const Status status = comm.probe(kAnySource, kAnyTag);
+      EXPECT_EQ(status.source, 0);
+      EXPECT_EQ(status.tag, 9);
+      EXPECT_EQ(status.bytes, 4 * sizeof(int));
+      EXPECT_EQ(comm.recv<std::vector<int>>(status.source, status.tag).size(),
+                4u);
+    }
+  });
+}
+
+TEST(P2P, IprobeReturnsNulloptWhenNothingQueued) {
+  run(1, [&](Communicator& comm) {
+    EXPECT_FALSE(comm.iprobe().has_value());
+  });
+}
+
+TEST(P2P, RecvForTurnsDeadlockIntoTimeout) {
+  // Both ranks receive first: a classic head-to-head deadlock. recv_for
+  // turns it into a clean timeout instead of a hang.
+  run(2, [&](Communicator& comm) {
+    const auto got = comm.recv_for<int>(std::chrono::milliseconds(50),
+                                        1 - comm.rank(), 0);
+    EXPECT_FALSE(got.has_value());
+  });
+}
+
+TEST(P2P, InvalidDestinationThrows) {
+  run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_THROW(comm.send(1, 2), InvalidArgument);   // rank 2 of 2
+      EXPECT_THROW(comm.send(1, -1), InvalidArgument);
+    }
+  });
+}
+
+TEST(P2P, OversizedUserTagThrows) {
+  run(1, [&](Communicator& comm) {
+    EXPECT_THROW(comm.send(1, 0, kMaxUserTag), InvalidArgument);
+    EXPECT_THROW(comm.send(1, 0, -1), InvalidArgument);
+  });
+}
+
+TEST(P2P, NonOvertakingOrderPreserved) {
+  run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 50; ++i) comm.send(i, 1, 0);
+    } else {
+      for (int i = 0; i < 50; ++i) {
+        ASSERT_EQ(comm.recv<int>(0, 0), i);
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace pdc::mp

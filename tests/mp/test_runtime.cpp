@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+
+#include "mp/runtime.hpp"
+#include "support/error.hpp"
+
+namespace pdc::mp {
+namespace {
+
+TEST(Runtime, LaunchesRequestedRankCount) {
+  std::atomic<int> count{0};
+  run(7, [&](Communicator& comm) {
+    EXPECT_EQ(comm.size(), 7);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 7);
+}
+
+TEST(Runtime, RanksAreDistinct) {
+  std::atomic<std::uint32_t> mask{0};
+  run(5, [&](Communicator& comm) {
+    mask.fetch_or(1u << comm.rank());
+  });
+  EXPECT_EQ(mask.load(), 0b11111u);
+}
+
+TEST(Runtime, RejectsNonPositiveProcCount) {
+  EXPECT_THROW(run(0, [](Communicator&) {}), InvalidArgument);
+  EXPECT_THROW(run(-3, [](Communicator&) {}), InvalidArgument);
+}
+
+TEST(Runtime, DefaultHostnameMatchesFig2Container) {
+  run(2, [&](Communicator& comm) {
+    EXPECT_EQ(comm.processor_name(), "d6ff4f902ed6");
+  });
+}
+
+TEST(Runtime, CustomHostnamesPerRank) {
+  RunConfig cfg;
+  cfg.num_procs = 4;
+  cfg.hostnames = {"node0", "node1", "node0", "node1"};
+  run(cfg, [&](Communicator& comm) {
+    EXPECT_EQ(comm.processor_name(),
+              "node" + std::to_string(comm.rank() % 2));
+  });
+}
+
+TEST(Runtime, MismatchedHostnameCountThrows) {
+  RunConfig cfg;
+  cfg.num_procs = 3;
+  cfg.hostnames = {"a", "b"};
+  EXPECT_THROW(run(cfg, [](Communicator&) {}), InvalidArgument);
+}
+
+TEST(Runtime, CapturesPrintedOutput) {
+  const RunResult result = run(3, [](Communicator& comm) {
+    comm.print("line from " + std::to_string(comm.rank()));
+  });
+  ASSERT_EQ(result.output.size(), 3u);
+  std::vector<std::string> sorted = result.output;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted[0], "line from 0");
+  EXPECT_EQ(sorted[2], "line from 2");
+}
+
+TEST(Runtime, RankExceptionPropagatesAndUnblocksPeers) {
+  // Rank 1 dies; rank 0 is blocked in a receive that would never complete.
+  // The abort machinery must wake rank 0 and rethrow rank 1's error.
+  EXPECT_THROW(run(2,
+                   [](Communicator& comm) {
+                     if (comm.rank() == 1) {
+                       throw InvalidArgument("rank 1 failed");
+                     }
+                     (void)comm.recv<int>(1);  // would hang without abort
+                   }),
+               Error);
+}
+
+TEST(Runtime, JobsAreIndependent) {
+  // An aborted job must not poison subsequent jobs.
+  EXPECT_THROW(
+      run(2, [](Communicator&) { throw Error("boom"); }), Error);
+  std::atomic<int> count{0};
+  run(2, [&](Communicator&) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(Runtime, ClusterHostnamesRoundRobin) {
+  const auto names = cluster_hostnames(5, 2);
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"node0", "node1", "node0", "node1",
+                                      "node0"}));
+}
+
+TEST(Runtime, ClusterHostnamesCustomStem) {
+  const auto names = cluster_hostnames(2, 4, "pi");
+  EXPECT_EQ(names, (std::vector<std::string>{"pi0", "pi1"}));
+}
+
+TEST(Runtime, ClusterHostnamesValidatesCounts) {
+  EXPECT_THROW(cluster_hostnames(0, 1), InvalidArgument);
+  EXPECT_THROW(cluster_hostnames(1, 0), InvalidArgument);
+}
+
+TEST(Runtime, ManyRanksComplete) {
+  std::atomic<int> count{0};
+  run(32, [&](Communicator& comm) {
+    comm.barrier();
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+}  // namespace
+}  // namespace pdc::mp

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "mp/ops.hpp"
+#include "mp/runtime.hpp"
+
+namespace pdc::mp {
+namespace {
+
+TEST(Split, EvenOddPartition) {
+  std::atomic<int> checks{0};
+  run(6, [&](Communicator& comm) {
+    Communicator sub = comm.split(comm.rank() % 2, comm.rank());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);  // order preserved within color
+    checks.fetch_add(1);
+  });
+  EXPECT_EQ(checks.load(), 6);
+}
+
+TEST(Split, SubCommunicatorCollectivesAreIsolated) {
+  run(6, [&](Communicator& comm) {
+    Communicator sub = comm.split(comm.rank() % 2, comm.rank());
+    // Sum of world ranks within each half.
+    const int sum = sub.allreduce(comm.rank(), ops::Sum{});
+    if (comm.rank() % 2 == 0) {
+      EXPECT_EQ(sum, 0 + 2 + 4);
+    } else {
+      EXPECT_EQ(sum, 1 + 3 + 5);
+    }
+  });
+}
+
+TEST(Split, KeyReversesRankOrder) {
+  run(4, [&](Communicator& comm) {
+    Communicator sub = comm.split(0, -comm.rank());  // all one color
+    EXPECT_EQ(sub.size(), 4);
+    EXPECT_EQ(sub.rank(), 3 - comm.rank());
+  });
+}
+
+TEST(Split, SingletonColors) {
+  run(3, [&](Communicator& comm) {
+    Communicator sub = comm.split(comm.rank(), 0);  // each rank alone
+    EXPECT_EQ(sub.size(), 1);
+    EXPECT_EQ(sub.rank(), 0);
+    // A singleton collective still works.
+    EXPECT_EQ(sub.allreduce(41, ops::Sum{}), 41);
+  });
+}
+
+TEST(Split, P2PWithinSubCommunicatorUsesLocalRanks) {
+  run(4, [&](Communicator& comm) {
+    Communicator sub = comm.split(comm.rank() / 2, comm.rank());
+    // Each pair exchanges within its sub-communicator using ranks 0/1.
+    const int partner = 1 - sub.rank();
+    sub.send(comm.rank() * 7, partner);
+    const int got = sub.recv<int>(partner);
+    const int expected_world_rank =
+        (comm.rank() / 2) * 2 + (1 - comm.rank() % 2);
+    EXPECT_EQ(got, expected_world_rank * 7);
+  });
+}
+
+TEST(Split, ParentCommunicatorStillUsableAfterSplit) {
+  run(4, [&](Communicator& comm) {
+    Communicator sub = comm.split(comm.rank() % 2, comm.rank());
+    (void)sub;
+    const int sum = comm.allreduce(1, ops::Sum{});
+    EXPECT_EQ(sum, 4);
+  });
+}
+
+TEST(Split, NestedSplits) {
+  run(8, [&](Communicator& comm) {
+    Communicator half = comm.split(comm.rank() / 4, comm.rank());
+    Communicator quarter = half.split(half.rank() / 2, half.rank());
+    EXPECT_EQ(quarter.size(), 2);
+    const int sum = quarter.allreduce(1, ops::Sum{});
+    EXPECT_EQ(sum, 2);
+  });
+}
+
+}  // namespace
+}  // namespace pdc::mp

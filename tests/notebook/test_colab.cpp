@@ -1,0 +1,132 @@
+// End-to-end test of the reconstructed Colab notebook: run every cell on
+// the engine and verify the observable behaviour of the paper's Fig. 2.
+
+#include "notebook/colab.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "notebook/engine.hpp"
+
+namespace pdc::notebook {
+namespace {
+
+int count_matching(const std::vector<std::string>& lines,
+                   const std::string& needle) {
+  return static_cast<int>(
+      std::count_if(lines.begin(), lines.end(), [&](const std::string& line) {
+        return line.find(needle) != std::string::npos;
+      }));
+}
+
+TEST(Colab, NotebookHasTitleAndCells) {
+  const auto nb = build_mpi4py_notebook();
+  EXPECT_EQ(nb->title(), "mpi4py_patternlets.ipynb");
+  EXPECT_GE(nb->cells().size(), 18u);
+  EXPECT_GE(nb->code_cell_count(), 16u);
+}
+
+TEST(Colab, WritefileCellsCarryTheMpi4pySource) {
+  const auto nb = build_mpi4py_notebook();
+  bool found_spmd_source = false;
+  for (const auto& cell : nb->cells()) {
+    if (cell.kind == CellKind::Code &&
+        cell.source.find("%%writefile 00spmd.py") != std::string::npos) {
+      EXPECT_NE(cell.source.find("from mpi4py import MPI"), std::string::npos);
+      EXPECT_NE(cell.source.find("Get_rank()"), std::string::npos);
+      found_spmd_source = true;
+    }
+  }
+  EXPECT_TRUE(found_spmd_source);
+}
+
+TEST(Colab, RunAllExecutesEveryCodeCell) {
+  auto nb = build_mpi4py_notebook();
+  ExecutionEngine engine(ProgramRegistry::mpi4py_standard());
+  engine.run_all(*nb);
+  for (const auto& cell : nb->cells()) {
+    if (cell.kind == CellKind::Code) {
+      EXPECT_GT(cell.execution_count, 0);
+    }
+  }
+}
+
+TEST(Colab, SpmdRunCellReproducesFig2Output) {
+  auto nb = build_mpi4py_notebook();
+  ExecutionEngine engine(ProgramRegistry::mpi4py_standard());
+  engine.run_all(*nb);
+
+  const Cell* run_cell = nullptr;
+  for (const auto& cell : nb->cells()) {
+    if (cell.kind == CellKind::Code &&
+        cell.source.find("python 00spmd.py") != std::string::npos) {
+      run_cell = &cell;
+      break;
+    }
+  }
+  ASSERT_NE(run_cell, nullptr);
+  ASSERT_EQ(run_cell->outputs.size(), 4u);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(count_matching(run_cell->outputs,
+                             "Greetings from process " + std::to_string(r) +
+                                 " of 4 on d6ff4f902ed6"),
+              1);
+  }
+}
+
+TEST(Colab, NoCellReportsAnError) {
+  auto nb = build_mpi4py_notebook();
+  ExecutionEngine engine(ProgramRegistry::mpi4py_standard());
+  engine.run_all(*nb);
+  for (const auto& cell : nb->cells()) {
+    for (const auto& line : cell.outputs) {
+      EXPECT_EQ(line.find("No such file"), std::string::npos) << line;
+      EXPECT_EQ(line.find("command not found"), std::string::npos) << line;
+      EXPECT_EQ(line.find("no native program"), std::string::npos) << line;
+      EXPECT_EQ(line.find("skipped Python"), std::string::npos) << line;
+    }
+  }
+}
+
+TEST(Colab, EveryWritefileIsFollowedByItsRun) {
+  auto nb = build_mpi4py_notebook();
+  ExecutionEngine engine(ProgramRegistry::mpi4py_standard());
+  engine.run_all(*nb);
+  // After run_all, each mpirun cell (every other code cell) must have
+  // produced process output.
+  for (const auto& cell : nb->cells()) {
+    if (cell.kind == CellKind::Code &&
+        cell.source.find("mpirun") != std::string::npos) {
+      EXPECT_FALSE(cell.outputs.empty()) << cell.source;
+    }
+  }
+}
+
+TEST(Colab, RenderLooksLikeANotebook) {
+  auto nb = build_mpi4py_notebook();
+  ExecutionEngine engine(ProgramRegistry::mpi4py_standard());
+  engine.run_all(*nb);
+  const std::string out = nb->render();
+  EXPECT_NE(out.find("mpi4py_patternlets.ipynb"), std::string::npos);
+  EXPECT_NE(out.find("Single Program, Multiple Data"), std::string::npos);
+  EXPECT_NE(out.find("%%writefile 00spmd.py"), std::string::npos);
+  EXPECT_NE(out.find("> Greetings from process"), std::string::npos);
+}
+
+TEST(Colab, ScatterCellShowsChunkedData) {
+  auto nb = build_mpi4py_notebook();
+  ExecutionEngine engine(ProgramRegistry::mpi4py_standard());
+  engine.run_all(*nb);
+  for (const auto& cell : nb->cells()) {
+    if (cell.kind == CellKind::Code &&
+        cell.source.find("python 07scatter.py") != std::string::npos) {
+      EXPECT_EQ(count_matching(cell.outputs, "received chunk: 1 2 3"), 1);
+      return;
+    }
+  }
+  FAIL() << "scatter run cell not found";
+}
+
+}  // namespace
+}  // namespace pdc::notebook

@@ -1,0 +1,62 @@
+#include "notebook/filestore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace pdc::notebook {
+namespace {
+
+TEST(FileStore, WriteThenRead) {
+  FileStore fs;
+  EXPECT_FALSE(fs.write("a.py", "print(1)\n"));
+  const auto content = fs.read("a.py");
+  ASSERT_TRUE(content.has_value());
+  EXPECT_EQ(*content, "print(1)\n");
+}
+
+TEST(FileStore, OverwriteReportsExistence) {
+  FileStore fs;
+  EXPECT_FALSE(fs.write("a.py", "v1"));
+  EXPECT_TRUE(fs.write("a.py", "v2"));
+  EXPECT_EQ(*fs.read("a.py"), "v2");
+}
+
+TEST(FileStore, ReadMissingReturnsNullopt) {
+  FileStore fs;
+  EXPECT_FALSE(fs.read("missing.py").has_value());
+}
+
+TEST(FileStore, ExistsAndSize) {
+  FileStore fs;
+  EXPECT_FALSE(fs.exists("x"));
+  fs.write("x", "1");
+  fs.write("y", "2");
+  EXPECT_TRUE(fs.exists("x"));
+  EXPECT_EQ(fs.size(), 2u);
+}
+
+TEST(FileStore, RemoveReportsExistence) {
+  FileStore fs;
+  fs.write("x", "1");
+  EXPECT_TRUE(fs.remove("x"));
+  EXPECT_FALSE(fs.remove("x"));
+  EXPECT_FALSE(fs.exists("x"));
+}
+
+TEST(FileStore, ListIsSorted) {
+  FileStore fs;
+  fs.write("zz.py", "");
+  fs.write("aa.py", "");
+  fs.write("mm.py", "");
+  EXPECT_EQ(fs.list(),
+            (std::vector<std::string>{"aa.py", "mm.py", "zz.py"}));
+}
+
+TEST(FileStore, RejectsEmptyName) {
+  FileStore fs;
+  EXPECT_THROW(fs.write("", "content"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pdc::notebook

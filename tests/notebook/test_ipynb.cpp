@@ -1,0 +1,109 @@
+#include "notebook/ipynb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "notebook/colab.hpp"
+#include "notebook/engine.hpp"
+
+namespace pdc::notebook {
+namespace {
+
+TEST(JsonEscape, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+TEST(Ipynb, ContainsNbformatHeaderAndKernelspec) {
+  Notebook nb("t");
+  nb.add_markdown("# hello");
+  const std::string json = to_ipynb_json(nb);
+  EXPECT_NE(json.find("\"nbformat\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"nbformat_minor\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"kernelspec\""), std::string::npos);
+}
+
+TEST(Ipynb, MarkdownCellsSerializeSource) {
+  Notebook nb("t");
+  nb.add_markdown("# heading\nbody line");
+  const std::string json = to_ipynb_json(nb);
+  EXPECT_NE(json.find("\"cell_type\": \"markdown\""), std::string::npos);
+  EXPECT_NE(json.find("\"# heading\\n\""), std::string::npos);
+  EXPECT_NE(json.find("\"body line\""), std::string::npos);
+}
+
+TEST(Ipynb, UnexecutedCodeCellHasNullCount) {
+  Notebook nb("t");
+  nb.add_code("!ls");
+  const std::string json = to_ipynb_json(nb);
+  EXPECT_NE(json.find("\"execution_count\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"outputs\": []"), std::string::npos);
+}
+
+TEST(Ipynb, ExecutedCellCarriesStreamOutput) {
+  Notebook nb("t");
+  nb.add_code("%%writefile f.py\nbody");
+  ExecutionEngine engine(ProgramRegistry::mpi4py_standard());
+  engine.run_all(nb);
+  const std::string json = to_ipynb_json(nb);
+  EXPECT_NE(json.find("\"execution_count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"output_type\": \"stream\""), std::string::npos);
+  EXPECT_NE(json.find("\"Writing f.py\""), std::string::npos);
+}
+
+TEST(Ipynb, QuotesInSourceAreEscaped) {
+  Notebook nb("t");
+  nb.add_code("print(\"x\")");
+  const std::string json = to_ipynb_json(nb);
+  EXPECT_NE(json.find("print(\\\"x\\\")"), std::string::npos);
+}
+
+TEST(Ipynb, BracesAndBracketsBalance) {
+  // A cheap structural validity check across the full executed Colab
+  // notebook (a real json parser validates this in CI scripts; here we
+  // assert balance, which catches truncation and nesting bugs).
+  auto nb = build_mpi4py_notebook();
+  ExecutionEngine engine(ProgramRegistry::mpi4py_standard());
+  engine.run_all(*nb);
+  const std::string json = to_ipynb_json(*nb);
+
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++braces;
+    else if (c == '}') --braces;
+    else if (c == '[') ++brackets;
+    else if (c == ']') --brackets;
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(Ipynb, FullColabNotebookRoundsTripItsGreetings) {
+  auto nb = build_mpi4py_notebook();
+  ExecutionEngine engine(ProgramRegistry::mpi4py_standard());
+  engine.run_all(*nb);
+  const std::string json = to_ipynb_json(*nb);
+  EXPECT_NE(json.find("Greetings from process 0 of 4 on d6ff4f902ed6"),
+            std::string::npos);
+  EXPECT_NE(json.find("from mpi4py import MPI"), std::string::npos);
+  EXPECT_NE(json.find("mpi4py_patternlets.ipynb"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdc::notebook

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "patternlets/mpi_programs.hpp"
+#include "patternlets/patternlets.hpp"
+#include "support/error.hpp"
+
+namespace pdc::patternlets {
+namespace {
+
+using patterns::Paradigm;
+using patterns::RunOptions;
+
+RunOptions procs(int n) {
+  RunOptions opts;
+  opts.num_procs = n;
+  return opts;
+}
+
+int count_matching(const std::vector<std::string>& lines,
+                   const std::string& needle) {
+  return static_cast<int>(
+      std::count_if(lines.begin(), lines.end(), [&](const std::string& line) {
+        return line.find(needle) != std::string::npos;
+      }));
+}
+
+// Counts lines that END with `suffix` (avoids "iteration 1" matching
+// "iteration 10").
+int count_suffix(const std::vector<std::string>& lines,
+                 const std::string& suffix) {
+  return static_cast<int>(
+      std::count_if(lines.begin(), lines.end(), [&](const std::string& line) {
+        return line.size() >= suffix.size() &&
+               line.compare(line.size() - suffix.size(), suffix.size(),
+                            suffix) == 0;
+      }));
+}
+
+TEST(MpiRegistry, HasFifteenPatternlets) {
+  EXPECT_EQ(
+      global_registry().by_paradigm(Paradigm::MessagePassing).size(), 15u);
+}
+
+TEST(MpiRegistry, ListingsAreMpi4py) {
+  // The learner-facing listings are the mpi4py Python files.
+  const auto& spmd = global_registry().at("mpi/00-spmd");
+  EXPECT_NE(spmd.info().source_listing.find("from mpi4py import MPI"),
+            std::string::npos);
+}
+
+TEST(MpiPrograms, NamesMatchTheRegistry) {
+  EXPECT_EQ(mpi_program_names().size(), 15u);
+  for (const auto& name : mpi_program_names()) {
+    EXPECT_TRUE(static_cast<bool>(mpi_program(name))) << name;
+  }
+  EXPECT_THROW(mpi_program("no-such-program"), NotFound);
+}
+
+TEST(MpiSpmd, ReproducesFig2Greetings) {
+  // The exact observable behaviour of the paper's Fig. 2:
+  // "Greetings from process i of 4 on d6ff4f902ed6" for i in 0..3,
+  // in nondeterministic order.
+  const auto lines = global_registry().at("mpi/00-spmd").run(procs(4));
+  ASSERT_EQ(lines.size(), 4u);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(count_matching(lines, "Greetings from process " +
+                                        std::to_string(r) +
+                                        " of 4 on d6ff4f902ed6"),
+              1);
+  }
+}
+
+TEST(MpiSendReceive, EveryWorkerGetsItsGreeting) {
+  const auto lines =
+      global_registry().at("mpi/01-send-receive").run(procs(4));
+  ASSERT_EQ(lines.size(), 4u);
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_EQ(count_matching(lines, "Process " + std::to_string(r) +
+                                        " received: 'hello, process " +
+                                        std::to_string(r) + "'"),
+              1);
+  }
+}
+
+TEST(MpiSendReceive, SingleProcessExplainsRequirement) {
+  const auto lines =
+      global_registry().at("mpi/01-send-receive").run(procs(1));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("at least 2 processes"), std::string::npos);
+}
+
+TEST(MpiPairExchange, PartnersSwapSquares) {
+  const auto lines =
+      global_registry().at("mpi/02-pair-exchange").run(procs(4));
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(count_matching(lines, "Process 0 exchanged with process 1 and "
+                                  "received 1"),
+            1);
+  EXPECT_EQ(count_matching(lines, "Process 1 exchanged with process 0 and "
+                                  "received 0"),
+            1);
+  EXPECT_EQ(count_matching(lines, "Process 2 exchanged with process 3 and "
+                                  "received 9"),
+            1);
+}
+
+TEST(MpiPairExchange, OddWorldSizeExplainsRequirement) {
+  const auto lines =
+      global_registry().at("mpi/02-pair-exchange").run(procs(3));
+  EXPECT_EQ(count_matching(lines, "even number"), 3);
+}
+
+TEST(MpiMasterWorker, OneMasterRestWorkers) {
+  const auto lines =
+      global_registry().at("mpi/03-master-worker").run(procs(5));
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(count_matching(lines, "master"), 1);
+  EXPECT_EQ(count_matching(lines, "worker"), 4);
+}
+
+TEST(MpiLoopSlices, RoundRobinIterations) {
+  const auto lines =
+      global_registry().at("mpi/04-parallel-loop-slices").run(procs(4));
+  ASSERT_EQ(lines.size(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(count_suffix(lines, "Process " + std::to_string(i % 4) +
+                                      " is performing iteration " +
+                                      std::to_string(i)),
+              1);
+  }
+}
+
+TEST(MpiLoopChunks, ContiguousBlocks) {
+  const auto lines = global_registry()
+                         .at("mpi/05-parallel-loop-equal-chunks")
+                         .run(procs(4));
+  ASSERT_EQ(lines.size(), 16u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(count_suffix(lines, "Process 0 is performing iteration " +
+                                      std::to_string(i)),
+              1);
+  }
+}
+
+TEST(MpiBroadcast, EveryRankEndsWithTheData) {
+  const auto lines = global_registry().at("mpi/06-broadcast").run(procs(4));
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(count_matching(lines, "now has 6 values; first is 8"), 4);
+}
+
+TEST(MpiScatter, ChunksAreContiguousAndOrdered) {
+  const auto lines = global_registry().at("mpi/07-scatter").run(procs(3));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(count_matching(lines, "Process 0 received chunk: 1 2 3"), 1);
+  EXPECT_EQ(count_matching(lines, "Process 1 received chunk: 4 5 6"), 1);
+  EXPECT_EQ(count_matching(lines, "Process 2 received chunk: 7 8 9"), 1);
+}
+
+TEST(MpiGather, ConductorReassemblesInRankOrder) {
+  const auto lines = global_registry().at("mpi/08-gather").run(procs(3));
+  EXPECT_EQ(count_matching(lines, "Process 0 gathered: 0 1 10 11 20 21"), 1);
+}
+
+TEST(MpiReduce, SumAndMaxOfSquares) {
+  const auto lines = global_registry().at("mpi/09-reduce").run(procs(4));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(count_matching(lines, "Sum of squares of ranks:  14"), 1);
+  EXPECT_EQ(count_matching(lines, "Max of squares of ranks:  9"), 1);
+}
+
+TEST(MpiAllreduce, EveryRankKnowsTheTotal) {
+  const auto lines = global_registry().at("mpi/10-allreduce").run(procs(4));
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(count_matching(lines, "knows the total is 10"), 4);
+}
+
+TEST(MpiBarrier, PhasesDoNotInterleave) {
+  const auto lines = global_registry().at("mpi/11-barrier").run(procs(4));
+  ASSERT_EQ(lines.size(), 8u);
+  std::size_t last_before = 0, first_after = lines.size();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].find("BEFORE") != std::string::npos) last_before = i;
+    if (lines[i].find("AFTER") != std::string::npos) {
+      first_after = std::min(first_after, i);
+    }
+  }
+  EXPECT_LT(last_before, first_after);
+}
+
+TEST(MpiTags, ControlReceivedBeforeEarlierData) {
+  const auto lines = global_registry().at("mpi/12-tags").run(procs(2));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("control message 'shut down' first"),
+            std::string::npos);
+  EXPECT_NE(lines[1].find("data message 'the payload'"), std::string::npos);
+}
+
+TEST(MpiAnySource, MasterHearsFromEveryWorker) {
+  const auto lines = global_registry().at("mpi/13-any-source").run(procs(5));
+  ASSERT_EQ(lines.size(), 4u);
+  for (int r = 1; r < 5; ++r) {
+    EXPECT_EQ(count_matching(lines, "received " + std::to_string(r * 100) +
+                                        " from process " + std::to_string(r)),
+              1);
+  }
+}
+
+TEST(MpiRing, TokenAccumulatesAroundTheRing) {
+  const auto lines = global_registry().at("mpi/14-ring").run(procs(5));
+  EXPECT_EQ(count_matching(lines,
+                           "returned to process 0 with value 5 after "
+                           "visiting all 5 processes"),
+            1);
+}
+
+TEST(MpiRing, WorksWithSingleProcess) {
+  const auto lines = global_registry().at("mpi/14-ring").run(procs(1));
+  EXPECT_EQ(count_matching(lines, "value 1 after visiting all 1"), 1);
+}
+
+}  // namespace
+}  // namespace pdc::patternlets

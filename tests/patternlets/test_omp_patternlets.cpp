@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "patternlets/patternlets.hpp"
+
+namespace pdc::patternlets {
+namespace {
+
+using patterns::Paradigm;
+using patterns::Pattern;
+using patterns::RunOptions;
+
+RunOptions threads(std::size_t n) {
+  RunOptions opts;
+  opts.num_threads = n;
+  return opts;
+}
+
+int count_matching(const std::vector<std::string>& lines,
+                   const std::string& needle) {
+  return static_cast<int>(
+      std::count_if(lines.begin(), lines.end(), [&](const std::string& line) {
+        return line.find(needle) != std::string::npos;
+      }));
+}
+
+// Counts lines that END with `suffix` — needed when the suffix is a number
+// ("iteration 1" must not also match "iteration 10").
+int count_suffix(const std::vector<std::string>& lines,
+                 const std::string& suffix) {
+  return static_cast<int>(
+      std::count_if(lines.begin(), lines.end(), [&](const std::string& line) {
+        return line.size() >= suffix.size() &&
+               line.compare(line.size() - suffix.size(), suffix.size(),
+                            suffix) == 0;
+      }));
+}
+
+TEST(OmpRegistry, HasFourteenPatternlets) {
+  EXPECT_EQ(
+      global_registry().by_paradigm(Paradigm::SharedMemory).size(), 14u);
+}
+
+TEST(OmpRegistry, AllHaveDescriptionsAndListings) {
+  for (const auto* p : global_registry().by_paradigm(Paradigm::SharedMemory)) {
+    EXPECT_FALSE(p->info().description.empty()) << p->info().id;
+    EXPECT_FALSE(p->info().source_listing.empty()) << p->info().id;
+    EXPECT_FALSE(p->info().patterns.empty()) << p->info().id;
+  }
+}
+
+TEST(OmpSpmd, OneGreetingPerThread) {
+  const auto lines = global_registry().at("omp/00-spmd").run(threads(4));
+  ASSERT_EQ(lines.size(), 4u);
+  std::set<std::string> unique(lines.begin(), lines.end());
+  EXPECT_EQ(unique.size(), 4u);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(count_matching(
+                  lines, "Hello from thread " + std::to_string(t) + " of 4"),
+              1);
+  }
+}
+
+TEST(OmpSpmd, HonorsThreadCount) {
+  EXPECT_EQ(global_registry().at("omp/00-spmd").run(threads(7)).size(), 7u);
+  EXPECT_EQ(global_registry().at("omp/00-spmd").run(threads(1)).size(), 1u);
+}
+
+TEST(OmpForkJoin, SequentialLinesBracketParallelOnes) {
+  const auto lines = global_registry().at("omp/01-fork-join").run(threads(4));
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_EQ(lines.front(), "Before...");
+  EXPECT_EQ(lines.back(), "After.");
+  EXPECT_EQ(count_matching(lines, "During..."), 4);
+}
+
+TEST(OmpForkJoin2, SecondRegionUsesHalfTeam) {
+  const auto lines = global_registry().at("omp/02-fork-join2").run(threads(8));
+  EXPECT_EQ(count_matching(lines, "Part I (default team)"), 8);
+  EXPECT_EQ(count_matching(lines, "Part II (half team)"), 4);
+  EXPECT_EQ(lines.front(), "Beginning (sequential, 1 thread)");
+  EXPECT_EQ(lines.back(), "End (sequential)");
+}
+
+TEST(OmpLoopEqualChunks, SixteenIterationsEachOnce) {
+  const auto lines = global_registry()
+                         .at("omp/03-parallel-loop-equal-chunks")
+                         .run(threads(4));
+  ASSERT_EQ(lines.size(), 16u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(count_suffix(lines, "iteration " + std::to_string(i)), 1);
+  }
+  // Equal chunks: thread 0 performs iterations 0..3.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(count_suffix(lines, "Thread 0 performed iteration " +
+                                      std::to_string(i)),
+              1);
+  }
+}
+
+TEST(OmpLoopChunksOf1, RoundRobinAssignment) {
+  const auto lines = global_registry()
+                         .at("omp/04-parallel-loop-chunks-of-1")
+                         .run(threads(4));
+  ASSERT_EQ(lines.size(), 16u);
+  // Chunks of 1: thread t performs iteration i iff i % 4 == t.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(count_suffix(lines, "Thread " + std::to_string(i % 4) +
+                                      " performed iteration " +
+                                      std::to_string(i)),
+              1);
+  }
+}
+
+TEST(OmpReduction, ParallelMatchesSequential) {
+  const auto lines = global_registry().at("omp/05-reduction").run(threads(4));
+  EXPECT_EQ(count_matching(lines, "right answer"), 1);
+  EXPECT_EQ(count_matching(lines, "MISMATCH"), 0);
+}
+
+TEST(OmpPrivate, EachThreadSquaresItsOwnId) {
+  const auto lines = global_registry().at("omp/06-private").run(threads(5));
+  ASSERT_EQ(lines.size(), 5u);
+  for (int t = 0; t < 5; ++t) {
+    EXPECT_EQ(count_matching(lines, "Thread " + std::to_string(t) +
+                                        ": private id squared is " +
+                                        std::to_string(t * t)),
+              1);
+  }
+}
+
+TEST(OmpRaceCondition, ReportsExpectedAndActual) {
+  const auto lines =
+      global_registry().at("omp/07-race-condition").run(threads(4));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(count_matching(lines, "Expected balance: 80000"), 1);
+  EXPECT_EQ(count_matching(lines, "Actual balance:"), 1);
+  // Whether updates were actually lost is timing dependent; the report line
+  // must state one of the two possible outcomes.
+  EXPECT_TRUE(lines[2].find("Lost") != std::string::npos ||
+              lines[2].find("run it again") != std::string::npos);
+}
+
+TEST(OmpCritical, NeverLosesUpdates) {
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const auto lines = global_registry().at("omp/08-critical").run(threads(4));
+    EXPECT_EQ(count_matching(lines, "Actual balance:   80000"), 1);
+    EXPECT_EQ(count_matching(lines, "MISMATCH"), 0);
+  }
+}
+
+TEST(OmpAtomic, NeverLosesUpdates) {
+  const auto lines = global_registry().at("omp/09-atomic").run(threads(8));
+  EXPECT_EQ(count_matching(lines, "Actual balance:   160000"), 1);
+}
+
+TEST(OmpMasterWorker, OneMasterRestWorkers) {
+  const auto lines =
+      global_registry().at("omp/10-master-worker").run(threads(4));
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(count_matching(lines, "master"), 1);
+  EXPECT_EQ(count_matching(lines, "worker"), 3);
+}
+
+TEST(OmpBarrier, AllBeforesPrecedeAllAfters) {
+  const auto lines = global_registry().at("omp/11-barrier").run(threads(4));
+  ASSERT_EQ(lines.size(), 8u);
+  std::size_t last_before = 0, first_after = lines.size();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].find("BEFORE") != std::string::npos) last_before = i;
+    if (lines[i].find("AFTER") != std::string::npos) {
+      first_after = std::min(first_after, i);
+    }
+  }
+  EXPECT_LT(last_before, first_after);
+}
+
+TEST(OmpSections, EachSectionOnceThenCompletion) {
+  const auto lines = global_registry().at("omp/12-sections").run(threads(3));
+  ASSERT_EQ(lines.size(), 5u);
+  for (const char* section : {"Section A", "Section B", "Section C",
+                              "Section D"}) {
+    EXPECT_EQ(count_matching(lines, section), 1);
+  }
+  EXPECT_EQ(lines.back(), "All sections complete.");
+}
+
+TEST(OmpDynamicSchedule, AllWeightedIterationsComplete) {
+  const auto lines =
+      global_registry().at("omp/13-dynamic-schedule").run(threads(4));
+  ASSERT_EQ(lines.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(count_suffix(lines, "weighted iteration " + std::to_string(i)),
+              1);
+  }
+}
+
+TEST(OmpPatternlets, PatternMetadataIsQueryable) {
+  const auto with_race =
+      global_registry().by_pattern(Pattern::RaceCondition);
+  ASSERT_EQ(with_race.size(), 1u);
+  EXPECT_EQ(with_race[0]->info().id, "omp/07-race-condition");
+}
+
+}  // namespace
+}  // namespace pdc::patternlets

@@ -1,0 +1,54 @@
+#include "patterns/taxonomy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pdc::patterns {
+namespace {
+
+TEST(Taxonomy, EveryPatternHasNameAndDefinition) {
+  for (Pattern p : all_patterns()) {
+    EXPECT_NE(to_string(p), "?");
+    EXPECT_FALSE(definition_of(p).empty());
+  }
+}
+
+TEST(Taxonomy, NamesAreUnique) {
+  std::set<std::string> names;
+  for (Pattern p : all_patterns()) names.insert(to_string(p));
+  EXPECT_EQ(names.size(), all_patterns().size());
+}
+
+TEST(Taxonomy, RaceConditionIsTheOnlyAntiPattern) {
+  int anti = 0;
+  for (Pattern p : all_patterns()) {
+    if (category_of(p) == PatternCategory::AntiPattern) {
+      ++anti;
+      EXPECT_EQ(p, Pattern::RaceCondition);
+    }
+  }
+  EXPECT_EQ(anti, 1);
+}
+
+TEST(Taxonomy, EveryCategoryIsPopulated) {
+  std::set<PatternCategory> seen;
+  for (Pattern p : all_patterns()) seen.insert(category_of(p));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Taxonomy, ParadigmNames) {
+  EXPECT_EQ(to_string(Paradigm::SharedMemory), "shared memory");
+  EXPECT_EQ(to_string(Paradigm::MessagePassing), "message passing");
+}
+
+TEST(Taxonomy, SpmdIsProgramStructure) {
+  EXPECT_EQ(category_of(Pattern::SPMD), PatternCategory::ProgramStructure);
+  EXPECT_EQ(category_of(Pattern::Reduction), PatternCategory::Coordination);
+  EXPECT_EQ(category_of(Pattern::Broadcast), PatternCategory::Communication);
+  EXPECT_EQ(category_of(Pattern::Scatter),
+            PatternCategory::DataDecomposition);
+}
+
+}  // namespace
+}  // namespace pdc::patterns

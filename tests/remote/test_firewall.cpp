@@ -1,0 +1,80 @@
+#include "remote/firewall.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace pdc::remote {
+namespace {
+
+TEST(Firewall, AllowsUnknownClients) {
+  Firewall fw(Firewall::Policy{3, 30.0});
+  EXPECT_FALSE(fw.is_blocked("10.0.0.1", 0.0));
+}
+
+TEST(Firewall, BlocksAfterMaxFailures) {
+  Firewall fw(Firewall::Policy{3, 30.0});
+  EXPECT_FALSE(fw.record_failure("c", 0.0));
+  EXPECT_FALSE(fw.record_failure("c", 1.0));
+  EXPECT_TRUE(fw.record_failure("c", 2.0));  // third strike
+  EXPECT_TRUE(fw.is_blocked("c", 2.0));
+}
+
+TEST(Firewall, BlockLapsesAfterLockoutWindow) {
+  Firewall fw(Firewall::Policy{2, 10.0});
+  fw.record_failure("c", 0.0);
+  fw.record_failure("c", 0.5);  // blocked until 10.5
+  EXPECT_TRUE(fw.is_blocked("c", 10.0));
+  EXPECT_FALSE(fw.is_blocked("c", 10.5));
+  EXPECT_EQ(fw.failures("c"), 0);  // counter reset with the lapse
+}
+
+TEST(Firewall, SuccessResetsCounterButNotActiveBlock) {
+  Firewall fw(Firewall::Policy{3, 30.0});
+  fw.record_failure("c", 0.0);
+  fw.record_failure("c", 0.1);
+  fw.record_success("c");
+  EXPECT_EQ(fw.failures("c"), 0);
+  EXPECT_FALSE(fw.is_blocked("c", 0.2));
+
+  // Once blocked, even a correct password does not lift the block — the
+  // confusing part of the workshop incident.
+  fw.record_failure("c", 1.0);
+  fw.record_failure("c", 1.1);
+  fw.record_failure("c", 1.2);
+  EXPECT_TRUE(fw.is_blocked("c", 1.3));
+  fw.record_success("c");
+  EXPECT_TRUE(fw.is_blocked("c", 1.4));
+}
+
+TEST(Firewall, ClientsAreIndependent) {
+  Firewall fw(Firewall::Policy{1, 30.0});
+  fw.record_failure("bad", 0.0);
+  EXPECT_TRUE(fw.is_blocked("bad", 0.1));
+  EXPECT_FALSE(fw.is_blocked("good", 0.1));
+}
+
+TEST(Firewall, AdminUnblockWorksImmediately) {
+  Firewall fw(Firewall::Policy{1, 60.0});
+  fw.record_failure("c", 0.0);
+  EXPECT_TRUE(fw.is_blocked("c", 1.0));
+  fw.unblock("c");
+  EXPECT_FALSE(fw.is_blocked("c", 1.0));
+  EXPECT_EQ(fw.failures("c"), 0);
+}
+
+TEST(Firewall, ValidatesPolicy) {
+  EXPECT_THROW(Firewall(Firewall::Policy{0, 30.0}), InvalidArgument);
+  EXPECT_THROW(Firewall(Firewall::Policy{3, 0.0}), InvalidArgument);
+}
+
+TEST(Firewall, FailuresAfterLapseStartANewCount) {
+  Firewall fw(Firewall::Policy{2, 5.0});
+  fw.record_failure("c", 0.0);
+  fw.record_failure("c", 0.1);          // blocked until 5.1
+  EXPECT_FALSE(fw.record_failure("c", 6.0));  // lapsed; this is failure #1
+  EXPECT_EQ(fw.failures("c"), 1);
+}
+
+}  // namespace
+}  // namespace pdc::remote

@@ -1,0 +1,71 @@
+#include "remote/lab.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdc::remote {
+namespace {
+
+TEST(Lab, DiligentLearnerConnectsViaVncFirstTry) {
+  RemoteVm vm = RemoteVm::st_olaf();
+  const ConnectionOutcome outcome = connect_with_fallback(
+      vm, {"participant1", "workshop2020-1"}, "ip1", 0.0);
+  EXPECT_TRUE(outcome.connected);
+  EXPECT_EQ(outcome.method_used, AccessMethod::Vnc);
+  EXPECT_EQ(outcome.transcript.size(), 1u);
+}
+
+TEST(Lab, TwoMistakesStillEndUpOnVnc) {
+  RemoteVm vm = RemoteVm::st_olaf();
+  const ConnectionOutcome outcome = connect_with_fallback(
+      vm, {"participant2", "workshop2020-2"}, "ip2", 0.0,
+      /*wrong_attempts_first=*/2);
+  EXPECT_TRUE(outcome.connected);
+  EXPECT_EQ(outcome.method_used, AccessMethod::Vnc);
+  EXPECT_EQ(outcome.transcript.size(), 3u);
+}
+
+TEST(Lab, EagerBeaverFallsBackToSsh) {
+  // Three wrong attempts trigger the lockout; the correct VNC login is
+  // refused; SSH succeeds — the paper's exact incident and workaround.
+  RemoteVm vm = RemoteVm::st_olaf();
+  const ConnectionOutcome outcome = connect_with_fallback(
+      vm, {"participant3", "workshop2020-3"}, "ip3", 0.0,
+      /*wrong_attempts_first=*/3);
+  EXPECT_TRUE(outcome.connected);
+  EXPECT_EQ(outcome.method_used, AccessMethod::Ssh);
+  ASSERT_EQ(outcome.transcript.size(), 5u);
+  EXPECT_FALSE(outcome.transcript[3].success);  // correct-password VNC
+  EXPECT_TRUE(outcome.transcript[4].success);   // ssh fallback
+}
+
+TEST(Lab, FallbackSessionCanCompleteTheExercise) {
+  RemoteVm vm = RemoteVm::st_olaf();
+  const ConnectionOutcome outcome = connect_with_fallback(
+      vm, {"participant4", "workshop2020-4"}, "ip4", 0.0, 3);
+  ASSERT_TRUE(outcome.connected);
+  const auto output =
+      vm.run_command(*outcome.session_id, "mpirun -np 16 python 09reduce.py");
+  EXPECT_EQ(output.size(), 2u);  // sum + max lines from rank 0
+}
+
+TEST(Lab, TranscriptNarratesTheIncident) {
+  RemoteVm vm = RemoteVm::st_olaf();
+  const ConnectionOutcome outcome = connect_with_fallback(
+      vm, {"participant5", "workshop2020-5"}, "ip5", 0.0, 3);
+  const auto lines = render_transcript(outcome);
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_NE(lines[2].find("blocked"), std::string::npos);
+  EXPECT_NE(lines.back().find("connected via SSH"), std::string::npos);
+}
+
+TEST(Lab, WrongAccountEntirelyFailsBothRoutes) {
+  RemoteVm vm = RemoteVm::st_olaf();
+  const ConnectionOutcome outcome =
+      connect_with_fallback(vm, {"ghost", "nope"}, "ip6", 0.0);
+  EXPECT_FALSE(outcome.connected);
+  const auto lines = render_transcript(outcome);
+  EXPECT_NE(lines.back().find("NOT connected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdc::remote

@@ -1,0 +1,161 @@
+#include "remote/vm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace pdc::remote {
+namespace {
+
+RemoteVm small_vm() {
+  RemoteVm vm("testvm", 8, Firewall::Policy{3, 30.0});
+  vm.add_account("alice", "correct-horse");
+  vm.add_account("bob", "battery-staple");
+  return vm;
+}
+
+TEST(RemoteVm, SuccessfulVncLogin) {
+  RemoteVm vm = small_vm();
+  const LoginResult result =
+      vm.login(AccessMethod::Vnc, {"alice", "correct-horse"}, "ip1", 0.0);
+  EXPECT_TRUE(result.success);
+  ASSERT_TRUE(result.session_id.has_value());
+  EXPECT_EQ(vm.active_sessions(), 1);
+  EXPECT_EQ(vm.sessions_of("alice"), 1);
+}
+
+TEST(RemoteVm, WrongPasswordFails) {
+  RemoteVm vm = small_vm();
+  const LoginResult result =
+      vm.login(AccessMethod::Vnc, {"alice", "nope"}, "ip1", 0.0);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(vm.active_sessions(), 0);
+}
+
+TEST(RemoteVm, UnknownUserFails) {
+  RemoteVm vm = small_vm();
+  EXPECT_FALSE(
+      vm.login(AccessMethod::Ssh, {"mallory", "x"}, "ip9", 0.0).success);
+}
+
+TEST(RemoteVm, EagerBeaverTriggersVncLockoutButSshStillWorks) {
+  // The Section IV-B incident, end to end.
+  RemoteVm vm = small_vm();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(vm.login(AccessMethod::Vnc, {"alice", "guess"}, "ip1",
+                          static_cast<double>(i))
+                     .success);
+  }
+  // Correct password over VNC now refused: the client is blocked.
+  const LoginResult vnc =
+      vm.login(AccessMethod::Vnc, {"alice", "correct-horse"}, "ip1", 3.0);
+  EXPECT_FALSE(vnc.success);
+  EXPECT_NE(vnc.message.find("blocked"), std::string::npos);
+
+  // "The participants could still ssh to the VM to complete the exercise."
+  const LoginResult ssh =
+      vm.login(AccessMethod::Ssh, {"alice", "correct-horse"}, "ip1", 3.5);
+  EXPECT_TRUE(ssh.success);
+}
+
+TEST(RemoteVm, LockoutExpiresWithTime) {
+  RemoteVm vm = small_vm();
+  for (int i = 0; i < 3; ++i) {
+    (void)vm.login(AccessMethod::Vnc, {"alice", "guess"}, "ip1", 0.0);
+  }
+  EXPECT_FALSE(
+      vm.login(AccessMethod::Vnc, {"alice", "correct-horse"}, "ip1", 10.0)
+          .success);
+  EXPECT_TRUE(
+      vm.login(AccessMethod::Vnc, {"alice", "correct-horse"}, "ip1", 31.0)
+          .success);
+}
+
+TEST(RemoteVm, AdminUnblockRestoresVnc) {
+  RemoteVm vm = small_vm();
+  for (int i = 0; i < 3; ++i) {
+    (void)vm.login(AccessMethod::Vnc, {"alice", "guess"}, "ip1", 0.0);
+  }
+  vm.vnc_firewall().unblock("ip1");
+  EXPECT_TRUE(
+      vm.login(AccessMethod::Vnc, {"alice", "correct-horse"}, "ip1", 1.0)
+          .success);
+}
+
+TEST(RemoteVm, OtherClientsUnaffectedByLockout) {
+  RemoteVm vm = small_vm();
+  for (int i = 0; i < 3; ++i) {
+    (void)vm.login(AccessMethod::Vnc, {"alice", "guess"}, "ip1", 0.0);
+  }
+  EXPECT_TRUE(
+      vm.login(AccessMethod::Vnc, {"bob", "battery-staple"}, "ip2", 1.0)
+          .success);
+}
+
+TEST(RemoteVm, SessionsCanRunTheExemplarFiles) {
+  RemoteVm vm = small_vm();
+  const LoginResult login =
+      vm.login(AccessMethod::Ssh, {"alice", "correct-horse"}, "ip1", 0.0);
+  ASSERT_TRUE(login.success);
+  const auto output =
+      vm.run_command(*login.session_id, "mpirun -np 4 python 00spmd.py");
+  ASSERT_EQ(output.size(), 4u);
+  for (const auto& line : output) {
+    EXPECT_NE(line.find("on testvm"), std::string::npos);
+  }
+}
+
+TEST(RemoteVm, CommandRespectsCoreLimit) {
+  RemoteVm vm = small_vm();  // 8 cores
+  const LoginResult login =
+      vm.login(AccessMethod::Ssh, {"alice", "correct-horse"}, "ip1", 0.0);
+  const auto output =
+      vm.run_command(*login.session_id, "mpirun -np 9 python 00spmd.py");
+  ASSERT_EQ(output.size(), 1u);
+  EXPECT_NE(output[0].find("at most 8"), std::string::npos);
+}
+
+TEST(RemoteVm, DeadSessionThrows) {
+  RemoteVm vm = small_vm();
+  const LoginResult login =
+      vm.login(AccessMethod::Ssh, {"alice", "correct-horse"}, "ip1", 0.0);
+  EXPECT_TRUE(vm.logout(*login.session_id));
+  EXPECT_FALSE(vm.logout(*login.session_id));
+  EXPECT_THROW(vm.run_command(*login.session_id, "ls"), NotFound);
+}
+
+TEST(RemoteVm, StOlafPresetMatchesThePaper) {
+  RemoteVm vm = RemoteVm::st_olaf();
+  EXPECT_EQ(vm.cores(), 64);
+  EXPECT_EQ(vm.hostname(), "stolaf-vm");
+  EXPECT_TRUE(vm.login(AccessMethod::Vnc,
+                       {"participant7", "workshop2020-7"}, "ip7", 0.0)
+                  .success);
+  // A learner can run a 64-rank job, the full VM.
+  const LoginResult login = vm.login(
+      AccessMethod::Ssh, {"participant1", "workshop2020-1"}, "ip1", 0.0);
+  const auto output =
+      vm.run_command(*login.session_id, "mpirun -np 64 python 10allreduce.py");
+  EXPECT_EQ(output.size(), 64u);
+}
+
+TEST(RemoteVm, MultipleConcurrentSessions) {
+  RemoteVm vm = small_vm();
+  (void)vm.login(AccessMethod::Vnc, {"alice", "correct-horse"}, "ip1", 0.0);
+  (void)vm.login(AccessMethod::Ssh, {"alice", "correct-horse"}, "ip1", 0.0);
+  (void)vm.login(AccessMethod::Ssh, {"bob", "battery-staple"}, "ip2", 0.0);
+  EXPECT_EQ(vm.active_sessions(), 3);
+  EXPECT_EQ(vm.sessions_of("alice"), 2);
+  EXPECT_EQ(vm.sessions_of("bob"), 1);
+}
+
+TEST(RemoteVm, ValidatesConstruction) {
+  EXPECT_THROW(RemoteVm("h", 0), InvalidArgument);
+  RemoteVm vm("h", 1);
+  EXPECT_THROW(vm.add_account("", "pw"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pdc::remote

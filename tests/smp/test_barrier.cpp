@@ -1,0 +1,90 @@
+#include "smp/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace pdc::smp {
+namespace {
+
+TEST(CyclicBarrier, RequiresAtLeastOneParty) {
+  EXPECT_THROW(CyclicBarrier(0), InvalidArgument);
+}
+
+TEST(CyclicBarrier, SinglePartyNeverBlocks) {
+  CyclicBarrier barrier(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(barrier.arrive_and_wait(), 0u);
+  }
+}
+
+TEST(CyclicBarrier, ReportsParties) {
+  CyclicBarrier barrier(3);
+  EXPECT_EQ(barrier.parties(), 3u);
+}
+
+TEST(CyclicBarrier, NoThreadPassesUntilAllArrive) {
+  constexpr std::size_t kThreads = 4;
+  CyclicBarrier barrier(kThreads);
+  std::atomic<int> before{0}, after{0};
+  std::atomic<bool> violation{false};
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      before.fetch_add(1);
+      barrier.arrive_and_wait();
+      // At this point every thread must have incremented `before`.
+      if (before.load() != kThreads) violation.store(true);
+      after.fetch_add(1);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(after.load(), static_cast<int>(kThreads));
+}
+
+TEST(CyclicBarrier, IsReusableAcrossManyCycles) {
+  constexpr std::size_t kThreads = 3;
+  constexpr int kCycles = 50;
+  CyclicBarrier barrier(kThreads);
+  std::atomic<int> phase_counts[kCycles] = {};
+  std::atomic<bool> violation{false};
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int cycle = 0; cycle < kCycles; ++cycle) {
+        phase_counts[cycle].fetch_add(1);
+        barrier.arrive_and_wait();
+        if (phase_counts[cycle].load() != kThreads) violation.store(true);
+        barrier.arrive_and_wait();  // second barrier so the check is safe
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(CyclicBarrier, ArrivalIndicesAreAPermutation) {
+  constexpr std::size_t kThreads = 5;
+  CyclicBarrier barrier(kThreads);
+  std::atomic<std::uint32_t> seen_mask{0};
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      const std::size_t index = barrier.arrive_and_wait();
+      seen_mask.fetch_or(1u << index);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(seen_mask.load(), (1u << kThreads) - 1);
+}
+
+}  // namespace
+}  // namespace pdc::smp

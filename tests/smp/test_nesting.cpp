@@ -1,0 +1,97 @@
+// Nested parallelism and mixed-construct stress for the shared-memory
+// runtime.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "smp/parallel.hpp"
+#include "smp/team.hpp"
+
+namespace pdc::smp {
+namespace {
+
+TEST(Nesting, ParallelRegionsNest) {
+  // Each member of an outer team forks its own inner team — supported
+  // because every region owns an independent Team (like OMP_NESTED=true).
+  std::atomic<int> inner_runs{0};
+  parallel(3, [&](TeamContext& outer) {
+    (void)outer;
+    parallel(2, [&](TeamContext& inner) {
+      EXPECT_EQ(inner.num_threads(), 2u);
+      inner_runs.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(inner_runs.load(), 6);
+}
+
+TEST(Nesting, InnerReductionsFeedOuterReduction) {
+  parallel(2, [&](TeamContext& outer) {
+    const std::int64_t inner_sum = parallel_sum<std::int64_t>(
+        0, 100, [](std::int64_t i) { return i; }, Schedule::static_blocks(),
+        2);
+    EXPECT_EQ(inner_sum, 4950);
+    const std::int64_t combined = outer.reduce_sum(inner_sum);
+    EXPECT_EQ(combined, 2 * 4950);
+  });
+}
+
+TEST(Nesting, MpStyleWorkInsideThreads) {
+  // Threads of one team each drive an independent fork-join loop — the
+  // shape of the hybrid exemplar, shared-memory only.
+  std::vector<std::atomic<int>> hits(64);
+  parallel(2, [&](TeamContext& ctx) {
+    const std::int64_t half = 32;
+    const std::int64_t base = static_cast<std::int64_t>(ctx.thread_num()) * half;
+    parallel_for(
+        base, base + half,
+        [&](std::int64_t i) { hits[static_cast<std::size_t>(i)].fetch_add(1); },
+        Schedule::dynamic(4), 2);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(MixedConstructs, LoopThenSingleThenReduceRepeatedly) {
+  std::atomic<int> singles{0};
+  parallel(4, [&](TeamContext& ctx) {
+    for (int round = 0; round < 15; ++round) {
+      int my_hits = 0;  // per-thread share of the loop
+      ctx.for_each(0, 20, Schedule::dynamic(1),
+                   [&](std::int64_t) { ++my_hits; });
+      EXPECT_EQ(ctx.reduce_sum(my_hits), 20);
+      ctx.single([&] { singles.fetch_add(1); });
+      const int sum = ctx.reduce_sum(1);
+      EXPECT_EQ(sum, 4);
+    }
+  });
+  EXPECT_EQ(singles.load(), 15);
+}
+
+TEST(MixedConstructs, CriticalInsideWorkshareLoop) {
+  std::vector<int> order;
+  parallel(4, [&](TeamContext& ctx) {
+    ctx.for_each(0, 100, Schedule::static_chunks(1), [&](std::int64_t i) {
+      ctx.critical([&] { order.push_back(static_cast<int>(i)); });
+    });
+  });
+  EXPECT_EQ(order.size(), 100u);
+  std::sort(order.begin(), order.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(MixedConstructs, BigTeamOnOneCoreCompletes) {
+  // Heavy oversubscription (the CI container has 1 core) must still be
+  // correct and deadlock-free.
+  std::atomic<int> count{0};
+  parallel(32, [&](TeamContext& ctx) {
+    ctx.barrier();
+    count.fetch_add(1);
+    ctx.barrier();
+    EXPECT_EQ(count.load(), 32);
+    const int sum = ctx.reduce_sum(1);
+    EXPECT_EQ(sum, 32);
+  });
+}
+
+}  // namespace
+}  // namespace pdc::smp

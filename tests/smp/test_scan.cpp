@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "smp/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace pdc::smp {
+namespace {
+
+std::vector<std::int64_t> serial_scan(std::vector<std::int64_t> v) {
+  std::partial_sum(v.begin(), v.end(), v.begin());
+  return v;
+}
+
+TEST(ParallelScan, MatchesSerialPrefixSum) {
+  Rng rng(1);
+  std::vector<std::int64_t> data(1000);
+  for (auto& x : data) x = rng.uniform_int(-50, 50);
+  const auto expected = serial_scan(data);
+  parallel_inclusive_scan(data, [](std::int64_t a, std::int64_t b) { return a + b; }, 4);
+  EXPECT_EQ(data, expected);
+}
+
+TEST(ParallelScan, TinyInputsAreNoOpsOrTrivial) {
+  std::vector<std::int64_t> empty;
+  parallel_inclusive_scan(empty, std::plus<std::int64_t>{}, 4);
+  EXPECT_TRUE(empty.empty());
+
+  std::vector<std::int64_t> one{7};
+  parallel_inclusive_scan(one, std::plus<std::int64_t>{}, 4);
+  EXPECT_EQ(one, std::vector<std::int64_t>{7});
+
+  std::vector<std::int64_t> two{3, 4};
+  parallel_inclusive_scan(two, std::plus<std::int64_t>{}, 4);
+  EXPECT_EQ(two, (std::vector<std::int64_t>{3, 7}));
+}
+
+TEST(ParallelScan, MoreThreadsThanElements) {
+  std::vector<std::int64_t> data{1, 2, 3};
+  parallel_inclusive_scan(data, std::plus<std::int64_t>{}, 8);
+  EXPECT_EQ(data, (std::vector<std::int64_t>{1, 3, 6}));
+}
+
+TEST(ParallelScan, NonCommutativeAssociativeOp) {
+  // String concatenation is associative but not commutative; the scan must
+  // still produce exact prefixes. Also exercises the empty-block skip (T{}
+  // is the identity here, but order must be preserved regardless).
+  std::vector<std::string> data{"a", "b", "c", "d", "e", "f", "g"};
+  parallel_inclusive_scan(
+      data, [](const std::string& x, const std::string& y) { return x + y; },
+      3);
+  EXPECT_EQ(data.back(), "abcdefg");
+  EXPECT_EQ(data[3], "abcd");
+  EXPECT_EQ(data[0], "a");
+}
+
+TEST(ParallelScan, MaxScan) {
+  std::vector<std::int64_t> data{3, 1, 4, 1, 5, 9, 2, 6};
+  parallel_inclusive_scan(
+      data, [](std::int64_t a, std::int64_t b) { return std::max(a, b); }, 4);
+  EXPECT_EQ(data, (std::vector<std::int64_t>{3, 3, 4, 4, 5, 9, 9, 9}));
+}
+
+TEST(ParallelScan, ProductScanWithEmptyBlocks) {
+  // T{} == 0 would zero a product if empty blocks were folded in; the
+  // implementation must skip them (8 threads, 5 elements -> 3 empty blocks).
+  std::vector<std::int64_t> data{2, 3, 5, 7, 11};
+  parallel_inclusive_scan(
+      data, [](std::int64_t a, std::int64_t b) { return a * b; }, 8);
+  EXPECT_EQ(data, (std::vector<std::int64_t>{2, 6, 30, 210, 2310}));
+}
+
+class ScanThreadsTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanThreadsTest, AgreesWithSerialForAllTeamSizes) {
+  Rng rng(GetParam());
+  std::vector<std::int64_t> data(257);  // deliberately not divisible
+  for (auto& x : data) x = rng.uniform_int(0, 9);
+  const auto expected = serial_scan(data);
+  parallel_inclusive_scan(data, std::plus<std::int64_t>{}, GetParam());
+  EXPECT_EQ(data, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ScanThreadsTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+}  // namespace
+}  // namespace pdc::smp

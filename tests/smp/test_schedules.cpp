@@ -1,0 +1,184 @@
+// Property tests of the worksharing schedules: for every (schedule, team
+// size, range) combination, the loop must execute each index exactly once —
+// the fundamental worksharing contract — plus schedule-specific shape checks.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "smp/parallel.hpp"
+#include "smp/team.hpp"
+
+namespace pdc::smp {
+namespace {
+
+struct ScheduleCase {
+  Schedule schedule;
+  std::size_t threads;
+  std::int64_t lo;
+  std::int64_t hi;
+};
+
+void PrintTo(const ScheduleCase& c, std::ostream* os) {
+  *os << c.schedule.name() << "/t" << c.threads << "/[" << c.lo << "," << c.hi
+      << ")";
+}
+
+class ScheduleCoverageTest : public ::testing::TestWithParam<ScheduleCase> {};
+
+TEST_P(ScheduleCoverageTest, EveryIndexExecutesExactlyOnce) {
+  const auto& c = GetParam();
+  const auto n = static_cast<std::size_t>(std::max<std::int64_t>(0, c.hi - c.lo));
+  std::vector<std::atomic<int>> hits(n);
+  parallel(c.threads, [&](TeamContext& ctx) {
+    ctx.for_each(c.lo, c.hi, c.schedule, [&](std::int64_t i) {
+      ASSERT_GE(i, c.lo);
+      ASSERT_LT(i, c.hi);
+      hits[static_cast<std::size_t>(i - c.lo)].fetch_add(1);
+    });
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(ScheduleCoverageTest, RangeVariantCoversSameIndices) {
+  const auto& c = GetParam();
+  const auto n = static_cast<std::size_t>(std::max<std::int64_t>(0, c.hi - c.lo));
+  std::vector<std::atomic<int>> hits(n);
+  parallel(c.threads, [&](TeamContext& ctx) {
+    ctx.for_ranges(c.lo, c.hi, c.schedule,
+                   [&](std::int64_t begin, std::int64_t end) {
+                     ASSERT_LE(c.lo, begin);
+                     ASSERT_LE(begin, end);
+                     ASSERT_LE(end, c.hi);
+                     for (std::int64_t i = begin; i < end; ++i) {
+                       hits[static_cast<std::size_t>(i - c.lo)].fetch_add(1);
+                     }
+                   });
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+std::vector<ScheduleCase> coverage_cases() {
+  std::vector<ScheduleCase> cases;
+  const Schedule schedules[] = {
+      Schedule::static_blocks(), Schedule::static_chunks(1),
+      Schedule::static_chunks(3), Schedule::dynamic(1), Schedule::dynamic(4),
+      Schedule::guided(1), Schedule::guided(2)};
+  const std::size_t thread_counts[] = {1, 2, 3, 4, 7};
+  const std::pair<std::int64_t, std::int64_t> ranges[] = {
+      {0, 0}, {0, 1}, {0, 16}, {5, 21}, {-8, 9}, {0, 100}};
+  for (const auto& sched : schedules) {
+    for (std::size_t t : thread_counts) {
+      for (const auto& [lo, hi] : ranges) {
+        cases.push_back(ScheduleCase{sched, t, lo, hi});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedules, ScheduleCoverageTest,
+                         ::testing::ValuesIn(coverage_cases()));
+
+TEST(StaticSchedule, AssignsContiguousBlocksInThreadOrder) {
+  // 10 iterations on 4 threads: blocks of 3,3,2,2.
+  std::mutex m;
+  std::vector<std::pair<std::int64_t, std::int64_t>> blocks(4, {-1, -1});
+  parallel(4, [&](TeamContext& ctx) {
+    ctx.for_ranges(0, 10, Schedule::static_blocks(),
+                   [&](std::int64_t begin, std::int64_t end) {
+                     std::lock_guard lock(m);
+                     blocks[ctx.thread_num()] = {begin, end};
+                   });
+  });
+  EXPECT_EQ(blocks[0], (std::pair<std::int64_t, std::int64_t>{0, 3}));
+  EXPECT_EQ(blocks[1], (std::pair<std::int64_t, std::int64_t>{3, 6}));
+  EXPECT_EQ(blocks[2], (std::pair<std::int64_t, std::int64_t>{6, 8}));
+  EXPECT_EQ(blocks[3], (std::pair<std::int64_t, std::int64_t>{8, 10}));
+}
+
+TEST(StaticChunks, DealsRoundRobin) {
+  // chunks of 1 on 4 threads: thread t gets iterations t, t+4, t+8, ...
+  std::vector<std::atomic<int>> owner(16);
+  parallel(4, [&](TeamContext& ctx) {
+    ctx.for_each(0, 16, Schedule::static_chunks(1), [&](std::int64_t i) {
+      owner[static_cast<std::size_t>(i)].store(
+          static_cast<int>(ctx.thread_num()));
+    });
+  });
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(owner[static_cast<std::size_t>(i)].load(), i % 4);
+  }
+}
+
+TEST(StaticSchedule, IsDeterministicAcrossRuns) {
+  const auto run_once = [] {
+    std::vector<int> owner(24, -1);
+    std::mutex m;
+    parallel(3, [&](TeamContext& ctx) {
+      ctx.for_each(0, 24, Schedule::static_blocks(), [&](std::int64_t i) {
+        std::lock_guard lock(m);
+        owner[static_cast<std::size_t>(i)] =
+            static_cast<int>(ctx.thread_num());
+      });
+    });
+    return owner;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(DynamicSchedule, ChunksHaveRequestedSize) {
+  std::mutex m;
+  std::vector<std::int64_t> chunk_sizes;
+  parallel(2, [&](TeamContext& ctx) {
+    ctx.for_ranges(0, 20, Schedule::dynamic(4),
+                   [&](std::int64_t begin, std::int64_t end) {
+                     std::lock_guard lock(m);
+                     chunk_sizes.push_back(end - begin);
+                   });
+  });
+  ASSERT_EQ(chunk_sizes.size(), 5u);
+  for (std::int64_t s : chunk_sizes) EXPECT_EQ(s, 4);
+}
+
+TEST(GuidedSchedule, ChunksShrinkOverTime) {
+  std::mutex m;
+  std::vector<std::int64_t> chunk_sizes;  // in dispatch order
+  parallel(1, [&](TeamContext& ctx) {     // single thread: deterministic order
+    ctx.for_ranges(0, 1000, Schedule::guided(1),
+                   [&](std::int64_t begin, std::int64_t end) {
+                     std::lock_guard lock(m);
+                     chunk_sizes.push_back(end - begin);
+                   });
+  });
+  ASSERT_GE(chunk_sizes.size(), 3u);
+  // Nonincreasing and the first chunk is the biggest.
+  for (std::size_t i = 1; i < chunk_sizes.size(); ++i) {
+    EXPECT_LE(chunk_sizes[i], chunk_sizes[i - 1]);
+  }
+  EXPECT_EQ(chunk_sizes.front(), 500);  // remaining/(2*1) = 500
+}
+
+TEST(ParallelFor, FreeFunctionCoversRange) {
+  std::vector<std::atomic<int>> hits(50);
+  parallel_for(
+      0, 50, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)].fetch_add(1); },
+      Schedule::dynamic(3), 4);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ScheduleNames, AreDescriptive) {
+  EXPECT_EQ(Schedule::static_blocks().name(), "static");
+  EXPECT_EQ(Schedule::static_chunks(2).name(), "static,2");
+  EXPECT_EQ(Schedule::dynamic(4).name(), "dynamic,4");
+  EXPECT_EQ(Schedule::guided(1).name(), "guided,1");
+}
+
+}  // namespace
+}  // namespace pdc::smp

@@ -1,0 +1,143 @@
+#include "smp/task_group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace pdc::smp {
+namespace {
+
+TEST(TaskGroup, RunsAllTasks) {
+  ThreadPool pool(3);
+  TaskGroup group(pool);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    group.run([&] { count.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(group.spawned(), 100u);
+}
+
+TEST(TaskGroup, WaitOnEmptyGroupReturnsImmediately) {
+  ThreadPool pool(1);
+  TaskGroup group(pool);
+  group.wait();
+  EXPECT_EQ(group.spawned(), 0u);
+}
+
+TEST(TaskGroup, NestedTasksAreAwaited) {
+  // Recursive fibonacci via nested tasks: the classic OpenMP task example.
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  std::atomic<int> leaves{0};
+  std::function<void(int)> fib = [&](int n) {
+    if (n < 2) {
+      leaves.fetch_add(1);
+      return;
+    }
+    group.run([&, n] { fib(n - 1); });
+    group.run([&, n] { fib(n - 2); });
+  };
+  group.run([&] { fib(10); });
+  group.wait();
+  EXPECT_EQ(leaves.load(), 89);  // leaf count of the fib(10) call tree
+}
+
+TEST(TaskGroup, ParallelQuicksortSortsCorrectly) {
+  Rng rng(4);
+  std::vector<std::int64_t> data(5000);
+  for (auto& x : data) x = rng.uniform_int(-10000, 10000);
+  std::vector<std::int64_t> expected = data;
+  std::sort(expected.begin(), expected.end());
+
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  // Spawn a task per partition above a cutoff; small partitions sort inline.
+  std::function<void(std::int64_t, std::int64_t)> quicksort =
+      [&](std::int64_t lo, std::int64_t hi) {
+        while (hi - lo > 64) {
+          const std::int64_t pivot = data[static_cast<std::size_t>((lo + hi) / 2)];
+          std::int64_t i = lo, j = hi - 1;
+          while (i <= j) {
+            while (data[static_cast<std::size_t>(i)] < pivot) ++i;
+            while (data[static_cast<std::size_t>(j)] > pivot) --j;
+            if (i <= j) {
+              std::swap(data[static_cast<std::size_t>(i)],
+                        data[static_cast<std::size_t>(j)]);
+              ++i;
+              --j;
+            }
+          }
+          group.run([&, lo, j] { quicksort(lo, j + 1); });
+          lo = i;  // iterate on the right half, spawn the left
+        }
+        std::sort(data.begin() + lo, data.begin() + hi);
+      };
+  group.run([&] { quicksort(0, static_cast<std::int64_t>(data.size())); });
+  group.wait();
+  EXPECT_EQ(data, expected);
+}
+
+TEST(TaskGroup, PropagatesFirstTaskException) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.run([] { throw InvalidArgument("task failed"); });
+  group.run([] {});
+  EXPECT_THROW(group.wait(), InvalidArgument);
+}
+
+TEST(TaskGroup, WaitAfterErrorIsCleanForReuse) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.run([] { throw Error("boom"); });
+  EXPECT_THROW(group.wait(), Error);
+  // The group remains usable.
+  std::atomic<int> count{0};
+  group.run([&] { count.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(TaskGroup, RejectsNullTask) {
+  ThreadPool pool(1);
+  TaskGroup group(pool);
+  EXPECT_THROW(group.run(nullptr), InvalidArgument);
+}
+
+TEST(TaskGroup, DestructorDrainsOutstandingTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  {
+    TaskGroup group(pool);
+    for (int i = 0; i < 20; ++i) {
+      group.run([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        count.fetch_add(1);
+      });
+    }
+    // No wait(): the destructor must drain.
+  }
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(TaskGroup, TwoGroupsOnOnePoolAreIndependent) {
+  ThreadPool pool(3);
+  TaskGroup a(pool), b(pool);
+  std::atomic<int> count_a{0}, count_b{0};
+  for (int i = 0; i < 50; ++i) {
+    a.run([&] { count_a.fetch_add(1); });
+    b.run([&] { count_b.fetch_add(1); });
+  }
+  a.wait();
+  b.wait();
+  EXPECT_EQ(count_a.load(), 50);
+  EXPECT_EQ(count_b.load(), 50);
+}
+
+}  // namespace
+}  // namespace pdc::smp

@@ -1,0 +1,92 @@
+#include "smp/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "support/error.hpp"
+
+namespace pdc::smp {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTask) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ExecutesManyTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&] { count.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(1);
+  auto future = pool.submit([]() -> int { throw InvalidArgument("bad task"); });
+  EXPECT_THROW(future.get(), InvalidArgument);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilQueueDrains) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 20);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPool, SizeReflectsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, TasksReturningValuesOfDifferentTypes) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return std::string("hello"); });
+  auto f2 = pool.submit([] { return 3.14; });
+  EXPECT_EQ(f1.get(), "hello");
+  EXPECT_DOUBLE_EQ(f2.get(), 3.14);
+}
+
+TEST(ThreadPool, DestructorCompletesRunningTasks) {
+  std::atomic<bool> ran{false};
+  {
+    ThreadPool pool(1);
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ran.store(true);
+    });
+    pool.wait_idle();
+  }
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, ManyProducersOneQueue) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        pool.submit([&] { total.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(total.load(), 200);
+}
+
+}  // namespace
+}  // namespace pdc::smp

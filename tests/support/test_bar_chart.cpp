@@ -1,0 +1,69 @@
+#include "support/bar_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace pdc {
+namespace {
+
+TEST(BarChart, RendersCategoriesAndSeries) {
+  BarChart chart({"low", "high"});
+  chart.add_series({"Pre", {1.0, 3.0}});
+  chart.add_series({"Post", {2.0, 4.0}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("low"), std::string::npos);
+  EXPECT_NE(out.find("high"), std::string::npos);
+  EXPECT_NE(out.find("Pre"), std::string::npos);
+  EXPECT_NE(out.find("Post"), std::string::npos);
+}
+
+TEST(BarChart, RequiresCategories) {
+  EXPECT_THROW(BarChart({}), InvalidArgument);
+}
+
+TEST(BarChart, RejectsSeriesWithWrongLength) {
+  BarChart chart({"a", "b", "c"});
+  EXPECT_THROW(chart.add_series({"s", {1.0}}), InvalidArgument);
+}
+
+TEST(BarChart, LongestBarUsesFullWidth) {
+  BarChart chart({"x", "y"});
+  chart.set_max_bar_width(10);
+  chart.add_series({"s", {5.0, 10.0}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find(std::string(10, '#')), std::string::npos);
+  EXPECT_EQ(out.find(std::string(11, '#')), std::string::npos);
+}
+
+TEST(BarChart, ZeroValuesRenderZeroLengthBars) {
+  BarChart chart({"only"});
+  chart.add_series({"s", {0.0}});
+  const std::string out = chart.render();
+  EXPECT_EQ(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find(" 0"), std::string::npos);
+}
+
+TEST(BarChart, TitleAppearsFirst) {
+  BarChart chart({"c"});
+  chart.set_title("My Title");
+  chart.add_series({"s", {1.0}});
+  const std::string out = chart.render();
+  EXPECT_EQ(out.rfind("My Title", 0), 0u);
+}
+
+TEST(BarChart, RejectsZeroWidth) {
+  BarChart chart({"c"});
+  EXPECT_THROW(chart.set_max_bar_width(0), InvalidArgument);
+}
+
+TEST(BarChart, IntegersRenderWithoutDecimals) {
+  BarChart chart({"c"});
+  chart.add_series({"s", {7.0}});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find(" 7\n"), std::string::npos);
+  EXPECT_EQ(out.find("7.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdc

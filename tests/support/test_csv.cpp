@@ -1,0 +1,94 @@
+#include "support/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace pdc {
+namespace {
+
+TEST(Csv, SerializesSimpleRows) {
+  Csv doc({"a", "b"});
+  doc.add_row({"1", "2"});
+  EXPECT_EQ(doc.to_string(), "a,b\n1,2\n");
+}
+
+TEST(Csv, QuotesFieldsWithCommas) {
+  Csv doc;
+  doc.add_row({"hello, world", "plain"});
+  EXPECT_EQ(doc.to_string(), "\"hello, world\",plain\n");
+}
+
+TEST(Csv, EscapesEmbeddedQuotes) {
+  Csv doc;
+  doc.add_row({"she said \"hi\""});
+  EXPECT_EQ(doc.to_string(), "\"she said \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, ParsesSimpleDocument) {
+  const Csv doc = Csv::parse("a,b\n1,2\n");
+  ASSERT_EQ(doc.rows().size(), 2u);
+  EXPECT_EQ(doc.rows()[0][0], "a");
+  EXPECT_EQ(doc.rows()[1][1], "2");
+}
+
+TEST(Csv, ParsesQuotedFieldWithComma) {
+  const Csv doc = Csv::parse("\"x,y\",z\n");
+  ASSERT_EQ(doc.rows().size(), 1u);
+  EXPECT_EQ(doc.rows()[0][0], "x,y");
+  EXPECT_EQ(doc.rows()[0][1], "z");
+}
+
+TEST(Csv, ParsesEscapedQuotes) {
+  const Csv doc = Csv::parse("\"a\"\"b\"\n");
+  ASSERT_EQ(doc.rows().size(), 1u);
+  EXPECT_EQ(doc.rows()[0][0], "a\"b");
+}
+
+TEST(Csv, ParsesQuotedNewline) {
+  const Csv doc = Csv::parse("\"line1\nline2\",x\n");
+  ASSERT_EQ(doc.rows().size(), 1u);
+  EXPECT_EQ(doc.rows()[0][0], "line1\nline2");
+}
+
+TEST(Csv, HandlesCrLfLineEndings) {
+  const Csv doc = Csv::parse("a,b\r\nc,d\r\n");
+  ASSERT_EQ(doc.rows().size(), 2u);
+  EXPECT_EQ(doc.rows()[1][0], "c");
+}
+
+TEST(Csv, MissingFinalNewlineStillYieldsRow) {
+  const Csv doc = Csv::parse("a,b");
+  ASSERT_EQ(doc.rows().size(), 1u);
+  EXPECT_EQ(doc.rows()[0][1], "b");
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(Csv::parse("\"oops"), InvalidArgument);
+}
+
+TEST(Csv, EmptyDocumentHasNoRows) {
+  EXPECT_TRUE(Csv::parse("").rows().empty());
+}
+
+class CsvRoundTripTest : public ::testing::TestWithParam<std::vector<std::string>> {};
+
+TEST_P(CsvRoundTripTest, SerializeParseRoundTripsExactly) {
+  Csv doc;
+  doc.add_row(GetParam());
+  const Csv parsed = Csv::parse(doc.to_string());
+  ASSERT_EQ(parsed.rows().size(), 1u);
+  EXPECT_EQ(parsed.rows()[0], GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fields, CsvRoundTripTest,
+    ::testing::Values(std::vector<std::string>{"plain"},
+                      std::vector<std::string>{"with,comma"},
+                      std::vector<std::string>{"with\"quote"},
+                      std::vector<std::string>{"multi\nline", "x"},
+                      std::vector<std::string>{"", "empty-first"},
+                      std::vector<std::string>{"a", "b", "c", "d", "e"}));
+
+}  // namespace
+}  // namespace pdc

@@ -1,0 +1,99 @@
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdc::strings {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Split, TrailingDelimiterYieldsTrailingEmpty) {
+  const auto parts = split("x,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitWs, DropsAllWhitespaceRuns) {
+  const auto parts = split_ws("  alpha \t beta\n gamma  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "alpha");
+  EXPECT_EQ(parts[1], "beta");
+  EXPECT_EQ(parts[2], "gamma");
+}
+
+TEST(SplitWs, EmptyAndBlankInputs) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("   \t\n ").empty());
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("\t\nhello\r "), "hello");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Join, JoinsWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ", "), "solo");
+  EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(ToLower, LowersAsciiOnly) {
+  EXPECT_EQ(to_lower("MiXeD 123 Case"), "mixed 123 case");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("%%writefile x.py", "%%writefile"));
+  EXPECT_FALSE(starts_with("writefile", "%%writefile"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("", "a"));
+}
+
+TEST(Repeat, RepeatsUnit) {
+  EXPECT_EQ(repeat("-", 3), "---");
+  EXPECT_EQ(repeat("ab", 2), "abab");
+  EXPECT_EQ(repeat("x", 0), "");
+}
+
+TEST(Money, FormatsTwoDecimals) {
+  EXPECT_EQ(money(100.66), "$100.66");
+  EXPECT_EQ(money(0.0), "$0.00");
+  EXPECT_EQ(money(62.99), "$62.99");
+  EXPECT_EQ(money(5.5), "$5.50");
+}
+
+TEST(Fixed, FormatsRequestedDigits) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+  EXPECT_EQ(fixed(4.545454, 2), "4.55");  // rounds
+}
+
+TEST(Padding, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");  // never truncates
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+TEST(ReplaceAll, ReplacesEveryOccurrence) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");  // non-overlapping
+  EXPECT_EQ(replace_all("xyz", "q", "r"), "xyz");
+  EXPECT_EQ(replace_all("abc", "", "r"), "abc");  // empty pattern is a no-op
+}
+
+}  // namespace
+}  // namespace pdc::strings

@@ -1,0 +1,79 @@
+#include "support/text_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace pdc {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"Part", "Cost"});
+  t.add_row({"Ethernet cable", "$1.55"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Part"), std::string::npos);
+  EXPECT_NE(out.find("Ethernet cable"), std::string::npos);
+  EXPECT_NE(out.find("$1.55"), std::string::npos);
+}
+
+TEST(TextTable, RequiresAtLeastOneColumn) {
+  EXPECT_THROW(TextTable({}), InvalidArgument);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  TextTable t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), InvalidArgument);
+}
+
+TEST(TextTable, RightAlignmentPadsLeft) {
+  TextTable t({"N", "Value"});
+  t.set_align(1, Align::Right);
+  t.add_row({"1", "9"});
+  t.add_row({"2", "100"});
+  const std::string out = t.render();
+  // The shorter value is right-aligned within the 5-wide "Value" column.
+  EXPECT_NE(out.find("|     9 |"), std::string::npos);
+  EXPECT_NE(out.find("|   100 |"), std::string::npos);
+}
+
+TEST(TextTable, SetAlignRejectsOutOfRangeColumn) {
+  TextTable t({"A"});
+  EXPECT_THROW(t.set_align(1, Align::Right), InvalidArgument);
+}
+
+TEST(TextTable, RuleRendersSeparatorLine) {
+  TextTable t({"X"});
+  t.add_row({"above"});
+  t.add_rule();
+  t.add_row({"below"});
+  const std::string out = t.render();
+  // header rule + top + bottom + explicit = at least 4 separator lines
+  std::size_t rules = 0, pos = 0;
+  while ((pos = out.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(TextTable, RowCountExcludesRules) {
+  TextTable t({"X"});
+  t.add_row({"a"});
+  t.add_rule();
+  t.add_row({"b"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, ColumnsWidenToLongestCell) {
+  TextTable t({"H"});
+  t.add_row({"a-very-long-cell-value"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("a-very-long-cell-value"), std::string::npos);
+  // Header row must be padded to the same width.
+  const auto header_line = out.find("| H ");
+  EXPECT_NE(header_line, std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdc

@@ -1,0 +1,42 @@
+#include "support/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace pdc {
+namespace {
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = timer.elapsed_seconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);  // generous upper bound for loaded CI machines
+}
+
+TEST(WallTimer, StopFreezesTheReading) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timer.stop();
+  const double first = timer.elapsed_seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_DOUBLE_EQ(timer.elapsed_seconds(), first);
+}
+
+TEST(WallTimer, RestartResetsTheClock) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  timer.start();
+  EXPECT_LT(timer.elapsed_seconds(), 0.02);
+}
+
+TEST(WallTimer, MillisecondsMatchSeconds) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  timer.stop();
+  EXPECT_DOUBLE_EQ(timer.elapsed_ms(), timer.elapsed_seconds() * 1e3);
+}
+
+}  // namespace
+}  // namespace pdc
