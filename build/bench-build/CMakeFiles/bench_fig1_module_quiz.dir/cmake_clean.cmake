@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_module_quiz"
+  "../bench/bench_fig1_module_quiz.pdb"
+  "CMakeFiles/bench_fig1_module_quiz.dir/bench_fig1_module_quiz.cpp.o"
+  "CMakeFiles/bench_fig1_module_quiz.dir/bench_fig1_module_quiz.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_module_quiz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_notebook_spmd"
+  "../bench/bench_fig2_notebook_spmd.pdb"
+  "CMakeFiles/bench_fig2_notebook_spmd.dir/bench_fig2_notebook_spmd.cpp.o"
+  "CMakeFiles/bench_fig2_notebook_spmd.dir/bench_fig2_notebook_spmd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_notebook_spmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_preparedness"
+  "../bench/bench_fig4_preparedness.pdb"
+  "CMakeFiles/bench_fig4_preparedness.dir/bench_fig4_preparedness.cpp.o"
+  "CMakeFiles/bench_fig4_preparedness.dir/bench_fig4_preparedness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_preparedness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

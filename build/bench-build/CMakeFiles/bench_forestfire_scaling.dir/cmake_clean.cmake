@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_forestfire_scaling"
+  "../bench/bench_forestfire_scaling.pdb"
+  "CMakeFiles/bench_forestfire_scaling.dir/bench_forestfire_scaling.cpp.o"
+  "CMakeFiles/bench_forestfire_scaling.dir/bench_forestfire_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forestfire_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

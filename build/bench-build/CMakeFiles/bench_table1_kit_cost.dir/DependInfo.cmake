@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_kit_cost.cpp" "bench-build/CMakeFiles/bench_table1_kit_cost.dir/bench_table1_kit_cost.cpp.o" "gcc" "bench-build/CMakeFiles/bench_table1_kit_cost.dir/bench_table1_kit_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kit/CMakeFiles/pdc_kit.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/pdc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

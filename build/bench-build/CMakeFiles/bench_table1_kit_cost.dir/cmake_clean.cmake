@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_kit_cost"
+  "../bench/bench_table1_kit_cost.pdb"
+  "CMakeFiles/bench_table1_kit_cost.dir/bench_table1_kit_cost.cpp.o"
+  "CMakeFiles/bench_table1_kit_cost.dir/bench_table1_kit_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_kit_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_usefulness"
+  "../bench/bench_table2_usefulness.pdb"
+  "CMakeFiles/bench_table2_usefulness.dir/bench_table2_usefulness.cpp.o"
+  "CMakeFiles/bench_table2_usefulness.dir/bench_table2_usefulness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_usefulness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

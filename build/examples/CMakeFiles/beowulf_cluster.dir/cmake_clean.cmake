@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beowulf_cluster.dir/beowulf_cluster.cpp.o"
+  "CMakeFiles/beowulf_cluster.dir/beowulf_cluster.cpp.o.d"
+  "beowulf_cluster"
+  "beowulf_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beowulf_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi4py_notebook.dir/mpi4py_notebook.cpp.o"
+  "CMakeFiles/mpi4py_notebook.dir/mpi4py_notebook.cpp.o.d"
+  "mpi4py_notebook"
+  "mpi4py_notebook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi4py_notebook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

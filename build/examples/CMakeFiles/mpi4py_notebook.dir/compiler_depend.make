@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mpi4py_notebook.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdclab_cli.dir/pdclab_cli.cpp.o"
+  "CMakeFiles/pdclab_cli.dir/pdclab_cli.cpp.o.d"
+  "pdclab_cli"
+  "pdclab_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdclab_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

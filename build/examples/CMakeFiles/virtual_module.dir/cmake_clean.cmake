@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_module.dir/virtual_module.cpp.o"
+  "CMakeFiles/virtual_module.dir/virtual_module.cpp.o.d"
+  "virtual_module"
+  "virtual_module.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

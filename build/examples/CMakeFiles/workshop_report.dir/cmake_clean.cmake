@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workshop_report.dir/workshop_report.cpp.o"
+  "CMakeFiles/workshop_report.dir/workshop_report.cpp.o.d"
+  "workshop_report"
+  "workshop_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workshop_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

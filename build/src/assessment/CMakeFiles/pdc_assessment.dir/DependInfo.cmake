@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assessment/likert.cpp" "src/assessment/CMakeFiles/pdc_assessment.dir/likert.cpp.o" "gcc" "src/assessment/CMakeFiles/pdc_assessment.dir/likert.cpp.o.d"
+  "/root/repo/src/assessment/report.cpp" "src/assessment/CMakeFiles/pdc_assessment.dir/report.cpp.o" "gcc" "src/assessment/CMakeFiles/pdc_assessment.dir/report.cpp.o.d"
+  "/root/repo/src/assessment/stats.cpp" "src/assessment/CMakeFiles/pdc_assessment.dir/stats.cpp.o" "gcc" "src/assessment/CMakeFiles/pdc_assessment.dir/stats.cpp.o.d"
+  "/root/repo/src/assessment/workshop.cpp" "src/assessment/CMakeFiles/pdc_assessment.dir/workshop.cpp.o" "gcc" "src/assessment/CMakeFiles/pdc_assessment.dir/workshop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_assessment.dir/likert.cpp.o"
+  "CMakeFiles/pdc_assessment.dir/likert.cpp.o.d"
+  "CMakeFiles/pdc_assessment.dir/report.cpp.o"
+  "CMakeFiles/pdc_assessment.dir/report.cpp.o.d"
+  "CMakeFiles/pdc_assessment.dir/stats.cpp.o"
+  "CMakeFiles/pdc_assessment.dir/stats.cpp.o.d"
+  "CMakeFiles/pdc_assessment.dir/workshop.cpp.o"
+  "CMakeFiles/pdc_assessment.dir/workshop.cpp.o.d"
+  "libpdc_assessment.a"
+  "libpdc_assessment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cost_model.cpp" "src/cluster/CMakeFiles/pdc_cluster.dir/cost_model.cpp.o" "gcc" "src/cluster/CMakeFiles/pdc_cluster.dir/cost_model.cpp.o.d"
+  "/root/repo/src/cluster/event_sim.cpp" "src/cluster/CMakeFiles/pdc_cluster.dir/event_sim.cpp.o" "gcc" "src/cluster/CMakeFiles/pdc_cluster.dir/event_sim.cpp.o.d"
+  "/root/repo/src/cluster/master_worker_sim.cpp" "src/cluster/CMakeFiles/pdc_cluster.dir/master_worker_sim.cpp.o" "gcc" "src/cluster/CMakeFiles/pdc_cluster.dir/master_worker_sim.cpp.o.d"
+  "/root/repo/src/cluster/specs.cpp" "src/cluster/CMakeFiles/pdc_cluster.dir/specs.cpp.o" "gcc" "src/cluster/CMakeFiles/pdc_cluster.dir/specs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

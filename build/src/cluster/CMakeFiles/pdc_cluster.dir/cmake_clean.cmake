@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_cluster.dir/cost_model.cpp.o"
+  "CMakeFiles/pdc_cluster.dir/cost_model.cpp.o.d"
+  "CMakeFiles/pdc_cluster.dir/event_sim.cpp.o"
+  "CMakeFiles/pdc_cluster.dir/event_sim.cpp.o.d"
+  "CMakeFiles/pdc_cluster.dir/master_worker_sim.cpp.o"
+  "CMakeFiles/pdc_cluster.dir/master_worker_sim.cpp.o.d"
+  "CMakeFiles/pdc_cluster.dir/specs.cpp.o"
+  "CMakeFiles/pdc_cluster.dir/specs.cpp.o.d"
+  "libpdc_cluster.a"
+  "libpdc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/courseware/content.cpp" "src/courseware/CMakeFiles/pdc_courseware.dir/content.cpp.o" "gcc" "src/courseware/CMakeFiles/pdc_courseware.dir/content.cpp.o.d"
+  "/root/repo/src/courseware/html.cpp" "src/courseware/CMakeFiles/pdc_courseware.dir/html.cpp.o" "gcc" "src/courseware/CMakeFiles/pdc_courseware.dir/html.cpp.o.d"
+  "/root/repo/src/courseware/module.cpp" "src/courseware/CMakeFiles/pdc_courseware.dir/module.cpp.o" "gcc" "src/courseware/CMakeFiles/pdc_courseware.dir/module.cpp.o.d"
+  "/root/repo/src/courseware/mpi_module.cpp" "src/courseware/CMakeFiles/pdc_courseware.dir/mpi_module.cpp.o" "gcc" "src/courseware/CMakeFiles/pdc_courseware.dir/mpi_module.cpp.o.d"
+  "/root/repo/src/courseware/pi_module.cpp" "src/courseware/CMakeFiles/pdc_courseware.dir/pi_module.cpp.o" "gcc" "src/courseware/CMakeFiles/pdc_courseware.dir/pi_module.cpp.o.d"
+  "/root/repo/src/courseware/questions.cpp" "src/courseware/CMakeFiles/pdc_courseware.dir/questions.cpp.o" "gcc" "src/courseware/CMakeFiles/pdc_courseware.dir/questions.cpp.o.d"
+  "/root/repo/src/courseware/session.cpp" "src/courseware/CMakeFiles/pdc_courseware.dir/session.cpp.o" "gcc" "src/courseware/CMakeFiles/pdc_courseware.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/patterns/CMakeFiles/pdc_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/patternlets/CMakeFiles/pdc_patternlets.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/smp/CMakeFiles/pdc_smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/pdc_mp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_courseware.dir/content.cpp.o"
+  "CMakeFiles/pdc_courseware.dir/content.cpp.o.d"
+  "CMakeFiles/pdc_courseware.dir/html.cpp.o"
+  "CMakeFiles/pdc_courseware.dir/html.cpp.o.d"
+  "CMakeFiles/pdc_courseware.dir/module.cpp.o"
+  "CMakeFiles/pdc_courseware.dir/module.cpp.o.d"
+  "CMakeFiles/pdc_courseware.dir/mpi_module.cpp.o"
+  "CMakeFiles/pdc_courseware.dir/mpi_module.cpp.o.d"
+  "CMakeFiles/pdc_courseware.dir/pi_module.cpp.o"
+  "CMakeFiles/pdc_courseware.dir/pi_module.cpp.o.d"
+  "CMakeFiles/pdc_courseware.dir/questions.cpp.o"
+  "CMakeFiles/pdc_courseware.dir/questions.cpp.o.d"
+  "CMakeFiles/pdc_courseware.dir/session.cpp.o"
+  "CMakeFiles/pdc_courseware.dir/session.cpp.o.d"
+  "libpdc_courseware.a"
+  "libpdc_courseware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_courseware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

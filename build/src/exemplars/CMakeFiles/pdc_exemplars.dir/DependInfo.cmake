@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exemplars/drugdesign.cpp" "src/exemplars/CMakeFiles/pdc_exemplars.dir/drugdesign.cpp.o" "gcc" "src/exemplars/CMakeFiles/pdc_exemplars.dir/drugdesign.cpp.o.d"
+  "/root/repo/src/exemplars/forestfire.cpp" "src/exemplars/CMakeFiles/pdc_exemplars.dir/forestfire.cpp.o" "gcc" "src/exemplars/CMakeFiles/pdc_exemplars.dir/forestfire.cpp.o.d"
+  "/root/repo/src/exemplars/integration.cpp" "src/exemplars/CMakeFiles/pdc_exemplars.dir/integration.cpp.o" "gcc" "src/exemplars/CMakeFiles/pdc_exemplars.dir/integration.cpp.o.d"
+  "/root/repo/src/exemplars/montecarlo.cpp" "src/exemplars/CMakeFiles/pdc_exemplars.dir/montecarlo.cpp.o" "gcc" "src/exemplars/CMakeFiles/pdc_exemplars.dir/montecarlo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smp/CMakeFiles/pdc_smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/pdc_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_exemplars.dir/drugdesign.cpp.o"
+  "CMakeFiles/pdc_exemplars.dir/drugdesign.cpp.o.d"
+  "CMakeFiles/pdc_exemplars.dir/forestfire.cpp.o"
+  "CMakeFiles/pdc_exemplars.dir/forestfire.cpp.o.d"
+  "CMakeFiles/pdc_exemplars.dir/integration.cpp.o"
+  "CMakeFiles/pdc_exemplars.dir/integration.cpp.o.d"
+  "CMakeFiles/pdc_exemplars.dir/montecarlo.cpp.o"
+  "CMakeFiles/pdc_exemplars.dir/montecarlo.cpp.o.d"
+  "libpdc_exemplars.a"
+  "libpdc_exemplars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_exemplars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

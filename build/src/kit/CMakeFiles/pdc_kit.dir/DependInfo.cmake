@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kit/beowulf.cpp" "src/kit/CMakeFiles/pdc_kit.dir/beowulf.cpp.o" "gcc" "src/kit/CMakeFiles/pdc_kit.dir/beowulf.cpp.o.d"
+  "/root/repo/src/kit/image.cpp" "src/kit/CMakeFiles/pdc_kit.dir/image.cpp.o" "gcc" "src/kit/CMakeFiles/pdc_kit.dir/image.cpp.o.d"
+  "/root/repo/src/kit/kit.cpp" "src/kit/CMakeFiles/pdc_kit.dir/kit.cpp.o" "gcc" "src/kit/CMakeFiles/pdc_kit.dir/kit.cpp.o.d"
+  "/root/repo/src/kit/parts.cpp" "src/kit/CMakeFiles/pdc_kit.dir/parts.cpp.o" "gcc" "src/kit/CMakeFiles/pdc_kit.dir/parts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/pdc_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_kit.dir/beowulf.cpp.o"
+  "CMakeFiles/pdc_kit.dir/beowulf.cpp.o.d"
+  "CMakeFiles/pdc_kit.dir/image.cpp.o"
+  "CMakeFiles/pdc_kit.dir/image.cpp.o.d"
+  "CMakeFiles/pdc_kit.dir/kit.cpp.o"
+  "CMakeFiles/pdc_kit.dir/kit.cpp.o.d"
+  "CMakeFiles/pdc_kit.dir/parts.cpp.o"
+  "CMakeFiles/pdc_kit.dir/parts.cpp.o.d"
+  "libpdc_kit.a"
+  "libpdc_kit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_kit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

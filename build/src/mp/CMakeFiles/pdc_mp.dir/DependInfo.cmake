@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mp/communicator.cpp" "src/mp/CMakeFiles/pdc_mp.dir/communicator.cpp.o" "gcc" "src/mp/CMakeFiles/pdc_mp.dir/communicator.cpp.o.d"
+  "/root/repo/src/mp/mailbox.cpp" "src/mp/CMakeFiles/pdc_mp.dir/mailbox.cpp.o" "gcc" "src/mp/CMakeFiles/pdc_mp.dir/mailbox.cpp.o.d"
+  "/root/repo/src/mp/runtime.cpp" "src/mp/CMakeFiles/pdc_mp.dir/runtime.cpp.o" "gcc" "src/mp/CMakeFiles/pdc_mp.dir/runtime.cpp.o.d"
+  "/root/repo/src/mp/universe.cpp" "src/mp/CMakeFiles/pdc_mp.dir/universe.cpp.o" "gcc" "src/mp/CMakeFiles/pdc_mp.dir/universe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_mp.dir/communicator.cpp.o"
+  "CMakeFiles/pdc_mp.dir/communicator.cpp.o.d"
+  "CMakeFiles/pdc_mp.dir/mailbox.cpp.o"
+  "CMakeFiles/pdc_mp.dir/mailbox.cpp.o.d"
+  "CMakeFiles/pdc_mp.dir/runtime.cpp.o"
+  "CMakeFiles/pdc_mp.dir/runtime.cpp.o.d"
+  "CMakeFiles/pdc_mp.dir/universe.cpp.o"
+  "CMakeFiles/pdc_mp.dir/universe.cpp.o.d"
+  "libpdc_mp.a"
+  "libpdc_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

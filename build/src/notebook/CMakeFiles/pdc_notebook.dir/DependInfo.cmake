@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/notebook/colab.cpp" "src/notebook/CMakeFiles/pdc_notebook.dir/colab.cpp.o" "gcc" "src/notebook/CMakeFiles/pdc_notebook.dir/colab.cpp.o.d"
+  "/root/repo/src/notebook/engine.cpp" "src/notebook/CMakeFiles/pdc_notebook.dir/engine.cpp.o" "gcc" "src/notebook/CMakeFiles/pdc_notebook.dir/engine.cpp.o.d"
+  "/root/repo/src/notebook/filestore.cpp" "src/notebook/CMakeFiles/pdc_notebook.dir/filestore.cpp.o" "gcc" "src/notebook/CMakeFiles/pdc_notebook.dir/filestore.cpp.o.d"
+  "/root/repo/src/notebook/ipynb.cpp" "src/notebook/CMakeFiles/pdc_notebook.dir/ipynb.cpp.o" "gcc" "src/notebook/CMakeFiles/pdc_notebook.dir/ipynb.cpp.o.d"
+  "/root/repo/src/notebook/notebook.cpp" "src/notebook/CMakeFiles/pdc_notebook.dir/notebook.cpp.o" "gcc" "src/notebook/CMakeFiles/pdc_notebook.dir/notebook.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mp/CMakeFiles/pdc_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/patternlets/CMakeFiles/pdc_patternlets.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/pdc_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/smp/CMakeFiles/pdc_smp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_notebook.dir/colab.cpp.o"
+  "CMakeFiles/pdc_notebook.dir/colab.cpp.o.d"
+  "CMakeFiles/pdc_notebook.dir/engine.cpp.o"
+  "CMakeFiles/pdc_notebook.dir/engine.cpp.o.d"
+  "CMakeFiles/pdc_notebook.dir/filestore.cpp.o"
+  "CMakeFiles/pdc_notebook.dir/filestore.cpp.o.d"
+  "CMakeFiles/pdc_notebook.dir/ipynb.cpp.o"
+  "CMakeFiles/pdc_notebook.dir/ipynb.cpp.o.d"
+  "CMakeFiles/pdc_notebook.dir/notebook.cpp.o"
+  "CMakeFiles/pdc_notebook.dir/notebook.cpp.o.d"
+  "libpdc_notebook.a"
+  "libpdc_notebook.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_notebook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

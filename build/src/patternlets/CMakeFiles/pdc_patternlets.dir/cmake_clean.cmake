@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_patternlets.dir/mpi_patternlets.cpp.o"
+  "CMakeFiles/pdc_patternlets.dir/mpi_patternlets.cpp.o.d"
+  "CMakeFiles/pdc_patternlets.dir/omp_patternlets.cpp.o"
+  "CMakeFiles/pdc_patternlets.dir/omp_patternlets.cpp.o.d"
+  "CMakeFiles/pdc_patternlets.dir/registry.cpp.o"
+  "CMakeFiles/pdc_patternlets.dir/registry.cpp.o.d"
+  "libpdc_patternlets.a"
+  "libpdc_patternlets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_patternlets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

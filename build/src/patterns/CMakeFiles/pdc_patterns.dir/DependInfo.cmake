@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/patterns/patternlet.cpp" "src/patterns/CMakeFiles/pdc_patterns.dir/patternlet.cpp.o" "gcc" "src/patterns/CMakeFiles/pdc_patterns.dir/patternlet.cpp.o.d"
+  "/root/repo/src/patterns/registry.cpp" "src/patterns/CMakeFiles/pdc_patterns.dir/registry.cpp.o" "gcc" "src/patterns/CMakeFiles/pdc_patterns.dir/registry.cpp.o.d"
+  "/root/repo/src/patterns/taxonomy.cpp" "src/patterns/CMakeFiles/pdc_patterns.dir/taxonomy.cpp.o" "gcc" "src/patterns/CMakeFiles/pdc_patterns.dir/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_patterns.dir/patternlet.cpp.o"
+  "CMakeFiles/pdc_patterns.dir/patternlet.cpp.o.d"
+  "CMakeFiles/pdc_patterns.dir/registry.cpp.o"
+  "CMakeFiles/pdc_patterns.dir/registry.cpp.o.d"
+  "CMakeFiles/pdc_patterns.dir/taxonomy.cpp.o"
+  "CMakeFiles/pdc_patterns.dir/taxonomy.cpp.o.d"
+  "libpdc_patterns.a"
+  "libpdc_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

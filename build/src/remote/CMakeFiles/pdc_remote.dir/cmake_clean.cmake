@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_remote.dir/firewall.cpp.o"
+  "CMakeFiles/pdc_remote.dir/firewall.cpp.o.d"
+  "CMakeFiles/pdc_remote.dir/lab.cpp.o"
+  "CMakeFiles/pdc_remote.dir/lab.cpp.o.d"
+  "CMakeFiles/pdc_remote.dir/vm.cpp.o"
+  "CMakeFiles/pdc_remote.dir/vm.cpp.o.d"
+  "libpdc_remote.a"
+  "libpdc_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

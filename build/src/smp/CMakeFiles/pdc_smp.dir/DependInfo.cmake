@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smp/barrier.cpp" "src/smp/CMakeFiles/pdc_smp.dir/barrier.cpp.o" "gcc" "src/smp/CMakeFiles/pdc_smp.dir/barrier.cpp.o.d"
+  "/root/repo/src/smp/config.cpp" "src/smp/CMakeFiles/pdc_smp.dir/config.cpp.o" "gcc" "src/smp/CMakeFiles/pdc_smp.dir/config.cpp.o.d"
+  "/root/repo/src/smp/task_group.cpp" "src/smp/CMakeFiles/pdc_smp.dir/task_group.cpp.o" "gcc" "src/smp/CMakeFiles/pdc_smp.dir/task_group.cpp.o.d"
+  "/root/repo/src/smp/team.cpp" "src/smp/CMakeFiles/pdc_smp.dir/team.cpp.o" "gcc" "src/smp/CMakeFiles/pdc_smp.dir/team.cpp.o.d"
+  "/root/repo/src/smp/thread_pool.cpp" "src/smp/CMakeFiles/pdc_smp.dir/thread_pool.cpp.o" "gcc" "src/smp/CMakeFiles/pdc_smp.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

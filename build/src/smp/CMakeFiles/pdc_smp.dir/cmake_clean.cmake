@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_smp.dir/barrier.cpp.o"
+  "CMakeFiles/pdc_smp.dir/barrier.cpp.o.d"
+  "CMakeFiles/pdc_smp.dir/config.cpp.o"
+  "CMakeFiles/pdc_smp.dir/config.cpp.o.d"
+  "CMakeFiles/pdc_smp.dir/task_group.cpp.o"
+  "CMakeFiles/pdc_smp.dir/task_group.cpp.o.d"
+  "CMakeFiles/pdc_smp.dir/team.cpp.o"
+  "CMakeFiles/pdc_smp.dir/team.cpp.o.d"
+  "CMakeFiles/pdc_smp.dir/thread_pool.cpp.o"
+  "CMakeFiles/pdc_smp.dir/thread_pool.cpp.o.d"
+  "libpdc_smp.a"
+  "libpdc_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_support.dir/bar_chart.cpp.o"
+  "CMakeFiles/pdc_support.dir/bar_chart.cpp.o.d"
+  "CMakeFiles/pdc_support.dir/csv.cpp.o"
+  "CMakeFiles/pdc_support.dir/csv.cpp.o.d"
+  "CMakeFiles/pdc_support.dir/rng.cpp.o"
+  "CMakeFiles/pdc_support.dir/rng.cpp.o.d"
+  "CMakeFiles/pdc_support.dir/strings.cpp.o"
+  "CMakeFiles/pdc_support.dir/strings.cpp.o.d"
+  "CMakeFiles/pdc_support.dir/text_table.cpp.o"
+  "CMakeFiles/pdc_support.dir/text_table.cpp.o.d"
+  "CMakeFiles/pdc_support.dir/timer.cpp.o"
+  "CMakeFiles/pdc_support.dir/timer.cpp.o.d"
+  "libpdc_support.a"
+  "libpdc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

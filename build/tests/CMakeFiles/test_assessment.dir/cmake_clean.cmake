@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assessment.dir/assessment/test_report.cpp.o"
+  "CMakeFiles/test_assessment.dir/assessment/test_report.cpp.o.d"
+  "CMakeFiles/test_assessment.dir/assessment/test_stats.cpp.o"
+  "CMakeFiles/test_assessment.dir/assessment/test_stats.cpp.o.d"
+  "CMakeFiles/test_assessment.dir/assessment/test_workshop.cpp.o"
+  "CMakeFiles/test_assessment.dir/assessment/test_workshop.cpp.o.d"
+  "test_assessment"
+  "test_assessment.pdb"
+  "test_assessment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

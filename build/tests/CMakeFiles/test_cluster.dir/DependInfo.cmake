@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/test_cost_model.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_cost_model.cpp.o.d"
+  "/root/repo/tests/cluster/test_event_sim.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_event_sim.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_event_sim.cpp.o.d"
+  "/root/repo/tests/cluster/test_master_worker_sim.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_master_worker_sim.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_master_worker_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/pdc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

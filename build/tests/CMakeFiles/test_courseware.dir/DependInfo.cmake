@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/courseware/test_content.cpp" "tests/CMakeFiles/test_courseware.dir/courseware/test_content.cpp.o" "gcc" "tests/CMakeFiles/test_courseware.dir/courseware/test_content.cpp.o.d"
+  "/root/repo/tests/courseware/test_html.cpp" "tests/CMakeFiles/test_courseware.dir/courseware/test_html.cpp.o" "gcc" "tests/CMakeFiles/test_courseware.dir/courseware/test_html.cpp.o.d"
+  "/root/repo/tests/courseware/test_module.cpp" "tests/CMakeFiles/test_courseware.dir/courseware/test_module.cpp.o" "gcc" "tests/CMakeFiles/test_courseware.dir/courseware/test_module.cpp.o.d"
+  "/root/repo/tests/courseware/test_mpi_module.cpp" "tests/CMakeFiles/test_courseware.dir/courseware/test_mpi_module.cpp.o" "gcc" "tests/CMakeFiles/test_courseware.dir/courseware/test_mpi_module.cpp.o.d"
+  "/root/repo/tests/courseware/test_pi_module.cpp" "tests/CMakeFiles/test_courseware.dir/courseware/test_pi_module.cpp.o" "gcc" "tests/CMakeFiles/test_courseware.dir/courseware/test_pi_module.cpp.o.d"
+  "/root/repo/tests/courseware/test_questions.cpp" "tests/CMakeFiles/test_courseware.dir/courseware/test_questions.cpp.o" "gcc" "tests/CMakeFiles/test_courseware.dir/courseware/test_questions.cpp.o.d"
+  "/root/repo/tests/courseware/test_session.cpp" "tests/CMakeFiles/test_courseware.dir/courseware/test_session.cpp.o" "gcc" "tests/CMakeFiles/test_courseware.dir/courseware/test_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/courseware/CMakeFiles/pdc_courseware.dir/DependInfo.cmake"
+  "/root/repo/build/src/patternlets/CMakeFiles/pdc_patternlets.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/pdc_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/smp/CMakeFiles/pdc_smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/pdc_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

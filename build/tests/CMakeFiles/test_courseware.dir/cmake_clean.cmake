@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_courseware.dir/courseware/test_content.cpp.o"
+  "CMakeFiles/test_courseware.dir/courseware/test_content.cpp.o.d"
+  "CMakeFiles/test_courseware.dir/courseware/test_html.cpp.o"
+  "CMakeFiles/test_courseware.dir/courseware/test_html.cpp.o.d"
+  "CMakeFiles/test_courseware.dir/courseware/test_module.cpp.o"
+  "CMakeFiles/test_courseware.dir/courseware/test_module.cpp.o.d"
+  "CMakeFiles/test_courseware.dir/courseware/test_mpi_module.cpp.o"
+  "CMakeFiles/test_courseware.dir/courseware/test_mpi_module.cpp.o.d"
+  "CMakeFiles/test_courseware.dir/courseware/test_pi_module.cpp.o"
+  "CMakeFiles/test_courseware.dir/courseware/test_pi_module.cpp.o.d"
+  "CMakeFiles/test_courseware.dir/courseware/test_questions.cpp.o"
+  "CMakeFiles/test_courseware.dir/courseware/test_questions.cpp.o.d"
+  "CMakeFiles/test_courseware.dir/courseware/test_session.cpp.o"
+  "CMakeFiles/test_courseware.dir/courseware/test_session.cpp.o.d"
+  "test_courseware"
+  "test_courseware.pdb"
+  "test_courseware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_courseware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_courseware.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exemplars/test_drugdesign.cpp" "tests/CMakeFiles/test_exemplars.dir/exemplars/test_drugdesign.cpp.o" "gcc" "tests/CMakeFiles/test_exemplars.dir/exemplars/test_drugdesign.cpp.o.d"
+  "/root/repo/tests/exemplars/test_forestfire.cpp" "tests/CMakeFiles/test_exemplars.dir/exemplars/test_forestfire.cpp.o" "gcc" "tests/CMakeFiles/test_exemplars.dir/exemplars/test_forestfire.cpp.o.d"
+  "/root/repo/tests/exemplars/test_hybrid.cpp" "tests/CMakeFiles/test_exemplars.dir/exemplars/test_hybrid.cpp.o" "gcc" "tests/CMakeFiles/test_exemplars.dir/exemplars/test_hybrid.cpp.o.d"
+  "/root/repo/tests/exemplars/test_integration.cpp" "tests/CMakeFiles/test_exemplars.dir/exemplars/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_exemplars.dir/exemplars/test_integration.cpp.o.d"
+  "/root/repo/tests/exemplars/test_montecarlo.cpp" "tests/CMakeFiles/test_exemplars.dir/exemplars/test_montecarlo.cpp.o" "gcc" "tests/CMakeFiles/test_exemplars.dir/exemplars/test_montecarlo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exemplars/CMakeFiles/pdc_exemplars.dir/DependInfo.cmake"
+  "/root/repo/build/src/smp/CMakeFiles/pdc_smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/pdc_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

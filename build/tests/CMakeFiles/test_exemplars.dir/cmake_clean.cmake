@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exemplars.dir/exemplars/test_drugdesign.cpp.o"
+  "CMakeFiles/test_exemplars.dir/exemplars/test_drugdesign.cpp.o.d"
+  "CMakeFiles/test_exemplars.dir/exemplars/test_forestfire.cpp.o"
+  "CMakeFiles/test_exemplars.dir/exemplars/test_forestfire.cpp.o.d"
+  "CMakeFiles/test_exemplars.dir/exemplars/test_hybrid.cpp.o"
+  "CMakeFiles/test_exemplars.dir/exemplars/test_hybrid.cpp.o.d"
+  "CMakeFiles/test_exemplars.dir/exemplars/test_integration.cpp.o"
+  "CMakeFiles/test_exemplars.dir/exemplars/test_integration.cpp.o.d"
+  "CMakeFiles/test_exemplars.dir/exemplars/test_montecarlo.cpp.o"
+  "CMakeFiles/test_exemplars.dir/exemplars/test_montecarlo.cpp.o.d"
+  "test_exemplars"
+  "test_exemplars.pdb"
+  "test_exemplars[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exemplars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

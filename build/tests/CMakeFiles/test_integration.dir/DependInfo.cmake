@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_end_to_end.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/courseware/CMakeFiles/pdc_courseware.dir/DependInfo.cmake"
+  "/root/repo/build/src/notebook/CMakeFiles/pdc_notebook.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/pdc_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/kit/CMakeFiles/pdc_kit.dir/DependInfo.cmake"
+  "/root/repo/build/src/exemplars/CMakeFiles/pdc_exemplars.dir/DependInfo.cmake"
+  "/root/repo/build/src/assessment/CMakeFiles/pdc_assessment.dir/DependInfo.cmake"
+  "/root/repo/build/src/patternlets/CMakeFiles/pdc_patternlets.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/pdc_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/pdc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/pdc_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/smp/CMakeFiles/pdc_smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

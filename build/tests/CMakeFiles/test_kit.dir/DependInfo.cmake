@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kit/test_beowulf.cpp" "tests/CMakeFiles/test_kit.dir/kit/test_beowulf.cpp.o" "gcc" "tests/CMakeFiles/test_kit.dir/kit/test_beowulf.cpp.o.d"
+  "/root/repo/tests/kit/test_kit.cpp" "tests/CMakeFiles/test_kit.dir/kit/test_kit.cpp.o" "gcc" "tests/CMakeFiles/test_kit.dir/kit/test_kit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kit/CMakeFiles/pdc_kit.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/pdc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kit.dir/kit/test_beowulf.cpp.o"
+  "CMakeFiles/test_kit.dir/kit/test_beowulf.cpp.o.d"
+  "CMakeFiles/test_kit.dir/kit/test_kit.cpp.o"
+  "CMakeFiles/test_kit.dir/kit/test_kit.cpp.o.d"
+  "test_kit"
+  "test_kit.pdb"
+  "test_kit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mp/test_codec.cpp" "tests/CMakeFiles/test_mp.dir/mp/test_codec.cpp.o" "gcc" "tests/CMakeFiles/test_mp.dir/mp/test_codec.cpp.o.d"
+  "/root/repo/tests/mp/test_collective_algos.cpp" "tests/CMakeFiles/test_mp.dir/mp/test_collective_algos.cpp.o" "gcc" "tests/CMakeFiles/test_mp.dir/mp/test_collective_algos.cpp.o.d"
+  "/root/repo/tests/mp/test_collectives.cpp" "tests/CMakeFiles/test_mp.dir/mp/test_collectives.cpp.o" "gcc" "tests/CMakeFiles/test_mp.dir/mp/test_collectives.cpp.o.d"
+  "/root/repo/tests/mp/test_comm_extras.cpp" "tests/CMakeFiles/test_mp.dir/mp/test_comm_extras.cpp.o" "gcc" "tests/CMakeFiles/test_mp.dir/mp/test_comm_extras.cpp.o.d"
+  "/root/repo/tests/mp/test_mailbox.cpp" "tests/CMakeFiles/test_mp.dir/mp/test_mailbox.cpp.o" "gcc" "tests/CMakeFiles/test_mp.dir/mp/test_mailbox.cpp.o.d"
+  "/root/repo/tests/mp/test_p2p.cpp" "tests/CMakeFiles/test_mp.dir/mp/test_p2p.cpp.o" "gcc" "tests/CMakeFiles/test_mp.dir/mp/test_p2p.cpp.o.d"
+  "/root/repo/tests/mp/test_runtime.cpp" "tests/CMakeFiles/test_mp.dir/mp/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/test_mp.dir/mp/test_runtime.cpp.o.d"
+  "/root/repo/tests/mp/test_split.cpp" "tests/CMakeFiles/test_mp.dir/mp/test_split.cpp.o" "gcc" "tests/CMakeFiles/test_mp.dir/mp/test_split.cpp.o.d"
+  "/root/repo/tests/mp/test_stress.cpp" "tests/CMakeFiles/test_mp.dir/mp/test_stress.cpp.o" "gcc" "tests/CMakeFiles/test_mp.dir/mp/test_stress.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mp/CMakeFiles/pdc_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

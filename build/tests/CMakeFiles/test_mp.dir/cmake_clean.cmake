@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mp.dir/mp/test_codec.cpp.o"
+  "CMakeFiles/test_mp.dir/mp/test_codec.cpp.o.d"
+  "CMakeFiles/test_mp.dir/mp/test_collective_algos.cpp.o"
+  "CMakeFiles/test_mp.dir/mp/test_collective_algos.cpp.o.d"
+  "CMakeFiles/test_mp.dir/mp/test_collectives.cpp.o"
+  "CMakeFiles/test_mp.dir/mp/test_collectives.cpp.o.d"
+  "CMakeFiles/test_mp.dir/mp/test_comm_extras.cpp.o"
+  "CMakeFiles/test_mp.dir/mp/test_comm_extras.cpp.o.d"
+  "CMakeFiles/test_mp.dir/mp/test_mailbox.cpp.o"
+  "CMakeFiles/test_mp.dir/mp/test_mailbox.cpp.o.d"
+  "CMakeFiles/test_mp.dir/mp/test_p2p.cpp.o"
+  "CMakeFiles/test_mp.dir/mp/test_p2p.cpp.o.d"
+  "CMakeFiles/test_mp.dir/mp/test_runtime.cpp.o"
+  "CMakeFiles/test_mp.dir/mp/test_runtime.cpp.o.d"
+  "CMakeFiles/test_mp.dir/mp/test_split.cpp.o"
+  "CMakeFiles/test_mp.dir/mp/test_split.cpp.o.d"
+  "CMakeFiles/test_mp.dir/mp/test_stress.cpp.o"
+  "CMakeFiles/test_mp.dir/mp/test_stress.cpp.o.d"
+  "test_mp"
+  "test_mp.pdb"
+  "test_mp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_notebook.dir/notebook/test_colab.cpp.o"
+  "CMakeFiles/test_notebook.dir/notebook/test_colab.cpp.o.d"
+  "CMakeFiles/test_notebook.dir/notebook/test_engine.cpp.o"
+  "CMakeFiles/test_notebook.dir/notebook/test_engine.cpp.o.d"
+  "CMakeFiles/test_notebook.dir/notebook/test_filestore.cpp.o"
+  "CMakeFiles/test_notebook.dir/notebook/test_filestore.cpp.o.d"
+  "CMakeFiles/test_notebook.dir/notebook/test_ipynb.cpp.o"
+  "CMakeFiles/test_notebook.dir/notebook/test_ipynb.cpp.o.d"
+  "test_notebook"
+  "test_notebook.pdb"
+  "test_notebook[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_notebook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_patternlets.dir/patternlets/test_mpi_patternlets.cpp.o"
+  "CMakeFiles/test_patternlets.dir/patternlets/test_mpi_patternlets.cpp.o.d"
+  "CMakeFiles/test_patternlets.dir/patternlets/test_omp_patternlets.cpp.o"
+  "CMakeFiles/test_patternlets.dir/patternlets/test_omp_patternlets.cpp.o.d"
+  "test_patternlets"
+  "test_patternlets.pdb"
+  "test_patternlets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_patternlets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

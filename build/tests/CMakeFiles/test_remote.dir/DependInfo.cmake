@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/remote/test_firewall.cpp" "tests/CMakeFiles/test_remote.dir/remote/test_firewall.cpp.o" "gcc" "tests/CMakeFiles/test_remote.dir/remote/test_firewall.cpp.o.d"
+  "/root/repo/tests/remote/test_lab.cpp" "tests/CMakeFiles/test_remote.dir/remote/test_lab.cpp.o" "gcc" "tests/CMakeFiles/test_remote.dir/remote/test_lab.cpp.o.d"
+  "/root/repo/tests/remote/test_vm.cpp" "tests/CMakeFiles/test_remote.dir/remote/test_vm.cpp.o" "gcc" "tests/CMakeFiles/test_remote.dir/remote/test_vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/remote/CMakeFiles/pdc_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/notebook/CMakeFiles/pdc_notebook.dir/DependInfo.cmake"
+  "/root/repo/build/src/patternlets/CMakeFiles/pdc_patternlets.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/pdc_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/pdc_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/smp/CMakeFiles/pdc_smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remote.dir/remote/test_firewall.cpp.o"
+  "CMakeFiles/test_remote.dir/remote/test_firewall.cpp.o.d"
+  "CMakeFiles/test_remote.dir/remote/test_lab.cpp.o"
+  "CMakeFiles/test_remote.dir/remote/test_lab.cpp.o.d"
+  "CMakeFiles/test_remote.dir/remote/test_vm.cpp.o"
+  "CMakeFiles/test_remote.dir/remote/test_vm.cpp.o.d"
+  "test_remote"
+  "test_remote.pdb"
+  "test_remote[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/smp/test_barrier.cpp" "tests/CMakeFiles/test_smp.dir/smp/test_barrier.cpp.o" "gcc" "tests/CMakeFiles/test_smp.dir/smp/test_barrier.cpp.o.d"
+  "/root/repo/tests/smp/test_nesting.cpp" "tests/CMakeFiles/test_smp.dir/smp/test_nesting.cpp.o" "gcc" "tests/CMakeFiles/test_smp.dir/smp/test_nesting.cpp.o.d"
+  "/root/repo/tests/smp/test_ordered.cpp" "tests/CMakeFiles/test_smp.dir/smp/test_ordered.cpp.o" "gcc" "tests/CMakeFiles/test_smp.dir/smp/test_ordered.cpp.o.d"
+  "/root/repo/tests/smp/test_reduction.cpp" "tests/CMakeFiles/test_smp.dir/smp/test_reduction.cpp.o" "gcc" "tests/CMakeFiles/test_smp.dir/smp/test_reduction.cpp.o.d"
+  "/root/repo/tests/smp/test_scan.cpp" "tests/CMakeFiles/test_smp.dir/smp/test_scan.cpp.o" "gcc" "tests/CMakeFiles/test_smp.dir/smp/test_scan.cpp.o.d"
+  "/root/repo/tests/smp/test_schedules.cpp" "tests/CMakeFiles/test_smp.dir/smp/test_schedules.cpp.o" "gcc" "tests/CMakeFiles/test_smp.dir/smp/test_schedules.cpp.o.d"
+  "/root/repo/tests/smp/test_task_group.cpp" "tests/CMakeFiles/test_smp.dir/smp/test_task_group.cpp.o" "gcc" "tests/CMakeFiles/test_smp.dir/smp/test_task_group.cpp.o.d"
+  "/root/repo/tests/smp/test_team.cpp" "tests/CMakeFiles/test_smp.dir/smp/test_team.cpp.o" "gcc" "tests/CMakeFiles/test_smp.dir/smp/test_team.cpp.o.d"
+  "/root/repo/tests/smp/test_thread_pool.cpp" "tests/CMakeFiles/test_smp.dir/smp/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_smp.dir/smp/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smp/CMakeFiles/pdc_smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

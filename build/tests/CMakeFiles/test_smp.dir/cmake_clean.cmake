@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smp.dir/smp/test_barrier.cpp.o"
+  "CMakeFiles/test_smp.dir/smp/test_barrier.cpp.o.d"
+  "CMakeFiles/test_smp.dir/smp/test_nesting.cpp.o"
+  "CMakeFiles/test_smp.dir/smp/test_nesting.cpp.o.d"
+  "CMakeFiles/test_smp.dir/smp/test_ordered.cpp.o"
+  "CMakeFiles/test_smp.dir/smp/test_ordered.cpp.o.d"
+  "CMakeFiles/test_smp.dir/smp/test_reduction.cpp.o"
+  "CMakeFiles/test_smp.dir/smp/test_reduction.cpp.o.d"
+  "CMakeFiles/test_smp.dir/smp/test_scan.cpp.o"
+  "CMakeFiles/test_smp.dir/smp/test_scan.cpp.o.d"
+  "CMakeFiles/test_smp.dir/smp/test_schedules.cpp.o"
+  "CMakeFiles/test_smp.dir/smp/test_schedules.cpp.o.d"
+  "CMakeFiles/test_smp.dir/smp/test_task_group.cpp.o"
+  "CMakeFiles/test_smp.dir/smp/test_task_group.cpp.o.d"
+  "CMakeFiles/test_smp.dir/smp/test_team.cpp.o"
+  "CMakeFiles/test_smp.dir/smp/test_team.cpp.o.d"
+  "CMakeFiles/test_smp.dir/smp/test_thread_pool.cpp.o"
+  "CMakeFiles/test_smp.dir/smp/test_thread_pool.cpp.o.d"
+  "test_smp"
+  "test_smp.pdb"
+  "test_smp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

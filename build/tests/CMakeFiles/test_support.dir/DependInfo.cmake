@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/test_bar_chart.cpp" "tests/CMakeFiles/test_support.dir/support/test_bar_chart.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_bar_chart.cpp.o.d"
+  "/root/repo/tests/support/test_csv.cpp" "tests/CMakeFiles/test_support.dir/support/test_csv.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_csv.cpp.o.d"
+  "/root/repo/tests/support/test_rng.cpp" "tests/CMakeFiles/test_support.dir/support/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_rng.cpp.o.d"
+  "/root/repo/tests/support/test_strings.cpp" "tests/CMakeFiles/test_support.dir/support/test_strings.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_strings.cpp.o.d"
+  "/root/repo/tests/support/test_text_table.cpp" "tests/CMakeFiles/test_support.dir/support/test_text_table.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_text_table.cpp.o.d"
+  "/root/repo/tests/support/test_timer.cpp" "tests/CMakeFiles/test_support.dir/support/test_timer.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

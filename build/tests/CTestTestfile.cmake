@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_smp[1]_include.cmake")
+include("/root/repo/build/tests/test_mp[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_kit[1]_include.cmake")
+include("/root/repo/build/tests/test_patterns[1]_include.cmake")
+include("/root/repo/build/tests/test_patternlets[1]_include.cmake")
+include("/root/repo/build/tests/test_exemplars[1]_include.cmake")
+include("/root/repo/build/tests/test_courseware[1]_include.cmake")
+include("/root/repo/build/tests/test_notebook[1]_include.cmake")
+include("/root/repo/build/tests/test_remote[1]_include.cmake")
+include("/root/repo/build/tests/test_assessment[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
