@@ -3,12 +3,56 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "mp/ops.hpp"
 #include "mp/runtime.hpp"
+#include "trace/report.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
 using namespace pdc;
+
+/// The mailbox-congestion scenario: rank 1 preloads `cold_comms`
+/// duplicated communicators with kDepth pending messages each, then the
+/// two ranks ping `kRounds` messages over one more ("hot") communicator.
+/// Every hot-side match must get past the cold backlog, so the cost of
+/// matching is what this measures. The trace counters mailbox.scanned /
+/// mailbox.matched turn the backlog traversal into a number.
+constexpr int kCongestDepth = 32;
+constexpr int kCongestRounds = 64;
+
+void congested_match_round(int cold_comms) {
+  mp::run(2, [&](mp::Communicator& comm) {
+    std::vector<mp::Communicator> cold;
+    cold.reserve(static_cast<std::size_t>(cold_comms));
+    for (int c = 0; c < cold_comms; ++c) cold.push_back(comm.dup());
+    mp::Communicator hot = comm.dup();
+    if (comm.rank() == 1) {
+      for (auto& backlog : cold) {
+        for (int i = 0; i < kCongestDepth; ++i) backlog.send(i, 0);
+      }
+      comm.barrier();  // backlog is pending at rank 0 from here on
+      for (int i = 0; i < kCongestRounds; ++i) {
+        hot.send(i, 0);
+        benchmark::DoNotOptimize(hot.recv<int>(0));
+      }
+    } else {
+      comm.barrier();
+      for (int i = 0; i < kCongestRounds; ++i) {
+        const int v = hot.recv<int>(1);
+        hot.send(v, 1);
+      }
+      // Drain the backlog so the job shuts down with empty mailboxes.
+      for (auto& backlog : cold) {
+        for (int i = 0; i < kCongestDepth; ++i) {
+          benchmark::DoNotOptimize(backlog.recv<int>(1));
+        }
+      }
+    }
+  });
+}
 
 void BM_JobLaunch(benchmark::State& state) {
   const int procs = static_cast<int>(state.range(0));
@@ -101,6 +145,15 @@ void BM_ScatterGatherChunks(benchmark::State& state) {
 }
 BENCHMARK(BM_ScatterGatherChunks)->Arg(2)->Arg(4);
 
+void BM_MailboxCongestedMatch(benchmark::State& state) {
+  const int cold_comms = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    congested_match_round(cold_comms);
+  }
+  state.SetItemsProcessed(state.iterations() * kCongestRounds);
+}
+BENCHMARK(BM_MailboxCongestedMatch)->Arg(1)->Arg(8)->Arg(64);
+
 void BM_CommSplit(benchmark::State& state) {
   for (auto _ : state) {
     mp::run(8, [](mp::Communicator& comm) {
@@ -113,4 +166,26 @@ BENCHMARK(BM_CommSplit);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Traced replay of the worst congestion case: the mailbox.scanned /
+  // mailbox.matched ratio is the mean number of queued envelopes each
+  // receive had to consider before finding its match.
+  pdc::trace::TraceSession session;
+  session.start();
+  congested_match_round(/*cold_comms=*/64);
+  session.stop();
+
+  const double matched = session.counter_total("mailbox.matched");
+  const double scanned = session.counter_total("mailbox.scanned");
+  std::printf("\n-- traced replay: congested match, 64 cold comms --\n");
+  std::printf("envelopes matched: %.0f, scanned while matching: %.0f "
+              "(%.1f scanned per match)\n\n",
+              matched, scanned, matched > 0 ? scanned / matched : 0.0);
+  std::fputs(pdc::trace::summary_report(session).c_str(), stdout);
+  return 0;
+}

@@ -5,9 +5,12 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdio>
 
 #include "smp/parallel.hpp"
 #include "smp/thread_pool.hpp"
+#include "trace/report.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -131,4 +134,35 @@ BENCHMARK(BM_ThreadPoolSubmit);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Traced replay of a representative mixed workload: a dynamic-schedule
+  // worksharing loop plus a burst of thread-pool submissions, so the
+  // report shows queue-wait vs run time and barrier costs side by side.
+  pdc::trace::TraceSession session;
+  session.start();
+  smp::parallel(4, [](smp::TeamContext& ctx) {
+    ctx.for_each(
+        0, 1 << 12, smp::Schedule::dynamic(64),
+        [](std::int64_t i) { benchmark::DoNotOptimize(i * i); });
+    ctx.barrier();
+  });
+  {
+    smp::ThreadPool pool(2);
+    std::vector<std::future<int>> results;
+    results.reserve(256);
+    for (int i = 0; i < 256; ++i) {
+      results.push_back(pool.submit([i] { return i; }));
+    }
+    for (auto& r : results) benchmark::DoNotOptimize(r.get());
+  }
+  session.stop();
+
+  std::printf("\n-- traced replay: dynamic for + 256 pool submissions --\n\n");
+  std::fputs(pdc::trace::summary_report(session).c_str(), stdout);
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include "smp/parallel.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
+#include "trace/trace.hpp"
 
 namespace pdc::exemplars {
 
@@ -76,7 +77,11 @@ std::vector<std::string> make_ligands(const DrugDesignConfig& config) {
 }
 
 int score(const std::string& ligand, const std::string& protein) {
-  // Classic LCS dynamic program with a rolling row.
+  // Classic LCS dynamic program with a rolling row. The span makes the
+  // length-skewed scoring cost visible in a traced timeline — the whole
+  // reason this exemplar motivates dynamic scheduling.
+  trace::Span span("drug.score", "exemplar");
+  span.set_bytes(static_cast<std::int64_t>(ligand.size()));
   const std::size_t m = ligand.size();
   const std::size_t n = protein.size();
   std::vector<int> prev(n + 1, 0), cur(n + 1, 0);
@@ -94,6 +99,7 @@ int score(const std::string& ligand, const std::string& protein) {
 }
 
 DrugResult screen_serial(const DrugDesignConfig& config) {
+  trace::Span span("drug.screen_serial", "exemplar");
   const auto ligands = make_ligands(config);
   DrugResult result;
   for (const auto& ligand : ligands) {
@@ -105,6 +111,7 @@ DrugResult screen_serial(const DrugDesignConfig& config) {
 
 DrugResult screen_smp(const DrugDesignConfig& config, std::size_t num_threads,
                       std::size_t chunk) {
+  trace::Span span("drug.screen_smp", "exemplar");
   const auto ligands = make_ligands(config);
   DrugResult result;
   std::mutex result_mutex;
@@ -128,6 +135,7 @@ DrugResult screen_smp(const DrugDesignConfig& config, std::size_t num_threads,
 DrugResult screen_rank(mp::Communicator& comm, const DrugDesignConfig& config) {
   // Every rank regenerates the full deterministic ligand list from the
   // shared seed (cheaper than scattering it), then scores its slice.
+  trace::Span span("drug.screen_rank", "exemplar");
   const auto ligands = make_ligands(config);
   DrugResult local;
   for (std::size_t i = static_cast<std::size_t>(comm.rank());
@@ -151,6 +159,7 @@ DrugResult screen_rank(mp::Communicator& comm, const DrugDesignConfig& config) {
 
 DrugResult screen_master_worker(mp::Communicator& comm,
                                 const DrugDesignConfig& config) {
+  trace::Span span("drug.master_worker", "exemplar");
   constexpr int kWorkTag = 1;
   constexpr int kStopTag = 2;
   constexpr int kResultTag = 3;

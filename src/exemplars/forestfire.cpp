@@ -8,6 +8,7 @@
 #include "mp/runtime.hpp"
 #include "smp/parallel.hpp"
 #include "support/error.hpp"
+#include "trace/trace.hpp"
 
 namespace pdc::exemplars {
 
@@ -150,6 +151,9 @@ void run_trial(int grid_size, const std::vector<double>& probabilities,
                std::vector<double>& steps_by_trial) {
   const auto k = static_cast<std::size_t>(w / trials);
   const int t = static_cast<int>(w % trials);
+  // One span per trial: the timeline shows how high-probability burns run
+  // longer, which is the load imbalance the sweep strategies differ on.
+  trace::Span span("fire.trial", "exemplar");
   FireParams params{grid_size, probabilities[k], trial_seed(seed, k, trials, t)};
   const FireResult r = burn_once(params);
   burned_by_trial[static_cast<std::size_t>(w)] = r.burned_fraction;
@@ -162,6 +166,7 @@ std::vector<SweepPoint> sweep_serial(int grid_size,
                                      const std::vector<double>& probabilities,
                                      int trials, std::uint64_t seed) {
   check_sweep_args(grid_size, trials);
+  trace::Span span("fire.sweep_serial", "exemplar");
   const auto total = static_cast<std::int64_t>(probabilities.size()) * trials;
   std::vector<double> burned(static_cast<std::size_t>(total), 0.0);
   std::vector<double> steps(static_cast<std::size_t>(total), 0.0);
@@ -176,6 +181,7 @@ std::vector<SweepPoint> sweep_smp(int grid_size,
                                   int trials, std::uint64_t seed,
                                   std::size_t num_threads) {
   check_sweep_args(grid_size, trials);
+  trace::Span span("fire.sweep_smp", "exemplar");
   const auto total = static_cast<std::int64_t>(probabilities.size()) * trials;
   // Each flat index is written by exactly one thread: data-race free
   // without locks, and the later fixed-order reduction is exact.
@@ -194,6 +200,7 @@ std::vector<SweepPoint> sweep_rank(mp::Communicator& comm, int grid_size,
                                    const std::vector<double>& probabilities,
                                    int trials, std::uint64_t seed) {
   check_sweep_args(grid_size, trials);
+  trace::Span span("fire.sweep_rank", "exemplar");
   const auto total = static_cast<std::int64_t>(probabilities.size()) * trials;
 
   // Each rank fills only its round-robin slice; everywhere else stays 0, so

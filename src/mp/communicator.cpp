@@ -22,6 +22,7 @@ void Communicator::print(std::string line) {
 }
 
 Status Communicator::probe(int source, int tag) {
+  trace::Span span("mp.probe", "mp.p2p");
   check_recv_args(source, tag);
   return my_mailbox().probe(comm_id_, source, tag);
 }
@@ -33,6 +34,7 @@ std::optional<Status> Communicator::iprobe(int source, int tag) {
 
 void Communicator::barrier() {
   // Flat gather-then-release; O(p) messages, plenty for teaching scale.
+  trace::Span span("mp.barrier", "mp.collective");
   const int tag = next_collective_tag();
   constexpr char kToken = 'B';
   if (my_rank_ == 0) {
@@ -51,6 +53,7 @@ void Communicator::barrier() {
 Communicator Communicator::dup() {
   // Rank 0 allocates the fresh context id and broadcasts it; the group and
   // local ranks carry over unchanged.
+  trace::Span span("mp.dup", "mp.collective");
   const int tag = next_collective_tag();
   std::uint64_t new_id = 0;
   if (my_rank_ == 0) {
@@ -65,6 +68,7 @@ Communicator Communicator::dup() {
 }
 
 Communicator Communicator::split(int color, int key) {
+  trace::Span span("mp.split", "mp.collective");
   const int tag = next_collective_tag();
 
   // Stage 1: rank 0 learns every rank's (color, key).

@@ -11,6 +11,7 @@
 #include "mp/message.hpp"
 #include "mp/universe.hpp"
 #include "support/error.hpp"
+#include "trace/trace.hpp"
 
 namespace pdc::mp {
 
@@ -87,6 +88,7 @@ class Communicator {
   /// Eager (buffered, non-blocking-in-effect) send of `value` to `dest`.
   template <typename T>
   void send(const T& value, int dest, int tag = 0) {
+    trace::Span span("mp.send", "mp.p2p");
     check_peer(dest, "send");
     check_tag(tag);
     post(value, dest, tag);
@@ -95,8 +97,10 @@ class Communicator {
   /// Blocking receive of a T. `source`/`tag` accept kAnySource/kAnyTag.
   template <typename T>
   T recv(int source = kAnySource, int tag = kAnyTag, Status* status = nullptr) {
+    trace::Span span("mp.recv", "mp.p2p");
     check_recv_args(source, tag);
     Envelope e = my_mailbox().receive(comm_id_, source, tag);
+    span.set_bytes(static_cast<std::int64_t>(e.payload.size()));
     return unpack<T>(std::move(e), status);
   }
 
@@ -116,9 +120,11 @@ class Communicator {
   std::optional<T> recv_for(std::chrono::milliseconds timeout,
                             int source = kAnySource, int tag = kAnyTag,
                             Status* status = nullptr) {
+    trace::Span span("mp.recv", "mp.p2p");
     check_recv_args(source, tag);
     auto e = my_mailbox().receive_for(comm_id_, source, tag, timeout);
     if (!e) return std::nullopt;
+    span.set_bytes(static_cast<std::int64_t>(e->payload.size()));
     return unpack<T>(std::move(*e), status);
   }
 
@@ -171,6 +177,7 @@ class Communicator {
   template <typename T>
   void bcast(T& value, int root = 0,
              CollectiveAlgo algo = CollectiveAlgo::Flat) {
+    trace::Span span("mp.bcast", "mp.collective");
     check_peer(root, "bcast");
     const int tag = next_collective_tag();
     if (algo == CollectiveAlgo::Flat) {
@@ -210,6 +217,7 @@ class Communicator {
   /// vector at root and an empty vector elsewhere (MPI_Gather).
   template <typename T>
   std::vector<T> gather(const T& value, int root = 0) {
+    trace::Span span("mp.gather", "mp.collective");
     check_peer(root, "gather");
     const int tag = next_collective_tag();
     if (my_rank_ == root) {
@@ -227,6 +235,7 @@ class Communicator {
   /// Gather one value per rank to every rank (MPI_Allgather).
   template <typename T>
   std::vector<T> allgather(const T& value) {
+    trace::Span span("mp.allgather", "mp.collective");
     std::vector<T> all = gather(value, 0);
     bcast(all, 0);
     return all;
@@ -237,6 +246,7 @@ class Communicator {
   /// exactly size() entries there.
   template <typename T>
   T scatter(const std::vector<T>& values, int root = 0) {
+    trace::Span span("mp.scatter", "mp.collective");
     check_peer(root, "scatter");
     const int tag = next_collective_tag();
     if (my_rank_ == root) {
@@ -256,6 +266,7 @@ class Communicator {
   /// chunk r to rank r (MPI_Scatterv with the patternlets' decomposition).
   template <typename T>
   std::vector<T> scatter_chunks(const std::vector<T>& data, int root = 0) {
+    trace::Span span("mp.scatter_chunks", "mp.collective");
     check_peer(root, "scatter_chunks");
     const int tag = next_collective_tag();
     if (my_rank_ == root) {
@@ -284,6 +295,7 @@ class Communicator {
   /// Concatenate per-rank vectors at root, in rank order (MPI_Gatherv).
   template <typename T>
   std::vector<T> gather_chunks(const std::vector<T>& chunk, int root = 0) {
+    trace::Span span("mp.gather_chunks", "mp.collective");
     check_peer(root, "gather_chunks");
     const int tag = next_collective_tag();
     if (my_rank_ == root) {
@@ -308,6 +320,7 @@ class Communicator {
   template <typename T, typename Op>
   T reduce(const T& local, Op op, int root = 0,
            CollectiveAlgo algo = CollectiveAlgo::Flat) {
+    trace::Span span("mp.reduce", "mp.collective");
     check_peer(root, "reduce");
     const int tag = next_collective_tag();
     if (algo == CollectiveAlgo::Flat) {
@@ -348,6 +361,7 @@ class Communicator {
   /// Reduce and broadcast the result to every rank (MPI_Allreduce).
   template <typename T, typename Op>
   T allreduce(const T& local, Op op) {
+    trace::Span span("mp.allreduce", "mp.collective");
     T result = reduce(local, op, 0);
     bcast(result, 0);
     return result;
@@ -357,6 +371,7 @@ class Communicator {
   /// (MPI_Scan). Linear chain, deterministic.
   template <typename T, typename Op>
   T scan(const T& local, Op op) {
+    trace::Span span("mp.scan", "mp.collective");
     const int tag = next_collective_tag();
     T acc = local;
     if (my_rank_ > 0) {
@@ -372,6 +387,7 @@ class Communicator {
   /// returns op-fold of ranks 0..r-1 (MPI_Exscan).
   template <typename T, typename Op>
   T exscan(const T& local, Op op, const T& identity) {
+    trace::Span span("mp.exscan", "mp.collective");
     const int tag = next_collective_tag();
     T prefix = identity;
     if (my_rank_ > 0) {
@@ -387,6 +403,7 @@ class Communicator {
   /// d; returns a vector whose element s came from rank s (MPI_Alltoall).
   template <typename T>
   std::vector<T> alltoall(const std::vector<T>& per_dest) {
+    trace::Span span("mp.alltoall", "mp.collective");
     if (per_dest.size() != static_cast<std::size_t>(size())) {
       throw InvalidArgument("alltoall: need exactly one value per rank");
     }
@@ -469,6 +486,11 @@ class Communicator {
     e.tag = tag;
     e.type_hash = type_hash<T>();
     e.payload = Codec<T>::encode(value);
+    if (trace::enabled()) {
+      trace::Counter("mp.bytes_sent")
+          .add(static_cast<double>(e.payload.size()));
+      trace::Counter("mp.messages_sent").add(1.0);
+    }
     universe_->mailbox((*members_)[static_cast<std::size_t>(dest)])
         .deliver(std::move(e));
   }

@@ -1,20 +1,32 @@
 #include "mp/mailbox.hpp"
 
+#include "trace/trace.hpp"
+
 namespace pdc::mp {
 
 void Mailbox::deliver(Envelope envelope) {
+  if (trace::enabled()) {
+    envelope.delivered_at = std::chrono::steady_clock::now();
+  }
   {
     std::lock_guard lock(mutex_);
-    queue_.push_back(std::move(envelope));
+    buckets_[envelope.comm_id].push_back(std::move(envelope));
+    ++queued_;
   }
   arrived_.notify_all();
 }
 
-std::size_t Mailbox::find_match(std::uint64_t comm_id, int source,
-                                int tag) const {
-  for (std::size_t i = 0; i < queue_.size(); ++i) {
-    const Envelope& e = queue_[i];
-    if (e.comm_id != comm_id) continue;
+const Mailbox::Bucket* Mailbox::bucket_for(std::uint64_t comm_id) const {
+  const auto it = buckets_.find(comm_id);
+  return it == buckets_.end() ? nullptr : &it->second;
+}
+
+std::size_t Mailbox::find_match(const Bucket& bucket, int source, int tag,
+                                std::size_t* scanned) {
+  if (scanned) *scanned = 0;
+  for (std::size_t i = 0; i < bucket.size(); ++i) {
+    const Envelope& e = bucket[i];
+    if (scanned) ++*scanned;
     if (source != kAnySource && e.source != source) continue;
     if (tag != kAnyTag && e.tag != tag) continue;
     return i;
@@ -22,58 +34,99 @@ std::size_t Mailbox::find_match(std::uint64_t comm_id, int source,
   return npos;
 }
 
+Envelope Mailbox::take(std::uint64_t comm_id, Bucket& bucket,
+                       std::size_t index) {
+  Envelope out = std::move(bucket[index]);
+  bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(index));
+  if (bucket.empty()) buckets_.erase(comm_id);
+  --queued_;
+  return out;
+}
+
+void Mailbox::record_match(const Envelope& envelope, std::size_t scanned) {
+  trace::TraceSession* session = trace::TraceSession::active();
+  if (!session) return;
+  session->add_counter("mailbox.matched", 1.0);
+  session->add_counter("mailbox.scanned", static_cast<double>(scanned));
+  // The latency event needs a delivery stamp, which is only taken while a
+  // session is active; a message delivered before tracing began has none.
+  if (envelope.delivered_at == std::chrono::steady_clock::time_point{}) return;
+  trace::TraceEvent event;
+  event.name = "mailbox.match_wait";
+  event.category = "mp.mailbox";
+  event.type = trace::EventType::Complete;
+  event.start_us = session->since_start_us(envelope.delivered_at);
+  event.duration_us = session->now_us() - event.start_us;
+  event.bytes = static_cast<std::int64_t>(envelope.payload.size());
+  session->record(std::move(event));
+}
+
 Envelope Mailbox::receive(std::uint64_t comm_id, int source, int tag) {
   std::unique_lock lock(mutex_);
-  std::size_t index;
+  const Bucket* bucket = nullptr;
+  std::size_t index = npos;
+  std::size_t scanned = 0;
   arrived_.wait(lock, [&] {
     if (aborted_) return true;
-    index = find_match(comm_id, source, tag);
+    bucket = bucket_for(comm_id);
+    if (!bucket) return false;
+    index = find_match(*bucket, source, tag, &scanned);
     return index != npos;
   });
   if (aborted_) throw Aborted{};
-  Envelope out = std::move(queue_[index]);
-  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
-  return out;
+  auto& mine = buckets_.at(comm_id);
+  record_match(mine[index], scanned);
+  return take(comm_id, mine, index);
 }
 
 std::optional<Envelope> Mailbox::try_receive(std::uint64_t comm_id, int source,
                                              int tag) {
   std::lock_guard lock(mutex_);
   if (aborted_) throw Aborted{};
-  const std::size_t index = find_match(comm_id, source, tag);
+  const Bucket* bucket = bucket_for(comm_id);
+  if (!bucket) return std::nullopt;
+  std::size_t scanned = 0;
+  const std::size_t index = find_match(*bucket, source, tag, &scanned);
   if (index == npos) return std::nullopt;
-  Envelope out = std::move(queue_[index]);
-  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
-  return out;
+  auto& mine = buckets_.at(comm_id);
+  record_match(mine[index], scanned);
+  return take(comm_id, mine, index);
 }
 
 std::optional<Envelope> Mailbox::receive_for(std::uint64_t comm_id, int source,
                                              int tag,
                                              std::chrono::milliseconds timeout) {
   std::unique_lock lock(mutex_);
+  const Bucket* bucket = nullptr;
   std::size_t index = npos;
+  std::size_t scanned = 0;
   const bool matched = arrived_.wait_for(lock, timeout, [&] {
     if (aborted_) return true;
-    index = find_match(comm_id, source, tag);
+    bucket = bucket_for(comm_id);
+    if (!bucket) return false;
+    index = find_match(*bucket, source, tag, &scanned);
     return index != npos;
   });
   if (aborted_) throw Aborted{};
   if (!matched || index == npos) return std::nullopt;
-  Envelope out = std::move(queue_[index]);
-  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
-  return out;
+  auto& mine = buckets_.at(comm_id);
+  record_match(mine[index], scanned);
+  return take(comm_id, mine, index);
 }
 
 Status Mailbox::probe(std::uint64_t comm_id, int source, int tag) {
   std::unique_lock lock(mutex_);
-  std::size_t index;
+  const Bucket* bucket = nullptr;
+  std::size_t index = npos;
   arrived_.wait(lock, [&] {
     if (aborted_) return true;
-    index = find_match(comm_id, source, tag);
+    bucket = bucket_for(comm_id);
+    if (!bucket) return false;
+    index = find_match(*bucket, source, tag);
     return index != npos;
   });
   if (aborted_) throw Aborted{};
-  const Envelope& e = queue_[index];
+  const Envelope& e = (*bucket)[index];
   return Status{e.source, e.tag, e.payload.size()};
 }
 
@@ -81,15 +134,17 @@ std::optional<Status> Mailbox::try_probe(std::uint64_t comm_id, int source,
                                          int tag) {
   std::lock_guard lock(mutex_);
   if (aborted_) throw Aborted{};
-  const std::size_t index = find_match(comm_id, source, tag);
+  const Bucket* bucket = bucket_for(comm_id);
+  if (!bucket) return std::nullopt;
+  const std::size_t index = find_match(*bucket, source, tag);
   if (index == npos) return std::nullopt;
-  const Envelope& e = queue_[index];
+  const Envelope& e = (*bucket)[index];
   return Status{e.source, e.tag, e.payload.size()};
 }
 
 std::size_t Mailbox::queued() const {
   std::lock_guard lock(mutex_);
-  return queue_.size();
+  return queued_;
 }
 
 void Mailbox::abort() {

@@ -6,6 +6,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 
 #include "mp/message.hpp"
 
@@ -22,13 +23,16 @@ class Aborted : public std::exception {
 
 /// One rank's incoming message queue.
 ///
-/// Delivery is FIFO; receive matching scans the queue in arrival order for
-/// the first envelope whose (communicator, source, tag) satisfies the
-/// receive, which gives MPI's non-overtaking guarantee: two messages from
-/// the same source on the same communicator and tag are received in the
-/// order they were sent. Sends are eager/buffered (a send never blocks),
-/// matching the small-message behaviour of real MPI that the patternlets
-/// rely on.
+/// Pending messages are bucketed by communicator id; each bucket is FIFO in
+/// delivery order and matching scans only the receive's own bucket for the
+/// first envelope whose (source, tag) satisfies it. MPI's non-overtaking
+/// guarantee is per (communicator, source, tag), so per-communicator FIFO
+/// buckets preserve it exactly while making a receive's cost independent of
+/// traffic queued on *other* communicators — under a split/dup-heavy
+/// workload the old single-queue scan walked every unrelated envelope (the
+/// mailbox.scanned trace counter and BM_MailboxCongestedMatch quantify
+/// this). Sends are eager/buffered (a send never blocks), matching the
+/// small-message behaviour of real MPI that the patternlets rely on.
 class Mailbox {
  public:
   Mailbox() = default;
@@ -65,14 +69,34 @@ class Mailbox {
   void abort();
 
  private:
-  /// Index of first match in queue_, or npos. Caller holds mutex_.
-  std::size_t find_match(std::uint64_t comm_id, int source, int tag) const;
+  using Bucket = std::deque<Envelope>;
+
+  /// The bucket for `comm_id`, or nullptr if nothing is pending on that
+  /// communicator. Caller holds mutex_.
+  const Bucket* bucket_for(std::uint64_t comm_id) const;
+
+  /// Index of the first (source, tag) match in `bucket`, or npos. Caller
+  /// holds mutex_. When `scanned` is non-null it receives the number of
+  /// queued envelopes examined (the trace counter behind the match-cost
+  /// benchmarks).
+  static std::size_t find_match(const Bucket& bucket, int source, int tag,
+                                std::size_t* scanned = nullptr);
+
+  /// Remove and return `bucket`'s envelope at `index`, dropping the bucket
+  /// when it empties. Caller holds mutex_.
+  Envelope take(std::uint64_t comm_id, Bucket& bucket, std::size_t index);
+
+  /// Record trace counters and the enqueue-to-match latency event for a
+  /// matched envelope. No-op without an active trace session. Caller holds
+  /// mutex_.
+  static void record_match(const Envelope& envelope, std::size_t scanned);
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
   mutable std::mutex mutex_;
   std::condition_variable arrived_;
-  std::deque<Envelope> queue_;
+  std::unordered_map<std::uint64_t, Bucket> buckets_;
+  std::size_t queued_ = 0;  ///< total envelopes across all buckets
   bool aborted_ = false;
 };
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -34,6 +35,10 @@ struct Envelope {
   int tag = 0;
   std::size_t type_hash = 0;
   std::vector<std::byte> payload;
+
+  /// Stamped by Mailbox::deliver while a trace session is active (epoch
+  /// otherwise); lets the receiver record enqueue-to-match latency.
+  std::chrono::steady_clock::time_point delivered_at{};
 };
 
 }  // namespace pdc::mp

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "support/error.hpp"
+#include "trace/trace.hpp"
 
 namespace pdc::mp {
 
@@ -28,10 +29,16 @@ RunResult run(const RunConfig& cfg,
   std::mutex error_mutex;
 
   const auto run_rank = [&](int rank) {
+    // Route this rank's trace events to its own pid lane, and record its
+    // whole lifetime as one span so chrome://tracing shows when each rank
+    // started and finished.
+    trace::PidScope lane(rank, "rank " + std::to_string(rank));
+    trace::Span lifetime("mp.rank", "mp.runtime");
     Communicator comm = Communicator::world(universe, rank);
     try {
       program(comm);
     } catch (...) {
+      trace::instant("mp.abort", "mp.runtime");
       {
         std::lock_guard lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

@@ -1,6 +1,7 @@
 #include "smp/barrier.hpp"
 
 #include "support/error.hpp"
+#include "trace/trace.hpp"
 
 namespace pdc::smp {
 
@@ -11,6 +12,9 @@ CyclicBarrier::CyclicBarrier(std::size_t parties) : parties_(parties) {
 }
 
 std::size_t CyclicBarrier::arrive_and_wait() {
+  // Covers explicit `barrier` patternlets and the implicit barriers at the
+  // end of worksharing constructs alike: the span is this thread's wait.
+  trace::Span span("smp.barrier", "smp.sync");
   std::unique_lock lock(mutex_);
   const std::size_t my_index = arrived_++;
   if (arrived_ == parties_) {

@@ -1,6 +1,7 @@
 #include "smp/task_group.hpp"
 
 #include "support/error.hpp"
+#include "trace/trace.hpp"
 
 namespace pdc::smp {
 
@@ -26,6 +27,7 @@ void TaskGroup::run(std::function<void()> task) {
   }
   pool_->submit([this, task = std::move(task)] {
     try {
+      trace::Span span("taskgroup.task", "smp.tasks");
       task();
     } catch (...) {
       std::lock_guard lock(mutex_);
@@ -42,6 +44,7 @@ void TaskGroup::run(std::function<void()> task) {
 }
 
 void TaskGroup::wait() {
+  trace::Span span("taskgroup.wait", "smp.tasks");
   std::unique_lock lock(mutex_);
   drained_.wait(lock, [&] {
     return outstanding_.load(std::memory_order_acquire) == 0;

@@ -166,6 +166,7 @@ void TeamContext::sections(const std::vector<std::function<void()>>& tasks,
 
 void parallel(std::size_t num_threads,
               const std::function<void(TeamContext&)>& body) {
+  trace::Span region("smp.parallel", "smp.runtime");
   const std::size_t n = num_threads == 0 ? default_num_threads() : num_threads;
   Team team(n);
 
@@ -174,6 +175,7 @@ void parallel(std::size_t num_threads,
 
   const auto run_member = [&](std::size_t thread_num) {
     TeamContext ctx(team, thread_num);
+    trace::Span member("smp.member", "smp.runtime");
     try {
       body(ctx);
     } catch (...) {

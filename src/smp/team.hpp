@@ -13,6 +13,7 @@
 #include "smp/barrier.hpp"
 #include "smp/schedule.hpp"
 #include "support/error.hpp"
+#include "trace/trace.hpp"
 
 namespace pdc::smp {
 
@@ -171,6 +172,7 @@ class TeamContext {
   /// thread. Acts as a barrier.
   template <typename T, typename Combine>
   T reduce(const T& local, Combine combine) {
+    trace::Span span("smp.reduce", "smp.sync");
     const std::uint64_t id = next_construct_id();
     auto& slot = team_->acquire_slot(id);
     T result;

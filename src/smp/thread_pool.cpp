@@ -24,7 +24,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Pending task;
     {
       std::unique_lock lock(mutex_);
       work_available_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
@@ -33,7 +33,23 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    // Queue-wait time (submit to dequeue) as its own span, so a traced
+    // timeline separates "sat in the queue" from "actually ran".
+    if (trace::TraceSession* session = trace::TraceSession::active();
+        session &&
+        task.enqueued != std::chrono::steady_clock::time_point{}) {
+      trace::TraceEvent wait;
+      wait.name = "pool.queue_wait";
+      wait.category = "smp.pool";
+      wait.type = trace::EventType::Complete;
+      wait.start_us = session->since_start_us(task.enqueued);
+      wait.duration_us = session->now_us() - wait.start_us;
+      session->record(std::move(wait));
+    }
+    {
+      trace::Span span("pool.task", "smp.pool");
+      task.fn();
+    }
     {
       std::lock_guard lock(mutex_);
       --active_;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -8,6 +9,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "trace/trace.hpp"
 
 namespace pdc::smp {
 
@@ -22,7 +25,13 @@ class ThreadPool {
   /// Start `num_threads` workers (0 = default_num_threads()).
   explicit ThreadPool(std::size_t num_threads = 0);
 
-  /// Drains nothing: pending tasks are discarded, running tasks complete.
+  /// Drains nothing: running tasks complete, but tasks still waiting in the
+  /// queue are **discarded without ever running**. The future of a discarded
+  /// task becomes ready with `std::future_error` /
+  /// `std::future_errc::broken_promise` (its packaged_task is destroyed
+  /// unfulfilled) — so a `get()` after pool destruction throws rather than
+  /// hanging. Call wait_idle() before destruction if every submitted task
+  /// must run. Asserted by ThreadPool.DestructorDiscardsPendingTasks.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -35,9 +44,13 @@ class ThreadPool {
     auto packaged =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
     auto future = packaged->get_future();
+    Pending pending{[packaged] { (*packaged)(); }, {}};
+    if (trace::enabled()) {
+      pending.enqueued = std::chrono::steady_clock::now();
+    }
     {
       std::lock_guard lock(mutex_);
-      queue_.emplace_back([packaged] { (*packaged)(); });
+      queue_.push_back(std::move(pending));
     }
     work_available_.notify_one();
     return future;
@@ -53,12 +66,19 @@ class ThreadPool {
   [[nodiscard]] std::size_t pending() const;
 
  private:
+  /// A queued task plus its submit time (stamped only while a trace session
+  /// is active) so workers can record queue-wait vs. run time.
+  struct Pending {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
   void worker_loop();
 
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Pending> queue_;
   std::vector<std::thread> workers_;
   std::size_t active_ = 0;
   bool stopping_ = false;

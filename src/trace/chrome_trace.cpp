@@ -1,0 +1,122 @@
+#include "trace/chrome_trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace pdc::trace {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_common(std::string& out, const TraceEvent& e) {
+  out += "\"name\":\"";
+  append_escaped(out, e.name);
+  out += "\",\"cat\":\"";
+  append_escaped(out, e.category.empty() ? std::string("pdc") : e.category);
+  out += "\",\"pid\":" + std::to_string(e.pid);
+  out += ",\"tid\":" + std::to_string(e.tid);
+  out += ",\"ts\":" + std::to_string(e.start_us);
+}
+
+std::string format_value(double value) {
+  // Counters are cumulative totals; emit a plain decimal (never exponent
+  // notation, which some trace viewers reject inside args).
+  std::ostringstream stream;
+  stream.precision(17);
+  stream << std::fixed << value;
+  std::string text = stream.str();
+  const auto dot = text.find('.');
+  if (dot != std::string::npos) {
+    auto last = text.find_last_not_of('0');
+    if (last == dot) --last;
+    text.erase(last + 1);
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string to_chrome_json(const TraceSession& session) {
+  const std::vector<TraceEvent> events = session.events();
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+  bool first = true;
+  const auto separator = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+
+  // Metadata first: name each rank's pid lane so chrome://tracing shows
+  // "rank 0", "rank 1", ... instead of bare numbers.
+  for (const auto& [pid, name] : session.pid_names()) {
+    separator();
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"";
+    append_escaped(out, name);
+    out += "\"}}";
+  }
+
+  for (const TraceEvent& e : events) {
+    separator();
+    out += '{';
+    append_common(out, e);
+    switch (e.type) {
+      case EventType::Complete:
+        out += ",\"ph\":\"X\",\"dur\":" + std::to_string(e.duration_us);
+        if (e.bytes >= 0) {
+          out += ",\"args\":{\"bytes\":" + std::to_string(e.bytes) + "}";
+        }
+        break;
+      case EventType::Instant:
+        out += ",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+      case EventType::Counter:
+        out += ",\"ph\":\"C\",\"args\":{\"value\":" + format_value(e.value) +
+               "}";
+        break;
+    }
+    out += '}';
+  }
+
+  out += "]}";
+  return out;
+}
+
+void write_chrome_json(const TraceSession& session, const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    throw Error("write_chrome_json: cannot open " + path);
+  }
+  const std::string json = to_chrome_json(session);
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!file) {
+    throw Error("write_chrome_json: write failed for " + path);
+  }
+}
+
+}  // namespace pdc::trace

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace pdc::trace {
+
+/// Render a session as Chrome trace-event JSON (the "JSON Array Format"
+/// object variant chrome://tracing and Perfetto load directly).
+///
+/// Layout: each mp rank appears as its own process (pid = rank, named via
+/// process_name metadata), each OS thread as its own thread row (tid).
+/// Complete spans become "X" events, instants "i", counters "C".
+[[nodiscard]] std::string to_chrome_json(const TraceSession& session);
+
+/// Write to_chrome_json() to `path`. Throws pdc::Error on failure.
+void write_chrome_json(const TraceSession& session, const std::string& path);
+
+}  // namespace pdc::trace

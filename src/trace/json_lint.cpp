@@ -1,0 +1,192 @@
+#include "trace/json_lint.hpp"
+
+#include <cctype>
+
+namespace pdc::trace {
+
+namespace {
+
+/// Recursive-descent JSON validator over a string_view cursor.
+class Linter {
+ public:
+  explicit Linter(std::string_view text) : text_(text) {}
+
+  bool run(std::string* error) {
+    skip_ws();
+    if (!value()) return fail(error);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      reason_ = "trailing characters after the top-level value";
+      return fail(error);
+    }
+    return true;
+  }
+
+ private:
+  bool fail(std::string* error) const {
+    if (error) {
+      *error = "offset " + std::to_string(pos_) + ": " +
+               (reason_.empty() ? "invalid JSON" : reason_);
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool expect(char c, const char* what) {
+    if (eof() || peek() != c) {
+      reason_ = std::string("expected ") + what;
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      reason_ = "invalid literal";
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value() {
+    if (eof()) {
+      reason_ = "unexpected end of input";
+      return false;
+    }
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"') {
+        reason_ = "expected object key string";
+        return false;
+      }
+      if (!string()) return false;
+      skip_ws();
+      if (!expect(':', "':' after object key")) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (!eof() && peek() == ',') { ++pos_; continue; }
+      return expect('}', "',' or '}' in object");
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (!eof() && peek() == ',') { ++pos_; continue; }
+      return expect(']', "',' or ']' in array");
+    }
+  }
+
+  bool string() {
+    ++pos_;  // opening quote
+    while (!eof()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') { ++pos_; return true; }
+      if (c < 0x20) {
+        reason_ = "unescaped control character in string";
+        return false;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (eof()) break;
+        const char esc = peek();
+        if (esc == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i, ++pos_) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
+              reason_ = "invalid \\u escape";
+              return false;
+            }
+          }
+          continue;
+        }
+        if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+            esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          reason_ = "invalid escape character";
+          return false;
+        }
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+    }
+    reason_ = "unterminated string";
+    return false;
+  }
+
+  bool digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      reason_ = "expected digit";
+      return false;
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    return true;
+  }
+
+  bool number() {
+    if (peek() == '-') ++pos_;
+    if (eof()) {
+      reason_ = "truncated number";
+      return false;
+    }
+    if (peek() == '0') {
+      ++pos_;
+    } else if (!digits()) {
+      return false;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string reason_;
+};
+
+}  // namespace
+
+bool is_valid_json(std::string_view text, std::string* error) {
+  return Linter(text).run(error);
+}
+
+}  // namespace pdc::trace

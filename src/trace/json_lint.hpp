@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace pdc::trace {
+
+/// Minimal RFC 8259 JSON validator: true iff `text` is exactly one valid
+/// JSON value (with optional surrounding whitespace). Used by the Chrome
+/// sink's round-trip tests so "loads in chrome://tracing" is a checkable
+/// property rather than a hope; on failure `error` (if non-null) receives a
+/// byte offset and reason.
+///
+/// Deliberately a validator, not a parser-to-DOM: the repo needs to assert
+/// well-formedness, not to consume JSON.
+[[nodiscard]] bool is_valid_json(std::string_view text,
+                                 std::string* error = nullptr);
+
+}  // namespace pdc::trace

@@ -1,0 +1,158 @@
+#include "trace/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "support/bar_chart.hpp"
+#include "support/text_table.hpp"
+
+namespace pdc::trace {
+
+namespace {
+
+std::string format_us(double us) {
+  std::ostringstream stream;
+  if (us >= 1e6) {
+    stream.precision(2);
+    stream << std::fixed << us / 1e6 << " s";
+  } else if (us >= 1e3) {
+    stream.precision(2);
+    stream << std::fixed << us / 1e3 << " ms";
+  } else {
+    stream.precision(1);
+    stream << std::fixed << us << " us";
+  }
+  return stream.str();
+}
+
+std::string format_count(double value) {
+  std::ostringstream stream;
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    stream << static_cast<long long>(value);
+  } else {
+    stream.precision(2);
+    stream << std::fixed << value;
+  }
+  return stream.str();
+}
+
+}  // namespace
+
+std::vector<OpStats> op_stats(const TraceSession& session) {
+  struct Buckets {
+    std::string category;
+    std::vector<std::int64_t> durations;
+    std::int64_t bytes = 0;
+  };
+  std::map<std::string, Buckets> by_name;
+  for (const TraceEvent& e : session.events()) {
+    if (e.type != EventType::Complete) continue;
+    Buckets& bucket = by_name[e.name];
+    bucket.category = e.category;
+    bucket.durations.push_back(e.duration_us);
+    if (e.bytes > 0) bucket.bytes += e.bytes;
+  }
+
+  std::vector<OpStats> stats;
+  stats.reserve(by_name.size());
+  for (auto& [name, bucket] : by_name) {
+    std::sort(bucket.durations.begin(), bucket.durations.end());
+    OpStats s;
+    s.name = name;
+    s.category = bucket.category;
+    s.count = bucket.durations.size();
+    for (const std::int64_t d : bucket.durations) s.total_us += d;
+    s.mean_us = static_cast<double>(s.total_us) /
+                static_cast<double>(bucket.durations.size());
+    const std::size_t p95_index =
+        (bucket.durations.size() * 95 + 99) / 100;  // ceil(0.95 n)
+    s.p95_us = bucket.durations[std::min(bucket.durations.size() - 1,
+                                         p95_index == 0 ? 0 : p95_index - 1)];
+    s.max_us = bucket.durations.back();
+    s.bytes = bucket.bytes;
+    stats.push_back(std::move(s));
+  }
+  std::sort(stats.begin(), stats.end(), [](const OpStats& a, const OpStats& b) {
+    return a.total_us > b.total_us;
+  });
+  return stats;
+}
+
+std::string summary_report(const TraceSession& session) {
+  std::ostringstream out;
+  const std::vector<TraceEvent> events = session.events();
+  const std::vector<OpStats> stats = op_stats(session);
+
+  out << "=== trace summary: " << events.size() << " events ===\n\n";
+
+  if (!stats.empty()) {
+    TextTable table({"op", "cat", "count", "total", "mean", "p95", "max"});
+    for (std::size_t col = 2; col <= 6; ++col) {
+      table.set_align(col, Align::Right);
+    }
+    for (const OpStats& s : stats) {
+      table.add_row({s.name, s.category, std::to_string(s.count),
+                     format_us(static_cast<double>(s.total_us)),
+                     format_us(s.mean_us),
+                     format_us(static_cast<double>(s.p95_us)),
+                     format_us(static_cast<double>(s.max_us))});
+    }
+    out << table.render() << '\n';
+  }
+
+  // Counter totals per pid lane (ranks), e.g. mp.bytes_sent per rank.
+  std::set<std::string> counter_names;
+  for (const TraceEvent& e : events) {
+    if (e.type == EventType::Counter) counter_names.insert(e.name);
+  }
+  if (!counter_names.empty()) {
+    const std::map<int, std::string> names = session.pid_names();
+    TextTable table({"counter", "lane", "total"});
+    table.set_align(2, Align::Right);
+    for (const std::string& name : counter_names) {
+      for (const auto& [pid, total] : session.counter_by_pid(name)) {
+        const auto label = names.find(pid);
+        table.add_row({name,
+                       label != names.end() ? label->second
+                                            : "pid " + std::to_string(pid),
+                       format_count(total)});
+      }
+    }
+    out << table.render() << '\n';
+  }
+
+  // Instant markers (aborts and other point events) with timestamps.
+  bool any_instant = false;
+  for (const TraceEvent& e : events) {
+    if (e.type != EventType::Instant) continue;
+    if (!any_instant) {
+      out << "markers:\n";
+      any_instant = true;
+    }
+    out << "  [" << format_us(static_cast<double>(e.start_us)) << "] " << e.name
+        << " (pid " << e.pid << ", tid " << e.tid << ")\n";
+  }
+  if (any_instant) out << '\n';
+
+  // Where the time went, as an ASCII chart of per-op totals.
+  if (!stats.empty()) {
+    const std::size_t top = std::min<std::size_t>(stats.size(), 8);
+    std::vector<std::string> categories;
+    BarSeries totals{"total ms", {}};
+    for (std::size_t i = 0; i < top; ++i) {
+      categories.push_back(stats[i].name);
+      totals.values.push_back(static_cast<double>(stats[i].total_us) / 1e3);
+    }
+    BarChart chart(categories);
+    chart.set_title("time by op (ms, summed over threads)");
+    chart.add_series(std::move(totals));
+    out << chart.render();
+  }
+
+  return out.str();
+}
+
+}  // namespace pdc::trace

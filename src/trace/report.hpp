@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace pdc::trace {
+
+/// Aggregated statistics for one span name (all Complete events sharing it).
+struct OpStats {
+  std::string name;
+  std::string category;
+  std::size_t count = 0;
+  std::int64_t total_us = 0;
+  double mean_us = 0.0;
+  std::int64_t p95_us = 0;   ///< 95th-percentile duration
+  std::int64_t max_us = 0;
+  std::int64_t bytes = 0;    ///< sum of byte annotations (0 if none carried)
+};
+
+/// Per-op aggregates, sorted by descending total time.
+[[nodiscard]] std::vector<OpStats> op_stats(const TraceSession& session);
+
+/// Human-readable run summary: a per-op table (count, total, mean, p95,
+/// max), per-rank counter totals (e.g. bytes sent per rank), instant-event
+/// markers, and an ASCII bar chart of where the time went — the same
+/// support/text_table + bar_chart machinery the paper-figure benches use.
+[[nodiscard]] std::string summary_report(const TraceSession& session);
+
+}  // namespace pdc::trace

@@ -1,0 +1,193 @@
+#include "trace/trace.hpp"
+
+#include "support/error.hpp"
+
+namespace pdc::trace {
+
+namespace {
+
+/// The process-wide active session. Release/acquire pairs with the
+/// initialization of the session's epoch in start().
+std::atomic<TraceSession*> g_active{nullptr};
+
+thread_local int tl_pid = 0;
+
+int assign_tid() noexcept {
+  static std::atomic<int> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+TraceSession::~TraceSession() { stop(); }
+
+void TraceSession::start() {
+  {
+    std::lock_guard lock(mutex_);
+    epoch_ = Clock::now();
+    accepting_ = true;
+  }
+  TraceSession* expected = nullptr;
+  if (!g_active.compare_exchange_strong(expected, this,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+    if (expected == this) return;  // already active: no-op
+    std::lock_guard lock(mutex_);
+    accepting_ = false;
+    throw InvalidArgument(
+        "TraceSession::start: another trace session is already active");
+  }
+}
+
+void TraceSession::stop() {
+  TraceSession* expected = this;
+  g_active.compare_exchange_strong(expected, nullptr,
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_relaxed);
+  std::lock_guard lock(mutex_);
+  accepting_ = false;
+}
+
+bool TraceSession::running() const noexcept {
+  return g_active.load(std::memory_order_relaxed) == this;
+}
+
+TraceSession* TraceSession::active() noexcept {
+  return g_active.load(std::memory_order_acquire);
+}
+
+void TraceSession::record(TraceEvent event) {
+  if (event.pid == 0) event.pid = current_pid();
+  if (event.tid == 0) event.tid = current_tid();
+  std::lock_guard lock(mutex_);
+  if (!accepting_) return;
+  events_.push_back(std::move(event));
+}
+
+void TraceSession::add_counter(const std::string& name, double delta) {
+  TraceEvent event;
+  event.name = name;
+  event.category = "counter";
+  event.type = EventType::Counter;
+  event.pid = current_pid();
+  event.tid = current_tid();
+  const auto now = Clock::now();
+  std::lock_guard lock(mutex_);
+  if (!accepting_) return;
+  double& total = counters_[name][event.pid];
+  total += delta;
+  event.value = total;
+  event.start_us = since_start_us(now);
+  events_.push_back(std::move(event));
+}
+
+void TraceSession::set_pid_name(int pid, std::string name) {
+  std::lock_guard lock(mutex_);
+  pid_names_[pid] = std::move(name);
+}
+
+std::vector<TraceEvent> TraceSession::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceSession::event_count() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+double TraceSession::counter_total(const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [pid, total] : it->second) sum += total;
+  return sum;
+}
+
+double TraceSession::counter_total(const std::string& name, int pid) const {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) return 0.0;
+  const auto pit = it->second.find(pid);
+  return pit == it->second.end() ? 0.0 : pit->second;
+}
+
+std::map<int, double> TraceSession::counter_by_pid(
+    const std::string& name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? std::map<int, double>{} : it->second;
+}
+
+std::map<int, std::string> TraceSession::pid_names() const {
+  std::lock_guard lock(mutex_);
+  return pid_names_;
+}
+
+std::int64_t TraceSession::since_start_us(Clock::time_point t) const noexcept {
+  if (t <= epoch_) return 0;
+  return std::chrono::duration_cast<std::chrono::microseconds>(t - epoch_)
+      .count();
+}
+
+bool enabled() noexcept { return TraceSession::active() != nullptr; }
+
+int current_pid() noexcept { return tl_pid; }
+
+int current_tid() noexcept {
+  thread_local const int id = assign_tid();
+  return id;
+}
+
+PidScope::PidScope(int pid, const std::string& name) noexcept
+    : previous_(tl_pid) {
+  tl_pid = pid;
+  if (!name.empty()) {
+    if (TraceSession* session = TraceSession::active()) {
+      session->set_pid_name(pid, name);
+    }
+  }
+}
+
+PidScope::~PidScope() { tl_pid = previous_; }
+
+Span::Span(const char* name, const char* category) noexcept
+    : name_(name), category_(category), session_(TraceSession::active()) {
+  if (session_) start_ = Clock::now();
+}
+
+Span::~Span() {
+  // Only record into the session that was active at construction, and only
+  // while it still is — a session stopped (or replaced) mid-span drops the
+  // event rather than touching possibly-dead memory.
+  if (!session_ || session_ != TraceSession::active()) return;
+  const auto end = Clock::now();
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.type = EventType::Complete;
+  event.start_us = session_->since_start_us(start_);
+  event.duration_us = session_->since_start_us(end) - event.start_us;
+  event.bytes = bytes_;
+  session_->record(std::move(event));
+}
+
+void Counter::add(double delta) const noexcept {
+  if (TraceSession* session = TraceSession::active()) {
+    session->add_counter(name_, delta);
+  }
+}
+
+void instant(const char* name, const char* category) noexcept {
+  if (TraceSession* session = TraceSession::active()) {
+    TraceEvent event;
+    event.name = name;
+    event.category = category;
+    event.type = EventType::Instant;
+    event.start_us = session->now_us();
+    session->record(std::move(event));
+  }
+}
+
+}  // namespace pdc::trace

@@ -72,6 +72,34 @@ TEST(ThreadPool, DestructorCompletesRunningTasks) {
   EXPECT_TRUE(ran.load());
 }
 
+TEST(ThreadPool, DestructorDiscardsPendingTasks) {
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<bool> blocker_running{false};
+
+  auto pool = std::make_unique<ThreadPool>(1);
+  pool->submit([&blocker_running, opened] {
+    blocker_running.store(true);
+    opened.wait();
+  });
+  while (!blocker_running.load()) std::this_thread::yield();
+  std::future<int> discarded = pool->submit([] { return 7; });
+  ASSERT_EQ(pool->pending(), 1u);
+
+  // Destroy on a helper thread: the destructor clears the queue immediately
+  // (breaking the pending task's promise) and only then blocks joining the
+  // still-running blocker, so get() below cannot deadlock.
+  std::thread destroyer([&pool] { pool.reset(); });
+  try {
+    discarded.get();
+    FAIL() << "discarded task ran anyway";
+  } catch (const std::future_error& error) {
+    EXPECT_EQ(error.code(), std::future_errc::broken_promise);
+  }
+  gate.set_value();
+  destroyer.join();
+}
+
 TEST(ThreadPool, ManyProducersOneQueue) {
   ThreadPool pool(2);
   std::atomic<int> total{0};

@@ -1,0 +1,159 @@
+// The Chrome trace-event sink: structural JSON validity (checked with the
+// in-tree linter), escaping, file output, and the acceptance-criterion
+// round trip — a traced forest-fire sweep over 4 ranks must produce JSON
+// that parses and carries one pid lane per rank.
+
+#include "trace/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exemplars/forestfire.hpp"
+#include "support/error.hpp"
+#include "trace/json_lint.hpp"
+#include "trace/trace.hpp"
+
+namespace pdc::trace {
+namespace {
+
+TEST(ChromeSink, EmptySessionIsValidJson) {
+  TraceSession session;
+  std::string error;
+  EXPECT_TRUE(is_valid_json(to_chrome_json(session), &error)) << error;
+}
+
+TEST(ChromeSink, EmitsAllThreePhases) {
+  TraceSession session;
+  session.start();
+  {
+    Span span("span.op", "cat");
+    span.set_bytes(128);
+  }
+  Counter("count.op").add(2.5);
+  instant("marker.op", "cat");
+  session.stop();
+
+  const std::string json = to_chrome_json(session);
+  std::string error;
+  EXPECT_TRUE(is_valid_json(json, &error)) << error;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"bytes\":128}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":2.5}"), std::string::npos);
+}
+
+TEST(ChromeSink, EscapesHostileEventNames) {
+  TraceSession session;
+  session.start();
+  TraceEvent event;
+  event.name = "quo\"te\\back\nnew\ttab";
+  event.name += '\x01';  // sub-0x20 control byte must become 
+  event.category = "cat";
+  event.type = EventType::Instant;
+  session.record(std::move(event));
+  session.stop();
+
+  const std::string json = to_chrome_json(session);
+  std::string error;
+  EXPECT_TRUE(is_valid_json(json, &error)) << error;
+  EXPECT_NE(json.find("quo\\\"te\\\\back\\nnew\\ttab\\u0001"),
+            std::string::npos);
+}
+
+TEST(ChromeSink, NamesPidLanesViaMetadata) {
+  TraceSession session;
+  session.start();
+  {
+    PidScope lane(3, "rank 3");
+    instant("tick", "test");
+  }
+  session.stop();
+
+  const std::string json = to_chrome_json(session);
+  EXPECT_NE(
+      json.find("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":3,"
+                "\"tid\":0,\"args\":{\"name\":\"rank 3\"}}"),
+      std::string::npos);
+}
+
+TEST(ChromeSink, WriteCreatesLoadableFile) {
+  TraceSession session;
+  session.start();
+  instant("tick", "test");
+  session.stop();
+
+  const std::string path = ::testing::TempDir() + "pdc_trace_sink_test.json";
+  write_chrome_json(session, path);
+  std::ifstream file(path, std::ios::binary);
+  ASSERT_TRUE(file.good());
+  std::ostringstream content;
+  content << file.rdbuf();
+  std::string error;
+  EXPECT_TRUE(is_valid_json(content.str(), &error)) << error;
+  std::remove(path.c_str());
+}
+
+TEST(ChromeSink, WriteToUnwritablePathThrows) {
+  TraceSession session;
+  EXPECT_THROW(
+      write_chrome_json(session, "/nonexistent-dir/pdc_trace.json"),
+      Error);
+}
+
+TEST(ChromeSink, TracedForestFireSweepRoundTrips) {
+  // The acceptance criterion: a traced 4-rank forest-fire sweep yields
+  // valid Chrome JSON with a distinct pid lane per rank and more than one
+  // thread row.
+  constexpr int kProcs = 4;
+  TraceSession session;
+  session.start();
+  const auto sweep = exemplars::sweep_mp(
+      /*grid_size=*/11, {0.3, 0.9}, /*trials=*/2, /*seed=*/2021, kProcs);
+  session.stop();
+  ASSERT_EQ(sweep.size(), 2u);
+
+  const std::string json = to_chrome_json(session);
+  std::string error;
+  EXPECT_TRUE(is_valid_json(json, &error)) << error;
+
+  // One named pid lane per rank...
+  const auto names = session.pid_names();
+  for (int rank = 0; rank < kProcs; ++rank) {
+    ASSERT_EQ(names.count(rank), 1u) << "missing pid lane " << rank;
+    EXPECT_EQ(names.at(rank), "rank " + std::to_string(rank));
+    EXPECT_NE(json.find("\"args\":{\"name\":\"rank " +
+                        std::to_string(rank) + "\"}"),
+              std::string::npos);
+  }
+
+  // ...every rank recorded events into its lane (at least its lifetime
+  // span), and the rank threads have distinct tids.
+  std::set<int> pids, tids;
+  std::size_t rank_spans = 0;
+  for (const auto& e : session.events()) {
+    pids.insert(e.pid);
+    tids.insert(e.tid);
+    if (e.name == "mp.rank") ++rank_spans;
+  }
+  EXPECT_GE(pids.size(), static_cast<std::size_t>(kProcs));
+  EXPECT_GE(tids.size(), static_cast<std::size_t>(kProcs));
+  EXPECT_EQ(rank_spans, static_cast<std::size_t>(kProcs));
+
+  // The sweep itself must be untouched by tracing: identical to untraced.
+  const auto untraced = exemplars::sweep_serial(
+      /*grid_size=*/11, {0.3, 0.9}, /*trials=*/2, /*seed=*/2021);
+  ASSERT_EQ(untraced.size(), sweep.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sweep[i].mean_burned_fraction,
+                     untraced[i].mean_burned_fraction);
+    EXPECT_DOUBLE_EQ(sweep[i].mean_steps, untraced[i].mean_steps);
+  }
+}
+
+}  // namespace
+}  // namespace pdc::trace

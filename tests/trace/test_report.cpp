@@ -1,0 +1,102 @@
+// The aggregated text report: per-op statistics math (count / total /
+// mean / p95 / max / bytes) on hand-crafted events, and the rendered
+// summary's tables, markers, and bar chart.
+
+#include "trace/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace pdc::trace {
+namespace {
+
+/// Record a Complete event with a fixed duration (timestamps handmade so
+/// the statistics are exact, not wall-clock dependent).
+void record_span(TraceSession& session, const std::string& name,
+                 std::int64_t duration_us, std::int64_t bytes = -1) {
+  TraceEvent event;
+  event.name = name;
+  event.category = "test";
+  event.type = EventType::Complete;
+  event.start_us = 0;
+  event.duration_us = duration_us;
+  event.bytes = bytes;
+  session.record(std::move(event));
+}
+
+TEST(Report, OpStatsAggregatesPerName) {
+  TraceSession session;
+  session.start();
+  for (std::int64_t d = 1; d <= 100; ++d) record_span(session, "op.a", d);
+  record_span(session, "op.b", 10, 64);
+  record_span(session, "op.b", 20, 36);
+  instant("not.a.span", "test");
+  session.stop();
+
+  const auto stats = op_stats(session);
+  ASSERT_EQ(stats.size(), 2u);  // the instant contributes no op row
+
+  // Sorted by descending total: op.a (5050) before op.b (30).
+  EXPECT_EQ(stats[0].name, "op.a");
+  EXPECT_EQ(stats[0].count, 100u);
+  EXPECT_EQ(stats[0].total_us, 5050);
+  EXPECT_DOUBLE_EQ(stats[0].mean_us, 50.5);
+  EXPECT_EQ(stats[0].p95_us, 95);
+  EXPECT_EQ(stats[0].max_us, 100);
+  EXPECT_EQ(stats[0].bytes, 0);
+
+  EXPECT_EQ(stats[1].name, "op.b");
+  EXPECT_EQ(stats[1].count, 2u);
+  EXPECT_EQ(stats[1].total_us, 30);
+  EXPECT_DOUBLE_EQ(stats[1].mean_us, 15.0);
+  EXPECT_EQ(stats[1].max_us, 20);
+  EXPECT_EQ(stats[1].bytes, 100);
+}
+
+TEST(Report, SingleSampleStats) {
+  TraceSession session;
+  session.start();
+  record_span(session, "solo", 42);
+  session.stop();
+  const auto stats = op_stats(session);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].p95_us, 42);
+  EXPECT_EQ(stats[0].max_us, 42);
+  EXPECT_DOUBLE_EQ(stats[0].mean_us, 42.0);
+}
+
+TEST(Report, SummaryRendersOpsCountersAndMarkers) {
+  TraceSession session;
+  session.start();
+  {
+    PidScope lane(1, "rank 1");
+    record_span(session, "mp.send", 100);
+    Counter("mp.bytes_sent").add(2048.0);
+  }
+  instant("mp.abort", "mp.runtime");
+  session.stop();
+
+  const std::string report = summary_report(session);
+  EXPECT_NE(report.find("=== trace summary:"), std::string::npos);
+  EXPECT_NE(report.find("mp.send"), std::string::npos);
+  EXPECT_NE(report.find("mp.bytes_sent"), std::string::npos);
+  EXPECT_NE(report.find("rank 1"), std::string::npos);   // lane labeled
+  EXPECT_NE(report.find("2048"), std::string::npos);     // counter total
+  EXPECT_NE(report.find("markers:"), std::string::npos);
+  EXPECT_NE(report.find("mp.abort"), std::string::npos);
+  EXPECT_NE(report.find("time by op"), std::string::npos);
+}
+
+TEST(Report, EmptySessionRendersHeaderOnly) {
+  TraceSession session;
+  const std::string report = summary_report(session);
+  EXPECT_NE(report.find("=== trace summary: 0 events ==="), std::string::npos);
+  EXPECT_EQ(report.find("markers:"), std::string::npos);
+  EXPECT_EQ(report.find("time by op"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdc::trace

@@ -1,0 +1,181 @@
+// Core mechanics of the tracing subsystem: session lifecycle, the
+// pid/tid thread context, spans, counters, and the disabled fast path.
+
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace pdc::trace {
+namespace {
+
+TEST(Trace, DisabledByDefault) {
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(TraceSession::active(), nullptr);
+  // Every emitter must be a safe no-op without a session.
+  {
+    Span span("noop", "test");
+    span.set_bytes(12);
+  }
+  Counter("noop.counter").add(3.0);
+  instant("noop.marker", "test");
+}
+
+TEST(Trace, RecordsSpanWithDurationAndThreadContext) {
+  TraceSession session;
+  session.start();
+  EXPECT_TRUE(enabled());
+  EXPECT_TRUE(session.running());
+  EXPECT_EQ(TraceSession::active(), &session);
+  {
+    Span span("work", "test");
+    span.set_bytes(64);
+  }
+  session.stop();
+  EXPECT_FALSE(enabled());
+
+  const auto events = session.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "work");
+  EXPECT_EQ(events[0].category, "test");
+  EXPECT_EQ(events[0].type, EventType::Complete);
+  EXPECT_GE(events[0].start_us, 0);
+  EXPECT_GE(events[0].duration_us, 0);
+  EXPECT_EQ(events[0].pid, 0);      // host thread, no PidScope
+  EXPECT_GT(events[0].tid, 0);      // tids start at 1
+  EXPECT_EQ(events[0].bytes, 64);
+}
+
+TEST(Trace, SecondConcurrentSessionIsRejected) {
+  TraceSession first;
+  first.start();
+  TraceSession second;
+  EXPECT_THROW(second.start(), InvalidArgument);
+  first.stop();
+  // After the first stops, a new session may start.
+  second.start();
+  EXPECT_EQ(TraceSession::active(), &second);
+  second.stop();
+}
+
+TEST(Trace, EventsAfterStopAreDropped) {
+  TraceSession session;
+  session.start();
+  instant("before", "test");
+  session.stop();
+  instant("after", "test");
+  TraceEvent direct;
+  direct.name = "direct";
+  session.record(std::move(direct));
+  ASSERT_EQ(session.event_count(), 1u);
+  EXPECT_EQ(session.events()[0].name, "before");
+}
+
+TEST(Trace, SpanOutlivingItsSessionIsDropped) {
+  TraceSession session;
+  session.start();
+  auto span = std::make_unique<Span>("late", "test");
+  session.stop();
+  span.reset();  // closes after stop: must not record (and must not crash)
+  EXPECT_EQ(session.event_count(), 0u);
+}
+
+TEST(Trace, CountersAccumulatePerPidLane) {
+  TraceSession session;
+  session.start();
+  {
+    PidScope rank0(0, "rank 0");
+    Counter("bytes").add(10.0);
+    Counter("bytes").add(5.0);
+  }
+  {
+    PidScope rank1(1, "rank 1");
+    Counter("bytes").add(7.0);
+  }
+  session.stop();
+
+  EXPECT_DOUBLE_EQ(session.counter_total("bytes"), 22.0);
+  EXPECT_DOUBLE_EQ(session.counter_total("bytes", 0), 15.0);
+  EXPECT_DOUBLE_EQ(session.counter_total("bytes", 1), 7.0);
+  EXPECT_DOUBLE_EQ(session.counter_total("missing"), 0.0);
+  const auto by_pid = session.counter_by_pid("bytes");
+  ASSERT_EQ(by_pid.size(), 2u);
+  EXPECT_DOUBLE_EQ(by_pid.at(0), 15.0);
+  EXPECT_DOUBLE_EQ(by_pid.at(1), 7.0);
+
+  // Each add() also records one cumulative Counter event.
+  std::size_t counter_events = 0;
+  for (const auto& e : session.events()) {
+    if (e.type == EventType::Counter) ++counter_events;
+  }
+  EXPECT_EQ(counter_events, 3u);
+}
+
+TEST(Trace, PidScopeNestsAndRestores) {
+  const int before = current_pid();
+  {
+    PidScope outer(3, "rank 3");
+    EXPECT_EQ(current_pid(), 3);
+    {
+      PidScope inner(5);
+      EXPECT_EQ(current_pid(), 5);
+    }
+    EXPECT_EQ(current_pid(), 3);
+  }
+  EXPECT_EQ(current_pid(), before);
+}
+
+TEST(Trace, PidNamesAreRegisteredWhileActive) {
+  TraceSession session;
+  session.start();
+  {
+    PidScope lane(2, "rank 2");
+    instant("tick", "test");
+  }
+  session.stop();
+  const auto names = session.pid_names();
+  ASSERT_EQ(names.count(2), 1u);
+  EXPECT_EQ(names.at(2), "rank 2");
+  EXPECT_EQ(session.events()[0].pid, 2);
+}
+
+TEST(Trace, DistinctThreadsGetDistinctTids) {
+  TraceSession session;
+  session.start();
+  std::thread other([] { instant("from-other", "test"); });
+  other.join();
+  instant("from-main", "test");
+  session.stop();
+
+  const auto events = session.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(Trace, SinceStartClampsPreSessionStamps) {
+  TraceSession session;
+  session.start();
+  EXPECT_EQ(session.since_start_us(Clock::time_point{}), 0);
+  EXPECT_GE(session.now_us(), 0);
+  session.stop();
+}
+
+TEST(Trace, StopIsIdempotentAndRestartable) {
+  TraceSession session;
+  session.start();
+  session.stop();
+  session.stop();
+  EXPECT_FALSE(session.running());
+  // The same object may record a fresh run.
+  session.start();
+  instant("again", "test");
+  session.stop();
+  EXPECT_GE(session.event_count(), 1u);
+}
+
+}  // namespace
+}  // namespace pdc::trace

@@ -1,0 +1,127 @@
+// Tracing under failure: when a rank throws mid-run the job aborts, and
+// the trace must still be well formed — every rank's lifetime span closes,
+// the abort is marked, and the Chrome JSON round-trips through the linter.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "mp/runtime.hpp"
+#include "support/error.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/json_lint.hpp"
+#include "trace/report.hpp"
+#include "trace/trace.hpp"
+
+namespace pdc::trace {
+namespace {
+
+TEST(TraceFailure, RankThrowingMidCollectiveYieldsWellFormedTrace) {
+  // Rank 2 is the broadcast root and dies before sending: every other rank
+  // is blocked receiving from it until the abort wakes them with
+  // mp::Aborted.
+  constexpr int kProcs = 4;
+  TraceSession session;
+  session.start();
+  bool threw = false;
+  try {
+    mp::run(kProcs, [](mp::Communicator& comm) {
+      if (comm.rank() == 2) {
+        throw InvalidArgument("rank 2 dies mid-collective");
+      }
+      int value = 0;
+      comm.bcast(value, /*root=*/2);
+    });
+  } catch (const std::exception&) {
+    threw = true;
+  }
+  session.stop();
+  ASSERT_TRUE(threw);
+
+  // Every rank's lifetime span closed despite the abort, on its own lane.
+  std::set<int> rank_span_pids;
+  std::size_t aborts = 0;
+  for (const auto& e : session.events()) {
+    if (e.name == "mp.rank" && e.type == EventType::Complete) {
+      rank_span_pids.insert(e.pid);
+    }
+    if (e.name == "mp.abort" && e.type == EventType::Instant) ++aborts;
+  }
+  EXPECT_EQ(rank_span_pids.size(), static_cast<std::size_t>(kProcs));
+  EXPECT_GE(aborts, 1u);  // at least the throwing rank marks the abort
+
+  // The sink still emits parseable Chrome JSON...
+  std::string error;
+  EXPECT_TRUE(is_valid_json(to_chrome_json(session), &error)) << error;
+  // ...and the report surfaces the abort marker.
+  EXPECT_NE(summary_report(session).find("mp.abort"), std::string::npos);
+}
+
+TEST(TraceFailure, RankThrowingMidPointToPointYieldsWellFormedTrace) {
+  // A ring where rank 3 dies before forwarding: its neighbor blocks in
+  // recv until aborted.
+  constexpr int kProcs = 4;
+  TraceSession session;
+  session.start();
+  bool threw = false;
+  try {
+    mp::run(kProcs, [](mp::Communicator& comm) {
+      const int right = (comm.rank() + 1) % comm.size();
+      const int left = (comm.rank() - 1 + comm.size()) % comm.size();
+      if (comm.rank() == 3) throw InvalidArgument("rank 3 dies mid-ring");
+      comm.send(comm.rank(), right, /*tag=*/7);
+      const int got = comm.recv<int>(left, /*tag=*/7);
+      (void)got;
+    });
+  } catch (const std::exception&) {
+    threw = true;
+  }
+  session.stop();
+  ASSERT_TRUE(threw);
+
+  std::size_t aborts = 0;
+  std::size_t rank_spans = 0;
+  for (const auto& e : session.events()) {
+    if (e.name == "mp.abort") ++aborts;
+    if (e.name == "mp.rank") ++rank_spans;
+  }
+  EXPECT_GE(aborts, 1u);
+  EXPECT_EQ(rank_spans, static_cast<std::size_t>(kProcs));
+
+  std::string error;
+  EXPECT_TRUE(is_valid_json(to_chrome_json(session), &error)) << error;
+}
+
+TEST(TraceFailure, AbortedJobLeavesTracingReusable) {
+  // After a traced aborted job, tracing must be fully functional for the
+  // next (healthy) session — no leaked active-session state.
+  {
+    TraceSession session;
+    session.start();
+    try {
+      mp::run(2, [](mp::Communicator& comm) {
+        if (comm.rank() == 1) throw InvalidArgument("die");
+        comm.barrier();
+      });
+    } catch (const std::exception&) {
+    }
+    session.stop();
+  }
+  EXPECT_FALSE(enabled());
+
+  TraceSession healthy;
+  healthy.start();
+  mp::run(2, [](mp::Communicator& comm) { comm.barrier(); });
+  healthy.stop();
+  std::size_t rank_spans = 0;
+  for (const auto& e : healthy.events()) {
+    if (e.name == "mp.rank") ++rank_spans;
+  }
+  EXPECT_EQ(rank_spans, 2u);
+  std::string error;
+  EXPECT_TRUE(is_valid_json(to_chrome_json(healthy), &error)) << error;
+}
+
+}  // namespace
+}  // namespace pdc::trace
