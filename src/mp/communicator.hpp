@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "mp/codec.hpp"
 #include "mp/message.hpp"
 #include "mp/universe.hpp"
@@ -469,6 +470,11 @@ class Communicator {
   }
 
   void check_recv_args(int source, int tag) const {
+    // Every user-facing receive/probe passes through here, which makes it
+    // the one chaos checkpoint needed on the receive side (collective legs
+    // use recv_internal, which has its own). May throw chaos::InjectedAbort
+    // under an active hostile plan.
+    chaos::on_op("mp.recv");
     if (source != kAnySource) check_peer(source, "recv");
     if (tag != kAnyTag) {
       if (tag < 0) throw InvalidArgument("recv: negative tag (use kAnyTag)");
@@ -479,6 +485,7 @@ class Communicator {
   /// exceed kMaxUserTag by design).
   template <typename T>
   void post(const T& value, int dest, int tag) {
+    chaos::on_op("mp.post");  // may throw chaos::InjectedAbort
     universe_->record_send();
     Envelope e;
     e.comm_id = comm_id_;
@@ -497,6 +504,7 @@ class Communicator {
 
   template <typename T>
   T recv_internal(int source, int tag) {
+    chaos::on_op("mp.recv");  // may throw chaos::InjectedAbort
     Envelope e = my_mailbox().receive(comm_id_, source, tag);
     return unpack<T>(std::move(e), nullptr);
   }

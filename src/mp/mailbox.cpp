@@ -1,16 +1,38 @@
 #include "mp/mailbox.hpp"
 
+#include "chaos/chaos.hpp"
 #include "trace/trace.hpp"
 
 namespace pdc::mp {
 
 void Mailbox::deliver(Envelope envelope) {
+  // An active chaos plan may hold the delivery back (delays, drop-retries)
+  // on the sender's thread, and may ask for the envelope to jump the queue.
+  const bool reorder = chaos::on_deliver("mp.deliver");
   if (trace::enabled()) {
     envelope.delivered_at = std::chrono::steady_clock::now();
   }
   {
     std::lock_guard lock(mutex_);
-    buckets_[envelope.comm_id].push_back(std::move(envelope));
+    Bucket& bucket = buckets_[envelope.comm_id];
+    if (reorder && !bucket.empty()) {
+      // Overtake other senders' queued traffic but never a message from the
+      // same source: MPI's non-overtaking guarantee orders successive sends
+      // of one sender (wildcard-tag receives can observe cross-tag order, so
+      // the whole per-source stream must stay FIFO), while messages from
+      // different senders carry no relative-order promise at all.
+      std::size_t insert_at = 0;
+      for (std::size_t i = bucket.size(); i > 0; --i) {
+        if (bucket[i - 1].source == envelope.source) {
+          insert_at = i;
+          break;
+        }
+      }
+      bucket.insert(bucket.begin() + static_cast<std::ptrdiff_t>(insert_at),
+                    std::move(envelope));
+    } else {
+      bucket.push_back(std::move(envelope));
+    }
     ++queued_;
   }
   arrived_.notify_all();

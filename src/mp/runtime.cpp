@@ -4,6 +4,7 @@
 #include <mutex>
 #include <thread>
 
+#include "chaos/chaos.hpp"
 #include "support/error.hpp"
 #include "trace/trace.hpp"
 
@@ -31,8 +32,10 @@ RunResult run(const RunConfig& cfg,
   const auto run_rank = [&](int rank) {
     // Route this rank's trace events to its own pid lane, and record its
     // whole lifetime as one span so chrome://tracing shows when each rank
-    // started and finished.
+    // started and finished. The chaos lane makes an active fault plan's
+    // decisions for this rank deterministic (keyed by rank, not thread).
     trace::PidScope lane(rank, "rank " + std::to_string(rank));
+    chaos::ActorScope chaos_lane(rank);
     trace::Span lifetime("mp.rank", "mp.runtime");
     Communicator comm = Communicator::world(universe, rank);
     try {

@@ -1,5 +1,6 @@
 #include "smp/barrier.hpp"
 
+#include "chaos/chaos.hpp"
 #include "support/error.hpp"
 #include "trace/trace.hpp"
 
@@ -14,6 +15,9 @@ CyclicBarrier::CyclicBarrier(std::size_t parties) : parties_(parties) {
 std::size_t CyclicBarrier::arrive_and_wait() {
   // Covers explicit `barrier` patternlets and the implicit barriers at the
   // end of worksharing constructs alike: the span is this thread's wait.
+  // The chaos point (before taking the lock) shuffles arrival order, which
+  // is the schedule dimension barrier-dependent code is sensitive to.
+  chaos::on_schedule_point("smp.barrier");
   trace::Span span("smp.barrier", "smp.sync");
   std::unique_lock lock(mutex_);
   const std::size_t my_index = arrived_++;

@@ -1,5 +1,6 @@
 #include "smp/task_group.hpp"
 
+#include "chaos/chaos.hpp"
 #include "support/error.hpp"
 #include "trace/trace.hpp"
 
@@ -19,6 +20,9 @@ TaskGroup::~TaskGroup() {
 
 void TaskGroup::run(std::function<void()> task) {
   if (!task) throw InvalidArgument("TaskGroup::run: task required");
+  // Spawn-side chaos point: delaying the spawner reorders how task trees
+  // unfold relative to the workers draining them.
+  chaos::on_schedule_point("smp.task_spawn");
   outstanding_.fetch_add(1, std::memory_order_relaxed);
   spawned_.fetch_add(1, std::memory_order_relaxed);
   {
@@ -33,11 +37,12 @@ void TaskGroup::run(std::function<void()> task) {
       std::lock_guard lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
+    // The decrement must happen under the mutex: wait()'s predicate runs
+    // with the mutex held, so a waiter cannot observe "drained" (and let the
+    // group be destroyed) until this worker has released the lock — after
+    // which it never touches the group again.
+    std::lock_guard lock(mutex_);
     if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Possibly the last task; wake the waiter to re-check.
-      std::lock_guard lock(mutex_);
-      drained_.notify_all();
-    } else {
       drained_.notify_all();
     }
   });

@@ -4,6 +4,7 @@
 #include <exception>
 #include <thread>
 
+#include "chaos/chaos.hpp"
 #include "smp/config.hpp"
 
 namespace pdc::smp {
@@ -86,6 +87,11 @@ void TeamContext::for_ranges(
       const std::uint64_t id = next_construct_id();
       auto& slot = team_->acquire_slot(id);
       for (;;) {
+        // Chaos schedule-exploration point: perturbing threads *between*
+        // chunk claims shifts which thread wins each chunk of a dynamic
+        // schedule, the nondeterminism dynamic-schedule programs must be
+        // robust to.
+        chaos::on_schedule_point("smp.dispatch");
         const std::int64_t start =
             slot.next.fetch_add(chunk, std::memory_order_relaxed);
         if (start >= n) break;
@@ -175,6 +181,10 @@ void parallel(std::size_t num_threads,
 
   const auto run_member = [&](std::size_t thread_num) {
     TeamContext ctx(team, thread_num);
+    // Chaos decisions for a team member are keyed by its stable thread_num,
+    // not the host thread, so seeded perturbations replay per member.
+    chaos::ActorScope chaos_lane(chaos::kTeamActorBase +
+                                 static_cast<int>(thread_num));
     trace::Span member("smp.member", "smp.runtime");
     try {
       body(ctx);

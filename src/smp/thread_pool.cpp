@@ -1,5 +1,6 @@
 #include "smp/thread_pool.hpp"
 
+#include "chaos/chaos.hpp"
 #include "smp/config.hpp"
 
 namespace pdc::smp {
@@ -8,7 +9,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t n = num_threads == 0 ? default_num_threads() : num_threads;
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -22,7 +23,11 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  // Stable chaos lane per worker; which tasks a worker drains is inherently
+  // scheduler-dependent, but its perturbation stream is seeded by index.
+  chaos::ActorScope chaos_lane(chaos::kPoolActorBase +
+                               static_cast<int>(worker_index));
   for (;;) {
     Pending task;
     {
@@ -33,6 +38,9 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
+    // Chaos point between claiming a task and running it: shifts which
+    // worker ends up with the next queued task.
+    chaos::on_schedule_point("pool.dispatch");
     // Queue-wait time (submit to dequeue) as its own span, so a traced
     // timeline separates "sat in the queue" from "actually ran".
     if (trace::TraceSession* session = trace::TraceSession::active();

@@ -73,7 +73,7 @@ class ThreadPool {
     std::chrono::steady_clock::time_point enqueued{};
   };
 
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   mutable std::mutex mutex_;
   std::condition_variable work_available_;

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <future>
+#include <thread>
+
+namespace pdc::chaos_test {
+
+/// Number of seeds a sweep test explores. Tier-1 runs use the (small)
+/// default so `ctest` stays fast; the stress runs scale up by exporting
+/// PDCLAB_CHAOS_SEEDS (scripts/verify.sh sets 80, which makes the three
+/// scenario sweeps cover 240 seeds total).
+inline int sweep_seeds(int tier1_default) {
+  if (const char* env = std::getenv("PDCLAB_CHAOS_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return tier1_default;
+}
+
+/// Watchdog: run `fn` on its own thread and wait up to `budget` for it to
+/// finish. Returns true when it completed (rethrowing fn's exception, if
+/// any). On timeout — a hang, the failure mode chaos sweeps exist to catch —
+/// the stuck job's threads are abandoned (detached) and false is returned,
+/// so the test reports the offending seed instead of wedging the binary.
+inline bool run_with_watchdog(std::chrono::milliseconds budget,
+                              const std::function<void()>& fn) {
+  std::packaged_task<void()> task(fn);
+  std::future<void> done = task.get_future();
+  std::thread runner(std::move(task));
+  if (done.wait_for(budget) == std::future_status::ready) {
+    runner.join();
+    done.get();
+    return true;
+  }
+  runner.detach();
+  return false;
+}
+
+/// The budget used by the sweeps: generous against CI noise (a healthy
+/// scenario finishes in milliseconds) but finite, so a deadlock is a test
+/// failure, not a hung job.
+inline constexpr std::chrono::milliseconds kWatchdogBudget{30000};
+
+}  // namespace pdc::chaos_test

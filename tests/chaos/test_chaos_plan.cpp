@@ -1,0 +1,230 @@
+// Unit tests of the chaos plan itself: activation protocol, actor lanes,
+// decision determinism, targeted aborts, and trace-marker emission.
+
+#include <gtest/gtest.h>
+
+#include "chaos/chaos.hpp"
+#include "support/error.hpp"
+#include "trace/trace.hpp"
+
+namespace pdc::chaos {
+namespace {
+
+TEST(ChaosPlan, InactiveByDefault) {
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(Plan::active(), nullptr);
+  // Hooks are no-ops without a plan.
+  EXPECT_FALSE(on_deliver("mp.deliver"));
+  on_op("mp.post");
+  on_schedule_point("smp.barrier");
+}
+
+TEST(ChaosPlan, ScopeActivatesAndDeactivates) {
+  {
+    Scope scope(Config::noise(7));
+    EXPECT_TRUE(enabled());
+    EXPECT_EQ(Plan::active(), &scope.plan());
+  }
+  EXPECT_FALSE(enabled());
+}
+
+TEST(ChaosPlan, SecondPlanCannotActivateConcurrently) {
+  Scope scope(Config::noise(1));
+  Plan other(Config::noise(2));
+  EXPECT_THROW(other.activate(), InvalidArgument);
+  // The original plan is still the active one.
+  EXPECT_EQ(Plan::active(), &scope.plan());
+}
+
+TEST(ChaosPlan, ActivateIsIdempotentOnTheActivePlan) {
+  Scope scope(Config::noise(1));
+  scope.plan().activate();  // no-op, not an error
+  EXPECT_EQ(Plan::active(), &scope.plan());
+}
+
+TEST(ChaosPlan, ActorScopeNestsAndRestores) {
+  EXPECT_EQ(current_actor(), 0);
+  {
+    ActorScope outer(3);
+    EXPECT_EQ(current_actor(), 3);
+    {
+      ActorScope inner(kTeamActorBase + 1);
+      EXPECT_EQ(current_actor(), kTeamActorBase + 1);
+    }
+    EXPECT_EQ(current_actor(), 3);
+  }
+  EXPECT_EQ(current_actor(), 0);
+}
+
+TEST(ChaosPlan, FaultKindNames) {
+  EXPECT_STREQ(fault_kind_name(FaultKind::Delay), "delay");
+  EXPECT_STREQ(fault_kind_name(FaultKind::Reorder), "reorder");
+  EXPECT_STREQ(fault_kind_name(FaultKind::Drop), "drop");
+  EXPECT_STREQ(fault_kind_name(FaultKind::Abort), "abort");
+  EXPECT_STREQ(fault_kind_name(FaultKind::Yield), "yield");
+}
+
+/// Drives `decisions` delivery decisions on a fixed actor lane under a
+/// fresh plan and returns the injected faults.
+std::vector<InjectedFault> drive_deliveries(const Config& config, int actor,
+                                            int decisions) {
+  Scope scope(config);
+  ActorScope lane(actor);
+  for (int i = 0; i < decisions; ++i) {
+    (void)scope.plan().perturb_delivery("mp.deliver");
+  }
+  return scope.plan().faults();
+}
+
+TEST(ChaosPlan, SameSeedSameActorReplaysIdenticalDecisions) {
+  Config config = Config::lossy(1234);
+  config.max_delay_us = 4;  // keep the replay cheap
+  const auto first = drive_deliveries(config, 2, 200);
+  const auto second = drive_deliveries(config, 2, 200);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(ChaosPlan, DifferentSeedsDiverge) {
+  Config a = Config::lossy(1);
+  Config b = Config::lossy(2);
+  a.max_delay_us = b.max_delay_us = 4;
+  EXPECT_NE(drive_deliveries(a, 2, 200), drive_deliveries(b, 2, 200));
+}
+
+TEST(ChaosPlan, DifferentActorsDrawIndependentStreams) {
+  Config config = Config::lossy(99);
+  config.max_delay_us = 4;
+  const auto lane2 = drive_deliveries(config, 2, 200);
+  const auto lane3 = drive_deliveries(config, 3, 200);
+  // Same plan, different lane: the decision sequences must differ (with
+  // overwhelming probability over 200 draws) and carry their own actor id.
+  std::vector<InjectedFault> relabeled = lane3;
+  for (auto& f : relabeled) f.actor = 2;
+  EXPECT_NE(lane2, relabeled);
+  for (const auto& f : lane3) EXPECT_EQ(f.actor, 3);
+}
+
+TEST(ChaosPlan, SeqIsTheActorLocalDecisionIndex) {
+  Config config;
+  config.seed = 5;
+  config.delay_probability = 1.0;  // every decision injects
+  config.max_delay_us = 1;
+  const auto faults = drive_deliveries(config, 7, 5);
+  ASSERT_EQ(faults.size(), 5u);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(faults[i].seq, i);
+    EXPECT_EQ(faults[i].kind, FaultKind::Delay);
+    EXPECT_GE(faults[i].magnitude, 1);
+    EXPECT_LE(faults[i].magnitude, 1 + config.max_delay_us);
+  }
+}
+
+TEST(ChaosPlan, TargetedAbortFiresAtExactlyTheChosenOp) {
+  Config config;
+  config.seed = 11;
+  config.abort_actor = 4;
+  config.abort_at_op = 3;
+
+  Scope scope(config);
+  {
+    ActorScope lane(2);  // not the target: never aborts
+    for (int i = 0; i < 10; ++i) scope.plan().checkpoint("mp.post");
+  }
+  ActorScope lane(4);
+  scope.plan().checkpoint("mp.post");  // ops 0..2 pass
+  scope.plan().checkpoint("mp.post");
+  scope.plan().checkpoint("mp.post");
+  try {
+    scope.plan().checkpoint("mp.post");
+    FAIL() << "expected InjectedAbort at op 3";
+  } catch (const InjectedAbort& abort) {
+    EXPECT_EQ(abort.actor(), 4);
+    EXPECT_EQ(abort.seq(), 3u);
+  }
+  ASSERT_EQ(scope.plan().fault_count(FaultKind::Abort), 1u);
+}
+
+TEST(ChaosPlan, NormalizedFaultsSortByActorThenSeq) {
+  Config config;
+  config.seed = 3;
+  config.delay_probability = 1.0;
+  config.max_delay_us = 1;
+  Scope scope(config);
+  {
+    ActorScope lane(5);
+    (void)scope.plan().perturb_delivery("mp.deliver");
+  }
+  {
+    ActorScope lane(1);
+    (void)scope.plan().perturb_delivery("mp.deliver");
+    (void)scope.plan().perturb_delivery("mp.deliver");
+  }
+  const auto normalized = scope.plan().normalized_faults();
+  ASSERT_EQ(normalized.size(), 3u);
+  EXPECT_EQ(normalized[0].actor, 1);
+  EXPECT_EQ(normalized[0].seq, 0u);
+  EXPECT_EQ(normalized[1].actor, 1);
+  EXPECT_EQ(normalized[1].seq, 1u);
+  EXPECT_EQ(normalized[2].actor, 5);
+}
+
+TEST(ChaosPlan, EveryInjectionEmitsATraceMarker) {
+  trace::TraceSession session;
+  session.start();
+  std::size_t injected = 0;
+  {
+    Config config;
+    config.seed = 21;
+    config.delay_probability = 0.5;
+    config.reorder_probability = 0.5;
+    config.max_delay_us = 1;
+    Scope scope(config);
+    ActorScope lane(1);
+    for (int i = 0; i < 50; ++i) {
+      (void)scope.plan().perturb_delivery("mp.deliver");
+    }
+    injected = scope.plan().fault_count();
+  }
+  session.stop();
+
+  std::size_t markers = 0;
+  for (const auto& event : session.events()) {
+    if (event.category == "chaos") ++markers;
+  }
+  EXPECT_GT(injected, 0u);
+  EXPECT_EQ(markers, injected);
+}
+
+TEST(ChaosPlan, PresetsAreProgressivelyHostile) {
+  const Config noise = Config::noise(1);
+  EXPECT_GT(noise.delay_probability, 0.0);
+  EXPECT_GT(noise.reorder_probability, 0.0);
+  EXPECT_EQ(noise.drop_probability, 0.0);
+  EXPECT_EQ(noise.abort_probability, 0.0);
+
+  const Config lossy = Config::lossy(1);
+  EXPECT_GT(lossy.drop_probability, 0.0);
+  EXPECT_EQ(lossy.abort_probability, 0.0);
+
+  const Config hostile = Config::hostile(1);
+  EXPECT_GT(hostile.abort_probability, 0.0);
+}
+
+TEST(ChaosPlan, DropDecisionsAreBoundedAndDeliveryPreserving) {
+  Config config;
+  config.seed = 17;
+  config.drop_probability = 1.0;
+  config.max_redeliveries = 3;
+  config.max_delay_us = 1;
+  const auto faults = drive_deliveries(config, 1, 40);
+  ASSERT_EQ(faults.size(), 40u);  // every decision dropped exactly once
+  for (const auto& f : faults) {
+    EXPECT_EQ(f.kind, FaultKind::Drop);
+    EXPECT_GE(f.magnitude, 1);
+    EXPECT_LE(f.magnitude, config.max_redeliveries + 1);
+  }
+}
+
+}  // namespace
+}  // namespace pdc::chaos

@@ -1,0 +1,129 @@
+// Chaos plans driving the smp runtime: scheduling perturbations (yields /
+// micro-sleeps at barriers, dynamic-loop claims, pool dispatch and task
+// spawns) must never change the results of correct shared-memory programs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "chaos/chaos.hpp"
+#include "smp/parallel.hpp"
+#include "smp/task_group.hpp"
+#include "smp/thread_pool.hpp"
+
+namespace pdc::chaos {
+namespace {
+
+Config aggressive_yields(std::uint64_t seed) {
+  Config config;
+  config.seed = seed;
+  config.yield_probability = 0.6;
+  config.max_delay_us = 20;
+  return config;
+}
+
+TEST(ChaosSmp, TeamMembersGetOffsetActorLanes) {
+  Scope scope(aggressive_yields(1));
+  std::atomic<int> correct{0};
+  smp::parallel(4, [&](smp::TeamContext& ctx) {
+    if (current_actor() ==
+        kTeamActorBase + static_cast<int>(ctx.thread_num())) {
+      correct.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(correct.load(), 4);
+}
+
+TEST(ChaosSmp, ReductionSurvivesBarrierAndScheduleChaos) {
+  Scope scope(aggressive_yields(2));
+  std::int64_t total = 0;
+  smp::parallel(4, [&](smp::TeamContext& ctx) {
+    std::int64_t local = 0;
+    ctx.for_each(0, 1000, smp::Schedule::static_blocks(),
+                 [&](std::int64_t i) { local += i; });
+    const std::int64_t sum = ctx.reduce_sum(local);
+    ctx.master([&] { total = sum; });
+  });
+  EXPECT_EQ(total, 999 * 1000 / 2);
+  EXPECT_GT(scope.plan().fault_count(FaultKind::Yield), 0u);
+}
+
+TEST(ChaosSmp, DynamicScheduleCoversEveryIterationExactlyOnce) {
+  Scope scope(aggressive_yields(3));
+  std::vector<std::atomic<int>> hits(200);
+  smp::parallel(4, [&](smp::TeamContext& ctx) {
+    ctx.for_each(0, 200, smp::Schedule::dynamic(3), [&](std::int64_t i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ChaosSmp, ThreadPoolDrainsEveryTaskUnderChaos) {
+  Scope scope(aggressive_yields(4));
+  smp::ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::vector<std::future<int>> results;
+  results.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    results.push_back(pool.submit([i, &done] {
+      done.fetch_add(1);
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].get(), i * i);
+  }
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ChaosSmp, PoolWorkersGetOffsetActorLanes) {
+  Scope scope(aggressive_yields(5));
+  smp::ThreadPool pool(2);
+  auto lane = pool.submit([] { return current_actor(); }).get();
+  EXPECT_GE(lane, kPoolActorBase);
+  EXPECT_LT(lane, kPoolActorBase + 2);
+}
+
+TEST(ChaosSmp, TaskGroupWaitSeesEveryTaskUnderChaos) {
+  Scope scope(aggressive_yields(6));
+  smp::ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  {
+    smp::TaskGroup group(pool);
+    for (int i = 0; i < 40; ++i) {
+      group.run([&completed] { completed.fetch_add(1); });
+    }
+    group.wait();
+    EXPECT_EQ(completed.load(), 40);
+  }
+}
+
+TEST(ChaosSmp, SameSeedInjectsTheSameScheduleFaultsPerLane) {
+  // Dynamic-claim order is scheduler-dependent, so global fault logs may
+  // differ between runs — but each lane's (actor, seq, kind) stream is a
+  // pure function of the seed and how many decisions the lane made. Use a
+  // per-lane deterministic workload (static schedule + barrier) and check
+  // the normalized logs match across two runs.
+  auto run_once = [](std::uint64_t seed) {
+    Scope scope(aggressive_yields(seed));
+    smp::parallel(4, [&](smp::TeamContext& ctx) {
+      std::int64_t local = 0;
+      ctx.for_each(0, 400, smp::Schedule::static_blocks(),
+                   [&](std::int64_t i) { local += i; });
+      ctx.barrier();
+      (void)ctx.reduce_sum(local);
+    });
+    return scope.plan().normalized_faults();
+  };
+  const auto first = run_once(99);
+  const auto second = run_once(99);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace pdc::chaos

@@ -1,0 +1,185 @@
+// Seed sweeps (ctest label: stress). Each scenario explores N seeds —
+// sweep_seeds() reads PDCLAB_CHAOS_SEEDS so scripts/verify.sh can scale the
+// same binaries from a quick tier-1 smoke (default seeds) to the full
+// 200+-seed acceptance sweep — asserting three properties per seed:
+//   1. no hangs (every run finishes inside the watchdog budget),
+//   2. result invariance under result-preserving chaos (noise/lossy),
+//   3. clean failure under hostile chaos (InjectedAbort, never a wedge).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.hpp"
+#include "chaos_test_util.hpp"
+#include "exemplars/drugdesign.hpp"
+#include "exemplars/forestfire.hpp"
+#include "mp/ops.hpp"
+#include "mp/runtime.hpp"
+#include "patternlets/patternlets.hpp"
+#include "patterns/patternlet.hpp"
+#include "patterns/registry.hpp"
+
+namespace pdc::chaos {
+namespace {
+
+using chaos_test::kWatchdogBudget;
+using chaos_test::run_with_watchdog;
+using chaos_test::sweep_seeds;
+
+TEST(ChaosSweep, CollectivesSurviveLossyChaos) {
+  const int seeds = sweep_seeds(8);
+  for (int s = 0; s < seeds; ++s) {
+    const auto seed = static_cast<std::uint64_t>(1000 + s);
+    Config config = Config::lossy(seed);
+    config.max_delay_us = 25;  // keep per-seed latency small
+
+    Scope scope(config);
+    std::atomic<int> correct{0};
+    const bool finished = run_with_watchdog(kWatchdogBudget, [&] {
+      mp::run(4, [&](mp::Communicator& comm) {
+        const int rank = comm.rank();
+        const int size = comm.size();
+
+        std::vector<int> data;
+        if (rank == 0) data = {9, 8, 7};
+        comm.bcast(data, 0);
+        bool ok = data == std::vector<int>{9, 8, 7};
+
+        ok = ok && comm.allreduce(rank, mp::ops::Sum{}) ==
+                       size * (size - 1) / 2;
+        ok = ok && comm.scan(1, mp::ops::Sum{}) == rank + 1;
+
+        const auto all = comm.gather(rank * rank, 0);
+        if (rank == 0) {
+          ok = ok && all.size() == static_cast<std::size_t>(size);
+          for (int r = 0; ok && r < size; ++r) {
+            ok = all[static_cast<std::size_t>(r)] == r * r;
+          }
+        }
+        if (ok) correct.fetch_add(1);
+      });
+    });
+    ASSERT_TRUE(finished) << "hang under chaos seed " << seed;
+    EXPECT_EQ(correct.load(), 4) << "wrong collective result, seed " << seed;
+  }
+}
+
+TEST(ChaosSweep, HostileChaosFailsCleanlyOrSucceeds) {
+  const int seeds = sweep_seeds(8);
+  int aborted = 0;
+  for (int s = 0; s < seeds; ++s) {
+    const auto seed = static_cast<std::uint64_t>(2000 + s);
+    Config config = Config::hostile(seed);
+    config.abort_probability = 0.01;  // make rank deaths common in the sweep
+    config.max_delay_us = 25;
+
+    Scope scope(config);
+    const bool finished = run_with_watchdog(kWatchdogBudget, [&] {
+      try {
+        mp::run(4, [](mp::Communicator& comm) {
+          for (int round = 0; round < 4; ++round) {
+            (void)comm.allreduce(comm.rank() + round, mp::ops::Sum{});
+            std::vector<int> data;
+            if (comm.rank() == 0) data = {round};
+            comm.bcast(data, 0);
+          }
+        });
+      } catch (const InjectedAbort&) {
+        // The only acceptable failure: the fault we injected, propagated
+        // cleanly to the caller. Anything else escapes and fails the test.
+      }
+    });
+    ASSERT_TRUE(finished) << "hang under hostile chaos seed " << seed;
+    if (scope.plan().fault_count(FaultKind::Abort) > 0) ++aborted;
+  }
+  // With p=0.01 per op and dozens of ops per run the sweep must actually
+  // exercise the abort path (a sweep that never aborts tests nothing).
+  if (seeds >= 20) EXPECT_GT(aborted, 0);
+}
+
+TEST(ChaosSweep, DrugDesignScreenMatchesSerialUnderChaos) {
+  exemplars::DrugDesignConfig small;
+  small.num_ligands = 18;
+  small.max_ligand_length = 5;
+
+  const int seeds = sweep_seeds(8);
+  for (int s = 0; s < seeds; ++s) {
+    const auto seed = static_cast<std::uint64_t>(3000 + s);
+    small.seed = seed;
+    const exemplars::DrugResult expected = exemplars::screen_serial(small);
+
+    Config config = Config::noise(seed);
+    config.max_delay_us = 25;
+    Scope scope(config);
+    exemplars::DrugResult chaotic;
+    const bool finished = run_with_watchdog(kWatchdogBudget, [&] {
+      chaotic = exemplars::screen_mp(small, 3);
+    });
+    ASSERT_TRUE(finished) << "drug-design hang under chaos seed " << seed;
+    EXPECT_EQ(chaotic, expected) << "divergent screen, seed " << seed;
+  }
+}
+
+TEST(ChaosSweep, ForestFireSweepMatchesSerialUnderChaos) {
+  const std::vector<double> probabilities = {0.3, 0.7};
+  const int seeds = sweep_seeds(8);
+  for (int s = 0; s < seeds; ++s) {
+    const auto seed = static_cast<std::uint64_t>(4000 + s);
+    const auto expected =
+        exemplars::sweep_serial(9, probabilities, 4, seed);
+
+    Config config = Config::noise(seed);
+    config.max_delay_us = 25;
+    Scope scope(config);
+    std::vector<exemplars::SweepPoint> chaotic;
+    const bool finished = run_with_watchdog(kWatchdogBudget, [&] {
+      chaotic = exemplars::sweep_mp(9, probabilities, 4, seed, 3);
+    });
+    ASSERT_TRUE(finished) << "forest-fire hang under chaos seed " << seed;
+    EXPECT_EQ(chaotic, expected) << "divergent sweep, seed " << seed;
+  }
+}
+
+TEST(ChaosSweep, MpiPatternletsKeepTheirOutputUnderChaos) {
+  // Every MPI patternlet's printed lines are content-deterministic up to
+  // interleaving at a fixed rank count, so sorted(chaos) must equal
+  // sorted(chaos-off). Runs at a quarter of the scenario seed budget: the
+  // sweep multiplies by 15 programs, and this suite rides on top of the
+  // three acceptance scenarios above rather than being one of them.
+  patterns::RunOptions options;
+  options.num_procs = 4;
+
+  const auto& registry = patternlets::global_registry();
+  const auto mpi = registry.by_paradigm(patterns::Paradigm::MessagePassing);
+  ASSERT_FALSE(mpi.empty());
+
+  const int seeds = std::max(1, sweep_seeds(8) / 4);
+  for (const patterns::Patternlet* patternlet : mpi) {
+    std::vector<std::string> baseline = patternlet->run(options);
+    std::sort(baseline.begin(), baseline.end());
+
+    for (int s = 0; s < seeds; ++s) {
+      const auto seed = static_cast<std::uint64_t>(5000 + s);
+      Config config = Config::noise(seed);
+      config.max_delay_us = 25;
+      Scope scope(config);
+      std::vector<std::string> lines;
+      const bool finished = run_with_watchdog(kWatchdogBudget, [&] {
+        lines = patternlet->run(options);
+      });
+      ASSERT_TRUE(finished) << patternlet->info().id
+                            << " hang under chaos seed " << seed;
+      std::sort(lines.begin(), lines.end());
+      EXPECT_EQ(lines, baseline)
+          << patternlet->info().id << " diverged under chaos seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdc::chaos

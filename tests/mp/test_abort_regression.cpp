@@ -1,0 +1,83 @@
+// Regression: when a rank throws, mp::run must (a) unblock every peer and
+// return within a finite budget — never hang the job — and (b) rethrow the
+// *original* error to the caller, never the secondary mp::Aborted the
+// unblocked peers observe. Guards the ordering in run_rank: first_error is
+// recorded under the mutex BEFORE universe.abort() wakes anyone, so an
+// Aborted can never win the first-error race.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "../chaos/chaos_test_util.hpp"
+#include "mp/mailbox.hpp"
+#include "mp/runtime.hpp"
+
+namespace pdc::mp {
+namespace {
+
+using chaos_test::kWatchdogBudget;
+using chaos_test::run_with_watchdog;
+
+TEST(AbortRegression, RethrowsTheFailingRanksErrorNotAborted) {
+  const bool finished = run_with_watchdog(kWatchdogBudget, [] {
+    try {
+      run(4, [](Communicator& comm) {
+        if (comm.rank() == 3) {
+          throw std::runtime_error("deliberate failure from rank 3");
+        }
+        // Everyone else blocks on a message nobody will ever send; only the
+        // abort can unblock them.
+        (void)comm.recv<int>(kAnySource, 12345);
+      });
+      FAIL() << "expected the rank error to propagate out of mp::run";
+    } catch (const Aborted&) {
+      FAIL() << "mp::run rethrew the secondary Aborted, not the first error";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "deliberate failure from rank 3");
+    }
+  });
+  EXPECT_TRUE(finished) << "abort did not finish within the watchdog budget";
+}
+
+TEST(AbortRegression, AbortUnblocksRanksStuckInACollective) {
+  const bool finished = run_with_watchdog(kWatchdogBudget, [] {
+    EXPECT_THROW(
+        run(4,
+            [](Communicator& comm) {
+              if (comm.rank() == 1) {
+                throw std::logic_error("rank 1 never reaches the barrier");
+              }
+              comm.barrier();
+            }),
+        std::logic_error);
+  });
+  EXPECT_TRUE(finished) << "barrier peers were not unblocked within budget";
+}
+
+TEST(AbortRegression, EveryRunAfterAnAbortedRunStartsClean) {
+  // An aborted job must not poison the next one (fresh Universe per run).
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(run(2,
+                     [](Communicator& comm) {
+                       if (comm.rank() == 0) {
+                         throw std::runtime_error("boom");
+                       }
+                       (void)comm.recv<int>(kAnySource, 7);
+                     }),
+                 std::runtime_error);
+    int ok = 0;
+    run(2, [&](Communicator& comm) {
+      if (comm.rank() == 0) {
+        comm.send(5, 1, 0);
+      } else if (comm.recv<int>(0, 0) == 5) {
+        ok = 1;
+      }
+    });
+    EXPECT_EQ(ok, 1) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace pdc::mp
