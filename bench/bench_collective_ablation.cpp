@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "cluster/specs.hpp"
 #include "mp/ops.hpp"
@@ -33,8 +34,16 @@ double time_bcast(int procs, Algo algo, int rounds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pdc;
+
+  // Optional round count (default 50); the bench-smoke ctest entry passes 2
+  // so the ablation doubles as a fast crash/hang canary for the collectives.
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 50;
+  if (rounds < 1) {
+    std::fprintf(stderr, "usage: %s [rounds>=1]\n", argv[0]);
+    return 2;
+  }
 
   std::puts("== Ablation: flat vs binomial-tree collectives ==\n");
 
@@ -47,8 +56,8 @@ int main() {
   for (std::size_t c = 1; c < 8; ++c) table.set_align(c, Align::Right);
 
   for (int procs : {2, 4, 8, 16, 32}) {
-    const double flat_s = time_bcast(procs, Algo::Flat, 50);
-    const double tree_s = time_bcast(procs, Algo::Binomial, 50);
+    const double flat_s = time_bcast(procs, Algo::Flat, rounds);
+    const double tree_s = time_bcast(procs, Algo::Binomial, rounds);
     const int flat_depth = procs - 1;
     const int tree_depth =
         static_cast<int>(std::ceil(std::log2(static_cast<double>(procs))));

@@ -3,7 +3,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "mp/ops.hpp"
 #include "mp/runtime.hpp"
@@ -154,6 +156,89 @@ void BM_MailboxCongestedMatch(benchmark::State& state) {
 }
 BENCHMARK(BM_MailboxCongestedMatch)->Arg(1)->Arg(8)->Arg(64);
 
+/// The many-senders variant of the congestion scenario: the backlog sits on
+/// the SAME communicator as the timed traffic, spread over many sources.
+/// Ranks 2..p-1 each park kSenderDepth messages at rank 0, then ranks 0 and
+/// 1 ping-pong targeted receives. A matcher that scans the whole comm queue
+/// pays for the entire backlog on every match; a per-source index pays only
+/// for rank 1's own queue.
+constexpr int kSenderDepth = 32;
+constexpr int kSenderRounds = 64;
+
+void many_senders_round(int senders) {
+  const int procs = senders + 2;
+  mp::run(procs, [&](mp::Communicator& comm) {
+    if (comm.rank() >= 2) {
+      for (int i = 0; i < kSenderDepth; ++i) comm.send(i, 0, 5);
+      comm.barrier();  // backlog is queued at rank 0 from here on
+    } else if (comm.rank() == 1) {
+      comm.barrier();
+      for (int i = 0; i < kSenderRounds; ++i) {
+        comm.send(i, 0, 0);
+        benchmark::DoNotOptimize(comm.recv<int>(0, 0));
+      }
+    } else {
+      comm.barrier();
+      for (int i = 0; i < kSenderRounds; ++i) {
+        const int v = comm.recv<int>(1, 0);  // targeted match past the backlog
+        comm.send(v, 1, 0);
+      }
+      // Drain the backlog so the job shuts down with empty mailboxes.
+      for (int s = 2; s < procs; ++s) {
+        for (int i = 0; i < kSenderDepth; ++i) {
+          benchmark::DoNotOptimize(comm.recv<int>(s, 5));
+        }
+      }
+    }
+  });
+}
+
+void BM_MailboxManySenders(benchmark::State& state) {
+  const int senders = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    many_senders_round(senders);
+  }
+  state.SetItemsProcessed(state.iterations() * kSenderRounds);
+}
+BENCHMARK(BM_MailboxManySenders)->Arg(2)->Arg(8)->Arg(16);
+
+/// Root-side fan-out cost of a flat broadcast: the root serializes a
+/// 4096-double payload for its p-1 destinations every round.
+void BM_BcastFanout(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  constexpr int kRounds = 8;
+  for (auto _ : state) {
+    mp::run(procs, [&](mp::Communicator& comm) {
+      std::vector<double> payload;
+      for (int i = 0; i < kRounds; ++i) {
+        if (comm.rank() == 0) payload.assign(4096, 1.0);
+        comm.bcast(payload, 0, mp::Communicator::CollectiveAlgo::Flat);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kRounds);
+}
+BENCHMARK(BM_BcastFanout)->Arg(4)->Arg(8)->Arg(16);
+
+/// Gather with a deliberate straggler: rank 1 sleeps before contributing its
+/// 2 MiB chunk while ranks 2 and 3 deliver immediately. A root that drains
+/// in strict rank order sits idle through the sleep and only then starts
+/// deserializing the (long-queued) later chunks; an arrival-order drain
+/// overlaps that work with the straggler's delay.
+void BM_GatherStraggler(benchmark::State& state) {
+  const auto chunk_len = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    mp::run(4, [&](mp::Communicator& comm) {
+      std::vector<double> chunk(chunk_len, comm.rank() + 0.5);
+      if (comm.rank() == 1) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      benchmark::DoNotOptimize(comm.gather_chunks(chunk, 0));
+    });
+  }
+}
+BENCHMARK(BM_GatherStraggler)->Arg(1 << 18)->Unit(benchmark::kMillisecond);
+
 void BM_CommSplit(benchmark::State& state) {
   for (auto _ : state) {
     mp::run(8, [](mp::Communicator& comm) {
@@ -172,20 +257,49 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  // Traced replay of the worst congestion case: the mailbox.scanned /
+  // Traced replay of the worst congestion cases: the mailbox.scanned /
   // mailbox.matched ratio is the mean number of queued envelopes each
-  // receive had to consider before finding its match.
-  pdc::trace::TraceSession session;
-  session.start();
-  congested_match_round(/*cold_comms=*/64);
-  session.stop();
+  // receive had to consider before finding its match, and
+  // mp.payload_encodes counts how many times a fan-out serialized a payload.
+  {
+    pdc::trace::TraceSession session;
+    session.start();
+    congested_match_round(/*cold_comms=*/64);
+    session.stop();
 
-  const double matched = session.counter_total("mailbox.matched");
-  const double scanned = session.counter_total("mailbox.scanned");
-  std::printf("\n-- traced replay: congested match, 64 cold comms --\n");
-  std::printf("envelopes matched: %.0f, scanned while matching: %.0f "
-              "(%.1f scanned per match)\n\n",
-              matched, scanned, matched > 0 ? scanned / matched : 0.0);
-  std::fputs(pdc::trace::summary_report(session).c_str(), stdout);
+    const double matched = session.counter_total("mailbox.matched");
+    const double scanned = session.counter_total("mailbox.scanned");
+    std::printf("\n-- traced replay: congested match, 64 cold comms --\n");
+    std::printf("envelopes matched: %.0f, scanned while matching: %.0f "
+                "(%.1f scanned per match)\n\n",
+                matched, scanned, matched > 0 ? scanned / matched : 0.0);
+    std::fputs(pdc::trace::summary_report(session).c_str(), stdout);
+  }
+  {
+    pdc::trace::TraceSession session;
+    session.start();
+    many_senders_round(/*senders=*/16);
+    session.stop();
+
+    const double matched = session.counter_total("mailbox.matched");
+    const double scanned = session.counter_total("mailbox.scanned");
+    std::printf("\n-- traced replay: 16 senders congesting one comm --\n");
+    std::printf("envelopes matched: %.0f, scanned while matching: %.0f "
+                "(%.1f scanned per match)\n",
+                matched, scanned, matched > 0 ? scanned / matched : 0.0);
+  }
+  {
+    pdc::trace::TraceSession session;
+    session.start();
+    pdc::mp::run(16, [](pdc::mp::Communicator& comm) {
+      std::vector<double> payload;
+      if (comm.rank() == 0) payload.assign(4096, 1.0);
+      comm.bcast(payload, 0, pdc::mp::Communicator::CollectiveAlgo::Flat);
+    });
+    session.stop();
+    std::printf("\n-- traced replay: flat bcast of 4096 doubles, p=16 --\n");
+    std::printf("payload encodes: %.0f (of 15 messages sent)\n",
+                session.counter_total("mp.payload_encodes"));
+  }
   return 0;
 }

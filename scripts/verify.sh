@@ -3,11 +3,15 @@
 #
 #   scripts/verify.sh [build-dir-prefix]
 #
-# 1. tier-1   — regular build, the whole test suite (fast, seeds at defaults)
-# 2. tsan     — ThreadSanitizer build, concurrency suites (ctest -L tsan)
-# 3. stress   — chaos seed sweeps at full depth (ctest -L stress with
-#               PDCLAB_CHAOS_SEEDS=80: 3 acceptance scenarios x 80 seeds,
-#               plus the patternlet sweep at a quarter depth)
+# 1. tier-1      — regular build, the whole test suite (fast, seeds at
+#                  defaults)
+# 2. bench-smoke — the mp bench binaries in a 1-rep/2-round configuration
+#                  (ctest -L bench-smoke): a crash/hang canary for the
+#                  measurement harness, not a measurement
+# 3. tsan        — ThreadSanitizer build, concurrency suites (ctest -L tsan)
+# 4. stress      — chaos seed sweeps at full depth (ctest -L stress with
+#                  PDCLAB_CHAOS_SEEDS=80: acceptance scenarios x 80 seeds,
+#                  plus the patternlet sweep at a quarter depth)
 #
 # Set PDCLAB_CHAOS_SEEDS before invoking to sweep deeper or shallower.
 
@@ -17,19 +21,22 @@ prefix="${1:-build}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 seeds="${PDCLAB_CHAOS_SEEDS:-80}"
 
-echo "==> [1/3] tier-1: build + full test suite (${prefix})"
+echo "==> [1/4] tier-1: build + full test suite (${prefix})"
 cmake -B "${prefix}" -S . >/dev/null
 cmake --build "${prefix}" -j "${jobs}"
 ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}"
 
-echo "==> [2/3] tsan: ThreadSanitizer build + concurrency suites (${prefix}-tsan)"
+echo "==> [2/4] bench-smoke: 1-rep mp bench canaries (${prefix})"
+ctest --test-dir "${prefix}" --output-on-failure -L bench-smoke
+
+echo "==> [3/4] tsan: ThreadSanitizer build + concurrency suites (${prefix}-tsan)"
 cmake -B "${prefix}-tsan" -S . -DPDCLAB_SANITIZE=thread \
   -DPDCLAB_BUILD_BENCH=OFF -DPDCLAB_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "${prefix}-tsan" -j "${jobs}"
 ctest --test-dir "${prefix}-tsan" --output-on-failure -j "${jobs}" -L tsan
 
-echo "==> [3/3] stress: chaos seed sweeps, PDCLAB_CHAOS_SEEDS=${seeds}"
+echo "==> [4/4] stress: chaos seed sweeps, PDCLAB_CHAOS_SEEDS=${seeds}"
 PDCLAB_CHAOS_SEEDS="${seeds}" \
   ctest --test-dir "${prefix}" --output-on-failure -L stress
 
-echo "==> verify.sh: all three stages passed"
+echo "==> verify.sh: all four stages passed"

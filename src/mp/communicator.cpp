@@ -32,17 +32,44 @@ std::optional<Status> Communicator::iprobe(int source, int tag) {
   return my_mailbox().try_probe(comm_id_, source, tag);
 }
 
+void Communicator::post_encoded(const SharedPayload& payload, std::size_t hash,
+                                const char* tname, int dest, int tag) {
+  chaos::on_op("mp.post");  // may throw chaos::InjectedAbort
+  universe_->record_send();
+  Envelope e;
+  e.comm_id = comm_id_;
+  e.source = my_rank_;
+  e.tag = tag;
+  e.type_hash = hash;
+  e.type_name = tname;
+  e.payload = payload;
+  if (trace::enabled()) {
+    trace::Counter("mp.bytes_sent").add(static_cast<double>(e.size_bytes()));
+    trace::Counter("mp.messages_sent").add(1.0);
+  }
+  universe_->mailbox((*members_)[static_cast<std::size_t>(dest)])
+      .deliver(std::move(e));
+}
+
+Envelope Communicator::recv_envelope_internal(int source, int tag) {
+  chaos::on_op("mp.recv");  // may throw chaos::InjectedAbort
+  return my_mailbox().receive(comm_id_, source, tag);
+}
+
 void Communicator::barrier() {
   // Flat gather-then-release; O(p) messages, plenty for teaching scale.
+  // Entry tokens are drained in arrival order, and the release token is
+  // encoded once and shared across the fan-out.
   trace::Span span("mp.barrier", "mp.collective");
   const int tag = next_collective_tag();
   constexpr char kToken = 'B';
   if (my_rank_ == 0) {
     for (int r = 1; r < size(); ++r) {
-      (void)recv_internal<char>(r, tag);
+      (void)recv_envelope_internal(kAnySource, tag);
     }
+    const SharedPayload release = encode_payload(kToken);
     for (int r = 1; r < size(); ++r) {
-      post(kToken, r, tag);
+      post_encoded(release, type_hash<char>(), type_name<char>(), r, tag);
     }
   } else {
     post(kToken, 0, tag);
@@ -51,15 +78,17 @@ void Communicator::barrier() {
 }
 
 Communicator Communicator::dup() {
-  // Rank 0 allocates the fresh context id and broadcasts it; the group and
-  // local ranks carry over unchanged.
+  // Rank 0 allocates the fresh context id and broadcasts it (one encode for
+  // the whole fan-out); the group and local ranks carry over unchanged.
   trace::Span span("mp.dup", "mp.collective");
   const int tag = next_collective_tag();
   std::uint64_t new_id = 0;
   if (my_rank_ == 0) {
     new_id = universe_->new_comm_id();
+    const SharedPayload payload = encode_payload(new_id);
     for (int r = 1; r < size(); ++r) {
-      post(new_id, r, tag);
+      post_encoded(payload, type_hash<std::uint64_t>(),
+                   type_name<std::uint64_t>(), r, tag);
     }
   } else {
     new_id = recv_internal<std::uint64_t>(0, tag);
@@ -69,9 +98,22 @@ Communicator Communicator::dup() {
 
 Communicator Communicator::split(int color, int key) {
   trace::Span span("mp.split", "mp.collective");
+  // MPI_Comm_split treats a negative color as MPI_UNDEFINED ("give me no
+  // communicator"), which this value-returning API cannot express — so the
+  // contract here is colors >= 0, rejected before any communication. Every
+  // rank validates its own argument; if only some ranks pass a bad color,
+  // their throw aborts the job and unblocks the others. Keys are
+  // unrestricted (any int orders the new ranks).
+  if (color < 0) {
+    throw InvalidArgument(
+        "split: negative color " + std::to_string(color) +
+        " (colors must be >= 0; MPI_UNDEFINED-style opt-out is not "
+        "supported)");
+  }
   const int tag = next_collective_tag();
 
-  // Stage 1: rank 0 learns every rank's (color, key).
+  // Stage 1: rank 0 learns every rank's (color, key). Entries self-identify
+  // via their old-rank field, so they are drained in arrival order.
   struct Entry {
     int color;
     int key;
@@ -83,7 +125,7 @@ Communicator Communicator::split(int color, int key) {
     entries.resize(static_cast<std::size_t>(size()));
     entries[0] = mine;
     for (int r = 1; r < size(); ++r) {
-      std::vector<int> e = recv_internal<std::vector<int>>(r, tag);
+      std::vector<int> e = recv_internal<std::vector<int>>(kAnySource, tag);
       entries[static_cast<std::size_t>(e[2])] = std::move(e);
     }
   } else {

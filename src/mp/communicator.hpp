@@ -5,11 +5,13 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "chaos/chaos.hpp"
 #include "mp/codec.hpp"
 #include "mp/message.hpp"
+#include "mp/ops.hpp"
 #include "mp/universe.hpp"
 #include "support/error.hpp"
 #include "trace/trace.hpp"
@@ -101,8 +103,8 @@ class Communicator {
     trace::Span span("mp.recv", "mp.p2p");
     check_recv_args(source, tag);
     Envelope e = my_mailbox().receive(comm_id_, source, tag);
-    span.set_bytes(static_cast<std::int64_t>(e.payload.size()));
-    return unpack<T>(std::move(e), status);
+    span.set_bytes(static_cast<std::int64_t>(e.size_bytes()));
+    return unpack<T>(e, status);
   }
 
   /// Non-blocking receive: nullopt when no matching message is queued.
@@ -112,7 +114,7 @@ class Communicator {
     check_recv_args(source, tag);
     auto e = my_mailbox().try_receive(comm_id_, source, tag);
     if (!e) return std::nullopt;
-    return unpack<T>(std::move(*e), status);
+    return unpack<T>(*e, status);
   }
 
   /// Blocking receive with timeout; nullopt if nothing matched in time.
@@ -125,8 +127,8 @@ class Communicator {
     check_recv_args(source, tag);
     auto e = my_mailbox().receive_for(comm_id_, source, tag, timeout);
     if (!e) return std::nullopt;
-    span.set_bytes(static_cast<std::int64_t>(e->payload.size()));
-    return unpack<T>(std::move(*e), status);
+    span.set_bytes(static_cast<std::int64_t>(e->size_bytes()));
+    return unpack<T>(*e, status);
   }
 
   /// Nonblocking send (completes immediately; see SendRequest).
@@ -161,30 +163,49 @@ class Communicator {
 
   /// Algorithm used by a collective call.
   ///
+  /// Auto: pick per call from the communicator size, the payload's
+  /// compile-time size, and the operator's declared commutativity
+  /// (ops::is_commutative). Every rank derives the same choice from the
+  /// same inputs, so the schedules always agree. The default.
+  ///
   /// Flat: the root sends/receives every message itself — O(p) messages on
-  /// the root's critical path, trivially correct, combination strictly in
-  /// rank order (safe for non-commutative operators). The default.
+  /// the root's critical path, trivially correct. Reductions with an
+  /// operator not declared commutative combine strictly in rank order (the
+  /// deterministic fallback); commutative ones fold in arrival order.
   ///
   /// Binomial: a binomial tree — the same O(p) total messages but only
   /// O(log p) rounds on the critical path, the algorithm real MPI libraries
   /// use for small payloads. Reductions combine in tree order, so the
-  /// operator must be commutative (all of mp::ops' scalar ops are).
-  enum class CollectiveAlgo { Flat, Binomial };
+  /// operator should be commutative (all of mp::ops' built-ins are).
+  ///
+  /// RecursiveDoubling: allreduce-only — ranks pairwise-exchange partial
+  /// results across log2(p) doubling rounds, so every rank finishes with
+  /// the full result without a separate broadcast. Requires a commutative
+  /// operator; non-power-of-two sizes fold the remainder ranks in and out.
+  enum class CollectiveAlgo { Auto, Flat, Binomial, RecursiveDoubling };
 
   /// Block until every rank of the communicator has entered the barrier.
   void barrier();
 
   /// Broadcast `value` from `root` to every rank, in place (MPI_Bcast).
+  /// The root encodes the payload once; every hop shares the same buffer.
   template <typename T>
   void bcast(T& value, int root = 0,
-             CollectiveAlgo algo = CollectiveAlgo::Flat) {
+             CollectiveAlgo algo = CollectiveAlgo::Auto) {
     trace::Span span("mp.bcast", "mp.collective");
     check_peer(root, "bcast");
+    algo = resolve_fanout_algo(algo, "bcast");
+    const int p = size();
+    if (p == 1) return;
     const int tag = next_collective_tag();
+
     if (algo == CollectiveAlgo::Flat) {
       if (my_rank_ == root) {
-        for (int r = 0; r < size(); ++r) {
-          if (r != root) post(value, r, tag);
+        const SharedPayload payload = encode_payload(value);
+        for (int r = 0; r < p; ++r) {
+          if (r != root) {
+            post_encoded(payload, type_hash<T>(), type_name<T>(), r, tag);
+          }
         }
       } else {
         value = recv_internal<T>(root, tag);
@@ -194,13 +215,18 @@ class Communicator {
 
     // Binomial tree (the classic MPICH small-message algorithm): each rank
     // first receives from its tree parent (unless it is the root), then
-    // forwards down its subtrees, highest bit first.
-    const int p = size();
+    // forwards down its subtrees, highest bit first. Interior ranks forward
+    // the payload they received — the value is serialized exactly once, at
+    // the root, no matter how many hops it takes.
+    SharedPayload payload;
+    if (my_rank_ == root) payload = encode_payload(value);
     const int vrank = (my_rank_ - root + p) % p;
     int mask = 1;
     while (mask < p) {
       if (vrank & mask) {
-        value = recv_internal<T>((my_rank_ - mask + p) % p, tag);
+        const Envelope e = recv_envelope_internal((my_rank_ - mask + p) % p, tag);
+        value = unpack<T>(e, nullptr);
+        payload = e.payload;
         break;
       }
       mask <<= 1;
@@ -208,37 +234,48 @@ class Communicator {
     mask >>= 1;
     while (mask > 0) {
       if (vrank + mask < p) {
-        post(value, (my_rank_ + mask) % p, tag);
+        post_encoded(payload, type_hash<T>(), type_name<T>(),
+                     (my_rank_ + mask) % p, tag);
       }
       mask >>= 1;
     }
   }
 
   /// Gather one value per rank to `root`; returns the full rank-ordered
-  /// vector at root and an empty vector elsewhere (MPI_Gather).
+  /// vector at root and an empty vector elsewhere (MPI_Gather). The root
+  /// drains contributions in arrival order and slots them by source rank,
+  /// so a slow low rank no longer stalls the unpacking of queued later
+  /// ranks.
   template <typename T>
   std::vector<T> gather(const T& value, int root = 0) {
     trace::Span span("mp.gather", "mp.collective");
     check_peer(root, "gather");
     const int tag = next_collective_tag();
-    if (my_rank_ == root) {
-      std::vector<T> all;
-      all.reserve(static_cast<std::size_t>(size()));
-      for (int r = 0; r < size(); ++r) {
-        all.push_back(r == root ? value : recv_internal<T>(r, tag));
-      }
-      return all;
+    if (my_rank_ != root) {
+      post(value, root, tag);
+      return {};
     }
-    post(value, root, tag);
-    return {};
+    std::vector<std::optional<T>> slots(static_cast<std::size_t>(size()));
+    slots[static_cast<std::size_t>(root)] = value;
+    for (int i = 1; i < size(); ++i) {
+      const Envelope e = recv_envelope_internal(kAnySource, tag);
+      slots[static_cast<std::size_t>(e.source)] = unpack<T>(e, nullptr);
+    }
+    std::vector<T> all;
+    all.reserve(slots.size());
+    for (auto& slot : slots) all.push_back(std::move(*slot));
+    return all;
   }
 
-  /// Gather one value per rank to every rank (MPI_Allgather).
+  /// Gather one value per rank to every rank (MPI_Allgather). `algo`
+  /// selects the broadcast stage's schedule.
   template <typename T>
-  std::vector<T> allgather(const T& value) {
+  std::vector<T> allgather(const T& value,
+                           CollectiveAlgo algo = CollectiveAlgo::Auto) {
     trace::Span span("mp.allgather", "mp.collective");
+    algo = resolve_fanout_algo(algo, "allgather");
     std::vector<T> all = gather(value, 0);
-    bcast(all, 0);
+    bcast(all, 0, algo);
     return all;
   }
 
@@ -294,38 +331,63 @@ class Communicator {
   }
 
   /// Concatenate per-rank vectors at root, in rank order (MPI_Gatherv).
+  /// Like gather, the root deserializes chunks in arrival order — with
+  /// megabyte chunks and a straggling rank this overlaps the decode work
+  /// with the straggler's delay (BM_GatherStraggler measures the win).
   template <typename T>
   std::vector<T> gather_chunks(const std::vector<T>& chunk, int root = 0) {
     trace::Span span("mp.gather_chunks", "mp.collective");
     check_peer(root, "gather_chunks");
     const int tag = next_collective_tag();
-    if (my_rank_ == root) {
-      std::vector<T> all;
-      for (int r = 0; r < size(); ++r) {
-        std::vector<T> part =
-            r == root ? chunk : recv_internal<std::vector<T>>(r, tag);
-        all.insert(all.end(), part.begin(), part.end());
-      }
-      return all;
+    if (my_rank_ != root) {
+      post(chunk, root, tag);
+      return {};
     }
-    post(chunk, root, tag);
-    return {};
+    std::vector<std::vector<T>> parts(static_cast<std::size_t>(size()));
+    parts[static_cast<std::size_t>(root)] = chunk;
+    for (int i = 1; i < size(); ++i) {
+      const Envelope e = recv_envelope_internal(kAnySource, tag);
+      parts[static_cast<std::size_t>(e.source)] =
+          unpack<std::vector<T>>(e, nullptr);
+    }
+    std::size_t total = 0;
+    for (const auto& part : parts) total += part.size();
+    std::vector<T> all;
+    all.reserve(total);
+    for (auto& part : parts) {
+      all.insert(all.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
+    }
+    return all;
   }
 
   /// Reduce every rank's `local` with `op`; the result is returned at root,
   /// and each non-root rank gets its own `local` back (mirroring MPI, where
-  /// recvbuf is undefined off-root). With the default Flat algorithm the
-  /// combination happens strictly in rank order, so merely-associative
-  /// (non-commutative) operators give deterministic results; Binomial
-  /// combines in tree order and requires a commutative operator.
+  /// recvbuf is undefined off-root). Operators declared commutative
+  /// (ops::is_commutative) fold in arrival order under Flat and may use the
+  /// Binomial tree under Auto; any other operator — user lambdas included —
+  /// combines strictly in rank order for deterministic results.
   template <typename T, typename Op>
   T reduce(const T& local, Op op, int root = 0,
-           CollectiveAlgo algo = CollectiveAlgo::Flat) {
+           CollectiveAlgo algo = CollectiveAlgo::Auto) {
     trace::Span span("mp.reduce", "mp.collective");
     check_peer(root, "reduce");
+    algo = resolve_reduce_algo<Op>(algo);
     const int tag = next_collective_tag();
     if (algo == CollectiveAlgo::Flat) {
-      if (my_rank_ == root) {
+      if (my_rank_ != root) {
+        post(local, root, tag);
+        return local;
+      }
+      if constexpr (ops::is_commutative_v<Op>) {
+        // Commutative: fold each contribution as it arrives instead of
+        // blocking on ranks in numeric order.
+        T acc = local;
+        for (int i = 1; i < size(); ++i) {
+          acc = op(acc, recv_internal<T>(kAnySource, tag));
+        }
+        return acc;
+      } else {
         // Combine in rank order for determinism with non-commutative ops.
         std::optional<T> acc;
         for (int r = 0; r < size(); ++r) {
@@ -334,8 +396,6 @@ class Communicator {
         }
         return *acc;
       }
-      post(local, root, tag);
-      return local;
     }
 
     // Binomial tree: the mirror image of the binomial bcast. Each rank
@@ -359,12 +419,21 @@ class Communicator {
     return my_rank_ == root ? acc : local;
   }
 
-  /// Reduce and broadcast the result to every rank (MPI_Allreduce).
+  /// Reduce and broadcast the result to every rank (MPI_Allreduce). Auto
+  /// picks recursive doubling for small trivially-copyable payloads with a
+  /// commutative operator, a reduce+bcast tree for large or dynamic ones,
+  /// and the rank-order Flat schedule for operators not declared
+  /// commutative.
   template <typename T, typename Op>
-  T allreduce(const T& local, Op op) {
+  T allreduce(const T& local, Op op,
+              CollectiveAlgo algo = CollectiveAlgo::Auto) {
     trace::Span span("mp.allreduce", "mp.collective");
-    T result = reduce(local, op, 0);
-    bcast(result, 0);
+    algo = resolve_allreduce_algo<T, Op>(algo);
+    if (algo == CollectiveAlgo::RecursiveDoubling) {
+      return allreduce_recursive_doubling(local, op);
+    }
+    T result = reduce(local, op, 0, algo);
+    bcast(result, 0, algo);
     return result;
   }
 
@@ -402,6 +471,7 @@ class Communicator {
 
   /// Personalized all-to-all exchange: element d of `per_dest` goes to rank
   /// d; returns a vector whose element s came from rank s (MPI_Alltoall).
+  /// Incoming exchanges are drained in arrival order and slotted by source.
   template <typename T>
   std::vector<T> alltoall(const std::vector<T>& per_dest) {
     trace::Span span("mp.alltoall", "mp.collective");
@@ -412,17 +482,23 @@ class Communicator {
     for (int r = 0; r < size(); ++r) {
       if (r != my_rank_) post(per_dest[static_cast<std::size_t>(r)], r, tag);
     }
-    std::vector<T> received;
-    received.reserve(static_cast<std::size_t>(size()));
-    for (int r = 0; r < size(); ++r) {
-      received.push_back(r == my_rank_ ? per_dest[static_cast<std::size_t>(r)]
-                                       : recv_internal<T>(r, tag));
+    std::vector<std::optional<T>> slots(static_cast<std::size_t>(size()));
+    slots[static_cast<std::size_t>(my_rank_)] =
+        per_dest[static_cast<std::size_t>(my_rank_)];
+    for (int i = 1; i < size(); ++i) {
+      const Envelope e = recv_envelope_internal(kAnySource, tag);
+      slots[static_cast<std::size_t>(e.source)] = unpack<T>(e, nullptr);
     }
+    std::vector<T> received;
+    received.reserve(slots.size());
+    for (auto& slot : slots) received.push_back(std::move(*slot));
     return received;
   }
 
   /// Partition the communicator (MPI_Comm_split): ranks with equal `color`
   /// form a new communicator, ordered by (key, old rank). Collective.
+  /// Colors must be non-negative (InvalidArgument otherwise); keys are
+  /// unrestricted.
   Communicator split(int color, int key);
 
   /// Duplicate the communicator (MPI_Comm_dup): same group and ranks, but a
@@ -481,43 +557,162 @@ class Communicator {
     }
   }
 
-  /// Serialize and deliver, bypassing user-facing validation (internal tags
-  /// exceed kMaxUserTag by design).
+  /// Serialize `value` into a shareable payload, counting the encode (the
+  /// Universe total and the mp.payload_encodes trace counter are how the
+  /// benches verify fan-outs encode once).
+  template <typename T>
+  SharedPayload encode_payload(const T& value) {
+    universe_->record_encode();
+    if (trace::enabled()) {
+      trace::Counter("mp.payload_encodes").add(1.0);
+    }
+    return make_payload(Codec<T>::encode(value));
+  }
+
+  /// Deliver an already-encoded payload to `dest`, bypassing user-facing
+  /// validation (internal tags exceed kMaxUserTag by design). Fan-outs call
+  /// this once per destination with the same shared buffer.
+  void post_encoded(const SharedPayload& payload, std::size_t hash,
+                    const char* tname, int dest, int tag);
+
+  /// Serialize and deliver (the single-destination path).
   template <typename T>
   void post(const T& value, int dest, int tag) {
-    chaos::on_op("mp.post");  // may throw chaos::InjectedAbort
-    universe_->record_send();
-    Envelope e;
-    e.comm_id = comm_id_;
-    e.source = my_rank_;
-    e.tag = tag;
-    e.type_hash = type_hash<T>();
-    e.payload = Codec<T>::encode(value);
-    if (trace::enabled()) {
-      trace::Counter("mp.bytes_sent")
-          .add(static_cast<double>(e.payload.size()));
-      trace::Counter("mp.messages_sent").add(1.0);
-    }
-    universe_->mailbox((*members_)[static_cast<std::size_t>(dest)])
-        .deliver(std::move(e));
+    post_encoded(encode_payload(value), type_hash<T>(), type_name<T>(), dest,
+                 tag);
   }
+
+  /// Blocking matched receive for collective legs; runs the chaos receive
+  /// checkpoint but none of the user-facing argument checks.
+  Envelope recv_envelope_internal(int source, int tag);
 
   template <typename T>
   T recv_internal(int source, int tag) {
-    chaos::on_op("mp.recv");  // may throw chaos::InjectedAbort
-    Envelope e = my_mailbox().receive(comm_id_, source, tag);
-    return unpack<T>(std::move(e), nullptr);
+    return unpack<T>(recv_envelope_internal(source, tag), nullptr);
   }
 
   template <typename T>
-  T unpack(Envelope e, Status* status) const {
+  T unpack(const Envelope& e, Status* status) const {
     if (e.type_hash != type_hash<T>()) {
       throw InvalidArgument(
-          "recv: message datatype does not match the receive type "
-          "(sent with a different template parameter)");
+          std::string("recv: message datatype mismatch: sent as ") +
+          (e.type_name != nullptr && *e.type_name != '\0' ? e.type_name
+                                                          : "<unknown type>") +
+          ", received as " + type_name<T>());
     }
-    if (status) *status = Status{e.source, e.tag, e.payload.size()};
-    return Codec<T>::decode(e.payload);
+    if (status) *status = Status{e.source, e.tag, e.size_bytes()};
+    return Codec<T>::decode(e.bytes());
+  }
+
+  /// Resolve Auto for the fan-out collectives (bcast and allgather's
+  /// broadcast stage). The choice may depend only on size(): non-root ranks
+  /// do not know the payload, and every rank must pick the same schedule.
+  CollectiveAlgo resolve_fanout_algo(CollectiveAlgo algo,
+                                     const char* what) const {
+    if (algo == CollectiveAlgo::RecursiveDoubling) {
+      throw InvalidArgument(std::string(what) +
+                            ": RecursiveDoubling is an allreduce schedule; "
+                            "use Auto, Flat or Binomial");
+    }
+    if (algo != CollectiveAlgo::Auto) return algo;
+    return size() <= 4 ? CollectiveAlgo::Flat : CollectiveAlgo::Binomial;
+  }
+
+  /// Resolve Auto for reduce: operators not declared commutative stay on
+  /// the rank-order Flat schedule; commutative ones climb the tree once the
+  /// root's O(p) inbox becomes the bottleneck.
+  template <typename Op>
+  CollectiveAlgo resolve_reduce_algo(CollectiveAlgo algo) const {
+    if (algo == CollectiveAlgo::RecursiveDoubling) {
+      throw InvalidArgument(
+          "reduce: RecursiveDoubling is an allreduce schedule; use Auto, "
+          "Flat or Binomial");
+    }
+    if (algo != CollectiveAlgo::Auto) return algo;
+    if (!ops::is_commutative_v<Op>) return CollectiveAlgo::Flat;
+    return size() <= 4 ? CollectiveAlgo::Flat : CollectiveAlgo::Binomial;
+  }
+
+  /// Resolve Auto for allreduce from size(), the operator's commutativity
+  /// and the payload's compile-time size — all rank-invariant inputs, so
+  /// every rank lands on the same schedule.
+  template <typename T, typename Op>
+  CollectiveAlgo resolve_allreduce_algo(CollectiveAlgo algo) const {
+    if (algo == CollectiveAlgo::RecursiveDoubling) {
+      if constexpr (!ops::is_commutative_v<Op>) {
+        throw InvalidArgument(
+            "allreduce: RecursiveDoubling pairs ranks out of rank order and "
+            "requires an operator declared commutative (see "
+            "ops::is_commutative)");
+      }
+      return algo;
+    }
+    if (algo != CollectiveAlgo::Auto) return algo;
+    if constexpr (!ops::is_commutative_v<Op>) {
+      return CollectiveAlgo::Flat;  // rank-order determinism
+    } else {
+      if (size() <= 2) return CollectiveAlgo::Flat;
+      if constexpr (std::is_trivially_copyable_v<T>) {
+        // Small fixed-size payloads: recursive doubling halves the rounds
+        // of reduce+bcast. Large ones: the tree keeps total bytes moved at
+        // O(p) instead of recursive doubling's O(p log p).
+        return sizeof(T) <= 4096 ? CollectiveAlgo::RecursiveDoubling
+                                 : CollectiveAlgo::Binomial;
+      } else {
+        // Dynamic payloads (vectors, strings): size is unknowable before
+        // encoding and may differ across ranks — stay with the tree.
+        return CollectiveAlgo::Binomial;
+      }
+    }
+  }
+
+  /// MPICH-style recursive-doubling allreduce. For non-power-of-two sizes
+  /// the first 2*rem ranks pre-fold pairwise (even ranks hand their value
+  /// to their odd neighbour and sit out), the surviving power-of-two group
+  /// pairwise-exchanges partials across log2 rounds, then the folded-out
+  /// ranks get the finished result back.
+  template <typename T, typename Op>
+  T allreduce_recursive_doubling(const T& local, Op op) {
+    const int tag = next_collective_tag();
+    const int p = size();
+    T acc = local;
+    int pow2 = 1;
+    while (pow2 * 2 <= p) pow2 *= 2;
+    const int rem = p - pow2;
+
+    int vrank;
+    if (my_rank_ < 2 * rem) {
+      if (my_rank_ % 2 == 0) {
+        post(acc, my_rank_ + 1, tag);
+        vrank = -1;  // sits out the exchange rounds
+      } else {
+        acc = op(recv_internal<T>(my_rank_ - 1, tag), acc);
+        vrank = my_rank_ / 2;
+      }
+    } else {
+      vrank = my_rank_ - rem;
+    }
+
+    if (vrank != -1) {
+      for (int mask = 1; mask < pow2; mask <<= 1) {
+        const int vpeer = vrank ^ mask;
+        const int peer = vpeer < rem ? vpeer * 2 + 1 : vpeer + rem;
+        post(acc, peer, tag);
+        const T theirs = recv_internal<T>(peer, tag);
+        // Keep the lower rank's partial on the left so the reassociation is
+        // fixed by the (deterministic) pairing, not by arrival order.
+        acc = peer < my_rank_ ? op(theirs, acc) : op(acc, theirs);
+      }
+    }
+
+    if (my_rank_ < 2 * rem) {
+      if (my_rank_ % 2 == 0) {
+        acc = recv_internal<T>(my_rank_ + 1, tag);
+      } else {
+        post(acc, my_rank_ - 1, tag);
+      }
+    }
+    return acc;
   }
 
   /// Per-rank collective sequence number; identical across ranks because

@@ -1,5 +1,7 @@
 #include "mp/mailbox.hpp"
 
+#include <algorithm>
+
 #include "chaos/chaos.hpp"
 #include "trace/trace.hpp"
 
@@ -14,53 +16,103 @@ void Mailbox::deliver(Envelope envelope) {
   }
   {
     std::lock_guard lock(mutex_);
-    Bucket& bucket = buckets_[envelope.comm_id];
-    if (reorder && !bucket.empty()) {
+    CommQueue& comm = comms_[envelope.comm_id];
+    const int source = envelope.source;
+    std::uint64_t seq = comm.next_seq;
+    if (reorder && comm.pending > 0) {
       // Overtake other senders' queued traffic but never a message from the
       // same source: MPI's non-overtaking guarantee orders successive sends
       // of one sender (wildcard-tag receives can observe cross-tag order, so
       // the whole per-source stream must stay FIFO), while messages from
-      // different senders carry no relative-order promise at all.
-      std::size_t insert_at = 0;
-      for (std::size_t i = bucket.size(); i > 0; --i) {
-        if (bucket[i - 1].source == envelope.source) {
-          insert_at = i;
-          break;
+      // different senders carry no relative-order promise at all. In
+      // sequence-number terms: slot the new envelope just before the
+      // earliest other-source item that it is allowed to overtake, i.e. the
+      // smallest other-source seq greater than every queued same-source seq.
+      std::uint64_t barrier_seq = 0;  // must stay after seqs below this
+      if (const auto it = comm.by_source.find(source);
+          it != comm.by_source.end() && !it->second.empty()) {
+        barrier_seq = it->second.back().seq + 1;
+      }
+      std::uint64_t target = comm.next_seq;
+      bool found = false;
+      for (const auto& [src, fifo] : comm.by_source) {
+        if (src == source) continue;
+        // FIFOs are seq-ascending, so the first qualifying item is the
+        // earliest overtakable one in this source's stream.
+        const auto jt = std::lower_bound(
+            fifo.begin(), fifo.end(), barrier_seq,
+            [](const Item& item, std::uint64_t s) { return item.seq < s; });
+        if (jt != fifo.end() && jt->seq < target) {
+          target = jt->seq;
+          found = true;
         }
       }
-      bucket.insert(bucket.begin() + static_cast<std::ptrdiff_t>(insert_at),
-                    std::move(envelope));
-    } else {
-      bucket.push_back(std::move(envelope));
+      if (found) {
+        // Shift every queued item at or after the target one slot later.
+        // Only other-source items qualify (all same-source seqs are below
+        // barrier_seq <= target), so per-source FIFO order is untouched and
+        // the new envelope still appends to the tail of its own stream.
+        for (auto& [src, fifo] : comm.by_source) {
+          for (auto rit = fifo.rbegin();
+               rit != fifo.rend() && rit->seq >= target; ++rit) {
+            ++rit->seq;
+          }
+        }
+        seq = target;
+        ++comm.next_seq;  // bumped items may now reach the old next_seq
+      }
     }
+    if (seq == comm.next_seq) ++comm.next_seq;
+    comm.by_source[source].push_back(Item{std::move(envelope), seq});
+    ++comm.pending;
     ++queued_;
   }
   arrived_.notify_all();
 }
 
-const Mailbox::Bucket* Mailbox::bucket_for(std::uint64_t comm_id) const {
-  const auto it = buckets_.find(comm_id);
-  return it == buckets_.end() ? nullptr : &it->second;
+Mailbox::CommQueue* Mailbox::comm_for(std::uint64_t comm_id) {
+  const auto it = comms_.find(comm_id);
+  return it == comms_.end() ? nullptr : &it->second;
 }
 
-std::size_t Mailbox::find_match(const Bucket& bucket, int source, int tag,
-                                std::size_t* scanned) {
+std::optional<Mailbox::Hit> Mailbox::find_match(CommQueue& comm, int source,
+                                                int tag, std::size_t* scanned) {
   if (scanned) *scanned = 0;
-  for (std::size_t i = 0; i < bucket.size(); ++i) {
-    const Envelope& e = bucket[i];
-    if (scanned) ++*scanned;
-    if (source != kAnySource && e.source != source) continue;
-    if (tag != kAnyTag && e.tag != tag) continue;
-    return i;
+  if (source != kAnySource) {
+    const auto it = comm.by_source.find(source);
+    if (it == comm.by_source.end()) return std::nullopt;
+    SourceFifo& fifo = it->second;
+    for (std::size_t i = 0; i < fifo.size(); ++i) {
+      if (scanned) ++*scanned;
+      if (tag == kAnyTag || fifo[i].envelope.tag == tag) return Hit{&fifo, i};
+    }
+    return std::nullopt;
   }
-  return npos;
+  // Wildcard source: the overall arrival-order match is the smallest-seq
+  // candidate among each source's earliest tag match.
+  std::optional<Hit> best;
+  std::uint64_t best_seq = 0;
+  for (auto& [src, fifo] : comm.by_source) {
+    for (std::size_t i = 0; i < fifo.size(); ++i) {
+      if (scanned) ++*scanned;
+      if (tag != kAnyTag && fifo[i].envelope.tag != tag) continue;
+      if (!best || fifo[i].seq < best_seq) {
+        best = Hit{&fifo, i};
+        best_seq = fifo[i].seq;
+      }
+      break;  // later items in this FIFO have larger seqs
+    }
+  }
+  return best;
 }
 
-Envelope Mailbox::take(std::uint64_t comm_id, Bucket& bucket,
-                       std::size_t index) {
-  Envelope out = std::move(bucket[index]);
-  bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(index));
-  if (bucket.empty()) buckets_.erase(comm_id);
+Envelope Mailbox::take(std::uint64_t comm_id, CommQueue& comm, const Hit& hit) {
+  SourceFifo& fifo = *hit.fifo;
+  Envelope out = std::move(fifo[hit.index].envelope);
+  fifo.erase(fifo.begin() + static_cast<std::ptrdiff_t>(hit.index));
+  if (fifo.empty()) comm.by_source.erase(out.source);
+  --comm.pending;
+  if (comm.pending == 0) comms_.erase(comm_id);
   --queued_;
   return out;
 }
@@ -79,89 +131,85 @@ void Mailbox::record_match(const Envelope& envelope, std::size_t scanned) {
   event.type = trace::EventType::Complete;
   event.start_us = session->since_start_us(envelope.delivered_at);
   event.duration_us = session->now_us() - event.start_us;
-  event.bytes = static_cast<std::int64_t>(envelope.payload.size());
+  event.bytes = static_cast<std::int64_t>(envelope.size_bytes());
   session->record(std::move(event));
 }
 
 Envelope Mailbox::receive(std::uint64_t comm_id, int source, int tag) {
   std::unique_lock lock(mutex_);
-  const Bucket* bucket = nullptr;
-  std::size_t index = npos;
+  CommQueue* comm = nullptr;
+  std::optional<Hit> hit;
   std::size_t scanned = 0;
   arrived_.wait(lock, [&] {
     if (aborted_) return true;
-    bucket = bucket_for(comm_id);
-    if (!bucket) return false;
-    index = find_match(*bucket, source, tag, &scanned);
-    return index != npos;
+    comm = comm_for(comm_id);
+    if (!comm) return false;
+    hit = find_match(*comm, source, tag, &scanned);
+    return hit.has_value();
   });
   if (aborted_) throw Aborted{};
-  auto& mine = buckets_.at(comm_id);
-  record_match(mine[index], scanned);
-  return take(comm_id, mine, index);
+  record_match((*hit->fifo)[hit->index].envelope, scanned);
+  return take(comm_id, *comm, *hit);
 }
 
 std::optional<Envelope> Mailbox::try_receive(std::uint64_t comm_id, int source,
                                              int tag) {
   std::lock_guard lock(mutex_);
   if (aborted_) throw Aborted{};
-  const Bucket* bucket = bucket_for(comm_id);
-  if (!bucket) return std::nullopt;
+  CommQueue* comm = comm_for(comm_id);
+  if (!comm) return std::nullopt;
   std::size_t scanned = 0;
-  const std::size_t index = find_match(*bucket, source, tag, &scanned);
-  if (index == npos) return std::nullopt;
-  auto& mine = buckets_.at(comm_id);
-  record_match(mine[index], scanned);
-  return take(comm_id, mine, index);
+  const std::optional<Hit> hit = find_match(*comm, source, tag, &scanned);
+  if (!hit) return std::nullopt;
+  record_match((*hit->fifo)[hit->index].envelope, scanned);
+  return take(comm_id, *comm, *hit);
 }
 
 std::optional<Envelope> Mailbox::receive_for(std::uint64_t comm_id, int source,
                                              int tag,
                                              std::chrono::milliseconds timeout) {
   std::unique_lock lock(mutex_);
-  const Bucket* bucket = nullptr;
-  std::size_t index = npos;
+  CommQueue* comm = nullptr;
+  std::optional<Hit> hit;
   std::size_t scanned = 0;
   const bool matched = arrived_.wait_for(lock, timeout, [&] {
     if (aborted_) return true;
-    bucket = bucket_for(comm_id);
-    if (!bucket) return false;
-    index = find_match(*bucket, source, tag, &scanned);
-    return index != npos;
+    comm = comm_for(comm_id);
+    if (!comm) return false;
+    hit = find_match(*comm, source, tag, &scanned);
+    return hit.has_value();
   });
   if (aborted_) throw Aborted{};
-  if (!matched || index == npos) return std::nullopt;
-  auto& mine = buckets_.at(comm_id);
-  record_match(mine[index], scanned);
-  return take(comm_id, mine, index);
+  if (!matched || !hit) return std::nullopt;
+  record_match((*hit->fifo)[hit->index].envelope, scanned);
+  return take(comm_id, *comm, *hit);
 }
 
 Status Mailbox::probe(std::uint64_t comm_id, int source, int tag) {
   std::unique_lock lock(mutex_);
-  const Bucket* bucket = nullptr;
-  std::size_t index = npos;
+  std::optional<Hit> hit;
   arrived_.wait(lock, [&] {
     if (aborted_) return true;
-    bucket = bucket_for(comm_id);
-    if (!bucket) return false;
-    index = find_match(*bucket, source, tag);
-    return index != npos;
+    CommQueue* comm = comm_for(comm_id);
+    if (!comm) return false;
+    hit = find_match(*comm, source, tag);
+    return hit.has_value();
   });
   if (aborted_) throw Aborted{};
-  const Envelope& e = (*bucket)[index];
-  return Status{e.source, e.tag, e.payload.size()};
+  const Envelope& e = (*hit->fifo)[hit->index].envelope;
+  return Status{e.source, e.tag, e.size_bytes()};
 }
 
 std::optional<Status> Mailbox::try_probe(std::uint64_t comm_id, int source,
                                          int tag) {
   std::lock_guard lock(mutex_);
   if (aborted_) throw Aborted{};
-  const Bucket* bucket = bucket_for(comm_id);
-  if (!bucket) return std::nullopt;
-  const std::size_t index = find_match(*bucket, source, tag);
-  if (index == npos) return std::nullopt;
-  const Envelope& e = (*bucket)[index];
-  return Status{e.source, e.tag, e.payload.size()};
+  CommQueue* comm = comm_for(comm_id);
+  if (!comm) return std::nullopt;
+  const std::optional<Hit> hit = find_match(*comm, source, tag);
+  if (!hit) return std::nullopt;
+  const Envelope& e = (*hit->fifo)[hit->index].envelope;
+  return Status{e.source, e.tag, e.size_bytes()};
 }
 
 std::size_t Mailbox::queued() const {

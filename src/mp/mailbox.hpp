@@ -23,16 +23,25 @@ class Aborted : public std::exception {
 
 /// One rank's incoming message queue.
 ///
-/// Pending messages are bucketed by communicator id; each bucket is FIFO in
-/// delivery order and matching scans only the receive's own bucket for the
-/// first envelope whose (source, tag) satisfies it. MPI's non-overtaking
-/// guarantee is per (communicator, source, tag), so per-communicator FIFO
-/// buckets preserve it exactly while making a receive's cost independent of
-/// traffic queued on *other* communicators — under a split/dup-heavy
-/// workload the old single-queue scan walked every unrelated envelope (the
-/// mailbox.scanned trace counter and BM_MailboxCongestedMatch quantify
-/// this). Sends are eager/buffered (a send never blocks), matching the
-/// small-message behaviour of real MPI that the patternlets rely on.
+/// Pending messages live in a two-level index: communicator id → per-source
+/// FIFO. Each envelope is stamped with a mailbox-wide delivery sequence
+/// number, so every per-source deque is ascending in arrival order.
+///
+///   - A targeted receive (explicit source) scans only that source's own
+///     FIFO for the first tag match — its cost no longer depends on how much
+///     traffic other senders have queued on the same communicator (the
+///     mailbox.scanned trace counter and BM_MailboxManySenders quantify
+///     this; the old flat per-comm bucket walked every unrelated envelope).
+///   - A wildcard-source receive finds each source's earliest tag match and
+///     takes the one with the smallest sequence number, i.e. exactly the
+///     envelope the old arrival-order scan would have returned.
+///
+/// MPI's non-overtaking guarantee is per (communicator, source): successive
+/// sends from one sender are received in order even across tags (a
+/// wildcard-tag receive can observe cross-tag order, so the whole per-source
+/// stream must stay FIFO). The per-source deques encode that invariant
+/// structurally. Sends are eager/buffered (a send never blocks), matching
+/// the small-message behaviour of real MPI that the patternlets rely on.
 class Mailbox {
  public:
   Mailbox() = default;
@@ -69,34 +78,51 @@ class Mailbox {
   void abort();
 
  private:
-  using Bucket = std::deque<Envelope>;
+  /// A queued envelope plus its mailbox-wide delivery sequence number.
+  struct Item {
+    Envelope envelope;
+    std::uint64_t seq = 0;
+  };
 
-  /// The bucket for `comm_id`, or nullptr if nothing is pending on that
+  using SourceFifo = std::deque<Item>;  ///< ascending in seq
+
+  /// All pending traffic on one communicator.
+  struct CommQueue {
+    std::unordered_map<int, SourceFifo> by_source;
+    std::uint64_t next_seq = 0;  ///< stamp for the next normal delivery
+    std::size_t pending = 0;     ///< total items across all sources
+  };
+
+  /// Location of a matched item: which source FIFO and the index within it.
+  struct Hit {
+    SourceFifo* fifo = nullptr;
+    std::size_t index = 0;
+  };
+
+  /// The queue for `comm_id`, or nullptr if nothing is pending on that
   /// communicator. Caller holds mutex_.
-  const Bucket* bucket_for(std::uint64_t comm_id) const;
+  CommQueue* comm_for(std::uint64_t comm_id);
 
-  /// Index of the first (source, tag) match in `bucket`, or npos. Caller
-  /// holds mutex_. When `scanned` is non-null it receives the number of
-  /// queued envelopes examined (the trace counter behind the match-cost
-  /// benchmarks).
-  static std::size_t find_match(const Bucket& bucket, int source, int tag,
-                                std::size_t* scanned = nullptr);
+  /// First (source, tag) match in `comm` by delivery order, or nullopt.
+  /// Caller holds mutex_. When `scanned` is non-null it receives the number
+  /// of queued envelopes examined (the trace counter behind the match-cost
+  /// benchmarks): a targeted receive examines only its own source's FIFO.
+  static std::optional<Hit> find_match(CommQueue& comm, int source, int tag,
+                                       std::size_t* scanned = nullptr);
 
-  /// Remove and return `bucket`'s envelope at `index`, dropping the bucket
-  /// when it empties. Caller holds mutex_.
-  Envelope take(std::uint64_t comm_id, Bucket& bucket, std::size_t index);
+  /// Remove and return the matched envelope, dropping empty FIFOs and the
+  /// comm entry when it empties. Caller holds mutex_.
+  Envelope take(std::uint64_t comm_id, CommQueue& comm, const Hit& hit);
 
   /// Record trace counters and the enqueue-to-match latency event for a
   /// matched envelope. No-op without an active trace session. Caller holds
   /// mutex_.
   static void record_match(const Envelope& envelope, std::size_t scanned);
 
-  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
-
   mutable std::mutex mutex_;
   std::condition_variable arrived_;
-  std::unordered_map<std::uint64_t, Bucket> buckets_;
-  std::size_t queued_ = 0;  ///< total envelopes across all buckets
+  std::unordered_map<std::uint64_t, CommQueue> comms_;
+  std::size_t queued_ = 0;  ///< total envelopes across all communicators
   bool aborted_ = false;
 };
 

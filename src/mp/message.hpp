@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace pdc::mp {
@@ -17,6 +19,25 @@ inline constexpr int kAnyTag = -1;
 /// the runtime's collective-operation protocol.
 inline constexpr int kMaxUserTag = 1 << 29;
 
+/// Serialized message bytes.
+using Bytes = std::vector<std::byte>;
+
+/// An immutable serialized payload, shared between every envelope it is
+/// posted in. Collective fan-outs encode a value once and hand the same
+/// buffer to all p-1 destinations; a null payload means a zero-byte message.
+using SharedPayload = std::shared_ptr<const Bytes>;
+
+/// Wrap freshly encoded bytes as a shareable immutable payload.
+inline SharedPayload make_payload(Bytes bytes) {
+  return std::make_shared<const Bytes>(std::move(bytes));
+}
+
+/// The canonical zero-byte payload view (decoding a null payload).
+inline const Bytes& empty_bytes() noexcept {
+  static const Bytes empty;
+  return empty;
+}
+
 /// Completion information for a receive or probe (MPI_Status).
 struct Status {
   int source = kAnySource;       ///< local rank of the sender
@@ -28,17 +49,29 @@ struct Status {
 /// serialized payload. The payload's type hash lets the runtime reject a
 /// receive whose C++ type does not match what was sent — the moral
 /// equivalent of MPI datatype matching, surfaced as an exception instead of
-/// silent corruption.
+/// silent corruption — and `type_name` names the offending types in that
+/// exception. The payload itself is immutable and may be shared with other
+/// envelopes of the same fan-out, so nothing may mutate it after delivery.
 struct Envelope {
   std::uint64_t comm_id = 0;
   int source = 0;                ///< local rank within the communicator
   int tag = 0;
   std::size_t type_hash = 0;
-  std::vector<std::byte> payload;
+  const char* type_name = "";    ///< static-storage name of the sent type
+  SharedPayload payload;         ///< null ⇔ zero-byte message
 
   /// Stamped by Mailbox::deliver while a trace session is active (epoch
   /// otherwise); lets the receiver record enqueue-to-match latency.
   std::chrono::steady_clock::time_point delivered_at{};
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return payload ? payload->size() : 0;
+  }
+
+  /// The payload bytes (empty view for a zero-byte message).
+  [[nodiscard]] const Bytes& bytes() const noexcept {
+    return payload ? *payload : empty_bytes();
+  }
 };
 
 }  // namespace pdc::mp

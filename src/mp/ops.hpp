@@ -1,40 +1,65 @@
 #pragma once
 
 #include <algorithm>
+#include <type_traits>
 
 namespace pdc::mp::ops {
 
 /// Reduction operators for Communicator::reduce / allreduce / scan,
 /// mirroring MPI_SUM, MPI_PROD, MPI_MIN, MPI_MAX, MPI_LAND, MPI_LOR.
-/// All are associative; Sum/Prod/Min/Max are also commutative. The runtime
-/// always combines in rank order, so even merely associative user operators
-/// give deterministic results.
+///
+/// Each built-in op declares `static constexpr bool commutative = true`,
+/// which the collectives detect (ops::is_commutative_v) to unlock
+/// order-free algorithms: arrival-order root drains, tree reductions,
+/// recursive doubling. A user operator without the marker is treated as
+/// merely associative and combined strictly in rank order, so lambdas and
+/// custom functors keep deterministic results by default; add the marker to
+/// opt into the faster schedules. (For floating point even a commutative op
+/// reassociates under these schedules — use rank-order Flat when bitwise
+/// reproducibility matters more than speed.)
+
+/// True iff Op declares itself commutative via a
+/// `static constexpr bool commutative = true` member.
+template <typename Op, typename = void>
+struct is_commutative : std::false_type {};
+
+template <typename Op>
+struct is_commutative<Op, std::enable_if_t<Op::commutative>> : std::true_type {};
+
+template <typename Op>
+inline constexpr bool is_commutative_v = is_commutative<Op>::value;
 
 struct Sum {
+  static constexpr bool commutative = true;
   template <typename T>
   T operator()(const T& a, const T& b) const { return a + b; }
 };
 
 struct Prod {
+  static constexpr bool commutative = true;
   template <typename T>
   T operator()(const T& a, const T& b) const { return a * b; }
 };
 
 struct Min {
+  static constexpr bool commutative = true;
   template <typename T>
   T operator()(const T& a, const T& b) const { return std::min(a, b); }
 };
 
 struct Max {
+  static constexpr bool commutative = true;
   template <typename T>
   T operator()(const T& a, const T& b) const { return std::max(a, b); }
 };
 
 struct LogicalAnd {
+  static constexpr bool commutative = true;
   bool operator()(bool a, bool b) const { return a && b; }
 };
 
 struct LogicalOr {
+  static constexpr bool commutative = true;
   bool operator()(bool a, bool b) const { return a || b; }
 };
 
@@ -48,6 +73,7 @@ struct Located {
 };
 
 struct MinLoc {
+  static constexpr bool commutative = true;
   template <typename T>
   Located<T> operator()(const Located<T>& a, const Located<T>& b) const {
     if (b.value < a.value) return b;
@@ -57,6 +83,7 @@ struct MinLoc {
 };
 
 struct MaxLoc {
+  static constexpr bool commutative = true;
   template <typename T>
   Located<T> operator()(const Located<T>& a, const Located<T>& b) const {
     if (a.value < b.value) return b;

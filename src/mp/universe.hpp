@@ -58,6 +58,19 @@ class Universe {
     return messages_sent_.load(std::memory_order_relaxed);
   }
 
+  /// Count one payload serialization (called by Communicator each time it
+  /// runs Codec<T>::encode). Fan-outs that share an encoded payload post
+  /// many messages per encode, so messages_sent / payloads_encoded is the
+  /// job's encode-sharing factor.
+  void record_encode() noexcept {
+    payloads_encoded_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Total payload serializations in this job so far.
+  [[nodiscard]] std::uint64_t payloads_encoded() const noexcept {
+    return payloads_encoded_.load(std::memory_order_relaxed);
+  }
+
   /// Whether abort() has been called.
   [[nodiscard]] bool aborted() const noexcept {
     return aborted_.load(std::memory_order_acquire);
@@ -69,6 +82,7 @@ class Universe {
   std::vector<std::string> hostnames_;
   std::atomic<std::uint64_t> next_comm_id_{1};  // 0 is COMM_WORLD
   std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> payloads_encoded_{0};
   std::atomic<bool> aborted_{false};
 
   mutable std::mutex log_mutex_;

@@ -141,7 +141,7 @@ TEST(ChaosMp, ForcedReordersRespectPerSourceFifo) {
     e.comm_id = 0;
     e.source = source;
     e.tag = 0;
-    e.payload = {payload_byte};
+    e.payload = mp::make_payload({payload_byte});
     return e;
   };
   // Interleave two senders; reorders may shuffle traffic *across* sources
@@ -154,11 +154,11 @@ TEST(ChaosMp, ForcedReordersRespectPerSourceFifo) {
   box.deliver(make(2, std::byte{21}));
 
   EXPECT_GT(scope.plan().fault_count(FaultKind::Reorder), 0u);
-  EXPECT_EQ(box.receive(0, 1, mp::kAnyTag).payload.at(0), std::byte{10});
-  EXPECT_EQ(box.receive(0, 1, mp::kAnyTag).payload.at(0), std::byte{11});
-  EXPECT_EQ(box.receive(0, 1, mp::kAnyTag).payload.at(0), std::byte{12});
-  EXPECT_EQ(box.receive(0, 2, mp::kAnyTag).payload.at(0), std::byte{20});
-  EXPECT_EQ(box.receive(0, 2, mp::kAnyTag).payload.at(0), std::byte{21});
+  EXPECT_EQ(box.receive(0, 1, mp::kAnyTag).payload->at(0), std::byte{10});
+  EXPECT_EQ(box.receive(0, 1, mp::kAnyTag).payload->at(0), std::byte{11});
+  EXPECT_EQ(box.receive(0, 1, mp::kAnyTag).payload->at(0), std::byte{12});
+  EXPECT_EQ(box.receive(0, 2, mp::kAnyTag).payload->at(0), std::byte{20});
+  EXPECT_EQ(box.receive(0, 2, mp::kAnyTag).payload->at(0), std::byte{21});
 }
 
 TEST(ChaosMp, DropsRetryButEveryMessageStillArrives) {

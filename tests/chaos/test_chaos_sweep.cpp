@@ -69,6 +69,70 @@ TEST(ChaosSweep, CollectivesSurviveLossyChaos) {
   }
 }
 
+TEST(ChaosSweep, ArrivalOrderCollectivesSurviveForcedReorders) {
+  // The indexed mailbox and the arrival-order root drains under heavy
+  // cross-source reorders: gather/gather_chunks must still reassemble by
+  // source rank, recursive-doubling allreduce must still converge, and
+  // wildcard-source receives must keep each sender's stream FIFO.
+  const int seeds = sweep_seeds(8);
+  for (int s = 0; s < seeds; ++s) {
+    const auto seed = static_cast<std::uint64_t>(6000 + s);
+    Config config = Config::noise(seed);
+    config.reorder_probability = 0.9;  // nearly every delivery jumps queues
+    config.max_delay_us = 25;
+
+    Scope scope(config);
+    std::atomic<int> correct{0};
+    const bool finished = run_with_watchdog(kWatchdogBudget, [&] {
+      mp::run(5, [&](mp::Communicator& comm) {
+        const int rank = comm.rank();
+        const int size = comm.size();
+
+        const auto all = comm.gather(rank * 11, 0);
+        bool ok = true;
+        if (rank == 0) {
+          for (int r = 0; ok && r < size; ++r) {
+            ok = all[static_cast<std::size_t>(r)] == r * 11;
+          }
+        }
+
+        const auto chunks = comm.gather_chunks(
+            std::vector<int>{rank, rank + 100}, 0);
+        if (rank == 0) {
+          ok = ok && chunks.size() == static_cast<std::size_t>(2 * size);
+          for (int r = 0; ok && r < size; ++r) {
+            ok = chunks[static_cast<std::size_t>(2 * r)] == r &&
+                 chunks[static_cast<std::size_t>(2 * r + 1)] == r + 100;
+          }
+        }
+
+        using Algo = mp::Communicator::CollectiveAlgo;
+        ok = ok && comm.allreduce(rank + 1, mp::ops::Sum{},
+                                  Algo::RecursiveDoubling) ==
+                       size * (size + 1) / 2;
+        ok = ok && comm.allreduce(rank, mp::ops::Max{}) == size - 1;
+
+        // Wildcard-source drain: per-source FIFO must hold under reorders.
+        if (rank == 0) {
+          std::vector<int> last(static_cast<std::size_t>(size), -1);
+          for (int i = 0; i < 3 * (size - 1); ++i) {
+            mp::Status status;
+            const int v = comm.recv<int>(mp::kAnySource, 3, &status);
+            auto& prev = last[static_cast<std::size_t>(status.source)];
+            ok = ok && v > prev;
+            prev = v;
+          }
+        } else {
+          for (int i = 0; i < 3; ++i) comm.send(rank * 10 + i, 0, 3);
+        }
+        if (ok) correct.fetch_add(1);
+      });
+    });
+    ASSERT_TRUE(finished) << "hang under reorder chaos seed " << seed;
+    EXPECT_EQ(correct.load(), 5) << "divergence under reorder seed " << seed;
+  }
+}
+
 TEST(ChaosSweep, HostileChaosFailsCleanlyOrSucceeds) {
   const int seeds = sweep_seeds(8);
   int aborted = 0;

@@ -72,9 +72,55 @@ TEST(Codec, TruncatedStringVectorThrows) {
   EXPECT_THROW(Codec<std::vector<std::string>>::decode(bytes), InvalidArgument);
 }
 
+TEST(Codec, HostileCountPrefixThrowsInsteadOfAllocating) {
+  // A corrupt/hostile payload claiming 2^56 strings in 8 bytes of data must
+  // be rejected by the bounds check, not die inside reserve() with
+  // length_error/bad_alloc after attempting a giant allocation.
+  Bytes bytes = Codec<std::vector<std::string>>::encode({});
+  bytes[7] = std::byte{0x01};  // count = 1 << 56
+  EXPECT_THROW(Codec<std::vector<std::string>>::decode(bytes), InvalidArgument);
+}
+
+TEST(Codec, CountLargerThanRemainingBytesThrows) {
+  // count = 3 but only one element's worth of bytes follows: even before
+  // reading element lengths the count is impossible (each element costs at
+  // least its 8-byte prefix).
+  Bytes bytes = Codec<std::vector<std::string>>::encode({"x"});
+  bytes[0] = std::byte{3};
+  EXPECT_THROW(Codec<std::vector<std::string>>::decode(bytes), InvalidArgument);
+}
+
+TEST(Codec, HostileElementLengthDoesNotOverflow) {
+  // An element length near 2^64 must not wrap the pos+len bounds check into
+  // accepting an out-of-range read.
+  Bytes bytes = Codec<std::vector<std::string>>::encode({"abc"});
+  for (int i = 8; i < 16; ++i) bytes[static_cast<std::size_t>(i)] = std::byte{0xFF};
+  EXPECT_THROW(Codec<std::vector<std::string>>::decode(bytes), InvalidArgument);
+}
+
+TEST(Codec, TruncatedLengthPrefixThrows) {
+  // Payload ends mid-prefix: the count check passes (the long first string
+  // accounts for the bytes), but the second element's length prefix is cut
+  // short and must be caught by the truncation check.
+  Bytes bytes =
+      Codec<std::vector<std::string>>::encode({std::string(16, 'a'), "b"});
+  ASSERT_EQ(bytes.size(), 41u);
+  bytes.resize(36);
+  EXPECT_THROW(Codec<std::vector<std::string>>::decode(bytes), InvalidArgument);
+}
+
 TEST(Codec, TypeHashDistinguishesTypes) {
   EXPECT_NE(type_hash<int>(), type_hash<double>());
   EXPECT_EQ(type_hash<int>(), type_hash<int>());
+}
+
+TEST(Codec, TypeNameIsReadable) {
+  EXPECT_STREQ(type_name<int>(), "int");
+  const std::string vec_name = type_name<std::vector<double>>();
+  EXPECT_NE(vec_name.find("vector"), std::string::npos);
+  EXPECT_NE(vec_name.find("double"), std::string::npos);
+  // The pointer is stable across calls (static storage).
+  EXPECT_EQ(type_name<int>(), type_name<int>());
 }
 
 }  // namespace

@@ -100,6 +100,170 @@ TEST(AlgoMessages, BothAlgorithmsSendExactlyPMinusOneMessages) {
   }
 }
 
+TEST_P(AlgoSizeTest, RecursiveDoublingAllreduceMatchesFlat) {
+  // Including non-power-of-two sizes, which exercise the remainder
+  // fold-in/fold-out steps.
+  const int procs = GetParam();
+  std::atomic<int> correct{0};
+  run(procs, [&](Communicator& comm) {
+    const int contribution = (comm.rank() + 3) * (comm.rank() + 3);
+    const int flat = comm.allreduce(contribution, ops::Sum{}, Algo::Flat);
+    const int rd =
+        comm.allreduce(contribution, ops::Sum{}, Algo::RecursiveDoubling);
+    if (rd == flat) correct.fetch_add(1);
+  });
+  EXPECT_EQ(correct.load(), procs) << "every rank must hold the full result";
+}
+
+TEST_P(AlgoSizeTest, RecursiveDoublingHandlesMinMaxAndVectors) {
+  const int procs = GetParam();
+  run(procs, [&](Communicator& comm) {
+    EXPECT_EQ(comm.allreduce(comm.rank(), ops::Max{}, Algo::RecursiveDoubling),
+              procs - 1);
+    EXPECT_EQ(
+        comm.allreduce(comm.rank() + 5, ops::Min{}, Algo::RecursiveDoubling),
+        5);
+  });
+}
+
+TEST_P(AlgoSizeTest, AutoAllreduceAgreesAcrossRanksAndIsCorrect) {
+  // Auto must resolve identically on every rank (a divergent choice would
+  // deadlock) — run a chain of Auto collectives and check the values.
+  const int procs = GetParam();
+  std::atomic<int> correct{0};
+  run(procs, [&](Communicator& comm) {
+    bool ok = comm.allreduce(1, ops::Sum{}) == procs;
+    ok = ok && comm.allreduce(comm.rank(), ops::Max{}) == procs - 1;
+    // A dynamic-size payload takes the tree path of Auto.
+    std::vector<int> v{comm.rank(), comm.rank() * 2};
+    const auto vsum = comm.allreduce(
+        v, [](const std::vector<int>& a, const std::vector<int>& b) {
+          std::vector<int> out(a.size());
+          for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+          return out;
+        });
+    const int n = procs;
+    ok = ok && vsum[0] == n * (n - 1) / 2 && vsum[1] == n * (n - 1);
+    if (ok) correct.fetch_add(1);
+  });
+  EXPECT_EQ(correct.load(), procs);
+}
+
+TEST(AlgoContract, RecursiveDoublingRequiresCommutativeOp) {
+  // A lambda carries no commutativity declaration, so the out-of-order
+  // pairwise schedule must refuse it.
+  EXPECT_THROW(
+      run(4,
+          [](Communicator& comm) {
+            (void)comm.allreduce(
+                comm.rank(), [](int a, int b) { return a + b; },
+                Algo::RecursiveDoubling);
+          }),
+      InvalidArgument);
+}
+
+TEST(AlgoContract, RecursiveDoublingIsAllreduceOnly) {
+  run(2, [](Communicator& comm) {
+    int v = comm.rank() == 0 ? 1 : 0;
+    EXPECT_THROW(comm.bcast(v, 0, Algo::RecursiveDoubling), InvalidArgument);
+    EXPECT_THROW((void)comm.reduce(v, ops::Sum{}, 0, Algo::RecursiveDoubling),
+                 InvalidArgument);
+    EXPECT_THROW((void)comm.allgather(v, Algo::RecursiveDoubling),
+                 InvalidArgument);
+  });
+}
+
+TEST(AlgoContract, LambdasReduceInRankOrder) {
+  // Operators without the commutative marker must fold strictly in rank
+  // order no matter what Auto resolves elsewhere — string concatenation
+  // makes any deviation visible.
+  run(4, [](Communicator& comm) {
+    const std::string piece(1, static_cast<char>('a' + comm.rank()));
+    const auto concat = [](const std::string& a, const std::string& b) {
+      return a + b;
+    };
+    const std::string folded = comm.reduce(piece, concat, 0);
+    if (comm.rank() == 0) EXPECT_EQ(folded, "abcd");
+    std::string everywhere = comm.allreduce(piece, concat);
+    EXPECT_EQ(everywhere, "abcd");
+  });
+}
+
+TEST(AlgoMessages, AllgatherHonorsExplicitAlgorithms) {
+  for (const Algo algo : {Algo::Flat, Algo::Binomial}) {
+    std::atomic<int> correct{0};
+    run(6, [&](Communicator& comm) {
+      const auto all = comm.allgather(comm.rank() * 3, algo);
+      bool ok = all.size() == 6u;
+      for (int r = 0; ok && r < 6; ++r) {
+        ok = all[static_cast<std::size_t>(r)] == r * 3;
+      }
+      if (ok) correct.fetch_add(1);
+    });
+    EXPECT_EQ(correct.load(), 6);
+  }
+}
+
+TEST(EncodeSharing, FlatBroadcastEncodesExactlyOnce) {
+  // The headline fix: a flat bcast of a vector<double> at p=16 used to
+  // serialize the payload 15 times, once per destination. The shared
+  // payload makes it exactly one encode for the whole fan-out. Only the
+  // root encodes, so its own post-bcast read of the counter is exact.
+  std::atomic<std::uint64_t> encodes{~0ull};
+  run(16, [&](Communicator& comm) {
+    std::vector<double> payload;
+    if (comm.rank() == 0) payload.assign(4096, 1.0);
+    comm.bcast(payload, 0, Algo::Flat);
+    if (comm.rank() == 0) encodes.store(comm.universe().payloads_encoded());
+    EXPECT_EQ(payload.size(), 4096u);
+  });
+  EXPECT_EQ(encodes.load(), 1u);
+}
+
+TEST(EncodeSharing, BinomialBroadcastForwardsWithoutReencoding) {
+  // Interior tree ranks forward the payload they received; the job-wide
+  // encode count stays 1 no matter how many hops the value takes. Read
+  // after the job joins so every forward has happened.
+  std::uint64_t encodes = 0;
+  std::atomic<int> correct{0};
+  run(16, [&](Communicator& comm) {
+    std::vector<int> data;
+    if (comm.rank() == 0) data = {1, 2, 3};
+    comm.bcast(data, 0, Algo::Binomial);
+    if (data == std::vector<int>{1, 2, 3}) correct.fetch_add(1);
+    comm.barrier();
+    if (comm.rank() == 0) {
+      // barrier cost: 15 entry tokens + 1 shared release token.
+      encodes = comm.universe().payloads_encoded() - 16;
+    }
+  });
+  EXPECT_EQ(correct.load(), 16);
+  EXPECT_EQ(encodes, 1u);
+}
+
+TEST(EncodeSharing, BarrierReleaseSharesOneToken) {
+  // 2*(p-1) messages but only (p-1) entry encodes + 1 release encode.
+  std::uint64_t encodes = 0;
+  run(8, [&](Communicator& comm) {
+    comm.barrier();
+    if (comm.rank() == 0) encodes = comm.universe().payloads_encoded();
+  });
+  EXPECT_EQ(encodes, 8u);
+}
+
+TEST(EncodeSharing, RecursiveDoublingMessageCount) {
+  // p = 2^k: every rank sends one partial per round, k rounds. No
+  // remainder traffic.
+  std::atomic<std::uint64_t> sent{0};
+  run(8, [&](Communicator& comm) {
+    (void)comm.allreduce(comm.rank(), ops::Sum{}, Algo::RecursiveDoubling);
+    comm.barrier();
+    if (comm.rank() == 0) sent.store(comm.universe().messages_sent());
+  });
+  const std::uint64_t barrier_cost = 2 * 7;
+  EXPECT_EQ(sent.load() - barrier_cost, 8u * 3u);
+}
+
 TEST(AlgoMessages, BinomialSubtreesForwardTheData) {
   // With 8 ranks and root 0, rank 4 must forward to ranks 5 and 6 — i.e.
   // non-root ranks send too. Indirectly verified: every rank still gets the

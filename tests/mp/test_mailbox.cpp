@@ -12,7 +12,7 @@ Envelope make(std::uint64_t comm, int src, int tag, std::byte payload_byte) {
   e.comm_id = comm;
   e.source = src;
   e.tag = tag;
-  e.payload = {payload_byte};
+  e.payload = make_payload({payload_byte});
   return e;
 }
 
@@ -22,7 +22,7 @@ TEST(Mailbox, DeliverThenReceive) {
   const Envelope e = box.receive(0, 1, 5);
   EXPECT_EQ(e.source, 1);
   EXPECT_EQ(e.tag, 5);
-  EXPECT_EQ(e.payload.at(0), std::byte{0xAB});
+  EXPECT_EQ(e.payload->at(0), std::byte{0xAB});
 }
 
 TEST(Mailbox, WildcardSourceMatchesAnySender) {
@@ -43,8 +43,8 @@ TEST(Mailbox, NonOvertakingSameSourceSameTag) {
   Mailbox box;
   box.deliver(make(0, 1, 0, std::byte{10}));
   box.deliver(make(0, 1, 0, std::byte{20}));
-  EXPECT_EQ(box.receive(0, 1, 0).payload.at(0), std::byte{10});
-  EXPECT_EQ(box.receive(0, 1, 0).payload.at(0), std::byte{20});
+  EXPECT_EQ(box.receive(0, 1, 0).payload->at(0), std::byte{10});
+  EXPECT_EQ(box.receive(0, 1, 0).payload->at(0), std::byte{20});
 }
 
 TEST(Mailbox, TagSelectionSkipsEarlierNonMatching) {
@@ -52,16 +52,16 @@ TEST(Mailbox, TagSelectionSkipsEarlierNonMatching) {
   box.deliver(make(0, 1, 1, std::byte{10}));  // data
   box.deliver(make(0, 1, 2, std::byte{20}));  // control
   // Receiving tag 2 first must skip over the earlier tag-1 message.
-  EXPECT_EQ(box.receive(0, 1, 2).payload.at(0), std::byte{20});
-  EXPECT_EQ(box.receive(0, 1, 1).payload.at(0), std::byte{10});
+  EXPECT_EQ(box.receive(0, 1, 2).payload->at(0), std::byte{20});
+  EXPECT_EQ(box.receive(0, 1, 1).payload->at(0), std::byte{10});
 }
 
 TEST(Mailbox, CommunicatorIsolation) {
   Mailbox box;
   box.deliver(make(7, 0, 0, std::byte{70}));
   box.deliver(make(8, 0, 0, std::byte{80}));
-  EXPECT_EQ(box.receive(8, 0, 0).payload.at(0), std::byte{80});
-  EXPECT_EQ(box.receive(7, 0, 0).payload.at(0), std::byte{70});
+  EXPECT_EQ(box.receive(8, 0, 0).payload->at(0), std::byte{80});
+  EXPECT_EQ(box.receive(7, 0, 0).payload->at(0), std::byte{70});
 }
 
 TEST(Mailbox, TryReceiveReturnsNulloptWhenEmpty) {
@@ -86,7 +86,7 @@ TEST(Mailbox, ReceiveForSucceedsWhenMessageArrivesLate) {
       box.receive_for(0, kAnySource, kAnyTag, std::chrono::milliseconds(2000));
   sender.join();
   ASSERT_TRUE(result.has_value());
-  EXPECT_EQ(result->payload.at(0), std::byte{42});
+  EXPECT_EQ(result->payload->at(0), std::byte{42});
 }
 
 TEST(Mailbox, BlockingReceiveWakesOnDelivery) {
@@ -97,7 +97,7 @@ TEST(Mailbox, BlockingReceiveWakesOnDelivery) {
   });
   const Envelope e = box.receive(0, 5, 1);
   sender.join();
-  EXPECT_EQ(e.payload.at(0), std::byte{9});
+  EXPECT_EQ(e.payload->at(0), std::byte{9});
 }
 
 TEST(Mailbox, ProbeReportsWithoutRemoving) {

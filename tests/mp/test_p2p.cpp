@@ -56,6 +56,29 @@ TEST(P2P, TypeMismatchIsDetected) {
   });
 }
 
+TEST(P2P, TypeMismatchErrorNamesBothTypes) {
+  // The exception must say what was sent and what the receiver asked for —
+  // "sent with a different template parameter" with no names sends students
+  // hunting through every send in the program.
+  std::atomic<bool> checked{false};
+  run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(3.14, 1);
+    } else {
+      try {
+        (void)comm.recv<int>(0);
+        ADD_FAILURE() << "expected a datatype mismatch";
+      } catch (const InvalidArgument& err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("double"), std::string::npos) << what;
+        EXPECT_NE(what.find("int"), std::string::npos) << what;
+        checked.store(true);
+      }
+    }
+  });
+  EXPECT_TRUE(checked.load());
+}
+
 TEST(P2P, TagsSelectMessages) {
   run(2, [&](Communicator& comm) {
     if (comm.rank() == 0) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 
 #include "mp/ops.hpp"
 #include "mp/runtime.hpp"
@@ -69,6 +70,42 @@ TEST(Split, ParentCommunicatorStillUsableAfterSplit) {
     (void)sub;
     const int sum = comm.allreduce(1, ops::Sum{});
     EXPECT_EQ(sum, 4);
+  });
+}
+
+TEST(Split, NegativeColorThrowsOnEveryRank) {
+  // MPI_UNDEFINED-style opt-out is not supported by this value-returning
+  // API: negative colors are rejected with InvalidArgument before any
+  // communication, identically on every rank (so nobody deadlocks waiting
+  // for a peer that bailed).
+  std::atomic<int> rejected{0};
+  run(4, [&](Communicator& comm) {
+    try {
+      (void)comm.split(-1, comm.rank());
+    } catch (const InvalidArgument& err) {
+      const std::string what = err.what();
+      if (what.find("color") != std::string::npos) rejected.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(rejected.load(), 4);
+}
+
+TEST(Split, NegativeColorOnOneRankAbortsTheJob) {
+  // Only rank 2 passes a bad color; its throw must abort the job and
+  // unblock the ranks already inside the collective instead of hanging.
+  EXPECT_THROW(run(4,
+                   [](Communicator& comm) {
+                     (void)comm.split(comm.rank() == 2 ? -7 : 0, comm.rank());
+                   }),
+               InvalidArgument);
+}
+
+TEST(Split, AllSameColorGivesFullSizeGroup) {
+  run(5, [&](Communicator& comm) {
+    Communicator sub = comm.split(0, comm.rank());
+    EXPECT_EQ(sub.size(), 5);
+    EXPECT_EQ(sub.rank(), comm.rank());
+    EXPECT_EQ(sub.allreduce(1, ops::Sum{}), 5);
   });
 }
 
