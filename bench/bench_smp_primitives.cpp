@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstdio>
 
+#include "smp/config.hpp"
 #include "smp/parallel.hpp"
 #include "smp/thread_pool.hpp"
 #include "trace/report.hpp"
@@ -22,7 +23,68 @@ void BM_ForkJoin(benchmark::State& state) {
     smp::parallel(threads, [](smp::TeamContext&) {});
   }
 }
-BENCHMARK(BM_ForkJoin)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_ForkJoin)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// The fork-join hot-path acceptance measurement: per-region overhead of a
+// repeated small parallel_for at p=8, cached worker team (arg 1) vs the
+// spawn-per-region baseline engine (arg 0: fresh threads per region plus
+// the pre-overhaul mutex+CV barrier — what every region paid before this
+// engine). The work per region is deliberately tiny (~0.2 us serially) so
+// the region machinery dominates; compare the two time/iter numbers
+// directly.
+void BM_RegionPerParallelFor(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  smp::set_team_reuse(cached);
+  std::vector<double> data(1024, 1.0);
+  for (auto _ : state) {
+    smp::parallel_for_ranges(
+        0, static_cast<std::int64_t>(data.size()),
+        [&](std::int64_t begin, std::int64_t end) {
+          for (std::int64_t i = begin; i < end; ++i) {
+            data[static_cast<std::size_t>(i)] *= 1.0000001;
+          }
+        },
+        smp::Schedule::static_blocks(), 8);
+    benchmark::DoNotOptimize(data.data());
+  }
+  smp::set_team_reuse(true);
+  state.SetLabel(cached ? "cached team" : "spawn per region");
+}
+BENCHMARK(BM_RegionPerParallelFor)->Arg(1)->Arg(0);
+
+// Barrier round-trip cost as the team grows: `rounds` arrive_and_wait
+// cycles inside one region, reported per round. Exercises the centralized
+// sense-reversing barrier's spin/yield/futex ladder at each width.
+void BM_BarrierRoundTrip(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  constexpr int kRounds = 64;
+  for (auto _ : state) {
+    smp::parallel(threads, [&](smp::TeamContext& ctx) {
+      for (int i = 0; i < kRounds; ++i) ctx.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kRounds);
+}
+BENCHMARK(BM_BarrierRoundTrip)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// Dynamic-schedule chunk-claim throughput: the slot ring's fetch_add
+// dispatch cursor under a team hammering an empty-bodied loop. items/s is
+// claimed chunks per second.
+void BM_DynamicClaims(benchmark::State& state) {
+  constexpr std::int64_t kChunk = 16;
+  constexpr std::int64_t kN = 1 << 16;
+  for (auto _ : state) {
+    smp::parallel(4, [&](smp::TeamContext& ctx) {
+      ctx.for_ranges(
+          0, kN, smp::Schedule::dynamic(kChunk),
+          [](std::int64_t begin, std::int64_t) {
+            benchmark::DoNotOptimize(begin);
+          });
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * (kN / kChunk));
+}
+BENCHMARK(BM_DynamicClaims);
 
 void BM_ParallelForStatic(benchmark::State& state) {
   const auto n = state.range(0);

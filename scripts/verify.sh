@@ -5,10 +5,13 @@
 #
 # 1. tier-1      — regular build, the whole test suite (fast, seeds at
 #                  defaults)
-# 2. bench-smoke — the mp bench binaries in a 1-rep/2-round configuration
-#                  (ctest -L bench-smoke): a crash/hang canary for the
-#                  measurement harness, not a measurement
-# 3. tsan        — ThreadSanitizer build, concurrency suites (ctest -L tsan)
+# 2. bench-smoke — the mp + smp bench binaries in a 1-rep/2-round
+#                  configuration (ctest -L bench-smoke): a crash/hang canary
+#                  for the measurement harness (including the cached-vs-spawn
+#                  fork-join region benchmarks), not a measurement
+# 3. tsan        — ThreadSanitizer build, concurrency suites (ctest -L tsan),
+#                  which now include the smp team poison/abort regression
+#                  tests (test_smp carries the tsan label)
 # 4. stress      — chaos seed sweeps at full depth (ctest -L stress with
 #                  PDCLAB_CHAOS_SEEDS=80: acceptance scenarios x 80 seeds,
 #                  plus the patternlet sweep at a quarter depth)
@@ -26,7 +29,7 @@ cmake -B "${prefix}" -S . >/dev/null
 cmake --build "${prefix}" -j "${jobs}"
 ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}"
 
-echo "==> [2/4] bench-smoke: 1-rep mp bench canaries (${prefix})"
+echo "==> [2/4] bench-smoke: 1-rep mp + smp bench canaries (${prefix})"
 ctest --test-dir "${prefix}" --output-on-failure -L bench-smoke
 
 echo "==> [3/4] tsan: ThreadSanitizer build + concurrency suites (${prefix}-tsan)"

@@ -184,7 +184,10 @@ std::vector<SweepPoint> sweep_smp(int grid_size,
   trace::Span span("fire.sweep_smp", "exemplar");
   const auto total = static_cast<std::int64_t>(probabilities.size()) * trials;
   // Each flat index is written by exactly one thread: data-race free
-  // without locks, and the later fixed-order reduction is exact.
+  // without locks, and the later fixed-order reduction is exact. One
+  // fork-join region per sweep call is fine even when callers loop over
+  // sweeps — the cached worker team makes a region an unpark, not a
+  // round of thread spawns.
   std::vector<double> burned(static_cast<std::size_t>(total), 0.0);
   std::vector<double> steps(static_cast<std::size_t>(total), 0.0);
   smp::parallel_for(

@@ -62,6 +62,10 @@ double simpson_serial(const Fn& f, double a, double b, std::int64_t n) {
   return sum * h / 3.0;
 }
 
+// The smp integrators open a fresh parallel region per call; the scaling
+// study calls them in a tight loop across n and p, which is exactly the
+// repeated-small-region pattern the cached worker team amortizes (a few µs
+// per region instead of a spawn/join per call — see EXPERIMENTS.md).
 double simpson_smp(const Fn& f, double a, double b, std::int64_t n,
                    std::size_t num_threads) {
   check_simpson_args(a, b, n);

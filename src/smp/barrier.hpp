@@ -1,19 +1,75 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
+#include <thread>
+
+#include "support/error.hpp"
 
 namespace pdc::smp {
+
+/// Thrown at a team synchronization point (barrier, reduction rendezvous,
+/// ordered-region turnstile, slot recycling) after the team was poisoned —
+/// i.e. after a sibling threw out of the parallel region. The runtime uses
+/// it to unwind every surviving member instead of leaving them parked at a
+/// rendezvous nobody will ever complete; `parallel(...)` always rethrows the
+/// *original* member exception to its caller, never the TeamAborted echoes.
+class TeamAborted : public Error {
+ public:
+  explicit TeamAborted(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+/// One iteration of polite spinning (a pause on x86, plain no-op elsewhere).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+/// The shared wait policy of the smp runtime: poll `ready` through a bounded
+/// spin phase (config::spin_limit() iterations), then a short yield phase
+/// (oversubscription-friendly: a 16-thread teaching example on a 1-core CI
+/// container must make progress), then fall through to the caller's blocking
+/// wait. Returns true if `ready` turned true before blocking is needed.
+template <typename Ready>
+bool spin_then_yield(std::size_t spin_budget, Ready&& ready) {
+  for (std::size_t i = 0; i < spin_budget; ++i) {
+    if (ready()) return true;
+    cpu_relax();
+  }
+  constexpr int kYields = 16;
+  for (int i = 0; i < kYields; ++i) {
+    if (ready()) return true;
+    std::this_thread::yield();
+  }
+  return ready();
+}
+
+}  // namespace detail
 
 /// Reusable (cyclic) barrier for a fixed-size thread team.
 ///
 /// This is the synchronization primitive behind the `barrier` patternlet and
-/// the implicit barriers at the end of worksharing constructs. It uses a
-/// generation counter rather than sense-reversal so it is trivially correct
-/// for any number of reuse cycles, and it blocks on a condition variable
-/// (friendly to oversubscribed hosts, e.g. a 1-core CI container running a
-/// 16-thread teaching example).
+/// the implicit barriers at the end of worksharing constructs. It is a
+/// centralized sense-reversing barrier on two atomics: arrivals fetch_add a
+/// counter, the last arriver resets it and bumps the phase word every waiter
+/// watches. Waiters spin briefly, then yield, then block on an atomic wait
+/// (futex) — so an uncontended round trip never touches the kernel while an
+/// oversubscribed host (e.g. a 1-core CI container running a 16-thread
+/// teaching example) still parks instead of burning its only core. The spin
+/// budget is config::spin_limit() (PDCLAB_SMP_SPIN).
+///
+/// poison() aborts the barrier permanently: every current waiter wakes and
+/// every present or future arrival throws TeamAborted instead of blocking —
+/// the mechanism `parallel(...)` uses to free survivors when a team member
+/// throws (there is no "un-poison"; a Team lives for exactly one region).
 class CyclicBarrier {
  public:
   /// A barrier for `parties` threads. Requires parties >= 1.
@@ -25,8 +81,65 @@ class CyclicBarrier {
   /// Block until all `parties` threads have arrived; then all are released
   /// and the barrier resets for the next cycle. Returns the arrival index
   /// within this cycle (0 for the first arriver, parties-1 for the last),
-  /// which tests use to observe barrier semantics.
+  /// which tests use to observe barrier semantics. Throws TeamAborted if
+  /// the barrier is (or becomes) poisoned.
   std::size_t arrive_and_wait();
+
+  /// Poison the barrier: wake every waiter and make every subsequent
+  /// arrival throw TeamAborted. Idempotent; safe from any thread.
+  void poison() noexcept;
+
+  /// Whether poison() has been called.
+  [[nodiscard]] bool poisoned() const noexcept {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+
+  /// Number of participating threads.
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  /// Arrival counter for the current cycle; reset by the last arriver
+  /// *before* the phase bump, so re-arrivals for the next cycle are counted
+  /// correctly. Own cache line: every arrival writes it.
+  alignas(64) std::atomic<std::size_t> arrived_{0};
+  /// The sense word. 32-bit so the blocking path is a plain futex wait on
+  /// the word itself (no libstdc++ proxy-waiter indirection). Own cache
+  /// line: waiters poll it while arrivers hammer arrived_.
+  alignas(64) std::atomic<std::uint32_t> phase_{0};
+  std::atomic<bool> poisoned_{false};
+};
+
+/// The pre-overhaul barrier: a mutex + condition-variable generation
+/// barrier, preserved verbatim (plus poison support, which the hang-free
+/// guarantee requires in every mode) as the synchronization half of the
+/// spawn-per-region baseline engine. A Team built while team_reuse() is
+/// off uses this instead of the sense-reversing CyclicBarrier, so
+/// PDCLAB_SMP_REUSE=0 reproduces the full per-region cost fork-join code
+/// paid before the cached team existed — thread spawns *and* the barrier
+/// mutex convoy — and bench_smp_primitives can A/B the whole overhaul, not
+/// just the thread-reuse third of it.
+class LegacyCyclicBarrier {
+ public:
+  /// A barrier for `parties` threads. Requires parties >= 1.
+  explicit LegacyCyclicBarrier(std::size_t parties);
+
+  LegacyCyclicBarrier(const LegacyCyclicBarrier&) = delete;
+  LegacyCyclicBarrier& operator=(const LegacyCyclicBarrier&) = delete;
+
+  /// Block until all `parties` threads have arrived; returns the arrival
+  /// index within this cycle. Throws TeamAborted if the barrier is (or
+  /// becomes) poisoned.
+  std::size_t arrive_and_wait();
+
+  /// Wake every waiter and make every subsequent arrival throw
+  /// TeamAborted. Idempotent; safe from any thread.
+  void poison() noexcept;
+
+  /// Whether poison() has been called.
+  [[nodiscard]] bool poisoned() const noexcept {
+    return poisoned_.load(std::memory_order_acquire);
+  }
 
   /// Number of participating threads.
   [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
@@ -37,6 +150,7 @@ class CyclicBarrier {
   std::condition_variable released_;
   std::size_t arrived_ = 0;
   std::size_t generation_ = 0;
+  std::atomic<bool> poisoned_{false};  ///< written under mutex_, read free
 };
 
 }  // namespace pdc::smp

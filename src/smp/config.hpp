@@ -20,4 +20,33 @@ void set_default_num_threads(std::size_t n);
 /// The hardware concurrency of this host (never 0).
 std::size_t hardware_threads();
 
+/// Sentinel for set_spin_limit(): restore environment/hardware resolution.
+inline constexpr std::size_t kSpinAuto = static_cast<std::size_t>(-1);
+
+/// How many times a waiting thread polls before it starts yielding and then
+/// blocks (the spin phase of every smp wait: barriers, the fork-join
+/// completion latch, parked workers, and slot-ring recycling). Resolution:
+///   1. the value set by set_spin_limit(),
+///   2. the PDCLAB_SMP_SPIN environment variable,
+///   3. a hardware default: 0 on single-core hosts (spinning there only
+///      steals the core from the thread being waited for), 4096 otherwise.
+std::size_t spin_limit();
+
+/// Programmatic override; `kSpinAuto` restores environment/hardware
+/// resolution. `0` means "never spin, go straight to yield-then-block" —
+/// the right setting for heavily oversubscribed hosts.
+void set_spin_limit(std::size_t n);
+
+/// Whether `parallel(...)` reuses the process-wide cached worker team
+/// (parked threads woken per region) instead of constructing and joining
+/// fresh std::threads per region. Defaults to true; the PDCLAB_SMP_REUSE
+/// environment variable set to 0 selects the full pre-overhaul baseline
+/// engine — spawn-per-region threads *and* the old mutex+CV barrier — the
+/// before-state the fork-join microbenchmarks compare against.
+bool team_reuse();
+
+/// Programmatic override of team_reuse(), used by benchmarks to measure the
+/// spawn-per-region baseline from the same binary.
+void set_team_reuse(bool on);
+
 }  // namespace pdc::smp

@@ -7,9 +7,11 @@
 
 namespace pdc::smp {
 
-/// Fork-join convenience: run `body(i)` for every i in [lo, hi) on a fresh
-/// team of `num_threads` threads (0 = default) with the given schedule.
-/// Equivalent to `#pragma omp parallel for schedule(...)`.
+/// Fork-join convenience: run `body(i)` for every i in [lo, hi) on a team
+/// of `num_threads` threads (0 = default) with the given schedule.
+/// Equivalent to `#pragma omp parallel for schedule(...)`. Cheap to call in
+/// a loop: the region reuses the process-wide cached worker team, so a
+/// region-per-trial driver pays an unpark, not a thread spawn, per call.
 inline void parallel_for(std::int64_t lo, std::int64_t hi,
                          const std::function<void(std::int64_t)>& body,
                          Schedule sched = Schedule::static_blocks(),

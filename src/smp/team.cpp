@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 #include <thread>
+#include <utility>
 
 #include "chaos/chaos.hpp"
 #include "smp/config.hpp"
@@ -14,6 +15,15 @@ Team::Team(std::size_t num_threads)
   if (num_threads == 0) {
     throw InvalidArgument("Team requires at least one thread");
   }
+  // Baseline engine: teams born in spawn-per-region mode also get the
+  // pre-overhaul mutex+CV barrier, so PDCLAB_SMP_REUSE=0 measures the old
+  // per-region cost faithfully (spawns + barrier convoy together).
+  if (!team_reuse()) legacy_barrier_.emplace(num_threads);
+  // Ring entry i starts life serving construct i; the last departer of
+  // construct id republishes its entry for id + kSlotRing.
+  for (std::size_t i = 0; i < kSlotRing; ++i) {
+    slots_[i].serving.store(i, std::memory_order_relaxed);
+  }
 }
 
 std::mutex& Team::critical_mutex(const std::string& name) {
@@ -24,19 +34,72 @@ std::mutex& Team::critical_mutex(const std::string& name) {
 }
 
 Team::Slot& Team::acquire_slot(std::uint64_t id) {
-  std::lock_guard lock(slots_mutex_);
-  auto& slot = slots_[id];
-  if (!slot) slot = std::make_unique<Slot>();
-  return *slot;
+  Slot& slot = slots_[id % kSlotRing];
+  // Hot path: one acquire load. The entry already serves this construct
+  // unless some sibling is more than kSlotRing constructs behind us.
+  if (slot.serving.load(std::memory_order_acquire) != id) {
+    // Wraparound: wait for the previous tenant (id - kSlotRing) to fully
+    // depart. Deadlock-free — the laggard holding the slot never waits on a
+    // thread that is kSlotRing constructs ahead (any construct that blocks
+    // does so for the whole team) — but it must still be poison-aware, or a
+    // sibling throwing mid-region would strand us here.
+    const auto recycled = [&] {
+      return slot.serving.load(std::memory_order_acquire) == id ||
+             aborted();
+    };
+    for (;;) {
+      if (detail::spin_then_yield(spin_limit(), recycled)) break;
+      // Stay in a yield loop (no futex: recycling is too rare to make every
+      // depart pay a notify); keep polling the poison flag.
+      std::this_thread::yield();
+    }
+    if (slot.serving.load(std::memory_order_acquire) != id) {
+      throw TeamAborted("smp: worksharing slot abandoned, team poisoned");
+    }
+  }
+  slot.entered.fetch_add(1, std::memory_order_relaxed);
+  return slot;
 }
 
 void Team::depart_slot(std::uint64_t id) {
-  std::lock_guard lock(slots_mutex_);
-  const auto it = slots_.find(id);
-  if (it == slots_.end()) return;
-  if (++it->second->departed == num_threads_) {
-    slots_.erase(it);
+  Slot& slot = slots_[id % kSlotRing];
+  if (slot.departed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      num_threads_) {
+    // Last departer: every sibling's final (mutex-guarded) accesses
+    // happen-before its release fetch_add above, so resetting without the
+    // mutex is race-free. The release store of `serving` publishes the
+    // reset to the next tenant's acquire load.
+    slot.next.store(0, std::memory_order_relaxed);
+    slot.ordered_next = 0;
+    slot.payload.reset();
+    slot.arrived = 0;
+    slot.ready = false;
+    slot.claimed = false;
+    slot.entered.store(0, std::memory_order_relaxed);
+    slot.departed.store(0, std::memory_order_relaxed);
+    slot.serving.store(id + kSlotRing, std::memory_order_release);
   }
+}
+
+void Team::poison() noexcept {
+  aborted_.store(true, std::memory_order_release);
+  barrier_.poison();
+  if (legacy_barrier_) legacy_barrier_->poison();
+  // Taking each slot mutex orders the flag store against every
+  // condition-variable wait: a waiter either re-checks its predicate after
+  // we unlock (and sees the flag) or was already awake.
+  for (auto& slot : slots_) {
+    std::lock_guard lock(slot.mutex);
+    slot.cv.notify_all();
+  }
+}
+
+std::size_t Team::busy_slots() const noexcept {
+  std::size_t busy = 0;
+  for (const auto& slot : slots_) {
+    if (slot.entered.load(std::memory_order_relaxed) != 0) ++busy;
+  }
+  return busy;
 }
 
 bool TeamContext::single(const std::function<void()>& fn, bool nowait) {
@@ -141,7 +204,12 @@ void TeamContext::for_each(std::int64_t lo, std::int64_t hi, Schedule sched,
 void TeamContext::OrderedContext::run(std::int64_t i,
                                       const std::function<void()>& fn) {
   std::unique_lock lock(*mutex_);
-  cv_->wait(lock, [&] { return *next_ == i - lo_; });
+  cv_->wait(lock, [&] {
+    return *next_ == i - lo_ || aborted_->load(std::memory_order_acquire);
+  });
+  if (*next_ != i - lo_) {
+    throw TeamAborted("smp: ordered region abandoned, team poisoned");
+  }
   fn();  // still holding the lock: the region is serialized by design
   ++*next_;
   cv_->notify_all();
@@ -155,7 +223,8 @@ void TeamContext::for_each_ordered(
   // worksharing loop allocates its own dispatch slot as usual.
   const std::uint64_t id = next_construct_id();
   auto& slot = team_->acquire_slot(id);
-  OrderedContext ordered(slot.mutex, slot.cv, slot.ordered_next, lo);
+  OrderedContext ordered(slot.mutex, slot.cv, slot.ordered_next, lo,
+                         team_->aborted_);
   for_each(
       lo, hi, sched, [&](std::int64_t i) { body(i, ordered); },
       /*nowait=*/true);
@@ -170,39 +239,377 @@ void TeamContext::sections(const std::vector<std::function<void()>>& tasks,
       [&](std::int64_t i) { tasks[static_cast<std::size_t>(i)](); }, nowait);
 }
 
+namespace {
+
+/// Join state of one parallel region, shared (via shared_ptr) between the
+/// forking thread and every dispatched worker so the completion notify can
+/// never touch a dead frame.
+struct RegionControl {
+  std::atomic<std::uint32_t> remaining{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  void record_error(std::exception_ptr error) {
+    std::lock_guard lock(error_mutex);
+    if (!first_error) first_error = std::move(error);
+  }
+
+  /// Called by a worker as its very last touch of the region.
+  void finish() {
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining.notify_all();
+    }
+  }
+
+  void wait_all_finished() {
+    const auto done = [&] {
+      return remaining.load(std::memory_order_acquire) == 0;
+    };
+    if (detail::spin_then_yield(spin_limit(), done)) return;
+    // Keep yielding well past the shared budget before the futex sleep: the
+    // forking thread's members are the very threads that need the core, so
+    // every yield here is donated directly to finishing the region, while a
+    // futex sleep puts a wake/switch round trip on the join's critical path.
+    for (int i = 0; i < 256; ++i) {
+      if (done()) return;
+      std::this_thread::yield();
+    }
+    std::uint32_t r;
+    while ((r = remaining.load(std::memory_order_acquire)) != 0) {
+      remaining.wait(r, std::memory_order_acquire);
+    }
+  }
+};
+
+struct WorkerSlot;
+
+/// One region's worth of work for one cached worker: an un-owning thunk
+/// into `parallel(...)`'s stack frame (which outlives the region by
+/// construction) plus the shared join state that keeps the latch alive.
+struct Job {
+  void (*invoke)(const void* env, std::size_t thread_num) = nullptr;
+  const void* env = nullptr;
+  std::shared_ptr<RegionControl> control;
+  std::size_t thread_num = 0;
+  /// Next slot in this region's wake chain: the worker wakes it *before*
+  /// running the member, so even a body that blocks at a team sync point
+  /// leaves every remaining member a thread to run on.
+  WorkerSlot* wake_next = nullptr;
+  /// The slot's epoch when this job was assigned; lets the back-steal
+  /// detect whether the slot's worker was ever woken for this region.
+  std::uint32_t epoch_at_dispatch = 0;
+};
+
+struct WorkerSlot {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::atomic<std::uint32_t> epoch{0};  ///< bumped to wake the worker
+  Job job;
+  bool exit = false;
+  bool sleeping = false;  ///< worker is blocked in cv.wait (under mutex)
+};
+
+/// The process-wide cached worker team behind `parallel(...)`.
+///
+/// Workers park on a per-worker epoch word (spin-then-yield, then a
+/// condition-variable block) instead of exiting, so forking a region costs
+/// an unpark — not a ~100 µs thread spawn — per member. The cache grows to
+/// the largest concurrent demand (nested regions simply draw more workers)
+/// and parks everything between regions; all threads are joined at process
+/// exit.
+class WorkerCache {
+ public:
+  static WorkerCache& instance() {
+    static WorkerCache cache;
+    return cache;
+  }
+
+  /// Wake the worker parked on `slot` — but only if the slot still holds a
+  /// job. The presence check under the slot mutex makes wake and steal
+  /// mutually exclusive per slot: once the forking thread has stolen a job,
+  /// the chain never wakes that worker for it, and once a wake has bumped
+  /// the epoch, the steal sees the bump and leaves the slot to its worker.
+  /// A late wake that lands on a slot already re-drafted by a *newer*
+  /// region merely starts that region's member a little early — harmless.
+  static void wake(WorkerSlot& slot) {
+    bool sleeping;
+    {
+      std::lock_guard lock(slot.mutex);
+      if (!slot.job.invoke) return;  // stolen before we got here
+      slot.epoch.fetch_add(1, std::memory_order_release);
+      sleeping = slot.sleeping;
+    }
+    // Skip the notify syscall for a worker still in its yield phase: it
+    // polls the epoch before ever blocking, and the locked handoff above
+    // means it cannot be mid-transition to sleep.
+    if (sleeping) slot.cv.notify_one();
+  }
+
+  /// Hand one region's jobs for team members [first, last) to workers: one
+  /// pass over the parked list under a single cache lock, then a single
+  /// unpark. Fresh threads are spawned only for the demand the parked pool
+  /// cannot cover (first region, or growth in team size).
+  ///
+  /// Wakes are *chained*, not fanned out: only the first drafted worker is
+  /// woken here; each worker wakes its successor before running its member
+  /// (see worker_main), so the forking thread pays one unpark per region
+  /// while a member body that blocks still cannot strand the rest of the
+  /// team — its wake duty was discharged before the body ran. Every drafted
+  /// slot is also appended to `chain` so the forking thread can back-steal
+  /// members the chain has not reached yet (see parallel()).
+  void dispatch_region(void (*invoke)(const void*, std::size_t),
+                       const void* env,
+                       const std::shared_ptr<RegionControl>& control,
+                       std::size_t first, std::size_t last,
+                       std::vector<std::shared_ptr<WorkerSlot>>& chain) {
+    std::size_t thread_num = first;
+    std::size_t chained = 0;
+    {
+      // One pass under a single cache lock, drafting workers straight off
+      // the parked list (no refcount churn). Each job write takes the slot
+      // mutex: a slot that served an earlier region can still be *read*
+      // (under that mutex) by the earlier forking thread's steal walk — a
+      // re-drafted slot legitimately lives in two chains at once.
+      std::lock_guard lock(mutex_);
+      while (thread_num < last && !parked_.empty()) {
+        std::shared_ptr<WorkerSlot>& slot = parked_.back();
+        {
+          std::lock_guard handoff(slot->mutex);
+          slot->job = Job{invoke, env, control, thread_num++,
+                          /*wake_next=*/nullptr,
+                          slot->epoch.load(std::memory_order_relaxed)};
+        }
+        chain.push_back(std::move(slot));
+        parked_.pop_back();
+      }
+      chained = chain.size();
+    }
+    for (std::size_t i = 1; i < chained; ++i) {
+      // Same rule as above: job fields are only ever touched under the slot
+      // mutex once the slot has left the parked list.
+      std::lock_guard link(chain[i - 1]->mutex);
+      chain[i - 1]->job.wake_next = chain[i].get();
+    }
+    for (; thread_num < last; ++thread_num) {
+      // No parked worker left: start a fresh thread that runs this job and
+      // then parks itself for reuse. Fresh threads self-start (no wake
+      // needed, so they take no chain link), but they still join `chain` so
+      // the back-steal can claim their job if the caller gets there first.
+      auto fresh = std::make_shared<WorkerSlot>();
+      fresh->job = Job{invoke, env, control, thread_num,
+                       /*wake_next=*/nullptr, /*epoch_at_dispatch=*/0};
+      fresh->epoch.store(1, std::memory_order_release);
+      chain.push_back(fresh);
+      std::lock_guard lock(mutex_);
+      threads_.emplace_back([this, fresh] { worker_main(std::move(fresh)); });
+    }
+    if (chained != 0) wake(*chain.front());
+  }
+
+  /// Return a drafted-but-never-woken slot to the parked pool after its job
+  /// was stolen: its worker is still waiting exactly as a parked worker
+  /// does. On the (static-destruction) shutdown race, tell the worker to
+  /// exit instead — the destructor has already swapped out the parked list.
+  void reclaim(const std::shared_ptr<WorkerSlot>& slot) {
+    if (park(slot)) return;
+    {
+      std::lock_guard lock(slot->mutex);
+      slot->exit = true;
+      slot->epoch.fetch_add(1, std::memory_order_release);
+    }
+    slot->cv.notify_one();
+  }
+
+  ~WorkerCache() {
+    std::vector<std::shared_ptr<WorkerSlot>> parked;
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard lock(mutex_);
+      shutdown_ = true;
+      parked.swap(parked_);
+      threads.swap(threads_);
+    }
+    for (auto& slot : parked) {
+      {
+        std::lock_guard lock(slot->mutex);
+        slot->exit = true;
+        slot->epoch.fetch_add(1, std::memory_order_release);
+      }
+      slot->cv.notify_one();
+    }
+    for (auto& thread : threads) thread.join();
+  }
+
+ private:
+  void worker_main(std::shared_ptr<WorkerSlot> slot) {
+    std::uint32_t seen = 0;
+    for (;;) {
+      wait_for_wakeup(*slot, seen);
+      seen = slot->epoch.load(std::memory_order_acquire);
+      Job job;
+      bool exit;
+      {
+        std::lock_guard lock(slot->mutex);
+        exit = slot->exit;
+        job = std::move(slot->job);
+        slot->job = Job{};
+      }
+      if (exit) return;
+      if (!job.invoke) {
+        // Woken, but the forking thread stole the job first (the steal ran
+        // between our wake and our take). By the reverse-order steal
+        // invariant there is no chain successor left to serve either —
+        // just park again.
+        if (!park(slot)) return;
+        continue;
+      }
+
+      // Discharge the wake duty *before* running the member: if the body
+      // blocks at a team sync point, the rest of the chain already has (or
+      // is getting) threads to run on, so the sync can complete.
+      if (job.wake_next) wake(*job.wake_next);
+
+      job.invoke(job.env, job.thread_num);
+
+      // Re-park *before* releasing the region latch so the very next
+      // region can reuse this thread, then drop every reference into the
+      // (about to unwind) parallel frame before the final finish().
+      auto control = std::move(job.control);
+      job = Job{};
+      const bool parked = park(slot);
+      control->finish();
+      if (!parked) return;  // cache shut down while we ran
+    }
+  }
+
+  void wait_for_wakeup(WorkerSlot& slot, std::uint32_t seen) {
+    const auto woken = [&] {
+      return slot.epoch.load(std::memory_order_acquire) != seen;
+    };
+    // The shared spin-then-yield policy before blocking: a worker that just
+    // re-parked usually sees the next region's epoch bump while still in
+    // the yield phase and skips the futex sleep/wake cycle entirely —
+    // that's what makes a region-per-trial loop pay an unpark, not a
+    // context-switch round trip, per region.
+    if (detail::spin_then_yield(spin_limit(), woken)) return;
+    std::unique_lock lock(slot.mutex);
+    slot.sleeping = true;
+    slot.cv.wait(lock, woken);
+    slot.sleeping = false;
+  }
+
+  bool park(const std::shared_ptr<WorkerSlot>& slot) {
+    std::lock_guard lock(mutex_);
+    if (shutdown_) return false;
+    parked_.push_back(slot);
+    return true;
+  }
+
+  std::mutex mutex_;
+  std::vector<std::shared_ptr<WorkerSlot>> parked_;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+};
+
+}  // namespace
+
 void parallel(std::size_t num_threads,
               const std::function<void(TeamContext&)>& body) {
   trace::Span region("smp.parallel", "smp.runtime");
   const std::size_t n = num_threads == 0 ? default_num_threads() : num_threads;
   Team team(n);
 
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  auto control = std::make_shared<RegionControl>();
 
   const auto run_member = [&](std::size_t thread_num) {
     TeamContext ctx(team, thread_num);
     // Chaos decisions for a team member are keyed by its stable thread_num,
-    // not the host thread, so seeded perturbations replay per member.
+    // not the host thread, so seeded perturbations replay per member even
+    // when the member runs on a recycled cached worker.
     chaos::ActorScope chaos_lane(chaos::kTeamActorBase +
                                  static_cast<int>(thread_num));
     trace::Span member("smp.member", "smp.runtime");
     try {
       body(ctx);
     } catch (...) {
-      std::lock_guard lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
+      // Record first, then poison: siblings unwound by the poison throw
+      // TeamAborted *after* the original error is in place, so the caller
+      // always sees the root cause, never an echo.
+      control->record_error(std::current_exception());
+      team.poison();
     }
   };
+  using RunMember = decltype(run_member);
 
-  std::vector<std::thread> workers;
-  workers.reserve(n - 1);
-  for (std::size_t t = 1; t < n; ++t) {
-    workers.emplace_back(run_member, t);
+  if (n > 1) {
+    if (team_reuse()) {
+      control->remaining.store(static_cast<std::uint32_t>(n - 1),
+                               std::memory_order_relaxed);
+      std::vector<std::shared_ptr<WorkerSlot>> chain;
+      chain.reserve(n - 1);
+      WorkerCache::instance().dispatch_region(
+          [](const void* env, std::size_t thread_num) {
+            (*static_cast<const RunMember*>(env))(thread_num);
+          },
+          &run_member, control, 1, n, chain);
+      run_member(0);  // the calling thread is team member 0, as in OpenMP
+
+      // Back-steal: members the wake chain has not reached yet are run
+      // inline on this thread instead of waiting for their workers to be
+      // scheduled — on an oversubscribed host that turns a context-switch
+      // convoy into straight-line execution. Stealing in *reverse* chain
+      // order is what keeps it deadlock-free: the un-stolen prefix of the
+      // chain stays self-waking, and a job can be claimed by exactly one
+      // side because both take the slot mutex and the chain's wake skips a
+      // slot whose job is gone. Safe to run members inline here: member 0
+      // has completed, so every team-wide sync point in the body was
+      // already passed by all members — a still-unstarted member cannot be
+      // needed by anyone to make progress.
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        WorkerSlot& slot = **it;
+        Job stolen;
+        bool reclaim = false;
+        {
+          std::lock_guard lock(slot.mutex);
+          // The control check pins the steal to *this* region: a slot whose
+          // worker already ran our member and re-parked may have been
+          // re-drafted by a nested region, and that job is not ours to take.
+          if (slot.job.invoke && slot.job.control == control) {
+            stolen = std::move(slot.job);
+            slot.job = Job{};
+            // Epoch untouched since dispatch means the worker was never
+            // woken for this region: it is indistinguishable from a parked
+            // worker, so hand it back to the pool.
+            reclaim = slot.epoch.load(std::memory_order_relaxed) ==
+                      stolen.epoch_at_dispatch;
+          }
+        }
+        if (reclaim) WorkerCache::instance().reclaim(*it);
+        if (stolen.invoke) {
+          stolen.invoke(stolen.env, stolen.thread_num);
+          control->finish();
+        }
+      }
+      control->wait_all_finished();
+    } else {
+      // Spawn-per-region baseline (PDCLAB_SMP_REUSE=0): fresh threads,
+      // joined at region end; the Team was likewise built with the legacy
+      // mutex+CV barrier. Together they reproduce what every fork-join
+      // region paid before this engine, kept measurable for the
+      // microbenchmarks.
+      std::vector<std::thread> workers;
+      workers.reserve(n - 1);
+      for (std::size_t t = 1; t < n; ++t) {
+        workers.emplace_back(run_member, t);
+      }
+      run_member(0);
+      for (auto& worker : workers) worker.join();
+    }
+  } else {
+    run_member(0);
   }
-  run_member(0);  // the calling thread is team member 0, as in OpenMP
-  for (auto& worker : workers) worker.join();
 
-  if (first_error) std::rethrow_exception(first_error);
+  if (control->first_error) std::rethrow_exception(control->first_error);
 }
 
 void parallel(const std::function<void(TeamContext&)>& body) {

@@ -1,5 +1,7 @@
 #include "smp/thread_pool.hpp"
 
+#include <algorithm>
+
 #include "chaos/chaos.hpp"
 #include "smp/config.hpp"
 
@@ -42,7 +44,13 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     // worker ends up with the next queued task.
     chaos::on_schedule_point("pool.dispatch");
     // Queue-wait time (submit to dequeue) as its own span, so a traced
-    // timeline separates "sat in the queue" from "actually ran".
+    // timeline separates "sat in the queue" from "actually ran". A task may
+    // have been enqueued before the *active* session started (stamped under
+    // an earlier session, so its stamp predates this session's epoch);
+    // clamp the span to [0, now] so the recorded wait never extends outside
+    // the session window and duration_us can never go negative — the
+    // garbage the trace lint and ThreadPool.QueueWaitClampedToSessionWindow
+    // guard against.
     if (trace::TraceSession* session = trace::TraceSession::active();
         session &&
         task.enqueued != std::chrono::steady_clock::time_point{}) {
@@ -50,8 +58,12 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       wait.name = "pool.queue_wait";
       wait.category = "smp.pool";
       wait.type = trace::EventType::Complete;
-      wait.start_us = session->since_start_us(task.enqueued);
-      wait.duration_us = session->now_us() - wait.start_us;
+      const std::int64_t now = session->now_us();
+      const std::int64_t start =
+          std::clamp<std::int64_t>(session->since_start_us(task.enqueued), 0,
+                                   now);
+      wait.start_us = start;
+      wait.duration_us = now - start;
       session->record(std::move(wait));
     }
     {

@@ -16,10 +16,11 @@ namespace pdc::smp {
 
 /// Persistent worker pool with a shared FIFO task queue.
 ///
-/// The fork-join `parallel(...)` construct deliberately creates fresh
-/// threads (that *is* the fork-join patternlet); the pool exists for
-/// longer-lived pipelines — the drug-design exemplar's shared work queue and
-/// the notebook engine's background execution — where thread reuse matters.
+/// Distinct from the cached worker team behind `parallel(...)` (fixed-size
+/// fork-join membership, per-region): the pool exists for longer-lived
+/// pipelines — the drug-design exemplar's shared work queue and the
+/// notebook engine's background execution — where tasks are independent
+/// futures drained FIFO rather than members of one region.
 class ThreadPool {
  public:
   /// Start `num_threads` workers (0 = default_num_threads()).

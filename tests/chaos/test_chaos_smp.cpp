@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "chaos/chaos.hpp"
+#include "chaos_test_util.hpp"
 #include "smp/parallel.hpp"
 #include "smp/task_group.hpp"
 #include "smp/thread_pool.hpp"
@@ -100,6 +101,34 @@ TEST(ChaosSmp, TaskGroupWaitSeesEveryTaskUnderChaos) {
     group.wait();
     EXPECT_EQ(completed.load(), 40);
   }
+}
+
+TEST(ChaosSmp, TargetedTeamMemberAbortUnwindsTheWholeRegion) {
+  // Kill team member 2 at its first barrier checkpoint while every sibling
+  // is parked at the same barrier. The region must complete by propagating
+  // the InjectedAbort (via the team poison protocol) — the pre-poison
+  // runtime deadlocked here, which is why this runs under a watchdog.
+  Config config;
+  config.seed = 21;
+  config.abort_actor = kTeamActorBase + 2;
+  config.abort_at_op = 0;
+  Scope scope(config);
+
+  bool saw_abort = false;
+  const bool finished =
+      chaos_test::run_with_watchdog(chaos_test::kWatchdogBudget, [&] {
+        try {
+          smp::parallel(4, [](smp::TeamContext& ctx) {
+            ctx.barrier();
+            ctx.barrier();
+          });
+        } catch (const InjectedAbort& abort) {
+          saw_abort = abort.actor() == kTeamActorBase + 2;
+        }
+      });
+  ASSERT_TRUE(finished) << "smp team hung on an injected member abort";
+  EXPECT_TRUE(saw_abort);
+  EXPECT_EQ(scope.plan().fault_count(FaultKind::Abort), 1u);
 }
 
 TEST(ChaosSmp, SameSeedInjectsTheSameScheduleFaultsPerLane) {

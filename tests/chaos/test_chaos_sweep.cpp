@@ -23,6 +23,7 @@
 #include "patternlets/patternlets.hpp"
 #include "patterns/patternlet.hpp"
 #include "patterns/registry.hpp"
+#include "smp/parallel.hpp"
 
 namespace pdc::chaos {
 namespace {
@@ -163,7 +164,55 @@ TEST(ChaosSweep, HostileChaosFailsCleanlyOrSucceeds) {
   }
   // With p=0.01 per op and dozens of ops per run the sweep must actually
   // exercise the abort path (a sweep that never aborts tests nothing).
-  if (seeds >= 20) EXPECT_GT(aborted, 0);
+  if (seeds >= 20) {
+    EXPECT_GT(aborted, 0);
+  }
+}
+
+TEST(ChaosSweep, SmpTeamsUnderHostileChaosFailCleanlyOrSucceed) {
+  // The shared-memory twin of the hostile mp sweep: probabilistic member
+  // aborts at barrier checkpoints, plus heavy scheduling noise. Every seed
+  // must finish inside the watchdog — either with the right answer or with
+  // the injected fault propagated through the team poison protocol. A
+  // single stranded sibling (the pre-poison deadlock) trips the watchdog.
+  const int seeds = sweep_seeds(8);
+  int aborted = 0;
+  for (int s = 0; s < seeds; ++s) {
+    const auto seed = static_cast<std::uint64_t>(8000 + s);
+    Config config;
+    config.seed = seed;
+    config.abort_probability = 0.03;
+    config.yield_probability = 0.4;
+    config.max_delay_us = 25;
+
+    Scope scope(config);
+    const bool finished = run_with_watchdog(kWatchdogBudget, [&] {
+      try {
+        std::int64_t total = 0;
+        smp::parallel(4, [&](smp::TeamContext& ctx) {
+          std::int64_t local = 0;
+          for (int round = 0; round < 3; ++round) {
+            ctx.for_each(0, 256, smp::Schedule::dynamic(16),
+                         [&](std::int64_t i) { local += i; });
+            ctx.barrier();
+          }
+          const std::int64_t sum = ctx.reduce_sum(local);
+          ctx.master([&] { total = sum; });
+        });
+        EXPECT_EQ(total, 3 * (255 * 256 / 2)) << "wrong sum, seed " << seed;
+      } catch (const InjectedAbort&) {
+        // The only acceptable failure: the fault we injected.
+      }
+    });
+    ASSERT_TRUE(finished) << "smp team hang under hostile chaos seed "
+                          << seed;
+    if (scope.plan().fault_count(FaultKind::Abort) > 0) ++aborted;
+  }
+  // A sweep that never takes the abort path tests nothing; at full stress
+  // depth (80 seeds x several barrier checkpoints each) some seeds must.
+  if (seeds >= 20) {
+    EXPECT_GT(aborted, 0);
+  }
 }
 
 TEST(ChaosSweep, DrugDesignScreenMatchesSerialUnderChaos) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -68,6 +69,45 @@ TEST(CyclicBarrier, IsReusableAcrossManyCycles) {
   }
   for (auto& thread : threads) thread.join();
   EXPECT_FALSE(violation.load());
+}
+
+TEST(CyclicBarrier, PoisonWakesParkedWaiters) {
+  CyclicBarrier barrier(2);
+  std::atomic<bool> arrived{false};
+  std::atomic<bool> threw{false};
+  std::thread waiter([&] {
+    arrived.store(true);
+    try {
+      barrier.arrive_and_wait();  // the second party never comes
+    } catch (const TeamAborted&) {
+      threw.store(true);
+    }
+  });
+  while (!arrived.load()) std::this_thread::yield();
+  // Let the waiter reach its blocking wait (any interleaving is correct:
+  // poison must catch it spinning, yielding, or parked on the futex).
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  barrier.poison();
+  waiter.join();  // a hang here is the regression this test exists for
+  EXPECT_TRUE(threw.load());
+  EXPECT_TRUE(barrier.poisoned());
+}
+
+TEST(CyclicBarrier, PoisonedBarrierThrowsOnEveryArrival) {
+  CyclicBarrier barrier(3);
+  EXPECT_FALSE(barrier.poisoned());
+  barrier.poison();
+  EXPECT_TRUE(barrier.poisoned());
+  EXPECT_THROW(barrier.arrive_and_wait(), TeamAborted);
+  EXPECT_THROW(barrier.arrive_and_wait(), TeamAborted);  // stays poisoned
+}
+
+TEST(CyclicBarrier, PoisonIsIdempotent) {
+  CyclicBarrier barrier(2);
+  barrier.poison();
+  barrier.poison();
+  EXPECT_TRUE(barrier.poisoned());
+  EXPECT_THROW(barrier.arrive_and_wait(), TeamAborted);
 }
 
 TEST(CyclicBarrier, ArrivalIndicesAreAPermutation) {

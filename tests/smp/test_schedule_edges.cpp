@@ -1,0 +1,139 @@
+// Degenerate worksharing shapes — empty ranges (hi < lo), more threads than
+// iterations, `sections({})` — under all four Schedule kinds, asserting the
+// no-slot-leak property via Team::busy_slots(): every construct, including
+// one that dispatches nothing, must fully recycle its ring slot. Also
+// exercises ring wraparound: more consecutive nowait constructs in one
+// region than the ring has entries.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "smp/parallel.hpp"
+#include "smp/team.hpp"
+
+namespace pdc::smp {
+namespace {
+
+/// The four schedule kinds every edge case below must survive.
+std::vector<Schedule> all_schedules() {
+  return {Schedule::static_blocks(), Schedule::static_chunks(4),
+          Schedule::dynamic(3), Schedule::guided(2)};
+}
+
+/// Run `body` on a team built by hand (not via parallel()) so the test can
+/// inspect the Team after the region: every slot recycled, no poison.
+void run_team(std::size_t threads,
+              const std::function<void(TeamContext&)>& body) {
+  Team team(threads);
+  std::vector<std::thread> members;
+  members.reserve(threads - 1);
+  for (std::size_t t = 1; t < threads; ++t) {
+    members.emplace_back([&team, &body, t] {
+      TeamContext ctx(team, t);
+      body(ctx);
+    });
+  }
+  TeamContext ctx(team, 0);
+  body(ctx);
+  for (auto& member : members) member.join();
+  EXPECT_EQ(team.busy_slots(), 0u) << "a construct leaked its ring slot";
+  EXPECT_FALSE(team.aborted());
+}
+
+TEST(ScheduleEdges, EmptyRangeDispatchesNothingUnderEverySchedule) {
+  for (const Schedule& sched : all_schedules()) {
+    std::atomic<int> calls{0};
+    run_team(4, [&](TeamContext& ctx) {
+      ctx.for_ranges(
+          5, 2, sched,
+          [&](std::int64_t, std::int64_t) { calls.fetch_add(1); });
+      ctx.for_each(
+          0, -7, sched, [&](std::int64_t) { calls.fetch_add(1); });
+    });
+    EXPECT_EQ(calls.load(), 0)
+        << "hi < lo dispatched a chunk under schedule kind "
+        << static_cast<int>(sched.kind);
+  }
+}
+
+TEST(ScheduleEdges, MoreThreadsThanIterationsCoversEachIndexOnce) {
+  constexpr std::int64_t kN = 3;
+  for (const Schedule& sched : all_schedules()) {
+    std::atomic<int> hits[kN] = {};
+    run_team(6, [&](TeamContext& ctx) {
+      ctx.for_each(0, kN, sched, [&](std::int64_t i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+      });
+    });
+    for (const auto& h : hits) {
+      EXPECT_EQ(h.load(), 1) << "schedule kind "
+                             << static_cast<int>(sched.kind);
+    }
+  }
+}
+
+TEST(ScheduleEdges, EmptySectionsCompletesWithoutDispatch) {
+  std::atomic<int> after{0};
+  run_team(4, [&](TeamContext& ctx) {
+    ctx.sections({});
+    after.fetch_add(1);  // past the implicit barrier on every thread
+  });
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(ScheduleEdges, EmptyRangeViaPublicParallelFor) {
+  // The same edges through the public fork-join wrappers (fresh region per
+  // call, cached worker team underneath).
+  for (const Schedule& sched : all_schedules()) {
+    std::atomic<int> calls{0};
+    parallel_for(
+        9, 9, [&](std::int64_t) { calls.fetch_add(1); }, sched, 4);
+    parallel_for_ranges(
+        3, -3, [&](std::int64_t, std::int64_t) { calls.fetch_add(1); },
+        sched, 4);
+    EXPECT_EQ(calls.load(), 0);
+  }
+}
+
+TEST(ScheduleEdges, RingWrapsAroundForLongNowaitSequences) {
+  // More slot-allocating constructs in one region than kSlotRing entries:
+  // ids wrap the ring (construct id N reuses entry N % kSlotRing), which
+  // only works because the last departer republishes each entry. Dynamic
+  // schedules + nowait keeps every construct on the slot path with no
+  // interleaved barrier to re-synchronize the team.
+  constexpr int kConstructs = static_cast<int>(3 * Team::kSlotRing);
+  std::atomic<std::int64_t> total{0};
+  run_team(4, [&](TeamContext& ctx) {
+    std::int64_t local = 0;
+    for (int c = 0; c < kConstructs; ++c) {
+      ctx.for_each(
+          0, 8, Schedule::dynamic(1),
+          [&](std::int64_t i) { local += i + 1; },
+          /*nowait=*/true);
+    }
+    ctx.barrier();
+    total.fetch_add(local);
+  });
+  // Every construct dispatched all 8 iterations exactly once.
+  EXPECT_EQ(total.load(), static_cast<std::int64_t>(kConstructs) * 36);
+}
+
+TEST(ScheduleEdges, SingleIterationRangeRunsOnExactlyOneThread) {
+  for (const Schedule& sched : all_schedules()) {
+    std::atomic<int> calls{0};
+    run_team(5, [&](TeamContext& ctx) {
+      ctx.for_each(41, 42, sched, [&](std::int64_t i) {
+        EXPECT_EQ(i, 41);
+        calls.fetch_add(1);
+      });
+    });
+    EXPECT_EQ(calls.load(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace pdc::smp

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <set>
+#include <type_traits>
 
 #include "smp/config.hpp"
 #include "support/error.hpp"
@@ -171,6 +173,30 @@ TEST(TeamReduce, EveryThreadGetsTheResult) {
   EXPECT_EQ(correct.load(), 5);
 }
 
+/// A reduction payload with no default constructor — the regression shape:
+/// reduce() used to declare `T result;`, silently requiring
+/// default-constructibility OpenMP reductions never did.
+struct Extent {
+  explicit Extent(int v) : lo(v), hi(v) {}
+  Extent(int l, int h) : lo(l), hi(h) {}
+  int lo;
+  int hi;
+};
+static_assert(!std::is_default_constructible_v<Extent>);
+
+TEST(TeamReduce, WorksWithNonDefaultConstructibleTypes) {
+  std::atomic<int> correct{0};
+  parallel(4, [&](TeamContext& ctx) {
+    const int me = static_cast<int>(ctx.thread_num());
+    const Extent merged =
+        ctx.reduce(Extent(me * 10), [](const Extent& a, const Extent& b) {
+          return Extent(std::min(a.lo, b.lo), std::max(a.hi, b.hi));
+        });
+    if (merged.lo == 0 && merged.hi == 30) correct.fetch_add(1);
+  });
+  EXPECT_EQ(correct.load(), 4);
+}
+
 TEST(TeamReduce, WorksRepeatedly) {
   parallel(3, [&](TeamContext& ctx) {
     for (int round = 1; round <= 20; ++round) {
@@ -191,6 +217,26 @@ TEST(Config, DefaultsAreSane) {
   set_default_num_threads(12);
   EXPECT_EQ(default_num_threads(), 12u);
   set_default_num_threads(0);
+}
+
+TEST(Config, SpinLimitOverrideRoundTrips) {
+  const std::size_t resolved = spin_limit();  // env/hardware resolution
+  set_spin_limit(77);
+  EXPECT_EQ(spin_limit(), 77u);
+  set_spin_limit(0);  // "never spin" is a real setting, not the sentinel
+  EXPECT_EQ(spin_limit(), 0u);
+  set_spin_limit(kSpinAuto);
+  EXPECT_EQ(spin_limit(), resolved);
+}
+
+TEST(Config, TeamReuseOverrideRoundTrips) {
+  set_team_reuse(false);
+  EXPECT_FALSE(team_reuse());
+  std::atomic<int> count{0};
+  parallel(3, [&](TeamContext&) { count.fetch_add(1); });  // spawn path
+  EXPECT_EQ(count.load(), 3);
+  set_team_reuse(true);
+  EXPECT_TRUE(team_reuse());
 }
 
 }  // namespace

@@ -5,6 +5,9 @@
 #include <atomic>
 
 #include "support/error.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/json_lint.hpp"
+#include "trace/trace.hpp"
 
 namespace pdc::smp {
 namespace {
@@ -88,16 +91,64 @@ TEST(ThreadPool, DestructorDiscardsPendingTasks) {
 
   // Destroy on a helper thread: the destructor clears the queue immediately
   // (breaking the pending task's promise) and only then blocks joining the
-  // still-running blocker, so get() below cannot deadlock.
+  // still-running blocker — wait() observing readiness proves the discard
+  // did not deadlock behind the join. Inspect the error only after the
+  // destroyer is joined: examining the exception while the destructor is
+  // still freeing pool state trips ThreadSanitizer on libstdc++'s
+  // (uninstrumented) exception refcounts.
   std::thread destroyer([&pool] { pool.reset(); });
+  discarded.wait();
+  gate.set_value();
+  destroyer.join();
   try {
     discarded.get();
     FAIL() << "discarded task ran anyway";
   } catch (const std::future_error& error) {
     EXPECT_EQ(error.code(), std::future_errc::broken_promise);
   }
-  gate.set_value();
-  destroyer.join();
+}
+
+TEST(ThreadPool, QueueWaitClampedToSessionWindow) {
+  // Regression: a task submitted while session A was recording but dequeued
+  // under a later session B carries an enqueue stamp that predates B's
+  // epoch. The queue-wait event must be clamped to B's window — start and
+  // duration both non-negative, never a span reaching outside the session —
+  // and the Chrome export of B must still lint as valid JSON.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<bool> blocker_running{false};
+
+  ThreadPool pool(1);
+  trace::TraceSession session_a;
+  session_a.start();
+  pool.submit([&blocker_running, opened] {
+    blocker_running.store(true);
+    opened.wait();
+  });
+  while (!blocker_running.load()) std::this_thread::yield();
+  // Stamped under A, stuck in the queue behind the blocker.
+  auto stale = pool.submit([] { return 1; });
+  session_a.stop();
+
+  trace::TraceSession session_b;
+  session_b.start();
+  gate.set_value();  // blocker finishes; the stale task dequeues under B
+  EXPECT_EQ(stale.get(), 1);
+  pool.wait_idle();
+  session_b.stop();
+
+  int queue_waits = 0;
+  for (const auto& event : session_b.events()) {
+    if (event.name != "pool.queue_wait") continue;
+    ++queue_waits;
+    EXPECT_GE(event.start_us, 0) << "queue wait starts before the session";
+    EXPECT_GE(event.duration_us, 0) << "negative queue-wait duration";
+  }
+  EXPECT_GE(queue_waits, 1);
+
+  std::string error;
+  EXPECT_TRUE(trace::is_valid_json(trace::to_chrome_json(session_b), &error))
+      << error;
 }
 
 TEST(ThreadPool, ManyProducersOneQueue) {
