@@ -1,0 +1,152 @@
+// Transport-seam ablation: the SAME two-rank program measured over the
+// three mp backends — in-process loopback (shared mailbox fabric), unix
+// domain sockets, and TCP over 127.0.0.1. Latency is a small-message
+// ping-pong (round-trip / 2); bandwidth is a stream of 1 MiB payloads with
+// a trailing ack. The socket rows run real framing, writer threads and
+// reader threads through the kernel, so the gap to the loopback row IS the
+// cost of crossing a process boundary — the number EXPERIMENTS.md records.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mp/runtime.hpp"
+#include "net/harness.hpp"
+#include "support/strings.hpp"
+#include "support/text_table.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+constexpr std::size_t kBandwidthDoubles = 131072;  // 1 MiB per payload
+
+/// The measured program: rank 0 times the exchanges and print()s the two
+/// numbers; the harness/runtime hands the output back for parsing. Running
+/// the measurement *inside* the job keeps wireup and teardown out of the
+/// timed region on every backend.
+std::function<void(pdc::mp::Communicator&)> measured_program(int lat_rounds,
+                                                            int bw_rounds) {
+  return [lat_rounds, bw_rounds](pdc::mp::Communicator& comm) {
+    const int peer = 1 - comm.rank();
+    // Warmup: one full exchange primes connections and codec paths.
+    if (comm.rank() == 0) {
+      comm.send(0, peer, 1);
+      (void)comm.recv<int>(peer, 1);
+    } else {
+      (void)comm.recv<int>(peer, 1);
+      comm.send(0, peer, 1);
+    }
+
+    pdc::WallTimer lat_timer;
+    for (int i = 0; i < lat_rounds; ++i) {
+      if (comm.rank() == 0) {
+        comm.send(i, peer, 2);
+        (void)comm.recv<int>(peer, 2);
+      } else {
+        (void)comm.recv<int>(peer, 2);
+        comm.send(i, peer, 2);
+      }
+    }
+    lat_timer.stop();
+
+    std::vector<double> payload(kBandwidthDoubles, 1.0);
+    pdc::WallTimer bw_timer;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < bw_rounds; ++i) comm.send(payload, peer, 3);
+      (void)comm.recv<int>(peer, 4);  // ack: all payloads really arrived
+    } else {
+      for (int i = 0; i < bw_rounds; ++i) {
+        payload = comm.recv<std::vector<double>>(peer, 3);
+      }
+      comm.send(1, peer, 4);
+    }
+    bw_timer.stop();
+
+    if (comm.rank() == 0) {
+      const double half_rtt_us =
+          lat_timer.elapsed_seconds() * 1e6 / (2.0 * lat_rounds);
+      const double mib = static_cast<double>(bw_rounds) *
+                         static_cast<double>(kBandwidthDoubles) *
+                         sizeof(double) / (1024.0 * 1024.0);
+      const double mib_s = mib / bw_timer.elapsed_seconds();
+      comm.print("lat_us=" + pdc::strings::fixed(half_rtt_us, 2) +
+                 " bw_mibs=" + pdc::strings::fixed(mib_s, 1));
+    }
+  };
+}
+
+struct Numbers {
+  std::string lat = "?";
+  std::string bw = "?";
+};
+
+Numbers parse(const std::vector<std::string>& lines) {
+  Numbers n;
+  for (const std::string& line : lines) {
+    const auto lat = line.find("lat_us=");
+    const auto bw = line.find(" bw_mibs=");
+    if (lat == std::string::npos || bw == std::string::npos) continue;
+    n.lat = line.substr(lat + 7, bw - (lat + 7));
+    n.bw = line.substr(bw + 9);
+  }
+  return n;
+}
+
+Numbers run_loopback(int lat_rounds, int bw_rounds) {
+  return parse(pdc::mp::run(2, measured_program(lat_rounds, bw_rounds)).output);
+}
+
+Numbers run_sockets(pdc::net::Endpoint::Kind kind, int lat_rounds,
+                    int bw_rounds) {
+  pdc::net::ClusterOptions options;
+  options.kind = kind;
+  options.np = 2;
+  options.job = "bench";
+  const pdc::net::ClusterResult result = pdc::net::run_socket_cluster(
+      options, measured_program(lat_rounds, bw_rounds));
+  if (!result.ok()) {
+    for (const std::string& e : result.errors) {
+      if (!e.empty()) std::fprintf(stderr, "bench rank failed: %s\n", e.c_str());
+    }
+    std::exit(1);
+  }
+  return parse(result.merged());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pdc;
+
+  // Optional scale factor (default 1): latency rounds = 2000*scale,
+  // bandwidth payloads = 64*scale. The bench-smoke ctest entry passes a
+  // fractional workload via scale 0 → minimal rounds, crash/hang canary.
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 1;
+  const int lat_rounds = scale > 0 ? 2000 * scale : 20;
+  const int bw_rounds = scale > 0 ? 64 * scale : 2;
+
+  std::printf("== Transport ablation: loopback vs unix vs tcp "
+              "(np=2, %d pings, %d x 1 MiB) ==\n\n",
+              lat_rounds, bw_rounds);
+
+  TextTable table({"backend", "latency (1/2 RTT)", "bandwidth"});
+  table.set_align(1, Align::Right);
+  table.set_align(2, Align::Right);
+
+  const Numbers loop = run_loopback(lat_rounds, bw_rounds);
+  table.add_row({"loopback (in-process)", loop.lat + " us", loop.bw + " MiB/s"});
+  const Numbers unix_n =
+      run_sockets(net::Endpoint::Kind::Unix, lat_rounds, bw_rounds);
+  table.add_row({"unix sockets", unix_n.lat + " us", unix_n.bw + " MiB/s"});
+  const Numbers tcp =
+      run_sockets(net::Endpoint::Kind::Tcp, lat_rounds, bw_rounds);
+  table.add_row({"tcp 127.0.0.1", tcp.lat + " us", tcp.bw + " MiB/s"});
+
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("");
+  std::puts("same Communicator program on all three rows; the socket rows "
+            "add framing, a writer thread, a reader thread and the kernel "
+            "to every message.");
+  return 0;
+}

@@ -5,16 +5,24 @@
 #
 # 1. tier-1      — regular build, the whole test suite (fast, seeds at
 #                  defaults)
-# 2. bench-smoke — the mp + smp bench binaries in a 1-rep/2-round
-#                  configuration (ctest -L bench-smoke): a crash/hang canary
-#                  for the measurement harness (including the cached-vs-spawn
-#                  fork-join region benchmarks), not a measurement
-# 3. tsan        — ThreadSanitizer build, concurrency suites (ctest -L tsan),
-#                  which now include the smp team poison/abort regression
-#                  tests (test_smp carries the tsan label)
-# 4. stress      — chaos seed sweeps at full depth (ctest -L stress with
+# 2. net         — the socket-transport suites (ctest -L net): wire-protocol
+#                  hostile inputs, in-process socket clusters, pdcrun
+#                  end-to-end and the socket golden variant; every socket
+#                  test is bounded by watchdog/handshake timeouts so this
+#                  stage cannot hang the ladder
+# 3. bench-smoke — the mp + smp + net-transport bench binaries in a
+#                  1-rep/2-round configuration (ctest -L bench-smoke): a
+#                  crash/hang canary for the measurement harness (including
+#                  the cached-vs-spawn fork-join region benchmarks and the
+#                  loopback/unix/tcp ablation), not a measurement
+# 4. tsan        — ThreadSanitizer build, concurrency suites (ctest -L tsan),
+#                  which include the smp team poison/abort regression tests
+#                  and the in-process socket-cluster suites (test_net
+#                  carries the tsan label)
+# 5. stress      — chaos seed sweeps at full depth (ctest -L stress with
 #                  PDCLAB_CHAOS_SEEDS=80: acceptance scenarios x 80 seeds,
-#                  plus the patternlet sweep at a quarter depth)
+#                  the patternlet sweep at a quarter depth, and the socket
+#                  chaos sweeps — noise/lossy/hostile/targeted-kill)
 #
 # Set PDCLAB_CHAOS_SEEDS before invoking to sweep deeper or shallower.
 
@@ -24,22 +32,25 @@ prefix="${1:-build}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 seeds="${PDCLAB_CHAOS_SEEDS:-80}"
 
-echo "==> [1/4] tier-1: build + full test suite (${prefix})"
+echo "==> [1/5] tier-1: build + full test suite (${prefix})"
 cmake -B "${prefix}" -S . >/dev/null
 cmake --build "${prefix}" -j "${jobs}"
 ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}"
 
-echo "==> [2/4] bench-smoke: 1-rep mp + smp bench canaries (${prefix})"
+echo "==> [2/5] net: socket transport, pdcrun, goldens (${prefix})"
+ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}" -L net
+
+echo "==> [3/5] bench-smoke: 1-rep mp + smp + net bench canaries (${prefix})"
 ctest --test-dir "${prefix}" --output-on-failure -L bench-smoke
 
-echo "==> [3/4] tsan: ThreadSanitizer build + concurrency suites (${prefix}-tsan)"
+echo "==> [4/5] tsan: ThreadSanitizer build + concurrency suites (${prefix}-tsan)"
 cmake -B "${prefix}-tsan" -S . -DPDCLAB_SANITIZE=thread \
   -DPDCLAB_BUILD_BENCH=OFF -DPDCLAB_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "${prefix}-tsan" -j "${jobs}"
 ctest --test-dir "${prefix}-tsan" --output-on-failure -j "${jobs}" -L tsan
 
-echo "==> [4/4] stress: chaos seed sweeps, PDCLAB_CHAOS_SEEDS=${seeds}"
+echo "==> [5/5] stress: chaos seed sweeps, PDCLAB_CHAOS_SEEDS=${seeds}"
 PDCLAB_CHAOS_SEEDS="${seeds}" \
   ctest --test-dir "${prefix}" --output-on-failure -L stress
 
-echo "==> verify.sh: all four stages passed"
+echo "==> verify.sh: all five stages passed"

@@ -47,8 +47,9 @@ void Communicator::post_encoded(const SharedPayload& payload, std::size_t hash,
     trace::Counter("mp.bytes_sent").add(static_cast<double>(e.size_bytes()));
     trace::Counter("mp.messages_sent").add(1.0);
   }
-  universe_->mailbox((*members_)[static_cast<std::size_t>(dest)])
-      .deliver(std::move(e));
+  // The transport seam: loopback universes drop the envelope straight into
+  // the destination mailbox; distributed ones frame it onto a socket.
+  universe_->deliver((*members_)[static_cast<std::size_t>(dest)], std::move(e));
 }
 
 Envelope Communicator::recv_envelope_internal(int source, int tag) {

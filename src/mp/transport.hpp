@@ -1,0 +1,52 @@
+#pragma once
+
+#include "mp/message.hpp"
+
+namespace pdc::mp {
+
+class Universe;
+
+/// How an envelope leaves the sending rank and reaches the destination
+/// rank's mailbox — the seam between the message-passing semantics
+/// (Communicator, Mailbox, collectives) and the bytes-moving machinery
+/// underneath them.
+///
+/// The default is no transport at all: a Universe without one hosts every
+/// rank in this process and Universe::deliver drops the envelope straight
+/// into the destination mailbox, exactly the in-process loopback behaviour
+/// the patternlets and tests have always had. Attaching a transport (see
+/// pdc::net::SocketTransport) turns the same Universe into one rank of a
+/// real multi-process job: local deliveries still short-circuit, remote
+/// ones are framed onto a socket and re-materialized into the remote
+/// mailbox by the peer's reader thread, so Communicator, the comm→source
+/// FIFO index, and the encode-once shared payloads work unchanged.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Human-readable backend name ("unix", "tcp", ...), for diagnostics.
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Start delivering inbound traffic into `universe`'s local mailbox.
+  /// Called exactly once, by Universe::attach_transport, before any
+  /// deliver(); implementations typically spawn their reader threads here.
+  virtual void bind(Universe& universe) = 0;
+
+  /// Route `envelope` to world rank `dest_world_rank`'s mailbox. Called on
+  /// the sending rank's thread; must not block on the destination program
+  /// (sends stay eager/buffered). Never called with the local rank — the
+  /// Universe short-circuits self-sends to the local mailbox.
+  virtual void deliver(int dest_world_rank, Envelope envelope) = 0;
+
+  /// Propagate a job abort beyond this process, waking peers blocked in
+  /// receives. Called at most once, from Universe::abort.
+  virtual void propagate_abort() noexcept = 0;
+
+  /// Tear down: flush outstanding sends, announce a clean goodbye to the
+  /// peers, join every internal thread and close every descriptor.
+  /// Idempotent; called by ~Universe *before* the mailboxes are destroyed,
+  /// so no reader thread can touch a dead mailbox.
+  virtual void shutdown() noexcept = 0;
+};
+
+}  // namespace pdc::mp

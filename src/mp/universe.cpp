@@ -1,5 +1,7 @@
 #include "mp/universe.hpp"
 
+#include <cstdio>
+
 #include "support/error.hpp"
 
 namespace pdc::mp {
@@ -18,12 +20,74 @@ Universe::Universe(int num_procs, std::vector<std::string> hostnames)
   }
 }
 
+Universe::Universe(int num_procs, std::vector<std::string> hostnames,
+                   int local_rank)
+    : num_procs_(num_procs),
+      local_rank_(local_rank),
+      hostnames_(std::move(hostnames)) {
+  if (num_procs < 1) {
+    throw InvalidArgument("Universe requires at least one process");
+  }
+  if (local_rank < 0 || local_rank >= num_procs) {
+    throw InvalidArgument("Universe: local rank " + std::to_string(local_rank) +
+                          " out of range for " + std::to_string(num_procs) +
+                          " processes");
+  }
+  if (hostnames_.size() != static_cast<std::size_t>(num_procs)) {
+    throw InvalidArgument("Universe: hostnames must match process count");
+  }
+  mailboxes_.resize(static_cast<std::size_t>(num_procs));
+  mailboxes_[static_cast<std::size_t>(local_rank)] = std::make_unique<Mailbox>();
+}
+
+Universe::~Universe() {
+  // Reader threads deliver into the local mailbox; they must be joined
+  // before any mailbox dies. Explicit, not left to member-destruction
+  // order, so the invariant survives member reshuffles.
+  if (transport_) transport_->shutdown();
+}
+
 Mailbox& Universe::mailbox(int world_rank) {
   if (world_rank < 0 || world_rank >= num_procs_) {
     throw InvalidArgument("Universe::mailbox: rank " +
                           std::to_string(world_rank) + " out of range");
   }
-  return *mailboxes_[static_cast<std::size_t>(world_rank)];
+  Mailbox* box = mailboxes_[static_cast<std::size_t>(world_rank)].get();
+  if (box == nullptr) {
+    throw InvalidArgument("Universe::mailbox: rank " +
+                          std::to_string(world_rank) +
+                          " is not hosted in this process (local rank is " +
+                          std::to_string(local_rank_) + ")");
+  }
+  return *box;
+}
+
+void Universe::deliver(int dest_world_rank, Envelope envelope) {
+  if (dest_world_rank < 0 || dest_world_rank >= num_procs_) {
+    throw InvalidArgument("Universe::deliver: rank " +
+                          std::to_string(dest_world_rank) + " out of range");
+  }
+  if (transport_ && dest_world_rank != local_rank_) {
+    transport_->deliver(dest_world_rank, std::move(envelope));
+    return;
+  }
+  mailbox(dest_world_rank).deliver(std::move(envelope));
+}
+
+void Universe::attach_transport(std::unique_ptr<Transport> transport) {
+  if (transport == nullptr) {
+    throw InvalidArgument("Universe::attach_transport: null transport");
+  }
+  if (transport_ != nullptr) {
+    throw InvalidArgument("Universe::attach_transport: already attached");
+  }
+  if (!distributed()) {
+    throw InvalidArgument(
+        "Universe::attach_transport: loopback universes host every rank "
+        "locally and never route through a transport");
+  }
+  transport_ = std::move(transport);
+  transport_->bind(*this);
 }
 
 const std::string& Universe::hostname(int world_rank) const {
@@ -35,6 +99,14 @@ const std::string& Universe::hostname(int world_rank) const {
 }
 
 void Universe::log_line(std::string line) {
+  if (echo_output_) {
+    // The rank process's stdout is the launcher's multiplexing channel;
+    // write-and-flush per line so pdcrun sees output as it happens, not
+    // when the stdio buffer fills.
+    std::fputs(line.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  }
   std::lock_guard lock(log_mutex_);
   log_.push_back(std::move(line));
 }
@@ -46,7 +118,14 @@ std::vector<std::string> Universe::log() const {
 
 void Universe::abort() {
   aborted_.store(true, std::memory_order_release);
-  for (auto& mailbox : mailboxes_) mailbox->abort();
+  for (auto& mailbox : mailboxes_) {
+    if (mailbox) mailbox->abort();
+  }
+  // Wake remote peers exactly once; a second abort (e.g. the local rank
+  // reacting to a peer's Abort frame) must not echo frames back forever.
+  if (transport_ && !abort_propagated_.exchange(true)) {
+    transport_->propagate_abort();
+  }
 }
 
 }  // namespace pdc::mp

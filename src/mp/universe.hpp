@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "mp/mailbox.hpp"
+#include "mp/transport.hpp"
 
 namespace pdc::mp {
 
@@ -15,11 +16,29 @@ namespace pdc::mp {
 /// hostname table, the communicator-id allocator and the captured output
 /// log. Created by `mp::run(...)`; user code interacts with it only through
 /// `Communicator`.
+///
+/// Two shapes:
+///   - Loopback (the default): every rank's mailbox lives here, and
+///     deliver() drops envelopes straight into the destination mailbox —
+///     ranks are threads of this process, as mp::run has always worked.
+///   - Distributed: this process hosts exactly one rank (`local_rank`), so
+///     only that rank's mailbox exists; deliver() routes every remote
+///     destination through the attached Transport (see pdc::net), and
+///     inbound traffic arrives via the transport's reader threads calling
+///     Mailbox::deliver on the local mailbox.
 class Universe {
  public:
-  /// `hostnames[r]` is the processor name reported to world rank r. Must
-  /// have exactly `num_procs` entries.
+  /// Loopback universe. `hostnames[r]` is the processor name reported to
+  /// world rank r. Must have exactly `num_procs` entries.
   Universe(int num_procs, std::vector<std::string> hostnames);
+
+  /// Distributed universe hosting only `local_rank`. `hostnames` still has
+  /// one entry per world rank (collected during transport wireup).
+  Universe(int num_procs, std::vector<std::string> hostnames, int local_rank);
+
+  /// Shuts the transport down (joining its threads) *before* the mailboxes
+  /// are destroyed — the ordering a reader thread's life depends on.
+  ~Universe();
 
   Universe(const Universe&) = delete;
   Universe& operator=(const Universe&) = delete;
@@ -27,24 +46,59 @@ class Universe {
   /// World size.
   [[nodiscard]] int size() const noexcept { return num_procs_; }
 
-  /// Mailbox of world rank `world_rank`.
+  /// True when this universe hosts a single rank of a multi-process job.
+  [[nodiscard]] bool distributed() const noexcept { return local_rank_ >= 0; }
+
+  /// The locally hosted world rank in distributed mode; -1 in loopback.
+  [[nodiscard]] int local_rank() const noexcept { return local_rank_; }
+
+  /// Mailbox of world rank `world_rank`. In distributed mode only the
+  /// local rank's mailbox exists; asking for any other is a logic error.
   Mailbox& mailbox(int world_rank);
+
+  /// Route an envelope to world rank `dest_world_rank`: straight into the
+  /// local mailbox when the destination lives here, through the transport
+  /// otherwise. The one call Communicator makes to move bytes.
+  void deliver(int dest_world_rank, Envelope envelope);
+
+  /// Attach the transport that carries remote traffic (distributed mode).
+  /// Takes ownership, binds it to this universe (starting its reader
+  /// threads) and keeps it alive until ~Universe shuts it down.
+  void attach_transport(std::unique_ptr<Transport> transport);
+
+  /// The attached transport, or nullptr in loopback mode.
+  [[nodiscard]] Transport* transport() const noexcept {
+    return transport_.get();
+  }
 
   /// Processor name of world rank `world_rank` (MPI_Get_processor_name).
   [[nodiscard]] const std::string& hostname(int world_rank) const;
 
-  /// Allocate a fresh communicator id (used by Communicator::split).
+  /// Allocate a fresh communicator id (used by Communicator::split/dup).
+  /// Loopback ids come from one shared counter. Distributed ids are
+  /// namespaced by the allocating world rank — (rank+1) << 32 | counter —
+  /// because each process counts independently and two disjoint
+  /// subcommunicators may allocate concurrently on different ranks; the
+  /// prefix keeps their ids from ever colliding.
   std::uint64_t new_comm_id() noexcept {
-    return next_comm_id_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t n = next_comm_id_.fetch_add(1, std::memory_order_relaxed);
+    if (!distributed()) return n;
+    return (static_cast<std::uint64_t>(local_rank_) + 1) << 32 | n;
   }
 
   /// Append one line to the job's output log (thread-safe; arrival order).
+  /// With echo enabled (distributed rank processes), the line is also
+  /// written to stdout immediately so the launcher can multiplex it.
   void log_line(std::string line);
+
+  /// Echo log_line() output to stdout as it arrives (pdcrun rank mode).
+  void set_echo_output(bool echo) noexcept { echo_output_ = echo; }
 
   /// Snapshot of the output log so far.
   [[nodiscard]] std::vector<std::string> log() const;
 
-  /// Abort the job: wake every blocked receive with mp::Aborted.
+  /// Abort the job: wake every blocked receive with mp::Aborted, and tell
+  /// the transport (if any) to wake the remote peers too. Idempotent.
   void abort();
 
   /// Count one sent message (called by Communicator on every post).
@@ -78,15 +132,25 @@ class Universe {
 
  private:
   const int num_procs_;
+  const int local_rank_ = -1;  ///< -1 ⇔ loopback (all ranks local)
+  /// Indexed by world rank; in distributed mode only the local entry is
+  /// non-null.
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::string> hostnames_;
   std::atomic<std::uint64_t> next_comm_id_{1};  // 0 is COMM_WORLD
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> payloads_encoded_{0};
   std::atomic<bool> aborted_{false};
+  std::atomic<bool> abort_propagated_{false};
+  bool echo_output_ = false;
 
   mutable std::mutex log_mutex_;
   std::vector<std::string> log_;
+
+  /// Declared last so it is destroyed first; ~Universe additionally calls
+  /// shutdown() explicitly before any member is torn down (the regression
+  /// tests in tests/net/test_net_errors.cpp pin this ordering).
+  std::unique_ptr<Transport> transport_;
 };
 
 }  // namespace pdc::mp

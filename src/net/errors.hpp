@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace pdc::net {
+
+/// A frame that violates the wire protocol: bad magic, unknown version,
+/// a length prefix larger than the clamp, or a body whose internal lengths
+/// disagree with the bytes actually present. Hostile input surfaces here —
+/// as a typed error before any allocation the lengths would have driven.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+/// A connection could not be established within its retry/timeout budget:
+/// dial failures after bounded exponential backoff, accept timeouts during
+/// wireup, or a rendezvous that never completed.
+class ConnectionError : public Error {
+ public:
+  explicit ConnectionError(const std::string& what) : Error(what) {}
+};
+
+/// An established peer vanished mid-job: EOF in the middle of a frame, a
+/// socket error on read or write, or a close without the protocol's
+/// goodbye. The transport turns this into a local job abort so blocked
+/// receives throw instead of hanging.
+class PeerLost : public Error {
+ public:
+  explicit PeerLost(const std::string& what) : Error(what) {}
+};
+
+}  // namespace pdc::net

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mp/communicator.hpp"
+#include "net/transport.hpp"
+
+namespace pdc::net {
+
+/// Make a fresh private scratch directory (mkdtemp under $TMPDIR or /tmp)
+/// for a job's unix sockets. Caller removes it with remove_scratch_dir.
+std::string make_scratch_dir(const std::string& prefix);
+
+/// Best-effort recursive unlink of a scratch dir's entries + rmdir.
+void remove_scratch_dir(const std::string& dir);
+
+/// Reserve a TCP port on 127.0.0.1 by binding an ephemeral listener,
+/// reading the port back and closing it. Small race window — fine for
+/// tests and benches, which is all this is for.
+int pick_free_port();
+
+/// In-process socket cluster: every rank is a *thread* of this process with
+/// its own distributed Universe and SocketTransport, but the bytes still
+/// travel through real unix/TCP sockets, writer threads and reader threads.
+///
+/// This is how the tsan suite, the chaos sweeps and the benches exercise
+/// the full wire path deterministically: one process means one sanitizer
+/// run, one chaos plan and one watchdog can cover all ranks, while the
+/// framing/handshake/teardown code is byte-for-byte what pdcrun's real
+/// processes execute.
+struct ClusterOptions {
+  Endpoint::Kind kind = Endpoint::Kind::Unix;
+  int np = 2;
+  std::string job = "harness";
+  /// Shrunk wireup/teardown budgets so a deliberately-broken test fails in
+  /// milliseconds, not the production 10s handshake budget.
+  int connect_timeout_ms = 2000;
+  int handshake_timeout_ms = 10000;
+  int linger_ms = 5000;
+  /// Called on each rank thread after wireup + attach, before the program
+  /// runs — the hook fault tests use to sever connections mid-job.
+  std::function<void(int rank, SocketTransport&)> on_wired;
+};
+
+struct ClusterResult {
+  /// Per-rank captured output (what each rank print()ed), world-rank order.
+  std::vector<std::vector<std::string>> output;
+  /// Per-rank error text; "" = the rank completed cleanly.
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const {
+    for (const auto& e : errors) {
+      if (!e.empty()) return false;
+    }
+    return true;
+  }
+  /// All ranks' output concatenated in world-rank order.
+  [[nodiscard]] std::vector<std::string> merged() const;
+};
+
+ClusterResult run_socket_cluster(
+    const ClusterOptions& options,
+    const std::function<void(mp::Communicator&)>& program);
+
+}  // namespace pdc::net

@@ -1,0 +1,496 @@
+#include "net/launcher.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+
+#include "net/harness.hpp"
+
+extern char** environ;
+
+namespace pdc::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kTailLines = 30;
+
+struct Child {
+  int rank = -1;
+  pid_t pid = -1;
+  int pipe_fd = -1;  ///< read end of the child's stdout+stderr; -1 = closed
+  std::string partial;
+  std::deque<std::string> tail;
+  bool reaped = false;
+  int exit_code = 0;
+  int signal = 0;
+};
+
+void remember_tail(Child& child, const std::string& line) {
+  child.tail.push_back(line);
+  if (child.tail.size() > kTailLines) child.tail.pop_front();
+}
+
+/// Resolve `binary` the way execvp would, but up front: a launcher must say
+/// "no such program" before forking N ranks, not from inside each child.
+std::string resolve_binary(const std::string& binary) {
+  const auto runnable = [](const std::string& path) {
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode) &&
+           ::access(path.c_str(), X_OK) == 0;
+  };
+  if (binary.find('/') != std::string::npos) {
+    return runnable(binary) ? binary : std::string{};
+  }
+  const char* path_env = std::getenv("PATH");
+  if (path_env == nullptr) return {};
+  std::string path = path_env;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    const std::size_t sep = path.find(':', start);
+    const std::string dir =
+        path.substr(start, sep == std::string::npos ? sep : sep - start);
+    if (!dir.empty()) {
+      const std::string candidate = dir + "/" + binary;
+      if (runnable(candidate)) return candidate;
+    }
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  return {};
+}
+
+bool flag_with_value(const std::string& arg, int argc,
+                     const char* const* argv, int* i, std::string* value) {
+  if (*i + 1 >= argc) return false;
+  ++*i;
+  *value = argv[*i];
+  (void)arg;
+  return true;
+}
+
+}  // namespace
+
+std::string pdcrun_usage() {
+  return
+      "usage: pdcrun -np N [options] <binary> [args...]\n"
+      "\n"
+      "Launch N ranks of <binary> as separate OS processes connected by the\n"
+      "pdc::net socket transport (the mpirun of this codebase).\n"
+      "\n"
+      "options:\n"
+      "  -np, -n N            number of ranks (required, >= 1)\n"
+      "  --transport unix|tcp transport backend (default: unix)\n"
+      "  --host H             tcp rendezvous host (default: 127.0.0.1)\n"
+      "  --port P             tcp rendezvous port (default: pick a free one)\n"
+      "  --timeout-ms T       whole-job watchdog; kill + exit 124 (default\n"
+      "                       120000)\n"
+      "  --grace-ms T         grace after a rank fails before SIGTERM of the\n"
+      "                       rest (default 5000)\n"
+      "  --seed S             exported to every rank as PDCRUN_SEED\n"
+      "  --chaos MODE         noise|lossy|hostile fault injection per rank\n"
+      "  --chaos-kill         injected aborts SIGKILL the rank (real death)\n"
+      "  --kill-rank R        deterministically abort rank R at its\n"
+      "  --kill-at-op K       Kth operation (default 0; combine with\n"
+      "                       --chaos-kill for a real mid-collective death)\n"
+      "  --trace PATH         each rank writes PATH.rank<N>.json (Chrome\n"
+      "                       trace with real pids)\n"
+      "  --no-tag             do not prefix child output with [rank N]\n"
+      "\n"
+      "exit codes: 0 ok; 64 usage; 124 watchdog; 127 binary not found;\n"
+      "128+N first failing rank died on signal N; otherwise the first\n"
+      "failing rank's own exit code (2 config, 3 wireup, 4 program error,\n"
+      "5 peer abort).\n";
+}
+
+int parse_pdcrun_args(int argc, const char* const* argv, LaunchOptions* out,
+                      std::string* error) {
+  LaunchOptions options;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--") {
+      ++i;
+      break;
+    }
+    if (arg.empty() || arg[0] != '-') break;  // the binary
+    std::string value;
+    if (arg == "-np" || arg == "-n" || arg == "--np") {
+      if (!flag_with_value(arg, argc, argv, &i, &value)) {
+        *error = arg + " needs a value\n" + pdcrun_usage();
+        return kLaunchUsage;
+      }
+      char* end = nullptr;
+      options.np = static_cast<int>(std::strtol(value.c_str(), &end, 10));
+      if (end == value.c_str() || *end != '\0' || options.np < 1) {
+        *error = "-np " + value + " is not a positive rank count\n" +
+                 pdcrun_usage();
+        return kLaunchUsage;
+      }
+    } else if (arg == "--transport" || arg == "-t") {
+      if (!flag_with_value(arg, argc, argv, &i, &value) ||
+          (value != "unix" && value != "tcp")) {
+        *error = "--transport needs unix or tcp\n" + pdcrun_usage();
+        return kLaunchUsage;
+      }
+      options.transport = value;
+    } else if (arg == "--host") {
+      if (!flag_with_value(arg, argc, argv, &i, &value)) {
+        *error = "--host needs a value\n" + pdcrun_usage();
+        return kLaunchUsage;
+      }
+      options.host = value;
+    } else if (arg == "--port" || arg == "--timeout-ms" ||
+               arg == "--grace-ms" || arg == "--seed" ||
+               arg == "--kill-rank" || arg == "--kill-at-op") {
+      const std::string flag = arg;
+      if (!flag_with_value(arg, argc, argv, &i, &value)) {
+        *error = flag + " needs a value\n" + pdcrun_usage();
+        return kLaunchUsage;
+      }
+      char* end = nullptr;
+      const long long parsed = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed < 0) {
+        *error = flag + " " + value + " is not a number\n" + pdcrun_usage();
+        return kLaunchUsage;
+      }
+      if (flag == "--port") {
+        options.port = static_cast<int>(parsed);
+      } else if (flag == "--timeout-ms") {
+        options.timeout_ms = static_cast<int>(parsed);
+      } else if (flag == "--grace-ms") {
+        options.grace_ms = static_cast<int>(parsed);
+      } else if (flag == "--kill-rank") {
+        options.kill_rank = static_cast<int>(parsed);
+      } else if (flag == "--kill-at-op") {
+        options.kill_at_op = static_cast<std::uint64_t>(parsed);
+      } else {
+        options.have_seed = true;
+        options.seed = static_cast<std::uint64_t>(parsed);
+      }
+    } else if (arg == "--chaos") {
+      if (!flag_with_value(arg, argc, argv, &i, &value) ||
+          (value != "noise" && value != "lossy" && value != "hostile")) {
+        *error = "--chaos needs noise, lossy or hostile\n" + pdcrun_usage();
+        return kLaunchUsage;
+      }
+      options.chaos_mode = value;
+    } else if (arg == "--chaos-kill") {
+      options.chaos_kill = true;
+    } else if (arg == "--trace") {
+      if (!flag_with_value(arg, argc, argv, &i, &value)) {
+        *error = "--trace needs a path\n" + pdcrun_usage();
+        return kLaunchUsage;
+      }
+      options.trace_path = value;
+    } else if (arg == "--no-tag") {
+      options.tag_output = false;
+    } else if (arg == "-h" || arg == "--help") {
+      *error = pdcrun_usage();
+      return kLaunchUsage;
+    } else {
+      *error = "unknown option " + arg + "\n" + pdcrun_usage();
+      return kLaunchUsage;
+    }
+  }
+  if (options.np < 1) {
+    *error = "-np is required\n" + pdcrun_usage();
+    return kLaunchUsage;
+  }
+  if (i >= argc) {
+    *error = "no rank binary given\n" + pdcrun_usage();
+    return kLaunchUsage;
+  }
+  options.binary = argv[i];
+  for (++i; i < argc; ++i) options.args.emplace_back(argv[i]);
+  *out = std::move(options);
+  return 0;
+}
+
+LaunchReport launch(const LaunchOptions& options) {
+  LaunchReport report;
+  report.ranks.resize(static_cast<std::size_t>(options.np));
+
+  const std::string resolved = resolve_binary(options.binary);
+  if (resolved.empty()) {
+    std::fprintf(stderr, "pdcrun: %s: no such executable\n",
+                 options.binary.c_str());
+    report.exit_code = kLaunchMissingBinary;
+    return report;
+  }
+
+  const bool unix_mode = options.transport == "unix";
+  const std::string dir = unix_mode ? make_scratch_dir("pdcrun") : "";
+  const int port =
+      unix_mode ? 0 : (options.port > 0 ? options.port : pick_free_port());
+  const std::string job =
+      "pdcrun-" + std::to_string(static_cast<long>(::getpid()));
+
+  // The env is assembled once up front (the parent's environment minus any
+  // stale PDCRUN_* plus this job's contract); only PDCRUN_RANK differs per
+  // child — execve gets prebuilt arrays, nothing allocates after fork.
+  std::vector<std::string> env_common;
+  for (char** e = environ; *e != nullptr; ++e) {
+    if (std::strncmp(*e, "PDCRUN_", 7) != 0) env_common.emplace_back(*e);
+  }
+  env_common.push_back("PDCRUN_NP=" + std::to_string(options.np));
+  env_common.push_back("PDCRUN_TRANSPORT=" + options.transport);
+  env_common.push_back("PDCRUN_JOB=" + job);
+  if (unix_mode) {
+    env_common.push_back("PDCRUN_DIR=" + dir);
+  } else {
+    env_common.push_back("PDCRUN_HOST=" + options.host);
+    env_common.push_back("PDCRUN_PORT=" + std::to_string(port));
+  }
+  if (options.have_seed) {
+    env_common.push_back("PDCRUN_SEED=" + std::to_string(options.seed));
+  }
+  if (!options.chaos_mode.empty()) {
+    env_common.push_back("PDCRUN_CHAOS_MODE=" + options.chaos_mode);
+  }
+  if (options.kill_rank >= 0) {
+    env_common.push_back("PDCRUN_CHAOS_ABORT_RANK=" +
+                         std::to_string(options.kill_rank));
+    env_common.push_back("PDCRUN_CHAOS_ABORT_AT_OP=" +
+                         std::to_string(options.kill_at_op));
+  }
+  if ((!options.chaos_mode.empty() || options.kill_rank >= 0) &&
+      options.chaos_kill) {
+    env_common.push_back("PDCRUN_CHAOS_KILL=1");
+  }
+  if (!options.trace_path.empty()) {
+    env_common.push_back("PDCRUN_TRACE=" + options.trace_path);
+  }
+
+  std::vector<std::string> child_args;
+  child_args.push_back(options.binary);
+  child_args.insert(child_args.end(), options.args.begin(),
+                    options.args.end());
+  std::vector<char*> argv;
+  for (auto& a : child_args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  std::vector<Child> children(static_cast<std::size_t>(options.np));
+  for (int r = 0; r < options.np; ++r) {
+    Child& child = children[static_cast<std::size_t>(r)];
+    child.rank = r;
+
+    std::vector<std::string> env_strings = env_common;
+    env_strings.push_back("PDCRUN_RANK=" + std::to_string(r));
+    std::vector<char*> envp;
+    for (auto& e : env_strings) envp.push_back(e.data());
+    envp.push_back(nullptr);
+
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      std::fprintf(stderr, "pdcrun: pipe failed: %s\n", std::strerror(errno));
+      for (auto& c : children) {
+        if (c.pid > 0) ::kill(c.pid, SIGKILL);
+      }
+      report.exit_code = kLaunchMissingBinary;
+      return report;
+    }
+
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      // Child: stdout and stderr both feed the parent's pump so a rank's
+      // postmortem interleaves with its output in one ordered stream.
+      ::dup2(fds[1], STDOUT_FILENO);
+      ::dup2(fds[1], STDERR_FILENO);
+      ::close(fds[0]);
+      ::close(fds[1]);
+      ::execve(resolved.c_str(), argv.data(), envp.data());
+      std::fprintf(stderr, "pdcrun: exec %s failed: %s\n", resolved.c_str(),
+                   std::strerror(errno));
+      std::fflush(stderr);
+      ::_exit(kLaunchMissingBinary);
+    }
+    ::close(fds[1]);
+    child.pid = pid;
+    child.pipe_fd = fds[0];
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+  }
+
+  const auto start = Clock::now();
+  const auto watchdog_at =
+      start + std::chrono::milliseconds(options.timeout_ms);
+  bool timed_out = false;
+  bool saw_failure = false;
+  Clock::time_point failure_at{};
+  bool sent_term = false;
+  bool sent_kill = false;
+  int first_bad = -1;  ///< rank index of the first failure, reap order
+
+  const auto emit_line = [&](Child& child, const std::string& line) {
+    if (options.tag_output) {
+      std::printf("[rank %d] %s\n", child.rank, line.c_str());
+    } else {
+      std::printf("%s\n", line.c_str());
+    }
+    remember_tail(child, line);
+  };
+
+  const auto signal_all = [&](int sig) {
+    for (Child& child : children) {
+      if (!child.reaped && child.pid > 0) ::kill(child.pid, sig);
+    }
+  };
+
+  for (;;) {
+    bool any_pipe = false;
+    std::vector<pollfd> fds;
+    std::vector<Child*> owners;
+    for (Child& child : children) {
+      if (child.pipe_fd >= 0) {
+        fds.push_back(pollfd{child.pipe_fd, POLLIN, 0});
+        owners.push_back(&child);
+        any_pipe = true;
+      }
+    }
+    bool any_alive = false;
+    for (const Child& child : children) {
+      if (!child.reaped) any_alive = true;
+    }
+    if (!any_pipe && !any_alive) break;
+
+    if (any_pipe) {
+      ::poll(fds.data(), fds.size(), 100);
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        Child& child = *owners[i];
+        char buf[4096];
+        for (;;) {
+          const ssize_t n = ::read(child.pipe_fd, buf, sizeof buf);
+          if (n > 0) {
+            child.partial.append(buf, static_cast<std::size_t>(n));
+            std::size_t pos;
+            while ((pos = child.partial.find('\n')) != std::string::npos) {
+              emit_line(child, child.partial.substr(0, pos));
+              child.partial.erase(0, pos + 1);
+            }
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          // EOF or error: the rank is done talking.
+          if (!child.partial.empty()) {
+            emit_line(child, child.partial);
+            child.partial.clear();
+          }
+          ::close(child.pipe_fd);
+          child.pipe_fd = -1;
+          break;
+        }
+      }
+    } else {
+      // Pipes are drained but a child still runs: just pace the reaping.
+      ::usleep(20000);
+    }
+
+    for (Child& child : children) {
+      if (child.reaped || child.pid <= 0) continue;
+      int status = 0;
+      const pid_t got = ::waitpid(child.pid, &status, WNOHANG);
+      if (got != child.pid) continue;
+      child.reaped = true;
+      if (WIFEXITED(status)) {
+        child.exit_code = WEXITSTATUS(status);
+      } else if (WIFSIGNALED(status)) {
+        child.signal = WTERMSIG(status);
+      }
+      if ((child.exit_code != 0 || child.signal != 0) && !saw_failure) {
+        saw_failure = true;
+        failure_at = Clock::now();
+        first_bad = child.rank;
+      }
+    }
+
+    const auto now = Clock::now();
+    if (!timed_out && now >= watchdog_at) {
+      timed_out = true;
+      std::fprintf(stderr,
+                   "pdcrun: watchdog expired after %d ms; killing the job\n",
+                   options.timeout_ms);
+      signal_all(SIGKILL);
+      sent_kill = true;
+    }
+    if (saw_failure && !sent_term &&
+        now >= failure_at + std::chrono::milliseconds(options.grace_ms)) {
+      signal_all(SIGTERM);
+      sent_term = true;
+      failure_at = now;  // reuse as the SIGTERM timestamp for escalation
+    } else if (sent_term && !sent_kill &&
+               now >= failure_at + std::chrono::seconds(2)) {
+      signal_all(SIGKILL);
+      sent_kill = true;
+    }
+  }
+
+  for (const Child& child : children) {
+    RankOutcome& outcome = report.ranks[static_cast<std::size_t>(child.rank)];
+    outcome.pid = static_cast<int>(child.pid);
+    outcome.exited = child.reaped;
+    outcome.exit_code = child.exit_code;
+    outcome.signal = child.signal;
+    outcome.tail.assign(child.tail.begin(), child.tail.end());
+  }
+
+  if (unix_mode) remove_scratch_dir(dir);
+
+  if (timed_out) {
+    report.exit_code = kLaunchTimeout;
+  } else if (first_bad >= 0) {
+    // Report the root cause, not the collateral: a rank that exited 5
+    // (peer abort) did so because some *other* rank died, so a signal
+    // death or a non-5 exit anywhere wins over it.
+    const RankOutcome* bad = &report.ranks[static_cast<std::size_t>(first_bad)];
+    if (bad->signal == 0 && bad->exit_code == 5) {
+      for (const RankOutcome& outcome : report.ranks) {
+        if (outcome.signal != 0 ||
+            (outcome.exit_code != 0 && outcome.exit_code != 5)) {
+          bad = &outcome;
+          break;
+        }
+      }
+    }
+    report.exit_code = bad->signal != 0 ? 128 + bad->signal : bad->exit_code;
+  }
+
+  if (report.exit_code != 0) {
+    std::fprintf(stderr, "pdcrun: job failed (exit %d); per-rank postmortem:\n",
+                 report.exit_code);
+    for (const RankOutcome& outcome : report.ranks) {
+      const int rank = static_cast<int>(&outcome - report.ranks.data());
+      if (outcome.signal != 0) {
+        std::fprintf(stderr, "  rank %d (pid %d): killed by signal %d\n", rank,
+                     outcome.pid, outcome.signal);
+      } else if (outcome.exited) {
+        std::fprintf(stderr, "  rank %d (pid %d): exit %d\n", rank,
+                     outcome.pid, outcome.exit_code);
+      } else {
+        std::fprintf(stderr, "  rank %d (pid %d): never exited (watchdog)\n",
+                     rank, outcome.pid);
+      }
+      if (outcome.signal != 0 || outcome.exit_code != 0) {
+        for (const std::string& line : outcome.tail) {
+          std::fprintf(stderr, "    | %s\n", line.c_str());
+        }
+      }
+    }
+    std::fflush(stderr);
+  }
+  std::fflush(stdout);
+  return report;
+}
+
+}  // namespace pdc::net

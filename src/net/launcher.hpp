@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdc::net {
+
+// ---- pdcrun exit-code contract -------------------------------------------
+// 0        every rank exited 0
+// 64       bad command line (usage printed)
+// 124      the watchdog expired and the job was killed
+// 127      the rank binary does not exist or is not executable
+// 128+N    the root-cause rank died on signal N (e.g. 137 = SIGKILL)
+// else     the root-cause rank's own exit code (see runner.hpp: 2 config,
+//          3 wireup, 4 program error, 5 peer abort). Peer-abort exits (5)
+//          are collateral and only become the job code when every failing
+//          rank exited 5.
+
+inline constexpr int kLaunchUsage = 64;
+inline constexpr int kLaunchTimeout = 124;
+inline constexpr int kLaunchMissingBinary = 127;
+
+/// One launched job, the `mpirun -np 4 ./prog` of this codebase:
+///   pdcrun -np 4 [options] ./patternlet spmd
+struct LaunchOptions {
+  int np = 0;
+  std::string transport = "unix";  ///< "unix" or "tcp"
+  std::string host = "127.0.0.1";  ///< tcp rendezvous host
+  int port = 0;                    ///< tcp rendezvous port; 0 = pick one
+  /// Whole-job watchdog: if any rank is still alive after this, the job is
+  /// SIGKILLed and pdcrun exits 124. A hung distributed job must die here,
+  /// not in a teacher's terminal.
+  int timeout_ms = 120000;
+  /// Grace between the first rank failure and escalation: healthy ranks get
+  /// this long to notice the abort and exit on their own before SIGTERM
+  /// (then SIGKILL two seconds later).
+  int grace_ms = 5000;
+  bool have_seed = false;
+  std::uint64_t seed = 1;           ///< exported as PDCRUN_SEED
+  std::string chaos_mode;           ///< "", "noise", "lossy", "hostile"
+  bool chaos_kill = false;          ///< injected aborts become real SIGKILLs
+  int kill_rank = -1;               ///< deterministically abort this rank...
+  std::uint64_t kill_at_op = 0;     ///< ...at its Nth chaos checkpoint
+  std::string trace_path;           ///< per-rank Chrome traces when set
+  bool tag_output = true;           ///< prefix child lines with "[rank N] "
+  std::string binary;
+  std::vector<std::string> args;
+};
+
+/// How one rank's process ended.
+struct RankOutcome {
+  int pid = -1;
+  bool exited = false;   ///< false = never reaped (watchdog path)
+  int exit_code = 0;     ///< valid when exited && signal == 0
+  int signal = 0;        ///< nonzero = died on this signal
+  std::vector<std::string> tail;  ///< last lines the rank printed
+};
+
+struct LaunchReport {
+  int exit_code = 0;
+  std::vector<RankOutcome> ranks;
+};
+
+/// Parse a pdcrun command line (argv[0] is the program name). Returns 0 and
+/// fills `out` on success; returns kLaunchUsage and fills `error` (usage
+/// text) otherwise.
+int parse_pdcrun_args(int argc, const char* const* argv, LaunchOptions* out,
+                      std::string* error);
+
+/// The pdcrun usage string.
+std::string pdcrun_usage();
+
+/// Fork one process per rank, export the PDCRUN_* contract to each, pump
+/// their stdout/stderr to ours (prefixed "[rank N] "), reap them, and on
+/// the first failure give the rest `grace_ms` to abort cleanly before
+/// escalating SIGTERM → SIGKILL. Prints a per-rank postmortem to stderr
+/// when anything failed. Returns the report (exit_code per the contract
+/// above).
+LaunchReport launch(const LaunchOptions& options);
+
+}  // namespace pdc::net

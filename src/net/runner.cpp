@@ -1,0 +1,201 @@
+#include "net/runner.hpp"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <unistd.h>
+
+#include "chaos/chaos.hpp"
+#include "mp/universe.hpp"
+#include "net/errors.hpp"
+#include "support/error.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/trace.hpp"
+
+namespace pdc::net {
+
+namespace {
+
+const char* env_or(const char* name, const char* fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? v : fallback;
+}
+
+long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') {
+    throw InvalidArgument(std::string(name) + "=\"" + v +
+                          "\" is not a number");
+  }
+  return parsed;
+}
+
+chaos::Config chaos_config(const RankEnv& env) {
+  chaos::Config config;
+  if (env.chaos_mode.empty() || env.chaos_mode == "none") {
+    config.seed = env.chaos_seed;
+  } else if (env.chaos_mode == "noise") {
+    config = chaos::Config::noise(env.chaos_seed);
+  } else if (env.chaos_mode == "lossy") {
+    config = chaos::Config::lossy(env.chaos_seed);
+  } else if (env.chaos_mode == "hostile") {
+    config = chaos::Config::hostile(env.chaos_seed);
+  } else {
+    throw InvalidArgument("PDCRUN_CHAOS_MODE=\"" + env.chaos_mode +
+                          "\" (supported: none, noise, lossy, hostile)");
+  }
+  config.abort_actor = env.kill_rank;
+  config.abort_at_op = env.kill_at_op;
+  return config;
+}
+
+void postmortem_line(int rank, const char* what, const std::string& detail) {
+  std::fprintf(stderr, "pdc::net rank %d %s: %s\n", rank, what,
+               detail.c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace
+
+RankEnv rank_env_from_environment() {
+  RankEnv env;
+  if (std::getenv("PDCRUN_RANK") == nullptr) return env;
+  env.present = true;
+
+  SocketConfig& cfg = env.config;
+  cfg.rank = static_cast<int>(env_long("PDCRUN_RANK", 0));
+  cfg.np = static_cast<int>(env_long("PDCRUN_NP", 1));
+  if (cfg.np < 1 || cfg.rank < 0 || cfg.rank >= cfg.np) {
+    throw InvalidArgument("PDCRUN_RANK=" + std::to_string(cfg.rank) +
+                          " out of range for PDCRUN_NP=" +
+                          std::to_string(cfg.np));
+  }
+  const std::string transport = env_or("PDCRUN_TRANSPORT", "unix");
+  if (transport == "unix") {
+    cfg.kind = Endpoint::Kind::Unix;
+    cfg.dir = env_or("PDCRUN_DIR", "");
+    if (cfg.dir.empty()) {
+      throw InvalidArgument("PDCRUN_TRANSPORT=unix needs PDCRUN_DIR");
+    }
+  } else if (transport == "tcp") {
+    cfg.kind = Endpoint::Kind::Tcp;
+    cfg.host = env_or("PDCRUN_HOST", "127.0.0.1");
+    cfg.port = static_cast<int>(env_long("PDCRUN_PORT", 0));
+    if (cfg.port <= 0) {
+      throw InvalidArgument("PDCRUN_TRANSPORT=tcp needs PDCRUN_PORT");
+    }
+  } else {
+    throw InvalidArgument("PDCRUN_TRANSPORT=\"" + transport +
+                          "\" (supported: unix, tcp)");
+  }
+  cfg.job = env_or("PDCRUN_JOB", "local");
+  cfg.connect_timeout_ms = static_cast<int>(
+      env_long("PDCRUN_CONNECT_TIMEOUT_MS", cfg.connect_timeout_ms));
+
+  const char* mode = std::getenv("PDCRUN_CHAOS_MODE");
+  env.kill_rank = static_cast<int>(env_long("PDCRUN_CHAOS_ABORT_RANK", -1));
+  if ((mode != nullptr && *mode != '\0') || env.kill_rank >= 0) {
+    env.chaos = true;
+    env.chaos_mode = mode != nullptr ? mode : "";
+    env.chaos_seed =
+        static_cast<std::uint64_t>(env_long("PDCRUN_SEED", 1));
+    env.chaos_kill = env_long("PDCRUN_CHAOS_KILL", 0) != 0;
+    env.kill_at_op = static_cast<std::uint64_t>(
+        env_long("PDCRUN_CHAOS_ABORT_AT_OP", 0));
+  }
+  env.trace_path = env_or("PDCRUN_TRACE", "");
+  return env;
+}
+
+int run_rank(const RankEnv& env,
+             const std::function<void(mp::Communicator&)>& program) {
+  const int rank = env.config.rank;
+
+  // Per-process trace session: each rank records its own timeline and
+  // exports it under its rank suffix; stitch them in chrome://tracing.
+  std::optional<trace::TraceSession> session;
+  if (!env.trace_path.empty()) {
+    session.emplace();
+    session->start();
+  }
+  std::optional<chaos::Scope> chaos_scope;
+  if (env.chaos) {
+    try {
+      chaos_scope.emplace(chaos_config(env));
+    } catch (const Error& error) {
+      postmortem_line(rank, "config error", error.what());
+      return kRankConfig;
+    }
+  }
+
+  int code = kRankOk;
+  {
+    // Wireup first: a rank that cannot reach its peers fails before any
+    // Universe exists, so there is nothing to tear down but the sockets —
+    // which the SocketTransport constructor already cleaned up.
+    std::unique_ptr<SocketTransport> transport;
+    try {
+      transport = std::make_unique<SocketTransport>(env.config);
+    } catch (const Error& error) {
+      postmortem_line(rank, "wireup failed", error.what());
+      return kRankWireup;
+    }
+
+    mp::Universe universe(env.config.np, transport->hostnames(), rank);
+    // pdcrun multiplexes child stdout; echo every print() as it happens
+    // instead of holding it in the in-memory log until the job ends.
+    universe.set_echo_output(true);
+    SocketTransport* net = transport.get();
+    universe.attach_transport(std::move(transport));
+
+    // Trace lanes carry the real OS pid (the whole point of running as
+    // processes); chaos decisions stay keyed by world rank.
+    trace::PidScope lane(static_cast<int>(::getpid()),
+                         "rank " + std::to_string(rank));
+    chaos::ActorScope actor(rank);
+    try {
+      trace::Span lifetime("mp.rank", "mp.runtime");
+      mp::Communicator comm = mp::Communicator::world(universe, rank);
+      program(comm);
+    } catch (const chaos::InjectedAbort& abort) {
+      if (env.chaos_kill) {
+        // Die the way a real node dies: no Bye, no unwinding, no flush.
+        // Peers must detect the EOF-without-goodbye and pdcrun must reap
+        // the SIGKILL.
+        ::raise(SIGKILL);
+      }
+      postmortem_line(rank, "chaos abort", abort.what());
+      universe.abort();
+      code = kRankProgram;
+    } catch (const mp::Aborted&) {
+      const std::string why = net->postmortem();
+      postmortem_line(rank, "aborted",
+                      why.empty() ? "another rank aborted the job" : why);
+      code = kRankPeerAbort;
+    } catch (const std::exception& error) {
+      postmortem_line(rank, "program error", error.what());
+      universe.abort();
+      code = kRankProgram;
+    }
+    // ~Universe shuts the transport down (drain, Bye, join) before the
+    // mailbox a reader thread delivers into is destroyed.
+  }
+
+  if (session) {
+    session->stop();
+    try {
+      trace::write_chrome_json(
+          *session, env.trace_path + ".rank" + std::to_string(rank) + ".json");
+    } catch (const Error& error) {
+      postmortem_line(rank, "trace export failed", error.what());
+    }
+  }
+  return code;
+}
+
+}  // namespace pdc::net

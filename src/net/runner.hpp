@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "mp/communicator.hpp"
+#include "net/transport.hpp"
+
+namespace pdc::net {
+
+// ---- rank exit-code contract ---------------------------------------------
+// pdcrun reports the first failing rank's code (or 128+signal for a signal
+// death); these are what a rank process itself returns.
+
+inline constexpr int kRankOk = 0;         ///< program ran to completion
+inline constexpr int kRankConfig = 2;     ///< malformed PDCRUN_* environment
+inline constexpr int kRankWireup = 3;     ///< rendezvous/mesh wireup failed
+inline constexpr int kRankProgram = 4;    ///< the rank program threw
+inline constexpr int kRankPeerAbort = 5;  ///< another rank aborted the job
+
+/// The PDCRUN_* environment contract a launched rank reads, decoded.
+///
+/// Variables (set by pdcrun for every child):
+///   PDCRUN_RANK / PDCRUN_NP          world rank / world size
+///   PDCRUN_TRANSPORT                 "unix" or "tcp"
+///   PDCRUN_DIR                       unix: directory of rank<N>.sock files
+///   PDCRUN_HOST / PDCRUN_PORT        tcp: rank 0's rendezvous address
+///   PDCRUN_JOB                       job token; wireup rejects strangers
+///   PDCRUN_SEED                      optional: seeds the rank's chaos plan
+///   PDCRUN_CONNECT_TIMEOUT_MS        optional: per-dial-attempt budget
+///   PDCRUN_CHAOS_MODE                optional: "noise" | "lossy" | "hostile"
+///   PDCRUN_CHAOS_KILL                optional: "1" → an injected abort
+///                                    SIGKILLs the process (a real node
+///                                    death, not a tidy exception)
+///   PDCRUN_CHAOS_ABORT_RANK          optional: deterministically abort this
+///   PDCRUN_CHAOS_ABORT_AT_OP         world rank at its Nth chaos checkpoint
+///   PDCRUN_TRACE                     optional: write a Chrome trace of this
+///                                    rank to "<value>.rank<N>.json"
+struct RankEnv {
+  bool present = false;  ///< PDCRUN_RANK was set at all
+  SocketConfig config;
+  bool chaos = false;
+  std::string chaos_mode;
+  std::uint64_t chaos_seed = 1;
+  bool chaos_kill = false;
+  int kill_rank = -1;           ///< targeted deterministic abort (-1 = off)
+  std::uint64_t kill_at_op = 0;
+  std::string trace_path;  ///< "" = tracing off
+};
+
+/// Decode the PDCRUN_* environment. `present == false` (with everything
+/// else defaulted) when PDCRUN_RANK is unset — the process was started by
+/// hand, not by pdcrun. Throws pdc::InvalidArgument on a malformed
+/// contract (pdcrun and the rank binary disagree about versions, or a user
+/// exported garbage).
+RankEnv rank_env_from_environment();
+
+/// Execute one rank of a socket job: wire up the transport, build the
+/// distributed Universe, run `program` on the world communicator, tear
+/// down, and map the outcome onto the exit-code contract above. Everything
+/// the program print()s is echoed to stdout line-by-line (pdcrun prefixes
+/// it with the rank). Failures print a one-line postmortem to stderr.
+int run_rank(const RankEnv& env,
+             const std::function<void(mp::Communicator&)>& program);
+
+}  // namespace pdc::net

@@ -1,0 +1,355 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "net/errors.hpp"
+#include "trace/trace.hpp"
+
+namespace pdc::net {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// sockaddr for an endpoint; returns the length actually used.
+socklen_t fill_sockaddr(const Endpoint& endpoint, sockaddr_storage* storage) {
+  std::memset(storage, 0, sizeof(*storage));
+  if (endpoint.kind == Endpoint::Kind::Unix) {
+    auto* sun = reinterpret_cast<sockaddr_un*>(storage);
+    sun->sun_family = AF_UNIX;
+    if (endpoint.path.size() >= sizeof(sun->sun_path)) {
+      throw ConnectionError("socket: unix path too long: " + endpoint.path);
+    }
+    std::memcpy(sun->sun_path, endpoint.path.c_str(), endpoint.path.size() + 1);
+    return static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                  endpoint.path.size() + 1);
+  }
+  auto* sin = reinterpret_cast<sockaddr_in*>(storage);
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(static_cast<std::uint16_t>(endpoint.port));
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &sin->sin_addr) != 1) {
+    throw ConnectionError("socket: bad IPv4 address: " + endpoint.host);
+  }
+  return sizeof(sockaddr_in);
+}
+
+int family_of(const Endpoint& endpoint) {
+  return endpoint.kind == Endpoint::Kind::Unix ? AF_UNIX : AF_INET;
+}
+
+/// Wait for the socket to become readable/writable; true when it did.
+bool poll_one(int fd, short events, std::chrono::milliseconds timeout) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  for (;;) {
+    const int n = ::poll(&p, 1, static_cast<int>(timeout.count()));
+    if (n > 0) return true;
+    if (n == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+}  // namespace
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::Unix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Endpoint Endpoint::parse(const std::string& text) {
+  Endpoint e;
+  if (text.rfind("unix:", 0) == 0) {
+    e.kind = Kind::Unix;
+    e.path = text.substr(5);
+    if (e.path.empty()) throw ProtocolError("endpoint: empty unix path");
+    return e;
+  }
+  if (text.rfind("tcp:", 0) == 0) {
+    e.kind = Kind::Tcp;
+    const std::string rest = text.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size()) {
+      throw ProtocolError("endpoint: expected tcp:<host>:<port>, got " + text);
+    }
+    e.host = rest.substr(0, colon);
+    const std::string port_text = rest.substr(colon + 1);
+    char* end = nullptr;
+    const long port = std::strtol(port_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || port < 1 || port > 65535) {
+      throw ProtocolError("endpoint: bad port in " + text);
+    }
+    e.port = static_cast<int>(port);
+    return e;
+  }
+  throw ProtocolError("endpoint: unknown scheme in \"" + text +
+                      "\" (expected unix:<path> or tcp:<host>:<port>)");
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket listen_at(const Endpoint& endpoint, int backlog) {
+  Socket sock(::socket(family_of(endpoint), SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    throw ConnectionError("socket: cannot create listener: " + errno_text());
+  }
+  if (endpoint.kind == Endpoint::Kind::Unix) {
+    // A stale path from a crashed previous job would make bind fail.
+    ::unlink(endpoint.path.c_str());
+  } else {
+    const int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  }
+  sockaddr_storage storage;
+  const socklen_t len = fill_sockaddr(endpoint, &storage);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&storage), len) != 0) {
+    throw ConnectionError("socket: cannot bind " + endpoint.to_string() + ": " +
+                          errno_text());
+  }
+  if (::listen(sock.fd(), backlog) != 0) {
+    throw ConnectionError("socket: cannot listen at " + endpoint.to_string() +
+                          ": " + errno_text());
+  }
+  return sock;
+}
+
+Endpoint local_endpoint(const Socket& listener, const Endpoint& requested) {
+  if (requested.kind == Endpoint::Kind::Unix) return requested;
+  sockaddr_in sin{};
+  socklen_t len = sizeof sin;
+  if (::getsockname(listener.fd(), reinterpret_cast<sockaddr*>(&sin), &len) !=
+      0) {
+    throw ConnectionError("socket: getsockname failed: " + errno_text());
+  }
+  Endpoint actual = requested;
+  actual.port = ntohs(sin.sin_port);
+  return actual;
+}
+
+Socket accept_for(Socket& listener, std::chrono::milliseconds timeout,
+                  const char* who) {
+  if (!poll_one(listener.fd(), POLLIN, timeout)) {
+    throw ConnectionError(std::string(who) + ": no peer dialed in within " +
+                          std::to_string(timeout.count()) + "ms");
+  }
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    throw ConnectionError(std::string(who) + ": accept failed: " +
+                          errno_text());
+  }
+  Socket sock(fd);
+  // Disable Nagle on accepted TCP connections too (the dial side already
+  // does): a ping-pong over an accepted socket otherwise serializes behind
+  // delayed ACKs — ~40ms per small reply instead of microseconds.
+  // setsockopt fails harmlessly (ENOTSUP/EOPNOTSUPP) on unix sockets.
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+Socket dial(const Endpoint& endpoint, int attempts,
+            std::chrono::milliseconds timeout_per_attempt,
+            std::chrono::milliseconds backoff_initial, const char* who) {
+  std::chrono::milliseconds backoff = backoff_initial;
+  std::string last_error = "no attempts made";
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      if (trace::enabled()) trace::Counter("net.dial_retries").add(1.0);
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, std::chrono::milliseconds(200));
+    }
+    Socket sock(::socket(family_of(endpoint), SOCK_STREAM, 0));
+    if (!sock.valid()) {
+      last_error = "cannot create socket: " + errno_text();
+      continue;
+    }
+    // Non-blocking connect so a dead address honours the timeout instead of
+    // the kernel's (much longer) default.
+    const int flags = ::fcntl(sock.fd(), F_GETFL, 0);
+    ::fcntl(sock.fd(), F_SETFL, flags | O_NONBLOCK);
+    sockaddr_storage storage;
+    const socklen_t len = fill_sockaddr(endpoint, &storage);
+    const int rc =
+        ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&storage), len);
+    if (rc != 0 && errno != EINPROGRESS) {
+      last_error = errno_text();
+      continue;
+    }
+    if (rc != 0) {
+      if (!poll_one(sock.fd(), POLLOUT, timeout_per_attempt)) {
+        last_error = "connect timed out after " +
+                     std::to_string(timeout_per_attempt.count()) + "ms";
+        continue;
+      }
+      int so_error = 0;
+      socklen_t so_len = sizeof so_error;
+      ::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &so_error, &so_len);
+      if (so_error != 0) {
+        last_error = std::strerror(so_error);
+        continue;
+      }
+    }
+    ::fcntl(sock.fd(), F_SETFL, flags);
+    if (endpoint.kind == Endpoint::Kind::Tcp) {
+      const int one = 1;
+      ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    }
+    return sock;
+  }
+  throw ConnectionError(std::string(who) + ": dialing " +
+                        endpoint.to_string() + " failed after " +
+                        std::to_string(attempts) + " attempts: " + last_error);
+}
+
+namespace {
+
+void send_buffer(Socket& socket, const std::byte* data, std::size_t n,
+                 const char* who) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc =
+        ::send(socket.fd(), data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw PeerLost(std::string(who) + ": send failed: " + errno_text());
+    }
+    sent += static_cast<std::size_t>(rc);
+  }
+}
+
+}  // namespace
+
+void send_all(Socket& socket, const mp::Bytes& data,
+              const mp::SharedPayload& payload, bool bye_ok, const char* who) {
+  try {
+    send_buffer(socket, data.data(), data.size(), who);
+    if (payload && !payload->empty()) {
+      send_buffer(socket, payload->data(), payload->size(), who);
+    }
+  } catch (const PeerLost&) {
+    // During teardown a peer that finished first has every right to be
+    // gone; its missed goodbye is not an error.
+    if (!bye_ok) throw;
+  }
+}
+
+bool recv_exact(Socket& socket, void* out, std::size_t n, const char* who) {
+  auto* dst = static_cast<std::byte*>(out);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::recv(socket.fd(), dst + got, n - got, 0);
+    if (rc == 0) {
+      if (got == 0) return false;  // clean EOF at a frame boundary
+      throw PeerLost(std::string(who) + ": peer disconnected mid-message (" +
+                     std::to_string(got) + " of " + std::to_string(n) +
+                     " bytes read)");
+    }
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw PeerLost(std::string(who) + ": recv failed: " + errno_text());
+    }
+    got += static_cast<std::size_t>(rc);
+  }
+  return true;
+}
+
+bool recv_exact_for(Socket& socket, void* out, std::size_t n,
+                    std::chrono::milliseconds timeout, const char* who) {
+  auto* dst = static_cast<std::byte*>(out);
+  std::size_t got = 0;
+  while (got < n) {
+    if (!poll_one(socket.fd(), POLLIN, timeout)) {
+      throw ConnectionError(std::string(who) + ": handshake read timed out (" +
+                            std::to_string(got) + " of " + std::to_string(n) +
+                            " bytes after " + std::to_string(timeout.count()) +
+                            "ms)");
+    }
+    const ssize_t rc = ::recv(socket.fd(), dst + got, n - got, 0);
+    if (rc == 0) {
+      if (got == 0) return false;
+      throw PeerLost(std::string(who) + ": peer disconnected mid-message (" +
+                     std::to_string(got) + " of " + std::to_string(n) +
+                     " bytes read)");
+    }
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw PeerLost(std::string(who) + ": recv failed: " + errno_text());
+    }
+    got += static_cast<std::size_t>(rc);
+  }
+  return true;
+}
+
+namespace {
+
+template <typename RecvFn>
+bool recv_frame_impl(wire::Header* header, mp::Bytes* body, RecvFn&& read,
+                     const char* who) {
+  std::byte raw[wire::kHeaderBytes];
+  if (!read(raw, sizeof raw, /*allow_eof=*/true)) return false;
+  *header = wire::decode_header(raw);  // validates magic/version/clamps
+  body->assign(header->body_len, std::byte{0});
+  if (header->body_len > 0) {
+    if (!read(body->data(), body->size(), /*allow_eof=*/false)) {
+      throw PeerLost(std::string(who) +
+                     ": peer disconnected between header and body");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool recv_frame(Socket& socket, wire::Header* header, mp::Bytes* body,
+                const char* who) {
+  return recv_frame_impl(
+      header, body,
+      [&](void* out, std::size_t n, bool) {
+        return recv_exact(socket, out, n, who);
+      },
+      who);
+}
+
+bool recv_frame_for(Socket& socket, wire::Header* header, mp::Bytes* body,
+                    std::chrono::milliseconds timeout, const char* who) {
+  return recv_frame_impl(
+      header, body,
+      [&](void* out, std::size_t n, bool) {
+        return recv_exact_for(socket, out, n, timeout, who);
+      },
+      who);
+}
+
+}  // namespace pdc::net

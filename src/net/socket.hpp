@@ -1,0 +1,102 @@
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "mp/message.hpp"
+#include "net/wire.hpp"
+
+namespace pdc::net {
+
+/// Where a rank can be reached: a Unix-domain socket path or a TCP
+/// host:port. Serialized as "unix:<path>" / "tcp:<host>:<port>" in the
+/// wireup frames.
+struct Endpoint {
+  enum class Kind { Unix, Tcp };
+  Kind kind = Kind::Unix;
+  std::string path;                 ///< Unix socket path
+  std::string host = "127.0.0.1";   ///< TCP host
+  int port = 0;                     ///< TCP port (0 = ephemeral when listening)
+
+  [[nodiscard]] std::string to_string() const;
+  /// Parse "unix:<path>" or "tcp:<host>:<port>"; throws ProtocolError.
+  static Endpoint parse(const std::string& text);
+};
+
+/// RAII file descriptor. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// ::shutdown(SHUT_RDWR): unblocks any thread parked in recv/send on this
+  /// socket (they observe EOF/error), without racing the close of the fd.
+  void shutdown_both() noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen at `endpoint`. For TCP with port 0 the kernel picks an
+/// ephemeral port — read it back with local_endpoint(). For Unix the path
+/// must not exist yet (stale paths from a previous crashed job are
+/// unlinked first). Throws ConnectionError.
+Socket listen_at(const Endpoint& endpoint, int backlog);
+
+/// The listener's actual address (resolves TCP port 0). Throws
+/// ConnectionError.
+Endpoint local_endpoint(const Socket& listener, const Endpoint& requested);
+
+/// Wait up to `timeout` for a connection and accept it. Throws
+/// ConnectionError on timeout or error.
+Socket accept_for(Socket& listener, std::chrono::milliseconds timeout,
+                  const char* who);
+
+/// Connect to `endpoint` with bounded retry: up to `attempts` tries, each
+/// with `timeout_per_attempt`, sleeping an exponentially growing backoff
+/// (starting at `backoff_initial`, doubling, capped at 200ms) between
+/// tries. Dial retries are counted on the net.dial_retries trace counter.
+/// Throws ConnectionError once the budget is spent.
+Socket dial(const Endpoint& endpoint, int attempts,
+            std::chrono::milliseconds timeout_per_attempt,
+            std::chrono::milliseconds backoff_initial, const char* who);
+
+/// Write all of `data` (and then `payload`, if non-null) to the socket.
+/// Uses MSG_NOSIGNAL so a dead peer surfaces as PeerLost, not SIGPIPE.
+/// `bye_ok`: failures while writing a Bye during teardown are benign (the
+/// peer may already be gone) and are swallowed instead of thrown.
+void send_all(Socket& socket, const mp::Bytes& data,
+              const mp::SharedPayload& payload, bool bye_ok, const char* who);
+
+/// Read exactly `n` bytes. Returns false on a clean EOF at offset 0 (the
+/// peer closed between frames); throws PeerLost on an error or an EOF in
+/// the middle of the buffer (a mid-message disconnect).
+bool recv_exact(Socket& socket, void* out, std::size_t n, const char* who);
+
+/// recv_exact with a poll() deadline (wireup handshakes). Throws
+/// ConnectionError on timeout.
+bool recv_exact_for(Socket& socket, void* out, std::size_t n,
+                    std::chrono::milliseconds timeout, const char* who);
+
+/// Read one whole frame (header + body). Returns false on clean EOF before
+/// a header. Applies the header clamps before allocating the body.
+bool recv_frame(Socket& socket, wire::Header* header, mp::Bytes* body,
+                const char* who);
+
+/// recv_frame with a per-read poll() deadline (wireup). Throws
+/// ConnectionError on timeout.
+bool recv_frame_for(Socket& socket, wire::Header* header, mp::Bytes* body,
+                    std::chrono::milliseconds timeout, const char* who);
+
+}  // namespace pdc::net

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mp/transport.hpp"
+#include "net/socket.hpp"
+
+namespace pdc::net {
+
+/// Everything a rank needs to join a socket job. pdcrun fills this from
+/// the PDCRUN_* environment contract (see runner.hpp); the in-process
+/// harness (harness.hpp) and the benches fill it directly.
+struct SocketConfig {
+  Endpoint::Kind kind = Endpoint::Kind::Unix;
+  /// Unix: directory holding one `rank<N>.sock` per rank.
+  std::string dir;
+  /// TCP: rank 0's rendezvous address. Other ranks listen ephemerally and
+  /// publish their real port through the rendezvous.
+  std::string host = "127.0.0.1";
+  int port = 0;
+
+  int np = 1;
+  int rank = 0;
+  /// Processor name this rank reports; defaults to the paper's Colab
+  /// container id so socket runs match the loopback goldens.
+  std::string hostname = "d6ff4f902ed6";
+  /// Launcher-chosen token; a Hello with a different token is a stray
+  /// process from another job and is rejected.
+  std::string job = "local";
+
+  // Wireup budgets: bounded retry with exponential backoff on every dial,
+  // poll deadlines on every handshake read — a missing peer is a typed
+  // ConnectionError, never a hang.
+  int dial_attempts = 50;
+  int connect_timeout_ms = 2000;     ///< per dial attempt
+  int dial_backoff_initial_ms = 1;   ///< doubles per retry, capped at 200ms
+  int handshake_timeout_ms = 10000;  ///< per wireup read / accept
+  /// Teardown drain budget: how long to wait for the peers' goodbyes
+  /// before closing anyway.
+  int linger_ms = 5000;
+};
+
+/// The real-process transport: one stream socket per peer pair, wired up
+/// through a rank-0 rendezvous, a send queue + writer thread per peer on
+/// the way out and a reader thread per peer feeding Mailbox::deliver on
+/// the way in. Collectives, the comm→source FIFO index and encode-once
+/// shared payloads all work unchanged on top.
+///
+/// Wireup (the constructor):
+///   1. Every rank opens its own listener (unix: <dir>/rank<N>.sock;
+///      tcp: an ephemeral port).
+///   2. Ranks 1..N-1 dial rank 0's well-known endpoint with bounded retry
+///      + exponential backoff and send Hello{job, np, rank, endpoint,
+///      hostname}.
+///   3. Rank 0, once all N-1 Hellos arrived, answers each with the full
+///      Welcome address/hostname map. The rendezvous connection doubles as
+///      the (0, r) data connection.
+///   4. Rank r then dials every rank j with 0 < j < r at its published
+///      endpoint (Hello again); rank j accepts from ranks above it. After
+///      this, every pair shares exactly one connection.
+///
+/// A constructor failure (missing peer, hostile handshake, timeout) cleans
+/// up after itself: no listener socket, no thread and no half-open peer
+/// survives the throw — the Universe shutdown-ordering regression tests
+/// pin this.
+class SocketTransport final : public mp::Transport {
+ public:
+  /// Perform wireup and return the connected transport. Blocks until every
+  /// pair is connected or a budget expires (ConnectionError) or a peer
+  /// misbehaves (ProtocolError).
+  explicit SocketTransport(const SocketConfig& config);
+
+  ~SocketTransport() override;
+
+  [[nodiscard]] const char* name() const noexcept override;
+
+  /// Hostnames learned during wireup, indexed by world rank — what the
+  /// distributed Universe reports from processor_name().
+  [[nodiscard]] const std::vector<std::string>& hostnames() const noexcept {
+    return hostnames_;
+  }
+
+  void bind(mp::Universe& universe) override;
+  void deliver(int dest_world_rank, mp::Envelope envelope) override;
+  void propagate_abort() noexcept override;
+  void shutdown() noexcept override;
+
+  /// The first peer-loss postmortem, if any ("" when the job stayed
+  /// healthy) — one line naming the peer and what happened to it.
+  [[nodiscard]] std::string postmortem() const;
+
+  /// Test hook: sever the connection to `peer_rank` abruptly (no Bye), as
+  /// if that process had been SIGKILLed mid-message. The peer's reader
+  /// must surface a typed error and unblock its receivers.
+  void debug_sever_peer(int peer_rank);
+
+ private:
+  struct Peer {
+    int rank = -1;
+    Socket socket;
+    std::string hostname;
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<wire::DataFrame> outbox;
+    bool closing = false;  ///< drain outbox, send Bye, exit
+
+    std::thread writer;
+    std::thread reader;
+    std::atomic<bool> saw_bye{false};
+    std::atomic<bool> dead{false};
+  };
+
+  void wireup(const SocketConfig& config);
+  void wireup_rank0(const SocketConfig& config, const Endpoint& self);
+  void wireup_peer(const SocketConfig& config, const Endpoint& self);
+  Peer& peer_for(int world_rank);
+
+  void writer_loop(Peer& peer);
+  void reader_loop(Peer& peer);
+  void enqueue_control(Peer& peer, wire::FrameKind kind);
+  void on_peer_lost(Peer& peer, const std::string& why);
+
+  SocketConfig config_;
+  Endpoint listen_endpoint_;
+  Socket listener_;
+  /// One entry per world rank; the self entry has rank == -1 and no socket.
+  std::vector<std::unique_ptr<Peer>> peers_;
+  std::vector<std::string> hostnames_;
+
+  mp::Universe* universe_ = nullptr;
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<bool> abort_sent_{false};
+  bool threads_started_ = false;
+
+  mutable std::mutex postmortem_mutex_;
+  std::string postmortem_;
+};
+
+}  // namespace pdc::net

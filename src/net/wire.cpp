@@ -1,0 +1,273 @@
+#include "net/wire.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <unordered_set>
+
+#include "net/errors.hpp"
+
+namespace pdc::net::wire {
+
+void put_u16(mp::Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v & 0xff));
+  out.push_back(static_cast<std::byte>((v >> 8) & 0xff));
+}
+
+void put_u32(mp::Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(mp::Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_i32(mp::Bytes& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_string(mp::Bytes& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  for (char c : s) out.push_back(static_cast<std::byte>(c));
+}
+
+void Reader::need(std::size_t n) const {
+  if (bytes_->size() - pos_ < n) {
+    throw ProtocolError("wire: truncated frame body (needed " +
+                        std::to_string(n) + " more bytes, " +
+                        std::to_string(bytes_->size() - pos_) + " present)");
+  }
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  const std::uint16_t v =
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>((*bytes_)[pos_]) |
+                                 static_cast<std::uint16_t>((*bytes_)[pos_ + 1])
+                                     << 8);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>((*bytes_)[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>((*bytes_)[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::int32_t Reader::i32() { return static_cast<std::int32_t>(u32()); }
+
+std::string Reader::string(std::uint32_t max_len) {
+  const std::uint32_t len = u32();
+  if (len > max_len) {
+    throw ProtocolError("wire: string length " + std::to_string(len) +
+                        " exceeds the clamp of " + std::to_string(max_len));
+  }
+  // The length is validated against the bytes actually present before it
+  // sizes the std::string — a hostile prefix cannot drive an allocation.
+  need(len);
+  std::string s(reinterpret_cast<const char*>(bytes_->data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+mp::Bytes Reader::rest() {
+  mp::Bytes out(bytes_->begin() + static_cast<std::ptrdiff_t>(pos_),
+                bytes_->end());
+  pos_ = bytes_->size();
+  return out;
+}
+
+void Reader::expect_end() const {
+  if (pos_ != bytes_->size()) {
+    throw ProtocolError("wire: frame body has " +
+                        std::to_string(bytes_->size() - pos_) +
+                        " trailing bytes");
+  }
+}
+
+mp::Bytes encode_header(FrameKind kind, std::size_t body_len) {
+  if (body_len > kMaxBodyBytes) {
+    throw ProtocolError("wire: refusing to emit a " +
+                        std::to_string(body_len) +
+                        "-byte frame body (clamp is " +
+                        std::to_string(kMaxBodyBytes) + ")");
+  }
+  mp::Bytes out;
+  out.reserve(kHeaderBytes);
+  put_u32(out, kMagic);
+  put_u16(out, kVersion);
+  put_u16(out, static_cast<std::uint16_t>(kind));
+  put_u32(out, static_cast<std::uint32_t>(body_len));
+  return out;
+}
+
+Header decode_header(const std::byte (&raw)[kHeaderBytes]) {
+  mp::Bytes bytes(raw, raw + kHeaderBytes);
+  Reader r(bytes);
+  const std::uint32_t magic = r.u32();
+  if (magic != kMagic) {
+    throw ProtocolError("wire: bad magic 0x" + [magic] {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "%08x", magic);
+      return std::string(buf);
+    }() + " (peer is not a pdc::net endpoint)");
+  }
+  const std::uint16_t version = r.u16();
+  if (version != kVersion) {
+    throw ProtocolError("wire: protocol version " + std::to_string(version) +
+                        " (this build speaks " + std::to_string(kVersion) +
+                        ")");
+  }
+  const std::uint16_t kind = r.u16();
+  if (kind < static_cast<std::uint16_t>(FrameKind::Hello) ||
+      kind > static_cast<std::uint16_t>(FrameKind::Bye)) {
+    throw ProtocolError("wire: unknown frame kind " + std::to_string(kind));
+  }
+  const std::uint32_t body_len = r.u32();
+  const std::uint32_t clamp = static_cast<FrameKind>(kind) == FrameKind::Data
+                                  ? kMaxBodyBytes
+                                  : kMaxControlBodyBytes;
+  if (body_len > clamp) {
+    throw ProtocolError("wire: frame body length " + std::to_string(body_len) +
+                        " exceeds the clamp of " + std::to_string(clamp) +
+                        " (hostile or corrupt length prefix)");
+  }
+  return Header{static_cast<FrameKind>(kind), body_len};
+}
+
+mp::Bytes encode_hello(const Hello& hello) {
+  mp::Bytes body;
+  put_string(body, hello.job);
+  put_i32(body, hello.np);
+  put_i32(body, hello.rank);
+  put_string(body, hello.endpoint);
+  put_string(body, hello.hostname);
+  return body;
+}
+
+Hello decode_hello(const mp::Bytes& body) {
+  Reader r(body);
+  Hello hello;
+  hello.job = r.string(kMaxHandshakeString);
+  hello.np = r.i32();
+  hello.rank = r.i32();
+  hello.endpoint = r.string(kMaxHandshakeString);
+  hello.hostname = r.string(kMaxHandshakeString);
+  r.expect_end();
+  return hello;
+}
+
+mp::Bytes encode_welcome(const Welcome& welcome) {
+  mp::Bytes body;
+  put_u32(body, static_cast<std::uint32_t>(welcome.peers.size()));
+  for (const auto& [endpoint, hostname] : welcome.peers) {
+    put_string(body, endpoint);
+    put_string(body, hostname);
+  }
+  return body;
+}
+
+Welcome decode_welcome(const mp::Bytes& body) {
+  Reader r(body);
+  const std::uint32_t count = r.u32();
+  // Each entry costs at least its two 4-byte length prefixes; a count the
+  // remaining bytes cannot hold is a hostile prefix, rejected before
+  // reserve().
+  if (count > r.remaining() / 8) {
+    throw ProtocolError("wire: welcome peer count " + std::to_string(count) +
+                        " exceeds what " + std::to_string(r.remaining()) +
+                        " body bytes could hold");
+  }
+  Welcome welcome;
+  welcome.peers.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string endpoint = r.string(kMaxHandshakeString);
+    std::string hostname = r.string(kMaxHandshakeString);
+    welcome.peers.emplace_back(std::move(endpoint), std::move(hostname));
+  }
+  r.expect_end();
+  return welcome;
+}
+
+DataFrame encode_data(const mp::Envelope& envelope, int dest_world_rank) {
+  const std::size_t payload_len = envelope.size_bytes();
+  // head = header + metadata + payload length prefix; the payload bytes
+  // follow on the wire but stay in their shared buffer here.
+  mp::Bytes meta;
+  put_i32(meta, dest_world_rank);
+  put_u64(meta, envelope.comm_id);
+  put_i32(meta, envelope.source);
+  put_i32(meta, envelope.tag);
+  put_u64(meta, static_cast<std::uint64_t>(envelope.type_hash));
+  put_string(meta, envelope.type_name != nullptr ? envelope.type_name : "");
+  put_u32(meta, static_cast<std::uint32_t>(payload_len));
+
+  DataFrame frame;
+  frame.head = encode_header(FrameKind::Data, meta.size() + payload_len);
+  frame.head.insert(frame.head.end(), meta.begin(), meta.end());
+  frame.payload = envelope.payload;
+  return frame;
+}
+
+mp::Envelope decode_data(const mp::Bytes& body, int expect_dest_world_rank) {
+  Reader r(body);
+  const std::int32_t dest = r.i32();
+  if (dest != expect_dest_world_rank) {
+    throw ProtocolError("wire: data frame addressed to world rank " +
+                        std::to_string(dest) + " arrived at rank " +
+                        std::to_string(expect_dest_world_rank));
+  }
+  mp::Envelope envelope;
+  envelope.comm_id = r.u64();
+  envelope.source = r.i32();
+  envelope.tag = r.i32();
+  envelope.type_hash = static_cast<std::size_t>(r.u64());
+  envelope.type_name = intern_type_name(r.string(kMaxTypeNameBytes));
+  const std::uint32_t payload_len = r.u32();
+  if (payload_len != r.remaining()) {
+    throw ProtocolError("wire: data payload length " +
+                        std::to_string(payload_len) + " disagrees with the " +
+                        std::to_string(r.remaining()) +
+                        " bytes present in the frame");
+  }
+  if (payload_len > 0) {
+    envelope.payload = mp::make_payload(r.rest());
+  }
+  return envelope;
+}
+
+const char* intern_type_name(std::string_view name) {
+  if (name.empty()) return "";
+  static std::mutex mutex;
+  static std::unordered_set<std::string> pool;
+  static const char* const kOverflow = "<remote type>";
+  std::lock_guard lock(mutex);
+  if (const auto it = pool.find(std::string(name)); it != pool.end()) {
+    return it->c_str();
+  }
+  if (pool.size() >= kInternPoolCap) return kOverflow;
+  return pool.emplace(name).first->c_str();
+}
+
+}  // namespace pdc::net::wire

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "mp/message.hpp"
+
+namespace pdc::net::wire {
+
+/// "PDCN", little-endian, first on every frame. A connection that opens
+/// with anything else is not speaking this protocol.
+inline constexpr std::uint32_t kMagic = 0x4E434450;
+
+/// Bumped on any incompatible layout change; both sides must agree.
+inline constexpr std::uint16_t kVersion = 1;
+
+/// Hard clamp on a Data frame body. A length prefix above this is hostile
+/// or corrupt and is rejected before it can drive an allocation.
+inline constexpr std::uint32_t kMaxBodyBytes = 256u << 20;  // 256 MiB
+
+/// Tighter clamp for every non-Data frame (handshakes carry a few strings,
+/// Abort/Bye carry nothing): a hostile rendezvous connection cannot make
+/// rank 0 allocate more than this per frame.
+inline constexpr std::uint32_t kMaxControlBodyBytes = 1u << 20;  // 1 MiB
+
+/// Clamp on a type name carried in a Data frame.
+inline constexpr std::uint32_t kMaxTypeNameBytes = 4096;
+
+/// Clamp on endpoint/hostname/job strings in handshake frames.
+inline constexpr std::uint32_t kMaxHandshakeString = 4096;
+
+/// Every frame: | magic u32 | version u16 | kind u16 | body_len u32 | body |.
+inline constexpr std::size_t kHeaderBytes = 12;
+
+enum class FrameKind : std::uint16_t {
+  Hello = 1,    ///< dialer → acceptor: who am I (wireup)
+  Welcome = 2,  ///< rank 0 → peer: the full address/hostname map (wireup)
+  Data = 3,     ///< one mp::Envelope
+  Abort = 4,    ///< the sending rank's job aborted; wake your receivers
+  Bye = 5,      ///< clean goodbye; EOF after this is normal teardown
+};
+
+struct Header {
+  FrameKind kind = FrameKind::Data;
+  std::uint32_t body_len = 0;
+};
+
+/// Identity a dialer presents when it connects (and, dialing rank 0 during
+/// rendezvous, registers with).
+struct Hello {
+  std::string job;       ///< launcher-chosen token; all ranks must agree
+  int np = 0;            ///< world size the dialer believes in
+  int rank = -1;         ///< the dialer's world rank
+  std::string endpoint;  ///< where the dialer's own listener accepts
+  std::string hostname;  ///< processor name the dialer reports
+};
+
+/// Rank 0's reply to a rendezvous Hello: endpoint + hostname per world rank.
+struct Welcome {
+  std::vector<std::pair<std::string, std::string>> peers;
+};
+
+/// A Data frame ready to write: the header + metadata head, then the
+/// payload bytes. Kept separate so a fan-out's shared encoded payload is
+/// never copied per destination — the writer thread sends head then
+/// payload back to back.
+struct DataFrame {
+  mp::Bytes head;
+  mp::SharedPayload payload;  ///< null ⇔ zero-byte message
+};
+
+// ---- primitives (append to / read from byte vectors) ---------------------
+
+void put_u16(mp::Bytes& out, std::uint16_t v);
+void put_u32(mp::Bytes& out, std::uint32_t v);
+void put_u64(mp::Bytes& out, std::uint64_t v);
+void put_i32(mp::Bytes& out, std::int32_t v);
+void put_string(mp::Bytes& out, std::string_view s);
+
+/// Cursor over a received body; every read validates against the bytes
+/// actually present and throws ProtocolError when the frame lies.
+class Reader {
+ public:
+  explicit Reader(const mp::Bytes& bytes) : bytes_(&bytes) {}
+
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32();
+  /// Length-prefixed string, clamped to `max_len`.
+  std::string string(std::uint32_t max_len);
+  /// All remaining bytes (the Data payload tail).
+  mp::Bytes rest();
+  /// Throws ProtocolError unless the cursor consumed the body exactly.
+  void expect_end() const;
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_->size() - pos_;
+  }
+
+ private:
+  void need(std::size_t n) const;
+  const mp::Bytes* bytes_;
+  std::size_t pos_ = 0;
+};
+
+// ---- frames --------------------------------------------------------------
+
+/// The 12-byte header for a frame with `body_len` body bytes. Throws
+/// ProtocolError if body_len exceeds the clamp (a frame we must never emit).
+mp::Bytes encode_header(FrameKind kind, std::size_t body_len);
+
+/// Parse and validate a received header: magic, version, kind range and the
+/// body-length clamp. Throws ProtocolError with a message naming what was
+/// wrong — the error a hostile or mismatched peer produces.
+Header decode_header(const std::byte (&raw)[kHeaderBytes]);
+
+mp::Bytes encode_hello(const Hello& hello);
+Hello decode_hello(const mp::Bytes& body);
+
+mp::Bytes encode_welcome(const Welcome& welcome);
+Welcome decode_welcome(const mp::Bytes& body);
+
+/// Frame an envelope for the peer hosting world rank `dest_world_rank`.
+/// `envelope.source` stays communicator-local, exactly as Mailbox expects.
+DataFrame encode_data(const mp::Envelope& envelope, int dest_world_rank);
+
+/// Rebuild the envelope from a Data body. Validates every length, checks
+/// the frame was addressed to `expect_dest_world_rank` (a routing bug
+/// otherwise), and interns the type name so Envelope::type_name keeps its
+/// static-storage contract.
+mp::Envelope decode_data(const mp::Bytes& body, int expect_dest_world_rank);
+
+/// Process-wide intern pool for type names received off the wire. Bounded:
+/// after `kInternPoolCap` distinct names, further names collapse to a
+/// shared "<remote type>" constant instead of growing without limit under
+/// a hostile peer.
+inline constexpr std::size_t kInternPoolCap = 1024;
+const char* intern_type_name(std::string_view name);
+
+}  // namespace pdc::net::wire

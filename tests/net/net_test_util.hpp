@@ -1,0 +1,39 @@
+#pragma once
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+namespace pdc::net_test {
+
+/// A finished subprocess: everything it wrote (stdout+stderr interleaved)
+/// and how it exited.
+struct CommandResult {
+  int exit_code = -1;  ///< -1: did not exit normally
+  int signal = 0;      ///< nonzero: died on this signal
+  std::string output;
+};
+
+/// Run a shell command, capturing stdout+stderr. The pdcrun CLI tests are
+/// end-to-end on purpose: they exercise the same fork/exec/reap path a
+/// student's terminal does.
+inline CommandResult run_command(const std::string& command) {
+  CommandResult result;
+  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0) {
+    result.output.append(buf, n);
+  }
+  const int status = ::pclose(pipe);
+  if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.signal = WTERMSIG(status);
+  }
+  return result;
+}
+
+}  // namespace pdc::net_test

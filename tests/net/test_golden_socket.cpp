@@ -1,0 +1,112 @@
+// Socket-variant golden tests: a subset of the message-passing patternlets
+// runs as REAL processes under `pdcrun -np {1,2,4}` and must reproduce,
+// line for line after normalization, the same golden transcripts the
+// in-process loopback runtime is pinned to. This is the acceptance bar for
+// the transport seam: same program, same bytes of output, different planet.
+//
+// Normalization is the same sort the loopback golden tests use — content is
+// deterministic, arrival order across ranks is not.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net_test_util.hpp"
+
+namespace pdc::net {
+namespace {
+
+using net_test::run_command;
+
+/// program name (pdcrun argv) → golden transcript id.
+const std::map<std::string, std::string>& golden_subset() {
+  static const std::map<std::string, std::string> subset = {
+      {"spmd", "mpi_00-spmd"},
+      {"ring", "mpi_14-ring"},
+      {"broadcast", "mpi_06-broadcast"},
+      {"reduce", "mpi_09-reduce"},
+      {"scatter", "mpi_07-scatter"},
+      {"gather", "mpi_08-gather"},
+  };
+  return subset;
+}
+
+std::map<int, std::vector<std::string>> parse_golden(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::map<int, std::vector<std::string>> sections;
+  std::vector<std::string>* current = nullptr;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("== n=", 0) == 0) {
+      const int n = std::stoi(line.substr(5));
+      current = &sections[n];
+    } else if (current != nullptr && !line.empty()) {
+      current->push_back(line);
+    }
+  }
+  return sections;
+}
+
+std::vector<std::string> run_under_pdcrun(const std::string& program, int np) {
+  const auto result =
+      run_command(std::string(PDCLAB_PDCRUN_BIN) + " -np " +
+                  std::to_string(np) + " --no-tag " + PDCLAB_PATTERNLET_BIN +
+                  " " + program);
+  EXPECT_EQ(result.exit_code, 0)
+      << program << " -np " << np << " failed:\n" << result.output;
+  std::vector<std::string> lines;
+  std::istringstream stream(result.output);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+TEST(GoldenSocket, RealProcessesReproduceTheLoopbackTranscripts) {
+  for (const auto& [program, golden_id] : golden_subset()) {
+    const auto sections =
+        parse_golden(std::string(PDCLAB_GOLDEN_DIR) + "/" + golden_id + ".txt");
+    for (const int np : {1, 2, 4}) {
+      const auto it = sections.find(np);
+      ASSERT_NE(it, sections.end())
+          << golden_id << " has no n=" << np << " section";
+      std::vector<std::string> expected = it->second;
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(run_under_pdcrun(program, np), expected)
+          << program << " diverged from " << golden_id << " at np=" << np;
+    }
+  }
+}
+
+TEST(GoldenSocket, TcpBackendMatchesTheSameGoldens) {
+  // One representative program over TCP at np=4: the backend must be
+  // output-invisible, not just the unix one.
+  const auto sections = parse_golden(std::string(PDCLAB_GOLDEN_DIR) +
+                                     "/mpi_00-spmd.txt");
+  std::vector<std::string> expected = sections.at(4);
+  std::sort(expected.begin(), expected.end());
+
+  const auto result =
+      run_command(std::string(PDCLAB_PDCRUN_BIN) + " -np 4 --transport tcp " +
+                  "--no-tag " + PDCLAB_PATTERNLET_BIN + " spmd");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  std::vector<std::string> lines;
+  std::istringstream stream(result.output);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  std::sort(lines.begin(), lines.end());
+  EXPECT_EQ(lines, expected);
+}
+
+}  // namespace
+}  // namespace pdc::net

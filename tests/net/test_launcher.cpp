@@ -1,0 +1,160 @@
+// pdcrun CLI tests — argument parsing in-process, then end-to-end launches
+// of the real pdcrun + patternlet binaries (paths injected by CMake):
+// healthy jobs, bad -np, missing binaries, and a rank SIGKILLed
+// mid-collective, each checked against the documented exit-code contract.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/launcher.hpp"
+#include "net/runner.hpp"
+#include "net_test_util.hpp"
+
+namespace pdc::net {
+namespace {
+
+using net_test::run_command;
+
+std::string pdcrun_bin() { return PDCLAB_PDCRUN_BIN; }
+std::string patternlet_bin() { return PDCLAB_PATTERNLET_BIN; }
+
+int parse(std::vector<const char*> argv, LaunchOptions* out,
+          std::string* error) {
+  argv.insert(argv.begin(), "pdcrun");
+  return parse_pdcrun_args(static_cast<int>(argv.size()), argv.data(), out,
+                           error);
+}
+
+TEST(PdcrunParse, AcceptsTheReadmeInvocation) {
+  LaunchOptions options;
+  std::string error;
+  ASSERT_EQ(parse({"-np", "4", "./patternlet", "spmd"}, &options, &error), 0);
+  EXPECT_EQ(options.np, 4);
+  EXPECT_EQ(options.transport, "unix");
+  EXPECT_EQ(options.binary, "./patternlet");
+  ASSERT_EQ(options.args.size(), 1u);
+  EXPECT_EQ(options.args[0], "spmd");
+}
+
+TEST(PdcrunParse, ParsesEveryOption) {
+  LaunchOptions options;
+  std::string error;
+  ASSERT_EQ(parse({"-n", "2", "--transport", "tcp", "--host", "10.0.0.1",
+                   "--port", "9100", "--timeout-ms", "5000", "--grace-ms",
+                   "100", "--seed", "99", "--chaos", "lossy", "--chaos-kill",
+                   "--kill-rank", "1", "--kill-at-op", "3", "--trace", "/tmp/t",
+                   "--no-tag", "--", "prog", "a", "b"},
+                  &options, &error),
+            0);
+  EXPECT_EQ(options.np, 2);
+  EXPECT_EQ(options.transport, "tcp");
+  EXPECT_EQ(options.host, "10.0.0.1");
+  EXPECT_EQ(options.port, 9100);
+  EXPECT_EQ(options.timeout_ms, 5000);
+  EXPECT_EQ(options.grace_ms, 100);
+  EXPECT_TRUE(options.have_seed);
+  EXPECT_EQ(options.seed, 99u);
+  EXPECT_EQ(options.chaos_mode, "lossy");
+  EXPECT_TRUE(options.chaos_kill);
+  EXPECT_EQ(options.kill_rank, 1);
+  EXPECT_EQ(options.kill_at_op, 3u);
+  EXPECT_EQ(options.trace_path, "/tmp/t");
+  EXPECT_FALSE(options.tag_output);
+  EXPECT_EQ(options.binary, "prog");
+  EXPECT_EQ(options.args, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(PdcrunParse, RejectsBadNp) {
+  LaunchOptions options;
+  std::string error;
+  EXPECT_EQ(parse({"-np", "0", "x"}, &options, &error), kLaunchUsage);
+  EXPECT_EQ(parse({"-np", "banana", "x"}, &options, &error), kLaunchUsage);
+  EXPECT_EQ(parse({"-np", "-3", "x"}, &options, &error), kLaunchUsage);
+  EXPECT_EQ(parse({"x"}, &options, &error), kLaunchUsage);  // no -np at all
+  EXPECT_NE(error.find("usage:"), std::string::npos);
+}
+
+TEST(PdcrunParse, RejectsMissingBinaryAndUnknownFlags) {
+  LaunchOptions options;
+  std::string error;
+  EXPECT_EQ(parse({"-np", "2"}, &options, &error), kLaunchUsage);
+  EXPECT_EQ(parse({"-np", "2", "--warp-speed", "x"}, &options, &error),
+            kLaunchUsage);
+  EXPECT_EQ(parse({"-np", "2", "--transport", "smoke-signal", "x"}, &options,
+                  &error),
+            kLaunchUsage);
+}
+
+// ---- end-to-end ----------------------------------------------------------
+
+TEST(PdcrunEndToEnd, HealthyJobExitsZeroWithTaggedOutput) {
+  const auto result = run_command(pdcrun_bin() + " -np 2 " +
+                                  patternlet_bin() + " spmd");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("[rank 0] Greetings from process 0 of 2"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("[rank 1] Greetings from process 1 of 2"),
+            std::string::npos);
+}
+
+TEST(PdcrunEndToEnd, BadNpExitsUsage) {
+  const auto result = run_command(pdcrun_bin() + " -np 0 " + patternlet_bin());
+  EXPECT_EQ(result.exit_code, kLaunchUsage);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST(PdcrunEndToEnd, MissingBinaryExits127) {
+  const auto result =
+      run_command(pdcrun_bin() + " -np 2 ./definitely-not-a-binary");
+  EXPECT_EQ(result.exit_code, kLaunchMissingBinary);
+  EXPECT_NE(result.output.find("no such executable"), std::string::npos);
+}
+
+TEST(PdcrunEndToEnd, UnknownPatternletIsAConfigError) {
+  // Every rank exits kRankConfig before wireup; the job code is 2.
+  const auto result = run_command(pdcrun_bin() + " -np 2 --grace-ms 500 " +
+                                  patternlet_bin() + " no-such-patternlet");
+  EXPECT_EQ(result.exit_code, kRankConfig) << result.output;
+}
+
+TEST(PdcrunEndToEnd, KilledRankMidCollectiveReportsSignalAndPostmortem) {
+  // Rank 1 is SIGKILLed at its second operation, mid-ring: the job must
+  // die promptly (grace escalation), exit 128+9, and print a per-rank
+  // postmortem naming the signal.
+  const auto result = run_command(
+      pdcrun_bin() + " -np 3 --grace-ms 500 --kill-rank 1 --kill-at-op 2 " +
+      "--chaos-kill " + patternlet_bin() + " ring");
+  EXPECT_EQ(result.exit_code, 137) << result.output;
+  EXPECT_NE(result.output.find("per-rank postmortem"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("killed by signal 9"), std::string::npos);
+}
+
+TEST(PdcrunEndToEnd, InjectedAbortWithoutKillIsAProgramError) {
+  // Same fault, but as a tidy InjectedAbort exception instead of SIGKILL:
+  // the root-cause rank exits 4 and that is the job's code (the peers'
+  // collateral 5s must not win).
+  const auto result = run_command(
+      pdcrun_bin() + " -np 3 --grace-ms 500 --kill-rank 1 --kill-at-op 2 " +
+      patternlet_bin() + " ring");
+  EXPECT_EQ(result.exit_code, kRankProgram) << result.output;
+}
+
+TEST(PdcrunEndToEnd, TcpBackendRunsTheSameJob) {
+  const auto result = run_command(pdcrun_bin() + " -np 2 --transport tcp " +
+                                  patternlet_bin() + " pair-exchange");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(PdcrunEndToEnd, NoTagDisablesPrefixes) {
+  const auto result = run_command(pdcrun_bin() + " -np 1 --no-tag " +
+                                  patternlet_bin() + " spmd");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.output.find("[rank"), std::string::npos) << result.output;
+}
+
+}  // namespace
+}  // namespace pdc::net

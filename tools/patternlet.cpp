@@ -1,0 +1,65 @@
+// patternlet — run one message-passing patternlet by name.
+//
+// Two modes, one binary:
+//   - Under pdcrun (the PDCRUN_* contract is in the environment), the
+//     process is ONE rank of a socket job:
+//         pdcrun -np 4 ./patternlet spmd
+//   - Standalone, it runs the whole patternlet in-process with the loopback
+//     runtime (handy for diffing the two paths by eye):
+//         ./patternlet spmd 4
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "mp/runtime.hpp"
+#include "net/runner.hpp"
+#include "patternlets/mpi_programs.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s <program> [np]\nprograms:", argv0);
+  for (const std::string& name : pdc::patternlets::mpi_program_names()) {
+    std::fprintf(stderr, " %s", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return pdc::net::kRankConfig;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+
+  pdc::patternlets::MpProgram program;
+  try {
+    program = pdc::patternlets::mpi_program(argv[1]);
+  } catch (const pdc::Error& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return usage(argv[0]);
+  }
+
+  pdc::net::RankEnv env;
+  try {
+    env = pdc::net::rank_env_from_environment();
+  } catch (const pdc::Error& error) {
+    std::fprintf(stderr, "patternlet: bad PDCRUN environment: %s\n",
+                 error.what());
+    return pdc::net::kRankConfig;
+  }
+  if (env.present) return pdc::net::run_rank(env, program);
+
+  const int np = argc > 2 ? std::atoi(argv[2]) : 4;
+  try {
+    const pdc::mp::RunResult result = pdc::mp::run(np, program);
+    for (const std::string& line : result.output) {
+      std::printf("%s\n", line.c_str());
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "patternlet: %s\n", error.what());
+    return pdc::net::kRankProgram;
+  }
+  return 0;
+}

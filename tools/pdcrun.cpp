@@ -1,0 +1,24 @@
+// pdcrun — the mpirun of this codebase. Launches N ranks of a binary as
+// real OS processes connected by the pdc::net socket transport:
+//
+//   pdcrun -np 4 ./patternlet spmd
+//   pdcrun -np 4 --transport tcp ./patternlet ring
+//
+// See net/launcher.hpp for the option and exit-code contract.
+
+#include <cstdio>
+#include <string>
+
+#include "net/launcher.hpp"
+
+int main(int argc, char** argv) {
+  pdc::net::LaunchOptions options;
+  std::string error;
+  if (const int code =
+          pdc::net::parse_pdcrun_args(argc, argv, &options, &error);
+      code != 0) {
+    std::fputs(error.c_str(), stderr);
+    return code;
+  }
+  return pdc::net::launch(options).exit_code;
+}
