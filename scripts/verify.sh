@@ -5,24 +5,33 @@
 #
 # 1. tier-1      — regular build, the whole test suite (fast, seeds at
 #                  defaults)
-# 2. net         — the socket-transport suites (ctest -L net): wire-protocol
+# 2. bench-smoke — scripts/bench_snapshot: the bench binaries in a
+#                  1-rep/2-round configuration (ctest -L bench-smoke) as a
+#                  crash/hang canary, then four representative probes
+#                  (mailbox match cost, fork-join overhead, transport ping,
+#                  lab jobs/sec) distilled into BENCH_<n>.json — trend
+#                  data, not a measurement
+# 3. tsan        — ThreadSanitizer build, concurrency suites (ctest -L tsan),
+#                  which include the smp team poison/abort regression tests,
+#                  the in-process socket-cluster suites (test_net carries the
+#                  tsan label), and the lab server end-to-end suite
+#                  (test_lab_server carries lab-tsan)
+# 4. stress      — chaos seed sweeps at full depth (ctest -L stress with
+#                  PDCLAB_CHAOS_SEEDS: acceptance scenarios x N seeds, the
+#                  patternlet sweep at a quarter depth, the socket chaos
+#                  sweeps — noise/lossy/hostile/targeted-kill — and the lab
+#                  admission/dispatch sweep, which carries lab-stress)
+# 5. net         — the socket-transport suites (ctest -L net): wire-protocol
 #                  hostile inputs, in-process socket clusters, pdcrun
 #                  end-to-end and the socket golden variant; every socket
 #                  test is bounded by watchdog/handshake timeouts so this
 #                  stage cannot hang the ladder
-# 3. bench-smoke — the mp + smp + net-transport bench binaries in a
-#                  1-rep/2-round configuration (ctest -L bench-smoke): a
-#                  crash/hang canary for the measurement harness (including
-#                  the cached-vs-spawn fork-join region benchmarks and the
-#                  loopback/unix/tcp ablation), not a measurement
-# 4. tsan        — ThreadSanitizer build, concurrency suites (ctest -L tsan),
-#                  which include the smp team poison/abort regression tests
-#                  and the in-process socket-cluster suites (test_net
-#                  carries the tsan label)
-# 5. stress      — chaos seed sweeps at full depth (ctest -L stress with
-#                  PDCLAB_CHAOS_SEEDS=80: acceptance scenarios x 80 seeds,
-#                  the patternlet sweep at a quarter depth, and the socket
-#                  chaos sweeps — noise/lossy/hostile/targeted-kill)
+# 6. lab         — the lab-server suites (ctest -L lab): protocol clamps and
+#                  hostile frames, fair queue + quotas, result cache, server
+#                  end-to-end over unix/tcp, the chaos sweep over the
+#                  admission/dispatch hooks at PDCLAB_CHAOS_SEEDS depth, and
+#                  the 1000-session load-replay acceptance run (zero lost
+#                  jobs required)
 #
 # Set PDCLAB_CHAOS_SEEDS before invoking to sweep deeper or shallower.
 
@@ -32,25 +41,30 @@ prefix="${1:-build}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 seeds="${PDCLAB_CHAOS_SEEDS:-80}"
 
-echo "==> [1/5] tier-1: build + full test suite (${prefix})"
+echo "==> [1/6] tier-1: build + full test suite (${prefix})"
 cmake -B "${prefix}" -S . >/dev/null
 cmake --build "${prefix}" -j "${jobs}"
 ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}"
 
-echo "==> [2/5] net: socket transport, pdcrun, goldens (${prefix})"
-ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}" -L net
+echo "==> [2/6] bench-smoke: bench canaries + BENCH snapshot (${prefix})"
+scripts/bench_snapshot "${prefix}" 6
 
-echo "==> [3/5] bench-smoke: 1-rep mp + smp + net bench canaries (${prefix})"
-ctest --test-dir "${prefix}" --output-on-failure -L bench-smoke
-
-echo "==> [4/5] tsan: ThreadSanitizer build + concurrency suites (${prefix}-tsan)"
+echo "==> [3/6] tsan: ThreadSanitizer build + concurrency suites (${prefix}-tsan)"
 cmake -B "${prefix}-tsan" -S . -DPDCLAB_SANITIZE=thread \
   -DPDCLAB_BUILD_BENCH=OFF -DPDCLAB_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "${prefix}-tsan" -j "${jobs}"
 ctest --test-dir "${prefix}-tsan" --output-on-failure -j "${jobs}" -L tsan
 
-echo "==> [5/5] stress: chaos seed sweeps, PDCLAB_CHAOS_SEEDS=${seeds}"
+echo "==> [4/6] stress: chaos seed sweeps, PDCLAB_CHAOS_SEEDS=${seeds}"
 PDCLAB_CHAOS_SEEDS="${seeds}" \
   ctest --test-dir "${prefix}" --output-on-failure -L stress
 
-echo "==> verify.sh: all five stages passed"
+echo "==> [5/6] net: socket transport, pdcrun, goldens (${prefix})"
+ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}" -L net
+
+echo "==> [6/6] lab: lab server suites + chaos sweep + load acceptance," \
+     "PDCLAB_CHAOS_SEEDS=${seeds}"
+PDCLAB_CHAOS_SEEDS="${seeds}" \
+  ctest --test-dir "${prefix}" --output-on-failure -L lab
+
+echo "==> verify.sh: all six stages passed"

@@ -1,0 +1,50 @@
+#include "lab/cache.hpp"
+
+namespace pdc::lab {
+
+std::optional<protocol::Result> ResultCache::lookup(std::uint64_t digest) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(digest);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  protocol::Result result = it->second->result;
+  result.cached = true;
+  return result;
+}
+
+void ResultCache::insert(std::uint64_t digest, protocol::Result result) {
+  if (capacity_ == 0) return;
+  std::lock_guard lock(mutex_);
+  if (const auto it = index_.find(digest); it != index_.end()) {
+    it->second->result = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().digest);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{digest, std::move(result)});
+  index_[digest] = lru_.begin();
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t ResultCache::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  std::lock_guard lock(mutex_);
+  return misses_;
+}
+
+}  // namespace pdc::lab

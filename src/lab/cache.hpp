@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "lab/protocol.hpp"
+
+namespace pdc::lab {
+
+/// LRU cache of golden outputs keyed by submission digest.
+///
+/// The server consults it at admission: an identical submission (same kind,
+/// name, np, seed, source — see protocol::digest) is answered with the
+/// stored output byte-for-byte, skipping the queue and the worker fleet
+/// entirely. Only *successful* runs are stored; failures re-execute, so a
+/// transient fault (a chaos abort, say) is never frozen into the cache.
+///
+/// Thread safety: all members are safe to call concurrently (one mutex —
+/// entries are small and the critical sections are pointer shuffles).
+class ResultCache {
+ public:
+  /// `capacity` = max stored results; 0 disables caching entirely.
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// The stored result for `digest`, marked cached=true, or nullopt.
+  /// A hit refreshes the entry's LRU position.
+  [[nodiscard]] std::optional<protocol::Result> lookup(std::uint64_t digest);
+
+  /// Store `result` under `digest` (overwriting any previous entry),
+  /// evicting the least-recently-used entry when full.
+  void insert(std::uint64_t digest, protocol::Result result);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+
+ private:
+  struct Entry {
+    std::uint64_t digest = 0;
+    protocol::Result result;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace pdc::lab

@@ -1,0 +1,132 @@
+#include "lab/client.hpp"
+
+#include <chrono>
+
+#include "net/errors.hpp"
+
+namespace pdc::lab {
+
+using protocol::Result;
+using protocol::Status;
+
+Client::Client(ClientConfig config) : config_(std::move(config)) {
+  socket_ = net::dial(config_.endpoint, config_.dial_attempts,
+                      std::chrono::milliseconds(config_.connect_timeout_ms),
+                      std::chrono::milliseconds(config_.dial_backoff_initial_ms),
+                      "lab client");
+  open_ = true;
+}
+
+Client::~Client() { close(); }
+
+void Client::close() noexcept {
+  if (!open_) return;
+  open_ = false;
+  try {
+    const mp::Bytes bye = wire::encode_header(wire::FrameKind::Bye, 0);
+    net::send_all(socket_, bye, nullptr, /*bye_ok=*/true, "lab client");
+  } catch (...) {
+    // Best effort; the server treats a bare EOF as a silent leaver.
+  }
+  socket_.shutdown_both();
+  socket_.close();
+}
+
+wire::Header Client::read_frame(mp::Bytes* body) {
+  wire::Header header;
+  if (!net::recv_frame_for(socket_, &header, body,
+                           std::chrono::milliseconds(config_.reply_timeout_ms),
+                           "lab client")) {
+    throw net::PeerLost("lab client: server closed the connection");
+  }
+  return header;
+}
+
+Client::Outcome Client::submit(const protocol::Submit& submit) {
+  net::send_all(socket_, protocol::encode_submit(submit), nullptr,
+                /*bye_ok=*/false, "lab client");
+  // The Accept/Reject for this submit is the next non-Result frame: Results
+  // of earlier jobs may land first (a worker beat the admission reply), so
+  // park those for wait_result().
+  for (;;) {
+    mp::Bytes body;
+    const wire::Header header = read_frame(&body);
+    switch (header.kind) {
+      case wire::FrameKind::Accept: {
+        Outcome outcome;
+        outcome.accept = protocol::decode_accept(body);
+        return outcome;
+      }
+      case wire::FrameKind::Reject: {
+        Outcome outcome;
+        outcome.reject = protocol::decode_reject(body);
+        return outcome;
+      }
+      case wire::FrameKind::Result: {
+        Result result = protocol::decode_result(body);
+        parked_results_[result.job_id] = std::move(result);
+        break;
+      }
+      default:
+        throw net::ProtocolError(
+            "lab client: unexpected frame kind " +
+            std::to_string(static_cast<int>(header.kind)) +
+            " while waiting for Accept/Reject");
+    }
+  }
+}
+
+Result Client::wait_result(std::uint64_t job_id) {
+  for (;;) {
+    if (const auto it = parked_results_.find(job_id);
+        it != parked_results_.end()) {
+      Result result = std::move(it->second);
+      parked_results_.erase(it);
+      return result;
+    }
+    mp::Bytes body;
+    const wire::Header header = read_frame(&body);
+    switch (header.kind) {
+      case wire::FrameKind::Result: {
+        Result result = protocol::decode_result(body);
+        parked_results_[result.job_id] = std::move(result);
+        break;
+      }
+      case wire::FrameKind::Status:
+        break;  // a stale status reply; harmless
+      default:
+        throw net::ProtocolError(
+            "lab client: unexpected frame kind " +
+            std::to_string(static_cast<int>(header.kind)) +
+            " while waiting for a Result");
+    }
+  }
+}
+
+Status Client::query_status(std::uint64_t job_id) {
+  Status query;
+  query.job_id = job_id;
+  query.state = protocol::JobState::Unknown;
+  net::send_all(socket_, protocol::encode_status(query), nullptr,
+                /*bye_ok=*/false, "lab client");
+  for (;;) {
+    mp::Bytes body;
+    const wire::Header header = read_frame(&body);
+    switch (header.kind) {
+      case wire::FrameKind::Status:
+        return protocol::decode_status(body);
+      case wire::FrameKind::Result: {
+        Result result = protocol::decode_result(body);
+        parked_results_[result.job_id] = std::move(result);
+        break;
+      }
+      default:
+        throw net::ProtocolError(
+            "lab client: unexpected frame kind " +
+            std::to_string(static_cast<int>(header.kind)) +
+            " while waiting for a Status reply");
+    }
+  }
+}
+
+}  // namespace pdc::lab

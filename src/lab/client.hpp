@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "lab/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace pdc::lab {
+
+struct ClientConfig {
+  net::Endpoint endpoint;
+  /// Dial budget (bounded retry + exponential backoff, like the transport).
+  int dial_attempts = 50;
+  int connect_timeout_ms = 2000;
+  int dial_backoff_initial_ms = 1;
+  /// Per-frame receive deadline. A server that stops answering is a typed
+  /// ConnectionError, never a hang — the same posture as wireup.
+  int reply_timeout_ms = 60000;
+};
+
+/// One student's connection to a lab server. Sends Submit/Status frames and
+/// demultiplexes the replies: Results may arrive before the Accept of a
+/// later submit (or out of submission order across jobs), so frames for
+/// jobs the caller has not asked about yet are parked until wait_result().
+///
+/// Not thread-safe: one Client per session thread, which is how both the
+/// load driver and a student terminal use it.
+class Client {
+ public:
+  /// Dial the server. Throws net::ConnectionError when it cannot connect.
+  explicit Client(ClientConfig config);
+
+  /// Says Bye (best effort) and closes.
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One of the two answers a Submit can get.
+  struct Outcome {
+    std::optional<protocol::Accept> accept;
+    std::optional<protocol::Reject> reject;
+
+    [[nodiscard]] bool accepted() const noexcept { return accept.has_value(); }
+  };
+
+  /// Send a Submit and read frames until its Accept or Reject arrives.
+  Outcome submit(const protocol::Submit& submit);
+
+  /// Read frames until the Result for `job_id` arrives (instant when it was
+  /// already parked). Throws ConnectionError on the reply deadline.
+  protocol::Result wait_result(std::uint64_t job_id);
+
+  /// Ask the server about `job_id` and wait for its Status reply.
+  protocol::Status query_status(std::uint64_t job_id);
+
+  /// Send a Bye and shut the connection down. Idempotent.
+  void close() noexcept;
+
+ private:
+  /// Receive one frame within the reply deadline and park/dispatch it.
+  /// Returns the header kind. Throws on EOF, deadline, or garbage.
+  wire::Header read_frame(mp::Bytes* body);
+
+  ClientConfig config_;
+  net::Socket socket_;
+  bool open_ = false;
+  std::map<std::uint64_t, protocol::Result> parked_results_;
+};
+
+}  // namespace pdc::lab

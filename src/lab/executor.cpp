@@ -1,0 +1,143 @@
+#include "lab/executor.hpp"
+
+#include <chrono>
+#include <functional>
+#include <string>
+
+#include "exemplars/drugdesign.hpp"
+#include "exemplars/montecarlo.hpp"
+#include "mp/runtime.hpp"
+#include "net/harness.hpp"
+#include "notebook/engine.hpp"
+#include "patternlets/mpi_programs.hpp"
+#include "support/error.hpp"
+#include "trace/trace.hpp"
+
+namespace pdc::lab {
+
+using protocol::JobKind;
+using protocol::Result;
+using protocol::Submit;
+
+const char* exec_mode_name(ExecMode mode) noexcept {
+  switch (mode) {
+    case ExecMode::Inline: return "inline";
+    case ExecMode::Socket: return "socket";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The exemplar kernels a Submit may name. Both consume Submit::seed, so
+/// distinct seeds produce distinct outputs — the property the cache
+/// distinctness test leans on.
+std::function<void(mp::Communicator&)> exemplar_program(const Submit& submit) {
+  if (submit.name == "pi") {
+    const std::uint64_t seed = submit.seed == 0 ? 1 : submit.seed;
+    return [seed](mp::Communicator& comm) {
+      const int streams = 4 * comm.size();
+      const std::int64_t darts = 2048 * streams;
+      const auto estimate =
+          exemplars::pi_rank(comm, darts, seed, streams);
+      if (comm.rank() == 0) {
+        comm.print("pi ~= " + std::to_string(estimate.value()) + " (" +
+                   std::to_string(estimate.hits) + "/" +
+                   std::to_string(estimate.darts) + " darts, seed " +
+                   std::to_string(seed) + ")");
+      }
+    };
+  }
+  if (submit.name == "drug-design") {
+    exemplars::DrugDesignConfig config;
+    config.num_ligands = 24;  // the teaching-size screen, seconds not minutes
+    config.seed = submit.seed == 0 ? 42 : submit.seed;
+    return [config](mp::Communicator& comm) {
+      const auto result = exemplars::screen_rank(comm, config);
+      if (comm.rank() == 0) {
+        std::string best;
+        for (const auto& ligand : result.best_ligands) {
+          best += (best.empty() ? "" : " ") + ligand;
+        }
+        comm.print("best score " + std::to_string(result.max_score) +
+                   " by [" + best + "] (seed " +
+                   std::to_string(config.seed) + ")");
+      }
+    };
+  }
+  throw NotFound("lab: unknown exemplar '" + submit.name +
+                 "' (known: pi, drug-design)");
+}
+
+std::function<void(mp::Communicator&)> rank_program(const Submit& submit) {
+  switch (submit.kind) {
+    case JobKind::Patternlet:
+      return patternlets::mpi_program(submit.name);  // throws NotFound
+    case JobKind::Exemplar:
+      return exemplar_program(submit);
+    case JobKind::Notebook:
+      break;
+  }
+  throw InvalidArgument("lab: job kind has no rank program");
+}
+
+}  // namespace
+
+void Executor::validate(const Submit& submit) const {
+  if (submit.kind == JobKind::Notebook) {
+    if (submit.source.empty()) {
+      throw InvalidArgument("lab: notebook submit carries no source");
+    }
+    return;
+  }
+  if (submit.np < 1 || submit.np > config_.max_np) {
+    throw InvalidArgument("lab: np " + std::to_string(submit.np) +
+                          " out of range [1, " +
+                          std::to_string(config_.max_np) + "]");
+  }
+  (void)rank_program(submit);  // throws NotFound on an unknown name
+}
+
+Result Executor::execute(const Submit& submit) const {
+  Result result;
+  trace::Span span("lab.execute", "lab");
+  const auto start = std::chrono::steady_clock::now();
+  executions_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    if (submit.kind == JobKind::Notebook) {
+      // A fresh engine per job: the virtual filesystem and execution
+      // counter start clean, so tenants can never see each other's files.
+      notebook::ExecutionEngine engine(
+          notebook::ProgramRegistry::mpi4py_standard());
+      result.output = engine.execute_source(submit.source);
+    } else if (config_.mode == ExecMode::Inline) {
+      result.output = mp::run(submit.np, rank_program(submit)).output;
+    } else {
+      net::ClusterOptions options;
+      options.np = submit.np;
+      options.job = "lab-" + std::to_string(protocol::digest(submit));
+      const net::ClusterResult cluster =
+          net::run_socket_cluster(options, rank_program(submit));
+      if (!cluster.ok()) {
+        for (const auto& error : cluster.errors) {
+          if (!error.empty()) {
+            throw Error("rank failed: " + error);
+          }
+        }
+      }
+      result.output = cluster.merged();
+    }
+    result.exit_code = 0;
+  } catch (const std::exception& error) {
+    result.exit_code = 1;
+    result.error = error.what();
+    result.output.clear();
+  }
+  result.exec_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return result;
+}
+
+}  // namespace pdc::lab

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "lab/protocol.hpp"
+
+namespace pdc::lab {
+
+/// How the worker fleet realizes a job's ranks.
+enum class ExecMode {
+  Inline,  ///< mp::run — loopback transport, rank-per-thread (fast path)
+  Socket,  ///< net::run_socket_cluster — real PDCN sockets per rank pair,
+           ///< the byte-for-byte pdcrun wire path
+};
+
+const char* exec_mode_name(ExecMode mode) noexcept;
+
+struct ExecutorConfig {
+  ExecMode mode = ExecMode::Inline;
+  /// Upper bound accepted for Submit::np (the Colab VM would not launch
+  /// more — notebook/EngineConfig has the same knob).
+  int max_np = protocol::kMaxProcs;
+};
+
+/// Turns one validated Submit into a Result by running it on the matching
+/// engine: patternlet rank programs and exemplar kernels on the mp runtime
+/// (loopback or socket transport per ExecMode), notebook cell source on a
+/// fresh per-job ExecutionEngine (its virtual filesystem is the tenant
+/// isolation boundary). Stateless apart from the execution counter; safe to
+/// call from every worker thread concurrently.
+class Executor {
+ public:
+  explicit Executor(ExecutorConfig config = {}) : config_(config) {}
+
+  /// Admission-time validation: throws pdc::InvalidArgument (np out of
+  /// range, empty notebook source) or pdc::NotFound (unknown program name)
+  /// with a message naming the problem — the text of the BadRequest reject.
+  void validate(const protocol::Submit& submit) const;
+
+  /// Run the job. Never throws: a failing program (including an injected
+  /// chaos abort inside the runtime) comes back as exit_code != 0 with the
+  /// one-line cause in `error`. Fills exec_us; leaves job_id/cached to the
+  /// caller.
+  [[nodiscard]] protocol::Result execute(const protocol::Submit& submit) const;
+
+  /// Real executions performed so far (cache hits do not pass through here
+  /// — the cache-correctness tests pin that).
+  [[nodiscard]] std::uint64_t executions() const noexcept {
+    return executions_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const ExecutorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  ExecutorConfig config_;
+  mutable std::atomic<std::uint64_t> executions_{0};
+};
+
+}  // namespace pdc::lab

@@ -1,0 +1,204 @@
+#include "lab/protocol.hpp"
+
+#include "net/errors.hpp"
+
+namespace pdc::lab::protocol {
+
+using net::ProtocolError;
+using wire::FrameKind;
+using wire::Reader;
+
+const char* job_kind_name(JobKind kind) noexcept {
+  switch (kind) {
+    case JobKind::Patternlet: return "patternlet";
+    case JobKind::Exemplar: return "exemplar";
+    case JobKind::Notebook: return "notebook";
+  }
+  return "?";
+}
+
+const char* reject_code_name(RejectCode code) noexcept {
+  switch (code) {
+    case RejectCode::BadToken: return "bad-token";
+    case RejectCode::LockedOut: return "locked-out";
+    case RejectCode::QuotaFull: return "quota-full";
+    case RejectCode::BadRequest: return "bad-request";
+    case RejectCode::Overloaded: return "overloaded";
+    case RejectCode::Shutdown: return "shutdown";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Header + body in one buffer (lab frames are small; no shared payload).
+mp::Bytes frame(FrameKind kind, const mp::Bytes& body) {
+  mp::Bytes out = wire::encode_header(kind, body.size());
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+JobKind decode_job_kind(std::uint16_t raw) {
+  if (raw < static_cast<std::uint16_t>(JobKind::Patternlet) ||
+      raw > static_cast<std::uint16_t>(JobKind::Notebook)) {
+    throw ProtocolError("lab: unknown job kind " + std::to_string(raw));
+  }
+  return static_cast<JobKind>(raw);
+}
+
+JobState decode_job_state(std::uint16_t raw) {
+  if (raw > static_cast<std::uint16_t>(JobState::Done)) {
+    throw ProtocolError("lab: unknown job state " + std::to_string(raw));
+  }
+  return static_cast<JobState>(raw);
+}
+
+}  // namespace
+
+mp::Bytes encode_submit(const Submit& submit) {
+  mp::Bytes body;
+  wire::put_string(body, submit.token);
+  wire::put_string(body, submit.tenant);
+  wire::put_u16(body, static_cast<std::uint16_t>(submit.kind));
+  wire::put_string(body, submit.name);
+  wire::put_i32(body, submit.np);
+  wire::put_u64(body, submit.seed);
+  wire::put_string(body, submit.source);
+  return frame(FrameKind::Submit, body);
+}
+
+Submit decode_submit(const mp::Bytes& body) {
+  Reader r(body);
+  Submit submit;
+  submit.token = r.string(kMaxIdentityBytes);
+  submit.tenant = r.string(kMaxIdentityBytes);
+  submit.kind = decode_job_kind(r.u16());
+  submit.name = r.string(kMaxNameBytes);
+  submit.np = r.i32();
+  submit.seed = r.u64();
+  submit.source = r.string(kMaxSourceBytes);
+  r.expect_end();
+  return submit;
+}
+
+mp::Bytes encode_accept(const Accept& accept) {
+  mp::Bytes body;
+  wire::put_u64(body, accept.job_id);
+  wire::put_u32(body, accept.queue_position);
+  return frame(FrameKind::Accept, body);
+}
+
+Accept decode_accept(const mp::Bytes& body) {
+  Reader r(body);
+  Accept accept;
+  accept.job_id = r.u64();
+  accept.queue_position = r.u32();
+  r.expect_end();
+  return accept;
+}
+
+mp::Bytes encode_status(const Status& status) {
+  mp::Bytes body;
+  wire::put_u64(body, status.job_id);
+  wire::put_u16(body, static_cast<std::uint16_t>(status.state));
+  wire::put_u32(body, status.queue_depth);
+  return frame(FrameKind::Status, body);
+}
+
+Status decode_status(const mp::Bytes& body) {
+  Reader r(body);
+  Status status;
+  status.job_id = r.u64();
+  status.state = decode_job_state(r.u16());
+  status.queue_depth = r.u32();
+  r.expect_end();
+  return status;
+}
+
+mp::Bytes encode_result(const Result& result) {
+  mp::Bytes body;
+  wire::put_u64(body, result.job_id);
+  wire::put_i32(body, result.exit_code);
+  wire::put_u16(body, result.cached ? 1 : 0);
+  wire::put_u64(body, result.exec_us);
+  wire::put_string(body, result.error);
+  wire::put_u32(body, static_cast<std::uint32_t>(result.output.size()));
+  for (const std::string& line : result.output) wire::put_string(body, line);
+  return frame(FrameKind::Result, body);
+}
+
+Result decode_result(const mp::Bytes& body) {
+  Reader r(body);
+  Result result;
+  result.job_id = r.u64();
+  result.exit_code = r.i32();
+  result.cached = r.u16() != 0;
+  result.exec_us = r.u64();
+  result.error = r.string(kMaxReasonBytes);
+  const std::uint32_t count = r.u32();
+  if (count > kMaxOutputLines) {
+    throw ProtocolError("lab: result output line count " +
+                        std::to_string(count) + " exceeds the clamp of " +
+                        std::to_string(kMaxOutputLines));
+  }
+  // Each line costs at least its 4-byte length prefix; a count the body
+  // cannot hold is a hostile prefix, rejected before reserve().
+  if (count > r.remaining() / 4) {
+    throw ProtocolError("lab: result line count " + std::to_string(count) +
+                        " exceeds what " + std::to_string(r.remaining()) +
+                        " body bytes could hold");
+  }
+  result.output.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    result.output.push_back(r.string(kMaxLineBytes));
+  }
+  r.expect_end();
+  return result;
+}
+
+mp::Bytes encode_reject(const Reject& reject) {
+  mp::Bytes body;
+  wire::put_u16(body, static_cast<std::uint16_t>(reject.code));
+  wire::put_string(body, reject.reason);
+  return frame(FrameKind::Reject, body);
+}
+
+Reject decode_reject(const mp::Bytes& body) {
+  Reader r(body);
+  Reject reject;
+  const std::uint16_t raw = r.u16();
+  if (raw < static_cast<std::uint16_t>(RejectCode::BadToken) ||
+      raw > static_cast<std::uint16_t>(RejectCode::Shutdown)) {
+    throw ProtocolError("lab: unknown reject code " + std::to_string(raw));
+  }
+  reject.code = static_cast<RejectCode>(raw);
+  reject.reason = r.string(kMaxReasonBytes);
+  r.expect_end();
+  return reject;
+}
+
+std::uint64_t digest(const Submit& submit) noexcept {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&h](const void* data, std::size_t n) noexcept {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ull;
+    }
+  };
+  const auto mix_string = [&](const std::string& s) noexcept {
+    const std::uint64_t len = s.size();
+    mix(&len, sizeof len);  // length-prefixed so "ab","c" != "a","bc"
+    mix(s.data(), s.size());
+  };
+  const std::uint16_t kind = static_cast<std::uint16_t>(submit.kind);
+  mix(&kind, sizeof kind);
+  mix_string(submit.name);
+  const std::int32_t np = submit.np;
+  mix(&np, sizeof np);
+  mix(&submit.seed, sizeof submit.seed);
+  mix_string(submit.source);
+  return h;
+}
+
+}  // namespace pdc::lab::protocol

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mp/message.hpp"
+#include "net/wire.hpp"
+
+namespace pdc::lab {
+/// The lab subsystem frames everything in the PDCN wire vocabulary.
+namespace wire = pdc::net::wire;
+}  // namespace pdc::lab
+
+namespace pdc::lab::protocol {
+
+// The lab service speaks PDCN frames (net/wire.hpp) with the Submit..Reject
+// frame kinds. Every body decoder here reads through wire::Reader, so a
+// hostile client hits the same typed-ProtocolError-before-allocation wall
+// the transport's Data frames do: the 1 MiB control-frame clamp at the
+// header, then per-field clamps before any string/vector is sized.
+
+/// Clamp on the auth token and tenant id strings.
+inline constexpr std::uint32_t kMaxIdentityBytes = 256;
+
+/// Clamp on a patternlet/exemplar/notebook program name.
+inline constexpr std::uint32_t kMaxNameBytes = 256;
+
+/// Clamp on an inline source payload (a notebook cell). Validated against
+/// the bytes actually present before the std::string is sized — an
+/// oversized length prefix is rejected, not allocated.
+inline constexpr std::uint32_t kMaxSourceBytes = 64u << 10;  // 64 KiB
+
+/// Clamps on a Result frame's captured output.
+inline constexpr std::uint32_t kMaxOutputLines = 4096;
+inline constexpr std::uint32_t kMaxLineBytes = 4096;
+
+/// Clamp on a Reject reason / Result error string.
+inline constexpr std::uint32_t kMaxReasonBytes = 1024;
+
+/// Largest world size a submission may request.
+inline constexpr int kMaxProcs = 16;
+
+/// What a Submit asks the server to run.
+enum class JobKind : std::uint16_t {
+  Patternlet = 1,  ///< a named mpi patternlet rank program (`name`, `np`)
+  Exemplar = 2,    ///< a named exemplar kernel; `seed` feeds its RNG
+  Notebook = 3,    ///< notebook cell source executed by the mpi4py engine
+};
+
+const char* job_kind_name(JobKind kind) noexcept;
+
+/// Client → server: one run request. `token` authenticates, `tenant`
+/// identifies the student for quota/fairness, the rest describes the job.
+struct Submit {
+  std::string token;
+  std::string tenant;
+  JobKind kind = JobKind::Patternlet;
+  std::string name;        ///< program name ("spmd", "pi", ...); "" for Notebook
+  int np = 1;              ///< requested world size
+  std::uint64_t seed = 0;  ///< exemplar RNG seed (part of the cache digest)
+  std::string source;      ///< notebook cell source; "" otherwise
+
+  bool operator==(const Submit&) const = default;
+};
+
+/// Server → client: the submission was admitted.
+struct Accept {
+  std::uint64_t job_id = 0;
+  std::uint32_t queue_position = 0;  ///< 0 = dispatched without queuing
+};
+
+/// Job lifecycle states reported by Status frames.
+enum class JobState : std::uint16_t {
+  Unknown = 0,  ///< the server has no such job (also the query value)
+  Queued = 1,
+  Running = 2,
+  Done = 3,
+};
+
+/// Client → server: `state == Unknown` asks about `job_id`.
+/// Server → client: the reply, with the server's current queue depth.
+struct Status {
+  std::uint64_t job_id = 0;
+  JobState state = JobState::Unknown;
+  std::uint32_t queue_depth = 0;
+};
+
+/// Server → client: terminal outcome of an admitted job.
+struct Result {
+  std::uint64_t job_id = 0;
+  std::int32_t exit_code = 0;  ///< 0 = the program ran to completion
+  bool cached = false;         ///< served from the result cache, not executed
+  std::uint64_t exec_us = 0;   ///< execution time (the cached run's, if cached)
+  std::vector<std::string> output;  ///< captured lines, run order
+  std::string error;                ///< one-line failure cause; "" when ok
+
+  bool operator==(const Result&) const = default;
+};
+
+/// Why a submission was refused.
+enum class RejectCode : std::uint16_t {
+  BadToken = 1,    ///< wrong auth token (counts toward the firewall lockout)
+  LockedOut = 2,   ///< the tenant tripped the eager-beaver firewall
+  QuotaFull = 3,   ///< tenant's queued-jobs quota exhausted
+  BadRequest = 4,  ///< unknown program, np out of range, malformed fields
+  Overloaded = 5,  ///< admission aborted (chaos or shedding); retry later
+  Shutdown = 6,    ///< the server is draining
+};
+
+const char* reject_code_name(RejectCode code) noexcept;
+
+struct Reject {
+  RejectCode code = RejectCode::BadRequest;
+  std::string reason;
+};
+
+// ---- framing -------------------------------------------------------------
+// encode_* return a complete frame (header + body) ready for send_all;
+// decode_* take the received body for the matching FrameKind and throw
+// net::ProtocolError on anything malformed, truncated, oversized or
+// trailing-byte-ridden.
+
+mp::Bytes encode_submit(const Submit& submit);
+Submit decode_submit(const mp::Bytes& body);
+
+mp::Bytes encode_accept(const Accept& accept);
+Accept decode_accept(const mp::Bytes& body);
+
+mp::Bytes encode_status(const Status& status);
+Status decode_status(const mp::Bytes& body);
+
+mp::Bytes encode_result(const Result& result);
+Result decode_result(const mp::Bytes& body);
+
+mp::Bytes encode_reject(const Reject& reject);
+Reject decode_reject(const mp::Bytes& body);
+
+/// Content digest of a submission: everything that determines the job's
+/// output (kind, name, np, seed, source) and nothing that doesn't (token,
+/// tenant) — so two students running the same patternlet share one cached
+/// golden output. FNV-1a over the canonical field encoding.
+std::uint64_t digest(const Submit& submit) noexcept;
+
+}  // namespace pdc::lab::protocol

@@ -1,0 +1,93 @@
+#include "lab/queue.hpp"
+
+#include <algorithm>
+
+namespace pdc::lab {
+
+void FairQueue::set_weight(const std::string& tenant, int weight) {
+  std::lock_guard lock(mutex_);
+  tenants_[tenant].weight = std::max(1, weight);
+}
+
+std::optional<std::size_t> FairQueue::push(Job job) {
+  std::lock_guard lock(mutex_);
+  if (closed_) return std::nullopt;
+  auto [it, inserted] = tenants_.try_emplace(job.submit.tenant);
+  Tenant& tenant = it->second;
+  if (inserted) tenant.weight = policy_.default_weight;
+  if (tenant.jobs.size() >= policy_.max_queued_per_tenant) return std::nullopt;
+
+  // Start-time fair queuing: a tenant whose queue was empty starts at the
+  // current virtual time (it is not punished for having been idle); a
+  // backlogged tenant chains behind its own tail.
+  const double start = tenant.jobs.empty()
+                           ? std::max(virtual_time_, tenant.last_tag)
+                           : tenant.last_tag;
+  const double tag = start + 1.0 / static_cast<double>(tenant.weight);
+  tenant.last_tag = tag;
+  tenant.jobs.emplace_back(tag, std::move(job));
+  const std::size_t position = depth_;
+  ++depth_;
+  cv_.notify_one();
+  return position;
+}
+
+std::optional<Job> FairQueue::pop() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return depth_ > 0 || closed_; });
+  if (depth_ == 0) return std::nullopt;
+
+  Tenant* best = nullptr;
+  for (auto& [name, tenant] : tenants_) {
+    if (tenant.jobs.empty()) continue;
+    if (best == nullptr || tenant.jobs.front().first < best->jobs.front().first) {
+      best = &tenant;
+    }
+  }
+  auto [tag, job] = std::move(best->jobs.front());
+  best->jobs.pop_front();
+  virtual_time_ = std::max(virtual_time_, tag);
+  --depth_;
+  return std::move(job);
+}
+
+void FairQueue::close() {
+  std::lock_guard lock(mutex_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+std::vector<Job> FairQueue::drain() {
+  std::lock_guard lock(mutex_);
+  std::vector<Job> out;
+  out.reserve(depth_);
+  // Drain in tag order so shutdown rejections follow the schedule the jobs
+  // would have run in.
+  while (depth_ > 0) {
+    Tenant* best = nullptr;
+    for (auto& [name, tenant] : tenants_) {
+      if (tenant.jobs.empty()) continue;
+      if (best == nullptr ||
+          tenant.jobs.front().first < best->jobs.front().first) {
+        best = &tenant;
+      }
+    }
+    out.push_back(std::move(best->jobs.front().second));
+    best->jobs.pop_front();
+    --depth_;
+  }
+  return out;
+}
+
+std::size_t FairQueue::depth() const {
+  std::lock_guard lock(mutex_);
+  return depth_;
+}
+
+std::size_t FairQueue::depth(const std::string& tenant) const {
+  std::lock_guard lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.jobs.size();
+}
+
+}  // namespace pdc::lab

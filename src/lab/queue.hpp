@@ -1,0 +1,88 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lab/protocol.hpp"
+
+namespace pdc::lab {
+
+/// One admitted job waiting for (or holding) a worker.
+struct Job {
+  std::uint64_t id = 0;
+  protocol::Submit submit;
+  std::uint64_t digest = 0;
+  /// Where the result goes when the job finishes (the server binds this to
+  /// the submitting connection). May be empty in tests.
+  std::function<void(const protocol::Result&)> deliver;
+};
+
+/// Weighted fair queue with per-tenant quotas — the admission buffer
+/// between the server's connection threads and its worker fleet.
+///
+/// Scheduling is start-time fair queuing: each tenant carries a virtual
+/// finish tag; a pushed job's tag is max(global virtual time, tenant's last
+/// tag) + cost/weight (cost = 1 per job), and pop() serves the non-empty
+/// tenant with the smallest head tag. A tenant that floods the queue only
+/// advances its own tag, so a light tenant's next job always carries an
+/// earlier tag than the flood's tail — the starvation test pins this.
+///
+/// Thread safety: all members are safe to call concurrently; pop() blocks
+/// until a job arrives or the queue is closed.
+class FairQueue {
+ public:
+  struct Policy {
+    int default_weight = 1;
+    /// Max jobs one tenant may have queued at once (the paper's per-student
+    /// quota); pushing past it is a QuotaFull rejection.
+    std::size_t max_queued_per_tenant = 64;
+  };
+
+  explicit FairQueue(Policy policy) : policy_(policy) {}
+
+  /// Give `tenant` a scheduling weight (2 = served twice as often as a
+  /// weight-1 tenant under contention). Clamped to >= 1.
+  void set_weight(const std::string& tenant, int weight);
+
+  /// Enqueue under the submit's tenant. Returns the number of jobs queued
+  /// ahead of it (0 = next in line), or nullopt when the tenant's quota is
+  /// full or the queue is closed.
+  std::optional<std::size_t> push(Job job);
+
+  /// Block until a job is schedulable or the queue closes; nullopt = closed.
+  std::optional<Job> pop();
+
+  /// Close: pop() returns nullopt from now on (after the queue drains);
+  /// push() refuses. Wakes every blocked popper.
+  void close();
+
+  /// Remove and return everything still queued (for reject-on-shutdown).
+  std::vector<Job> drain();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t depth(const std::string& tenant) const;
+
+ private:
+  struct Tenant {
+    int weight = 1;
+    double last_tag = 0.0;  ///< virtual finish tag of the newest queued job
+    std::deque<std::pair<double, Job>> jobs;  ///< (finish tag, job)
+  };
+
+  const Policy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::string, Tenant> tenants_;
+  double virtual_time_ = 0.0;  ///< finish tag of the last job served
+  std::size_t depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace pdc::lab

@@ -1,0 +1,364 @@
+#include "lab/server.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+#include "chaos/chaos.hpp"
+#include "net/errors.hpp"
+#include "trace/trace.hpp"
+
+namespace pdc::lab {
+
+using protocol::JobState;
+using protocol::RejectCode;
+using protocol::Result;
+using protocol::Submit;
+
+namespace {
+constexpr int kListenBacklog = 64;
+}  // namespace
+
+bool Server::Session::send(const mp::Bytes& frame) {
+  std::lock_guard lock(send_mutex);
+  if (!alive.load(std::memory_order_acquire)) return false;
+  try {
+    net::send_all(socket, frame, nullptr, /*bye_ok=*/false, "lab server");
+    return true;
+  } catch (const Error&) {
+    alive.store(false, std::memory_order_release);
+    socket.shutdown_both();
+    return false;
+  }
+}
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      executor_(config_.executor),
+      cache_(config_.cache_capacity),
+      queue_(config_.queue),
+      firewall_(config_.firewall) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.load()) return;
+  listener_ = net::listen_at(config_.endpoint, kListenBacklog);
+  bound_ = net::local_endpoint(listener_, config_.endpoint);
+  started_ = std::chrono::steady_clock::now();
+  running_.store(true);
+
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) {
+    // Never started (or a second stop): nothing to tear down.
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+
+  // 1. No new connections: unblock the accept loop and join it.
+  listener_.shutdown_both();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. No new work: close the queue, fail whatever never got a worker with
+  // a shutdown Result (the client was promised a terminal frame at Accept).
+  queue_.close();
+  for (Job& job : queue_.drain()) {
+    Result result;
+    result.job_id = job.id;
+    result.exit_code = 3;
+    result.error = "lab server shutting down";
+    set_job_state(job.id, JobState::Done);
+    if (job.deliver) job.deliver(result);
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+
+  // 3. Sessions: shut every socket down (their readers observe EOF/error
+  // and exit), then wait for the detached readers to drain.
+  {
+    std::unique_lock lock(sessions_mutex_);
+    for (const auto& weak : sessions_) {
+      if (const auto session = weak.lock()) {
+        session->alive.store(false, std::memory_order_release);
+        session->socket.shutdown_both();
+      }
+    }
+    sessions_cv_.wait(lock, [this] { return active_sessions_ == 0; });
+    sessions_.clear();
+  }
+
+  listener_.close();
+  if (config_.endpoint.kind == net::Endpoint::Kind::Unix &&
+      !config_.endpoint.path.empty()) {
+    ::unlink(config_.endpoint.path.c_str());
+  }
+}
+
+net::Endpoint Server::endpoint() const { return bound_; }
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.submits = stats_.submits.load();
+  out.accepted = stats_.accepted.load();
+  out.rejected = stats_.rejected.load();
+  out.completed = stats_.completed.load();
+  out.failed = stats_.failed.load();
+  out.cache_hits = stats_.cache_hits.load();
+  out.executed = executor_.executions();
+  out.lockouts = stats_.lockouts.load();
+  out.lost_results = stats_.lost_results.load();
+  out.sessions = stats_.sessions.load();
+  out.queue_depth = queue_.depth();
+  return out;
+}
+
+double Server::now_minutes() const {
+  if (config_.now_minutes) return config_.now_minutes();
+  return std::chrono::duration<double, std::ratio<60>>(
+             std::chrono::steady_clock::now() - started_)
+      .count();
+}
+
+void Server::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    net::Socket accepted;
+    try {
+      accepted = net::accept_for(
+          listener_, std::chrono::milliseconds(config_.accept_poll_ms),
+          "lab server accept");
+    } catch (const Error&) {
+      continue;  // poll timeout, or the listener was shut down by stop()
+    }
+    auto session = std::make_shared<Session>();
+    session->socket = std::move(accepted);
+    stats_.sessions.fetch_add(1, std::memory_order_relaxed);
+    trace::Counter("lab.sessions").add(1.0);
+    {
+      std::lock_guard lock(sessions_mutex_);
+      // Prune entries whose sessions are fully gone so a long-lived server
+      // does not accumulate one weak_ptr per historical connection.
+      std::erase_if(sessions_,
+                    [](const std::weak_ptr<Session>& weak) {
+                      return weak.expired();
+                    });
+      sessions_.push_back(session);
+      ++active_sessions_;
+    }
+    std::thread([this, session] { session_loop(session); }).detach();
+  }
+}
+
+void Server::session_loop(const std::shared_ptr<Session>& session) {
+  // Admission decisions (the "lab.admit" checkpoint) draw from the lab's
+  // admission chaos lane, not lane 0 — which belongs to mp rank 0.
+  chaos::ActorScope actor(kLabAdmitActor);
+  try {
+    wire::Header header;
+    mp::Bytes body;
+    // Note: no `running_` in this condition. A stopping server still owes
+    // queued jobs their terminal Results over this socket; the reader must
+    // keep the session alive until stop()'s session-shutdown phase (or the
+    // client's own EOF/Bye) unblocks the recv below. Submits that race the
+    // drain are refused at the closed queue with a Shutdown reject.
+    bool open = true;
+    while (open && session->alive.load(std::memory_order_acquire)) {
+      if (!net::recv_frame(session->socket, &header, &body, "lab server")) {
+        break;  // clean EOF between frames: client left without a Bye
+      }
+      switch (header.kind) {
+        case wire::FrameKind::Submit: {
+          stats_.submits.fetch_add(1, std::memory_order_relaxed);
+          trace::Counter("lab.submits").add(1.0);
+          admit(session, protocol::decode_submit(body));
+          break;
+        }
+        case wire::FrameKind::Status: {
+          const protocol::Status query = protocol::decode_status(body);
+          protocol::Status reply;
+          reply.job_id = query.job_id;
+          reply.state = job_state(query.job_id);
+          reply.queue_depth = static_cast<std::uint32_t>(queue_.depth());
+          session->send(protocol::encode_status(reply));
+          break;
+        }
+        case wire::FrameKind::Bye:
+          open = false;  // clean goodbye
+          break;
+        default:
+          throw net::ProtocolError(
+              "lab server: unexpected frame kind " +
+              std::to_string(static_cast<int>(header.kind)) +
+              " on a client connection");
+      }
+    }
+  } catch (const net::ProtocolError& error) {
+    // A hostile or confused client: answer with the reason (best effort)
+    // and drop the connection; the server itself keeps serving.
+    reject(session, RejectCode::BadRequest, error.what());
+  } catch (const Error&) {
+    // PeerLost (mid-submit disconnect) or a send failure: drop quietly.
+  }
+  session->alive.store(false, std::memory_order_release);
+  session->socket.shutdown_both();
+  std::lock_guard lock(sessions_mutex_);
+  --active_sessions_;
+  sessions_cv_.notify_all();
+}
+
+void Server::admit(const std::shared_ptr<Session>& session, Submit submit) {
+  trace::Span span("lab.admit", "lab");
+  try {
+    chaos::on_op("lab.admit");
+  } catch (const chaos::InjectedAbort& abort) {
+    return reject(session, RejectCode::Overloaded, abort.what());
+  }
+  if (submit.tenant.empty()) {
+    return reject(session, RejectCode::BadRequest,
+                  "submit carries no tenant id");
+  }
+
+  // Auth + the eager-beaver firewall, keyed by tenant. A blocked tenant is
+  // refused even with the right token (what made the paper's incident
+  // confusing); wrong tokens accumulate toward the lockout.
+  {
+    std::lock_guard lock(firewall_mutex_);
+    const double now = now_minutes();
+    if (firewall_.is_blocked(submit.tenant, now)) {
+      return reject(session, RejectCode::LockedOut,
+                    "tenant is locked out (the VNC-firewall incident; wait "
+                    "for the block to lapse or ask staff to unblock)");
+    }
+    if (submit.token != config_.token) {
+      if (firewall_.record_failure(submit.tenant, now)) {
+        stats_.lockouts.fetch_add(1, std::memory_order_relaxed);
+        trace::instant("lab.lockout", "lab");
+        return reject(session, RejectCode::LockedOut,
+                      "too many bad tokens; tenant locked out");
+      }
+      return reject(session, RejectCode::BadToken, "wrong auth token");
+    }
+    firewall_.record_success(submit.tenant);
+  }
+
+  try {
+    executor_.validate(submit);
+  } catch (const Error& error) {
+    return reject(session, RejectCode::BadRequest, error.what());
+  }
+
+  const std::uint64_t digest = protocol::digest(submit);
+  const std::uint64_t job_id =
+      next_job_id_.fetch_add(1, std::memory_order_relaxed);
+
+  // Identical submission already answered: serve the golden output without
+  // touching the queue or the fleet.
+  if (auto cached = cache_.lookup(digest)) {
+    cached->job_id = job_id;
+    set_job_state(job_id, JobState::Done);
+    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    stats_.completed.fetch_add(1, std::memory_order_relaxed);
+    trace::Counter("lab.cache_hits").add(1.0);
+    protocol::Accept accept;
+    accept.job_id = job_id;
+    accept.queue_position = 0;
+    if (session->send(protocol::encode_accept(accept))) {
+      session->send(protocol::encode_result(*cached));
+    }
+    return;
+  }
+
+  Job job;
+  job.id = job_id;
+  job.submit = std::move(submit);
+  job.digest = digest;
+  job.deliver = [this, session, job_id, digest](const Result& result) {
+    finish_job(session, job_id, digest, result);
+  };
+  const auto position = queue_.push(std::move(job));
+  if (!position) {
+    const bool shutting_down = !running_.load(std::memory_order_acquire);
+    return reject(session,
+                  shutting_down ? RejectCode::Shutdown : RejectCode::QuotaFull,
+                  shutting_down ? "lab server shutting down"
+                                : "tenant queue quota exhausted");
+  }
+  set_job_state(job_id, JobState::Queued);
+  stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+  trace::Counter("lab.queue_depth").add(1.0);
+  protocol::Accept accept;
+  accept.job_id = job_id;
+  accept.queue_position = static_cast<std::uint32_t>(*position);
+  session->send(protocol::encode_accept(accept));
+}
+
+void Server::reject(const std::shared_ptr<Session>& session, RejectCode code,
+                    const std::string& reason) {
+  stats_.rejected.fetch_add(1, std::memory_order_relaxed);
+  trace::Counter("lab.rejects").add(1.0);
+  protocol::Reject frame;
+  frame.code = code;
+  frame.reason = reason;
+  session->send(protocol::encode_reject(frame));
+}
+
+void Server::worker_loop(int worker_index) {
+  // Each worker draws from its own deterministic chaos stream, like a pool
+  // worker or an mp rank would.
+  chaos::ActorScope actor(kLabWorkerActorBase + worker_index);
+  while (auto job = queue_.pop()) {
+    trace::Counter("lab.queue_depth").add(-1.0);
+    set_job_state(job->id, JobState::Running);
+    Result result;
+    try {
+      chaos::on_op("lab.dispatch");
+      result = executor_.execute(job->submit);
+    } catch (const chaos::InjectedAbort& abort) {
+      result.exit_code = 2;
+      result.error = abort.what();
+    }
+    result.job_id = job->id;
+    if (job->deliver) job->deliver(result);
+  }
+}
+
+void Server::finish_job(const std::shared_ptr<Session>& session,
+                        std::uint64_t job_id, std::uint64_t digest,
+                        const Result& result) {
+  if (result.exit_code == 0) {
+    // Only clean runs become golden outputs; a chaos-aborted or failed run
+    // must re-execute next time, never haunt the cache.
+    cache_.insert(digest, result);
+    stats_.completed.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  set_job_state(job_id, JobState::Done);
+  trace::Counter("lab.results").add(1.0);
+  if (!session->send(protocol::encode_result(result))) {
+    stats_.lost_results.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::set_job_state(std::uint64_t job_id, JobState state) {
+  std::lock_guard lock(jobs_mutex_);
+  job_states_[job_id] = state;
+}
+
+protocol::JobState Server::job_state(std::uint64_t job_id) const {
+  std::lock_guard lock(jobs_mutex_);
+  const auto it = job_states_.find(job_id);
+  return it == job_states_.end() ? JobState::Unknown : it->second;
+}
+
+}  // namespace pdc::lab

@@ -41,6 +41,13 @@ enum class FrameKind : std::uint16_t {
   Data = 3,     ///< one mp::Envelope
   Abort = 4,    ///< the sending rank's job aborted; wake your receivers
   Bye = 5,      ///< clean goodbye; EOF after this is normal teardown
+
+  // ---- lab service frames (src/lab) — client ↔ pdc::lab::Server --------
+  Submit = 6,  ///< client → server: run this patternlet/exemplar/notebook
+  Accept = 7,  ///< server → client: admitted; job id + queue position
+  Status = 8,  ///< either direction: job-state query (client) / reply
+  Result = 9,  ///< server → client: terminal outcome + captured output
+  Reject = 10, ///< server → client: refused (auth, quota, lockout, bad req)
 };
 
 struct Header {

@@ -1,0 +1,72 @@
+// ResultCache: LRU eviction order, hit refresh, the cached flag, and the
+// capacity-0 escape hatch.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lab/cache.hpp"
+
+namespace pdc::lab {
+namespace {
+
+protocol::Result make_result(const std::string& line) {
+  protocol::Result result;
+  result.exit_code = 0;
+  result.exec_us = 42;
+  result.output = {line};
+  return result;
+}
+
+TEST(LabCache, MissThenHit) {
+  ResultCache cache(4);
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  cache.insert(1, make_result("one"));
+  const auto hit = cache.lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->output, std::vector<std::string>{"one"});
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LabCache, LookupMarksTheCopyCached) {
+  ResultCache cache(4);
+  protocol::Result stored = make_result("x");
+  stored.cached = false;  // stored entries are the original execution
+  cache.insert(1, stored);
+  const auto hit = cache.lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->cached);
+  // A second lookup still gets cached=true (the stored entry is unchanged).
+  EXPECT_TRUE(cache.lookup(1)->cached);
+}
+
+TEST(LabCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.insert(1, make_result("one"));
+  cache.insert(2, make_result("two"));
+  ASSERT_TRUE(cache.lookup(1).has_value());  // refresh 1; 2 is now LRU
+  cache.insert(3, make_result("three"));     // evicts 2
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LabCache, InsertOverwritesExistingEntry) {
+  ResultCache cache(2);
+  cache.insert(1, make_result("old"));
+  cache.insert(1, make_result("new"));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.lookup(1)->output, std::vector<std::string>{"new"});
+}
+
+TEST(LabCache, CapacityZeroDisablesCaching) {
+  ResultCache cache(0);
+  cache.insert(1, make_result("one"));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(1).has_value());
+}
+
+}  // namespace
+}  // namespace pdc::lab

@@ -1,0 +1,220 @@
+// Lab frame encode/decode round-trips, digest semantics, and the hostile-
+// input wall: every malformed body must surface as a typed ProtocolError
+// before any length prefix can drive an allocation — the same contract
+// tests/net/test_wire.cpp pins for the transport frames.
+
+#include <gtest/gtest.h>
+
+#include "lab/protocol.hpp"
+#include "net/errors.hpp"
+
+namespace pdc::lab::protocol {
+namespace {
+
+using net::ProtocolError;
+
+/// Strip the 12-byte PDCN header off an encoded frame, returning the body
+/// (what the matching decode_* consumes).
+mp::Bytes body_of(const mp::Bytes& frame) {
+  return mp::Bytes(frame.begin() + static_cast<std::ptrdiff_t>(wire::kHeaderBytes),
+                   frame.end());
+}
+
+Submit example_submit() {
+  Submit submit;
+  submit.token = "hands-on";
+  submit.tenant = "ada";
+  submit.kind = JobKind::Exemplar;
+  submit.name = "pi";
+  submit.np = 4;
+  submit.seed = 7;
+  submit.source = "";
+  return submit;
+}
+
+TEST(LabProtocol, SubmitRoundTrips) {
+  const Submit submit = example_submit();
+  const Submit decoded = decode_submit(body_of(encode_submit(submit)));
+  EXPECT_EQ(decoded, submit);
+}
+
+TEST(LabProtocol, SubmitFrameHeaderIsSubmitKind) {
+  const mp::Bytes frame = encode_submit(example_submit());
+  ASSERT_GE(frame.size(), wire::kHeaderBytes);
+  std::byte raw[wire::kHeaderBytes];
+  std::copy(frame.begin(), frame.begin() + wire::kHeaderBytes, raw);
+  const wire::Header header = wire::decode_header(raw);
+  EXPECT_EQ(header.kind, wire::FrameKind::Submit);
+  EXPECT_EQ(header.body_len, frame.size() - wire::kHeaderBytes);
+}
+
+TEST(LabProtocol, AcceptRoundTrips) {
+  Accept accept;
+  accept.job_id = 99;
+  accept.queue_position = 3;
+  const Accept decoded = decode_accept(body_of(encode_accept(accept)));
+  EXPECT_EQ(decoded.job_id, 99u);
+  EXPECT_EQ(decoded.queue_position, 3u);
+}
+
+TEST(LabProtocol, StatusRoundTrips) {
+  Status status;
+  status.job_id = 5;
+  status.state = JobState::Running;
+  status.queue_depth = 17;
+  const Status decoded = decode_status(body_of(encode_status(status)));
+  EXPECT_EQ(decoded.job_id, 5u);
+  EXPECT_EQ(decoded.state, JobState::Running);
+  EXPECT_EQ(decoded.queue_depth, 17u);
+}
+
+TEST(LabProtocol, ResultRoundTrips) {
+  Result result;
+  result.job_id = 12;
+  result.exit_code = 0;
+  result.cached = true;
+  result.exec_us = 1234;
+  result.output = {"line one", "", "line three"};
+  result.error = "";
+  const Result decoded = decode_result(body_of(encode_result(result)));
+  EXPECT_EQ(decoded, result);
+}
+
+TEST(LabProtocol, RejectRoundTrips) {
+  Reject reject;
+  reject.code = RejectCode::LockedOut;
+  reject.reason = "too many bad tokens";
+  const Reject decoded = decode_reject(body_of(encode_reject(reject)));
+  EXPECT_EQ(decoded.code, RejectCode::LockedOut);
+  EXPECT_EQ(decoded.reason, "too many bad tokens");
+}
+
+// ---- digest --------------------------------------------------------------
+
+TEST(LabDigest, IdenticalSubmissionsShareADigest) {
+  EXPECT_EQ(digest(example_submit()), digest(example_submit()));
+}
+
+TEST(LabDigest, TokenAndTenantAreExcluded) {
+  // Two students running the same patternlet must share one cache entry.
+  Submit a = example_submit();
+  Submit b = example_submit();
+  b.token = "different-token";
+  b.tenant = "grace";
+  EXPECT_EQ(digest(a), digest(b));
+}
+
+TEST(LabDigest, EveryContentFieldIsIncluded) {
+  const Submit base = example_submit();
+  Submit changed = base;
+  changed.kind = JobKind::Patternlet;
+  EXPECT_NE(digest(base), digest(changed));
+  changed = base;
+  changed.name = "drug-design";
+  EXPECT_NE(digest(base), digest(changed));
+  changed = base;
+  changed.np = 8;
+  EXPECT_NE(digest(base), digest(changed));
+  changed = base;
+  changed.seed = 8;
+  EXPECT_NE(digest(base), digest(changed));
+  changed = base;
+  changed.source = "x";
+  EXPECT_NE(digest(base), digest(changed));
+}
+
+TEST(LabDigest, FieldBoundariesAreLengthPrefixed) {
+  // ("ab", "") and ("a", "b") must not collapse to one digest.
+  Submit a = example_submit();
+  a.name = "ab";
+  a.source = "";
+  Submit b = example_submit();
+  b.name = "a";
+  b.source = "b";
+  EXPECT_NE(digest(a), digest(b));
+}
+
+// ---- hostile bodies ------------------------------------------------------
+
+TEST(LabHostile, TruncatedSubmitBodyThrows) {
+  const mp::Bytes body = body_of(encode_submit(example_submit()));
+  for (const std::size_t keep : {0u, 1u, 4u, 9u}) {
+    const mp::Bytes cut(body.begin(),
+                        body.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW(decode_submit(cut), ProtocolError) << keep << " bytes kept";
+  }
+}
+
+TEST(LabHostile, OversizedSourcePrefixRejectedBeforeAllocation) {
+  // A Submit whose source length prefix claims ~1 GiB against a tiny body:
+  // the clamp (kMaxSourceBytes) must reject it before any string is sized.
+  mp::Bytes body;
+  wire::put_string(body, "hands-on");
+  wire::put_string(body, "ada");
+  wire::put_u16(body, static_cast<std::uint16_t>(JobKind::Notebook));
+  wire::put_string(body, "");
+  wire::put_i32(body, 1);
+  wire::put_u64(body, 0);
+  wire::put_u32(body, 1u << 30);  // hostile source length prefix, no bytes
+  EXPECT_THROW(decode_submit(body), ProtocolError);
+}
+
+TEST(LabHostile, OversizedTokenPrefixRejected) {
+  mp::Bytes body;
+  wire::put_u32(body, kMaxIdentityBytes + 1);  // token longer than the clamp
+  EXPECT_THROW(decode_submit(body), ProtocolError);
+}
+
+TEST(LabHostile, UnknownJobKindRejected) {
+  mp::Bytes body;
+  wire::put_string(body, "hands-on");
+  wire::put_string(body, "ada");
+  wire::put_u16(body, 99);  // not a JobKind
+  EXPECT_THROW(decode_submit(body), ProtocolError);
+}
+
+TEST(LabHostile, TrailingBytesRejected) {
+  mp::Bytes body = body_of(encode_submit(example_submit()));
+  body.push_back(std::byte{0});
+  EXPECT_THROW(decode_submit(body), ProtocolError);
+}
+
+TEST(LabHostile, ResultLineCountBeyondClampRejected) {
+  mp::Bytes body;
+  wire::put_u64(body, 1);   // job id
+  wire::put_i32(body, 0);   // exit code
+  wire::put_u16(body, 0);   // cached
+  wire::put_u64(body, 0);   // exec_us
+  wire::put_string(body, "");  // error
+  wire::put_u32(body, kMaxOutputLines + 1);
+  EXPECT_THROW(decode_result(body), ProtocolError);
+}
+
+TEST(LabHostile, ResultLineCountBeyondBodyRejectedBeforeReserve) {
+  mp::Bytes body;
+  wire::put_u64(body, 1);
+  wire::put_i32(body, 0);
+  wire::put_u16(body, 0);
+  wire::put_u64(body, 0);
+  wire::put_string(body, "");
+  wire::put_u32(body, 4000);  // within the line clamp, not within the body
+  EXPECT_THROW(decode_result(body), ProtocolError);
+}
+
+TEST(LabHostile, UnknownJobStateRejected) {
+  mp::Bytes body;
+  wire::put_u64(body, 1);
+  wire::put_u16(body, 42);  // not a JobState
+  wire::put_u32(body, 0);
+  EXPECT_THROW(decode_status(body), ProtocolError);
+}
+
+TEST(LabHostile, UnknownRejectCodeRejected) {
+  mp::Bytes body;
+  wire::put_u16(body, 0);  // below BadToken
+  wire::put_string(body, "");
+  EXPECT_THROW(decode_reject(body), ProtocolError);
+}
+
+}  // namespace
+}  // namespace pdc::lab::protocol

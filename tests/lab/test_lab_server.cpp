@@ -1,0 +1,409 @@
+// End-to-end lab server tests over real sockets: submit → Accept → Result,
+// cache correctness, the eager-beaver firewall (lockout AND expiry), quota
+// rejection, hostile frames from raw connections, mid-submit disconnects,
+// notebook isolation, and shutdown draining. Every scenario runs a real
+// Server on a unix (or TCP) endpoint and speaks PDCN frames to it.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lab/client.hpp"
+#include "lab/server.hpp"
+#include "net/errors.hpp"
+#include "net/socket.hpp"
+
+namespace pdc::lab {
+namespace {
+
+using protocol::JobKind;
+using protocol::JobState;
+using protocol::RejectCode;
+
+net::Endpoint unique_unix_endpoint() {
+  static std::atomic<int> counter{0};
+  net::Endpoint endpoint;
+  endpoint.kind = net::Endpoint::Kind::Unix;
+  endpoint.path = "/tmp/pdclab-test-" + std::to_string(::getpid()) + "-" +
+                  std::to_string(counter.fetch_add(1)) + ".sock";
+  return endpoint;
+}
+
+ServerConfig test_config() {
+  ServerConfig config;
+  config.endpoint = unique_unix_endpoint();
+  config.workers = 2;
+  return config;
+}
+
+ClientConfig client_config(const net::Endpoint& endpoint) {
+  ClientConfig config;
+  config.endpoint = endpoint;
+  config.reply_timeout_ms = 30000;
+  return config;
+}
+
+protocol::Submit pi_submit(std::uint64_t seed = 7, int np = 2) {
+  protocol::Submit submit;
+  submit.token = "hands-on";
+  submit.tenant = "ada";
+  submit.kind = JobKind::Exemplar;
+  submit.name = "pi";
+  submit.np = np;
+  submit.seed = seed;
+  return submit;
+}
+
+/// Submit + wait, asserting admission succeeded.
+protocol::Result run_job(Client& client, const protocol::Submit& submit) {
+  const auto outcome = client.submit(submit);
+  EXPECT_TRUE(outcome.accepted())
+      << (outcome.reject ? outcome.reject->reason : "no reject either");
+  if (!outcome.accepted()) return {};
+  return client.wait_result(outcome.accept->job_id);
+}
+
+TEST(LabServer, SubmitRunsAndReturnsTheProgramOutput) {
+  Server server(test_config());
+  server.start();
+  Client client(client_config(server.endpoint()));
+
+  const protocol::Result result = run_job(client, pi_submit());
+  EXPECT_EQ(result.exit_code, 0) << result.error;
+  EXPECT_FALSE(result.cached);
+  ASSERT_EQ(result.output.size(), 1u);
+  EXPECT_NE(result.output[0].find("pi ~="), std::string::npos);
+  EXPECT_NE(result.output[0].find("seed 7"), std::string::npos);
+
+  // The wire path returns exactly what a direct execution produces.
+  const Executor direct;
+  EXPECT_EQ(result.output, direct.execute(pi_submit()).output);
+}
+
+TEST(LabServer, IdenticalSubmissionIsServedFromCacheWithoutExecuting) {
+  Server server(test_config());
+  server.start();
+
+  protocol::Result first;
+  {
+    Client client(client_config(server.endpoint()));
+    first = run_job(client, pi_submit());
+  }
+  ASSERT_EQ(first.exit_code, 0) << first.error;
+  ASSERT_EQ(server.executor().executions(), 1u);
+
+  // A different student (token/tenant differ) submits the same job from a
+  // fresh connection: byte-identical output, no second execution.
+  protocol::Submit same = pi_submit();
+  same.tenant = "grace";
+  Client client(client_config(server.endpoint()));
+  const protocol::Result second = run_job(client, same);
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(second.exit_code, 0);
+  EXPECT_EQ(second.output, first.output);
+  EXPECT_EQ(server.executor().executions(), 1u);
+  EXPECT_EQ(server.cache().hits(), 1u);
+  EXPECT_EQ(server.stats().cache_hits, 1u);
+}
+
+TEST(LabServer, DistinctSeedsExecuteSeparately) {
+  Server server(test_config());
+  server.start();
+  Client client(client_config(server.endpoint()));
+
+  const protocol::Result a = run_job(client, pi_submit(7));
+  const protocol::Result b = run_job(client, pi_submit(8));
+  EXPECT_FALSE(a.cached);
+  EXPECT_FALSE(b.cached);
+  EXPECT_NE(a.output, b.output);  // the seed feeds the dart RNG
+  EXPECT_EQ(server.executor().executions(), 2u);
+  EXPECT_EQ(server.cache().hits(), 0u);
+}
+
+TEST(LabServer, UnknownProgramIsBadRequestBeforeTheQueue) {
+  Server server(test_config());
+  server.start();
+  Client client(client_config(server.endpoint()));
+
+  protocol::Submit bogus = pi_submit();
+  bogus.name = "no-such-exemplar";
+  const auto outcome = client.submit(bogus);
+  ASSERT_FALSE(outcome.accepted());
+  EXPECT_EQ(outcome.reject->code, RejectCode::BadRequest);
+  EXPECT_EQ(server.executor().executions(), 0u);
+  EXPECT_EQ(server.cache().size(), 0u);
+}
+
+TEST(LabServer, StatusReportsLifecycleAndUnknownJobs) {
+  Server server(test_config());
+  server.start();
+  Client client(client_config(server.endpoint()));
+
+  const auto outcome = client.submit(pi_submit());
+  ASSERT_TRUE(outcome.accepted());
+  const std::uint64_t job_id = outcome.accept->job_id;
+  (void)client.wait_result(job_id);
+  EXPECT_EQ(client.query_status(job_id).state, JobState::Done);
+  EXPECT_EQ(client.query_status(999999).state, JobState::Unknown);
+}
+
+TEST(LabServer, QuotaFullIsRejectedNotQueued) {
+  ServerConfig config = test_config();
+  config.queue.max_queued_per_tenant = 0;  // nothing may queue
+  Server server(std::move(config));
+  server.start();
+  Client client(client_config(server.endpoint()));
+
+  const auto outcome = client.submit(pi_submit());
+  ASSERT_FALSE(outcome.accepted());
+  EXPECT_EQ(outcome.reject->code, RejectCode::QuotaFull);
+  EXPECT_EQ(server.stats().rejected, 1u);
+  EXPECT_EQ(server.executor().executions(), 0u);
+}
+
+TEST(LabServer, RepeatedBadTokensTripTheLockoutAndItExpires) {
+  // The paper's eager-beaver incident as a regression test: three wrong
+  // tokens lock the tenant out; the RIGHT token no longer helps while the
+  // block is active; the block lapses once the (hand-cranked) clock passes
+  // the lockout window.
+  auto clock = std::make_shared<std::atomic<double>>(0.0);
+  ServerConfig config = test_config();
+  config.firewall = {/*max_failures=*/3, /*lockout_minutes=*/30.0};
+  config.now_minutes = [clock] { return clock->load(); };
+  Server server(std::move(config));
+  server.start();
+  Client client(client_config(server.endpoint()));
+
+  protocol::Submit bad = pi_submit();
+  bad.token = "wrong";
+  auto outcome = client.submit(bad);
+  ASSERT_FALSE(outcome.accepted());
+  EXPECT_EQ(outcome.reject->code, RejectCode::BadToken);
+  outcome = client.submit(bad);
+  EXPECT_EQ(outcome.reject->code, RejectCode::BadToken);
+  outcome = client.submit(bad);
+  EXPECT_EQ(outcome.reject->code, RejectCode::LockedOut);  // third strike
+  EXPECT_EQ(server.stats().lockouts, 1u);
+
+  // The correct token does not lift an active block (what confused the
+  // workshop participants).
+  outcome = client.submit(pi_submit());
+  EXPECT_EQ(outcome.reject->code, RejectCode::LockedOut);
+  EXPECT_EQ(server.executor().executions(), 0u);
+
+  // 31 minutes later the block has lapsed and the tenant is served again.
+  clock->store(31.0);
+  const protocol::Result result = run_job(client, pi_submit());
+  EXPECT_EQ(result.exit_code, 0) << result.error;
+}
+
+TEST(LabServer, SuccessfulAuthResetsTheFailureCounter) {
+  auto clock = std::make_shared<std::atomic<double>>(0.0);
+  ServerConfig config = test_config();
+  config.now_minutes = [clock] { return clock->load(); };
+  Server server(std::move(config));
+  server.start();
+  Client client(client_config(server.endpoint()));
+
+  protocol::Submit bad = pi_submit(/*seed=*/1, /*np=*/1);
+  bad.token = "wrong";
+  EXPECT_EQ(client.submit(bad).reject->code, RejectCode::BadToken);
+  EXPECT_EQ(client.submit(bad).reject->code, RejectCode::BadToken);
+  // A correct login between failures resets the count...
+  EXPECT_EQ(run_job(client, pi_submit(/*seed=*/1, /*np=*/1)).exit_code, 0);
+  // ...so two more failures are still BadToken, not the third strike.
+  EXPECT_EQ(client.submit(bad).reject->code, RejectCode::BadToken);
+  EXPECT_EQ(client.submit(bad).reject->code, RejectCode::BadToken);
+  EXPECT_EQ(server.stats().lockouts, 0u);
+}
+
+TEST(LabServer, MidSubmitDisconnectLeavesTheServerServing) {
+  Server server(test_config());
+  server.start();
+  {
+    // A client that promises a 100-byte Submit body, sends 10, and vanishes.
+    net::Socket raw =
+        net::dial(server.endpoint(), 10, std::chrono::milliseconds(1000),
+                  std::chrono::milliseconds(1), "hostile");
+    mp::Bytes partial = wire::encode_header(wire::FrameKind::Submit, 100);
+    partial.resize(partial.size() + 10);  // 10 of the 100 body bytes
+    net::send_all(raw, partial, nullptr, false, "hostile");
+  }  // raw closes here, mid-message
+
+  // The server shrugged it off; a well-behaved student is unaffected.
+  Client client(client_config(server.endpoint()));
+  EXPECT_EQ(run_job(client, pi_submit()).exit_code, 0);
+  server.stop();
+  EXPECT_EQ(server.stats().lost_results, 0u);
+}
+
+/// Write `frame` on a raw connection and return the server's one reply
+/// frame (or nullopt if the server just dropped the connection).
+std::optional<protocol::Reject> poke(const net::Endpoint& endpoint,
+                                     const mp::Bytes& frame) {
+  net::Socket raw = net::dial(endpoint, 10, std::chrono::milliseconds(1000),
+                              std::chrono::milliseconds(1), "hostile");
+  net::send_all(raw, frame, nullptr, false, "hostile");
+  wire::Header header;
+  mp::Bytes body;
+  try {
+    if (!net::recv_frame_for(raw, &header, &body,
+                             std::chrono::milliseconds(10000), "hostile")) {
+      return std::nullopt;  // dropped without a reply
+    }
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+  EXPECT_EQ(header.kind, wire::FrameKind::Reject);
+  return protocol::decode_reject(body);
+}
+
+TEST(LabServer, HostileSubmitFramesGetBadRequestAndNeverKillTheServer) {
+  Server server(test_config());
+  server.start();
+
+  // (a) A Submit frame whose body is truncated garbage.
+  {
+    mp::Bytes frame = wire::encode_header(wire::FrameKind::Submit, 3);
+    frame.resize(frame.size() + 3);  // three zero bytes, not a Submit body
+    const auto reject = poke(server.endpoint(), frame);
+    ASSERT_TRUE(reject.has_value());
+    EXPECT_EQ(reject->code, RejectCode::BadRequest);
+  }
+  // (b) An unknown frame kind: rejected at the header.
+  {
+    mp::Bytes frame;
+    wire::put_u32(frame, wire::kMagic);
+    wire::put_u16(frame, wire::kVersion);
+    wire::put_u16(frame, 11);  // one past Reject
+    wire::put_u32(frame, 0);
+    const auto reject = poke(server.endpoint(), frame);
+    ASSERT_TRUE(reject.has_value());
+    EXPECT_EQ(reject->code, RejectCode::BadRequest);
+  }
+  // (c) Wrong magic: not a PDCN peer at all.
+  {
+    mp::Bytes frame;
+    wire::put_u32(frame, 0xdeadbeef);
+    wire::put_u16(frame, wire::kVersion);
+    wire::put_u16(frame, 6);
+    wire::put_u32(frame, 0);
+    const auto reject = poke(server.endpoint(), frame);
+    ASSERT_TRUE(reject.has_value());
+    EXPECT_EQ(reject->code, RejectCode::BadRequest);
+  }
+  // (d) A Submit header promising a 2 MiB body: over the control-frame
+  // clamp, rejected before the body is read or allocated.
+  {
+    mp::Bytes frame;
+    wire::put_u32(frame, wire::kMagic);
+    wire::put_u16(frame, wire::kVersion);
+    wire::put_u16(frame, 6);  // Submit
+    wire::put_u32(frame, 2u << 20);
+    const auto reject = poke(server.endpoint(), frame);
+    ASSERT_TRUE(reject.has_value());
+    EXPECT_EQ(reject->code, RejectCode::BadRequest);
+  }
+
+  // After all four attacks the server still serves.
+  Client client(client_config(server.endpoint()));
+  EXPECT_EQ(run_job(client, pi_submit()).exit_code, 0);
+  EXPECT_EQ(server.stats().rejected, 4u);
+}
+
+TEST(LabServer, OversizedSourcePayloadIsRejectedNotExecuted) {
+  Server server(test_config());
+  server.start();
+  Client client(client_config(server.endpoint()));
+
+  protocol::Submit submit = pi_submit();
+  submit.kind = JobKind::Notebook;
+  submit.name.clear();
+  submit.source.assign((64u << 10) + 1, 'x');  // one byte over the clamp
+  const auto outcome = client.submit(submit);
+  ASSERT_FALSE(outcome.accepted());
+  EXPECT_EQ(outcome.reject->code, RejectCode::BadRequest);
+  EXPECT_EQ(server.executor().executions(), 0u);
+}
+
+TEST(LabServer, NotebookJobsGetAFreshEngineEachTime) {
+  Server server(test_config());
+  server.start();
+  Client client(client_config(server.endpoint()));
+
+  protocol::Submit cell;
+  cell.token = "hands-on";
+  cell.tenant = "ada";
+  cell.kind = JobKind::Notebook;
+  cell.source = "%%writefile 00spmd.py\nfrom mpi4py import MPI\n";
+
+  const protocol::Result first = run_job(client, cell);
+  ASSERT_EQ(first.exit_code, 0) << first.error;
+  ASSERT_EQ(first.output.size(), 1u);
+  EXPECT_EQ(first.output[0], "Writing 00spmd.py");
+
+  // A different seed dodges the cache; the output is "Writing", not
+  // "Overwriting" — the second job's engine never saw the first's file.
+  cell.seed = 2;
+  const protocol::Result second = run_job(client, cell);
+  ASSERT_EQ(second.exit_code, 0) << second.error;
+  EXPECT_FALSE(second.cached);
+  ASSERT_EQ(second.output.size(), 1u);
+  EXPECT_EQ(second.output[0], "Writing 00spmd.py");
+}
+
+TEST(LabServer, ServesOverTcpToo) {
+  ServerConfig config = test_config();
+  config.endpoint.kind = net::Endpoint::Kind::Tcp;
+  config.endpoint.host = "127.0.0.1";
+  config.endpoint.port = 0;  // ephemeral; parse() rejects 0 on purpose
+  Server server(std::move(config));
+  server.start();
+  ASSERT_NE(server.endpoint().port, 0);  // ephemeral port resolved
+
+  Client client(client_config(server.endpoint()));
+  const protocol::Result result = run_job(client, pi_submit());
+  EXPECT_EQ(result.exit_code, 0) << result.error;
+}
+
+TEST(LabServer, StopDeliversATerminalResultForEveryAcceptedJob) {
+  ServerConfig config = test_config();
+  config.workers = 1;
+  Server server(std::move(config));
+  server.start();
+  Client client(client_config(server.endpoint()));
+
+  std::vector<std::uint64_t> job_ids;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto outcome = client.submit(pi_submit(seed));
+    ASSERT_TRUE(outcome.accepted());
+    job_ids.push_back(outcome.accept->job_id);
+  }
+  server.stop();  // drains: runs or shutdown-fails everything accepted
+
+  for (const std::uint64_t job_id : job_ids) {
+    const protocol::Result result = client.wait_result(job_id);
+    EXPECT_TRUE(result.exit_code == 0 || result.exit_code == 3)
+        << "job " << job_id << " exit " << result.exit_code;
+  }
+}
+
+TEST(LabServer, StopIsIdempotentAndUnlinksTheSocketPath) {
+  ServerConfig config = test_config();
+  const std::string path = config.endpoint.path;
+  Server server(std::move(config));
+  server.start();
+  EXPECT_EQ(::access(path.c_str(), F_OK), 0);
+  server.stop();
+  server.stop();
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+}  // namespace
+}  // namespace pdc::lab

@@ -1,0 +1,245 @@
+// pdclab — the multi-tenant lab server and its command-line client.
+//
+//   pdclab serve --listen unix:/tmp/pdclab.sock --workers 4
+//   pdclab serve --listen tcp:127.0.0.1:7070 --executor socket
+//
+//   pdclab submit --connect unix:/tmp/pdclab.sock --tenant ada
+//          patternlet spmd --np 4
+//   pdclab submit --connect ... --tenant ada exemplar pi --np 4 --seed 7
+//   pdclab submit --connect ... --tenant ada notebook --source '!mpirun -np 2 python 00spmd.py'
+//
+// Exit codes (submit): 0 job ran, 1 job failed on the server, 2 rejected,
+// 3 could not reach/speak to the server, 64 usage error.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lab/client.hpp"
+#include "lab/server.hpp"
+#include "net/errors.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+int usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "pdclab: %s\n", error);
+  std::fputs(
+      "usage:\n"
+      "  pdclab serve --listen <unix:PATH|tcp:HOST:PORT> [--workers N]\n"
+      "               [--token T] [--executor inline|socket] [--cache N]\n"
+      "               [--quota N] [--max-np N]\n"
+      "  pdclab submit --connect <unix:PATH|tcp:HOST:PORT> --tenant NAME\n"
+      "                [--token T] (patternlet|exemplar) PROGRAM [--np N]\n"
+      "                [--seed S]\n"
+      "  pdclab submit --connect ... --tenant NAME notebook --source TEXT\n",
+      stderr);
+  return 64;
+}
+
+/// --flag VALUE puller; advances i. Returns nullptr when exhausted.
+const char* value_of(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) return nullptr;
+  return argv[++i];
+}
+
+int run_serve(int argc, char** argv) {
+  pdc::lab::ServerConfig config;
+  bool listened = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need = [&](const char* flag) -> const char* {
+      const char* v = value_of(argc, argv, i);
+      if (v == nullptr) {
+        std::fprintf(stderr, "pdclab: %s needs a value\n", flag);
+      }
+      return v;
+    };
+    try {
+      if (arg == "--listen") {
+        const char* v = need("--listen");
+        if (v == nullptr) return 64;
+        config.endpoint = pdc::net::Endpoint::parse(v);
+        listened = true;
+      } else if (arg == "--workers") {
+        const char* v = need("--workers");
+        if (v == nullptr) return 64;
+        config.workers = std::atoi(v);
+      } else if (arg == "--token") {
+        const char* v = need("--token");
+        if (v == nullptr) return 64;
+        config.token = v;
+      } else if (arg == "--cache") {
+        const char* v = need("--cache");
+        if (v == nullptr) return 64;
+        config.cache_capacity = static_cast<std::size_t>(std::atol(v));
+      } else if (arg == "--quota") {
+        const char* v = need("--quota");
+        if (v == nullptr) return 64;
+        config.queue.max_queued_per_tenant =
+            static_cast<std::size_t>(std::atol(v));
+      } else if (arg == "--max-np") {
+        const char* v = need("--max-np");
+        if (v == nullptr) return 64;
+        config.executor.max_np = std::atoi(v);
+      } else if (arg == "--executor") {
+        const char* v = need("--executor");
+        if (v == nullptr) return 64;
+        if (std::strcmp(v, "inline") == 0) {
+          config.executor.mode = pdc::lab::ExecMode::Inline;
+        } else if (std::strcmp(v, "socket") == 0) {
+          config.executor.mode = pdc::lab::ExecMode::Socket;
+        } else {
+          return usage("--executor must be 'inline' or 'socket'");
+        }
+      } else {
+        return usage(("unknown serve option '" + arg + "'").c_str());
+      }
+    } catch (const pdc::Error& error) {
+      std::fprintf(stderr, "pdclab: %s\n", error.what());
+      return 64;
+    }
+  }
+  if (!listened) return usage("serve needs --listen");
+  if (config.workers < 1) return usage("--workers must be >= 1");
+
+  const int workers = config.workers;
+  const pdc::lab::ExecMode mode = config.executor.mode;
+  pdc::lab::Server server(std::move(config));
+  try {
+    server.start();
+  } catch (const pdc::Error& error) {
+    std::fprintf(stderr, "pdclab: cannot listen: %s\n", error.what());
+    return 3;
+  }
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::printf("pdclab: serving at %s (%d workers, executor %s)\n",
+              server.endpoint().to_string().c_str(), workers,
+              pdc::lab::exec_mode_name(mode));
+  std::fflush(stdout);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.stop();
+  const pdc::lab::ServerStats stats = server.stats();
+  std::printf(
+      "pdclab: served %llu submits (%llu accepted, %llu rejected, "
+      "%llu cache hits, %llu executed, %llu lockouts) over %llu sessions\n",
+      static_cast<unsigned long long>(stats.submits),
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.executed),
+      static_cast<unsigned long long>(stats.lockouts),
+      static_cast<unsigned long long>(stats.sessions));
+  return 0;
+}
+
+int run_submit(int argc, char** argv) {
+  pdc::lab::ClientConfig client_config;
+  pdc::lab::protocol::Submit submit;
+  submit.token = "hands-on";
+  bool connected = false;
+  bool kind_set = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need = [&]() -> const char* { return value_of(argc, argv, i); };
+    try {
+      if (arg == "--connect") {
+        const char* v = need();
+        if (v == nullptr) return usage("--connect needs a value");
+        client_config.endpoint = pdc::net::Endpoint::parse(v);
+        connected = true;
+      } else if (arg == "--tenant") {
+        const char* v = need();
+        if (v == nullptr) return usage("--tenant needs a value");
+        submit.tenant = v;
+      } else if (arg == "--token") {
+        const char* v = need();
+        if (v == nullptr) return usage("--token needs a value");
+        submit.token = v;
+      } else if (arg == "--np") {
+        const char* v = need();
+        if (v == nullptr) return usage("--np needs a value");
+        submit.np = std::atoi(v);
+      } else if (arg == "--seed") {
+        const char* v = need();
+        if (v == nullptr) return usage("--seed needs a value");
+        submit.seed = static_cast<std::uint64_t>(std::atoll(v));
+      } else if (arg == "--source") {
+        const char* v = need();
+        if (v == nullptr) return usage("--source needs a value");
+        submit.source = v;
+      } else if (arg == "patternlet" || arg == "exemplar" ||
+                 arg == "notebook") {
+        kind_set = true;
+        if (arg == "patternlet") {
+          submit.kind = pdc::lab::protocol::JobKind::Patternlet;
+        } else if (arg == "exemplar") {
+          submit.kind = pdc::lab::protocol::JobKind::Exemplar;
+        } else {
+          submit.kind = pdc::lab::protocol::JobKind::Notebook;
+        }
+        // A program name follows for patternlet/exemplar.
+        if (arg != "notebook") {
+          const char* v = need();
+          if (v == nullptr) return usage("program name missing");
+          submit.name = v;
+        }
+      } else {
+        return usage(("unknown submit option '" + arg + "'").c_str());
+      }
+    } catch (const pdc::Error& error) {
+      std::fprintf(stderr, "pdclab: %s\n", error.what());
+      return 64;
+    }
+  }
+  if (!connected) return usage("submit needs --connect");
+  if (submit.tenant.empty()) return usage("submit needs --tenant");
+  if (!kind_set) return usage("submit needs a job kind");
+
+  try {
+    pdc::lab::Client client(client_config);
+    const auto outcome = client.submit(submit);
+    if (!outcome.accepted()) {
+      std::fprintf(stderr, "pdclab: rejected (%s): %s\n",
+                   pdc::lab::protocol::reject_code_name(outcome.reject->code),
+                   outcome.reject->reason.c_str());
+      return 2;
+    }
+    const auto result = client.wait_result(outcome.accept->job_id);
+    for (const std::string& line : result.output) {
+      std::printf("%s\n", line.c_str());
+    }
+    if (result.exit_code != 0) {
+      std::fprintf(stderr, "pdclab: job failed (exit %d): %s\n",
+                   result.exit_code, result.error.c_str());
+      return 1;
+    }
+    if (result.cached) {
+      std::fprintf(stderr, "pdclab: served from cache (%llu us original)\n",
+                   static_cast<unsigned long long>(result.exec_us));
+    }
+    return 0;
+  } catch (const pdc::Error& error) {
+    std::fprintf(stderr, "pdclab: %s\n", error.what());
+    return 3;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(nullptr);
+  const std::string mode = argv[1];
+  if (mode == "serve") return run_serve(argc, argv);
+  if (mode == "submit") return run_submit(argc, argv);
+  return usage(("unknown mode '" + mode + "'").c_str());
+}
