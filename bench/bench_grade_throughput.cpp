@@ -1,0 +1,147 @@
+// Autograder throughput driver: grade a synthesized class of mutant
+// submissions on a bounded worker fleet and report submissions/sec and
+// schedules/sec per worker count — the number that says whether one
+// workshop VM can grade a cohort between lab sessions.
+//
+// The corpus is synthesize_corpus(): every patternlet base crossed with
+// every mutation kind (clean controls, wrong answers, seeded races, stale
+// reads, deadlocks, crashes), `per_cell` simulated students each. Every
+// submission explores K chaos schedules under its own bound plan; a
+// deadlock mutant costs one watchdog timeout (Hang short-circuits the
+// remaining schedules), so the watchdog is the knob that keeps hostile
+// submissions from starving honest ones.
+//
+// Two hard gates, both exit nonzero on violation:
+//   - ZERO lost verdicts: every submission in every row must come back
+//     with a grade (Report::lost() == 0).
+//   - determinism: every worker-count row must produce the byte-identical
+//     canonical report (the fleet size is a throughput knob, not a grading
+//     policy).
+//
+// Output: a human table plus one machine-readable
+//   GRADE_LOAD workers=W submissions=N k=K subs_per_sec=X
+//              schedules_per_sec=Y hangs=H lost=0
+// line per row (scripts/bench_snapshot parses these into BENCH_<n>.json).
+//
+// Scale: argv[1] (default 1). Scale 0 is the bench-smoke canary (one row,
+// one student per cell); scale N grades 2*N students per cell over a
+// 1/2/4/8-worker sweep.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "grade/grader.hpp"
+#include "support/strings.hpp"
+#include "support/text_table.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using pdc::grade::GraderConfig;
+using pdc::grade::MutantSpec;
+using pdc::grade::Report;
+using pdc::grade::Verdict;
+
+struct RowResult {
+  int workers = 0;
+  std::size_t submissions = 0;
+  std::uint64_t schedules = 0;
+  std::uint64_t hangs = 0;
+  std::uint64_t lost = 0;
+  double seconds = 0.0;
+  std::string report_text;  ///< canonical report, the determinism gate
+};
+
+RowResult drive(const std::vector<MutantSpec>& corpus, int workers, int k) {
+  GraderConfig cfg;
+  cfg.seeds = k;
+  cfg.workers = workers;
+  cfg.watchdog_ms = 150;  // one short leash per deadlock mutant
+  cfg.keep_grades = false;  // cohort-scale: only the aggregate matters
+
+  pdc::WallTimer timer;
+  const Report report = grade_corpus(corpus, cfg);
+  timer.stop();
+
+  RowResult row;
+  row.workers = workers;
+  row.submissions = corpus.size();
+  row.schedules = report.stats.explored_schedules;
+  row.hangs = report.count(Verdict::Hang);
+  row.lost = report.lost();
+  row.seconds = timer.elapsed_seconds();
+  row.report_text = report.to_text();
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using pdc::strings::fixed;
+
+  // Scale 0: smoke (one row, 90 submissions). Scale N: 2*N students per
+  // corpus cell over a worker sweep — the EXPERIMENTS.md throughput table.
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 1;
+  const int per_cell = scale > 0 ? 2 * scale : 1;
+  const int k = 8;
+  const std::vector<int> worker_rows =
+      scale > 0 ? std::vector<int>{1, 2, 4, 8} : std::vector<int>{4};
+
+  const std::vector<MutantSpec> corpus =
+      pdc::grade::synthesize_corpus(per_cell, 4);
+  std::printf("== Autograding a class: %zu submissions (%d per cell), "
+              "K=%d schedules each ==\n\n",
+              corpus.size(), per_cell, k);
+
+  pdc::TextTable table({"workers", "submissions", "subs/sec", "schedules/sec",
+                        "hangs", "lost", "wall"});
+  for (int c = 1; c <= 6; ++c) table.set_align(c, pdc::Align::Right);
+
+  bool ok = true;
+  std::string canonical;
+  for (const int workers : worker_rows) {
+    const RowResult row = drive(corpus, workers, k);
+    const double subs_per_sec =
+        row.seconds > 0 ? static_cast<double>(row.submissions) / row.seconds
+                        : 0.0;
+    const double sched_per_sec =
+        row.seconds > 0 ? static_cast<double>(row.schedules) / row.seconds
+                        : 0.0;
+    table.add_row({std::to_string(row.workers),
+                   std::to_string(row.submissions), fixed(subs_per_sec, 1),
+                   fixed(sched_per_sec, 0), std::to_string(row.hangs),
+                   std::to_string(row.lost),
+                   fixed(row.seconds, 2) + " s"});
+    std::printf("GRADE_LOAD workers=%d submissions=%zu k=%d subs_per_sec=%s "
+                "schedules_per_sec=%s hangs=%llu lost=%llu\n",
+                row.workers, row.submissions, k, fixed(subs_per_sec, 1).c_str(),
+                fixed(sched_per_sec, 1).c_str(),
+                static_cast<unsigned long long>(row.hangs),
+                static_cast<unsigned long long>(row.lost));
+    if (row.lost != 0) {
+      std::fprintf(stderr, "grade-load: %llu verdicts LOST at %d workers\n",
+                   static_cast<unsigned long long>(row.lost), row.workers);
+      ok = false;
+    }
+    if (canonical.empty()) {
+      canonical = row.report_text;
+    } else if (row.report_text != canonical) {
+      std::fprintf(stderr,
+                   "grade-load: report at %d workers differs from the first "
+                   "row — fleet size changed a grade\n",
+                   row.workers);
+      ok = false;
+    }
+  }
+
+  std::puts("");
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("");
+  std::puts("every submission explores K seeded schedules under its own "
+            "bound chaos plan; a deadlock mutant costs exactly one watchdog "
+            "timeout (Hang short-circuits the rest). The canonical report "
+            "is byte-identical across all worker counts.");
+  return ok ? 0 : 1;
+}

@@ -7,20 +7,22 @@
 #                  defaults)
 # 2. bench-smoke — scripts/bench_snapshot: the bench binaries in a
 #                  1-rep/2-round configuration (ctest -L bench-smoke) as a
-#                  crash/hang canary, then four representative probes
+#                  crash/hang canary, then five representative probes
 #                  (mailbox match cost, fork-join overhead, transport ping,
-#                  lab jobs/sec) distilled into BENCH_<n>.json — trend
-#                  data, not a measurement
+#                  lab jobs/sec, grader submissions/sec) distilled into
+#                  BENCH_<n>.json — trend data, not a measurement
 # 3. tsan        — ThreadSanitizer build, concurrency suites (ctest -L tsan),
 #                  which include the smp team poison/abort regression tests,
 #                  the in-process socket-cluster suites (test_net carries the
-#                  tsan label), and the lab server end-to-end suite
-#                  (test_lab_server carries lab-tsan)
+#                  tsan label), the lab server end-to-end suite
+#                  (test_lab_server carries lab-tsan), and the grade-report
+#                  determinism suite (grade-tsan)
 # 4. stress      — chaos seed sweeps at full depth (ctest -L stress with
 #                  PDCLAB_CHAOS_SEEDS: acceptance scenarios x N seeds, the
 #                  patternlet sweep at a quarter depth, the socket chaos
-#                  sweeps — noise/lossy/hostile/targeted-kill — and the lab
-#                  admission/dispatch sweep, which carries lab-stress)
+#                  sweeps — noise/lossy/hostile/targeted-kill — the lab
+#                  admission/dispatch sweep (lab-stress), and the grader
+#                  dispatch sweep (grade-stress))
 # 5. net         — the socket-transport suites (ctest -L net): wire-protocol
 #                  hostile inputs, in-process socket clusters, pdcrun
 #                  end-to-end and the socket golden variant; every socket
@@ -32,6 +34,12 @@
 #                  admission/dispatch hooks at PDCLAB_CHAOS_SEEDS depth, and
 #                  the 1000-session load-replay acceptance run (zero lost
 #                  jobs required)
+# 7. grade       — the autograder suites (ctest -L grade): mutant synthesis,
+#                  verdict classification, the golden verdict suite, the
+#                  byte-identical-report determinism suite, the hostile
+#                  chaos sweep over the grader dispatch path at
+#                  PDCLAB_CHAOS_SEEDS depth (zero hangs, zero lost
+#                  verdicts), and the cohort throughput acceptance run
 #
 # Set PDCLAB_CHAOS_SEEDS before invoking to sweep deeper or shallower.
 
@@ -41,30 +49,35 @@ prefix="${1:-build}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 seeds="${PDCLAB_CHAOS_SEEDS:-80}"
 
-echo "==> [1/6] tier-1: build + full test suite (${prefix})"
+echo "==> [1/7] tier-1: build + full test suite (${prefix})"
 cmake -B "${prefix}" -S . >/dev/null
 cmake --build "${prefix}" -j "${jobs}"
 ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}"
 
-echo "==> [2/6] bench-smoke: bench canaries + BENCH snapshot (${prefix})"
-scripts/bench_snapshot "${prefix}" 6
+echo "==> [2/7] bench-smoke: bench canaries + BENCH snapshot (${prefix})"
+scripts/bench_snapshot "${prefix}" 7
 
-echo "==> [3/6] tsan: ThreadSanitizer build + concurrency suites (${prefix}-tsan)"
+echo "==> [3/7] tsan: ThreadSanitizer build + concurrency suites (${prefix}-tsan)"
 cmake -B "${prefix}-tsan" -S . -DPDCLAB_SANITIZE=thread \
   -DPDCLAB_BUILD_BENCH=OFF -DPDCLAB_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "${prefix}-tsan" -j "${jobs}"
 ctest --test-dir "${prefix}-tsan" --output-on-failure -j "${jobs}" -L tsan
 
-echo "==> [4/6] stress: chaos seed sweeps, PDCLAB_CHAOS_SEEDS=${seeds}"
+echo "==> [4/7] stress: chaos seed sweeps, PDCLAB_CHAOS_SEEDS=${seeds}"
 PDCLAB_CHAOS_SEEDS="${seeds}" \
   ctest --test-dir "${prefix}" --output-on-failure -L stress
 
-echo "==> [5/6] net: socket transport, pdcrun, goldens (${prefix})"
+echo "==> [5/7] net: socket transport, pdcrun, goldens (${prefix})"
 ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}" -L net
 
-echo "==> [6/6] lab: lab server suites + chaos sweep + load acceptance," \
+echo "==> [6/7] lab: lab server suites + chaos sweep + load acceptance," \
      "PDCLAB_CHAOS_SEEDS=${seeds}"
 PDCLAB_CHAOS_SEEDS="${seeds}" \
   ctest --test-dir "${prefix}" --output-on-failure -L lab
 
-echo "==> verify.sh: all six stages passed"
+echo "==> [7/7] grade: autograder suites + golden verdicts + dispatch" \
+     "sweep + throughput acceptance, PDCLAB_CHAOS_SEEDS=${seeds}"
+PDCLAB_CHAOS_SEEDS="${seeds}" \
+  ctest --test-dir "${prefix}" --output-on-failure -L grade
+
+echo "==> verify.sh: all seven stages passed"

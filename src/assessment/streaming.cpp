@@ -1,0 +1,187 @@
+#include "assessment/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace pdc::assessment {
+
+void Welford::add(double value) noexcept {
+  ++n_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Welford::merge(const Welford& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan/Golub/LeVeque pairwise update.
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Welford::mean() const {
+  if (n_ == 0) throw InvalidArgument("mean: empty sample");
+  return mean_;
+}
+
+double Welford::sample_variance() const {
+  if (n_ < 2) {
+    throw InvalidArgument("sample_variance: need at least two values");
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Welford::sample_stddev() const { return std::sqrt(sample_variance()); }
+
+double Welford::min() const {
+  if (n_ == 0) throw InvalidArgument("min: empty sample");
+  return min_;
+}
+
+double Welford::max() const {
+  if (n_ == 0) throw InvalidArgument("max: empty sample");
+  return max_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)) {
+  if (!(lo < hi)) {
+    throw InvalidArgument("Histogram: requires lo < hi");
+  }
+  if (bins < 1) {
+    throw InvalidArgument("Histogram: requires at least one bucket");
+  }
+  counts_.assign(bins, 0);
+}
+
+std::size_t Histogram::bucket_of(double value) const noexcept {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return counts_.size() - 1;
+  auto bin = static_cast<std::size_t>((value - lo_) / width_);
+  return std::min(bin, counts_.size() - 1);
+}
+
+void Histogram::add(double value) noexcept {
+  ++counts_[bucket_of(value)];
+  ++count_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    throw InvalidArgument("Histogram::merge: shape mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+}
+
+std::uint64_t Histogram::bin_count(std::size_t bin) const {
+  if (bin >= counts_.size()) {
+    throw InvalidArgument("Histogram: bucket index out of range");
+  }
+  return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  if (bin >= counts_.size()) {
+    throw InvalidArgument("Histogram: bucket index out of range");
+  }
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::value_at_rank(std::uint64_t rank) const {
+  if (rank >= count_) {
+    throw InvalidArgument("Histogram: rank out of range");
+  }
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (rank < seen) return bin_center(i);
+  }
+  return bin_center(counts_.size() - 1);  // unreachable: counts sum to count_
+}
+
+double Histogram::median() const {
+  if (count_ == 0) throw InvalidArgument("median: empty sample");
+  if (count_ % 2 == 1) return value_at_rank(count_ / 2);
+  return (value_at_rank(count_ / 2 - 1) + value_at_rank(count_ / 2)) / 2.0;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) throw InvalidArgument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) {
+    throw InvalidArgument("quantile: q must be in [0, 1]");
+  }
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1) + 0.5);
+  return value_at_rank(std::min(rank, count_ - 1));
+}
+
+std::string Histogram::to_text() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    out << "[" << lo_ + static_cast<double>(i) * width_ << ", "
+        << lo_ + static_cast<double>(i + 1) * width_ << "): " << counts_[i]
+        << "\n";
+  }
+  return out.str();
+}
+
+Fallible<Description> describe(const std::vector<double>& values) {
+  Fallible<Description> out;
+  try {
+    out.value.n = values.size();
+    out.value.mean = mean(values);
+    out.value.sample_variance = sample_variance(values);
+    out.value.median = median(values);
+    const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+    out.value.min = *lo;
+    out.value.max = *hi;
+  } catch (const Error& error) {
+    out.error = error.what();
+  }
+  return out;
+}
+
+Fallible<PairedTTest> try_paired_t_test(const std::vector<double>& pre,
+                                        const std::vector<double>& post) {
+  Fallible<PairedTTest> out;
+  try {
+    out.value = paired_t_test(pre, post);
+  } catch (const Error& error) {
+    out.error = error.what();
+  }
+  return out;
+}
+
+Fallible<WelchTTest> try_welch_t_test(const std::vector<double>& a,
+                                      const std::vector<double>& b) {
+  Fallible<WelchTTest> out;
+  try {
+    out.value = welch_t_test(a, b);
+  } catch (const Error& error) {
+    out.error = error.what();
+  }
+  return out;
+}
+
+}  // namespace pdc::assessment

@@ -22,6 +22,9 @@ std::atomic<std::uint64_t> g_next_epoch{1};
 
 thread_local int tl_actor = 0;
 
+/// The calling thread's bound plan (BoundScope), shadowing g_active.
+thread_local Plan* tl_bound = nullptr;
+
 /// Per-thread decision counter, reset whenever the active plan changes.
 /// A thread serves one actor at a time, and each actor's operation sequence
 /// is deterministic for deterministic programs, so (actor, counter) names a
@@ -59,7 +62,11 @@ const char* fault_kind_name(FaultKind kind) noexcept {
   return kKindNames[static_cast<std::size_t>(kind)];
 }
 
-Plan::Plan(Config config) : config_(std::move(config)) {}
+Plan::Plan(Config config) : config_(std::move(config)) {
+  // Stamp the epoch at construction so bound-only plans (BoundScope without
+  // activate()) also restart every thread's decision counter on first use.
+  epoch_ = g_next_epoch.fetch_add(1, std::memory_order_relaxed);
+}
 
 Plan::~Plan() { deactivate(); }
 
@@ -71,8 +78,8 @@ void Plan::activate() {
     if (expected == this) return;  // already active: no-op
     throw InvalidArgument("chaos::Plan::activate: another plan is active");
   }
-  // Stamp a fresh epoch so every thread's decision counter restarts for
-  // this plan (threads created before activation included).
+  // Re-stamp so every thread's decision counter restarts for this
+  // activation (threads created before activation included).
   epoch_ = g_next_epoch.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -240,8 +247,32 @@ Config Config::hostile(std::uint64_t seed) {
   return config;
 }
 
+Plan* current() noexcept {
+  if (tl_bound != nullptr) return tl_bound;
+  return g_active.load(std::memory_order_acquire);
+}
+
+Plan* bound() noexcept { return tl_bound; }
+
+BoundScope::BoundScope(Plan& plan) noexcept : previous_(tl_bound) {
+  tl_bound = &plan;
+  bound_ = true;
+}
+
+BoundScope::BoundScope(Plan* plan) noexcept : previous_(tl_bound) {
+  if (plan != nullptr) {
+    tl_bound = plan;
+    bound_ = true;
+  }
+}
+
+BoundScope::~BoundScope() {
+  if (bound_) tl_bound = previous_;
+}
+
 bool enabled() noexcept {
-  return g_active.load(std::memory_order_relaxed) != nullptr;
+  return tl_bound != nullptr ||
+         g_active.load(std::memory_order_relaxed) != nullptr;
 }
 
 int current_actor() noexcept { return tl_actor; }

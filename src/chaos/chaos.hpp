@@ -98,10 +98,18 @@ struct Config {
 
 /// A seeded, deterministic fault-injection plan.
 ///
-/// At most one plan is active process-wide (mirroring trace::TraceSession);
-/// while active, the mp/smp runtimes consult it at their injection points.
-/// With no plan active every hook costs one relaxed atomic load — the same
-/// "compiled to near-zero" budget the trace probes hold to.
+/// At most one plan is *globally* active process-wide (mirroring
+/// trace::TraceSession); while active, the mp/smp runtimes consult it at
+/// their injection points. With no plan active every hook costs one relaxed
+/// atomic load — the same "compiled to near-zero" budget the trace probes
+/// hold to.
+///
+/// A plan may instead be *bound* to a thread (BoundScope): the binding
+/// shadows the global plan for that thread and for every mp rank thread
+/// spawned under it (mp::run re-binds the launcher's plan in each rank).
+/// Bindings are how the pdc::grade worker fleet explores a different seeded
+/// schedule on every worker concurrently — something a single process-wide
+/// plan cannot express.
 ///
 /// Determinism: each decision is drawn from SplitMix64 seeded with
 /// (seed, site hash, actor, actor-local counter), never from a shared
@@ -124,7 +132,8 @@ class Plan {
   /// Deactivate (idempotent). Faults recorded so far remain readable.
   void deactivate();
 
-  /// The active plan, or nullptr when chaos is off.
+  /// The globally active plan, or nullptr when no plan was activate()d.
+  /// Thread bindings are not consulted — use current() for decisions.
   static Plan* active() noexcept;
 
   [[nodiscard]] const Config& config() const noexcept { return config_; }
@@ -196,7 +205,37 @@ class Scope {
   Plan plan_;
 };
 
-/// True iff a plan is active. One relaxed atomic load.
+/// The plan the calling thread's decisions go to: its bound plan when a
+/// BoundScope is open (directly or inherited from the launching thread by
+/// mp::run), the globally active plan otherwise, nullptr when chaos is off
+/// for this thread. One thread-local read plus one relaxed atomic load.
+[[nodiscard]] Plan* current() noexcept;
+
+/// The calling thread's bound plan, or nullptr when none is bound. Used by
+/// mp::run to capture the launcher's binding for its rank threads.
+[[nodiscard]] Plan* bound() noexcept;
+
+/// RAII: bind `plan` to the calling thread, shadowing the global plan for
+/// the scope's lifetime. Unlike activate(), any number of threads may each
+/// bind their own plan concurrently — the pdc::grade fleet runs one seeded
+/// schedule exploration per worker this way. The null-pointer form is a
+/// no-op binding, so propagating "whatever the launcher had" (possibly
+/// nothing) is one unconditional line.
+class BoundScope {
+ public:
+  explicit BoundScope(Plan& plan) noexcept;
+  explicit BoundScope(Plan* plan) noexcept;  ///< nullptr → no-op
+  ~BoundScope();
+
+  BoundScope(const BoundScope&) = delete;
+  BoundScope& operator=(const BoundScope&) = delete;
+
+ private:
+  Plan* previous_;
+  bool bound_ = false;
+};
+
+/// True iff the calling thread has a plan (bound or global).
 [[nodiscard]] bool enabled() noexcept;
 
 // ---- actor identity ------------------------------------------------------
@@ -236,18 +275,18 @@ class ActorScope {
 /// ahead of other senders' traffic (the caller enforces the non-overtaking
 /// contract — see Mailbox::deliver).
 [[nodiscard]] inline bool on_deliver(const char* site) {
-  if (Plan* plan = Plan::active()) return plan->perturb_delivery(site);
+  if (Plan* plan = current()) return plan->perturb_delivery(site);
   return false;
 }
 
 /// Communicator operation hook; may throw InjectedAbort.
 inline void on_op(const char* site) {
-  if (Plan* plan = Plan::active()) plan->checkpoint(site);
+  if (Plan* plan = current()) plan->checkpoint(site);
 }
 
 /// smp scheduling hook (pool dispatch, barrier arrival, task spawn).
 inline void on_schedule_point(const char* site) {
-  if (Plan* plan = Plan::active()) plan->perturb_schedule(site);
+  if (Plan* plan = current()) plan->perturb_schedule(site);
 }
 
 }  // namespace pdc::chaos

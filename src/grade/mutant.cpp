@@ -1,0 +1,207 @@
+#include "grade/mutant.hpp"
+
+#include <string_view>
+
+#include "chaos/chaos.hpp"
+#include "support/rng.hpp"
+
+namespace pdc::grade {
+namespace {
+
+/// Tag the epilogue reports travel on (well below kMaxUserTag).
+constexpr int kReportTag = 71;
+/// Tag the deadlock mutant waits on; no rank ever sends it.
+constexpr int kOrphanTag = 72;
+/// Tag of rank 0's "body drained, report now" release token.
+constexpr int kDrainTag = 73;
+
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// The schedule oracle: a deterministic draw keyed by (bound chaos seed,
+/// base, salt, stream). Under the grader every schedule exploration binds a
+/// chaos::Plan whose seed identifies the schedule, so the oracle gives each
+/// explored schedule its own — but reproducible — outcome for the mutant's
+/// race. With no plan bound (the reference run) the draw is the seed-0
+/// stream.
+std::uint64_t oracle_draw(const MutantSpec& spec,
+                          std::uint64_t stream) noexcept {
+  std::uint64_t seed = 0;
+  if (const chaos::Plan* plan = chaos::current()) seed = plan->config().seed;
+  SplitMix64 mix(fnv1a(spec.base) ^
+                 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(spec.salt) + 1) ^
+                 0xBF58476D1CE4E5B9ULL * (seed + 1) ^
+                 0x94D049BB133111EBULL * (stream + 1));
+  return mix.next();
+}
+
+/// The grading epilogue every synthesized submission ends with: ranks
+/// r > 0 report a payload to rank 0, rank 0 prints the summary line the
+/// grader diffs against reference_final_line(). The mutation kind decides
+/// where the planted bug bites.
+void epilogue(mp::Communicator& comm, const MutantSpec& spec) {
+  const int np = comm.size();
+  const int rank = comm.rank();
+
+  if (spec.kind == MutationKind::Crash &&
+      rank == static_cast<int>(spec.salt % static_cast<std::uint32_t>(np))) {
+    throw Error("mutant: planted crash in " + spec.id());
+  }
+
+  if (rank == 0) {
+    if (spec.kind == MutationKind::Deadlock) {
+      // The planted deadlock: wait for a message no rank ever sends. Only
+      // the watchdog (mp::RunConfig::watchdog_ms) gets the job out. The
+      // reporters are still parked in their release-token receive, so the
+      // whole job wedges — exactly what a student's orphan receive does.
+      (void)comm.recv<int>(mp::kAnySource, kOrphanTag);
+    }
+    // Release the reporters only now that rank 0's own body is complete
+    // (every body message consumed). A base whose rank 0 receives from
+    // kAnySource/kAnyTag (the any-source patternlet) could otherwise
+    // swallow a fast peer's report in its body loop and wedge the
+    // rank-ordered collection below. The token cannot be stolen in the
+    // other direction: per-source FIFO delivery means a worker's body
+    // receives drain rank 0's body traffic before they can see it.
+    for (int r = 1; r < np; ++r) comm.send(0, r, kDrainTag);
+    long long sum = 0;
+    int last = 0;
+    for (int source = 1; source < np; ++source) {
+      const int value = comm.recv<int>(source, kReportTag);
+      sum += value;
+      last = value;
+    }
+    if (spec.kind == MutationKind::Race) {
+      // The racy student kept whichever report "arrived last". The winner
+      // is drawn from the schedule oracle rather than the host scheduler,
+      // so each explored seed deterministically picks a winner.
+      last = 1 + static_cast<int>(oracle_draw(spec, 0) %
+                                  static_cast<std::uint64_t>(np - 1));
+    }
+    comm.print("final: last=" + std::to_string(last) +
+               " sum=" + std::to_string(sum));
+  } else {
+    (void)comm.recv<int>(0, kDrainTag);  // wait for rank 0's release
+    int payload = rank;
+    switch (spec.kind) {
+      case MutationKind::Wrong:
+        // Deterministically wrong on every schedule (the control mutant).
+        if (rank == 1) payload += 1 + static_cast<int>(spec.salt % 7);
+        break;
+      case MutationKind::Order:
+        // Stale read: on a quarter of schedules (per rank, oracle-drawn)
+        // this rank reports the value from before its last update.
+        if (oracle_draw(spec, static_cast<std::uint64_t>(rank)) % 4 == 0) {
+          payload = rank - 1;
+        }
+        break;
+      default:
+        break;
+    }
+    comm.send(payload, 0, kReportTag);
+  }
+}
+
+}  // namespace
+
+const char* mutation_kind_name(MutationKind kind) noexcept {
+  switch (kind) {
+    case MutationKind::Clean:
+      return "clean";
+    case MutationKind::Wrong:
+      return "wrong";
+    case MutationKind::Race:
+      return "race";
+    case MutationKind::Order:
+      return "order";
+    case MutationKind::Deadlock:
+      return "deadlock";
+    case MutationKind::Crash:
+      return "crash";
+  }
+  return "unknown";
+}
+
+MutationKind parse_mutation_kind(const std::string& name) {
+  for (int i = 0; i <= static_cast<int>(MutationKind::Crash); ++i) {
+    const auto kind = static_cast<MutationKind>(i);
+    if (name == mutation_kind_name(kind)) return kind;
+  }
+  throw InvalidArgument("parse_mutation_kind: unknown kind '" + name + "'");
+}
+
+std::string MutantSpec::id() const {
+  return base + "~" + mutation_kind_name(kind) + "#" + std::to_string(salt) +
+         "@np" + std::to_string(np);
+}
+
+MutantSpec MutantSpec::parse(const std::string& id) {
+  const auto bad = [&](const std::string& why) {
+    return InvalidArgument("MutantSpec: malformed id '" + id + "': " + why);
+  };
+  const std::size_t tilde = id.find('~');
+  const std::size_t hash = id.find('#', tilde == std::string::npos ? 0 : tilde);
+  const std::size_t at = id.find("@np", hash == std::string::npos ? 0 : hash);
+  if (tilde == std::string::npos || hash == std::string::npos ||
+      at == std::string::npos || tilde == 0) {
+    throw bad("expected <base>~<kind>#<salt>@np<ranks>");
+  }
+  MutantSpec spec;
+  spec.base = id.substr(0, tilde);
+  spec.kind = parse_mutation_kind(id.substr(tilde + 1, hash - tilde - 1));
+  try {
+    spec.salt = static_cast<std::uint32_t>(
+        std::stoul(id.substr(hash + 1, at - hash - 1)));
+    spec.np = std::stoi(id.substr(at + 3));
+  } catch (const std::exception&) {
+    throw bad("salt and np must be numbers");
+  }
+  if (spec.np < 2) throw bad("np must be >= 2");
+  return spec;
+}
+
+patternlets::MpProgram synthesize(const MutantSpec& spec) {
+  if (spec.np < 2) {
+    throw InvalidArgument("synthesize: " + spec.id() +
+                          ": a gradeable submission needs np >= 2");
+  }
+  // Throws pdc::NotFound for an unknown base — the grader surfaces that as
+  // a Skipped verdict rather than aborting the cohort.
+  patternlets::MpProgram base = patternlets::mpi_program(spec.base);
+  return [base = std::move(base), spec](mp::Communicator& comm) {
+    base(comm);
+    epilogue(comm, spec);
+  };
+}
+
+std::string reference_final_line(int np) {
+  return "final: last=" + std::to_string(np - 1) +
+         " sum=" + std::to_string(static_cast<long long>(np) * (np - 1) / 2);
+}
+
+std::vector<MutantSpec> synthesize_corpus(int per_cell, int np,
+                                          std::uint32_t salt_base) {
+  if (per_cell < 1) {
+    throw InvalidArgument("synthesize_corpus: per_cell must be >= 1");
+  }
+  if (np < 2) throw InvalidArgument("synthesize_corpus: np must be >= 2");
+  std::vector<MutantSpec> corpus;
+  for (const std::string& base : patternlets::mpi_program_names()) {
+    for (int k = 0; k <= static_cast<int>(MutationKind::Crash); ++k) {
+      for (int s = 0; s < per_cell; ++s) {
+        corpus.push_back(MutantSpec{base, static_cast<MutationKind>(k),
+                                    salt_base + static_cast<std::uint32_t>(s),
+                                    np});
+      }
+    }
+  }
+  return corpus;
+}
+
+}  // namespace pdc::grade

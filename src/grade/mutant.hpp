@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "patternlets/mpi_programs.hpp"
+#include "support/error.hpp"
+
+namespace pdc::grade {
+
+/// The classes of seeded bugs the mutator can plant in a patternlet.
+///
+/// Clean is the unmutated control — its transcript is the grading
+/// reference. The faulty kinds model the concurrency mistakes the paper's
+/// students actually make: a message race (whoever arrives last wins), a
+/// stale read reordered across a communication (order), a receive nobody
+/// matches (deadlock), an outright exception (crash), and a plain
+/// deterministic wrong answer (wrong) as the non-concurrent control.
+enum class MutationKind : std::uint8_t {
+  Clean = 0,
+  Wrong = 1,
+  Race = 2,
+  Order = 3,
+  Deadlock = 4,
+  Crash = 5,
+};
+
+/// Lowercase kind name ("clean", "race", ...), as used in mutant ids.
+const char* mutation_kind_name(MutationKind kind) noexcept;
+
+/// Inverse of mutation_kind_name. Throws pdc::InvalidArgument.
+MutationKind parse_mutation_kind(const std::string& name);
+
+/// One synthesized student submission: a base patternlet plus a seeded
+/// mutation. `salt` differentiates "students" who made the same class of
+/// mistake — it perturbs the mutation's deterministic outcome stream, not
+/// the class of bug.
+struct MutantSpec {
+  std::string base;  ///< patternlet program name ("spmd", "ring", ...)
+  MutationKind kind = MutationKind::Clean;
+  std::uint32_t salt = 0;
+  int np = 4;  ///< ranks the submission runs on (>= 2)
+
+  /// Canonical id, e.g. "spmd~race#3@np4". Round-trips through parse().
+  [[nodiscard]] std::string id() const;
+
+  /// Parse an id produced by id(). Throws pdc::InvalidArgument on malformed
+  /// input (wrong shape, unknown kind, np < 2).
+  static MutantSpec parse(const std::string& id);
+
+  bool operator==(const MutantSpec&) const = default;
+};
+
+/// Build the runnable rank program for `spec`: the base patternlet body
+/// followed by a grading epilogue in which every rank r > 0 reports a
+/// payload to rank 0 and rank 0 prints one "final: last=<L> sum=<S>" line.
+/// The mutation rewrites the epilogue (who sends what, who waits on whom).
+///
+/// Determinism contract: a mutant's schedule-dependent outcomes (which
+/// sender "wins" a race, which rank reads a stale value) are drawn from a
+/// deterministic oracle keyed by (bound chaos seed, base, salt) — the same
+/// schedule the chaos plan explores also decides the mutant's behaviour, so
+/// a grade is a pure function of (spec, seed) and grade reports are
+/// byte-identical across runs and worker counts. The injected *chaos* noise
+/// (delays, reorders, yields) is still real; the oracle only replaces the
+/// hardware race by a seeded one. See DESIGN.md §9.
+///
+/// Throws pdc::NotFound for an unknown base, pdc::InvalidArgument for
+/// np < 2.
+patternlets::MpProgram synthesize(const MutantSpec& spec);
+
+/// The reference transcript lines rank 0's epilogue must produce for a
+/// correct np-rank run: "final: last=<np-1> sum=<np*(np-1)/2>".
+std::string reference_final_line(int np);
+
+/// Synthesize a grading corpus: every patternlet base crossed with every
+/// mutation kind, `per_cell` salts each, all at `np` ranks. A class of ~30
+/// students per assignment is `per_cell = 2` over the 15 bases; scale
+/// `per_cell` up for cohort-size stress runs.
+std::vector<MutantSpec> synthesize_corpus(int per_cell, int np,
+                                          std::uint32_t salt_base = 0);
+
+}  // namespace pdc::grade

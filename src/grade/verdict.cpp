@@ -1,0 +1,31 @@
+#include "grade/verdict.hpp"
+
+namespace pdc::grade {
+
+const char* verdict_name(Verdict verdict) noexcept {
+  switch (verdict) {
+    case Verdict::Pass:
+      return "pass";
+    case Verdict::Flaky:
+      return "flaky";
+    case Verdict::Wrong:
+      return "wrong";
+    case Verdict::Hang:
+      return "hang";
+    case Verdict::Crash:
+      return "crash";
+    case Verdict::Skipped:
+      return "skipped";
+  }
+  return "unknown";
+}
+
+Verdict parse_verdict(const std::string& name) {
+  for (std::size_t i = 0; i < kVerdictCount; ++i) {
+    const auto verdict = static_cast<Verdict>(i);
+    if (name == verdict_name(verdict)) return verdict;
+  }
+  throw InvalidArgument("parse_verdict: unknown verdict '" + name + "'");
+}
+
+}  // namespace pdc::grade

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace pdc::grade {
+
+/// Outcome of grading one submission across every explored schedule.
+///
+/// The ordering encodes severity precedence: when schedules disagree about
+/// *how* a submission fails, the grader reports the most severe observed
+/// outcome — a submission that hangs on one schedule and merely prints the
+/// wrong answer on another is a Hang, not a Wrong.
+enum class Verdict : std::uint8_t {
+  Pass = 0,   ///< matched the reference on every explored schedule
+  Flaky = 1,  ///< matched on some schedules but not others (a race!)
+  Wrong = 2,  ///< completed but never matched the reference
+  Hang = 3,   ///< at least one schedule exceeded the watchdog (deadlock)
+  Crash = 4,  ///< at least one schedule threw out of the job
+  Skipped = 5,  ///< could not be graded (synthesis, reference or stats
+                ///< precondition failure); never silently dropped
+};
+
+/// Number of verdict values (size of per-verdict count arrays).
+inline constexpr std::size_t kVerdictCount = 6;
+
+/// Lowercase verdict name ("pass", "flaky", ...), stable — it appears in
+/// the canonical grade report and the golden verdict suite.
+const char* verdict_name(Verdict verdict) noexcept;
+
+/// Inverse of verdict_name. Throws pdc::InvalidArgument on unknown names.
+Verdict parse_verdict(const std::string& name);
+
+}  // namespace pdc::grade

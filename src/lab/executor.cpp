@@ -2,10 +2,12 @@
 
 #include <chrono>
 #include <functional>
+#include <sstream>
 #include <string>
 
 #include "exemplars/drugdesign.hpp"
 #include "exemplars/montecarlo.hpp"
+#include "grade/grader.hpp"
 #include "mp/runtime.hpp"
 #include "net/harness.hpp"
 #include "notebook/engine.hpp"
@@ -76,9 +78,62 @@ std::function<void(mp::Communicator&)> rank_program(const Submit& submit) {
     case JobKind::Exemplar:
       return exemplar_program(submit);
     case JobKind::Notebook:
+    case JobKind::Grade:
       break;
   }
   throw InvalidArgument("lab: job kind has no rank program");
+}
+
+/// Parses a value in [lo, hi] out of a grade option token.
+int grade_option_value(const std::string& key, const std::string& text,
+                       int lo, int hi) {
+  int value = 0;
+  std::size_t used = 0;
+  try {
+    value = std::stoi(text, &used);
+  } catch (const std::exception&) {
+    used = text.size() + 1;  // force the malformed path below
+  }
+  if (used != text.size() || text.empty()) {
+    throw InvalidArgument("lab: grade option " + key + "='" + text +
+                          "' is not an integer");
+  }
+  if (value < lo || value > hi) {
+    throw InvalidArgument("lab: grade option " + key + "=" +
+                          std::to_string(value) + " out of range [" +
+                          std::to_string(lo) + ", " + std::to_string(hi) +
+                          "]");
+  }
+  return value;
+}
+
+/// A grade Submit's options ride in `source` as whitespace-separated
+/// "key=value" tokens: "k=N" (schedules explored) and "watchdog_ms=N".
+/// `seed` is the schedule seed base (0 keeps the grader default). Throws
+/// pdc::InvalidArgument on an unknown key or out-of-range value — at
+/// admission time, so a bad request is a BadRequest, not a failed job.
+grade::GraderConfig grade_config(const Submit& submit) {
+  grade::GraderConfig cfg;
+  cfg.workers = 1;  // one submission per job; the fleet is the lab's workers
+  cfg.watchdog_ms = 1000;
+  if (submit.seed != 0) cfg.seed_base = submit.seed;
+  std::istringstream in(submit.source);
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    const std::string key = token.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : token.substr(eq + 1);
+    if (key == "k") {
+      cfg.seeds = grade_option_value(key, value, 2, 64);
+    } else if (key == "watchdog_ms") {
+      cfg.watchdog_ms = grade_option_value(key, value, 1, 10000);
+    } else {
+      throw InvalidArgument("lab: unknown grade option '" + key +
+                            "' (known: k, watchdog_ms)");
+    }
+  }
+  return cfg;
 }
 
 }  // namespace
@@ -88,6 +143,21 @@ void Executor::validate(const Submit& submit) const {
     if (submit.source.empty()) {
       throw InvalidArgument("lab: notebook submit carries no source");
     }
+    return;
+  }
+  if (submit.kind == JobKind::Grade) {
+    // `name` is a MutantSpec id; its embedded @npN is the world size (the
+    // Submit::np field is ignored for grade jobs, like source is for
+    // patternlets). Malformed spec / unknown base / bad option all reject
+    // here so students see a BadRequest, not a burned queue slot.
+    const grade::MutantSpec spec = grade::MutantSpec::parse(submit.name);
+    if (spec.np > config_.max_np) {
+      throw InvalidArgument("lab: grade np " + std::to_string(spec.np) +
+                            " out of range [2, " +
+                            std::to_string(config_.max_np) + "]");
+    }
+    (void)patternlets::mpi_program(spec.base);  // throws NotFound
+    (void)grade_config(submit);
     return;
   }
   if (submit.np < 1 || submit.np > config_.max_np) {
@@ -110,6 +180,17 @@ Result Executor::execute(const Submit& submit) const {
       notebook::ExecutionEngine engine(
           notebook::ProgramRegistry::mpi4py_standard());
       result.output = engine.execute_source(submit.source);
+    } else if (submit.kind == JobKind::Grade) {
+      // Grade the mutant inline regardless of ExecMode: the grader owns its
+      // schedule exploration (bound chaos plans over mp::run), and its
+      // canonical line is deterministic — exactly what the result cache
+      // wants to share across a class re-running the same submission.
+      const grade::MutantSpec spec = grade::MutantSpec::parse(submit.name);
+      const grade::Grade graded = grade::grade_one(spec, grade_config(submit));
+      result.output.push_back(graded.to_line());
+      if (!graded.detail.empty()) {
+        result.output.push_back("detail: " + graded.detail);
+      }
     } else if (config_.mode == ExecMode::Inline) {
       result.output = mp::run(submit.np, rank_program(submit)).output;
     } else {

@@ -13,6 +13,7 @@ const char* job_kind_name(JobKind kind) noexcept {
     case JobKind::Patternlet: return "patternlet";
     case JobKind::Exemplar: return "exemplar";
     case JobKind::Notebook: return "notebook";
+    case JobKind::Grade: return "grade";
   }
   return "?";
 }
@@ -40,7 +41,7 @@ mp::Bytes frame(FrameKind kind, const mp::Bytes& body) {
 
 JobKind decode_job_kind(std::uint16_t raw) {
   if (raw < static_cast<std::uint16_t>(JobKind::Patternlet) ||
-      raw > static_cast<std::uint16_t>(JobKind::Notebook)) {
+      raw > static_cast<std::uint16_t>(JobKind::Grade)) {
     throw ProtocolError("lab: unknown job kind " + std::to_string(raw));
   }
   return static_cast<JobKind>(raw);

@@ -46,6 +46,9 @@ enum class JobKind : std::uint16_t {
   Patternlet = 1,  ///< a named mpi patternlet rank program (`name`, `np`)
   Exemplar = 2,    ///< a named exemplar kernel; `seed` feeds its RNG
   Notebook = 3,    ///< notebook cell source executed by the mpi4py engine
+  Grade = 4,       ///< autograde one mutant: `name` is a MutantSpec id
+                   ///< ("spmd~race#0@np4"), `seed` the schedule seed base,
+                   ///< `source` optional "k=N watchdog_ms=N" options
 };
 
 const char* job_kind_name(JobKind kind) noexcept;

@@ -285,15 +285,22 @@ void Server::admit(const std::shared_ptr<Session>& session, Submit submit) {
   job.deliver = [this, session, job_id, digest](const Result& result) {
     finish_job(session, job_id, digest, result);
   };
+  // Record Queued before the push: once the job is in the queue a worker can
+  // pop it and write Running/Done, and a late Queued write here would stomp
+  // the terminal state a client has already been told about.
+  set_job_state(job_id, JobState::Queued);
   const auto position = queue_.push(std::move(job));
   if (!position) {
+    {
+      std::lock_guard lock(jobs_mutex_);
+      job_states_.erase(job_id);
+    }
     const bool shutting_down = !running_.load(std::memory_order_acquire);
     return reject(session,
                   shutting_down ? RejectCode::Shutdown : RejectCode::QuotaFull,
                   shutting_down ? "lab server shutting down"
                                 : "tenant queue quota exhausted");
   }
-  set_job_state(job_id, JobState::Queued);
   stats_.accepted.fetch_add(1, std::memory_order_relaxed);
   trace::Counter("lab.queue_depth").add(1.0);
   protocol::Accept accept;

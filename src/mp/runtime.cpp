@@ -1,5 +1,7 @@
 #include "mp/runtime.hpp"
 
+#include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -29,7 +31,13 @@ RunResult run(const RunConfig& cfg,
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
+  // The launcher's thread-bound chaos plan (if any) is re-bound inside
+  // every rank thread, so a pdc::grade worker's seeded schedule follows the
+  // job it launches instead of silently falling back to the global plan.
+  chaos::Plan* const bound_plan = chaos::bound();
+
   const auto run_rank = [&](int rank) {
+    chaos::BoundScope bound(bound_plan);
     // Route this rank's trace events to its own pid lane, and record its
     // whole lifetime as one span so chrome://tracing shows when each rank
     // started and finished. The chaos lane makes an active fault plan's
@@ -50,12 +58,49 @@ RunResult run(const RunConfig& cfg,
     }
   };
 
+  // Watchdog: if the ranks have not all finished inside the budget, claim
+  // the first-error slot (root cause over the collateral mp::Aborted the
+  // woken ranks see) and abort the universe. Joined before returning, so
+  // no thread outlives the job.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  std::thread watchdog;
+  if (cfg.watchdog_ms > 0) {
+    watchdog = std::thread([&] {
+      std::unique_lock lock(done_mutex);
+      if (done_cv.wait_for(lock, std::chrono::milliseconds(cfg.watchdog_ms),
+                           [&] { return done; })) {
+        return;
+      }
+      {
+        std::lock_guard elock(error_mutex);
+        if (!first_error) {
+          first_error = std::make_exception_ptr(TimedOut(
+              "mp: job exceeded its watchdog of " +
+              std::to_string(cfg.watchdog_ms) + " ms (deadlock or hang)"));
+        }
+      }
+      trace::instant("mp.watchdog", "mp.runtime");
+      universe.abort();
+    });
+  }
+
   std::vector<std::thread> ranks;
   ranks.reserve(static_cast<std::size_t>(cfg.num_procs));
   for (int r = 0; r < cfg.num_procs; ++r) {
     ranks.emplace_back(run_rank, r);
   }
   for (auto& t : ranks) t.join();
+
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard lock(done_mutex);
+      done = true;
+    }
+    done_cv.notify_all();
+    watchdog.join();
+  }
 
   if (first_error) std::rethrow_exception(first_error);
   return RunResult{universe.log()};

@@ -8,11 +8,28 @@
 
 namespace pdc::mp {
 
+/// Thrown by mp::run when a job exceeds its watchdog budget: the runtime
+/// aborts the universe (waking every rank blocked in a receive, barrier or
+/// collective with mp::Aborted), joins the ranks, and rethrows this — so a
+/// deadlocked program costs `watchdog_ms`, not forever. The pdc::grade
+/// autograder classifies this outcome as a Hang verdict. A rank spinning in
+/// a CPU-bound livelock (never touching the runtime) is outside the
+/// watchdog's reach.
+class TimedOut : public Error {
+ public:
+  explicit TimedOut(const std::string& what) : Error(what) {}
+};
+
 /// Configuration for one message-passing job (the moral equivalent of an
 /// `mpirun` command line).
 struct RunConfig {
   /// Number of ranks (processes) to launch. Must be >= 1.
   int num_procs = 4;
+
+  /// Wall-clock budget for the whole job in milliseconds; 0 disables the
+  /// watchdog (the default — interactive runs hang where a student can see
+  /// them). When exceeded, the universe is aborted and TimedOut is thrown.
+  int watchdog_ms = 0;
 
   /// Hostnames, one per rank. Leave empty to place every rank on a single
   /// default host — exactly the situation in the paper's Fig. 2, where all

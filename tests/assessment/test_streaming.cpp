@@ -1,0 +1,264 @@
+// Property tests for the streaming/merge-able stats (assessment/streaming):
+// any partition of a sample into shards — random split points, shuffled
+// merge order, single-element and empty shards — must agree with the batch
+// mean / sample_variance / median to 1e-9. These accumulators feed the
+// pdc::grade cohort pipeline, where 10^6 verdicts are folded through
+// per-worker shards and merged at join time; a partition-dependent result
+// there would make grade reports irreproducible.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "assessment/stats.hpp"
+#include "assessment/streaming.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace pdc::assessment {
+namespace {
+
+constexpr double kTolerance = 1e-9;
+
+/// Split `values` into `shards` contiguous pieces at random cut points
+/// (empty pieces allowed), fold each into its own accumulator, and merge in
+/// a shuffled order.
+template <typename Accumulator, typename Make>
+Accumulator sharded(const std::vector<double>& values, int shards,
+                    Rng& rng, const Make& make) {
+  std::vector<std::size_t> cuts;
+  for (int i = 0; i < shards - 1; ++i) {
+    cuts.push_back(static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(values.size()))));
+  }
+  cuts.push_back(0);
+  cuts.push_back(values.size());
+  std::sort(cuts.begin(), cuts.end());
+
+  std::vector<Accumulator> accumulators;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    Accumulator acc = make();
+    for (std::size_t j = cuts[i]; j < cuts[i + 1]; ++j) acc.add(values[j]);
+    accumulators.push_back(acc);
+  }
+
+  // Merge in a shuffled order (Fisher-Yates on indices).
+  std::vector<std::size_t> order(accumulators.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[static_cast<std::size_t>(rng.uniform_int(
+                  0, static_cast<std::int64_t>(i) - 1))]);
+  }
+  Accumulator merged = make();
+  for (std::size_t index : order) merged.merge(accumulators[index]);
+  return merged;
+}
+
+std::vector<double> random_sample(Rng& rng, std::size_t n, double lo,
+                                  double hi) {
+  std::vector<double> values(n);
+  for (double& v : values) v = rng.uniform(lo, hi);
+  return values;
+}
+
+TEST(Welford, MatchesBatchMeanAndVarianceAcrossRandomShards) {
+  Rng rng(20260808);
+  for (int round = 0; round < 50; ++round) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(2, 400));
+    const std::vector<double> values = random_sample(rng, n, -1e3, 1e3);
+    const int shards = static_cast<int>(rng.uniform_int(1, 16));
+    const Welford merged =
+        sharded<Welford>(values, shards, rng, [] { return Welford(); });
+
+    ASSERT_EQ(merged.count(), values.size());
+    EXPECT_NEAR(merged.mean(), mean(values), kTolerance);
+    EXPECT_NEAR(merged.sample_variance(), sample_variance(values),
+                kTolerance * std::max(1.0, sample_variance(values)));
+    EXPECT_EQ(merged.min(), *std::min_element(values.begin(), values.end()));
+    EXPECT_EQ(merged.max(), *std::max_element(values.begin(), values.end()));
+  }
+}
+
+TEST(Welford, SingleElementShardsMatchBatch) {
+  Rng rng(7);
+  const std::vector<double> values = random_sample(rng, 257, 0.0, 50.0);
+  Welford merged;
+  for (double v : values) {
+    Welford single;
+    single.add(v);
+    merged.merge(single);
+  }
+  EXPECT_NEAR(merged.mean(), mean(values), kTolerance);
+  EXPECT_NEAR(merged.sample_variance(), sample_variance(values), kTolerance);
+}
+
+TEST(Welford, EmptyAndOneSidedMerges) {
+  Welford empty_a;
+  Welford empty_b;
+  empty_a.merge(empty_b);  // identity ∘ identity
+  EXPECT_EQ(empty_a.count(), 0u);
+  EXPECT_THROW((void)empty_a.mean(), InvalidArgument);
+
+  Welford loaded;
+  loaded.add(3.0);
+  loaded.add(5.0);
+
+  Welford left = loaded;
+  left.merge(empty_a);  // identity on the right
+  EXPECT_EQ(left.count(), 2u);
+  EXPECT_NEAR(left.mean(), 4.0, kTolerance);
+  EXPECT_NEAR(left.sample_variance(), 2.0, kTolerance);
+
+  Welford right;
+  right.merge(loaded);  // identity on the left
+  EXPECT_EQ(right.count(), 2u);
+  EXPECT_NEAR(right.mean(), 4.0, kTolerance);
+  EXPECT_NEAR(right.sample_variance(), 2.0, kTolerance);
+}
+
+TEST(Welford, PreconditionsMatchBatchApi) {
+  Welford acc;
+  EXPECT_THROW((void)acc.mean(), InvalidArgument);
+  EXPECT_THROW((void)acc.min(), InvalidArgument);
+  acc.add(1.0);
+  EXPECT_THROW((void)acc.sample_variance(), InvalidArgument);
+  EXPECT_NEAR(acc.mean(), 1.0, kTolerance);
+}
+
+/// Data aligned to bucket centers, where histogram rank queries are exact.
+std::vector<double> center_aligned_sample(Rng& rng, const Histogram& shape,
+                                          std::size_t n) {
+  std::vector<double> values(n);
+  for (double& v : values) {
+    v = shape.bin_center(static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(shape.bins()) - 1)));
+  }
+  return values;
+}
+
+TEST(Histogram, MergedMedianMatchesBatchOnCenterAlignedData) {
+  Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    Histogram shape(0.0, 64.0, 64);
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 500));
+    const std::vector<double> values = center_aligned_sample(rng, shape, n);
+    const int shards = static_cast<int>(rng.uniform_int(1, 16));
+    const Histogram merged = sharded<Histogram>(
+        values, shards, rng, [&] { return Histogram(0.0, 64.0, 64); });
+
+    ASSERT_EQ(merged.count(), values.size());
+    EXPECT_NEAR(merged.median(), median(values), kTolerance);
+  }
+}
+
+TEST(Histogram, MergeIsExactlyShardOrderIndependent) {
+  Rng rng(123);
+  Histogram sequential(0.0, 10.0, 20);
+  const std::vector<double> values = random_sample(rng, 1000, -2.0, 12.0);
+  for (double v : values) sequential.add(v);
+
+  for (int shards : {1, 3, 7, 16}) {
+    const Histogram merged = sharded<Histogram>(
+        values, shards, rng, [] { return Histogram(0.0, 10.0, 20); });
+    ASSERT_EQ(merged.count(), sequential.count());
+    for (std::size_t bin = 0; bin < sequential.bins(); ++bin) {
+      EXPECT_EQ(merged.bin_count(bin), sequential.bin_count(bin))
+          << "bucket " << bin << " diverged at " << shards << " shards";
+    }
+    EXPECT_EQ(merged.median(), sequential.median());
+  }
+}
+
+TEST(Histogram, SingleElementAndEmptyShards) {
+  Histogram merged(0.0, 8.0, 8);
+  const std::vector<double> values = {0.5, 2.5, 2.5, 7.5};
+  for (double v : values) {
+    Histogram single(0.0, 8.0, 8);
+    single.add(v);
+    merged.merge(single);
+    merged.merge(Histogram(0.0, 8.0, 8));  // empty shard: identity
+  }
+  EXPECT_EQ(merged.count(), 4u);
+  EXPECT_NEAR(merged.median(), median({0.5, 2.5, 2.5, 7.5}), kTolerance);
+}
+
+TEST(Histogram, ClampsOutOfRangeIntoEdgeBuckets) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(15.0);
+  h.add(10.0);  // hi is exclusive: lands in the last bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+}
+
+TEST(Histogram, ShapeMismatchThrows) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 20);
+  Histogram c(0.0, 5.0, 10);
+  EXPECT_THROW(a.merge(b), InvalidArgument);
+  EXPECT_THROW(a.merge(c), InvalidArgument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InvalidArgument);
+}
+
+TEST(Histogram, QuantilesOnKnownDistribution) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.5, kTolerance);
+  EXPECT_NEAR(h.quantile(1.0), 99.5, kTolerance);
+  EXPECT_NEAR(h.quantile(0.5), 50.5, kTolerance);
+  EXPECT_NEAR(h.median(), 49.5 + 0.5, kTolerance);
+}
+
+// ---- non-throwing wrappers ----------------------------------------------
+
+TEST(Fallible, DescribeSurfacesEachPrecondition) {
+  const auto empty = describe({});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_NE(empty.error.find("empty sample"), std::string::npos);
+
+  const auto one = describe({4.0});
+  ASSERT_FALSE(one.ok());
+  EXPECT_NE(one.error.find("at least two values"), std::string::npos);
+
+  const auto good = describe({1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(good.ok());
+  EXPECT_NEAR(good.value.mean, 2.5, kTolerance);
+  EXPECT_NEAR(good.value.median, 2.5, kTolerance);
+  EXPECT_NEAR(good.value.min, 1.0, kTolerance);
+  EXPECT_NEAR(good.value.max, 4.0, kTolerance);
+}
+
+TEST(Fallible, PairedTSurfacesZeroDifferenceVariance) {
+  // Identical improvement everywhere: the difference variance is zero, the
+  // throwing API raises, the fallible one reports the reason per item.
+  const std::vector<double> pre = {1.0, 2.0, 3.0};
+  const std::vector<double> post = {2.0, 3.0, 4.0};
+  const auto result = try_paired_t_test(pre, post);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("zero variance"), std::string::npos);
+
+  const auto short_sample = try_paired_t_test({1.0}, {2.0});
+  ASSERT_FALSE(short_sample.ok());
+  EXPECT_NE(short_sample.error.find("at least two pairs"), std::string::npos);
+
+  const auto good = try_paired_t_test({1.0, 2.0, 3.0}, {2.0, 4.0, 5.0});
+  ASSERT_TRUE(good.ok());
+  EXPECT_GT(good.value.t, 0.0);
+}
+
+TEST(Fallible, WelchSurfacesPreconditions) {
+  const auto short_sample = try_welch_t_test({1.0}, {2.0, 3.0});
+  ASSERT_FALSE(short_sample.ok());
+  EXPECT_NE(short_sample.error.find(">= 2"), std::string::npos);
+
+  const auto degenerate = try_welch_t_test({2.0, 2.0}, {3.0, 3.0});
+  ASSERT_FALSE(degenerate.ok());
+  EXPECT_NE(degenerate.error.find("zero variance"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdc::assessment

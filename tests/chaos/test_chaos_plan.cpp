@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <thread>
+#include <vector>
+
 #include "chaos/chaos.hpp"
 #include "support/error.hpp"
 #include "trace/trace.hpp"
@@ -209,6 +213,79 @@ TEST(ChaosPlan, PresetsAreProgressivelyHostile) {
 
   const Config hostile = Config::hostile(1);
   EXPECT_GT(hostile.abort_probability, 0.0);
+}
+
+TEST(ChaosPlan, BoundScopeShadowsTheGlobalPlan) {
+  Config hostile;
+  hostile.seed = 5;
+  hostile.abort_probability = 1.0;
+  Scope global(hostile);
+  ASSERT_EQ(current(), &global.plan());
+
+  {
+    Plan quiet{Config{}};
+    BoundScope bind(quiet);
+    EXPECT_EQ(current(), &quiet);
+    EXPECT_EQ(bound(), &quiet);
+    // The global certain-abort plan is shadowed: this cannot throw.
+    on_op("test.site");
+    EXPECT_EQ(quiet.fault_count(), 0u);
+  }
+  // Scope closed: decisions go back to the global plan.
+  EXPECT_EQ(current(), &global.plan());
+  EXPECT_EQ(bound(), nullptr);
+  EXPECT_THROW(on_op("test.site"), InjectedAbort);
+}
+
+TEST(ChaosPlan, BoundScopesNest) {
+  Plan outer{Config{}};
+  Plan inner{Config{}};
+  BoundScope first(outer);
+  {
+    BoundScope second(inner);
+    EXPECT_EQ(current(), &inner);
+  }
+  EXPECT_EQ(current(), &outer);
+}
+
+TEST(ChaosPlan, NullBindingIsANoOp) {
+  Plan outer{Config{}};
+  BoundScope first(outer);
+  {
+    BoundScope nothing(static_cast<Plan*>(nullptr));
+    EXPECT_EQ(current(), &outer) << "binding nullptr must not unbind";
+  }
+  EXPECT_EQ(current(), &outer);
+}
+
+TEST(ChaosPlan, ConcurrentThreadBindingsStayIndependent) {
+  // Each thread binds its own certain-abort plan; every thread must see
+  // exactly its own plan's injections — the property the pdc::grade worker
+  // fleet is built on.
+  constexpr int kThreads = 4;
+  std::vector<std::size_t> counts(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &counts] {
+      Config config;
+      config.seed = static_cast<std::uint64_t>(t + 1);
+      config.abort_probability = 1.0;
+      Plan plan(config);
+      BoundScope bind(plan);
+      ActorScope lane(100 + t);
+      for (int i = 0; i < 5; ++i) {
+        try {
+          on_op("test.site");
+        } catch (const InjectedAbort&) {
+        }
+      }
+      counts[static_cast<std::size_t>(t)] = plan.fault_count();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(t)], 5u) << "thread " << t;
+  }
 }
 
 TEST(ChaosPlan, DropDecisionsAreBoundedAndDeliveryPreserving) {

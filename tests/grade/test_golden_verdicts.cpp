@@ -1,0 +1,95 @@
+// Golden verdict suite: the expected label of every mutant in a fixed
+// corpus is checked into tests/grade/golden/verdicts.txt. A change in the
+// mutator, the oracle, the seed policy or the verdict logic shows up as a
+// reviewable diff, not a silent regrade of the class.
+//
+// Regenerate after an intentional change with:
+//   PDCLAB_GOLDEN_REGEN=1 ./build/tests/test_grade --gtest_filter='*Golden*'
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "grade/grader.hpp"
+
+namespace pdc::grade {
+namespace {
+
+/// The pinned corpus: five representative bases (point-to-point, fan-out,
+/// fan-in, token ring, master-worker) crossed with every mutation kind.
+std::vector<MutantSpec> golden_corpus() {
+  std::vector<MutantSpec> corpus;
+  for (const char* base :
+       {"spmd", "broadcast", "reduce", "ring", "master-worker"}) {
+    for (int k = 0; k <= static_cast<int>(MutationKind::Crash); ++k) {
+      corpus.push_back(MutantSpec{base, static_cast<MutationKind>(k), 0, 4});
+    }
+  }
+  return corpus;
+}
+
+std::string golden_path() {
+  return std::string(PDCLAB_GOLDEN_DIR) + "/verdicts.txt";
+}
+
+/// "id verdict", one submission per line, corpus order.
+std::vector<std::string> verdict_lines(const Report& report) {
+  std::vector<std::string> lines;
+  lines.reserve(report.grades.size());
+  for (const Grade& grade : report.grades) {
+    lines.push_back(grade.id + " " + verdict_name(grade.verdict));
+  }
+  return lines;
+}
+
+TEST(GoldenVerdicts, CorpusGradesMatchTheCheckedInLabels) {
+  GraderConfig cfg;
+  cfg.seeds = 8;
+  cfg.workers = 4;
+  cfg.watchdog_ms = 250;
+  const Report report = grade_corpus(golden_corpus(), cfg);
+  ASSERT_EQ(report.lost(), 0u);
+  const std::vector<std::string> actual = verdict_lines(report);
+
+  if (std::getenv("PDCLAB_GOLDEN_REGEN") != nullptr) {
+    std::ofstream out(golden_path());
+    ASSERT_TRUE(out.is_open()) << "cannot write " << golden_path();
+    for (const std::string& line : actual) out << line << "\n";
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in.is_open())
+      << golden_path()
+      << " missing; regenerate with PDCLAB_GOLDEN_REGEN=1";
+  std::vector<std::string> expected;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) expected.push_back(line);
+  }
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "submission " << i;
+  }
+
+  // Structural expectations the golden file must also satisfy: every clean
+  // control passes, and no seeded-race mutant is ever labelled pass.
+  for (const Grade& grade : report.grades) {
+    const MutantSpec spec = MutantSpec::parse(grade.id);
+    if (spec.kind == MutationKind::Clean) {
+      EXPECT_EQ(grade.verdict, Verdict::Pass) << grade.id;
+    }
+    if (spec.kind == MutationKind::Race ||
+        spec.kind == MutationKind::Order) {
+      EXPECT_NE(grade.verdict, Verdict::Pass) << grade.id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdc::grade

@@ -1,0 +1,64 @@
+// Determinism regression: the canonical grade report is a pure function of
+// (corpus, config). Two identical runs must agree byte-for-byte, and so
+// must fleets of different sizes (-j1 vs -j8) — the report is the artifact
+// an instructor files, so "same cohort, same grades" is non-negotiable.
+// The suite carries the tsan label: a data race in the worker fleet is
+// exactly the kind of bug that would break this property first.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "grade/grader.hpp"
+
+namespace pdc::grade {
+namespace {
+
+std::vector<MutantSpec> mixed_corpus() {
+  std::vector<MutantSpec> corpus;
+  for (const char* base : {"spmd", "ring", "reduce"}) {
+    for (int k = 0; k <= static_cast<int>(MutationKind::Crash); ++k) {
+      corpus.push_back(MutantSpec{base, static_cast<MutationKind>(k), 0, 4});
+    }
+  }
+  return corpus;
+}
+
+GraderConfig config_with_workers(int workers) {
+  GraderConfig cfg;
+  cfg.seeds = 8;
+  cfg.workers = workers;
+  cfg.watchdog_ms = 250;
+  return cfg;
+}
+
+TEST(GradeDeterminism, TwoRunsAreByteIdentical) {
+  const auto corpus = mixed_corpus();
+  const GraderConfig cfg = config_with_workers(4);
+  const std::string first = grade_corpus(corpus, cfg).to_text();
+  const std::string second = grade_corpus(corpus, cfg).to_text();
+  EXPECT_EQ(first, second);
+}
+
+TEST(GradeDeterminism, FleetSizeCannotChangeTheReport) {
+  const auto corpus = mixed_corpus();
+  const std::string solo =
+      grade_corpus(corpus, config_with_workers(1)).to_text();
+  const std::string fleet =
+      grade_corpus(corpus, config_with_workers(8)).to_text();
+  EXPECT_EQ(solo, fleet);
+}
+
+TEST(GradeDeterminism, SeedBaseIsPartOfTheFunction) {
+  // Different schedule windows may legitimately grade a race differently;
+  // the report must say which window it explored.
+  GraderConfig cfg = config_with_workers(2);
+  cfg.seed_base = 100;
+  const std::vector<MutantSpec> corpus = {{"spmd", MutationKind::Clean, 0, 4}};
+  const std::string text = grade_corpus(corpus, cfg).to_text();
+  EXPECT_NE(text.find("seeds 100..107"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdc::grade

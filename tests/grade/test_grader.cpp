@@ -1,0 +1,198 @@
+// The grader: verdict taxonomy per mutation kind, the pinned Flaky
+// acceptance case (a seeded race that passes some schedules and fails
+// others must NEVER grade Pass), the Skipped stats-precondition paths, and
+// the cohort report invariants.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "grade/grader.hpp"
+#include "support/error.hpp"
+
+namespace pdc::grade {
+namespace {
+
+GraderConfig quick_config() {
+  GraderConfig cfg;
+  cfg.seeds = 8;
+  cfg.workers = 2;
+  cfg.watchdog_ms = 250;  // only hit by planted deadlocks
+  return cfg;
+}
+
+TEST(GradeOne, CleanSubmissionPassesEverySchedule) {
+  const Grade grade = grade_one({"spmd", MutationKind::Clean, 0, 4},
+                                quick_config());
+  EXPECT_EQ(grade.verdict, Verdict::Pass);
+  EXPECT_EQ(grade.matched, 8);
+  EXPECT_EQ(grade.explored, 8);
+  EXPECT_EQ(grade.divergence, 0);
+}
+
+TEST(GradeOne, DeterministicWrongAnswerGradesWrong) {
+  const Grade grade = grade_one({"spmd", MutationKind::Wrong, 1, 4},
+                                quick_config());
+  EXPECT_EQ(grade.verdict, Verdict::Wrong);
+  EXPECT_EQ(grade.matched, 0);
+  EXPECT_EQ(grade.explored, 8);
+  EXPECT_GT(grade.divergence, 0);
+}
+
+// The acceptance-criteria case: spmd~race#0@np4 at K=8 (seeds 1..8)
+// matches the reference on some explored schedules but not on others.
+// A grader that stopped at the first passing schedule would call it Pass —
+// exactly the bug schedule exploration exists to catch. Pinned so a
+// regression in the oracle, the seed policy or the verdict logic trips it.
+TEST(GradeOne, SeededRaceIsFlakyNeverPass) {
+  const GraderConfig cfg = quick_config();
+  ASSERT_GE(cfg.seeds, 8);
+  ASSERT_EQ(cfg.seed_base, 1u);
+  const Grade grade = grade_one({"spmd", MutationKind::Race, 0, 4}, cfg);
+  EXPECT_EQ(grade.verdict, Verdict::Flaky);
+  EXPECT_GT(grade.matched, 0) << "this salt must pass at least one schedule";
+  EXPECT_LT(grade.matched, grade.explored)
+      << "this salt must fail at least one schedule";
+  EXPECT_NE(grade.verdict, Verdict::Pass);
+}
+
+TEST(GradeOne, StaleOrderMutantIsFlaky) {
+  const Grade grade = grade_one({"spmd", MutationKind::Order, 0, 4},
+                                quick_config());
+  EXPECT_EQ(grade.verdict, Verdict::Flaky);
+}
+
+TEST(GradeOne, PlantedDeadlockGradesHangAndShortCircuits) {
+  const Grade grade = grade_one({"spmd", MutationKind::Deadlock, 0, 4},
+                                quick_config());
+  EXPECT_EQ(grade.verdict, Verdict::Hang);
+  EXPECT_EQ(grade.explored, 1) << "a hang should stop the exploration";
+  EXPECT_NE(grade.detail.find("watchdog"), std::string::npos);
+}
+
+TEST(GradeOne, PlantedCrashGradesCrash) {
+  const Grade grade = grade_one({"spmd", MutationKind::Crash, 0, 4},
+                                quick_config());
+  EXPECT_EQ(grade.verdict, Verdict::Crash);
+  EXPECT_NE(grade.detail.find("planted crash"), std::string::npos);
+}
+
+// ---- Skipped paths: per-item failures must never abort a cohort ---------
+
+TEST(GradeOne, UnknownBaseSkipsWithReason) {
+  const Grade grade = grade_one(
+      {"no-such-patternlet", MutationKind::Race, 0, 4}, quick_config());
+  EXPECT_EQ(grade.verdict, Verdict::Skipped);
+  EXPECT_NE(grade.detail.find("synthesis:"), std::string::npos);
+}
+
+TEST(GradeOne, ZeroSeedsSkipsWithEmptySamplePrecondition) {
+  GraderConfig cfg = quick_config();
+  cfg.seeds = 0;
+  const Grade grade = grade_one({"spmd", MutationKind::Clean, 0, 4}, cfg);
+  EXPECT_EQ(grade.verdict, Verdict::Skipped);
+  EXPECT_NE(grade.detail.find("empty sample"), std::string::npos);
+}
+
+TEST(GradeOne, OneSeedSkipsWithVariancePrecondition) {
+  GraderConfig cfg = quick_config();
+  cfg.seeds = 1;
+  const Grade grade = grade_one({"spmd", MutationKind::Clean, 0, 4}, cfg);
+  EXPECT_EQ(grade.verdict, Verdict::Skipped);
+  EXPECT_NE(grade.detail.find("at least two values"), std::string::npos);
+}
+
+TEST(GradeOne, HangOutranksTheStatsPrecondition) {
+  // A deadlock explored on the very first schedule leaves one timing
+  // sample — not enough for describe() — but one hanging schedule is
+  // already conclusive: the verdict must stay Hang, not turn Skipped.
+  GraderConfig cfg = quick_config();
+  const Grade grade = grade_one({"spmd", MutationKind::Deadlock, 1, 4}, cfg);
+  EXPECT_EQ(grade.verdict, Verdict::Hang);
+}
+
+TEST(GradeOne, RejectsInvalidConfig) {
+  GraderConfig cfg = quick_config();
+  cfg.workers = 0;
+  EXPECT_THROW((void)grade_one({"spmd", MutationKind::Clean, 0, 4}, cfg),
+               InvalidArgument);
+  cfg = quick_config();
+  cfg.watchdog_ms = 0;
+  EXPECT_THROW((void)grade_one({"spmd", MutationKind::Clean, 0, 4}, cfg),
+               InvalidArgument);
+  cfg = quick_config();
+  cfg.seeds = -1;
+  EXPECT_THROW((void)grade_one({"spmd", MutationKind::Clean, 0, 4}, cfg),
+               InvalidArgument);
+}
+
+// ---- the cohort ----------------------------------------------------------
+
+TEST(GradeCorpus, ClassifiesAMixedCohort) {
+  const std::vector<MutantSpec> corpus = {
+      {"spmd", MutationKind::Clean, 0, 4},
+      {"broadcast", MutationKind::Clean, 0, 4},
+      {"spmd", MutationKind::Wrong, 0, 4},
+      {"spmd", MutationKind::Race, 0, 4},
+      {"spmd", MutationKind::Crash, 0, 4},
+      {"no-such-patternlet", MutationKind::Clean, 0, 4},
+  };
+  const Report report = grade_corpus(corpus, quick_config());
+
+  ASSERT_EQ(report.grades.size(), corpus.size());
+  EXPECT_EQ(report.lost(), 0u);
+  EXPECT_EQ(report.count(Verdict::Pass), 2u);
+  EXPECT_EQ(report.count(Verdict::Wrong), 1u);
+  EXPECT_EQ(report.count(Verdict::Flaky), 1u);
+  EXPECT_EQ(report.count(Verdict::Crash), 1u);
+  EXPECT_EQ(report.count(Verdict::Skipped), 1u);
+
+  // Grades stay in corpus order regardless of which worker ran them.
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(report.grades[i].id, corpus[i].id());
+  }
+
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("submissions: 6"), std::string::npos);
+  EXPECT_NE(text.find("pass=2"), std::string::npos);
+  EXPECT_NE(text.find("spmd~race#0@np4: flaky"), std::string::npos);
+  EXPECT_NE(text.find("-- divergence"), std::string::npos);
+
+  // Timing text never throws, whatever the cohort's shape.
+  EXPECT_FALSE(report.timing_text().empty());
+}
+
+TEST(GradeCorpus, KeepGradesOffDropsPerSubmissionLines) {
+  const std::vector<MutantSpec> corpus = {{"spmd", MutationKind::Clean, 0, 4}};
+  GraderConfig cfg = quick_config();
+  cfg.keep_grades = false;
+  const Report report = grade_corpus(corpus, cfg);
+  EXPECT_EQ(report.to_text().find("-- grades --"), std::string::npos);
+  EXPECT_NE(report.to_text().find("pass=1"), std::string::npos);
+}
+
+TEST(GradeCorpus, EmptyCorpusReportsCleanly) {
+  const Report report = grade_corpus({}, quick_config());
+  EXPECT_EQ(report.grades.size(), 0u);
+  EXPECT_EQ(report.lost(), 0u);
+  EXPECT_NE(report.to_text().find("submissions: 0"), std::string::npos);
+  // One-sided/empty cohorts hit the fallible stats preconditions, which
+  // must surface as text, not as an exception.
+  EXPECT_NE(report.timing_text().find("need >= 2"), std::string::npos);
+}
+
+TEST(GradeCorpus, AllPassCohortReportsWelchPrecondition) {
+  const std::vector<MutantSpec> corpus = {
+      {"spmd", MutationKind::Clean, 0, 4},
+      {"spmd", MutationKind::Clean, 1, 4},
+      {"broadcast", MutationKind::Clean, 0, 4},
+  };
+  const Report report = grade_corpus(corpus, quick_config());
+  EXPECT_EQ(report.count(Verdict::Pass), 3u);
+  // No failing grades: the pass-vs-fail Welch comparison is undefined and
+  // must say why instead of throwing mid-report.
+  EXPECT_NE(report.timing_text().find("not computable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdc::grade

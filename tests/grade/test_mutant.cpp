@@ -1,0 +1,118 @@
+// The deterministic mutator: spec ids round-trip, synthesis validates its
+// inputs, and the corpus generator covers every base × kind cell.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chaos/chaos.hpp"
+#include "grade/mutant.hpp"
+#include "mp/runtime.hpp"
+#include "patternlets/mpi_programs.hpp"
+#include "support/error.hpp"
+
+namespace pdc::grade {
+namespace {
+
+TEST(MutantSpec, IdRoundTrips) {
+  const MutantSpec spec{"spmd", MutationKind::Race, 3, 4};
+  EXPECT_EQ(spec.id(), "spmd~race#3@np4");
+  EXPECT_EQ(MutantSpec::parse(spec.id()), spec);
+
+  for (int k = 0; k <= static_cast<int>(MutationKind::Crash); ++k) {
+    const MutantSpec each{"pair-exchange", static_cast<MutationKind>(k), 17, 8};
+    EXPECT_EQ(MutantSpec::parse(each.id()), each);
+  }
+}
+
+TEST(MutantSpec, ParseRejectsMalformedIds) {
+  EXPECT_THROW((void)MutantSpec::parse(""), InvalidArgument);
+  EXPECT_THROW((void)MutantSpec::parse("spmd"), InvalidArgument);
+  EXPECT_THROW((void)MutantSpec::parse("~race#0@np4"), InvalidArgument);
+  EXPECT_THROW((void)MutantSpec::parse("spmd~bogus#0@np4"), InvalidArgument);
+  EXPECT_THROW((void)MutantSpec::parse("spmd~race#x@np4"), InvalidArgument);
+  EXPECT_THROW((void)MutantSpec::parse("spmd~race#0@np1"), InvalidArgument);
+  EXPECT_THROW((void)MutantSpec::parse("spmd~race#0"), InvalidArgument);
+}
+
+TEST(MutantSpec, KindNamesRoundTrip) {
+  for (int k = 0; k <= static_cast<int>(MutationKind::Crash); ++k) {
+    const auto kind = static_cast<MutationKind>(k);
+    EXPECT_EQ(parse_mutation_kind(mutation_kind_name(kind)), kind);
+  }
+  EXPECT_THROW((void)parse_mutation_kind("racey"), InvalidArgument);
+}
+
+TEST(Synthesize, ValidatesItsInputs) {
+  EXPECT_THROW((void)synthesize({"no-such-patternlet", MutationKind::Clean,
+                                 0, 4}),
+               NotFound);
+  EXPECT_THROW((void)synthesize({"spmd", MutationKind::Clean, 0, 1}),
+               InvalidArgument);
+}
+
+TEST(Synthesize, CleanMutantPrintsTheReferenceFinalLine) {
+  for (int np : {2, 4, 8}) {
+    const auto program = synthesize({"spmd", MutationKind::Clean, 0, np});
+    const auto output = mp::run(np, program).output;
+    int finals = 0;
+    for (const auto& line : output) {
+      if (line == reference_final_line(np)) ++finals;
+    }
+    EXPECT_EQ(finals, 1) << "np=" << np;
+  }
+}
+
+TEST(Synthesize, WrongMutantDivergesWithoutChaos) {
+  const int np = 4;
+  const auto program = synthesize({"spmd", MutationKind::Wrong, 2, np});
+  const auto output = mp::run(np, program).output;
+  for (const auto& line : output) {
+    EXPECT_NE(line, reference_final_line(np));
+  }
+}
+
+TEST(Synthesize, RaceOutcomeIsAFunctionOfTheBoundSeed) {
+  // The schedule oracle: under a bound plan with the same seed the race
+  // resolves identically; different seeds may resolve differently.
+  const MutantSpec spec{"spmd", MutationKind::Race, 0, 4};
+  const auto program = synthesize(spec);
+
+  const auto final_line_under_seed = [&](std::uint64_t seed) {
+    chaos::Plan plan(chaos::Config::noise(seed));
+    chaos::BoundScope bind(plan);
+    for (const auto& line : mp::run(4, program).output) {
+      if (line.rfind("final:", 0) == 0) return line;
+    }
+    return std::string();
+  };
+
+  std::set<std::string> outcomes;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const std::string first = final_line_under_seed(seed);
+    EXPECT_EQ(first, final_line_under_seed(seed)) << "seed " << seed;
+    outcomes.insert(first);
+  }
+  // Eight seeds of a 1-in-3 race: more than one outcome must show up.
+  EXPECT_GT(outcomes.size(), 1u);
+}
+
+TEST(SynthesizeCorpus, CoversEveryBaseKindCell) {
+  const auto corpus = synthesize_corpus(2, 4);
+  const auto bases = patternlets::mpi_program_names();
+  EXPECT_EQ(corpus.size(), bases.size() * 6 * 2);
+
+  std::set<std::string> ids;
+  for (const auto& spec : corpus) {
+    EXPECT_EQ(spec.np, 4);
+    ids.insert(spec.id());
+  }
+  EXPECT_EQ(ids.size(), corpus.size()) << "corpus ids must be unique";
+  EXPECT_TRUE(ids.count("ring~deadlock#1@np4") == 1);
+
+  EXPECT_THROW((void)synthesize_corpus(0, 4), InvalidArgument);
+  EXPECT_THROW((void)synthesize_corpus(1, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pdc::grade

@@ -38,6 +38,18 @@ TEST(LabProtocol, SubmitRoundTrips) {
   EXPECT_EQ(decoded, submit);
 }
 
+TEST(LabProtocol, GradeSubmitRoundTrips) {
+  Submit submit = example_submit();
+  submit.kind = JobKind::Grade;
+  submit.name = "spmd~race#0@np4";  // MutantSpec id travels in `name`
+  submit.np = 4;
+  submit.seed = 1;                     // the schedule seed base
+  submit.source = "k=8 watchdog_ms=500";  // grader options ride in `source`
+  const Submit decoded = decode_submit(body_of(encode_submit(submit)));
+  EXPECT_EQ(decoded, submit);
+  EXPECT_STREQ(job_kind_name(JobKind::Grade), "grade");
+}
+
 TEST(LabProtocol, SubmitFrameHeaderIsSubmitKind) {
   const mp::Bytes frame = encode_submit(example_submit());
   ASSERT_GE(frame.size(), wire::kHeaderBytes);
@@ -166,11 +178,15 @@ TEST(LabHostile, OversizedTokenPrefixRejected) {
 }
 
 TEST(LabHostile, UnknownJobKindRejected) {
-  mp::Bytes body;
-  wire::put_string(body, "hands-on");
-  wire::put_string(body, "ada");
-  wire::put_u16(body, 99);  // not a JobKind
-  EXPECT_THROW(decode_submit(body), ProtocolError);
+  // 5 pins the range check to exactly one past JobKind::Grade — a new kind
+  // must widen the decoder deliberately, not by accident.
+  for (const std::uint16_t raw : {std::uint16_t{5}, std::uint16_t{99}}) {
+    mp::Bytes body;
+    wire::put_string(body, "hands-on");
+    wire::put_string(body, "ada");
+    wire::put_u16(body, raw);  // not a JobKind
+    EXPECT_THROW(decode_submit(body), ProtocolError) << raw;
+  }
 }
 
 TEST(LabHostile, TrailingBytesRejected) {

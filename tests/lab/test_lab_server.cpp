@@ -126,6 +126,90 @@ TEST(LabServer, DistinctSeedsExecuteSeparately) {
   EXPECT_EQ(server.cache().hits(), 0u);
 }
 
+protocol::Submit grade_submit(const std::string& id = "spmd~race#0@np4") {
+  protocol::Submit submit;
+  submit.token = "hands-on";
+  submit.tenant = "ada";
+  submit.kind = JobKind::Grade;
+  submit.name = id;  // the MutantSpec id; its @npN is the world size
+  submit.np = 4;
+  submit.seed = 1;   // schedule seed base
+  submit.source = "k=8 watchdog_ms=500";
+  return submit;
+}
+
+TEST(LabServer, GradeJobRunsEndToEndAndCaches) {
+  Server server(test_config());
+  server.start();
+
+  protocol::Result first;
+  {
+    Client client(client_config(server.endpoint()));
+    first = run_job(client, grade_submit());
+  }
+  ASSERT_EQ(first.exit_code, 0) << first.error;
+  ASSERT_FALSE(first.output.empty());
+  // The pinned acceptance mutant: a seeded race that matches some schedules
+  // but not all, so the lab-served verdict must be flaky — never pass.
+  EXPECT_NE(first.output[0].find("spmd~race#0@np4: flaky matched="),
+            std::string::npos)
+      << first.output[0];
+
+  // The wire path returns exactly what a direct execution produces.
+  const Executor direct;
+  EXPECT_EQ(first.output, direct.execute(grade_submit()).output);
+
+  // Another student resubmitting the same mutant hits the result cache:
+  // the grade line is deterministic, so one exploration serves the class.
+  protocol::Submit same = grade_submit();
+  same.tenant = "grace";
+  Client client(client_config(server.endpoint()));
+  const protocol::Result second = run_job(client, same);
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(second.output, first.output);
+  EXPECT_EQ(server.executor().executions(), 1u);
+}
+
+TEST(LabServer, GradeDeadlockIsClassifiedHangNotAServerStall) {
+  Server server(test_config());
+  server.start();
+  Client client(client_config(server.endpoint()));
+
+  protocol::Submit submit = grade_submit("ring~deadlock#0@np4");
+  submit.source = "k=2 watchdog_ms=100";  // a short leash keeps the test fast
+  const protocol::Result result = run_job(client, submit);
+  EXPECT_EQ(result.exit_code, 0) << result.error;
+  ASSERT_FALSE(result.output.empty());
+  EXPECT_NE(result.output[0].find(": hang"), std::string::npos)
+      << result.output[0];
+}
+
+TEST(LabServer, GradeBadRequestsAreRejectedBeforeTheQueue) {
+  ServerConfig config = test_config();
+  config.executor.max_np = 4;
+  Server server(config);
+  server.start();
+  Client client(client_config(server.endpoint()));
+
+  const auto expect_bad_request = [&](const protocol::Submit& submit) {
+    const auto outcome = client.submit(submit);
+    ASSERT_FALSE(outcome.accepted()) << submit.name << " " << submit.source;
+    EXPECT_EQ(outcome.reject->code, RejectCode::BadRequest);
+  };
+
+  expect_bad_request(grade_submit("not-a-mutant-id"));
+  expect_bad_request(grade_submit("no-such-base~clean#0@np4"));
+  expect_bad_request(grade_submit("spmd~clean#0@np8"));  // np > max_np
+  protocol::Submit bad_k = grade_submit();
+  bad_k.source = "k=1";  // one schedule cannot support a grade
+  expect_bad_request(bad_k);
+  protocol::Submit unknown_option = grade_submit();
+  unknown_option.source = "turbo=9";
+  expect_bad_request(unknown_option);
+
+  EXPECT_EQ(server.executor().executions(), 0u);
+}
+
 TEST(LabServer, UnknownProgramIsBadRequestBeforeTheQueue) {
   Server server(test_config());
   server.start();

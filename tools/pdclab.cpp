@@ -7,6 +7,7 @@
 //          patternlet spmd --np 4
 //   pdclab submit --connect ... --tenant ada exemplar pi --np 4 --seed 7
 //   pdclab submit --connect ... --tenant ada notebook --source '!mpirun -np 2 python 00spmd.py'
+//   pdclab submit --connect ... --tenant ada grade 'spmd~race#0@np4' --seed 1 --source 'k=8'
 //
 // Exit codes (submit): 0 job ran, 1 job failed on the server, 2 rejected,
 // 3 could not reach/speak to the server, 64 usage error.
@@ -38,7 +39,9 @@ int usage(const char* error) {
       "  pdclab submit --connect <unix:PATH|tcp:HOST:PORT> --tenant NAME\n"
       "                [--token T] (patternlet|exemplar) PROGRAM [--np N]\n"
       "                [--seed S]\n"
-      "  pdclab submit --connect ... --tenant NAME notebook --source TEXT\n",
+      "  pdclab submit --connect ... --tenant NAME notebook --source TEXT\n"
+      "  pdclab submit --connect ... --tenant NAME grade MUTANT_ID\n"
+      "                [--seed S] [--source 'k=N watchdog_ms=N']\n",
       stderr);
   return 64;
 }
@@ -178,16 +181,18 @@ int run_submit(int argc, char** argv) {
         if (v == nullptr) return usage("--source needs a value");
         submit.source = v;
       } else if (arg == "patternlet" || arg == "exemplar" ||
-                 arg == "notebook") {
+                 arg == "notebook" || arg == "grade") {
         kind_set = true;
         if (arg == "patternlet") {
           submit.kind = pdc::lab::protocol::JobKind::Patternlet;
         } else if (arg == "exemplar") {
           submit.kind = pdc::lab::protocol::JobKind::Exemplar;
+        } else if (arg == "grade") {
+          submit.kind = pdc::lab::protocol::JobKind::Grade;
         } else {
           submit.kind = pdc::lab::protocol::JobKind::Notebook;
         }
-        // A program name follows for patternlet/exemplar.
+        // A program name (or mutant id) follows for all but notebook.
         if (arg != "notebook") {
           const char* v = need();
           if (v == nullptr) return usage("program name missing");
