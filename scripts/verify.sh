@@ -8,9 +8,11 @@
 # 2. bench-smoke — scripts/bench_snapshot: the bench binaries in a
 #                  1-rep/2-round configuration (ctest -L bench-smoke) as a
 #                  crash/hang canary, then five representative probes
-#                  (mailbox match cost, fork-join overhead, transport ping,
-#                  lab jobs/sec, grader submissions/sec) distilled into
-#                  BENCH_<n>.json — trend data, not a measurement
+#                  (mailbox match cost, fork-join overhead, the four-way
+#                  transport ping ablation incl. shm rings plus the np=8
+#                  hierarchical collective ablation, lab jobs/sec, grader
+#                  submissions/sec) distilled into BENCH_<n>.json — trend
+#                  data, not a measurement
 # 3. tsan        — ThreadSanitizer build, concurrency suites (ctest -L tsan),
 #                  which include the smp team poison/abort regression tests,
 #                  the in-process socket-cluster suites (test_net carries the
@@ -19,15 +21,18 @@
 #                  determinism suite (grade-tsan)
 # 4. stress      — chaos seed sweeps at full depth (ctest -L stress with
 #                  PDCLAB_CHAOS_SEEDS: acceptance scenarios x N seeds, the
-#                  patternlet sweep at a quarter depth, the socket chaos
-#                  sweeps — noise/lossy/hostile/targeted-kill — the lab
+#                  patternlet sweep at a quarter depth, the socket AND shm
+#                  chaos sweeps — noise/lossy/hostile/targeted-kill — the lab
 #                  admission/dispatch sweep (lab-stress), and the grader
 #                  dispatch sweep (grade-stress))
-# 5. net         — the socket-transport suites (ctest -L net): wire-protocol
-#                  hostile inputs, in-process socket clusters, pdcrun
-#                  end-to-end and the socket golden variant; every socket
-#                  test is bounded by watchdog/handshake timeouts so this
-#                  stage cannot hang the ladder
+# 5. net         — the transport suites (ctest -L net): wire-protocol
+#                  hostile inputs, in-process socket AND shm-ring clusters,
+#                  the dial-backoff/partial-send regressions, pdcrun
+#                  end-to-end, the socket and shm golden variants (the shm
+#                  one includes the real --chaos-kill SIGKILL postmortem
+#                  check), and the net chaos sweeps at PDCLAB_CHAOS_SEEDS
+#                  depth; every test is bounded by watchdog/handshake
+#                  timeouts so this stage cannot hang the ladder
 # 6. lab         — the lab-server suites (ctest -L lab): protocol clamps and
 #                  hostile frames, fair queue + quotas, result cache, server
 #                  end-to-end over unix/tcp, the chaos sweep over the
@@ -55,7 +60,7 @@ cmake --build "${prefix}" -j "${jobs}"
 ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}"
 
 echo "==> [2/7] bench-smoke: bench canaries + BENCH snapshot (${prefix})"
-scripts/bench_snapshot "${prefix}" 7
+scripts/bench_snapshot "${prefix}" 8
 
 echo "==> [3/7] tsan: ThreadSanitizer build + concurrency suites (${prefix}-tsan)"
 cmake -B "${prefix}-tsan" -S . -DPDCLAB_SANITIZE=thread \
@@ -67,8 +72,10 @@ echo "==> [4/7] stress: chaos seed sweeps, PDCLAB_CHAOS_SEEDS=${seeds}"
 PDCLAB_CHAOS_SEEDS="${seeds}" \
   ctest --test-dir "${prefix}" --output-on-failure -L stress
 
-echo "==> [5/7] net: socket transport, pdcrun, goldens (${prefix})"
-ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}" -L net
+echo "==> [5/7] net: socket + shm transports, pdcrun, goldens," \
+     "PDCLAB_CHAOS_SEEDS=${seeds}"
+PDCLAB_CHAOS_SEEDS="${seeds}" \
+  ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}" -L net
 
 echo "==> [6/7] lab: lab server suites + chaos sweep + load acceptance," \
      "PDCLAB_CHAOS_SEEDS=${seeds}"

@@ -164,9 +164,11 @@ class Communicator {
   /// Algorithm used by a collective call.
   ///
   /// Auto: pick per call from the communicator size, the payload's
-  /// compile-time size, and the operator's declared commutativity
-  /// (ops::is_commutative). Every rank derives the same choice from the
-  /// same inputs, so the schedules always agree. The default.
+  /// compile-time size, the operator's declared commutativity
+  /// (ops::is_commutative) and the job's node topology
+  /// (Universe::set_topology). Every rank derives the same choice from the
+  /// same rank-invariant inputs, so the schedules always agree. The
+  /// default.
   ///
   /// Flat: the root sends/receives every message itself — O(p) messages on
   /// the root's critical path, trivially correct. Reductions with an
@@ -182,7 +184,22 @@ class Communicator {
   /// results across log2(p) doubling rounds, so every rank finishes with
   /// the full result without a separate broadcast. Requires a commutative
   /// operator; non-power-of-two sizes fold the remainder ranks in and out.
-  enum class CollectiveAlgo { Auto, Flat, Binomial, RecursiveDoubling };
+  ///
+  /// Hierarchical: the leader-per-node schedule (MPICH's SMP-aware shape).
+  /// Each node elects a delegate; traffic crosses node boundaries only
+  /// between the root and the delegates, and every other hop stays inside
+  /// a node — where co-located ranks ride the shm rings instead of
+  /// sockets. Supported by bcast, allgather's broadcast stage, reduce and
+  /// allreduce; reductions fold in arrival order within each node, so the
+  /// operator must be declared commutative. On a single node it
+  /// degenerates into the Flat schedule.
+  enum class CollectiveAlgo {
+    Auto,
+    Flat,
+    Binomial,
+    RecursiveDoubling,
+    Hierarchical
+  };
 
   /// Block until every rank of the communicator has entered the barrier.
   void barrier();
@@ -210,6 +227,11 @@ class Communicator {
       } else {
         value = recv_internal<T>(root, tag);
       }
+      return;
+    }
+
+    if (algo == CollectiveAlgo::Hierarchical) {
+      bcast_hierarchical(value, root, tag);
       return;
     }
 
@@ -372,8 +394,11 @@ class Communicator {
            CollectiveAlgo algo = CollectiveAlgo::Auto) {
     trace::Span span("mp.reduce", "mp.collective");
     check_peer(root, "reduce");
-    algo = resolve_reduce_algo<Op>(algo);
+    algo = resolve_reduce_algo<Op>(algo, "reduce");
     const int tag = next_collective_tag();
+    if (algo == CollectiveAlgo::Hierarchical) {
+      return reduce_hierarchical(local, op, root, tag);
+    }
     if (algo == CollectiveAlgo::Flat) {
       if (my_rank_ != root) {
         post(local, root, tag);
@@ -605,8 +630,9 @@ class Communicator {
   }
 
   /// Resolve Auto for the fan-out collectives (bcast and allgather's
-  /// broadcast stage). The choice may depend only on size(): non-root ranks
-  /// do not know the payload, and every rank must pick the same schedule.
+  /// broadcast stage). The choice may depend only on size() and the node
+  /// topology: non-root ranks do not know the payload, and every rank must
+  /// pick the same schedule.
   CollectiveAlgo resolve_fanout_algo(CollectiveAlgo algo,
                                      const char* what) const {
     if (algo == CollectiveAlgo::RecursiveDoubling) {
@@ -615,27 +641,38 @@ class Communicator {
                             "use Auto, Flat or Binomial");
     }
     if (algo != CollectiveAlgo::Auto) return algo;
+    if (hierarchy_pays()) return CollectiveAlgo::Hierarchical;
     return size() <= 4 ? CollectiveAlgo::Flat : CollectiveAlgo::Binomial;
   }
 
-  /// Resolve Auto for reduce: operators not declared commutative stay on
-  /// the rank-order Flat schedule; commutative ones climb the tree once the
-  /// root's O(p) inbox becomes the bottleneck.
+  /// Resolve Auto for reduce (and, via `what`, any collective with reduce
+  /// semantics): operators not declared commutative stay on the rank-order
+  /// Flat schedule; commutative ones go hierarchical when the members span
+  /// several nodes, and climb the binomial tree once the root's O(p) inbox
+  /// becomes the bottleneck.
   template <typename Op>
-  CollectiveAlgo resolve_reduce_algo(CollectiveAlgo algo) const {
+  CollectiveAlgo resolve_reduce_algo(CollectiveAlgo algo,
+                                     const char* what) const {
     if (algo == CollectiveAlgo::RecursiveDoubling) {
-      throw InvalidArgument(
-          "reduce: RecursiveDoubling is an allreduce schedule; use Auto, "
-          "Flat or Binomial");
+      throw InvalidArgument(std::string(what) +
+                            ": RecursiveDoubling is an allreduce schedule; "
+                            "use Auto, Flat or Binomial");
+    }
+    if (algo == CollectiveAlgo::Hierarchical && !ops::is_commutative_v<Op>) {
+      throw InvalidArgument(std::string(what) +
+                            ": Hierarchical folds contributions in arrival "
+                            "order within each node and requires an operator "
+                            "declared commutative (see ops::is_commutative)");
     }
     if (algo != CollectiveAlgo::Auto) return algo;
     if (!ops::is_commutative_v<Op>) return CollectiveAlgo::Flat;
+    if (hierarchy_pays()) return CollectiveAlgo::Hierarchical;
     return size() <= 4 ? CollectiveAlgo::Flat : CollectiveAlgo::Binomial;
   }
 
-  /// Resolve Auto for allreduce from size(), the operator's commutativity
-  /// and the payload's compile-time size — all rank-invariant inputs, so
-  /// every rank lands on the same schedule.
+  /// Resolve Auto for allreduce from size(), the operator's commutativity,
+  /// the payload's compile-time size and the node topology — all
+  /// rank-invariant inputs, so every rank lands on the same schedule.
   template <typename T, typename Op>
   CollectiveAlgo resolve_allreduce_algo(CollectiveAlgo algo) const {
     if (algo == CollectiveAlgo::RecursiveDoubling) {
@@ -647,10 +684,23 @@ class Communicator {
       }
       return algo;
     }
+    if (algo == CollectiveAlgo::Hierarchical) {
+      if constexpr (!ops::is_commutative_v<Op>) {
+        throw InvalidArgument(
+            "allreduce: Hierarchical folds contributions in arrival order "
+            "within each node and requires an operator declared commutative "
+            "(see ops::is_commutative)");
+      }
+      return algo;
+    }
     if (algo != CollectiveAlgo::Auto) return algo;
     if constexpr (!ops::is_commutative_v<Op>) {
       return CollectiveAlgo::Flat;  // rank-order determinism
     } else {
+      // Members spanning several nodes: keep the cross-node links down to
+      // one partial per node — recursive doubling would pair co-located
+      // ranks with remote ones on every round.
+      if (hierarchy_pays()) return CollectiveAlgo::Hierarchical;
       if (size() <= 2) return CollectiveAlgo::Flat;
       if constexpr (std::is_trivially_copyable_v<T>) {
         // Small fixed-size payloads: recursive doubling halves the rounds
@@ -664,6 +714,113 @@ class Communicator {
         return CollectiveAlgo::Binomial;
       }
     }
+  }
+
+  /// Node id (dense, from Universe::set_topology) of communicator rank `r`.
+  int node_of_local(int r) const {
+    return universe_->node_of((*members_)[static_cast<std::size_t>(r)]);
+  }
+
+  /// True when Auto should pick the leader-per-node schedule: the members
+  /// span at least two nodes AND at least one node hosts more than one
+  /// member (otherwise every rank is its own delegate and Hierarchical is
+  /// just Flat with longer code). Rank-invariant: derived from the shared
+  /// topology and member list only.
+  bool hierarchy_pays() const {
+    std::vector<bool> seen(static_cast<std::size_t>(universe_->num_nodes()),
+                           false);
+    int nodes = 0;
+    for (int r = 0; r < size(); ++r) {
+      const auto n = static_cast<std::size_t>(node_of_local(r));
+      if (!seen[n]) {
+        seen[n] = true;
+        ++nodes;
+      }
+    }
+    return nodes >= 2 && size() > nodes;
+  }
+
+  /// Delegate (leader) of every node for a collective rooted at `root`:
+  /// the root itself on the root's node, the lowest communicator rank on
+  /// every other node. Indexed by dense node id; -1 where the node hosts
+  /// no member of this communicator.
+  std::vector<int> node_delegates(int root) const {
+    std::vector<int> delegate(static_cast<std::size_t>(universe_->num_nodes()),
+                              -1);
+    for (int r = 0; r < size(); ++r) {
+      const auto n = static_cast<std::size_t>(node_of_local(r));
+      if (delegate[n] == -1) delegate[n] = r;
+    }
+    delegate[static_cast<std::size_t>(node_of_local(root))] = root;
+    return delegate;
+  }
+
+  /// Leader-per-node broadcast: the root sends the payload once to each
+  /// other node's delegate across the inter-node links, then every
+  /// delegate fans out to its node-local ranks — hops that ride the shm
+  /// rings when the transport has them. One tag; the payload is serialized
+  /// exactly once, at the root, and every hop forwards the same buffer.
+  template <typename T>
+  void bcast_hierarchical(T& value, int root, int tag) {
+    const std::vector<int> delegate = node_delegates(root);
+    const int my_node = node_of_local(my_rank_);
+    const int my_delegate = delegate[static_cast<std::size_t>(my_node)];
+    SharedPayload payload;
+    if (my_rank_ == root) {
+      payload = encode_payload(value);
+      for (const int d : delegate) {
+        if (d != -1 && d != root) {
+          post_encoded(payload, type_hash<T>(), type_name<T>(), d, tag);
+        }
+      }
+    } else if (my_rank_ == my_delegate) {
+      const Envelope e = recv_envelope_internal(root, tag);
+      value = unpack<T>(e, nullptr);
+      payload = e.payload;
+    } else {
+      value = recv_internal<T>(my_delegate, tag);
+      return;
+    }
+    for (int r = 0; r < size(); ++r) {
+      if (r != my_rank_ && node_of_local(r) == my_node) {
+        post_encoded(payload, type_hash<T>(), type_name<T>(), r, tag);
+      }
+    }
+  }
+
+  /// Leader-per-node reduce (commutative operators only — the resolvers
+  /// enforce it). Non-delegates hand their value to their node's delegate;
+  /// each non-root delegate folds its node's contributions in arrival
+  /// order and posts one partial to the root; the root folds its own
+  /// node's contributions plus one partial per other node. One tag — safe
+  /// because every message has exactly one well-known destination, so the
+  /// any-source folds can only see their own legs.
+  template <typename T, typename Op>
+  T reduce_hierarchical(const T& local, Op op, int root, int tag) {
+    const std::vector<int> delegate = node_delegates(root);
+    const int my_node = node_of_local(my_rank_);
+    if (my_rank_ != delegate[static_cast<std::size_t>(my_node)]) {
+      post(local, delegate[static_cast<std::size_t>(my_node)], tag);
+      return local;
+    }
+    int pending = -1;  // my own contribution is already in `acc`
+    for (int r = 0; r < size(); ++r) {
+      if (node_of_local(r) == my_node) ++pending;
+    }
+    if (my_rank_ == root) {
+      for (std::size_t n = 0; n < delegate.size(); ++n) {
+        if (delegate[n] != -1 && static_cast<int>(n) != my_node) ++pending;
+      }
+    }
+    T acc = local;
+    for (int i = 0; i < pending; ++i) {
+      acc = op(acc, recv_internal<T>(kAnySource, tag));
+    }
+    if (my_rank_ != root) {
+      post(acc, root, tag);
+      return local;
+    }
+    return acc;
   }
 
   /// MPICH-style recursive-doubling allreduce. For non-power-of-two sizes

@@ -68,6 +68,12 @@ void Mailbox::deliver(Envelope envelope) {
     ++queued_;
   }
   arrived_.notify_all();
+  // Receivers blocked through a transport progress engine sleep on its
+  // doorbell, not on arrived_; every delivery must ring it too (this covers
+  // socket-reader deliveries and self-sends in mixed shm+socket mode).
+  if (ProgressEngine* engine = progress_.load(std::memory_order_acquire)) {
+    engine->kick();
+  }
 }
 
 Mailbox::CommQueue* Mailbox::comm_for(std::uint64_t comm_id) {
@@ -136,24 +142,43 @@ void Mailbox::record_match(const Envelope& envelope, std::size_t scanned) {
 }
 
 Envelope Mailbox::receive(std::uint64_t comm_id, int source, int tag) {
+  // With a progress engine installed the blocked receiver must keep pumping
+  // the transport, so the wait is a scan → engine->wait loop instead of a
+  // condition-variable predicate. Lost-wakeup safety: the epoch is sampled
+  // while still holding the lock (deliver needs the same lock, so nothing
+  // can slip between the failed scan and the sample), and every deliver
+  // kicks the engine after enqueueing — engine->wait(seen) returns as soon
+  // as the epoch moves past `seen`.
   std::unique_lock lock(mutex_);
-  CommQueue* comm = nullptr;
-  std::optional<Hit> hit;
-  std::size_t scanned = 0;
-  arrived_.wait(lock, [&] {
-    if (aborted_) return true;
-    comm = comm_for(comm_id);
-    if (!comm) return false;
-    hit = find_match(*comm, source, tag, &scanned);
-    return hit.has_value();
-  });
-  if (aborted_) throw Aborted{};
-  record_match((*hit->fifo)[hit->index].envelope, scanned);
-  return take(comm_id, *comm, *hit);
+  for (;;) {
+    if (aborted_) throw Aborted{};
+    if (CommQueue* comm = comm_for(comm_id)) {
+      std::size_t scanned = 0;
+      if (const auto hit = find_match(*comm, source, tag, &scanned)) {
+        record_match((*hit->fifo)[hit->index].envelope, scanned);
+        return take(comm_id, *comm, *hit);
+      }
+    }
+    ProgressEngine* engine = progress_.load(std::memory_order_acquire);
+    if (!engine) {
+      arrived_.wait(lock);
+      continue;
+    }
+    const std::uint64_t seen = engine->epoch();
+    lock.unlock();
+    engine->wait(seen, std::chrono::milliseconds(100));
+    lock.lock();
+  }
 }
 
 std::optional<Envelope> Mailbox::try_receive(std::uint64_t comm_id, int source,
                                              int tag) {
+  // A non-blocking receive never enters engine->wait, so pump once first —
+  // otherwise a try_receive spin loop would only see ring traffic at the
+  // backstop thread's cadence.
+  if (ProgressEngine* engine = progress_.load(std::memory_order_acquire)) {
+    engine->poll();
+  }
   std::lock_guard lock(mutex_);
   if (aborted_) throw Aborted{};
   CommQueue* comm = comm_for(comm_id);
@@ -168,40 +193,60 @@ std::optional<Envelope> Mailbox::try_receive(std::uint64_t comm_id, int source,
 std::optional<Envelope> Mailbox::receive_for(std::uint64_t comm_id, int source,
                                              int tag,
                                              std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
   std::unique_lock lock(mutex_);
-  CommQueue* comm = nullptr;
-  std::optional<Hit> hit;
-  std::size_t scanned = 0;
-  const bool matched = arrived_.wait_for(lock, timeout, [&] {
-    if (aborted_) return true;
-    comm = comm_for(comm_id);
-    if (!comm) return false;
-    hit = find_match(*comm, source, tag, &scanned);
-    return hit.has_value();
-  });
-  if (aborted_) throw Aborted{};
-  if (!matched || !hit) return std::nullopt;
-  record_match((*hit->fifo)[hit->index].envelope, scanned);
-  return take(comm_id, *comm, *hit);
+  for (;;) {
+    if (aborted_) throw Aborted{};
+    if (CommQueue* comm = comm_for(comm_id)) {
+      std::size_t scanned = 0;
+      if (const auto hit = find_match(*comm, source, tag, &scanned)) {
+        record_match((*hit->fifo)[hit->index].envelope, scanned);
+        return take(comm_id, *comm, *hit);
+      }
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    ProgressEngine* engine = progress_.load(std::memory_order_acquire);
+    if (!engine) {
+      arrived_.wait_until(lock, deadline);
+      continue;
+    }
+    const std::uint64_t seen = engine->epoch();
+    lock.unlock();
+    engine->wait(seen, std::min(left, std::chrono::milliseconds(100)));
+    lock.lock();
+  }
 }
 
 Status Mailbox::probe(std::uint64_t comm_id, int source, int tag) {
   std::unique_lock lock(mutex_);
-  std::optional<Hit> hit;
-  arrived_.wait(lock, [&] {
-    if (aborted_) return true;
-    CommQueue* comm = comm_for(comm_id);
-    if (!comm) return false;
-    hit = find_match(*comm, source, tag);
-    return hit.has_value();
-  });
-  if (aborted_) throw Aborted{};
-  const Envelope& e = (*hit->fifo)[hit->index].envelope;
-  return Status{e.source, e.tag, e.size_bytes()};
+  for (;;) {
+    if (aborted_) throw Aborted{};
+    if (CommQueue* comm = comm_for(comm_id)) {
+      if (const auto hit = find_match(*comm, source, tag)) {
+        const Envelope& e = (*hit->fifo)[hit->index].envelope;
+        return Status{e.source, e.tag, e.size_bytes()};
+      }
+    }
+    ProgressEngine* engine = progress_.load(std::memory_order_acquire);
+    if (!engine) {
+      arrived_.wait(lock);
+      continue;
+    }
+    const std::uint64_t seen = engine->epoch();
+    lock.unlock();
+    engine->wait(seen, std::chrono::milliseconds(100));
+    lock.lock();
+  }
 }
 
 std::optional<Status> Mailbox::try_probe(std::uint64_t comm_id, int source,
                                          int tag) {
+  if (ProgressEngine* engine = progress_.load(std::memory_order_acquire)) {
+    engine->poll();
+  }
   std::lock_guard lock(mutex_);
   if (aborted_) throw Aborted{};
   CommQueue* comm = comm_for(comm_id);
@@ -222,6 +267,16 @@ void Mailbox::abort() {
     std::lock_guard lock(mutex_);
     aborted_ = true;
   }
+  arrived_.notify_all();
+  if (ProgressEngine* engine = progress_.load(std::memory_order_acquire)) {
+    engine->kick();
+  }
+}
+
+void Mailbox::set_progress(ProgressEngine* engine) noexcept {
+  progress_.store(engine, std::memory_order_release);
+  // Anyone parked on arrived_ across the transition re-evaluates and picks
+  // up the new wait protocol.
   arrived_.notify_all();
 }
 

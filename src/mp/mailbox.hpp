@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -19,6 +20,45 @@ class Aborted : public std::exception {
   const char* what() const noexcept override {
     return "mp job aborted: another rank raised an error";
   }
+};
+
+/// Transport-side progress hook a Mailbox drives while its receiver blocks.
+///
+/// A polled transport (the shm ring backend) has no per-peer reader thread:
+/// incoming records sit in shared memory until *someone* pumps them. With an
+/// engine installed, the blocked receiving thread itself becomes that
+/// someone — receive() alternates scan → engine->wait(seen), where wait()
+/// pumps the rings and then sleeps on the transport's own doorbell. That is
+/// the latency path: a message is moved from ring to mailbox by the thread
+/// that wants it, one context switch end to end.
+///
+/// The lost-wakeup contract mirrors a futex: the mailbox reads `epoch()`
+/// *before* releasing its lock and scanning out, and wait(seen) may block
+/// only while the epoch still equals `seen`. Any event that could satisfy a
+/// waiter (ring traffic, a mailbox deliver from a socket reader thread, an
+/// abort) must bump the epoch via kick() or the engine's own signalling.
+/// wait() may return spuriously; callers always re-scan.
+class ProgressEngine {
+ public:
+  virtual ~ProgressEngine() = default;
+
+  /// Current doorbell value; sampled under the mailbox lock before a scan.
+  virtual std::uint64_t epoch() noexcept = 0;
+
+  /// Drain whatever transport progress is pending. Called without the
+  /// mailbox lock held; may deliver into the mailbox (re-entrantly taking
+  /// its lock). Must swallow per-channel errors (routing them to the
+  /// transport's own peer-loss path) rather than throwing.
+  virtual void poll() = 0;
+
+  /// Pump progress, then block until the epoch moves past `seen` or
+  /// `max_wait` elapses. Spurious returns are allowed and expected.
+  virtual void wait(std::uint64_t seen, std::chrono::milliseconds max_wait) = 0;
+
+  /// Bump the epoch and wake blocked wait() callers. Called after any
+  /// mailbox deliver/abort so engine-waiters see deliveries that did not
+  /// come through the engine's own rings (socket readers, self-sends).
+  virtual void kick() noexcept = 0;
 };
 
 /// One rank's incoming message queue.
@@ -77,6 +117,12 @@ class Mailbox {
   /// Wake all blocked receivers with an Aborted exception.
   void abort();
 
+  /// Install (or, with nullptr, remove) the transport progress engine this
+  /// mailbox drives while its receiver blocks. The engine must stay alive
+  /// until set_progress(nullptr) returns; transports uninstall before
+  /// tearing the engine down.
+  void set_progress(ProgressEngine* engine) noexcept;
+
  private:
   /// A queued envelope plus its mailbox-wide delivery sequence number.
   struct Item {
@@ -124,6 +170,7 @@ class Mailbox {
   std::unordered_map<std::uint64_t, CommQueue> comms_;
   std::size_t queued_ = 0;  ///< total envelopes across all communicators
   bool aborted_ = false;
+  std::atomic<ProgressEngine*> progress_{nullptr};
 };
 
 }  // namespace pdc::mp

@@ -27,6 +27,9 @@ RunResult run(const RunConfig& cfg,
   }
 
   Universe universe(cfg.num_procs, std::move(hostnames));
+  // Installed before any rank thread exists — set_topology is not safe
+  // against concurrent collectives.
+  if (!cfg.topology.empty()) universe.set_topology(cfg.topology);
 
   std::exception_ptr first_error;
   std::mutex error_mutex;

@@ -40,6 +40,12 @@ struct RunConfig {
   /// reported the Docker container id "d6ff4f902ed6"; we keep that spirit
   /// with a recognizable default.
   std::string default_hostname = "d6ff4f902ed6";
+
+  /// Node id per rank (same id ⇔ co-located; see Universe::set_topology).
+  /// Empty = one node, the historic loopback shape. Lets the collective
+  /// tests exercise the topology-aware (Hierarchical) schedules without
+  /// real multi-node processes.
+  std::vector<int> topology;
 };
 
 /// Outcome of a job: everything the ranks print()ed, in arrival order.

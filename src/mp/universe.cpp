@@ -90,6 +90,37 @@ void Universe::attach_transport(std::unique_ptr<Transport> transport) {
   transport_->bind(*this);
 }
 
+void Universe::set_topology(const std::vector<int>& node_ids) {
+  if (node_ids.size() != static_cast<std::size_t>(num_procs_)) {
+    throw InvalidArgument("Universe::set_topology: need one node id per rank");
+  }
+  // Re-normalize to dense first-appearance ids: every rank derives the
+  // identical map from any labeling with the same grouping, which is what
+  // keeps CollectiveAlgo::Auto's choice rank-invariant.
+  std::vector<int> dense(node_ids.size(), 0);
+  std::vector<int> seen;
+  for (std::size_t r = 0; r < node_ids.size(); ++r) {
+    if (node_ids[r] < 0) {
+      throw InvalidArgument("Universe::set_topology: node ids must be >= 0");
+    }
+    std::size_t i = 0;
+    while (i < seen.size() && seen[i] != node_ids[r]) ++i;
+    if (i == seen.size()) seen.push_back(node_ids[r]);
+    dense[r] = static_cast<int>(i);
+  }
+  topology_ = std::move(dense);
+  num_nodes_ = static_cast<int>(seen.size());
+}
+
+int Universe::node_of(int world_rank) const {
+  if (world_rank < 0 || world_rank >= num_procs_) {
+    throw InvalidArgument("Universe::node_of: rank " +
+                          std::to_string(world_rank) + " out of range");
+  }
+  if (topology_.empty()) return 0;
+  return topology_[static_cast<std::size_t>(world_rank)];
+}
+
 const std::string& Universe::hostname(int world_rank) const {
   if (world_rank < 0 || world_rank >= num_procs_) {
     throw InvalidArgument("Universe::hostname: rank " +

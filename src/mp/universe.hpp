@@ -74,6 +74,22 @@ class Universe {
   /// Processor name of world rank `world_rank` (MPI_Get_processor_name).
   [[nodiscard]] const std::string& hostname(int world_rank) const;
 
+  /// Install the node map: one id per world rank, same id ⇔ the ranks
+  /// share a node (co-located processes). Ids are re-normalized to dense
+  /// first-appearance order, so any labeling with the right grouping
+  /// produces the same map on every rank. CollectiveAlgo::Auto uses this
+  /// to pick hierarchical leader-per-node schedules; an unset topology is
+  /// a single node (every rank id 0), which never changes Auto's historic
+  /// choices. Call before user code runs (runner/harness do, right after
+  /// transport wireup) — not concurrently with collectives.
+  void set_topology(const std::vector<int>& node_ids);
+
+  /// Node id of world rank `world_rank` (0 when no topology was set).
+  [[nodiscard]] int node_of(int world_rank) const;
+
+  /// Number of distinct nodes (1 when no topology was set).
+  [[nodiscard]] int num_nodes() const noexcept { return num_nodes_; }
+
   /// Allocate a fresh communicator id (used by Communicator::split/dup).
   /// Loopback ids come from one shared counter. Distributed ids are
   /// namespaced by the allocating world rank — (rank+1) << 32 | counter —
@@ -137,6 +153,9 @@ class Universe {
   /// non-null.
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::string> hostnames_;
+  /// Dense node id per world rank; empty ⇔ no topology set (single node).
+  std::vector<int> topology_;
+  int num_nodes_ = 1;
   std::atomic<std::uint64_t> next_comm_id_{1};  // 0 is COMM_WORLD
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> payloads_encoded_{0};

@@ -70,6 +70,16 @@ ClusterResult run_socket_cluster(
   const std::string dir = unix_mode ? make_scratch_dir("pdcnet") : "";
   const int port = unix_mode ? 0 : pick_free_port();
 
+  // Shm segment names are derived from the job token and global to the
+  // machine; uniquify per cluster so concurrent test binaries (or repeated
+  // clusters in one binary) never collide on a leftover segment.
+  std::string job = options.job;
+  if (options.use_shm) {
+    static std::atomic<unsigned> cluster_seq{0};
+    job += "-" + std::to_string(static_cast<long>(::getpid())) + "-" +
+           std::to_string(cluster_seq.fetch_add(1));
+  }
+
   ClusterResult result;
   result.output.resize(np);
   result.errors.assign(np, "");
@@ -86,15 +96,19 @@ ClusterResult run_socket_cluster(
       cfg.port = port;
       cfg.np = options.np;
       cfg.rank = rank;
-      cfg.job = options.job;
+      cfg.job = job;
       cfg.connect_timeout_ms = options.connect_timeout_ms;
       cfg.handshake_timeout_ms = options.handshake_timeout_ms;
       cfg.linger_ms = options.linger_ms;
+      cfg.use_shm = options.use_shm;
+      cfg.shm_ring_bytes = options.shm_ring_bytes;
+      cfg.topology = options.nodes;
 
       auto transport = std::make_unique<SocketTransport>(cfg);
       mp::Universe universe(options.np, transport->hostnames(), rank);
       SocketTransport* net = transport.get();
       universe.attach_transport(std::move(transport));
+      universe.set_topology(net->node_ids());
       if (options.on_wired) options.on_wired(rank, *net);
 
       mp::Communicator comm = mp::Communicator::world(universe, rank);

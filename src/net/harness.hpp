@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -34,6 +35,16 @@ struct ClusterOptions {
   Endpoint::Kind kind = Endpoint::Kind::Unix;
   int np = 2;
   std::string job = "harness";
+  /// Carry co-located Data frames over lock-free shm rings (the pdcrun
+  /// --transport shm data path). The job token is uniquified per cluster so
+  /// concurrent tests never collide on segment names.
+  bool use_shm = false;
+  /// Per-direction shm ring capacity; tests shrink it to force payload
+  /// streaming and wrap-around.
+  std::uint32_t shm_ring_bytes = 1u << 20;
+  /// Forced node id per world rank (see SocketConfig::topology); empty =
+  /// derive from the transport (all co-located here).
+  std::vector<int> nodes;
   /// Shrunk wireup/teardown budgets so a deliberately-broken test fails in
   /// milliseconds, not the production 10s handshake budget.
   int connect_timeout_ms = 2000;

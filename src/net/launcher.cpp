@@ -91,7 +91,13 @@ std::string pdcrun_usage() {
       "\n"
       "options:\n"
       "  -np, -n N            number of ranks (required, >= 1)\n"
-      "  --transport unix|tcp transport backend (default: unix)\n"
+      "  --transport unix|tcp|shm\n"
+      "                       transport backend (default: unix); shm keeps\n"
+      "                       the unix mesh for control and moves co-located\n"
+      "                       data onto lock-free shared-memory rings\n"
+      "  --nodes LIST         comma-separated node id per rank (\"0,0,1,1\")\n"
+      "                       forced onto the ranks as PDCRUN_NODES; drives\n"
+      "                       the topology-aware collective schedules\n"
       "  --host H             tcp rendezvous host (default: 127.0.0.1)\n"
       "  --port P             tcp rendezvous port (default: pick a free one)\n"
       "  --timeout-ms T       whole-job watchdog; kill + exit 124 (default\n"
@@ -140,11 +146,18 @@ int parse_pdcrun_args(int argc, const char* const* argv, LaunchOptions* out,
       }
     } else if (arg == "--transport" || arg == "-t") {
       if (!flag_with_value(arg, argc, argv, &i, &value) ||
-          (value != "unix" && value != "tcp")) {
-        *error = "--transport needs unix or tcp\n" + pdcrun_usage();
+          (value != "unix" && value != "tcp" && value != "shm")) {
+        *error = "--transport needs unix, tcp or shm\n" + pdcrun_usage();
         return kLaunchUsage;
       }
       options.transport = value;
+    } else if (arg == "--nodes") {
+      if (!flag_with_value(arg, argc, argv, &i, &value) || value.empty()) {
+        *error = "--nodes needs a comma-separated node id list\n" +
+                 pdcrun_usage();
+        return kLaunchUsage;
+      }
+      options.nodes = value;
     } else if (arg == "--host") {
       if (!flag_with_value(arg, argc, argv, &i, &value)) {
         *error = "--host needs a value\n" + pdcrun_usage();
@@ -212,6 +225,36 @@ int parse_pdcrun_args(int argc, const char* const* argv, LaunchOptions* out,
     *error = "no rank binary given\n" + pdcrun_usage();
     return kLaunchUsage;
   }
+  if (!options.nodes.empty()) {
+    // Fail here, with usage, instead of from inside every rank process.
+    int entries = 0;
+    const char* p = options.nodes.c_str();
+    for (;;) {
+      char* end = nullptr;
+      const long id = std::strtol(p, &end, 10);
+      if (end == p || id < 0) {
+        *error = "--nodes " + options.nodes +
+                 " is not a comma-separated list of node ids >= 0\n" +
+                 pdcrun_usage();
+        return kLaunchUsage;
+      }
+      ++entries;
+      p = end;
+      if (*p == '\0') break;
+      if (*p != ',') {
+        *error = "--nodes " + options.nodes +
+                 " is not a comma-separated list of node ids >= 0\n" +
+                 pdcrun_usage();
+        return kLaunchUsage;
+      }
+      ++p;
+    }
+    if (entries != options.np) {
+      *error = "--nodes needs exactly one node id per rank (-np " +
+               std::to_string(options.np) + ")\n" + pdcrun_usage();
+      return kLaunchUsage;
+    }
+  }
   options.binary = argv[i];
   for (++i; i < argc; ++i) options.args.emplace_back(argv[i]);
   *out = std::move(options);
@@ -230,7 +273,7 @@ LaunchReport launch(const LaunchOptions& options) {
     return report;
   }
 
-  const bool unix_mode = options.transport == "unix";
+  const bool unix_mode = options.transport != "tcp";  // unix and shm
   const std::string dir = unix_mode ? make_scratch_dir("pdcrun") : "";
   const int port =
       unix_mode ? 0 : (options.port > 0 ? options.port : pick_free_port());
@@ -252,6 +295,9 @@ LaunchReport launch(const LaunchOptions& options) {
   } else {
     env_common.push_back("PDCRUN_HOST=" + options.host);
     env_common.push_back("PDCRUN_PORT=" + std::to_string(port));
+  }
+  if (!options.nodes.empty()) {
+    env_common.push_back("PDCRUN_NODES=" + options.nodes);
   }
   if (options.have_seed) {
     env_common.push_back("PDCRUN_SEED=" + std::to_string(options.seed));

@@ -25,7 +25,12 @@ inline constexpr int kLaunchMissingBinary = 127;
 ///   pdcrun -np 4 [options] ./patternlet spmd
 struct LaunchOptions {
   int np = 0;
-  std::string transport = "unix";  ///< "unix" or "tcp"
+  /// "unix", "tcp" or "shm" (unix mesh for wireup/control + lock-free shm
+  /// rings for the co-located data path).
+  std::string transport = "unix";
+  /// Comma-separated node id per rank (e.g. "0,0,1,1"), exported as
+  /// PDCRUN_NODES; "" = let the ranks derive the topology themselves.
+  std::string nodes;
   std::string host = "127.0.0.1";  ///< tcp rendezvous host
   int port = 0;                    ///< tcp rendezvous port; 0 = pick one
   /// Whole-job watchdog: if any rank is still alive after this, the job is

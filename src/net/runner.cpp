@@ -54,6 +54,36 @@ chaos::Config chaos_config(const RankEnv& env) {
   return config;
 }
 
+std::vector<int> parse_node_list(const char* text, int np) {
+  std::vector<int> ids;
+  const char* p = text;
+  for (;;) {
+    char* end = nullptr;
+    const long id = std::strtol(p, &end, 10);
+    if (end == p || id < 0) {
+      throw InvalidArgument(std::string("PDCRUN_NODES=\"") + text +
+                            "\" must be a comma-separated list of node ids "
+                            ">= 0");
+    }
+    ids.push_back(static_cast<int>(id));
+    p = end;
+    if (*p == '\0') break;
+    if (*p != ',') {
+      throw InvalidArgument(std::string("PDCRUN_NODES=\"") + text +
+                            "\" must be a comma-separated list of node ids "
+                            ">= 0");
+    }
+    ++p;
+  }
+  if (ids.size() != static_cast<std::size_t>(np)) {
+    throw InvalidArgument(std::string("PDCRUN_NODES=\"") + text +
+                          "\" needs exactly one node id per rank "
+                          "(PDCRUN_NP=" +
+                          std::to_string(np) + ")");
+  }
+  return ids;
+}
+
 void postmortem_line(int rank, const char* what, const std::string& detail) {
   std::fprintf(stderr, "pdc::net rank %d %s: %s\n", rank, what,
                detail.c_str());
@@ -76,11 +106,15 @@ RankEnv rank_env_from_environment() {
                           std::to_string(cfg.np));
   }
   const std::string transport = env_or("PDCRUN_TRANSPORT", "unix");
-  if (transport == "unix") {
+  if (transport == "unix" || transport == "shm") {
+    // "shm" keeps the unix-socket mesh for wireup/control and moves the
+    // co-located data path onto the shm rings.
     cfg.kind = Endpoint::Kind::Unix;
+    cfg.use_shm = transport == "shm";
     cfg.dir = env_or("PDCRUN_DIR", "");
     if (cfg.dir.empty()) {
-      throw InvalidArgument("PDCRUN_TRANSPORT=unix needs PDCRUN_DIR");
+      throw InvalidArgument("PDCRUN_TRANSPORT=" + transport +
+                            " needs PDCRUN_DIR");
     }
   } else if (transport == "tcp") {
     cfg.kind = Endpoint::Kind::Tcp;
@@ -91,7 +125,11 @@ RankEnv rank_env_from_environment() {
     }
   } else {
     throw InvalidArgument("PDCRUN_TRANSPORT=\"" + transport +
-                          "\" (supported: unix, tcp)");
+                          "\" (supported: unix, tcp, shm)");
+  }
+  const char* nodes = std::getenv("PDCRUN_NODES");
+  if (nodes != nullptr && *nodes != '\0') {
+    cfg.topology = parse_node_list(nodes, cfg.np);
   }
   cfg.job = env_or("PDCRUN_JOB", "local");
   cfg.connect_timeout_ms = static_cast<int>(
@@ -152,6 +190,9 @@ int run_rank(const RankEnv& env,
     universe.set_echo_output(true);
     SocketTransport* net = transport.get();
     universe.attach_transport(std::move(transport));
+    // Tell Auto the real node shape (forced PDCRUN_NODES, or what wireup
+    // learned) before any user collective can resolve a schedule.
+    universe.set_topology(net->node_ids());
 
     // Trace lanes carry the real OS pid (the whole point of running as
     // processes); chaos decisions stay keyed by world rank.

@@ -23,9 +23,16 @@ inline constexpr int kRankPeerAbort = 5;  ///< another rank aborted the job
 ///
 /// Variables (set by pdcrun for every child):
 ///   PDCRUN_RANK / PDCRUN_NP          world rank / world size
-///   PDCRUN_TRANSPORT                 "unix" or "tcp"
-///   PDCRUN_DIR                       unix: directory of rank<N>.sock files
+///   PDCRUN_TRANSPORT                 "unix", "tcp" or "shm" (unix sockets
+///                                    for wireup/control + lock-free shm
+///                                    rings for co-located data)
+///   PDCRUN_DIR                       unix/shm: directory of rank<N>.sock
+///                                    files
 ///   PDCRUN_HOST / PDCRUN_PORT        tcp: rank 0's rendezvous address
+///   PDCRUN_NODES                     optional: comma-separated node id per
+///                                    rank ("0,0,1,1") — forces the topology
+///                                    CollectiveAlgo::Auto sees; ids >= 0,
+///                                    exactly NP entries
 ///   PDCRUN_JOB                       job token; wireup rejects strangers
 ///   PDCRUN_SEED                      optional: seeds the rank's chaos plan
 ///   PDCRUN_CONNECT_TIMEOUT_MS        optional: per-dial-attempt budget

@@ -1,0 +1,783 @@
+#include "net/shm.hpp"
+
+#include <fcntl.h>
+#include <linux/futex.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstring>
+#include <new>
+
+#include "chaos/chaos.hpp"
+#include "mp/universe.hpp"
+#include "net/errors.hpp"
+#include "support/error.hpp"
+#include "trace/trace.hpp"
+
+namespace pdc::net::shm {
+namespace {
+
+constexpr std::uint32_t kSegMagic = 0x4D485350;   // "PSHM"
+constexpr std::uint32_t kBellMagic = 0x4C454250;  // "PBEL"
+constexpr std::uint32_t kShmVersion = 1;
+
+/// Clamp on a record's head (wire header + metadata). The real maximum is
+/// ~4.2 KiB (a clamped type name plus fixed fields); anything larger is a
+/// corrupt or hostile ring.
+constexpr std::uint32_t kMaxRecordHead = 8192;
+
+/// Smallest ring that always has room for a complete record head at once
+/// (payloads stream, heads don't). Must hold 4 + kMaxRecordHead.
+constexpr std::uint32_t kMinRingBytes = 16384;
+constexpr std::uint32_t kMaxRingBytes = 1u << 28;
+
+constexpr std::size_t kBellBytes = 4096;
+
+/// Futex sleep slice for long waits: every slice the waiter re-checks the
+/// dead/aborted flags, so a lost wake (or a SIGKILLed peer) costs at most
+/// one slice, never a hang.
+constexpr std::chrono::milliseconds kFutexSlice{50};
+
+/// Backstop pump cadence while the receiving program computes.
+constexpr std::chrono::milliseconds kBackstopTick{5};
+
+/// One direction of a pair segment. head/tail are free-running byte
+/// counters (the data index is pos & (ring_bytes-1)); the space words are
+/// the producer-side futex (bumped by the consumer as it frees bytes).
+/// Producer-owned and consumer-owned words sit on separate cache lines.
+struct RingHdr {
+  alignas(64) std::atomic<std::uint64_t> head;  // bytes produced
+  alignas(64) std::atomic<std::uint64_t> tail;  // bytes consumed
+  alignas(64) std::atomic<std::uint32_t> space_seq;
+  std::atomic<std::uint32_t> space_waiters;
+};
+
+struct SegHeader {
+  std::atomic<std::uint32_t> magic;  // stored last by the creator
+  std::uint32_t version;
+  std::uint32_t ring_bytes;
+  std::atomic<std::uint32_t> attached;
+  std::atomic<std::uint32_t> aborted;  // poison: peer death or job abort
+  alignas(64) RingHdr ring[2];         // [0] lo→hi, [1] hi→lo
+};
+
+/// Per-rank doorbell. One word (data_seq) covers every peer's rings plus
+/// mailbox kicks; backstop_seq is the separate low-urgency bell the sender
+/// rings when nobody is blocked waiting.
+struct BellPage {
+  std::atomic<std::uint32_t> magic;
+  std::atomic<std::uint32_t> attach_count;
+  std::atomic<std::uint32_t> data_seq;
+  std::atomic<std::uint32_t> data_waiters;
+  std::atomic<std::uint32_t> backstop_seq;
+};
+
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free);
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free);
+static_assert(sizeof(std::atomic<std::uint32_t>) == 4);
+static_assert(sizeof(SegHeader) % 64 == 0);
+static_assert(sizeof(BellPage) <= kBellBytes);
+
+/// FUTEX_WAIT on a shared 32-bit word with a relative timeout. EINTR
+/// retries; EAGAIN (word changed) and ETIMEDOUT return — callers always
+/// re-check their condition in a loop.
+void futex_wait_word(std::atomic<std::uint32_t>& word, std::uint32_t expect,
+                     std::chrono::milliseconds timeout) {
+  timespec ts{};
+  ts.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  ts.tv_nsec = static_cast<long>((timeout.count() % 1000) * 1000000L);
+  for (;;) {
+    // Non-private: the word lives in a MAP_SHARED file mapping.
+    const long rc = ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
+                              FUTEX_WAIT, expect, &ts, nullptr, 0u);
+    if (rc == 0) return;
+    if (errno == EINTR) continue;
+    return;
+  }
+}
+
+void futex_wake_word(std::atomic<std::uint32_t>& word, int waiters) {
+  ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word), FUTEX_WAKE,
+            waiters, nullptr, nullptr, 0u);
+}
+
+void ring_copy_in(std::byte* data, std::uint32_t cap, std::uint64_t pos,
+                  const std::byte* src, std::size_t n) {
+  const std::uint32_t off = static_cast<std::uint32_t>(pos) & (cap - 1);
+  const std::size_t first = std::min<std::size_t>(n, cap - off);
+  std::memcpy(data + off, src, first);
+  if (first < n) std::memcpy(data, src + first, n - first);
+}
+
+void ring_copy_out(const std::byte* data, std::uint32_t cap, std::uint64_t pos,
+                   std::byte* dst, std::size_t n) {
+  const std::uint32_t off = static_cast<std::uint32_t>(pos) & (cap - 1);
+  const std::size_t first = std::min<std::size_t>(n, cap - off);
+  std::memcpy(dst, data + off, first);
+  if (first < n) std::memcpy(dst + first, data, n - first);
+}
+
+/// Consumer freed ring bytes: bump the producer-side futex and wake anyone
+/// blocked on a full ring.
+void signal_space(RingHdr& ring) {
+  ring.space_seq.fetch_add(1);
+  if (ring.space_waiters.load() > 0) futex_wake_word(ring.space_seq, INT_MAX);
+}
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::string name_key(const std::string& job) {
+  std::string safe;
+  for (const char ch : job) {
+    if (safe.size() >= 24) break;
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '.' || ch == '_' ||
+                    ch == '-';
+    safe.push_back(ok ? ch : '_');
+  }
+  // FNV-1a over the full token so jobs that differ only past the truncation
+  // (or only in sanitized characters) still get distinct shm names.
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char ch : job) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 1099511628211ULL;
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return safe + "-" + hex;
+}
+
+struct ShmState::Channel {
+  int peer = -1;
+  std::string seg_name;
+  bool created = false;     ///< we are the segment's creating side
+  bool seg_linked = false;  ///< name still present in /dev/shm
+  void* seg_mem = nullptr;
+  std::size_t seg_len = 0;
+  SegHeader* seg = nullptr;
+  RingHdr* out = nullptr;  ///< ring we produce into
+  RingHdr* in = nullptr;   ///< ring we consume from
+  std::byte* out_data = nullptr;
+  std::byte* in_data = nullptr;
+  void* bell_mem = nullptr;  ///< the peer's bell page
+  BellPage* peer_bell = nullptr;
+  std::mutex send_mutex;  ///< serializes producers into `out`
+  std::mutex pump_mutex;  ///< serializes consumers of `in` (backstop vs program)
+  mp::Bytes head_scratch;  ///< drain buffers, reused record to record —
+  mp::Bytes body_scratch;  ///< guarded by pump_mutex like the rest of `in`
+  std::atomic<bool> dead{false};    ///< peer vanished (EOF-without-Bye)
+  std::atomic<bool> closed{false};  ///< peer said a clean goodbye
+};
+
+ShmState::ShmState(const Options& options) : options_(options) {
+  if (options_.np < 1) throw InvalidArgument("shm: np must be >= 1");
+  if (options_.rank < 0 || options_.rank >= options_.np) {
+    throw InvalidArgument("shm: rank out of range");
+  }
+  if (options_.node_ids.size() != static_cast<std::size_t>(options_.np)) {
+    throw InvalidArgument("shm: node_ids must have one entry per rank");
+  }
+  const std::uint32_t ring = options_.ring_bytes;
+  if (ring < kMinRingBytes || ring > kMaxRingBytes ||
+      (ring & (ring - 1)) != 0) {
+    throw InvalidArgument(
+        "shm: ring_bytes must be a power of two in [16384, 268435456]");
+  }
+  key_ = name_key(options_.job);
+  bell_name_ = "/pdc-" + key_ + "-b" + std::to_string(options_.rank);
+  channels_.resize(static_cast<std::size_t>(options_.np));
+  for (int r = 0; r < options_.np; ++r) {
+    if (has_peer(r)) ++colocated_;
+  }
+}
+
+ShmState::~ShmState() {
+  shutdown();
+  teardown_on_error();
+}
+
+bool ShmState::has_peer(int world_rank) const noexcept {
+  if (world_rank < 0 || world_rank >= options_.np) return false;
+  if (world_rank == options_.rank) return false;
+  return options_.node_ids[static_cast<std::size_t>(world_rank)] ==
+         options_.node_ids[static_cast<std::size_t>(options_.rank)];
+}
+
+void ShmState::create_own_bell() {
+  int fd = ::shm_open(bell_name_.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0 && errno == EEXIST) {
+    // Stale page from a crashed job that recycled our key; replace it.
+    ::shm_unlink(bell_name_.c_str());
+    fd = ::shm_open(bell_name_.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  }
+  if (fd < 0) throw ConnectionError(errno_text("shm_open(bell)"));
+  if (::ftruncate(fd, static_cast<off_t>(kBellBytes)) != 0) {
+    ::close(fd);
+    throw ConnectionError(errno_text("ftruncate(bell)"));
+  }
+  void* mem = ::mmap(nullptr, kBellBytes, PROT_READ | PROT_WRITE, MAP_SHARED,
+                     fd, 0);
+  ::close(fd);
+  if (mem == MAP_FAILED) throw ConnectionError(errno_text("mmap(bell)"));
+  bell_mem_ = mem;
+  bell_linked_ = true;
+  auto* bell = new (mem) BellPage{};
+  bell->magic.store(kBellMagic, std::memory_order_release);
+}
+
+void ShmState::setup_pair(int peer,
+                          std::chrono::steady_clock::time_point deadline) {
+  auto c = std::make_unique<Channel>();
+  c->peer = peer;
+  const int lo = std::min(options_.rank, peer);
+  const int hi = std::max(options_.rank, peer);
+  c->seg_name = "/pdc-" + key_ + "-p" + std::to_string(lo) + "." +
+                std::to_string(hi);
+  const std::uint32_t ring = options_.ring_bytes;
+  c->seg_len = sizeof(SegHeader) + 2 * static_cast<std::size_t>(ring);
+
+  const bool creator = options_.rank == lo;
+  if (creator) {
+    int fd = ::shm_open(c->seg_name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+    if (fd < 0 && errno == EEXIST) {
+      ::shm_unlink(c->seg_name.c_str());
+      fd = ::shm_open(c->seg_name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+    }
+    if (fd < 0) throw ConnectionError(errno_text("shm_open(segment)"));
+    if (::ftruncate(fd, static_cast<off_t>(c->seg_len)) != 0) {
+      ::close(fd);
+      ::shm_unlink(c->seg_name.c_str());
+      throw ConnectionError(errno_text("ftruncate(segment)"));
+    }
+    void* mem = ::mmap(nullptr, c->seg_len, PROT_READ | PROT_WRITE, MAP_SHARED,
+                       fd, 0);
+    ::close(fd);
+    if (mem == MAP_FAILED) {
+      ::shm_unlink(c->seg_name.c_str());
+      throw ConnectionError(errno_text("mmap(segment)"));
+    }
+    c->seg_mem = mem;
+    c->created = true;
+    c->seg_linked = true;
+    auto* seg = new (mem) SegHeader{};
+    seg->version = kShmVersion;
+    seg->ring_bytes = ring;
+    // Publish last: an attacher that sees the magic sees everything above.
+    seg->magic.store(kSegMagic, std::memory_order_release);
+    c->seg = seg;
+  } else {
+    // The creator may not have run yet (it is still wiring up other pairs);
+    // retry until the segment appears fully initialized or the handshake
+    // budget runs out.
+    for (;;) {
+      const int fd = ::shm_open(c->seg_name.c_str(), O_RDWR, 0600);
+      if (fd >= 0) {
+        struct stat st{};
+        const bool sized =
+            ::fstat(fd, &st) == 0 &&
+            st.st_size >= static_cast<off_t>(c->seg_len);
+        if (sized) {
+          void* mem = ::mmap(nullptr, c->seg_len, PROT_READ | PROT_WRITE,
+                             MAP_SHARED, fd, 0);
+          ::close(fd);
+          if (mem == MAP_FAILED) {
+            throw ConnectionError(errno_text("mmap(segment)"));
+          }
+          auto* seg = static_cast<SegHeader*>(mem);
+          if (seg->magic.load(std::memory_order_acquire) == kSegMagic) {
+            if (seg->version != kShmVersion || seg->ring_bytes != ring) {
+              ::munmap(mem, c->seg_len);
+              throw ConnectionError(
+                  "shm segment layout mismatch (version/ring_bytes): peers "
+                  "disagree on configuration");
+            }
+            c->seg_mem = mem;
+            c->seg = seg;
+            seg->attached.store(1, std::memory_order_release);
+            break;
+          }
+          ::munmap(mem, c->seg_len);
+        } else {
+          ::close(fd);
+        }
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        throw ConnectionError("shm wireup timed out waiting for rank " +
+                              std::to_string(peer) + "'s segment " +
+                              c->seg_name);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  auto* base = static_cast<std::byte*>(c->seg_mem);
+  std::byte* data0 = base + sizeof(SegHeader);
+  std::byte* data1 = data0 + ring;
+  if (creator) {
+    c->out = &c->seg->ring[0];
+    c->out_data = data0;
+    c->in = &c->seg->ring[1];
+    c->in_data = data1;
+  } else {
+    c->out = &c->seg->ring[1];
+    c->out_data = data1;
+    c->in = &c->seg->ring[0];
+    c->in_data = data0;
+  }
+
+  // Map the peer's doorbell page (it creates its own before touching pairs).
+  const std::string bell_name = "/pdc-" + key_ + "-b" + std::to_string(peer);
+  for (;;) {
+    const int fd = ::shm_open(bell_name.c_str(), O_RDWR, 0600);
+    if (fd >= 0) {
+      struct stat st{};
+      const bool sized = ::fstat(fd, &st) == 0 &&
+                         st.st_size >= static_cast<off_t>(kBellBytes);
+      if (sized) {
+        void* mem = ::mmap(nullptr, kBellBytes, PROT_READ | PROT_WRITE,
+                           MAP_SHARED, fd, 0);
+        ::close(fd);
+        if (mem == MAP_FAILED) throw ConnectionError(errno_text("mmap(bell)"));
+        auto* bell = static_cast<BellPage*>(mem);
+        if (bell->magic.load(std::memory_order_acquire) == kBellMagic) {
+          c->bell_mem = mem;
+          c->peer_bell = bell;
+          bell->attach_count.fetch_add(1);
+          break;
+        }
+        ::munmap(mem, kBellBytes);
+      } else {
+        ::close(fd);
+      }
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw ConnectionError("shm wireup timed out waiting for rank " +
+                            std::to_string(peer) + "'s doorbell");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  channels_[static_cast<std::size_t>(peer)] = std::move(c);
+}
+
+void ShmState::connect() {
+  if (colocated_ == 0) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.handshake_timeout_ms);
+  try {
+    create_own_bell();
+    for (int r = 0; r < options_.np; ++r) {
+      if (has_peer(r)) setup_pair(r, deadline);
+    }
+    // Unlink every name as soon as both sides hold a mapping: a SIGKILLed
+    // job leaks nothing past wireup, and stale names cannot confuse the
+    // next job.
+    for (auto& cp : channels_) {
+      Channel* c = cp.get();
+      if (!c || !c->created) continue;
+      while (c->seg->attached.load(std::memory_order_acquire) == 0) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+          throw ConnectionError("shm wireup timed out waiting for rank " +
+                                std::to_string(c->peer) + " to attach " +
+                                c->seg_name);
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      ::shm_unlink(c->seg_name.c_str());
+      c->seg_linked = false;
+    }
+    auto* bell = static_cast<BellPage*>(bell_mem_);
+    while (bell->attach_count.load() <
+           static_cast<std::uint32_t>(colocated_)) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        throw ConnectionError(
+            "shm wireup timed out waiting for peers to attach our doorbell");
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    ::shm_unlink(bell_name_.c_str());
+    bell_linked_ = false;
+  } catch (...) {
+    teardown_on_error();
+    throw;
+  }
+}
+
+void ShmState::teardown_on_error() noexcept {
+  for (auto& cp : channels_) {
+    Channel* c = cp.get();
+    if (!c) continue;
+    if (c->seg_linked) ::shm_unlink(c->seg_name.c_str());
+    c->seg_linked = false;
+    if (c->bell_mem) ::munmap(c->bell_mem, kBellBytes);
+    c->bell_mem = nullptr;
+    c->peer_bell = nullptr;
+    if (c->seg_mem) ::munmap(c->seg_mem, c->seg_len);
+    c->seg_mem = nullptr;
+    c->seg = nullptr;
+    c->in = c->out = nullptr;
+    c->in_data = c->out_data = nullptr;
+  }
+  if (bell_linked_) ::shm_unlink(bell_name_.c_str());
+  bell_linked_ = false;
+  if (bell_mem_) ::munmap(bell_mem_, kBellBytes);
+  bell_mem_ = nullptr;
+}
+
+void ShmState::bind(mp::Universe& universe) {
+  universe_ = &universe;
+  if (colocated_ == 0) return;
+  universe.mailbox(options_.rank).set_progress(this);
+  stop_.store(false);
+  backstop_ = std::thread([this] { backstop_loop(); });
+}
+
+void ShmState::ring_peer_bell(Channel& c, bool urgent) noexcept {
+  BellPage* bell = c.peer_bell;
+  bell->data_seq.fetch_add(1);
+  if (bell->data_waiters.load() > 0) {
+    futex_wake_word(bell->data_seq, INT_MAX);
+  } else if (urgent) {
+    // Nobody is blocked receiving and the caller needs the ring drained by
+    // SOMEBODY (it is stalled on a full ring): poke the peer's backstop.
+    bell->backstop_seq.fetch_add(1);
+    futex_wake_word(bell->backstop_seq, 1);
+  }
+  // Otherwise the bumped data_seq is enough: every receive path polls the
+  // rings before blocking and re-reads the bell before each futex wait, so
+  // a peer that is about to wait (its waiters increment not yet visible)
+  // still sees the new epoch and drains without a wakeup. Waking the
+  // backstop here instead puts a third thread into every message handoff —
+  // on a single core that is an extra context switch per message, and it
+  // is what pushed the shm ping from ~1.7us to ~2.8us. The peer that
+  // genuinely computes for a long time is drained by the backstop's
+  // periodic tick.
+}
+
+void ShmState::send_data(int dest_world_rank, const wire::DataFrame& frame) {
+  Channel* c = channels_[static_cast<std::size_t>(dest_world_rank)].get();
+  if (!c) throw InvalidArgument("shm: rank is not a co-located peer");
+  if (c->dead.load(std::memory_order_acquire)) {
+    throw PeerLost("shm send to rank " + std::to_string(dest_world_rank) +
+                   " failed: peer is gone");
+  }
+  if (c->closed.load(std::memory_order_acquire)) return;  // teardown race
+
+  const std::uint32_t head_len = static_cast<std::uint32_t>(frame.head.size());
+  std::byte len_bytes[4];
+  std::memcpy(len_bytes, &head_len, sizeof head_len);
+  struct Span {
+    const std::byte* ptr;
+    std::size_t len;
+  };
+  const mp::Bytes& payload = frame.payload ? *frame.payload : mp::empty_bytes();
+  const Span spans[3] = {{len_bytes, sizeof len_bytes},
+                         {frame.head.data(), frame.head.size()},
+                         {payload.data(), payload.size()}};
+
+  std::lock_guard guard(c->send_mutex);
+  const std::uint32_t cap = options_.ring_bytes;
+  RingHdr& out = *c->out;
+  std::uint64_t pos = out.head.load(std::memory_order_relaxed);
+  auto last_progress = std::chrono::steady_clock::now();
+  std::size_t si = 0;
+  std::size_t soff = 0;
+  while (si < 3) {
+    if (soff == spans[si].len) {
+      ++si;
+      soff = 0;
+      continue;
+    }
+    const std::uint64_t tail = out.tail.load(std::memory_order_acquire);
+    std::uint32_t space = cap - static_cast<std::uint32_t>(pos - tail);
+    if (space == 0) {
+      if (c->dead.load(std::memory_order_acquire) ||
+          c->seg->aborted.load() != 0) {
+        throw PeerLost("shm send to rank " + std::to_string(dest_world_rank) +
+                       " failed: peer is gone");
+      }
+      if (c->closed.load(std::memory_order_acquire)) return;
+      if (std::chrono::steady_clock::now() - last_progress >
+          std::chrono::milliseconds(std::max(options_.linger_ms, 1000))) {
+        // Bounded send, mirroring the socket writer's SO_SNDTIMEO: a peer
+        // that holds the ring full past the linger budget is treated as
+        // lost, not waited on forever.
+        record_peer_lost(*c, "rank " + std::to_string(dest_world_rank) +
+                                 " stopped draining its shm ring");
+        throw PeerLost("shm send to rank " + std::to_string(dest_world_rank) +
+                       " failed: peer stopped draining");
+      }
+      const std::uint32_t seq = out.space_seq.load();
+      if (cap - static_cast<std::uint32_t>(
+                    pos - out.tail.load(std::memory_order_acquire)) ==
+          0) {
+        out.space_waiters.fetch_add(1);
+        // Make sure SOMEBODY is awake to drain: if the peer's program is
+        // computing, only its backstop can free the space we need.
+        ring_peer_bell(*c, /*urgent=*/true);
+        futex_wait_word(out.space_seq, seq, kFutexSlice);
+        out.space_waiters.fetch_sub(1);
+      }
+      continue;
+    }
+    // Copy up to `space` bytes across the remaining spans, then publish the
+    // burst. Payloads larger than the ring pipeline through here: each
+    // burst is visible to (and typically already being drained by) the
+    // consumer while the next is written.
+    while (space > 0 && si < 3) {
+      if (soff == spans[si].len) {
+        ++si;
+        soff = 0;
+        continue;
+      }
+      const std::size_t chunk =
+          std::min<std::size_t>(space, spans[si].len - soff);
+      ring_copy_in(c->out_data, cap, pos, spans[si].ptr + soff, chunk);
+      pos += chunk;
+      soff += chunk;
+      space -= static_cast<std::uint32_t>(chunk);
+    }
+    out.head.store(pos, std::memory_order_release);
+    last_progress = std::chrono::steady_clock::now();
+    ring_peer_bell(*c);
+  }
+}
+
+bool ShmState::pump_wait_for_bytes(Channel& c, std::uint64_t needed_head) {
+  auto* bell = static_cast<BellPage*>(bell_mem_);
+  for (;;) {
+    if (c.dead.load(std::memory_order_acquire) ||
+        stop_.load(std::memory_order_acquire) || c.seg->aborted.load() != 0) {
+      return false;
+    }
+    if (c.in->head.load(std::memory_order_acquire) >= needed_head) return true;
+    const std::uint32_t seen = bell->data_seq.load();
+    if (c.in->head.load(std::memory_order_acquire) >= needed_head) return true;
+    bell->data_waiters.fetch_add(1);
+    futex_wait_word(bell->data_seq, seen, kFutexSlice);
+    bell->data_waiters.fetch_sub(1);
+  }
+}
+
+void ShmState::drain_channel(Channel& c) {
+  const std::uint32_t cap = options_.ring_bytes;
+  RingHdr& in = *c.in;
+  for (;;) {
+    if (c.dead.load(std::memory_order_acquire) ||
+        stop_.load(std::memory_order_acquire)) {
+      return;
+    }
+    std::uint64_t tail = in.tail.load(std::memory_order_relaxed);
+    const std::uint64_t head = in.head.load(std::memory_order_acquire);
+    if (head - tail < 4) return;  // next burst rings the bell again
+    std::uint32_t head_len = 0;
+    ring_copy_out(c.in_data, cap, tail,
+                  reinterpret_cast<std::byte*>(&head_len), sizeof head_len);
+    if (head_len < wire::kHeaderBytes || head_len > kMaxRecordHead) {
+      throw ProtocolError("shm record head length " +
+                          std::to_string(head_len) + " is outside [12, " +
+                          std::to_string(kMaxRecordHead) + "]");
+    }
+    if (head - tail < 4 + static_cast<std::uint64_t>(head_len)) {
+      // Mid-burst head; the ring always has room for a whole head, so the
+      // producer is still writing and will ring again.
+      return;
+    }
+    mp::Bytes& head_buf = c.head_scratch;
+    head_buf.resize(head_len);
+    ring_copy_out(c.in_data, cap, tail + 4, head_buf.data(), head_len);
+    std::byte raw[wire::kHeaderBytes];
+    std::memcpy(raw, head_buf.data(), wire::kHeaderBytes);
+    const wire::Header header = wire::decode_header(raw);
+    if (header.kind != wire::FrameKind::Data) {
+      throw ProtocolError("shm ring carried a non-Data frame");
+    }
+    const std::size_t meta_len = head_len - wire::kHeaderBytes;
+    if (header.body_len < meta_len) {
+      throw ProtocolError("shm record head longer than its declared body");
+    }
+    const std::size_t payload_len = header.body_len - meta_len;
+    tail += 4 + head_len;
+    in.tail.store(tail, std::memory_order_release);
+    signal_space(in);
+
+    // Rebuild the frame body (metadata + payload) and stream the payload
+    // out of the ring — for payloads larger than the ring this interleaves
+    // with the producer's bursts.
+    mp::Bytes& body = c.body_scratch;
+    body.resize(header.body_len);
+    std::memcpy(body.data(), head_buf.data() + wire::kHeaderBytes, meta_len);
+    std::size_t got = 0;
+    while (got < payload_len) {
+      const std::uint64_t avail =
+          in.head.load(std::memory_order_acquire) - tail;
+      if (avail == 0) {
+        if (!pump_wait_for_bytes(c, tail + 1)) return;  // abandon: peer gone
+        continue;
+      }
+      const std::size_t take =
+          std::min<std::uint64_t>(avail, payload_len - got);
+      ring_copy_out(c.in_data, cap, tail, body.data() + meta_len + got, take);
+      tail += take;
+      got += take;
+      in.tail.store(tail, std::memory_order_release);
+      signal_space(in);
+    }
+
+    mp::Envelope envelope = wire::decode_data(body, options_.rank);
+    if (trace::enabled()) {
+      trace::Counter("net.bytes_recv")
+          .add(static_cast<double>(wire::kHeaderBytes + header.body_len));
+      trace::Counter("net.frames_recv").add(1.0);
+    }
+    universe_->mailbox(options_.rank).deliver(std::move(envelope));
+  }
+}
+
+void ShmState::record_peer_lost(Channel& c, const std::string& why) noexcept {
+  c.dead.store(true, std::memory_order_release);
+  if (c.seg) c.seg->aborted.store(1);
+  {
+    std::lock_guard lock(postmortem_mutex_);
+    if (postmortem_.empty()) {
+      postmortem_ = "shm channel to rank " + std::to_string(c.peer) +
+                    " lost: " + why;
+    }
+  }
+  trace::instant("net.peer_lost", "net");
+  if (c.out) signal_space(*c.out);  // unblock our producer
+  kick();                           // unblock engine waiters / mid-record pumps
+  if (!stop_.load(std::memory_order_acquire) && universe_) {
+    universe_->abort();
+  }
+}
+
+void ShmState::mark_peer_dead(int world_rank) noexcept {
+  Channel* c = world_rank >= 0 && world_rank < options_.np
+                   ? channels_[static_cast<std::size_t>(world_rank)].get()
+                   : nullptr;
+  if (!c || c->dead.load(std::memory_order_acquire)) return;
+  c->dead.store(true, std::memory_order_release);
+  if (c->seg) c->seg->aborted.store(1);
+  if (c->out) signal_space(*c->out);
+  kick();
+}
+
+void ShmState::mark_peer_closed(int world_rank) noexcept {
+  Channel* c = world_rank >= 0 && world_rank < options_.np
+                   ? channels_[static_cast<std::size_t>(world_rank)].get()
+                   : nullptr;
+  if (!c) return;
+  c->closed.store(true, std::memory_order_release);
+  if (c->out) signal_space(*c->out);  // a blocked producer drops the frame
+  kick();
+}
+
+void ShmState::local_abort() noexcept {
+  for (auto& cp : channels_) {
+    Channel* c = cp.get();
+    if (!c || !c->seg) continue;
+    c->seg->aborted.store(1);
+    // Wake both sides: our producer/pump and the peer's.
+    signal_space(c->seg->ring[0]);
+    signal_space(c->seg->ring[1]);
+    if (c->peer_bell) {
+      c->peer_bell->data_seq.fetch_add(1);
+      futex_wake_word(c->peer_bell->data_seq, INT_MAX);
+      c->peer_bell->backstop_seq.fetch_add(1);
+      futex_wake_word(c->peer_bell->backstop_seq, INT_MAX);
+    }
+  }
+  kick();
+}
+
+void ShmState::backstop_loop() {
+  chaos::ActorScope actor(options_.rank);
+  auto* bell = static_cast<BellPage*>(bell_mem_);
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Lost-wakeup-free: read the bell, then pump, then wait on the value
+    // read. A ring between the pump and the wait makes the wait return
+    // immediately; the short tick heals the remaining waiters-flag race.
+    const std::uint32_t seen = bell->backstop_seq.load();
+    poll();
+    if (stop_.load(std::memory_order_acquire)) break;
+    futex_wait_word(bell->backstop_seq, seen, kBackstopTick);
+  }
+}
+
+std::uint64_t ShmState::epoch() noexcept {
+  auto* bell = static_cast<BellPage*>(bell_mem_);
+  return bell ? bell->data_seq.load() : 0;
+}
+
+void ShmState::poll() {
+  for (auto& cp : channels_) {
+    Channel* c = cp.get();
+    if (!c || c->dead.load(std::memory_order_relaxed)) continue;
+    std::unique_lock lock(c->pump_mutex, std::try_to_lock);
+    if (!lock.owns_lock()) continue;  // someone else is already pumping it
+    try {
+      drain_channel(*c);
+    } catch (const Error& error) {
+      record_peer_lost(*c, error.what());
+    }
+  }
+}
+
+void ShmState::wait(std::uint64_t seen, std::chrono::milliseconds max_wait) {
+  auto* bell = static_cast<BellPage*>(bell_mem_);
+  if (!bell) return;
+  // waiters is raised across the pump so concurrent senders route their
+  // wake to the data bell (not the backstop) while we are here.
+  bell->data_waiters.fetch_add(1);
+  poll();
+  if (bell->data_seq.load() == static_cast<std::uint32_t>(seen) &&
+      !stop_.load(std::memory_order_acquire)) {
+    futex_wait_word(bell->data_seq, static_cast<std::uint32_t>(seen),
+                    std::min(max_wait, kFutexSlice));
+  }
+  bell->data_waiters.fetch_sub(1);
+}
+
+void ShmState::kick() noexcept {
+  auto* bell = static_cast<BellPage*>(bell_mem_);
+  if (!bell) return;
+  bell->data_seq.fetch_add(1);
+  if (bell->data_waiters.load() > 0) futex_wake_word(bell->data_seq, INT_MAX);
+}
+
+void ShmState::shutdown() noexcept {
+  if (shut_.exchange(true)) return;
+  stop_.store(true, std::memory_order_release);
+  if (auto* bell = static_cast<BellPage*>(bell_mem_)) {
+    bell->backstop_seq.fetch_add(1);
+    futex_wake_word(bell->backstop_seq, INT_MAX);
+    bell->data_seq.fetch_add(1);
+    futex_wake_word(bell->data_seq, INT_MAX);
+  }
+  if (backstop_.joinable()) backstop_.join();
+  if (universe_ && colocated_ > 0) {
+    universe_->mailbox(options_.rank).set_progress(nullptr);
+  }
+  // Mappings stay alive until destruction: socket reader threads may still
+  // flip channel flags during the socket transport's own teardown.
+}
+
+std::string ShmState::postmortem() const {
+  std::lock_guard lock(postmortem_mutex_);
+  return postmortem_;
+}
+
+}  // namespace pdc::net::shm

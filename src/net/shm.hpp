@@ -1,0 +1,149 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mp/mailbox.hpp"
+#include "net/wire.hpp"
+
+namespace pdc::mp {
+class Universe;
+}
+
+namespace pdc::net::shm {
+
+/// One shm segment per co-located rank pair, two SPSC byte-stream rings per
+/// segment (one per direction), one futex "bell" page per rank. The design
+/// in one paragraph:
+///
+///   - A Data record is [u32 head_len][wire head][payload bytes] written
+///     straight into the sender's outbound ring by the *program* thread —
+///     no writer thread, no socket syscall. Payloads of any size stream
+///     through the ring in bursts (the rendezvous path): each payload is
+///     staged in shared memory exactly once, instead of the two kernel
+///     traversals a socket send+recv costs.
+///   - The receiving side drains rings from two places: a per-transport
+///     backstop thread (so sends stay eager while the peer computes), and —
+///     the latency path — the receiving program thread itself, via the
+///     mp::ProgressEngine hook, pumping the rings from inside its blocked
+///     receive. A one-word futex doorbell per rank covers all of its peers,
+///     so a ping-pong costs one futex wake + one context switch end to end.
+///   - All blocking waits are futexes on shared 32-bit words with EINTR-safe
+///     retry and a short timeout backstop that re-checks the dead/aborted
+///     flags, so a SIGKILLed peer (detected by the socket layer's
+///     EOF-without-Bye) wakes every waiter within one tick even if the wake
+///     itself was lost.
+///
+/// The segment files live under /dev/shm (shm_open) with names derived from
+/// the launcher's job token; every name is unlinked as soon as both sides
+/// attached, so even a SIGKILLed job leaks nothing past wireup.
+struct Options {
+  std::string job;            ///< launcher token; both sides derive names from it
+  int np = 1;
+  int rank = 0;
+  std::vector<int> node_ids;  ///< dense node id per world rank (size np)
+  /// Per-direction ring capacity in bytes; must be a power of two. Small
+  /// rings are valid (tests use 4 KiB to force the streaming/wrap paths).
+  std::uint32_t ring_bytes = 1u << 20;
+  int handshake_timeout_ms = 10000;
+  /// A peer that stops draining our outbound ring for this long while we
+  /// have bytes to write is treated as lost (the bounded-send property the
+  /// socket writer has via SO_SNDTIMEO).
+  int linger_ms = 5000;
+};
+
+/// The shm name key for a job token: sanitized for shm_open plus a hash of
+/// the full token so distinct jobs never collide after sanitization.
+std::string name_key(const std::string& job);
+
+class ShmState final : public mp::ProgressEngine {
+ public:
+  /// Validates options and computes the co-located peer set; creates
+  /// nothing until connect().
+  explicit ShmState(const Options& options);
+  ~ShmState() override;
+
+  ShmState(const ShmState&) = delete;
+  ShmState& operator=(const ShmState&) = delete;
+
+  /// True when `world_rank` shares this rank's node (and is not self).
+  [[nodiscard]] bool has_peer(int world_rank) const noexcept;
+  [[nodiscard]] int peer_count() const noexcept { return colocated_; }
+
+  /// Create/attach every pair segment and bell page. Call after the socket
+  /// mesh is up (so every peer is alive and inside its own connect()).
+  /// Bounded by the handshake budget; throws ConnectionError on timeout and
+  /// cleans up everything it created.
+  void connect();
+
+  /// Install the progress engine into the local mailbox and start the
+  /// backstop pump thread.
+  void bind(mp::Universe& universe);
+
+  /// Producer path: frame already encoded by the caller. Returns silently
+  /// when the peer already said a clean goodbye (teardown race — the socket
+  /// writer drops such frames too); throws PeerLost when the peer died or
+  /// stopped draining past the linger budget.
+  void send_data(int dest_world_rank, const wire::DataFrame& frame);
+
+  /// Socket layer callbacks: EOF-without-Bye poisons the channel and wakes
+  /// every local waiter; a clean Bye only fails fast future sends.
+  void mark_peer_dead(int world_rank) noexcept;
+  void mark_peer_closed(int world_rank) noexcept;
+
+  /// Our job aborted: poison every segment and ring the peers' bells so
+  /// their blocked pumps/producers wake and observe it.
+  void local_abort() noexcept;
+
+  /// Stop and join the backstop thread and uninstall the progress engine.
+  /// Segments stay mapped (socket reader threads may still flip channel
+  /// flags) until destruction. Idempotent.
+  void shutdown() noexcept;
+
+  /// First shm-side peer-loss postmortem ("" when healthy).
+  [[nodiscard]] std::string postmortem() const;
+
+  // ---- mp::ProgressEngine ------------------------------------------------
+  std::uint64_t epoch() noexcept override;
+  void poll() override;
+  void wait(std::uint64_t seen, std::chrono::milliseconds max_wait) override;
+  void kick() noexcept override;
+
+ private:
+  struct Channel;
+
+  void setup_pair(int peer, std::chrono::steady_clock::time_point deadline);
+  void create_own_bell();
+  void teardown_on_error() noexcept;
+
+  void drain_channel(Channel& c);
+  bool pump_wait_for_bytes(Channel& c, std::uint64_t needed_head);
+  void record_peer_lost(Channel& c, const std::string& why) noexcept;
+  void ring_peer_bell(Channel& c, bool urgent = false) noexcept;
+  void backstop_loop();
+
+  Options options_;
+  std::string key_;
+  int colocated_ = 0;
+  std::vector<std::unique_ptr<Channel>> channels_;  ///< by world rank
+
+  void* bell_mem_ = nullptr;
+  std::string bell_name_;
+  bool bell_linked_ = false;  ///< name still present in /dev/shm
+
+  mp::Universe* universe_ = nullptr;
+  std::thread backstop_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> shut_{false};
+
+  mutable std::mutex postmortem_mutex_;
+  std::string postmortem_;
+};
+
+}  // namespace pdc::net::shm

@@ -179,16 +179,52 @@ Socket accept_for(Socket& listener, std::chrono::milliseconds timeout,
   return sock;
 }
 
+namespace {
+
+/// splitmix64 — the standard 64-bit finalizer; a pure, high-quality hash of
+/// its input, used to derive deterministic dial jitter.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::chrono::milliseconds dial_backoff_delay(int attempt,
+                                             std::chrono::milliseconds initial,
+                                             std::chrono::milliseconds cap,
+                                             std::uint64_t jitter_key) {
+  if (attempt < 1) attempt = 1;
+  // The old schedule slept `initial` then doubled afterwards, so initial=0
+  // busy-dialed forever; treat non-positive as the smallest real sleep.
+  std::uint64_t base_ms =
+      initial.count() > 0 ? static_cast<std::uint64_t>(initial.count()) : 1;
+  std::uint64_t cap_ms = cap.count() > 0 ? static_cast<std::uint64_t>(cap.count())
+                                         : base_ms;
+  if (cap_ms < base_ms) cap_ms = base_ms;
+  for (int i = 1; i < attempt && base_ms < cap_ms; ++i) {
+    base_ms = base_ms > cap_ms / 2 ? cap_ms : base_ms * 2;  // overflow-safe
+  }
+  base_ms = std::min(base_ms, cap_ms);
+  const std::uint64_t jitter =
+      splitmix64(jitter_key ^ (0x9e3779b97f4a7c15ULL *
+                               static_cast<std::uint64_t>(attempt))) %
+      (base_ms / 4 + 1);
+  return std::chrono::milliseconds(std::min(base_ms + jitter, cap_ms));
+}
+
 Socket dial(const Endpoint& endpoint, int attempts,
             std::chrono::milliseconds timeout_per_attempt,
-            std::chrono::milliseconds backoff_initial, const char* who) {
-  std::chrono::milliseconds backoff = backoff_initial;
+            std::chrono::milliseconds backoff_initial, const char* who,
+            std::chrono::milliseconds backoff_cap, std::uint64_t jitter_key) {
   std::string last_error = "no attempts made";
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
       if (trace::enabled()) trace::Counter("net.dial_retries").add(1.0);
-      std::this_thread::sleep_for(backoff);
-      backoff = std::min(backoff * 2, std::chrono::milliseconds(200));
+      std::this_thread::sleep_for(
+          dial_backoff_delay(attempt, backoff_initial, backoff_cap, jitter_key));
     }
     Socket sock(::socket(family_of(endpoint), SOCK_STREAM, 0));
     if (!sock.valid()) {
@@ -236,27 +272,49 @@ Socket dial(const Endpoint& endpoint, int attempts,
 namespace {
 
 void send_buffer(Socket& socket, const std::byte* data, std::size_t n,
-                 const char* who) {
+                 std::chrono::milliseconds stall_budget, const char* who) {
   std::size_t sent = 0;
+  auto last_progress = std::chrono::steady_clock::now();
   while (sent < n) {
     const ssize_t rc =
         ::send(socket.fd(), data + sent, n - sent, MSG_NOSIGNAL);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      throw PeerLost(std::string(who) + ": send failed: " + errno_text());
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      last_progress = std::chrono::steady_clock::now();
+      continue;
     }
-    sent += static_cast<std::size_t>(rc);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Full send buffer. The transport's peer sockets carry a SO_SNDTIMEO,
+      // so a slow-but-alive peer surfaces here rather than blocking forever
+      // in send(); that used to be declared PeerLost immediately. Wait for
+      // writability and keep going — only a peer that makes *no* progress
+      // for the whole stall budget is lost.
+      const auto stalled = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - last_progress);
+      if (stalled >= stall_budget) {
+        throw PeerLost(std::string(who) + ": peer stopped draining (" +
+                       std::to_string(sent) + " of " + std::to_string(n) +
+                       " bytes sent, no progress in " +
+                       std::to_string(stalled.count()) + "ms)");
+      }
+      poll_one(socket.fd(), POLLOUT,
+               std::min(stall_budget - stalled, std::chrono::milliseconds(100)));
+      continue;
+    }
+    throw PeerLost(std::string(who) + ": send failed: " + errno_text());
   }
 }
 
 }  // namespace
 
 void send_all(Socket& socket, const mp::Bytes& data,
-              const mp::SharedPayload& payload, bool bye_ok, const char* who) {
+              const mp::SharedPayload& payload, bool bye_ok, const char* who,
+              std::chrono::milliseconds stall_budget) {
   try {
-    send_buffer(socket, data.data(), data.size(), who);
+    send_buffer(socket, data.data(), data.size(), stall_budget, who);
     if (payload && !payload->empty()) {
-      send_buffer(socket, payload->data(), payload->size(), who);
+      send_buffer(socket, payload->data(), payload->size(), stall_budget, who);
     }
   } catch (const PeerLost&) {
     // During teardown a peer that finished first has every right to be

@@ -63,21 +63,44 @@ Endpoint local_endpoint(const Socket& listener, const Endpoint& requested);
 Socket accept_for(Socket& listener, std::chrono::milliseconds timeout,
                   const char* who);
 
+/// The sleep before dial attempt `attempt` (1-based: attempt 1 is the first
+/// retry). True exponential backoff with a cap plus deterministic jitter:
+///
+///   base   = min(initial * 2^(attempt-1), cap)     (overflow-guarded)
+///   jitter = splitmix64(jitter_key, attempt) % (base/4 + 1)
+///   delay  = min(base + jitter, cap)
+///
+/// A non-positive `initial` is treated as 1ms — the old code slept
+/// `initial` then doubled it, so initial=0 busy-dialed forever and any
+/// initial never actually grew between attempts. The jitter is a pure
+/// function of (jitter_key, attempt), so a rank's schedule is replayable
+/// while distinct ranks (distinct keys) still decorrelate their retries.
+std::chrono::milliseconds dial_backoff_delay(int attempt,
+                                             std::chrono::milliseconds initial,
+                                             std::chrono::milliseconds cap,
+                                             std::uint64_t jitter_key);
+
 /// Connect to `endpoint` with bounded retry: up to `attempts` tries, each
-/// with `timeout_per_attempt`, sleeping an exponentially growing backoff
-/// (starting at `backoff_initial`, doubling, capped at 200ms) between
-/// tries. Dial retries are counted on the net.dial_retries trace counter.
-/// Throws ConnectionError once the budget is spent.
+/// with `timeout_per_attempt`, sleeping dial_backoff_delay(attempt, ...)
+/// between tries. Dial retries are counted on the net.dial_retries trace
+/// counter. Throws ConnectionError once the budget is spent.
 Socket dial(const Endpoint& endpoint, int attempts,
             std::chrono::milliseconds timeout_per_attempt,
-            std::chrono::milliseconds backoff_initial, const char* who);
+            std::chrono::milliseconds backoff_initial, const char* who,
+            std::chrono::milliseconds backoff_cap = std::chrono::milliseconds(200),
+            std::uint64_t jitter_key = 0);
 
 /// Write all of `data` (and then `payload`, if non-null) to the socket.
 /// Uses MSG_NOSIGNAL so a dead peer surfaces as PeerLost, not SIGPIPE.
 /// `bye_ok`: failures while writing a Bye during teardown are benign (the
 /// peer may already be gone) and are swallowed instead of thrown.
+/// A full send buffer (EAGAIN — the transport's peer sockets carry a
+/// SO_SNDTIMEO) waits for writability instead of failing; only a peer that
+/// makes no progress for `stall_budget` is declared lost.
 void send_all(Socket& socket, const mp::Bytes& data,
-              const mp::SharedPayload& payload, bool bye_ok, const char* who);
+              const mp::SharedPayload& payload, bool bye_ok, const char* who,
+              std::chrono::milliseconds stall_budget =
+                  std::chrono::milliseconds(5000));
 
 /// Read exactly `n` bytes. Returns false on a clean EOF at offset 0 (the
 /// peer closed between frames); throws PeerLost on an error or an EOF in

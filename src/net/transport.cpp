@@ -10,6 +10,7 @@
 #include "chaos/chaos.hpp"
 #include "mp/universe.hpp"
 #include "net/errors.hpp"
+#include "net/shm.hpp"
 #include "support/error.hpp"
 #include "trace/trace.hpp"
 
@@ -58,15 +59,43 @@ SocketTransport::SocketTransport(const SocketConfig& config)
     throw InvalidArgument(
         "SocketTransport: tcp transport needs the rendezvous port");
   }
+  if (!config.topology.empty()) {
+    if (config.topology.size() != static_cast<std::size_t>(config.np)) {
+      throw InvalidArgument(
+          "SocketTransport: topology must list one node id per rank");
+    }
+    for (const int id : config.topology) {
+      if (id < 0) {
+        throw InvalidArgument("SocketTransport: node ids must be >= 0");
+      }
+    }
+  }
   peers_.resize(static_cast<std::size_t>(config.np));
   hostnames_.assign(static_cast<std::size_t>(config.np), std::string{});
   hostnames_[static_cast<std::size_t>(config.rank)] = config.hostname;
   try {
     wireup(config);
+    if (config.use_shm) {
+      // The socket mesh is the rendezvous barrier: every peer is alive and
+      // inside (or past) its own shm wireup by now, so the create/attach
+      // retries below only have to cover scheduling skew.
+      shm::Options options;
+      options.job = config.job;
+      options.np = config.np;
+      options.rank = config.rank;
+      options.node_ids = node_ids();
+      options.ring_bytes = config.shm_ring_bytes;
+      options.handshake_timeout_ms = config.handshake_timeout_ms;
+      options.linger_ms = config.linger_ms;
+      shm_ = std::make_unique<shm::ShmState>(options);
+      shm_->connect();
+    }
   } catch (...) {
     // A rank that fails during wireup must not leak its listening socket or
     // any half-open peer connection; no thread has been started yet, so
-    // closing descriptors is the whole cleanup.
+    // closing descriptors (and unmapping/unlinking any shm) is the whole
+    // cleanup.
+    shm_.reset();
     for (auto& peer : peers_) {
       if (peer) peer->socket.close();
     }
@@ -81,7 +110,25 @@ SocketTransport::SocketTransport(const SocketConfig& config)
 SocketTransport::~SocketTransport() { shutdown(); }
 
 const char* SocketTransport::name() const noexcept {
+  if (config_.use_shm) return "shm";
   return config_.kind == Endpoint::Kind::Unix ? "unix" : "tcp";
+}
+
+std::vector<int> SocketTransport::node_ids() const {
+  if (!config_.topology.empty()) return config_.topology;
+  std::vector<int> ids(hostnames_.size(), 0);
+  if (config_.use_shm) return ids;  // shm without a map ⇔ one local node
+  std::vector<std::string> seen;
+  for (std::size_t r = 0; r < hostnames_.size(); ++r) {
+    const auto it = std::find(seen.begin(), seen.end(), hostnames_[r]);
+    if (it == seen.end()) {
+      ids[r] = static_cast<int>(seen.size());
+      seen.push_back(hostnames_[r]);
+    } else {
+      ids[r] = static_cast<int>(it - seen.begin());
+    }
+  }
+  return ids;
 }
 
 void SocketTransport::wireup(const SocketConfig& config) {
@@ -175,6 +222,10 @@ void SocketTransport::wireup_peer(const SocketConfig& config,
   const auto handshake = std::chrono::milliseconds(config.handshake_timeout_ms);
   const auto per_attempt = std::chrono::milliseconds(config.connect_timeout_ms);
   const auto backoff = std::chrono::milliseconds(config.dial_backoff_initial_ms);
+  const auto backoff_cap = std::chrono::milliseconds(config.dial_backoff_cap_ms);
+  // Jitter is a pure function of the rank, so one rank's retry schedule is
+  // replayable while a thundering herd of dialers still decorrelates.
+  const auto jitter_key = static_cast<std::uint64_t>(config.rank);
 
   const auto say_hello = [&](Socket& conn, const char* who) {
     wire::Hello hello;
@@ -192,7 +243,8 @@ void SocketTransport::wireup_peer(const SocketConfig& config,
   // 1. Rendezvous with rank 0 and learn the address map.
   trace::Span dial_span("net.connect", "net");
   Socket to_zero = dial(endpoint_for(config, 0), config.dial_attempts,
-                        per_attempt, backoff, "rendezvous dial");
+                        per_attempt, backoff, "rendezvous dial", backoff_cap,
+                        jitter_key);
   say_hello(to_zero, "rendezvous dial");
   wire::Header header;
   mp::Bytes body;
@@ -227,7 +279,7 @@ void SocketTransport::wireup_peer(const SocketConfig& config,
     const Endpoint where =
         Endpoint::parse(welcome.peers[static_cast<std::size_t>(j)].first);
     Socket conn = dial(where, config.dial_attempts, per_attempt, backoff,
-                       "mesh dial");
+                       "mesh dial", backoff_cap, jitter_key);
     say_hello(conn, "mesh dial");
     auto& slot = peers_[static_cast<std::size_t>(j)];
     slot = std::make_unique<Peer>();
@@ -293,6 +345,10 @@ void SocketTransport::bind(mp::Universe& universe) {
     peer->reader = std::thread([this, p = peer.get()] { reader_loop(*p); });
   }
   threads_started_ = true;
+  // Install the shm progress engine and start its backstop pump only once
+  // the mailbox exists; the socket readers above may already be delivering,
+  // which is fine — deliver kicks the engine once it is installed.
+  if (shm_) shm_->bind(universe);
 }
 
 void SocketTransport::deliver(int dest_world_rank, mp::Envelope envelope) {
@@ -309,6 +365,15 @@ void SocketTransport::deliver(int dest_world_rank, mp::Envelope envelope) {
     trace::Counter("net.bytes_sent")
         .add(static_cast<double>(frame.head.size() + envelope.size_bytes()));
     trace::Counter("net.frames_sent").add(1.0);
+  }
+  if (shm_ && shm_->has_peer(dest_world_rank)) {
+    // Co-located peer: the whole Data frame goes through the shm ring — one
+    // staging copy into shared memory, written by this (the program's) own
+    // thread. Every Data frame for this peer takes this path, so the
+    // per-source FIFO guarantee is carried by the ring's byte order exactly
+    // as the socket's stream order used to carry it.
+    shm_->send_data(dest_world_rank, frame);
+    return;
   }
   {
     std::lock_guard lock(peer.mutex);
@@ -404,6 +469,12 @@ void SocketTransport::reader_loop(Peer& peer) {
           break;
         case wire::FrameKind::Bye:
           peer.saw_bye.store(true, std::memory_order_release);
+          // A clean goodbye also retires the peer's shm channel: later
+          // sends to it are silently dropped (the socket writer's
+          // drain-and-drop teardown semantics). The peer stopped its ring
+          // pump *before* sending this Bye, so no torn record can be left
+          // behind by an abandoned producer.
+          if (shm_) shm_->mark_peer_closed(peer.rank);
           // Nothing follows a Bye by protocol; exit without waiting for
           // the EOF so two ranks tearing down simultaneously never wait on
           // each other's close.
@@ -421,6 +492,9 @@ void SocketTransport::reader_loop(Peer& peer) {
 
 void SocketTransport::on_peer_lost(Peer& peer, const std::string& why) {
   peer.dead.store(true, std::memory_order_release);
+  // The socket EOF-without-Bye is the shm backend's death detector too:
+  // poison the rings so blocked shm producers/pumps wake and see it.
+  if (shm_) shm_->mark_peer_dead(peer.rank);
   {
     std::lock_guard lock(postmortem_mutex_);
     if (postmortem_.empty()) postmortem_ = why;
@@ -434,6 +508,10 @@ void SocketTransport::on_peer_lost(Peer& peer, const std::string& why) {
 
 void SocketTransport::propagate_abort() noexcept {
   if (abort_sent_.exchange(true)) return;
+  // Poison the shm segments first: a peer blocked inside a ring wait wakes
+  // on the doorbell immediately, possibly before its socket reader even
+  // sees our Abort frame.
+  if (shm_) shm_->local_abort();
   try {
     for (auto& peer : peers_) {
       if (peer && !peer->dead.load(std::memory_order_acquire)) {
@@ -451,6 +529,12 @@ void SocketTransport::shutdown() noexcept {
     // down): everything below already ran to completion.
     return;
   }
+  // Stop the shm pump *before* any socket Bye goes out. Order matters: a
+  // peer that reads our Bye may abandon a send into our ring mid-record
+  // (drain-and-drop), and that is only safe because nothing on our side
+  // will ever try to parse the ring again. The segments stay mapped until
+  // destruction — the reader threads below still flip channel flags.
+  if (shm_) shm_->shutdown();
   // Ask every writer to drain its outbox and say goodbye.
   for (auto& peer : peers_) {
     if (!peer) continue;
@@ -496,8 +580,11 @@ void SocketTransport::shutdown() noexcept {
 }
 
 std::string SocketTransport::postmortem() const {
-  std::lock_guard lock(postmortem_mutex_);
-  return postmortem_;
+  {
+    std::lock_guard lock(postmortem_mutex_);
+    if (!postmortem_.empty()) return postmortem_;
+  }
+  return shm_ ? shm_->postmortem() : std::string{};
 }
 
 void SocketTransport::debug_sever_peer(int peer_rank) {

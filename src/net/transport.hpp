@@ -14,6 +14,10 @@
 
 namespace pdc::net {
 
+namespace shm {
+class ShmState;
+}
+
 /// Everything a rank needs to join a socket job. pdcrun fills this from
 /// the PDCRUN_* environment contract (see runner.hpp); the in-process
 /// harness (harness.hpp) and the benches fill it directly.
@@ -40,11 +44,25 @@ struct SocketConfig {
   // ConnectionError, never a hang.
   int dial_attempts = 50;
   int connect_timeout_ms = 2000;     ///< per dial attempt
-  int dial_backoff_initial_ms = 1;   ///< doubles per retry, capped at 200ms
+  int dial_backoff_initial_ms = 1;   ///< doubles per retry, jittered
+  int dial_backoff_cap_ms = 200;     ///< ceiling for the dial backoff
   int handshake_timeout_ms = 10000;  ///< per wireup read / accept
   /// Teardown drain budget: how long to wait for the peers' goodbyes
   /// before closing anyway.
   int linger_ms = 5000;
+
+  /// Carry Data frames between co-located ranks over lock-free shm rings
+  /// instead of the pair socket. The socket mesh is still wired up and
+  /// keeps carrying wireup, Abort, Bye and death detection (EOF-without-
+  /// Bye), so every fault contract is unchanged — only the data path moves.
+  bool use_shm = false;
+  /// Per-direction shm ring capacity (power of two, >= 16 KiB).
+  std::uint32_t shm_ring_bytes = 1u << 20;
+  /// Node id per world rank (dense ids; same id ⇔ co-located). Empty means:
+  /// every rank on one node when use_shm is set (pdcrun launches locally),
+  /// otherwise group ranks by the hostname learned during wireup. Tests
+  /// force multi-node topologies on one machine through this knob.
+  std::vector<int> topology;
 };
 
 /// The real-process transport: one stream socket per peer pair, wired up
@@ -86,6 +104,12 @@ class SocketTransport final : public mp::Transport {
   [[nodiscard]] const std::vector<std::string>& hostnames() const noexcept {
     return hostnames_;
   }
+
+  /// Node id per world rank (same id ⇔ co-located): the forced topology if
+  /// one was configured, all-zero when use_shm is set without one, and
+  /// hostname grouping (first-appearance order) otherwise. Feed this to
+  /// Universe::set_topology so CollectiveAlgo::Auto sees the real shape.
+  [[nodiscard]] std::vector<int> node_ids() const;
 
   void bind(mp::Universe& universe) override;
   void deliver(int dest_world_rank, mp::Envelope envelope) override;
@@ -134,6 +158,9 @@ class SocketTransport final : public mp::Transport {
   /// One entry per world rank; the self entry has rank == -1 and no socket.
   std::vector<std::unique_ptr<Peer>> peers_;
   std::vector<std::string> hostnames_;
+  /// Shm rings for co-located peers (use_shm mode). Shut down before the
+  /// socket Byes go out, destroyed (unmapped) after the socket teardown.
+  std::unique_ptr<shm::ShmState> shm_;
 
   mp::Universe* universe_ = nullptr;
   std::atomic<bool> shutting_down_{false};

@@ -91,6 +91,19 @@ std::string Reader::string(std::uint32_t max_len) {
   return s;
 }
 
+std::string_view Reader::string_view(std::uint32_t max_len) {
+  const std::uint32_t len = u32();
+  if (len > max_len) {
+    throw ProtocolError("wire: string length " + std::to_string(len) +
+                        " exceeds the clamp of " + std::to_string(max_len));
+  }
+  need(len);
+  const std::string_view s(
+      reinterpret_cast<const char*>(bytes_->data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
 mp::Bytes Reader::rest() {
   mp::Bytes out(bytes_->begin() + static_cast<std::ptrdiff_t>(pos_),
                 bytes_->end());
@@ -106,19 +119,27 @@ void Reader::expect_end() const {
   }
 }
 
-mp::Bytes encode_header(FrameKind kind, std::size_t body_len) {
+namespace {
+
+void append_header(mp::Bytes& out, FrameKind kind, std::size_t body_len) {
   if (body_len > kMaxBodyBytes) {
     throw ProtocolError("wire: refusing to emit a " +
                         std::to_string(body_len) +
                         "-byte frame body (clamp is " +
                         std::to_string(kMaxBodyBytes) + ")");
   }
-  mp::Bytes out;
-  out.reserve(kHeaderBytes);
   put_u32(out, kMagic);
   put_u16(out, kVersion);
   put_u16(out, static_cast<std::uint16_t>(kind));
   put_u32(out, static_cast<std::uint32_t>(body_len));
+}
+
+}  // namespace
+
+mp::Bytes encode_header(FrameKind kind, std::size_t body_len) {
+  mp::Bytes out;
+  out.reserve(kHeaderBytes);
+  append_header(out, kind, body_len);
   return out;
 }
 
@@ -212,20 +233,25 @@ Welcome decode_welcome(const mp::Bytes& body) {
 
 DataFrame encode_data(const mp::Envelope& envelope, int dest_world_rank) {
   const std::size_t payload_len = envelope.size_bytes();
+  const std::string_view name =
+      envelope.type_name != nullptr ? envelope.type_name : "";
   // head = header + metadata + payload length prefix; the payload bytes
-  // follow on the wire but stay in their shared buffer here.
-  mp::Bytes meta;
-  put_i32(meta, dest_world_rank);
-  put_u64(meta, envelope.comm_id);
-  put_i32(meta, envelope.source);
-  put_i32(meta, envelope.tag);
-  put_u64(meta, static_cast<std::uint64_t>(envelope.type_hash));
-  put_string(meta, envelope.type_name != nullptr ? envelope.type_name : "");
-  put_u32(meta, static_cast<std::uint32_t>(payload_len));
-
+  // follow on the wire but stay in their shared buffer here. The metadata
+  // layout is fixed-width apart from the name — dest(4) comm_id(8)
+  // source(4) tag(4) type_hash(8) name(4+len) payload_len(4) — so the head
+  // is sized once and filled in place: one allocation per frame, on the
+  // per-message hot path of every transport.
+  const std::size_t meta_len = 4 + 8 + 4 + 4 + 8 + (4 + name.size()) + 4;
   DataFrame frame;
-  frame.head = encode_header(FrameKind::Data, meta.size() + payload_len);
-  frame.head.insert(frame.head.end(), meta.begin(), meta.end());
+  frame.head.reserve(kHeaderBytes + meta_len);
+  append_header(frame.head, FrameKind::Data, meta_len + payload_len);
+  put_i32(frame.head, dest_world_rank);
+  put_u64(frame.head, envelope.comm_id);
+  put_i32(frame.head, envelope.source);
+  put_i32(frame.head, envelope.tag);
+  put_u64(frame.head, static_cast<std::uint64_t>(envelope.type_hash));
+  put_string(frame.head, name);
+  put_u32(frame.head, static_cast<std::uint32_t>(payload_len));
   frame.payload = envelope.payload;
   return frame;
 }
@@ -243,7 +269,7 @@ mp::Envelope decode_data(const mp::Bytes& body, int expect_dest_world_rank) {
   envelope.source = r.i32();
   envelope.tag = r.i32();
   envelope.type_hash = static_cast<std::size_t>(r.u64());
-  envelope.type_name = intern_type_name(r.string(kMaxTypeNameBytes));
+  envelope.type_name = intern_type_name(r.string_view(kMaxTypeNameBytes));
   const std::uint32_t payload_len = r.u32();
   if (payload_len != r.remaining()) {
     throw ProtocolError("wire: data payload length " +
@@ -259,15 +285,35 @@ mp::Envelope decode_data(const mp::Bytes& body, int expect_dest_world_rank) {
 
 const char* intern_type_name(std::string_view name) {
   if (name.empty()) return "";
+  // A receiver overwhelmingly sees the same few type names back to back, so
+  // a small thread-local cache answers the steady state without the global
+  // mutex, the temporary std::string, or the hash probe. Interned pointers
+  // are stable (node-based set, never erased), so cached entries stay valid.
+  struct CachedName {
+    std::string name;
+    const char* interned = nullptr;
+  };
+  thread_local CachedName cache[4];
+  CachedName& hit = cache[name.size() & 3u];
+  if (hit.interned != nullptr && hit.name == name) return hit.interned;
+
   static std::mutex mutex;
   static std::unordered_set<std::string> pool;
   static const char* const kOverflow = "<remote type>";
-  std::lock_guard lock(mutex);
-  if (const auto it = pool.find(std::string(name)); it != pool.end()) {
-    return it->c_str();
+  const char* interned = nullptr;
+  {
+    std::lock_guard lock(mutex);
+    if (const auto it = pool.find(std::string(name)); it != pool.end()) {
+      interned = it->c_str();
+    } else if (pool.size() >= kInternPoolCap) {
+      interned = kOverflow;
+    } else {
+      interned = pool.emplace(name).first->c_str();
+    }
   }
-  if (pool.size() >= kInternPoolCap) return kOverflow;
-  return pool.emplace(name).first->c_str();
+  hit.name.assign(name);
+  hit.interned = interned;
+  return interned;
 }
 
 }  // namespace pdc::net::wire

@@ -99,6 +99,9 @@ class Reader {
   std::int32_t i32();
   /// Length-prefixed string, clamped to `max_len`.
   std::string string(std::uint32_t max_len);
+  /// Same as string() without the copy: a view into the body, valid only
+  /// while the body outlives the Reader. For hot paths feeding interners.
+  std::string_view string_view(std::uint32_t max_len);
   /// All remaining bytes (the Data payload tail).
   mp::Bytes rest();
   /// Throws ProtocolError unless the cursor consumed the body exactly.

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <string>
 
 #include "mp/ops.hpp"
 #include "mp/runtime.hpp"
@@ -262,6 +264,179 @@ TEST(EncodeSharing, RecursiveDoublingMessageCount) {
   });
   const std::uint64_t barrier_cost = 2 * 7;
   EXPECT_EQ(sent.load() - barrier_cost, 8u * 3u);
+}
+
+/// What a collective call threw, for pinning exact validation messages.
+template <typename Fn>
+std::string thrown_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const InvalidArgument& error) {
+    return error.what();
+  }
+  return "<no throw>";
+}
+
+TEST(Hierarchical, MatchesFlatAcrossSizesAndTopologies) {
+  struct Case {
+    int procs;
+    std::vector<int> topology;
+  };
+  const std::vector<Case> cases = {
+      {4, {0, 0, 1, 1}},
+      {5, {0, 0, 0, 1, 1}},
+      {6, {0, 1, 0, 1, 0, 1}},  // interleaved placement
+      {8, {0, 0, 0, 0, 1, 1, 2, 2}},
+      {4, {0, 0, 0, 0}},  // single node: degenerates to Flat
+  };
+  for (const auto& c : cases) {
+    RunConfig cfg;
+    cfg.num_procs = c.procs;
+    cfg.topology = c.topology;
+    std::atomic<int> correct{0};
+    run(cfg, [&](Communicator& comm) {
+      const int contribution = (comm.rank() + 3) * (comm.rank() + 3);
+      const int flat = comm.reduce(contribution, ops::Sum{}, 0, Algo::Flat);
+      const int hier =
+          comm.reduce(contribution, ops::Sum{}, 0, Algo::Hierarchical);
+      bool ok = comm.rank() != 0 || hier == flat;
+      // Non-zero root: the root is its own node's delegate even when it is
+      // not the lowest rank there.
+      const int root = comm.size() / 2;
+      const int maximum =
+          comm.reduce(comm.rank() * 10, ops::Max{}, root, Algo::Hierarchical);
+      ok = ok && (comm.rank() != root ||
+                  maximum == (comm.size() - 1) * 10);
+      const int all_flat = comm.allreduce(contribution, ops::Sum{}, Algo::Flat);
+      const int all_hier =
+          comm.allreduce(contribution, ops::Sum{}, Algo::Hierarchical);
+      ok = ok && all_hier == all_flat;
+      std::vector<int> data;
+      if (comm.rank() == comm.size() - 1) data = {3, 1, 4};
+      comm.bcast(data, comm.size() - 1, Algo::Hierarchical);
+      ok = ok && data == std::vector<int>{3, 1, 4};
+      if (ok) correct.fetch_add(1);
+    });
+    EXPECT_EQ(correct.load(), c.procs)
+        << "procs=" << c.procs << " diverged from Flat";
+  }
+}
+
+TEST(Hierarchical, AutoIsTopologyAwareAndRankInvariant) {
+  // With a multi-node topology Auto resolves the hierarchical schedules;
+  // every rank must derive the same choice (a divergent pick deadlocks) and
+  // the results must be unchanged — including inside split groups, whose
+  // members span both nodes.
+  RunConfig cfg;
+  cfg.num_procs = 6;
+  cfg.topology = {0, 0, 0, 1, 1, 1};
+  std::atomic<int> correct{0};
+  run(cfg, [&](Communicator& comm) {
+    bool ok = comm.allreduce(1, ops::Sum{}) == 6;
+    ok = ok && comm.allreduce(comm.rank(), ops::Max{}) == 5;
+    int v = comm.rank() == 2 ? 99 : -1;
+    comm.bcast(v, 2);
+    ok = ok && v == 99;
+    const auto all = comm.allgather(comm.rank() * 2);
+    ok = ok && all.size() == 6u && all[5] == 10;
+    Communicator half = comm.split(comm.rank() % 2, comm.rank());
+    ok = ok && half.allreduce(1, ops::Sum{}) == 3;
+    if (ok) correct.fetch_add(1);
+  });
+  EXPECT_EQ(correct.load(), 6);
+}
+
+TEST(Hierarchical, BcastStaysPMinusOneMessagesAndEncodesOnce) {
+  // Leader-per-node does not add traffic: one message per remote delegate
+  // plus the local fan-outs is still exactly p-1 sends and one encode —
+  // only the *edges* move off the inter-node links.
+  RunConfig cfg;
+  cfg.num_procs = 8;
+  cfg.topology = {0, 0, 0, 0, 1, 1, 1, 1};
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> encodes{0};
+  run(cfg, [&](Communicator& comm) {
+    std::vector<int> data;
+    if (comm.rank() == 0) data = {1, 2, 3};
+    comm.bcast(data, 0, Algo::Hierarchical);
+    EXPECT_EQ(data, (std::vector<int>{1, 2, 3}));
+    comm.barrier();
+    if (comm.rank() == 0) {
+      sent.store(comm.universe().messages_sent());
+      // barrier cost: 7 entry tokens + 1 shared release token.
+      encodes.store(comm.universe().payloads_encoded() - 8);
+    }
+  });
+  const std::uint64_t barrier_cost = 2 * 7;
+  EXPECT_EQ(sent.load() - barrier_cost, 7u);
+  EXPECT_EQ(encodes.load(), 1u);
+}
+
+TEST(AlgoContract, HierarchicalRequiresCommutativeOp) {
+  RunConfig cfg;
+  cfg.num_procs = 4;
+  cfg.topology = {0, 0, 1, 1};
+  EXPECT_THROW(run(cfg,
+                   [](Communicator& comm) {
+                     (void)comm.reduce(
+                         comm.rank(), [](int a, int b) { return a + b; }, 0,
+                         Algo::Hierarchical);
+                   }),
+               InvalidArgument);
+  EXPECT_THROW(run(cfg,
+                   [](Communicator& comm) {
+                     (void)comm.allreduce(
+                         comm.rank(), [](int a, int b) { return a + b; },
+                         Algo::Hierarchical);
+                   }),
+               InvalidArgument);
+}
+
+TEST(AlgoContract, ValidationNamesTheCollectiveExactly) {
+  // Every collective that takes an algorithm must reject an unsupported
+  // one with an InvalidArgument naming *that* collective — pinned to the
+  // exact strings so a refactor cannot silently regress reduce into
+  // reporting itself as "allreduce" (the bug this satellite fixed).
+  run(1, [](Communicator& comm) {
+    int v = 1;
+    const auto concat = [](const std::string& a, const std::string& b) {
+      return a + b;
+    };
+    EXPECT_EQ(thrown_message([&] { comm.bcast(v, 0, Algo::RecursiveDoubling); }),
+              "bcast: RecursiveDoubling is an allreduce schedule; use Auto, "
+              "Flat or Binomial");
+    EXPECT_EQ(
+        thrown_message(
+            [&] { (void)comm.allgather(v, Algo::RecursiveDoubling); }),
+        "allgather: RecursiveDoubling is an allreduce schedule; use Auto, "
+        "Flat or Binomial");
+    EXPECT_EQ(
+        thrown_message(
+            [&] { (void)comm.reduce(v, ops::Sum{}, 0, Algo::RecursiveDoubling); }),
+        "reduce: RecursiveDoubling is an allreduce schedule; use Auto, "
+        "Flat or Binomial");
+    EXPECT_EQ(
+        thrown_message([&] {
+          (void)comm.allreduce(std::string("x"), concat,
+                               Algo::RecursiveDoubling);
+        }),
+        "allreduce: RecursiveDoubling pairs ranks out of rank order and "
+        "requires an operator declared commutative (see ops::is_commutative)");
+    EXPECT_EQ(
+        thrown_message([&] {
+          (void)comm.reduce(std::string("x"), concat, 0, Algo::Hierarchical);
+        }),
+        "reduce: Hierarchical folds contributions in arrival order within "
+        "each node and requires an operator declared commutative (see "
+        "ops::is_commutative)");
+    EXPECT_EQ(
+        thrown_message([&] {
+          (void)comm.allreduce(std::string("x"), concat, Algo::Hierarchical);
+        }),
+        "allreduce: Hierarchical folds contributions in arrival order within "
+        "each node and requires an operator declared commutative (see "
+        "ops::is_commutative)");
+  });
 }
 
 TEST(AlgoMessages, BinomialSubtreesForwardTheData) {

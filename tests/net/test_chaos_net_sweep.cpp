@@ -40,10 +40,11 @@ void workload(mp::Communicator& comm) {
   }
 }
 
-ClusterResult run_cluster(int np) {
+ClusterResult run_cluster(int np, bool use_shm = false) {
   ClusterOptions options;
   options.np = np;
   options.linger_ms = 2000;
+  options.use_shm = use_shm;
   return run_socket_cluster(options, workload);
 }
 
@@ -126,6 +127,122 @@ TEST(ChaosNetSweep, TargetedKillAlwaysTearsDownCleanly) {
     });
     ASSERT_TRUE(finished) << "seed " << seed << " HUNG after a targeted kill";
   }
+}
+
+// ---- the same acceptance bar over the shm data path ----------------------
+// Co-located Data frames ride the lock-free rings; wireup/Abort/Bye stay on
+// the sockets. The outputs must be golden-identical to the socket sweeps —
+// the backend may never show through in the results.
+
+TEST(ChaosShmSweep, NoisePlansAreResultPreserving) {
+  const int seeds = sweep_seeds(4);
+  for (int seed = 1; seed <= seeds; ++seed) {
+    bool finished = run_with_watchdog(kWatchdogBudget, [&] {
+      chaos::Scope scope(chaos::Config::noise(static_cast<std::uint64_t>(seed)));
+      const ClusterResult result = run_cluster(3, /*use_shm=*/true);
+      ASSERT_TRUE(result.ok()) << "seed " << seed;
+      ASSERT_EQ(result.output[0].size(), 1u) << "seed " << seed;
+      EXPECT_EQ(result.output[0][0], "total=300 gathered=3")
+          << "seed " << seed;
+    });
+    ASSERT_TRUE(finished) << "seed " << seed
+                          << " HUNG under a noise plan (shm)";
+  }
+}
+
+TEST(ChaosShmSweep, LossyPlansStillDeliverEverything) {
+  const int seeds = sweep_seeds(4);
+  for (int seed = 1; seed <= seeds; ++seed) {
+    bool finished = run_with_watchdog(kWatchdogBudget, [&] {
+      chaos::Scope scope(chaos::Config::lossy(static_cast<std::uint64_t>(seed)));
+      const ClusterResult result = run_cluster(3, /*use_shm=*/true);
+      ASSERT_TRUE(result.ok()) << "seed " << seed;
+      EXPECT_EQ(result.output[0][0], "total=300 gathered=3")
+          << "seed " << seed;
+    });
+    ASSERT_TRUE(finished) << "seed " << seed
+                          << " HUNG under a lossy plan (shm)";
+  }
+}
+
+TEST(ChaosShmSweep, HostilePlansFailCleanOrSucceedNeverHang) {
+  const int seeds = sweep_seeds(4);
+  int aborted_jobs = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    bool finished = run_with_watchdog(kWatchdogBudget, [&] {
+      chaos::Scope scope(
+          chaos::Config::hostile(static_cast<std::uint64_t>(seed)));
+      const ClusterResult result = run_cluster(3, /*use_shm=*/true);
+      if (!result.ok()) {
+        ++aborted_jobs;
+        for (const std::string& error : result.errors) {
+          if (!error.empty()) {
+            EXPECT_FALSE(error.empty());
+          }
+        }
+      } else {
+        EXPECT_EQ(result.output[0][0], "total=300 gathered=3")
+            << "seed " << seed;
+      }
+    });
+    ASSERT_TRUE(finished) << "seed " << seed
+                          << " HUNG under a hostile plan (shm)";
+  }
+  std::fprintf(stderr, "shm hostile sweep: %d/%d jobs aborted cleanly\n",
+               aborted_jobs, seeds);
+}
+
+TEST(ChaosShmSweep, GuaranteedKillAtFirstSendPoisonsTheRings) {
+  // Rank 1's very first action is its ring send, so its thread-local chaos
+  // op 0 is ALWAYS a net.send checkpoint: this kill is deterministic even
+  // over shm. Blocked producers and consumers must wake, nobody may spin
+  // on the dead peer's bell, and the survivors must see typed errors.
+  bool finished = run_with_watchdog(kWatchdogBudget, [&] {
+    chaos::Config config;
+    config.seed = 1;
+    config.abort_actor = 1;
+    config.abort_at_op = 0;
+    chaos::Scope scope(config);
+    const ClusterResult result = run_cluster(3, /*use_shm=*/true);
+    EXPECT_FALSE(result.errors[1].empty())
+        << "rank 1 should have been killed at its first send";
+  });
+  ASSERT_TRUE(finished) << "HUNG after the guaranteed kill (shm)";
+}
+
+TEST(ChaosShmSweep, TargetedKillAlwaysTearsDownCleanly) {
+  // Over shm a rank's OWN thread pumps its deliveries, so its thread-local
+  // chaos op numbering interleaves send checkpoints with deliver
+  // perturbations (and the backstop thread can steal a pump). A given
+  // abort_at_op therefore kills best-effort per seed — unlike the socket
+  // sweep, where rank threads only ever hit send checkpoints. The sweep
+  // asserts the teardown contract instead: every seed either succeeds with
+  // the chaos-off output or fails with a typed error on the killed rank —
+  // and never, ever hangs.
+  const int seeds = sweep_seeds(4);
+  int killed_jobs = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    bool finished = run_with_watchdog(kWatchdogBudget, [&] {
+      chaos::Config config;
+      config.seed = static_cast<std::uint64_t>(seed);
+      config.abort_actor = 1;
+      config.abort_at_op = static_cast<std::uint64_t>(seed % 6);
+      chaos::Scope scope(config);
+      const ClusterResult result = run_cluster(3, /*use_shm=*/true);
+      if (!result.ok()) {
+        ++killed_jobs;
+        EXPECT_FALSE(result.errors[1].empty())
+            << "seed " << seed << ": only rank 1 can be the injected death";
+      } else {
+        EXPECT_EQ(result.output[0][0], "total=300 gathered=3")
+            << "seed " << seed;
+      }
+    });
+    ASSERT_TRUE(finished) << "seed " << seed
+                          << " HUNG after a targeted kill (shm)";
+  }
+  std::fprintf(stderr, "shm targeted sweep: %d/%d jobs killed\n", killed_jobs,
+               seeds);
 }
 
 }  // namespace

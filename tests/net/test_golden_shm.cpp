@@ -1,0 +1,131 @@
+// Shm-variant golden tests: the same patternlet subset the socket variant
+// pins, run as REAL processes under `pdcrun --transport shm -np {2,4,8}`.
+// The data path moves from the pair sockets onto the lock-free rings, but
+// the transcripts must stay byte-identical after the usual sort — the
+// backend may never show through in program output.
+//
+// Also pins the fault side of the contract end-to-end: a rank SIGKILLed
+// mid-collective while its peers talk to it over shm must still surface as
+// exit 137 with a postmortem, exactly like the socket backend.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net_test_util.hpp"
+
+namespace pdc::net {
+namespace {
+
+using net_test::run_command;
+
+/// program name (pdcrun argv) → golden transcript id.
+const std::map<std::string, std::string>& golden_subset() {
+  static const std::map<std::string, std::string> subset = {
+      {"spmd", "mpi_00-spmd"},
+      {"ring", "mpi_14-ring"},
+      {"broadcast", "mpi_06-broadcast"},
+      {"reduce", "mpi_09-reduce"},
+      {"scatter", "mpi_07-scatter"},
+      {"gather", "mpi_08-gather"},
+  };
+  return subset;
+}
+
+std::map<int, std::vector<std::string>> parse_golden(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::map<int, std::vector<std::string>> sections;
+  std::vector<std::string>* current = nullptr;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("== n=", 0) == 0) {
+      const int n = std::stoi(line.substr(5));
+      current = &sections[n];
+    } else if (current != nullptr && !line.empty()) {
+      current->push_back(line);
+    }
+  }
+  return sections;
+}
+
+std::vector<std::string> run_under_shm_pdcrun(const std::string& program,
+                                              int np) {
+  const auto result =
+      run_command(std::string(PDCLAB_PDCRUN_BIN) + " -np " +
+                  std::to_string(np) + " --transport shm --no-tag " +
+                  PDCLAB_PATTERNLET_BIN + " " + program);
+  EXPECT_EQ(result.exit_code, 0)
+      << program << " -np " << np << " failed over shm:\n" << result.output;
+  std::vector<std::string> lines;
+  std::istringstream stream(result.output);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+TEST(GoldenShm, ShmProcessesReproduceTheLoopbackTranscripts) {
+  for (const auto& [program, golden_id] : golden_subset()) {
+    const auto sections =
+        parse_golden(std::string(PDCLAB_GOLDEN_DIR) + "/" + golden_id + ".txt");
+    for (const int np : {2, 4, 8}) {
+      const auto it = sections.find(np);
+      ASSERT_NE(it, sections.end())
+          << golden_id << " has no n=" << np << " section";
+      std::vector<std::string> expected = it->second;
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(run_under_shm_pdcrun(program, np), expected)
+          << program << " diverged from " << golden_id << " at np=" << np
+          << " over shm";
+    }
+  }
+}
+
+TEST(GoldenShm, ForcedTopologyKeepsTheSameTranscripts) {
+  // A forced 2-node topology flips Auto's collectives onto the hierarchical
+  // schedules; the output contract must not move.
+  const auto sections =
+      parse_golden(std::string(PDCLAB_GOLDEN_DIR) + "/mpi_06-broadcast.txt");
+  std::vector<std::string> expected = sections.at(4);
+  std::sort(expected.begin(), expected.end());
+
+  const auto result = run_command(
+      std::string(PDCLAB_PDCRUN_BIN) + " -np 4 --transport shm " +
+      "--nodes 0,0,1,1 --no-tag " + PDCLAB_PATTERNLET_BIN + " broadcast");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  std::vector<std::string> lines;
+  std::istringstream stream(result.output);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  std::sort(lines.begin(), lines.end());
+  EXPECT_EQ(lines, expected);
+}
+
+TEST(GoldenShm, SigkilledPeerStillReportsSignalAndPostmortem) {
+  // The EOF-without-Bye contract survives the data path moving off the
+  // sockets: rank 1 dies by real SIGKILL mid-ring, the survivors' readers
+  // see the severed socket, poison the rings, and pdcrun reports 128+9
+  // with the per-rank postmortem.
+  const auto result = run_command(
+      std::string(PDCLAB_PDCRUN_BIN) + " -np 3 --transport shm " +
+      "--grace-ms 500 --kill-rank 1 --kill-at-op 2 --chaos-kill " +
+      PDCLAB_PATTERNLET_BIN + " ring");
+  EXPECT_EQ(result.exit_code, 137) << result.output;
+  EXPECT_NE(result.output.find("per-rank postmortem"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("killed by signal 9"), std::string::npos)
+      << result.output;
+}
+
+}  // namespace
+}  // namespace pdc::net
