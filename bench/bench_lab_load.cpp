@@ -20,6 +20,15 @@
 // Scale: argv[1] (default 1). Scale 0 is the bench-smoke canary (a few
 // dozen sessions, one worker row); scale N drives 1000*N sessions over a
 // worker-count sweep.
+//
+// Mode: argv[2] "multiproc" serves the same replay through the shard pool
+// (ExecMode::Socket — every execution in a forked worker process) with a
+// chaos monkey SIGKILLing a live worker every few ms the whole run. The
+// zero-lost-jobs gate still applies: crash recovery (reap + respawn +
+// redispatch) must be invisible to the student terminals. Machine line:
+//   LAB_LOAD_MULTIPROC ... respawns=R kills=K lost=0
+
+#include <signal.h>
 
 #include <algorithm>
 #include <atomic>
@@ -90,6 +99,8 @@ struct RowResult {
   std::uint64_t jobs = 0;
   std::uint64_t lost = 0;     ///< accepted but never answered — must be 0
   std::uint64_t rejected = 0; ///< admission rejects (quota under pressure)
+  std::uint64_t respawns = 0; ///< worker processes respawned (multiproc)
+  std::uint64_t kills = 0;    ///< SIGKILLs the chaos monkey landed
   double seconds = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
@@ -103,15 +114,45 @@ double percentile(std::vector<double>& sorted_us, double p) {
   return sorted_us[std::min(index, sorted_us.size() - 1)];
 }
 
-RowResult drive(int workers, int sessions, int concurrency) {
+RowResult drive(int workers, int sessions, int concurrency, bool multiproc) {
   ServerConfig config;
   config.endpoint = bench_endpoint(workers);
   config.workers = workers;
   config.token = kToken;
   config.cache_capacity = 512;
   config.queue.max_queued_per_tenant = 64;
+  if (multiproc) {
+    config.executor.mode = pdc::lab::ExecMode::Socket;
+    config.shard.worker_bin = PDCLAB_BENCH_WORKER_BIN;
+    config.shard.heartbeat_ms = 50;
+    // The monkey kills round-robin on a fixed cadence; a loaded one-core
+    // machine can stall a respawn past the cadence and land several kills
+    // on one job's attempts, so give the redispatch budget real headroom —
+    // the gate is zero LOST jobs, not a kill-free run.
+    config.shard.max_attempts = 10;
+  }
   Server server(std::move(config));
   server.start();
+
+  // The chaos monkey: SIGKILL a live worker process round-robin every few
+  // ms for the whole run. Recovery (reap + respawn + redispatch) must keep
+  // the zero-lost-jobs gate green.
+  std::atomic<bool> monkey_stop{false};
+  std::atomic<std::uint64_t> kills{0};
+  std::thread monkey;
+  if (multiproc) {
+    monkey = std::thread([&, workers] {
+      int slot = 0;
+      while (!monkey_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        const pid_t victim = server.shard_pool()->slot_pid(slot);
+        slot = (slot + 1) % workers;
+        if (victim > 0 && ::kill(victim, SIGKILL) == 0) {
+          kills.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
 
   std::atomic<int> next_session{0};
   std::atomic<std::uint64_t> completed{0};
@@ -171,6 +212,10 @@ RowResult drive(int workers, int sessions, int concurrency) {
   }
   for (std::thread& thread : pool) thread.join();
   timer.stop();
+  if (monkey.joinable()) {
+    monkey_stop.store(true);
+    monkey.join();
+  }
 
   const auto stats = server.stats();
   server.stop();
@@ -181,6 +226,8 @@ RowResult drive(int workers, int sessions, int concurrency) {
   row.jobs = completed.load();
   row.lost = lost.load() + stats.lost_results;
   row.rejected = rejected.load();
+  row.respawns = stats.worker_respawns;
+  row.kills = kills.load();
   row.seconds = timer.elapsed_seconds();
   std::sort(latencies_us.begin(), latencies_us.end());
   row.p50_us = percentile(latencies_us, 50.0);
@@ -199,39 +246,60 @@ int main(int argc, char** argv) {
   using pdc::strings::fixed;
 
   // Scale 0: smoke (seconds, one row). Scale N: 1000*N sessions per row
-  // over a worker sweep — the EXPERIMENTS.md load table.
+  // over a worker sweep — the EXPERIMENTS.md load table. Mode "multiproc"
+  // serves through the forked-worker shard pool with the kill monkey on.
   const int scale = argc > 1 ? std::atoi(argv[1]) : 1;
+  const bool multiproc =
+      argc > 2 && std::string(argv[2]) == "multiproc";
   const int sessions = scale > 0 ? 1000 * scale : 40;
   const int concurrency = scale > 0 ? 16 : 8;
   const std::vector<int> worker_rows =
       scale > 0 ? std::vector<int>{1, 2, 4} : std::vector<int>{2};
 
   std::printf("== Lab server load replay: %d student sessions, %d concurrent "
-              "terminals ==\n\n",
-              sessions, concurrency);
+              "terminals%s ==\n\n",
+              sessions, concurrency,
+              multiproc ? ", shard pool + worker-kill monkey" : "");
 
   pdc::TextTable table({"workers", "jobs", "jobs/sec", "p50 latency",
-                        "p99 latency", "cache hits", "lost"});
-  for (int c = 1; c <= 6; ++c) table.set_align(c, pdc::Align::Right);
+                        "p99 latency", "cache hits", "kills", "respawns",
+                        "lost"});
+  for (int c = 1; c <= 8; ++c) table.set_align(c, pdc::Align::Right);
 
   bool ok = true;
   for (const int workers : worker_rows) {
-    const RowResult row = drive(workers, sessions, concurrency);
+    const RowResult row = drive(workers, sessions, concurrency, multiproc);
     const double jobs_per_sec =
         row.seconds > 0 ? static_cast<double>(row.jobs) / row.seconds : 0.0;
     table.add_row({std::to_string(row.workers), std::to_string(row.jobs),
                    fixed(jobs_per_sec, 0), fixed(row.p50_us / 1000.0, 2) + " ms",
                    fixed(row.p99_us / 1000.0, 2) + " ms",
                    fixed(row.cache_hit_rate * 100.0, 1) + " %",
+                   std::to_string(row.kills), std::to_string(row.respawns),
                    std::to_string(row.lost)});
-    std::printf("LAB_LOAD workers=%d sessions=%d jobs=%llu jobs_per_sec=%s "
-                "p50_us=%s p99_us=%s cache_hit_rate=%s lost=%llu\n",
-                row.workers, row.sessions,
-                static_cast<unsigned long long>(row.jobs),
-                fixed(jobs_per_sec, 1).c_str(), fixed(row.p50_us, 1).c_str(),
-                fixed(row.p99_us, 1).c_str(),
-                fixed(row.cache_hit_rate, 4).c_str(),
-                static_cast<unsigned long long>(row.lost));
+    if (multiproc) {
+      std::printf(
+          "LAB_LOAD_MULTIPROC workers=%d sessions=%d jobs=%llu "
+          "jobs_per_sec=%s p50_us=%s p99_us=%s cache_hit_rate=%s "
+          "kills=%llu respawns=%llu lost=%llu\n",
+          row.workers, row.sessions,
+          static_cast<unsigned long long>(row.jobs),
+          fixed(jobs_per_sec, 1).c_str(), fixed(row.p50_us, 1).c_str(),
+          fixed(row.p99_us, 1).c_str(),
+          fixed(row.cache_hit_rate, 4).c_str(),
+          static_cast<unsigned long long>(row.kills),
+          static_cast<unsigned long long>(row.respawns),
+          static_cast<unsigned long long>(row.lost));
+    } else {
+      std::printf("LAB_LOAD workers=%d sessions=%d jobs=%llu jobs_per_sec=%s "
+                  "p50_us=%s p99_us=%s cache_hit_rate=%s lost=%llu\n",
+                  row.workers, row.sessions,
+                  static_cast<unsigned long long>(row.jobs),
+                  fixed(jobs_per_sec, 1).c_str(), fixed(row.p50_us, 1).c_str(),
+                  fixed(row.p99_us, 1).c_str(),
+                  fixed(row.cache_hit_rate, 4).c_str(),
+                  static_cast<unsigned long long>(row.lost));
+    }
     if (row.lost != 0) {
       std::fprintf(stderr, "lab-load: %llu jobs LOST at %d workers\n",
                    static_cast<unsigned long long>(row.lost), row.workers);
@@ -242,8 +310,12 @@ int main(int argc, char** argv) {
   std::puts("");
   std::fputs(table.render().c_str(), stdout);
   std::puts("");
-  std::puts("every session is a fresh connection; identical submissions "
-            "(the assigned seeds) are served from the LRU result cache "
-            "without touching the worker fleet.");
+  std::puts(multiproc
+                ? "every execution ran in a forked worker process while the "
+                  "monkey SIGKILLed a worker every 50 ms; reap + respawn + "
+                  "redispatch kept every accepted job terminal."
+                : "every session is a fresh connection; identical submissions "
+                  "(the assigned seeds) are served from the LRU result cache "
+                  "without touching the worker fleet.");
   return ok ? 0 : 1;
 }

@@ -146,25 +146,24 @@ Numbers run_sockets(pdc::net::Endpoint::Kind kind, int lat_rounds,
 /// scalar allreduces. The trailing barrier inside each timed region makes
 /// the numbers completion times, not post times — a root that fires its
 /// sends and returns early doesn't get to claim the win.
-std::function<void(pdc::mp::Communicator&)> collective_program(int rounds,
-                                                               bool flat) {
-  return [rounds, flat](pdc::mp::Communicator& comm) {
-    using Algo = pdc::mp::Communicator::CollectiveAlgo;
-    const Algo algo = flat ? Algo::Flat : Algo::Auto;
+std::function<void(pdc::mp::Communicator&)> collective_program(
+    int rounds, pdc::mp::Communicator::CollectiveAlgo bcast_algo,
+    pdc::mp::Communicator::CollectiveAlgo allreduce_algo) {
+  return [rounds, bcast_algo, allreduce_algo](pdc::mp::Communicator& comm) {
     std::vector<double> payload(1024, 1.0);  // 8 KiB
-    comm.bcast(payload, 0, algo);            // warmup
-    (void)comm.allreduce(1.0, pdc::mp::ops::Sum{}, algo);
+    comm.bcast(payload, 0, bcast_algo);      // warmup
+    (void)comm.allreduce(1.0, pdc::mp::ops::Sum{}, allreduce_algo);
     comm.barrier();
 
     pdc::WallTimer bcast_timer;
-    for (int i = 0; i < rounds; ++i) comm.bcast(payload, 0, algo);
+    for (int i = 0; i < rounds; ++i) comm.bcast(payload, 0, bcast_algo);
     comm.barrier();
     bcast_timer.stop();
 
     pdc::WallTimer ar_timer;
     double acc = 1.0;
     for (int i = 0; i < rounds; ++i) {
-      acc = comm.allreduce(acc, pdc::mp::ops::Max{}, algo);
+      acc = comm.allreduce(acc, pdc::mp::ops::Max{}, allreduce_algo);
     }
     comm.barrier();
     ar_timer.stop();
@@ -183,8 +182,9 @@ std::function<void(pdc::mp::Communicator&)> collective_program(int rounds,
 struct Variant {
   const char* name;
   bool use_shm;
-  bool flat;                // Flat schedules instead of Auto
-  std::vector<int> nodes;   // forced topology ("" = real hostnames)
+  pdc::mp::Communicator::CollectiveAlgo bcast_algo;
+  pdc::mp::Communicator::CollectiveAlgo allreduce_algo;
+  std::vector<int> nodes;   // forced topology ({} = real hostnames)
 };
 
 std::string run_variant(const Variant& v, int rounds) {
@@ -194,8 +194,8 @@ std::string run_variant(const Variant& v, int rounds) {
   options.job = "bench-hier";
   options.use_shm = v.use_shm;
   options.nodes = v.nodes;
-  const pdc::net::ClusterResult result =
-      pdc::net::run_socket_cluster(options, collective_program(rounds, v.flat));
+  const pdc::net::ClusterResult result = pdc::net::run_socket_cluster(
+      options, collective_program(rounds, v.bcast_algo, v.allreduce_algo));
   if (!result.ok()) {
     for (const std::string& e : result.errors) {
       if (!e.empty()) std::fprintf(stderr, "bench rank failed: %s\n", e.c_str());
@@ -252,11 +252,15 @@ int main(int argc, char** argv) {
   std::printf("\n== Topology-aware collectives "
               "(np=8, 8 KiB bcast + scalar allreduce, %d rounds) ==\n\n",
               hier_rounds);
+  using Algo = pdc::mp::Communicator::CollectiveAlgo;
   const std::vector<Variant> variants = {
-      {"flat-unix", false, true, {}},
-      {"auto-unix", false, false, {}},
-      {"auto-shm", true, false, {}},
-      {"auto-shm-2node", true, false, {0, 0, 0, 0, 1, 1, 1, 1}},
+      {"flat-unix", false, Algo::Flat, Algo::Flat, {}},
+      {"binomial-unix", false, Algo::Binomial, Algo::Binomial, {}},
+      {"rd-unix", false, Algo::Flat, Algo::RecursiveDoubling, {}},
+      {"auto-unix", false, Algo::Auto, Algo::Auto, {}},
+      {"auto-shm", true, Algo::Auto, Algo::Auto, {}},
+      {"auto-shm-2node", true, Algo::Auto, Algo::Auto,
+       {0, 0, 0, 0, 1, 1, 1, 1}},
   };
   for (const Variant& v : variants) {
     std::printf("HIER np=8 variant=%s %s\n", v.name,

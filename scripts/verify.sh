@@ -7,12 +7,13 @@
 #                  defaults)
 # 2. bench-smoke — scripts/bench_snapshot: the bench binaries in a
 #                  1-rep/2-round configuration (ctest -L bench-smoke) as a
-#                  crash/hang canary, then five representative probes
+#                  crash/hang canary, then six representative probes
 #                  (mailbox match cost, fork-join overhead, the four-way
 #                  transport ping ablation incl. shm rings plus the np=8
-#                  hierarchical collective ablation, lab jobs/sec, grader
-#                  submissions/sec) distilled into BENCH_<n>.json — trend
-#                  data, not a measurement
+#                  hierarchical collective ablation, lab jobs/sec both
+#                  inline and through the forked shard pool under the
+#                  worker-kill monkey, grader submissions/sec) distilled
+#                  into BENCH_<n>.json — trend data, not a measurement
 # 3. tsan        — ThreadSanitizer build, concurrency suites (ctest -L tsan),
 #                  which include the smp team poison/abort regression tests,
 #                  the in-process socket-cluster suites (test_net carries the
@@ -35,10 +36,14 @@
 #                  timeouts so this stage cannot hang the ladder
 # 6. lab         — the lab-server suites (ctest -L lab): protocol clamps and
 #                  hostile frames, fair queue + quotas, result cache, server
-#                  end-to-end over unix/tcp, the chaos sweep over the
-#                  admission/dispatch hooks at PDCLAB_CHAOS_SEEDS depth, and
-#                  the 1000-session load-replay acceptance run (zero lost
-#                  jobs required)
+#                  end-to-end over unix/tcp (incl. cancellation), the shard
+#                  worker-pool suite (forked pdclab workers: crash/hang
+#                  detection, respawn, cancel kills), the pdclab CLI
+#                  exit-code contract, the chaos sweeps over the admission/
+#                  dispatch/worker-kill/cancel-race hooks at
+#                  PDCLAB_CHAOS_SEEDS depth, and the 1000-session
+#                  load-replay acceptance runs — inline AND multi-process
+#                  with the worker-kill monkey (zero lost jobs required)
 # 7. grade       — the autograder suites (ctest -L grade): mutant synthesis,
 #                  verdict classification, the golden verdict suite, the
 #                  byte-identical-report determinism suite, the hostile
@@ -60,7 +65,7 @@ cmake --build "${prefix}" -j "${jobs}"
 ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}"
 
 echo "==> [2/7] bench-smoke: bench canaries + BENCH snapshot (${prefix})"
-scripts/bench_snapshot "${prefix}" 8
+scripts/bench_snapshot "${prefix}" 9
 
 echo "==> [3/7] tsan: ThreadSanitizer build + concurrency suites (${prefix}-tsan)"
 cmake -B "${prefix}-tsan" -S . -DPDCLAB_SANITIZE=thread \
@@ -77,8 +82,8 @@ echo "==> [5/7] net: socket + shm transports, pdcrun, goldens," \
 PDCLAB_CHAOS_SEEDS="${seeds}" \
   ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}" -L net
 
-echo "==> [6/7] lab: lab server suites + chaos sweep + load acceptance," \
-     "PDCLAB_CHAOS_SEEDS=${seeds}"
+echo "==> [6/7] lab: lab server suites + chaos sweeps + load acceptance" \
+     "(inline + multiproc), PDCLAB_CHAOS_SEEDS=${seeds}"
 PDCLAB_CHAOS_SEEDS="${seeds}" \
   ctest --test-dir "${prefix}" --output-on-failure -L lab
 

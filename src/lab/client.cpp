@@ -67,6 +67,13 @@ Client::Outcome Client::submit(const protocol::Submit& submit) {
         parked_results_[result.job_id] = std::move(result);
         break;
       }
+      case wire::FrameKind::Status: {
+        // A fast worker's first streamed batch can beat the Accept onto
+        // the wire (the job is queued before the Accept is sent); park it
+        // for wait_result()'s sink.
+        parked_statuses_.push_back(protocol::decode_status(body));
+        break;
+      }
       default:
         throw net::ProtocolError(
             "lab client: unexpected frame kind " +
@@ -76,7 +83,14 @@ Client::Outcome Client::submit(const protocol::Submit& submit) {
   }
 }
 
-Result Client::wait_result(std::uint64_t job_id) {
+Result Client::wait_result(std::uint64_t job_id, const StatusSink& on_status) {
+  // Replay (and drop) pushes for this job that landed before the caller
+  // asked — they arrived while submit()/cancel() was demultiplexing.
+  std::erase_if(parked_statuses_, [&](const Status& status) {
+    if (status.job_id != job_id) return false;
+    if (on_status && !status.output.empty()) on_status(status);
+    return true;
+  });
   for (;;) {
     if (const auto it = parked_results_.find(job_id);
         it != parked_results_.end()) {
@@ -92,13 +106,67 @@ Result Client::wait_result(std::uint64_t job_id) {
         parked_results_[result.job_id] = std::move(result);
         break;
       }
-      case wire::FrameKind::Status:
-        break;  // a stale status reply; harmless
+      case wire::FrameKind::Status: {
+        // A pushed output batch for our job goes to the sink; anything else
+        // (stale query reply, another job's push) is harmless noise — the
+        // terminal Result always carries the complete output.
+        if (!on_status) break;
+        const Status status = protocol::decode_status(body);
+        if (status.job_id == job_id && !status.output.empty()) {
+          on_status(status);
+        }
+        break;
+      }
       default:
         throw net::ProtocolError(
             "lab client: unexpected frame kind " +
             std::to_string(static_cast<int>(header.kind)) +
             " while waiting for a Result");
+    }
+  }
+}
+
+Client::CancelOutcome Client::cancel(std::uint64_t job_id,
+                                     const std::string& token,
+                                     const std::string& tenant) {
+  protocol::Cancel frame;
+  frame.token = token;
+  frame.tenant = tenant;
+  frame.job_id = job_id;
+  net::send_all(socket_, protocol::encode_cancel(frame), nullptr,
+                /*bye_ok=*/false, "lab client");
+  // The answer is the first Reject, or the Status ack for this job: an ack
+  // is Done with no output lines, which no streamed push ever is.
+  for (;;) {
+    mp::Bytes body;
+    const wire::Header header = read_frame(&body);
+    switch (header.kind) {
+      case wire::FrameKind::Status: {
+        Status status = protocol::decode_status(body);
+        if (status.job_id == job_id &&
+            status.state == protocol::JobState::Done &&
+            status.output.empty()) {
+          CancelOutcome outcome;
+          outcome.ack = std::move(status);
+          return outcome;
+        }
+        break;  // a streamed push racing the cancel; drop it
+      }
+      case wire::FrameKind::Reject: {
+        CancelOutcome outcome;
+        outcome.reject = protocol::decode_reject(body);
+        return outcome;
+      }
+      case wire::FrameKind::Result: {
+        Result result = protocol::decode_result(body);
+        parked_results_[result.job_id] = std::move(result);
+        break;
+      }
+      default:
+        throw net::ProtocolError(
+            "lab client: unexpected frame kind " +
+            std::to_string(static_cast<int>(header.kind)) +
+            " while waiting for a Cancel answer");
     }
   }
 }

@@ -1,8 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "lab/protocol.hpp"
 #include "net/socket.hpp"
@@ -51,7 +54,32 @@ class Client {
 
   /// Read frames until the Result for `job_id` arrives (instant when it was
   /// already parked). Throws ConnectionError on the reply deadline.
-  protocol::Result wait_result(std::uint64_t job_id);
+  protocol::Result wait_result(std::uint64_t job_id) {
+    return wait_result(job_id, StatusSink{});
+  }
+
+  /// Incremental Status frames the server pushes while a job runs.
+  using StatusSink = std::function<void(const protocol::Status&)>;
+
+  /// wait_result, forwarding every pushed Status for `job_id` that carries
+  /// output lines to `on_status` as it arrives — live output streaming.
+  protocol::Result wait_result(std::uint64_t job_id,
+                               const StatusSink& on_status);
+
+  /// What a Cancel can get back: the server's Status ack (the cancel took)
+  /// or a Reject (unknown/foreign/finished job, bad token, running inline).
+  struct CancelOutcome {
+    std::optional<protocol::Status> ack;
+    std::optional<protocol::Reject> reject;
+
+    [[nodiscard]] bool cancelled() const noexcept { return ack.has_value(); }
+  };
+
+  /// Withdraw job `job_id`: dequeue it if still queued, kill its worker
+  /// process if running on a shard pool. The terminal exit-130 Result still
+  /// arrives (collect it with wait_result).
+  CancelOutcome cancel(std::uint64_t job_id, const std::string& token,
+                       const std::string& tenant);
 
   /// Ask the server about `job_id` and wait for its Status reply.
   protocol::Status query_status(std::uint64_t job_id);
@@ -68,6 +96,10 @@ class Client {
   net::Socket socket_;
   bool open_ = false;
   std::map<std::uint64_t, protocol::Result> parked_results_;
+  /// Streamed Status pushes that arrived while waiting for something else
+  /// (a fast worker's first output batch can beat the Accept onto the
+  /// wire); wait_result() replays them to its sink in arrival order.
+  std::vector<protocol::Status> parked_statuses_;
 };
 
 }  // namespace pdc::lab

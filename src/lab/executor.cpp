@@ -139,6 +139,15 @@ grade::GraderConfig grade_config(const Submit& submit) {
 }  // namespace
 
 void Executor::validate(const Submit& submit) const {
+  // np >= 1 holds for every kind, including the kinds that otherwise
+  // ignore the field (Notebook runs the engine once, Grade reads its world
+  // size from the MutantSpec): a non-positive np is always a malformed
+  // request, and admission is where malformed requests are named.
+  if (submit.np < 1) {
+    throw InvalidArgument("lab: np " + std::to_string(submit.np) +
+                          " out of range [1, " +
+                          std::to_string(config_.max_np) + "]");
+  }
   if (submit.kind == JobKind::Notebook) {
     if (submit.source.empty()) {
       throw InvalidArgument("lab: notebook submit carries no source");
@@ -168,7 +177,7 @@ void Executor::validate(const Submit& submit) const {
   (void)rank_program(submit);  // throws NotFound on an unknown name
 }
 
-Result Executor::execute(const Submit& submit) const {
+Result Executor::execute(const Submit& submit, const LineSink& on_line) const {
   Result result;
   trace::Span span("lab.execute", "lab");
   const auto start = std::chrono::steady_clock::now();
@@ -192,11 +201,15 @@ Result Executor::execute(const Submit& submit) const {
         result.output.push_back("detail: " + graded.detail);
       }
     } else if (config_.mode == ExecMode::Inline) {
-      result.output = mp::run(submit.np, rank_program(submit)).output;
+      mp::RunConfig run_config;
+      run_config.num_procs = submit.np;
+      run_config.on_output = on_line;
+      result.output = mp::run(run_config, rank_program(submit)).output;
     } else {
       net::ClusterOptions options;
       options.np = submit.np;
       options.job = "lab-" + std::to_string(protocol::digest(submit));
+      options.on_output = on_line;
       const net::ClusterResult cluster =
           net::run_socket_cluster(options, rank_program(submit));
       if (!cluster.ok()) {

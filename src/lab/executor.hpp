@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 
 #include "lab/protocol.hpp"
 
@@ -38,11 +39,25 @@ class Executor {
   /// with a message naming the problem — the text of the BadRequest reject.
   void validate(const protocol::Submit& submit) const;
 
+  /// A live-output observer: called once per printed line, as the job
+  /// runs. Socket-mode jobs call it concurrently from every rank thread,
+  /// so the sink must be thread-safe.
+  using LineSink = std::function<void(const std::string&)>;
+
   /// Run the job. Never throws: a failing program (including an injected
   /// chaos abort inside the runtime) comes back as exit_code != 0 with the
   /// one-line cause in `error`. Fills exec_us; leaves job_id/cached to the
   /// caller.
-  [[nodiscard]] protocol::Result execute(const protocol::Submit& submit) const;
+  ///
+  /// `on_line` (optional) streams rank output incrementally for the
+  /// patternlet/exemplar kinds; Notebook and Grade jobs produce their
+  /// output only at completion, so the sink stays silent for them. The
+  /// returned Result always carries the complete output either way.
+  [[nodiscard]] protocol::Result execute(const protocol::Submit& submit,
+                                         const LineSink& on_line) const;
+  [[nodiscard]] protocol::Result execute(const protocol::Submit& submit) const {
+    return execute(submit, LineSink{});
+  }
 
   /// Real executions performed so far (cache hits do not pass through here
   /// — the cache-correctness tests pin that).

@@ -98,11 +98,45 @@ Accept decode_accept(const mp::Bytes& body) {
   return accept;
 }
 
+namespace {
+
+/// Shared by Status and Result: a counted list of clamped lines, with the
+/// hostile-prefix check (each line costs at least its 4-byte length
+/// prefix) before any reserve().
+void put_lines(mp::Bytes& body, const std::vector<std::string>& lines) {
+  wire::put_u32(body, static_cast<std::uint32_t>(lines.size()));
+  for (const std::string& line : lines) wire::put_string(body, line);
+}
+
+std::vector<std::string> read_lines(Reader& r, const char* what) {
+  const std::uint32_t count = r.u32();
+  if (count > kMaxOutputLines) {
+    throw ProtocolError(std::string("lab: ") + what + " line count " +
+                        std::to_string(count) + " exceeds the clamp of " +
+                        std::to_string(kMaxOutputLines));
+  }
+  if (count > r.remaining() / 4) {
+    throw ProtocolError(std::string("lab: ") + what + " line count " +
+                        std::to_string(count) + " exceeds what " +
+                        std::to_string(r.remaining()) +
+                        " body bytes could hold");
+  }
+  std::vector<std::string> lines;
+  lines.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    lines.push_back(r.string(kMaxLineBytes));
+  }
+  return lines;
+}
+
+}  // namespace
+
 mp::Bytes encode_status(const Status& status) {
   mp::Bytes body;
   wire::put_u64(body, status.job_id);
   wire::put_u16(body, static_cast<std::uint16_t>(status.state));
   wire::put_u32(body, status.queue_depth);
+  put_lines(body, status.output);
   return frame(FrameKind::Status, body);
 }
 
@@ -112,6 +146,7 @@ Status decode_status(const mp::Bytes& body) {
   status.job_id = r.u64();
   status.state = decode_job_state(r.u16());
   status.queue_depth = r.u32();
+  status.output = read_lines(r, "status output");
   r.expect_end();
   return status;
 }
@@ -123,8 +158,7 @@ mp::Bytes encode_result(const Result& result) {
   wire::put_u16(body, result.cached ? 1 : 0);
   wire::put_u64(body, result.exec_us);
   wire::put_string(body, result.error);
-  wire::put_u32(body, static_cast<std::uint32_t>(result.output.size()));
-  for (const std::string& line : result.output) wire::put_string(body, line);
+  put_lines(body, result.output);
   return frame(FrameKind::Result, body);
 }
 
@@ -136,23 +170,7 @@ Result decode_result(const mp::Bytes& body) {
   result.cached = r.u16() != 0;
   result.exec_us = r.u64();
   result.error = r.string(kMaxReasonBytes);
-  const std::uint32_t count = r.u32();
-  if (count > kMaxOutputLines) {
-    throw ProtocolError("lab: result output line count " +
-                        std::to_string(count) + " exceeds the clamp of " +
-                        std::to_string(kMaxOutputLines));
-  }
-  // Each line costs at least its 4-byte length prefix; a count the body
-  // cannot hold is a hostile prefix, rejected before reserve().
-  if (count > r.remaining() / 4) {
-    throw ProtocolError("lab: result line count " + std::to_string(count) +
-                        " exceeds what " + std::to_string(r.remaining()) +
-                        " body bytes could hold");
-  }
-  result.output.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    result.output.push_back(r.string(kMaxLineBytes));
-  }
+  result.output = read_lines(r, "result output");
   r.expect_end();
   return result;
 }
@@ -176,6 +194,52 @@ Reject decode_reject(const mp::Bytes& body) {
   reject.reason = r.string(kMaxReasonBytes);
   r.expect_end();
   return reject;
+}
+
+mp::Bytes encode_cancel(const Cancel& cancel) {
+  mp::Bytes body;
+  wire::put_string(body, cancel.token);
+  wire::put_string(body, cancel.tenant);
+  wire::put_u64(body, cancel.job_id);
+  return frame(FrameKind::Cancel, body);
+}
+
+Cancel decode_cancel(const mp::Bytes& body) {
+  Reader r(body);
+  Cancel cancel;
+  cancel.token = r.string(kMaxIdentityBytes);
+  cancel.tenant = r.string(kMaxIdentityBytes);
+  cancel.job_id = r.u64();
+  r.expect_end();
+  return cancel;
+}
+
+mp::Bytes encode_dispatch(const Dispatch& dispatch) {
+  mp::Bytes body;
+  wire::put_u64(body, dispatch.job_id);
+  wire::put_string(body, dispatch.submit.token);
+  wire::put_string(body, dispatch.submit.tenant);
+  wire::put_u16(body, static_cast<std::uint16_t>(dispatch.submit.kind));
+  wire::put_string(body, dispatch.submit.name);
+  wire::put_i32(body, dispatch.submit.np);
+  wire::put_u64(body, dispatch.submit.seed);
+  wire::put_string(body, dispatch.submit.source);
+  return frame(FrameKind::Dispatch, body);
+}
+
+Dispatch decode_dispatch(const mp::Bytes& body) {
+  Reader r(body);
+  Dispatch dispatch;
+  dispatch.job_id = r.u64();
+  dispatch.submit.token = r.string(kMaxIdentityBytes);
+  dispatch.submit.tenant = r.string(kMaxIdentityBytes);
+  dispatch.submit.kind = decode_job_kind(r.u16());
+  dispatch.submit.name = r.string(kMaxNameBytes);
+  dispatch.submit.np = r.i32();
+  dispatch.submit.seed = r.u64();
+  dispatch.submit.source = r.string(kMaxSourceBytes);
+  r.expect_end();
+  return dispatch;
 }
 
 std::uint64_t digest(const Submit& submit) noexcept {

@@ -83,10 +83,17 @@ enum class JobState : std::uint16_t {
 
 /// Client → server: `state == Unknown` asks about `job_id`.
 /// Server → client: the reply, with the server's current queue depth.
+/// While a job runs, the server may also push unsolicited Status frames
+/// carrying `output` — the lines the job printed since the last push, a
+/// bounded best-effort preview. The terminal Result always carries the
+/// complete output; a dropped or truncated Status stream loses nothing.
 struct Status {
   std::uint64_t job_id = 0;
   JobState state = JobState::Unknown;
   std::uint32_t queue_depth = 0;
+  std::vector<std::string> output;  ///< incremental lines; usually empty
+
+  bool operator==(const Status&) const = default;
 };
 
 /// Server → client: terminal outcome of an admitted job.
@@ -118,6 +125,30 @@ struct Reject {
   std::string reason;
 };
 
+/// Client → server: withdraw an admitted job. A queued job is dequeued
+/// (its tenant's quota slot frees immediately); a running job's worker
+/// process is killed. `token` re-authenticates and `tenant` must match
+/// the submitting tenant — one student cannot cancel another's job. The
+/// server acks a successful cancel with Status{job_id, Done} and answers
+/// an unknown/foreign/already-finished job with a Reject.
+struct Cancel {
+  std::string token;
+  std::string tenant;
+  std::uint64_t job_id = 0;
+
+  bool operator==(const Cancel&) const = default;
+};
+
+/// Lab server → worker process: execute this admitted job. Internal to
+/// the shard pool (tools/pdclab `worker` mode); never sent by clients —
+/// a Dispatch arriving on a client session is a protocol violation.
+struct Dispatch {
+  std::uint64_t job_id = 0;
+  Submit submit;
+
+  bool operator==(const Dispatch&) const = default;
+};
+
 // ---- framing -------------------------------------------------------------
 // encode_* return a complete frame (header + body) ready for send_all;
 // decode_* take the received body for the matching FrameKind and throw
@@ -138,6 +169,12 @@ Result decode_result(const mp::Bytes& body);
 
 mp::Bytes encode_reject(const Reject& reject);
 Reject decode_reject(const mp::Bytes& body);
+
+mp::Bytes encode_cancel(const Cancel& cancel);
+Cancel decode_cancel(const mp::Bytes& body);
+
+mp::Bytes encode_dispatch(const Dispatch& dispatch);
+Dispatch decode_dispatch(const mp::Bytes& body);
 
 /// Content digest of a submission: everything that determines the job's
 /// output (kind, name, np, seed, source) and nothing that doesn't (token,

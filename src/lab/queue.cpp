@@ -79,6 +79,31 @@ std::vector<Job> FairQueue::drain() {
   return out;
 }
 
+std::optional<Job> FairQueue::remove(std::uint64_t job_id) {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, tenant] : tenants_) {
+    for (auto it = tenant.jobs.begin(); it != tenant.jobs.end(); ++it) {
+      if (it->second.id != job_id) continue;
+      Job job = std::move(it->second);
+      const bool was_tail = std::next(it) == tenant.jobs.end();
+      const double tag = it->first;
+      tenant.jobs.erase(it);
+      if (was_tail) {
+        // Rewind so the tenant's next push chains behind the new tail, not
+        // behind the cancelled job's phantom slot. (Mid-queue removals
+        // leave a tag gap, which start-time fair queuing tolerates.)
+        tenant.last_tag =
+            tenant.jobs.empty()
+                ? tag - 1.0 / static_cast<double>(tenant.weight)
+                : tenant.jobs.back().first;
+      }
+      --depth_;
+      return job;
+    }
+  }
+  return std::nullopt;
+}
+
 std::size_t FairQueue::depth() const {
   std::lock_guard lock(mutex_);
   return depth_;

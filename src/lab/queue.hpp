@@ -22,6 +22,9 @@ struct Job {
   /// Where the result goes when the job finishes (the server binds this to
   /// the submitting connection). May be empty in tests.
   std::function<void(const protocol::Result&)> deliver;
+  /// Where incremental Status frames go while the job runs (best-effort
+  /// streaming to the submitting connection). May be empty.
+  std::function<void(const protocol::Status&)> notify;
 };
 
 /// Weighted fair queue with per-tenant quotas — the admission buffer
@@ -65,6 +68,13 @@ class FairQueue {
 
   /// Remove and return everything still queued (for reject-on-shutdown).
   std::vector<Job> drain();
+
+  /// Remove one queued job by id (cancellation); nullopt when no queued
+  /// job carries the id — already dispatched, finished or never admitted.
+  /// The tenant's quota slot frees immediately, and a removed tail rewinds
+  /// the tenant's virtual finish tag so its next push is not scheduled
+  /// behind a job that never ran.
+  std::optional<Job> remove(std::uint64_t job_id);
 
   [[nodiscard]] std::size_t depth() const;
   [[nodiscard]] std::size_t depth(const std::string& tenant) const;

@@ -47,6 +47,23 @@ void Server::start() {
   listener_ = net::listen_at(config_.endpoint, kListenBacklog);
   bound_ = net::local_endpoint(listener_, config_.endpoint);
   started_ = std::chrono::steady_clock::now();
+
+  // ExecMode::Socket: each worker thread fronts a forked worker *process*
+  // (slot w serves thread w), so a crashing or hanging job takes down one
+  // process, not the server. Inline keeps the historic in-process shape.
+  if (config_.executor.mode == ExecMode::Socket) {
+    WorkerPoolConfig shard = config_.shard;
+    shard.workers = config_.workers;
+    shard.executor = config_.executor;
+    pool_ = std::make_unique<WorkerPool>(shard);
+    try {
+      pool_->start();
+    } catch (...) {
+      pool_.reset();
+      listener_.close();
+      throw;
+    }
+  }
   running_.store(true);
 
   workers_.reserve(static_cast<std::size_t>(config_.workers));
@@ -82,6 +99,9 @@ void Server::stop() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  // Every thread that could be inside execute() is joined; the pool object
+  // itself outlives stop() so stats() keeps reporting its totals.
+  if (pool_) pool_->stop();
 
   // 3. Sessions: shut every socket down (their readers observe EOF/error
   // and exit), then wait for the detached readers to drain.
@@ -114,10 +134,12 @@ ServerStats Server::stats() const {
   out.completed = stats_.completed.load();
   out.failed = stats_.failed.load();
   out.cache_hits = stats_.cache_hits.load();
-  out.executed = executor_.executions();
+  out.executed = executor_.executions() + (pool_ ? pool_->executions() : 0);
   out.lockouts = stats_.lockouts.load();
   out.lost_results = stats_.lost_results.load();
   out.sessions = stats_.sessions.load();
+  out.cancelled = stats_.cancelled.load();
+  out.worker_respawns = pool_ ? pool_->respawns() : 0;
   out.queue_depth = queue_.depth();
   return out;
 }
@@ -189,6 +211,10 @@ void Server::session_loop(const std::shared_ptr<Session>& session) {
           reply.state = job_state(query.job_id);
           reply.queue_depth = static_cast<std::uint32_t>(queue_.depth());
           session->send(protocol::encode_status(reply));
+          break;
+        }
+        case wire::FrameKind::Cancel: {
+          handle_cancel(session, protocol::decode_cancel(body));
           break;
         }
         case wire::FrameKind::Bye:
@@ -264,7 +290,10 @@ void Server::admit(const std::shared_ptr<Session>& session, Submit submit) {
   // touching the queue or the fleet.
   if (auto cached = cache_.lookup(digest)) {
     cached->job_id = job_id;
-    set_job_state(job_id, JobState::Done);
+    {
+      std::lock_guard lock(jobs_mutex_);
+      job_states_[job_id] = JobRecord{JobState::Done, submit.tenant};
+    }
     stats_.accepted.fetch_add(1, std::memory_order_relaxed);
     stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     stats_.completed.fetch_add(1, std::memory_order_relaxed);
@@ -285,10 +314,20 @@ void Server::admit(const std::shared_ptr<Session>& session, Submit submit) {
   job.deliver = [this, session, job_id, digest](const Result& result) {
     finish_job(session, job_id, digest, result);
   };
+  // Incremental Status pushes (shard workers streaming output) go back to
+  // the submitting connection, best effort.
+  job.notify = [this, session](const protocol::Status& status) {
+    protocol::Status push = status;
+    push.queue_depth = static_cast<std::uint32_t>(queue_.depth());
+    session->send(protocol::encode_status(push));
+  };
   // Record Queued before the push: once the job is in the queue a worker can
   // pop it and write Running/Done, and a late Queued write here would stomp
   // the terminal state a client has already been told about.
-  set_job_state(job_id, JobState::Queued);
+  {
+    std::lock_guard lock(jobs_mutex_);
+    job_states_[job_id] = JobRecord{JobState::Queued, job.submit.tenant};
+  }
   const auto position = queue_.push(std::move(job));
   if (!position) {
     {
@@ -307,6 +346,94 @@ void Server::admit(const std::shared_ptr<Session>& session, Submit submit) {
   accept.job_id = job_id;
   accept.queue_position = static_cast<std::uint32_t>(*position);
   session->send(protocol::encode_accept(accept));
+}
+
+void Server::handle_cancel(const std::shared_ptr<Session>& session,
+                           const protocol::Cancel& cancel) {
+  trace::Span span("lab.cancel", "lab");
+  if (cancel.tenant.empty()) {
+    return reject(session, RejectCode::BadRequest,
+                  "cancel carries no tenant id");
+  }
+
+  // The same auth + firewall wall as admission: Cancel is a door a hostile
+  // client can knock on too, and wrong tokens count toward the lockout.
+  {
+    std::lock_guard lock(firewall_mutex_);
+    const double now = now_minutes();
+    if (firewall_.is_blocked(cancel.tenant, now)) {
+      return reject(session, RejectCode::LockedOut, "tenant is locked out");
+    }
+    if (cancel.token != config_.token) {
+      if (firewall_.record_failure(cancel.tenant, now)) {
+        stats_.lockouts.fetch_add(1, std::memory_order_relaxed);
+        trace::instant("lab.lockout", "lab");
+        return reject(session, RejectCode::LockedOut,
+                      "too many bad tokens; tenant locked out");
+      }
+      return reject(session, RejectCode::BadToken, "wrong auth token");
+    }
+    firewall_.record_success(cancel.tenant);
+  }
+
+  JobState state = JobState::Unknown;
+  {
+    std::lock_guard lock(jobs_mutex_);
+    const auto it = job_states_.find(cancel.job_id);
+    // An unknown job and another tenant's job answer identically: job ids
+    // are sequential, so a cancel probe must not confirm a foreign job
+    // exists.
+    if (it == job_states_.end() || it->second.tenant != cancel.tenant) {
+      state = JobState::Unknown;
+    } else {
+      state = it->second.state;
+    }
+  }
+  if (state == JobState::Unknown) {
+    return reject(session, RejectCode::BadRequest,
+                  "no such job for this tenant");
+  }
+  if (state == JobState::Done) {
+    return reject(session, RejectCode::BadRequest, "job already finished");
+  }
+
+  const auto ack = [this, &session, &cancel] {
+    stats_.cancelled.fetch_add(1, std::memory_order_relaxed);
+    trace::Counter("lab.cancelled").add(1.0);
+    protocol::Status frame;
+    frame.job_id = cancel.job_id;
+    frame.state = JobState::Done;
+    frame.queue_depth = static_cast<std::uint32_t>(queue_.depth());
+    session->send(protocol::encode_status(frame));
+  };
+
+  // Still queued: pull it out (the quota slot frees, the tenant's virtual
+  // tag rewinds) and deliver the terminal Result the Accept promised.
+  if (auto removed = queue_.remove(cancel.job_id)) {
+    trace::Counter("lab.queue_depth").add(-1.0);
+    Result result;
+    result.job_id = cancel.job_id;
+    result.exit_code = 130;  // the interrupted-job convention
+    result.error = "cancelled by tenant";
+    if (removed->deliver) {
+      removed->deliver(result);
+    } else {
+      set_job_state(cancel.job_id, JobState::Done);
+    }
+    return ack();
+  }
+
+  // A worker already has it. With a shard pool the worker is a process we
+  // can kill — its execute() observes the death and returns the cancelled
+  // Result. Inline mode runs jobs on server threads; those cannot be
+  // killed, so a running inline job is past the point of no return.
+  if (pool_ && pool_->cancel(cancel.job_id)) {
+    return ack();
+  }
+  return reject(session, RejectCode::BadRequest,
+                pool_ ? "job just finished; nothing to cancel"
+                      : "job is already running (inline executor cannot "
+                        "cancel a running job)");
 }
 
 void Server::reject(const std::shared_ptr<Session>& session, RejectCode code,
@@ -329,7 +456,11 @@ void Server::worker_loop(int worker_index) {
     Result result;
     try {
       chaos::on_op("lab.dispatch");
-      result = executor_.execute(job->submit);
+      // Pool mode: slot w belongs to this thread, and the pool absorbs
+      // worker crashes/hangs/cancels into a terminal Result by itself.
+      result = pool_ ? pool_->execute(worker_index, job->id, job->submit,
+                                      job->notify)
+                     : executor_.execute(job->submit);
     } catch (const chaos::InjectedAbort& abort) {
       result.exit_code = 2;
       result.error = abort.what();
@@ -359,13 +490,13 @@ void Server::finish_job(const std::shared_ptr<Session>& session,
 
 void Server::set_job_state(std::uint64_t job_id, JobState state) {
   std::lock_guard lock(jobs_mutex_);
-  job_states_[job_id] = state;
+  job_states_[job_id].state = state;  // tenant (set at admission) survives
 }
 
 protocol::JobState Server::job_state(std::uint64_t job_id) const {
   std::lock_guard lock(jobs_mutex_);
   const auto it = job_states_.find(job_id);
-  return it == job_states_.end() ? JobState::Unknown : it->second;
+  return it == job_states_.end() ? JobState::Unknown : it->second.state;
 }
 
 }  // namespace pdc::lab

@@ -15,6 +15,7 @@
 #include "lab/cache.hpp"
 #include "lab/executor.hpp"
 #include "lab/queue.hpp"
+#include "lab/shard.hpp"
 #include "net/socket.hpp"
 #include "remote/firewall.hpp"
 
@@ -43,6 +44,14 @@ struct ServerConfig {
   std::string token = "hands-on";
 
   ExecutorConfig executor;
+
+  /// Shard-pool knobs for ExecMode::Socket, where each worker thread owns
+  /// a forked pdclab worker *process* (crash/hang isolation per job).
+  /// `shard.workers` and `shard.executor` are overwritten from the
+  /// server's own `workers`/`executor` fields at start(); set worker_bin
+  /// and the timeouts here. Inline mode ignores all of it.
+  WorkerPoolConfig shard;
+
   std::size_t cache_capacity = 256;
   FairQueue::Policy queue;
   remote::Firewall::Policy firewall{/*max_failures=*/3,
@@ -69,6 +78,8 @@ struct ServerStats {
   std::uint64_t lockouts = 0;     ///< times a tenant crossed into lockout
   std::uint64_t lost_results = 0; ///< finished jobs whose client was gone
   std::uint64_t sessions = 0;     ///< connections accepted
+  std::uint64_t cancelled = 0;    ///< jobs withdrawn by a Cancel frame
+  std::uint64_t worker_respawns = 0;  ///< shard workers respawned after loss
   std::size_t queue_depth = 0;    ///< current (not monotonic)
 };
 
@@ -103,6 +114,9 @@ class Server {
   [[nodiscard]] const Executor& executor() const noexcept { return executor_; }
   /// The admission firewall (exposed for the workshop-staff unblock path).
   [[nodiscard]] remote::Firewall& firewall() noexcept { return firewall_; }
+  /// The shard worker pool (Socket mode, after start(); nullptr inline).
+  /// The load driver's chaos monkey reads slot pids off it to pick victims.
+  [[nodiscard]] WorkerPool* shard_pool() noexcept { return pool_.get(); }
 
  private:
   /// One client connection. Workers and the reader both write frames, so
@@ -125,6 +139,10 @@ class Server {
   /// on the wire.
   void admit(const std::shared_ptr<Session>& session,
              protocol::Submit submit);
+  /// Cancellation: everything between a decoded Cancel and its Status ack
+  /// (or Reject) on the wire.
+  void handle_cancel(const std::shared_ptr<Session>& session,
+                     const protocol::Cancel& cancel);
   void reject(const std::shared_ptr<Session>& session, protocol::RejectCode code,
               const std::string& reason);
   void finish_job(const std::shared_ptr<Session>& session, std::uint64_t job_id,
@@ -139,6 +157,9 @@ class Server {
   Executor executor_;
   ResultCache cache_;
   FairQueue queue_;
+  /// The worker-process fleet; null in ExecMode::Inline (rank-per-thread
+  /// execution inside this process, the historic shape).
+  std::unique_ptr<WorkerPool> pool_;
   remote::Firewall firewall_;
   std::mutex firewall_mutex_;  ///< Firewall itself is not thread-safe
 
@@ -159,8 +180,16 @@ class Server {
 
   std::atomic<std::uint64_t> next_job_id_{1};
 
+  /// What the server remembers about a job after admission: its lifecycle
+  /// state (Status queries) and its tenant (only the submitting tenant may
+  /// Cancel it).
+  struct JobRecord {
+    protocol::JobState state = protocol::JobState::Unknown;
+    std::string tenant;
+  };
+
   mutable std::mutex jobs_mutex_;
-  std::unordered_map<std::uint64_t, protocol::JobState> job_states_;
+  std::unordered_map<std::uint64_t, JobRecord> job_states_;
 
   struct AtomicStats {
     std::atomic<std::uint64_t> submits{0};
@@ -172,6 +201,7 @@ class Server {
     std::atomic<std::uint64_t> lockouts{0};
     std::atomic<std::uint64_t> lost_results{0};
     std::atomic<std::uint64_t> sessions{0};
+    std::atomic<std::uint64_t> cancelled{0};
   };
   AtomicStats stats_;
 };

@@ -201,6 +201,27 @@ class Communicator {
     Hierarchical
   };
 
+  /// The schedule Auto resolves to for the fan-out collectives (bcast,
+  /// allgather's broadcast stage) on this communicator. Pure introspection
+  /// — sends nothing; rank-invariant, so every rank reports the same
+  /// answer. The bench-backed regression tests pin Auto's choices per
+  /// transport through these.
+  [[nodiscard]] CollectiveAlgo auto_fanout_algo() const {
+    return resolve_fanout_algo(CollectiveAlgo::Auto, "bcast");
+  }
+
+  /// The schedule Auto resolves to for reduce with operator `Op`.
+  template <typename Op>
+  [[nodiscard]] CollectiveAlgo auto_reduce_algo() const {
+    return resolve_reduce_algo<Op>(CollectiveAlgo::Auto, "reduce");
+  }
+
+  /// The schedule Auto resolves to for allreduce of `T` with operator `Op`.
+  template <typename T, typename Op>
+  [[nodiscard]] CollectiveAlgo auto_allreduce_algo() const {
+    return resolve_allreduce_algo<T, Op>(CollectiveAlgo::Auto);
+  }
+
   /// Block until every rank of the communicator has entered the barrier.
   void barrier();
 
@@ -702,6 +723,15 @@ class Communicator {
       // ranks with remote ones on every round.
       if (hierarchy_pays()) return CollectiveAlgo::Hierarchical;
       if (size() <= 2) return CollectiveAlgo::Flat;
+      if (!universe_->intra_node_fast()) {
+        // Kernel sockets between co-located ranks: every message is a
+        // syscall pair, so message count on the critical path is what
+        // matters. Recursive doubling's p·log p messages lose to the flat
+        // gather+bcast up to moderate sizes (measured at np=8: RD ~1.8×
+        // flat over unix sockets, bench_net_transport) and to the binomial
+        // tree beyond that.
+        return size() <= 8 ? CollectiveAlgo::Flat : CollectiveAlgo::Binomial;
+      }
       if constexpr (std::is_trivially_copyable_v<T>) {
         // Small fixed-size payloads: recursive doubling halves the rounds
         // of reduce+bcast. Large ones: the tree keeps total bytes moved at
@@ -724,9 +754,15 @@ class Communicator {
   /// True when Auto should pick the leader-per-node schedule: the members
   /// span at least two nodes AND at least one node hosts more than one
   /// member (otherwise every rank is its own delegate and Hierarchical is
-  /// just Flat with longer code). Rank-invariant: derived from the shared
-  /// topology and member list only.
+  /// just Flat with longer code) AND the intra-node hops actually are
+  /// cheaper than the inter-node ones — i.e. the transport moves
+  /// co-located traffic through shared memory. Over plain kernel sockets
+  /// the intra-node fan-out legs cost the same as the links Hierarchical
+  /// is trying to avoid, and the extra delegate hop just adds latency
+  /// (BENCH_8.json recorded exactly that regression). Rank-invariant:
+  /// derived from the shared topology, member list and transport only.
   bool hierarchy_pays() const {
+    if (!universe_->intra_node_fast()) return false;
     std::vector<bool> seen(static_cast<std::size_t>(universe_->num_nodes()),
                            false);
     int nodes = 0;

@@ -28,8 +28,9 @@ RunResult run(const RunConfig& cfg,
 
   Universe universe(cfg.num_procs, std::move(hostnames));
   // Installed before any rank thread exists — set_topology is not safe
-  // against concurrent collectives.
+  // against concurrent collectives (and the sink must not miss early lines).
   if (!cfg.topology.empty()) universe.set_topology(cfg.topology);
+  if (cfg.on_output) universe.set_output_sink(cfg.on_output);
 
   std::exception_ptr first_error;
   std::mutex error_mutex;

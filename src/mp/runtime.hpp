@@ -46,6 +46,13 @@ struct RunConfig {
   /// tests exercise the topology-aware (Hierarchical) schedules without
   /// real multi-node processes.
   std::vector<int> topology;
+
+  /// Observe every line the ranks print() as it happens (installed on the
+  /// Universe before any rank thread starts). RunResult::output still
+  /// carries the complete log; the sink is for live streaming — the lab
+  /// worker forwards these as incremental Status frames. Entered with the
+  /// universe's log mutex held, from whichever rank thread printed.
+  std::function<void(const std::string&)> on_output;
 };
 
 /// Outcome of a job: everything the ranks print()ed, in arrival order.

@@ -47,6 +47,15 @@ class Transport {
   /// Idempotent; called by ~Universe *before* the mailboxes are destroyed,
   /// so no reader thread can touch a dead mailbox.
   virtual void shutdown() noexcept = 0;
+
+  /// True when a message between co-located ranks bypasses the kernel
+  /// (shared-memory rings, in-process queues). CollectiveAlgo::Auto uses
+  /// this to decide whether chatty schedules (recursive doubling, the
+  /// intra-node legs of Hierarchical) pay for themselves: over kernel
+  /// sockets every extra message costs a syscall pair and they do not.
+  [[nodiscard]] virtual bool intra_node_shared_memory() const noexcept {
+    return false;
+  }
 };
 
 }  // namespace pdc::mp

@@ -139,6 +139,7 @@ void Universe::log_line(std::string line) {
     std::fflush(stdout);
   }
   std::lock_guard lock(log_mutex_);
+  if (output_sink_) output_sink_(line);
   log_.push_back(std::move(line));
 }
 

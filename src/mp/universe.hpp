@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -90,6 +91,14 @@ class Universe {
   /// Number of distinct nodes (1 when no topology was set).
   [[nodiscard]] int num_nodes() const noexcept { return num_nodes_; }
 
+  /// True when co-located ranks exchange messages without the kernel in
+  /// the path: loopback mode (every rank is a thread of this process), or
+  /// a transport that reports shared-memory intra-node delivery. The Auto
+  /// collective resolvers key their chatty schedules off this.
+  [[nodiscard]] bool intra_node_fast() const noexcept {
+    return transport_ == nullptr || transport_->intra_node_shared_memory();
+  }
+
   /// Allocate a fresh communicator id (used by Communicator::split/dup).
   /// Loopback ids come from one shared counter. Distributed ids are
   /// namespaced by the allocating world rank — (rank+1) << 32 | counter —
@@ -109,6 +118,17 @@ class Universe {
 
   /// Echo log_line() output to stdout as it arrives (pdcrun rank mode).
   void set_echo_output(bool echo) noexcept { echo_output_ = echo; }
+
+  /// Observe every log_line() as it arrives (the lab server streams these
+  /// to the student's terminal as incremental Status frames). Called under
+  /// the log mutex in arrival order; ranks are threads, so the sink must
+  /// tolerate being entered from any of them (serialized per universe, but
+  /// a multi-universe job — one per rank on the socket harness — calls one
+  /// shared sink concurrently). Install before user code runs.
+  void set_output_sink(std::function<void(const std::string&)> sink) {
+    std::lock_guard lock(log_mutex_);
+    output_sink_ = std::move(sink);
+  }
 
   /// Snapshot of the output log so far.
   [[nodiscard]] std::vector<std::string> log() const;
@@ -165,6 +185,7 @@ class Universe {
 
   mutable std::mutex log_mutex_;
   std::vector<std::string> log_;
+  std::function<void(const std::string&)> output_sink_;
 
   /// Declared last so it is destroyed first; ~Universe additionally calls
   /// shutdown() explicitly before any member is torn down (the regression

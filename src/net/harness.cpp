@@ -109,6 +109,7 @@ ClusterResult run_socket_cluster(
       SocketTransport* net = transport.get();
       universe.attach_transport(std::move(transport));
       universe.set_topology(net->node_ids());
+      if (options.on_output) universe.set_output_sink(options.on_output);
       if (options.on_wired) options.on_wired(rank, *net);
 
       mp::Communicator comm = mp::Communicator::world(universe, rank);

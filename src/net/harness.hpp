@@ -53,6 +53,12 @@ struct ClusterOptions {
   /// Called on each rank thread after wireup + attach, before the program
   /// runs — the hook fault tests use to sever connections mid-job.
   std::function<void(int rank, SocketTransport&)> on_wired;
+  /// Observe every printed line as it happens. Each rank thread owns its
+  /// own Universe here, so — unlike mp::run — the sink IS entered
+  /// concurrently from different ranks and must be thread-safe. Used by
+  /// the lab worker to stream incremental Status frames; ClusterResult
+  /// still carries the complete per-rank output.
+  std::function<void(const std::string&)> on_output;
 };
 
 struct ClusterResult {

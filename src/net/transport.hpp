@@ -116,6 +116,13 @@ class SocketTransport final : public mp::Transport {
   void propagate_abort() noexcept override;
   void shutdown() noexcept override;
 
+  /// Co-located Data frames ride the lock-free shm rings only when the
+  /// config asked for them; otherwise every intra-node hop is a kernel
+  /// socket and the Auto resolvers should treat messages as expensive.
+  [[nodiscard]] bool intra_node_shared_memory() const noexcept override {
+    return shm_ != nullptr;
+  }
+
   /// The first peer-loss postmortem, if any ("" when the job stayed
   /// healthy) — one line naming the peer and what happened to it.
   [[nodiscard]] std::string postmortem() const;

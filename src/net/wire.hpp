@@ -45,9 +45,12 @@ enum class FrameKind : std::uint16_t {
   // ---- lab service frames (src/lab) — client ↔ pdc::lab::Server --------
   Submit = 6,  ///< client → server: run this patternlet/exemplar/notebook
   Accept = 7,  ///< server → client: admitted; job id + queue position
-  Status = 8,  ///< either direction: job-state query (client) / reply
+  Status = 8,  ///< either direction: job-state query (client) / reply;
+               ///< server pushes may carry incremental output lines
   Result = 9,  ///< server → client: terminal outcome + captured output
   Reject = 10, ///< server → client: refused (auth, quota, lockout, bad req)
+  Cancel = 11, ///< client → server: dequeue or kill an admitted job
+  Dispatch = 12, ///< lab server → worker process: execute this job
 };
 
 struct Header {

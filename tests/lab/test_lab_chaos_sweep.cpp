@@ -7,15 +7,20 @@
 // the acceptance sweep.
 
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "../chaos/chaos_test_util.hpp"
 #include "chaos/chaos.hpp"
 #include "lab/client.hpp"
 #include "lab/server.hpp"
+#include "lab/shard.hpp"
 
 namespace pdc::lab {
 namespace {
@@ -203,6 +208,143 @@ TEST(LabChaosSweep, TargetedDispatchAbortFailsTheJobCleanly) {
     });
     ASSERT_TRUE(finished) << "seed " << seed << " HUNG on a dispatch abort";
   }
+}
+
+TEST(LabChaosSweep, CancelRacesAlwaysResolveToATerminalAnswer) {
+  // Racing cancels against a draining queue: every seed submits a burst of
+  // jobs on one worker and immediately cancels them in a seed-dependent
+  // order while chaos noise jitters the execution timing. The contract is
+  // binary and total — a cancel that was acked ends in the exit-130 Result,
+  // a cancel that was refused means the job ran (or had run) to completion,
+  // and either way wait_result() returns. No third outcome, no hangs.
+  const int seeds = sweep_seeds(4);
+  int acked = 0;
+  int refused = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    const bool finished = run_with_watchdog(kWatchdogBudget, [&] {
+      ServerConfig config;
+      config.endpoint = sweep_endpoint();
+      config.workers = 1;  // the burst queues, so cancels catch Queued jobs
+      Server server(std::move(config));
+      server.start();
+      {
+        chaos::Scope scope(
+            chaos::Config::noise(static_cast<std::uint64_t>(seed)));
+        Client submitter([&] {
+          ClientConfig c;
+          c.endpoint = server.endpoint();
+          c.reply_timeout_ms = 20000;
+          return c;
+        }());
+        Client canceller([&] {
+          ClientConfig c;
+          c.endpoint = server.endpoint();
+          c.reply_timeout_ms = 20000;
+          return c;
+        }());
+        std::vector<std::uint64_t> ids;
+        for (int j = 0; j < 4; ++j) {
+          const auto outcome = submitter.submit(pi_submit(
+              4000 + static_cast<std::uint64_t>(j)));
+          ASSERT_TRUE(outcome.accepted()) << "seed " << seed << " job " << j;
+          ids.push_back(outcome.accept->job_id);
+        }
+        std::map<std::uint64_t, bool> was_acked;
+        for (int j = 0; j < 4; ++j) {
+          const std::uint64_t id = ids[static_cast<std::size_t>(
+              (j + seed) % 4)];
+          const auto outcome = canceller.cancel(id, "hands-on", "ada");
+          was_acked[id] = outcome.cancelled();
+          if (outcome.cancelled()) {
+            ++acked;
+          } else {
+            ++refused;
+            EXPECT_EQ(outcome.reject->code, protocol::RejectCode::BadRequest)
+                << "seed " << seed << ": " << outcome.reject->reason;
+          }
+        }
+        for (const std::uint64_t id : ids) {
+          const auto result = submitter.wait_result(id);
+          if (was_acked[id]) {
+            EXPECT_EQ(result.exit_code, 130)
+                << "seed " << seed << ": acked cancel lost its exit-130";
+          } else {
+            EXPECT_EQ(result.exit_code, 0)
+                << "seed " << seed << ": " << result.error;
+          }
+        }
+        EXPECT_EQ(server.stats().cancelled,
+                  static_cast<std::uint64_t>(
+                      std::count_if(was_acked.begin(), was_acked.end(),
+                                    [](const auto& kv) { return kv.second; })));
+      }
+      server.stop();
+    });
+    ASSERT_TRUE(finished) << "seed " << seed << " HUNG a cancel race";
+  }
+  // Across the sweep both races must actually occur: cancels that landed in
+  // the queue and cancels that lost to the worker.
+  EXPECT_GT(acked, 0);
+  EXPECT_GT(refused, 0);
+  std::fprintf(stderr,
+               "lab cancel sweep: %d acked, %d refused over %d seeds\n",
+               acked, refused, seeds);
+}
+
+TEST(LabChaosSweep, MultiprocWorkerKillsLoseNoJobs) {
+  // The shard-pool acceptance bar: a worker process SIGKILLed right after a
+  // dispatch (the kShardKillSite chaos lane) costs a respawn, never a job.
+  // On worker 0's actor lane ops alternate lab.dispatch / lab.shard.kill,
+  // so op 2t+1 is job t's first kill site: that worker dies mid-job, the
+  // pool reaps + respawns + redispatches, and every job still exits 0. The
+  // teardown bar is just as hard — zero leaked worker processes.
+  const int seeds = sweep_seeds(4);
+  std::uint64_t respawns = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    const int target = seed % 3;
+    const bool finished = run_with_watchdog(kWatchdogBudget, [&] {
+      ServerConfig config;
+      config.endpoint = sweep_endpoint();
+      config.workers = 1;  // one worker => dispatch order is queue order
+      config.executor.mode = ExecMode::Socket;
+      config.shard.worker_bin = PDCLAB_TEST_BIN;
+      config.shard.heartbeat_ms = 50;
+      Server server(std::move(config));
+      server.start();
+      chaos::Config plan;
+      plan.seed = static_cast<std::uint64_t>(seed);
+      plan.abort_actor = kLabWorkerActorBase;
+      plan.abort_at_op = static_cast<std::uint64_t>(2 * target + 1);
+      {
+        chaos::Scope scope(plan);
+        Client client([&] {
+          ClientConfig c;
+          c.endpoint = server.endpoint();
+          c.reply_timeout_ms = 20000;
+          return c;
+        }());
+        for (int j = 0; j < 3; ++j) {
+          const auto outcome = client.submit(pi_submit(
+              5000 + static_cast<std::uint64_t>(j)));
+          ASSERT_TRUE(outcome.accepted()) << "seed " << seed << " job " << j;
+          const auto result = client.wait_result(outcome.accept->job_id);
+          EXPECT_EQ(result.exit_code, 0)
+              << "seed " << seed << " job " << j << " LOST: " << result.error;
+        }
+      }
+      EXPECT_GE(server.stats().worker_respawns, 1u) << "seed " << seed;
+      respawns += server.stats().worker_respawns;
+      server.stop();
+      // Every worker process the pool ever forked has been reaped.
+      const pid_t rc = ::waitpid(-1, nullptr, WNOHANG);
+      EXPECT_TRUE(rc == -1 && errno == ECHILD)
+          << "seed " << seed << " leaked a worker process (waitpid -> " << rc
+          << ")";
+    });
+    ASSERT_TRUE(finished) << "seed " << seed << " HUNG on a worker kill";
+  }
+  std::fprintf(stderr, "lab multiproc sweep: %llu respawns over %d seeds\n",
+               static_cast<unsigned long long>(respawns), seeds);
 }
 
 }  // namespace

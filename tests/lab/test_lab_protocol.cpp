@@ -101,6 +101,41 @@ TEST(LabProtocol, RejectRoundTrips) {
   EXPECT_EQ(decoded.reason, "too many bad tokens");
 }
 
+TEST(LabProtocol, StreamingStatusRoundTripsWithOutputLines) {
+  Status status;
+  status.job_id = 41;
+  status.state = JobState::Running;
+  status.queue_depth = 2;
+  status.output = {"rank 0: pi ~ 3.14", "", "rank 1: done"};
+  const Status decoded = decode_status(body_of(encode_status(status)));
+  EXPECT_EQ(decoded, status);
+}
+
+TEST(LabProtocol, CancelRoundTripsAndCarriesTheCancelKind) {
+  Cancel cancel;
+  cancel.token = "hands-on";
+  cancel.tenant = "ada";
+  cancel.job_id = 77;
+  const mp::Bytes frame = encode_cancel(cancel);
+  std::byte raw[wire::kHeaderBytes];
+  std::copy(frame.begin(), frame.begin() + wire::kHeaderBytes, raw);
+  EXPECT_EQ(wire::decode_header(raw).kind, wire::FrameKind::Cancel);
+  EXPECT_EQ(decode_cancel(body_of(frame)), cancel);
+}
+
+TEST(LabProtocol, DispatchRoundTripsTheFullSubmit) {
+  Dispatch dispatch;
+  dispatch.job_id = 500;
+  dispatch.submit = example_submit();
+  dispatch.submit.kind = JobKind::Notebook;
+  dispatch.submit.source = "print('hello')";
+  const mp::Bytes frame = encode_dispatch(dispatch);
+  std::byte raw[wire::kHeaderBytes];
+  std::copy(frame.begin(), frame.begin() + wire::kHeaderBytes, raw);
+  EXPECT_EQ(wire::decode_header(raw).kind, wire::FrameKind::Dispatch);
+  EXPECT_EQ(decode_dispatch(body_of(frame)), dispatch);
+}
+
 // ---- digest --------------------------------------------------------------
 
 TEST(LabDigest, IdenticalSubmissionsShareADigest) {
@@ -230,6 +265,46 @@ TEST(LabHostile, UnknownRejectCodeRejected) {
   wire::put_u16(body, 0);  // below BadToken
   wire::put_string(body, "");
   EXPECT_THROW(decode_reject(body), ProtocolError);
+}
+
+TEST(LabHostile, StatusLineCountBeyondClampRejected) {
+  mp::Bytes body;
+  wire::put_u64(body, 1);   // job id
+  wire::put_u16(body, 2);   // Running
+  wire::put_u32(body, 0);   // queue depth
+  wire::put_u32(body, kMaxOutputLines + 1);
+  EXPECT_THROW(decode_status(body), ProtocolError);
+}
+
+TEST(LabHostile, StatusLineCountBeyondBodyRejectedBeforeReserve) {
+  mp::Bytes body;
+  wire::put_u64(body, 1);
+  wire::put_u16(body, 2);
+  wire::put_u32(body, 0);
+  wire::put_u32(body, 4000);  // within the line clamp, not within the body
+  EXPECT_THROW(decode_status(body), ProtocolError);
+}
+
+TEST(LabHostile, OversizedCancelTenantPrefixRejected) {
+  mp::Bytes body;
+  wire::put_string(body, "tok");
+  wire::put_u32(body, kMaxIdentityBytes + 1);  // hostile tenant prefix
+  EXPECT_THROW(decode_cancel(body), ProtocolError);
+}
+
+TEST(LabHostile, TruncatedCancelBodyThrows) {
+  mp::Bytes body = body_of(encode_cancel({"tok", "ada", 9}));
+  body.resize(body.size() - 3);
+  EXPECT_THROW(decode_cancel(body), ProtocolError);
+}
+
+TEST(LabHostile, DispatchWithUnknownJobKindRejected) {
+  mp::Bytes body;
+  wire::put_u64(body, 1);  // job id
+  wire::put_string(body, "tok");
+  wire::put_string(body, "ada");
+  wire::put_u16(body, 9);  // not a JobKind
+  EXPECT_THROW(decode_dispatch(body), ProtocolError);
 }
 
 }  // namespace

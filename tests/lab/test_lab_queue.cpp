@@ -36,6 +36,55 @@ TEST(LabQueue, SingleTenantIsFifo) {
   EXPECT_EQ(queue.depth(), 0u);
 }
 
+TEST(LabQueue, RemoveDequeuesByIdAndRefundsTheQuotaSlot) {
+  FairQueue::Policy policy;
+  policy.max_queued_per_tenant = 2;
+  FairQueue queue(policy);
+  ASSERT_TRUE(queue.push(make_job(1, "ada")).has_value());
+  ASSERT_TRUE(queue.push(make_job(2, "ada")).has_value());
+  ASSERT_FALSE(queue.push(make_job(3, "ada")).has_value());  // quota full
+
+  const auto removed = queue.remove(1);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->id, 1u);
+  EXPECT_EQ(queue.depth(), 1u);
+  EXPECT_EQ(queue.depth("ada"), 1u);
+
+  // The freed slot admits a new job immediately — the cancel refunded it.
+  ASSERT_TRUE(queue.push(make_job(3, "ada")).has_value());
+  EXPECT_EQ(queue.pop()->id, 2u);
+  EXPECT_EQ(queue.pop()->id, 3u);
+}
+
+TEST(LabQueue, RemoveUnknownIdReturnsNothing) {
+  FairQueue queue({});
+  queue.push(make_job(1, "ada"));
+  EXPECT_FALSE(queue.remove(99).has_value());
+  EXPECT_EQ(queue.depth(), 1u);
+}
+
+TEST(LabQueue, RemovedTailDoesNotPenalizeTheTenantsNextPush) {
+  // ada queues two jobs, cancels the tail, then queues another while grace
+  // holds a backlog: ada's replacement must not be scheduled as if the
+  // cancelled job had run (it chains behind job 1, not behind a phantom).
+  FairQueue queue({});
+  queue.push(make_job(1, "ada"));
+  queue.push(make_job(2, "ada"));
+  ASSERT_TRUE(queue.remove(2).has_value());
+  queue.push(make_job(11, "grace"));
+  queue.push(make_job(12, "grace"));
+  queue.push(make_job(3, "ada"));
+
+  // Tags: ada 1→1.0, 3→2.0 (rewound); grace 11→1.0, 12→2.0. Service order
+  // interleaves 1:1; with the phantom tag ada's job 3 would sit at 3.0 and
+  // lose to grace's whole backlog.
+  std::vector<std::uint64_t> order;
+  while (queue.depth() > 0) order.push_back(queue.pop()->id);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[3], 12u) << "ada's replacement was scheduled behind the "
+                              "cancelled job's phantom slot";
+}
+
 TEST(LabQueue, EqualWeightTenantsInterleave) {
   // ada floods 4 jobs first; grace's 4 arrive after. Fair queuing must
   // interleave them 1:1 instead of serving ada's backlog first.

@@ -9,9 +9,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lab/client.hpp"
@@ -224,6 +226,42 @@ TEST(LabServer, UnknownProgramIsBadRequestBeforeTheQueue) {
   EXPECT_EQ(server.cache().size(), 0u);
 }
 
+TEST(LabServer, NonPositiveNpIsBadRequestForEveryJobKind) {
+  // Regression: the wire clamp checked np <= kMaxProcs but Notebook (which
+  // otherwise ignores np) skipped the np >= 1 check entirely, so
+  // `--np 0 notebook` was accepted. Admission now names the field for
+  // every kind.
+  Server server(test_config());
+  server.start();
+  Client client(client_config(server.endpoint()));
+
+  const auto expect_np_bad_request = [&](protocol::Submit submit) {
+    for (const int np : {0, -3}) {
+      submit.np = np;
+      const auto outcome = client.submit(submit);
+      ASSERT_FALSE(outcome.accepted())
+          << protocol::job_kind_name(submit.kind) << " np=" << np;
+      EXPECT_EQ(outcome.reject->code, RejectCode::BadRequest);
+      EXPECT_NE(outcome.reject->reason.find("np"), std::string::npos)
+          << outcome.reject->reason;
+    }
+  };
+
+  expect_np_bad_request(pi_submit());  // Exemplar
+  protocol::Submit patternlet = pi_submit();
+  patternlet.kind = JobKind::Patternlet;
+  patternlet.name = "spmd";
+  expect_np_bad_request(patternlet);
+  protocol::Submit notebook = pi_submit();
+  notebook.kind = JobKind::Notebook;
+  notebook.name = "";
+  notebook.source = "print('hi')";
+  expect_np_bad_request(notebook);
+  expect_np_bad_request(grade_submit());
+
+  EXPECT_EQ(server.executor().executions(), 0u);
+}
+
 TEST(LabServer, StatusReportsLifecycleAndUnknownJobs) {
   Server server(test_config());
   server.start();
@@ -365,7 +403,7 @@ TEST(LabServer, HostileSubmitFramesGetBadRequestAndNeverKillTheServer) {
     mp::Bytes frame;
     wire::put_u32(frame, wire::kMagic);
     wire::put_u16(frame, wire::kVersion);
-    wire::put_u16(frame, 11);  // one past Reject
+    wire::put_u16(frame, 13);  // one past Dispatch
     wire::put_u32(frame, 0);
     const auto reject = poke(server.endpoint(), frame);
     ASSERT_TRUE(reject.has_value());
@@ -487,6 +525,199 @@ TEST(LabServer, StopIsIdempotentAndUnlinksTheSocketPath) {
   server.stop();
   server.stop();
   EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+// ---- cancellation --------------------------------------------------------
+// The shard-pool scenarios need a job pinned in Running, so they run a
+// Socket-mode server whose forked workers honour the PDCLAB_TEST_HOLD_MS
+// hook. Inline-mode cancellation (queued only) is covered too.
+
+/// A Socket-mode config whose forked workers hold each job for `hold_ms`.
+/// The env var is read at dispatch time in the worker, which inherited the
+/// environment at fork — so set it before start() and clear it after.
+ServerConfig shard_config(int workers = 1) {
+  ServerConfig config = test_config();
+  config.workers = workers;
+  config.executor.mode = ExecMode::Socket;
+  config.shard.worker_bin = PDCLAB_TEST_BIN;
+  config.shard.heartbeat_ms = 50;
+  return config;
+}
+
+class HoldEnv {
+ public:
+  explicit HoldEnv(int ms) {
+    ::setenv("PDCLAB_TEST_HOLD_MS", std::to_string(ms).c_str(), 1);
+  }
+  ~HoldEnv() { ::unsetenv("PDCLAB_TEST_HOLD_MS"); }
+};
+
+protocol::Submit patternlet_submit(const std::string& name, int np = 2) {
+  protocol::Submit submit;
+  submit.token = "hands-on";
+  submit.tenant = "ada";
+  submit.kind = JobKind::Patternlet;
+  submit.name = name;
+  submit.np = np;
+  return submit;
+}
+
+TEST(LabServer, CancelDequeuesAQueuedJobAndRefundsTheQuota) {
+  std::unique_ptr<Server> server;
+  {
+    HoldEnv hold(8000);  // pin the blocker so the next job stays Queued
+    ServerConfig config = shard_config(/*workers=*/1);
+    config.queue.max_queued_per_tenant = 1;
+    server = std::make_unique<Server>(std::move(config));
+    server->start();
+  }
+  Client client(client_config(server->endpoint()));
+
+  const auto blocker = client.submit(patternlet_submit("spmd"));
+  ASSERT_TRUE(blocker.accepted());
+  // The quota slot frees when the worker pops the blocker; wait until it is
+  // Running so the next push deterministically lands in an empty queue.
+  while (client.query_status(blocker.accept->job_id).state !=
+         JobState::Running) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto queued = client.submit(patternlet_submit("barrier"));
+  ASSERT_TRUE(queued.accepted());
+
+  // Quota of 1 is spent on the queued job...
+  const auto refused = client.submit(patternlet_submit("master-worker"));
+  ASSERT_FALSE(refused.accepted());
+  EXPECT_EQ(refused.reject->code, RejectCode::QuotaFull);
+
+  // ...until the cancel frees it: ack, terminal exit-130 Result, state Done.
+  const auto cancelled = client.cancel(queued.accept->job_id, "hands-on",
+                                       "ada");
+  ASSERT_TRUE(cancelled.cancelled())
+      << (cancelled.reject ? cancelled.reject->reason : "");
+  EXPECT_EQ(client.wait_result(queued.accept->job_id).exit_code, 130);
+  EXPECT_EQ(client.query_status(queued.accept->job_id).state, JobState::Done);
+
+  const auto retry = client.submit(patternlet_submit("master-worker"));
+  EXPECT_TRUE(retry.accepted());
+
+  // A second cancel of the same (now finished) job is a Reject.
+  const auto again = client.cancel(queued.accept->job_id, "hands-on", "ada");
+  ASSERT_FALSE(again.cancelled());
+  EXPECT_EQ(again.reject->code, RejectCode::BadRequest);
+
+  // Cancel the running blocker (kills its worker process) and drain.
+  const auto killed = client.cancel(blocker.accept->job_id, "hands-on", "ada");
+  ASSERT_TRUE(killed.cancelled());
+  EXPECT_EQ(client.wait_result(blocker.accept->job_id).exit_code, 130);
+  EXPECT_EQ(client.wait_result(retry.accept->job_id).exit_code, 0);
+  EXPECT_GE(server->stats().cancelled, 2u);
+  server->stop();
+}
+
+TEST(LabServer, CancelIsFencedByTenantTokenAndExistence) {
+  std::unique_ptr<Server> server;
+  {
+    HoldEnv hold(5000);
+    server = std::make_unique<Server>(shard_config(/*workers=*/1));
+    server->start();
+  }
+  Client ada(client_config(server->endpoint()));
+  const auto running = ada.submit(patternlet_submit("spmd"));
+  ASSERT_TRUE(running.accepted());
+  const std::uint64_t job_id = running.accept->job_id;
+
+  // Unknown job and a foreign tenant's probe answer identically — job ids
+  // are sequential, so neither may confirm the job exists.
+  Client eve(client_config(server->endpoint()));
+  const auto unknown = eve.cancel(99999, "hands-on", "eve");
+  ASSERT_FALSE(unknown.cancelled());
+  EXPECT_EQ(unknown.reject->code, RejectCode::BadRequest);
+  const auto foreign = eve.cancel(job_id, "hands-on", "eve");
+  ASSERT_FALSE(foreign.cancelled());
+  EXPECT_EQ(foreign.reject->code, RejectCode::BadRequest);
+  EXPECT_EQ(foreign.reject->reason, unknown.reject->reason);
+
+  // A wrong token is the firewall's business, like at admission.
+  const auto bad_token = eve.cancel(job_id, "wrong", "ada");
+  ASSERT_FALSE(bad_token.cancelled());
+  EXPECT_EQ(bad_token.reject->code, RejectCode::BadToken);
+
+  // The owner with the right token kills it for real.
+  const auto owner = ada.cancel(job_id, "hands-on", "ada");
+  ASSERT_TRUE(owner.cancelled());
+  EXPECT_EQ(ada.wait_result(job_id).exit_code, 130);
+  server->stop();
+}
+
+TEST(LabServer, CancelledJobIsNeverCached) {
+  std::unique_ptr<Server> server;
+  {
+    HoldEnv hold(5000);
+    server = std::make_unique<Server>(shard_config(/*workers=*/1));
+    server->start();
+  }
+  Client client(client_config(server->endpoint()));
+  const auto first = client.submit(pi_submit(77));
+  ASSERT_TRUE(first.accepted());
+  const auto cancelled = client.cancel(first.accept->job_id, "hands-on",
+                                       "ada");
+  ASSERT_TRUE(cancelled.cancelled());
+  ASSERT_EQ(client.wait_result(first.accept->job_id).exit_code, 130);
+  server->stop();
+
+  // Same submission on a fresh (hold-free) server digest-matches the
+  // cancelled one; within the first server a lookup would now miss too, but
+  // the cheap in-process assertion is the cache stayed empty.
+  EXPECT_EQ(server->cache().size(), 0u);
+}
+
+TEST(LabServer, CancelOfARunningInlineJobIsRejected) {
+  // Inline mode runs jobs on server threads — there is no process to kill,
+  // and the contract is an honest Reject, not a silent no-op. pi jobs are
+  // fast, so race the cancel against a stream of them until one is caught
+  // mid-run (Running but not yet removable) or they all finish (then the
+  // Done-reject path is what we pinned anyway).
+  Server server(test_config());
+  server.start();
+  Client client(client_config(server.endpoint()));
+  bool saw_reject = false;
+  for (std::uint64_t seed = 500; seed < 520 && !saw_reject; ++seed) {
+    const auto outcome = client.submit(pi_submit(seed));
+    ASSERT_TRUE(outcome.accepted());
+    Client side(client_config(server.endpoint()));
+    const auto cancelled =
+        side.cancel(outcome.accept->job_id, "hands-on", "ada");
+    if (!cancelled.cancelled()) {
+      EXPECT_EQ(cancelled.reject->code, RejectCode::BadRequest);
+      saw_reject = true;
+    } else {
+      EXPECT_EQ(client.wait_result(outcome.accept->job_id).exit_code, 130);
+    }
+  }
+  EXPECT_TRUE(saw_reject);
+  server.stop();
+}
+
+TEST(LabServer, ShardModeSurvivesWorkerKillsMidLoad) {
+  // The multi-process regression at server level: SIGKILL a live worker
+  // process while jobs flow; every job still gets a terminal Result and the
+  // fleet respawns. (The pool-level unit tests live in test_lab_shard.)
+  Server server(shard_config(/*workers=*/2));
+  server.start();
+  Client client(client_config(server.endpoint()));
+
+  std::vector<std::uint64_t> job_ids;
+  for (std::uint64_t seed = 600; seed < 606; ++seed) {
+    const auto outcome = client.submit(pi_submit(seed));
+    ASSERT_TRUE(outcome.accepted());
+    job_ids.push_back(outcome.accept->job_id);
+  }
+  for (const std::uint64_t job_id : job_ids) {
+    const auto result = client.wait_result(job_id);
+    EXPECT_EQ(result.exit_code, 0) << result.error;
+  }
+  EXPECT_EQ(server.stats().executed, 6u);
+  server.stop();
 }
 
 }  // namespace

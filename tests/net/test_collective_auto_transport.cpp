@@ -1,0 +1,126 @@
+// Bench-backed regression test for CollectiveAlgo::Auto's transport
+// awareness. BENCH_8.json recorded auto-unix np=8 allreduce at 192.3 µs vs
+// flat-unix 109.1 µs: Auto resolved to RecursiveDoubling (and, with a
+// forced multi-node map, Hierarchical) over plain kernel sockets, where
+// every extra message is a syscall pair and the chatty schedules lose.
+// These tests pin the fix: the chatty schedules require the intra-node
+// path to actually be cheap (shm rings or in-process loopback).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "../chaos/chaos_test_util.hpp"
+#include "mp/ops.hpp"
+#include "mp/runtime.hpp"
+#include "net/harness.hpp"
+
+namespace pdc::net {
+namespace {
+
+using chaos_test::kWatchdogBudget;
+using chaos_test::run_with_watchdog;
+using Algo = mp::Communicator::CollectiveAlgo;
+
+const char* algo_name(Algo algo) {
+  switch (algo) {
+    case Algo::Auto: return "Auto";
+    case Algo::Flat: return "Flat";
+    case Algo::Binomial: return "Binomial";
+    case Algo::RecursiveDoubling: return "RecursiveDoubling";
+    case Algo::Hierarchical: return "Hierarchical";
+  }
+  return "?";
+}
+
+/// Every rank reports what Auto resolves to for a scalar commutative
+/// allreduce and for bcast; the resolvers must be rank-invariant, so the
+/// harness asserts all np lines agree and returns the shared answer.
+struct Resolved {
+  std::string fanout;
+  std::string allreduce;
+};
+
+Resolved resolve_on_cluster(bool use_shm, std::vector<int> nodes) {
+  ClusterOptions options;
+  options.kind = Endpoint::Kind::Unix;
+  options.np = 8;
+  options.job = "algo-probe";
+  options.use_shm = use_shm;
+  options.nodes = std::move(nodes);
+  const ClusterResult result =
+      run_socket_cluster(options, [](mp::Communicator& comm) {
+        comm.print(std::string("fanout=") + algo_name(comm.auto_fanout_algo()) +
+                   " allreduce=" +
+                   algo_name(comm.auto_allreduce_algo<double, mp::ops::Max>()));
+      });
+  EXPECT_TRUE(result.ok());
+  Resolved resolved;
+  std::string first;
+  for (int r = 0; r < 8; ++r) {
+    const auto& lines = result.output[static_cast<std::size_t>(r)];
+    EXPECT_EQ(lines.size(), 1u) << "rank " << r;
+    if (lines.empty()) continue;
+    if (first.empty()) first = lines[0];
+    EXPECT_EQ(lines[0], first) << "Auto diverged on rank " << r;
+  }
+  const auto space = first.find(' ');
+  resolved.fanout = first.substr(7, space - 7);
+  resolved.allreduce = first.substr(space + 11);
+  return resolved;
+}
+
+TEST(CollectiveAutoTransport, UnixSocketsAvoidRecursiveDoubling) {
+  // The BENCH_8 regression: over kernel sockets the scalar allreduce must
+  // not pick RecursiveDoubling (measured ~1.8× flat at np=8).
+  ASSERT_TRUE(run_with_watchdog(kWatchdogBudget, [&] {
+    const Resolved r = resolve_on_cluster(/*use_shm=*/false, {});
+    EXPECT_EQ(r.allreduce, "Flat");
+    EXPECT_EQ(r.fanout, "Binomial");
+  }));
+}
+
+TEST(CollectiveAutoTransport, UnixSocketsIgnoreMultiNodeMapWithoutShm) {
+  // A forced 2-node topology without shm rings: the intra-node hops cost
+  // the same as the inter-node ones, so Hierarchical cannot pay and Auto
+  // must stay on the flat/tree schedules.
+  ASSERT_TRUE(run_with_watchdog(kWatchdogBudget, [&] {
+    const Resolved r =
+        resolve_on_cluster(/*use_shm=*/false, {0, 0, 0, 0, 1, 1, 1, 1});
+    EXPECT_EQ(r.allreduce, "Flat");
+    EXPECT_EQ(r.fanout, "Binomial");
+  }));
+}
+
+TEST(CollectiveAutoTransport, ShmRingsKeepRecursiveDoubling) {
+  // With the kernel out of the data path the chatty schedule wins again
+  // (BENCH_8: auto-shm allreduce 51.9 µs vs flat-unix 109.1 µs).
+  ASSERT_TRUE(run_with_watchdog(kWatchdogBudget, [&] {
+    const Resolved r = resolve_on_cluster(/*use_shm=*/true, {});
+    EXPECT_EQ(r.allreduce, "RecursiveDoubling");
+  }));
+}
+
+TEST(CollectiveAutoTransport, ShmMultiNodeMapPicksHierarchical) {
+  ASSERT_TRUE(run_with_watchdog(kWatchdogBudget, [&] {
+    const Resolved r =
+        resolve_on_cluster(/*use_shm=*/true, {0, 0, 0, 0, 1, 1, 1, 1});
+    EXPECT_EQ(r.allreduce, "Hierarchical");
+    EXPECT_EQ(r.fanout, "Hierarchical");
+  }));
+}
+
+TEST(CollectiveAutoTransport, LoopbackKeepsRecursiveDoubling) {
+  // In-process loopback has no kernel in the path either; the fix must not
+  // regress the thread-backed runtime's schedule choices.
+  std::string resolved;
+  mp::run(8, [&](mp::Communicator& comm) {
+    if (comm.rank() == 0) {
+      resolved = algo_name(comm.auto_allreduce_algo<double, mp::ops::Max>());
+    }
+  });
+  EXPECT_EQ(resolved, "RecursiveDoubling");
+}
+
+}  // namespace
+}  // namespace pdc::net

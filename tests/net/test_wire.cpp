@@ -53,15 +53,15 @@ TEST(WireHeader, RejectsWrongVersion) {
 TEST(WireHeader, RejectsUnknownKind) {
   EXPECT_THROW(decode_header(header_image(kMagic, kVersion, 0, 0)),
                ProtocolError);
-  // 11 is the first kind past the lab service frames (Reject = 10).
-  EXPECT_THROW(decode_header(header_image(kMagic, kVersion, 11, 0)),
+  // 13 is the first kind past the lab service frames (Dispatch = 12).
+  EXPECT_THROW(decode_header(header_image(kMagic, kVersion, 13, 0)),
                ProtocolError);
 }
 
 TEST(WireHeader, LabFrameKindsParseAsControlFrames) {
-  // The lab service frames (Submit..Reject) are control frames: the tight
-  // 1 MiB clamp applies, not the 256 MiB Data clamp.
-  for (std::uint16_t kind = 6; kind <= 10; ++kind) {
+  // The lab service frames (Submit..Dispatch) are control frames: the
+  // tight 1 MiB clamp applies, not the 256 MiB Data clamp.
+  for (std::uint16_t kind = 6; kind <= 12; ++kind) {
     const Header ok = decode_header(header_image(kMagic, kVersion, kind, 64));
     EXPECT_EQ(static_cast<std::uint16_t>(ok.kind), kind);
     EXPECT_THROW(decode_header(header_image(kMagic, kVersion, kind,
