@@ -1,0 +1,294 @@
+// Store bench: what the persistence layer costs and what a restart saves.
+//
+// Three phases, one fresh directory each:
+//
+//   1. append throughput — 4 threads journal durable (fsync'd) result
+//      records through the group-commit WAL; reports appends/sec and the
+//      fsync/append ratio (group commit means the fleet pays ~one fsync
+//      per batch, not one per record).
+//   2. recovery time — reopen the directory and time the replay, once
+//      against the raw log and once after a compaction (snapshot replay);
+//      reports ms and records/sec both ways.
+//   3. warm-up ablation — the acceptance scenario end to end: replay a
+//      student session stream (S submissions over D distinct jobs ≈ 90%
+//      repeats) against a store-backed lab server, restart the server on
+//      the same directory, replay the same stream again. The warm server
+//      must serve the stream from its recovered cache: hit rate within 5
+//      points of the pre-restart rate and ZERO re-executions of cached
+//      jobs — both hard gates, exit nonzero on violation.
+//
+// Output: human tables plus one machine-readable
+//   STORE appends=N appends_per_sec=X fsyncs=F log_recovery_ms=L
+//         snapshot_recovery_ms=C recovered=N sessions=S distinct=D
+//         cold_hit_rate=H warm_hit_rate=W warm_executions=0 warmed=K
+// line (scripts/bench_snapshot parses it into BENCH_<n>.json).
+//
+// Scale: argv[1] (default 1). Scale 0 is the bench-smoke canary (hundreds
+// of records, ~120 replayed submissions); scale N appends 5000*N records
+// and replays 1000*N submissions.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lab/client.hpp"
+#include "lab/server.hpp"
+#include "store/store.hpp"
+#include "support/strings.hpp"
+#include "support/text_table.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using pdc::strings::fixed;
+
+std::string fresh_dir(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  const std::string dir = "/tmp/pdc-bench-store-" + tag + "-" +
+                          std::to_string(::getpid()) + "-" +
+                          std::to_string(counter.fetch_add(1));
+  (void)::system(("rm -rf " + dir).c_str());
+  return dir;
+}
+
+pdc::store::ResultRecord record_at(std::uint64_t index) {
+  pdc::store::ResultRecord record;
+  record.digest = index + 1;
+  record.tenant = "cohort-" + std::to_string(index % 8);
+  record.kind = 2;
+  record.name = "pi";
+  record.np = 4;
+  record.seed = index;
+  record.exit_code = 0;
+  record.exec_us = 1000;
+  record.output = {"pi ~= 3.14159 (" + std::to_string(index) + " darts)"};
+  return record;
+}
+
+struct WalNumbers {
+  std::uint64_t appends = 0;
+  std::uint64_t fsyncs = 0;
+  double appends_per_sec = 0.0;
+  double log_recovery_ms = 0.0;
+  double snapshot_recovery_ms = 0.0;
+  std::uint64_t recovered = 0;
+};
+
+WalNumbers drive_wal(std::uint64_t records, int threads) {
+  const std::string dir = fresh_dir("wal");
+  pdc::store::StoreConfig config;
+  config.dir = dir;
+  config.fsync = true;
+  config.group_commit_window_us = 200;
+
+  WalNumbers numbers;
+  {
+    pdc::store::Store store(config);
+    pdc::WallTimer timer;
+    std::vector<std::thread> fleet;
+    fleet.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      fleet.emplace_back([&store, t, threads, records] {
+        for (std::uint64_t i = static_cast<std::uint64_t>(t); i < records;
+             i += static_cast<std::uint64_t>(threads)) {
+          store.put_result(record_at(i));
+        }
+      });
+    }
+    for (std::thread& thread : fleet) thread.join();
+    timer.stop();
+    numbers.appends = store.wal_appends();
+    numbers.fsyncs = store.wal_fsyncs();
+    numbers.appends_per_sec =
+        timer.elapsed_seconds() > 0
+            ? static_cast<double>(records) / timer.elapsed_seconds()
+            : 0.0;
+  }
+
+  {
+    pdc::WallTimer timer;
+    pdc::store::Store reopened(config);
+    timer.stop();
+    numbers.log_recovery_ms = timer.elapsed_seconds() * 1e3;
+    numbers.recovered = reopened.result_count();
+    reopened.compact();
+  }
+  {
+    pdc::WallTimer timer;
+    pdc::store::Store reopened(config);
+    timer.stop();
+    numbers.snapshot_recovery_ms = timer.elapsed_seconds() * 1e3;
+  }
+  return numbers;
+}
+
+struct ReplayNumbers {
+  int sessions = 0;
+  int distinct = 0;
+  double hit_rate = 0.0;       ///< cache hits / submissions, percent
+  std::uint64_t executions = 0;
+  std::uint64_t warmed = 0;
+  double recovery_ms = 0.0;    ///< warm server's store-open time share
+};
+
+pdc::lab::protocol::Submit submit_at(int distinct, int index) {
+  pdc::lab::protocol::Submit submit;
+  submit.token = "hands-on";
+  submit.tenant = "student-" + std::to_string(index % 16);
+  submit.kind = pdc::lab::protocol::JobKind::Exemplar;
+  submit.name = "pi";
+  submit.np = 2;
+  submit.seed = static_cast<std::uint64_t>(index % distinct);
+  return submit;
+}
+
+ReplayNumbers replay(const std::string& dir, int sessions, int distinct) {
+  pdc::lab::ServerConfig config;
+  config.endpoint.kind = pdc::net::Endpoint::Kind::Unix;
+  config.endpoint.path = "/tmp/pdc-bench-store-" + std::to_string(::getpid()) +
+                         "-" + dir.substr(dir.rfind('-') + 1) + ".sock";
+  config.workers = 2;
+  config.cache_capacity = static_cast<std::size_t>(distinct) * 2;
+  config.store.dir = dir;
+
+  pdc::WallTimer open_timer;
+  pdc::lab::Server server(config);
+  server.start();
+  open_timer.stop();
+
+  {
+    pdc::lab::ClientConfig client_config;
+    client_config.endpoint = server.endpoint();
+    pdc::lab::Client client(client_config);
+    for (int i = 0; i < sessions; ++i) {
+      const auto outcome = client.submit(submit_at(distinct, i));
+      if (!outcome.accepted()) {
+        std::fprintf(stderr, "bench_store: submission %d rejected: %s\n", i,
+                     outcome.reject ? outcome.reject->reason.c_str() : "?");
+        std::exit(1);
+      }
+      (void)client.wait_result(outcome.accept->job_id);
+    }
+  }
+
+  ReplayNumbers numbers;
+  numbers.sessions = sessions;
+  numbers.distinct = distinct;
+  const pdc::lab::ServerStats stats = server.stats();
+  numbers.hit_rate = stats.submits > 0
+                         ? 100.0 * static_cast<double>(stats.cache_hits) /
+                               static_cast<double>(stats.submits)
+                         : 0.0;
+  numbers.executions = server.executor().executions();
+  numbers.warmed = stats.warmed_results;
+  numbers.recovery_ms = open_timer.elapsed_seconds() * 1e3;
+  server.stop();
+  ::unlink(config.endpoint.path.c_str());
+  return numbers;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 1;
+  const std::uint64_t records = scale > 0 ? 5000ull * scale : 400;
+  const int sessions = scale > 0 ? 1000 * scale : 120;
+  const int distinct = scale > 0 ? 100 : 24;
+
+  std::printf("== pdc::store: durable append, recovery, cache warm-up ==\n\n");
+
+  const WalNumbers wal = drive_wal(records, /*threads=*/4);
+  pdc::TextTable wal_table({"records", "appends/sec", "fsyncs",
+                            "log recovery", "snapshot recovery"});
+  for (int c = 0; c <= 4; ++c) wal_table.set_align(c, pdc::Align::Right);
+  wal_table.add_row({std::to_string(wal.appends),
+                     fixed(wal.appends_per_sec, 0),
+                     std::to_string(wal.fsyncs),
+                     fixed(wal.log_recovery_ms, 1) + " ms",
+                     fixed(wal.snapshot_recovery_ms, 1) + " ms"});
+  std::fputs(wal_table.render().c_str(), stdout);
+  std::printf("\ngroup commit: %llu fsyncs covered %llu durable appends "
+              "(%.1fx batching)\n\n",
+              static_cast<unsigned long long>(wal.fsyncs),
+              static_cast<unsigned long long>(wal.appends),
+              wal.fsyncs > 0 ? static_cast<double>(wal.appends) /
+                                   static_cast<double>(wal.fsyncs)
+                             : 0.0);
+
+  // The warm-up ablation: same directory, same stream, one restart apart.
+  const std::string dir = fresh_dir("warm");
+  const ReplayNumbers cold = replay(dir, sessions, distinct);
+  const ReplayNumbers warm = replay(dir, sessions, distinct);
+
+  pdc::TextTable warm_table({"phase", "submissions", "hit rate", "executions",
+                             "warmed", "store open"});
+  for (int c = 1; c <= 5; ++c) warm_table.set_align(c, pdc::Align::Right);
+  warm_table.add_row({"cold", std::to_string(cold.sessions),
+                      fixed(cold.hit_rate, 1) + " %",
+                      std::to_string(cold.executions),
+                      std::to_string(cold.warmed),
+                      fixed(cold.recovery_ms, 1) + " ms"});
+  warm_table.add_row({"warm restart", std::to_string(warm.sessions),
+                      fixed(warm.hit_rate, 1) + " %",
+                      std::to_string(warm.executions),
+                      std::to_string(warm.warmed),
+                      fixed(warm.recovery_ms, 1) + " ms"});
+  std::fputs(warm_table.render().c_str(), stdout);
+  std::puts("");
+
+  std::printf("STORE appends=%llu appends_per_sec=%s fsyncs=%llu "
+              "log_recovery_ms=%s snapshot_recovery_ms=%s recovered=%llu "
+              "sessions=%d distinct=%d cold_hit_rate=%s warm_hit_rate=%s "
+              "warm_executions=%llu warmed=%llu\n",
+              static_cast<unsigned long long>(wal.appends),
+              fixed(wal.appends_per_sec, 1).c_str(),
+              static_cast<unsigned long long>(wal.fsyncs),
+              fixed(wal.log_recovery_ms, 2).c_str(),
+              fixed(wal.snapshot_recovery_ms, 2).c_str(),
+              static_cast<unsigned long long>(wal.recovered),
+              cold.sessions, cold.distinct, fixed(cold.hit_rate, 1).c_str(),
+              fixed(warm.hit_rate, 1).c_str(),
+              static_cast<unsigned long long>(warm.executions),
+              static_cast<unsigned long long>(warm.warmed));
+
+  bool ok = true;
+  if (warm.hit_rate + 1e-9 < cold.hit_rate - 5.0) {
+    std::fprintf(stderr,
+                 "bench_store: warm hit rate %.1f%% fell more than 5 points "
+                 "below the pre-restart %.1f%%\n",
+                 warm.hit_rate, cold.hit_rate);
+    ok = false;
+  }
+  if (warm.executions != 0) {
+    std::fprintf(stderr,
+                 "bench_store: the warm server re-executed %llu jobs its "
+                 "recovered cache should have served\n",
+                 static_cast<unsigned long long>(warm.executions));
+    ok = false;
+  }
+  if (wal.recovered != records) {
+    std::fprintf(stderr, "bench_store: recovery found %llu of %llu records\n",
+                 static_cast<unsigned long long>(wal.recovered),
+                 static_cast<unsigned long long>(records));
+    ok = false;
+  }
+  if (wal.fsyncs >= wal.appends && wal.appends > 8) {
+    std::fprintf(stderr, "bench_store: group commit never batched (%llu "
+                         "fsyncs for %llu appends)\n",
+                 static_cast<unsigned long long>(wal.fsyncs),
+                 static_cast<unsigned long long>(wal.appends));
+    ok = false;
+  }
+
+  std::puts(ok ? "\nevery acked record recovered; the restarted server "
+                 "served the whole stream from its warmed cache."
+               : "\nGATE VIOLATION (see stderr)");
+  return ok ? 0 : 1;
+}

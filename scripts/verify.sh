@@ -50,6 +50,13 @@
 #                  chaos sweep over the grader dispatch path at
 #                  PDCLAB_CHAOS_SEEDS depth (zero hangs, zero lost
 #                  verdicts), and the cohort throughput acceptance run
+# 8. store       — the persistence suites (ctest -L store): WAL framing and
+#                  torn-tail/corruption recovery, snapshot compaction,
+#                  store-backed server integration (journal-before-ack,
+#                  warm start, streamed cohort reports, SIGTERM flush), the
+#                  kill-during-append/compact sweep at PDCLAB_CHAOS_SEEDS
+#                  depth (zero lost acked records, byte-identical recovered
+#                  reports), and the recovery/warm-up acceptance run
 #
 # Set PDCLAB_CHAOS_SEEDS before invoking to sweep deeper or shallower.
 
@@ -59,37 +66,42 @@ prefix="${1:-build}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 seeds="${PDCLAB_CHAOS_SEEDS:-80}"
 
-echo "==> [1/7] tier-1: build + full test suite (${prefix})"
+echo "==> [1/8] tier-1: build + full test suite (${prefix})"
 cmake -B "${prefix}" -S . >/dev/null
 cmake --build "${prefix}" -j "${jobs}"
 ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}"
 
-echo "==> [2/7] bench-smoke: bench canaries + BENCH snapshot (${prefix})"
-scripts/bench_snapshot "${prefix}" 9
+echo "==> [2/8] bench-smoke: bench canaries + BENCH snapshot (${prefix})"
+scripts/bench_snapshot "${prefix}" 10
 
-echo "==> [3/7] tsan: ThreadSanitizer build + concurrency suites (${prefix}-tsan)"
+echo "==> [3/8] tsan: ThreadSanitizer build + concurrency suites (${prefix}-tsan)"
 cmake -B "${prefix}-tsan" -S . -DPDCLAB_SANITIZE=thread \
   -DPDCLAB_BUILD_BENCH=OFF -DPDCLAB_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build "${prefix}-tsan" -j "${jobs}"
 ctest --test-dir "${prefix}-tsan" --output-on-failure -j "${jobs}" -L tsan
 
-echo "==> [4/7] stress: chaos seed sweeps, PDCLAB_CHAOS_SEEDS=${seeds}"
+echo "==> [4/8] stress: chaos seed sweeps, PDCLAB_CHAOS_SEEDS=${seeds}"
 PDCLAB_CHAOS_SEEDS="${seeds}" \
   ctest --test-dir "${prefix}" --output-on-failure -L stress
 
-echo "==> [5/7] net: socket + shm transports, pdcrun, goldens," \
+echo "==> [5/8] net: socket + shm transports, pdcrun, goldens," \
      "PDCLAB_CHAOS_SEEDS=${seeds}"
 PDCLAB_CHAOS_SEEDS="${seeds}" \
   ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}" -L net
 
-echo "==> [6/7] lab: lab server suites + chaos sweeps + load acceptance" \
+echo "==> [6/8] lab: lab server suites + chaos sweeps + load acceptance" \
      "(inline + multiproc), PDCLAB_CHAOS_SEEDS=${seeds}"
 PDCLAB_CHAOS_SEEDS="${seeds}" \
   ctest --test-dir "${prefix}" --output-on-failure -L lab
 
-echo "==> [7/7] grade: autograder suites + golden verdicts + dispatch" \
+echo "==> [7/8] grade: autograder suites + golden verdicts + dispatch" \
      "sweep + throughput acceptance, PDCLAB_CHAOS_SEEDS=${seeds}"
 PDCLAB_CHAOS_SEEDS="${seeds}" \
   ctest --test-dir "${prefix}" --output-on-failure -L grade
 
-echo "==> verify.sh: all seven stages passed"
+echo "==> [8/8] store: WAL/recovery suites + server integration + kill" \
+     "sweep + warm-up acceptance, PDCLAB_CHAOS_SEEDS=${seeds}"
+PDCLAB_CHAOS_SEEDS="${seeds}" \
+  ctest --test-dir "${prefix}" --output-on-failure -L store
+
+echo "==> verify.sh: all eight stages passed"

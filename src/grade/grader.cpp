@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <sstream>
+#include <string_view>
 #include <thread>
 
 #include "chaos/chaos.hpp"
@@ -68,6 +69,65 @@ std::string Grade::to_line() const {
                      " divergence=" + std::to_string(divergence);
   if (!detail.empty()) line += " (" + detail + ")";
   return line;
+}
+
+Grade Grade::parse_line(const std::string& line) {
+  const auto bad = [&line](const std::string& why) {
+    return InvalidArgument("grade: cannot parse '" + line + "': " + why);
+  };
+  const auto number = [&](std::size_t begin, std::size_t end) -> int {
+    if (end == std::string::npos || end <= begin) throw bad("missing number");
+    int value = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const char c = line[i];
+      if (c < '0' || c > '9') throw bad("non-digit in number");
+      if (value > ((1 << 30) - (c - '0')) / 10) throw bad("number overflow");
+      value = value * 10 + (c - '0');
+    }
+    return value;
+  };
+
+  Grade grade;
+  const std::size_t colon = line.find(": ");
+  if (colon == std::string::npos || colon == 0) throw bad("missing id");
+  grade.id = line.substr(0, colon);
+
+  std::size_t pos = colon + 2;
+  const std::size_t verdict_end = line.find(' ', pos);
+  if (verdict_end == std::string::npos) throw bad("missing verdict");
+  grade.verdict = parse_verdict(line.substr(pos, verdict_end - pos));
+
+  pos = verdict_end + 1;
+  constexpr std::string_view kMatched = "matched=";
+  if (line.compare(pos, kMatched.size(), kMatched) != 0) {
+    throw bad("missing matched=");
+  }
+  pos += kMatched.size();
+  const std::size_t slash = line.find('/', pos);
+  grade.matched = number(pos, slash);
+  pos = slash + 1;
+  const std::size_t matched_end = line.find(' ', pos);
+  if (matched_end == std::string::npos) throw bad("missing divergence");
+  grade.explored = number(pos, matched_end);
+
+  pos = matched_end + 1;
+  constexpr std::string_view kDivergence = "divergence=";
+  if (line.compare(pos, kDivergence.size(), kDivergence) != 0) {
+    throw bad("missing divergence=");
+  }
+  pos += kDivergence.size();
+  std::size_t divergence_end = line.find(' ', pos);
+  if (divergence_end == std::string::npos) divergence_end = line.size();
+  grade.divergence = number(pos, divergence_end);
+
+  if (divergence_end < line.size()) {  // the optional " (detail)" suffix
+    if (line.compare(divergence_end, 2, " (") != 0 || line.back() != ')') {
+      throw bad("trailing bytes that are not a (detail) suffix");
+    }
+    grade.detail =
+        line.substr(divergence_end + 2, line.size() - divergence_end - 3);
+  }
+  return grade;
 }
 
 void CohortStats::fold(const Grade& grade) {
@@ -218,6 +278,7 @@ Report grade_corpus(const std::vector<MutantSpec>& corpus,
         }
       }
       shard.fold(report.grades[i]);
+      if (cfg.on_grade) cfg.on_grade(report.grades[i]);
     }
   };
 

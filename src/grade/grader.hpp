@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,8 @@ namespace pdc::grade {
 /// (1<<16), pool (1<<17) and lab (1<<18) lanes, so a chaos plan can target
 /// the grader's dispatch loop without touching any other subsystem.
 inline constexpr int kGradeActorBase = 1 << 19;
+
+struct Grade;
 
 /// Knobs of one grading batch.
 struct GraderConfig {
@@ -39,6 +42,12 @@ struct GraderConfig {
   /// Keep the per-submission grade lines in Report::to_text(). Disable for
   /// cohort-scale runs where only the aggregate matters.
   bool keep_grades = true;
+
+  /// Called once per submission the moment its verdict lands (before the
+  /// fleet joins). Runs on grader worker threads, possibly concurrently —
+  /// the GradeBook journaling hook, whose store is thread-safe. Leave empty
+  /// for no per-grade side effects.
+  std::function<void(const Grade&)> on_grade;
 };
 
 /// Grade of one submission.
@@ -54,6 +63,12 @@ struct Grade {
   /// Canonical one-line form, e.g.
   /// "spmd~race#3@np4: flaky matched=5/8 divergence=1".
   [[nodiscard]] std::string to_line() const;
+
+  /// Inverse of to_line() (run_us, which the line never carries, stays 0).
+  /// The lab server uses it to recover the structured verdict from a grade
+  /// job's first output line when journaling into the store. Throws
+  /// pdc::InvalidArgument on anything to_line() could not have produced.
+  [[nodiscard]] static Grade parse_line(const std::string& line);
 };
 
 /// Merge-able aggregate over a cohort of grades. Workers fold their own

@@ -171,6 +171,53 @@ Client::CancelOutcome Client::cancel(std::uint64_t job_id,
   }
 }
 
+Client::ReportOutcome Client::report(const std::string& token,
+                                     const std::string& tenant,
+                                     const std::string& cohort) {
+  protocol::Report query;
+  query.role = protocol::ReportRole::Query;
+  query.token = token;
+  query.tenant = tenant;
+  query.cohort = cohort;
+  net::send_all(socket_, protocol::encode_report(query), nullptr,
+                /*bye_ok=*/false, "lab client");
+  ReportOutcome outcome;
+  for (;;) {
+    mp::Bytes body;
+    const wire::Header header = read_frame(&body);
+    switch (header.kind) {
+      case wire::FrameKind::Report: {
+        protocol::Report reply = protocol::decode_report(body);
+        if (reply.role == protocol::ReportRole::End) return outcome;
+        if (reply.role != protocol::ReportRole::Cohort) {
+          throw net::ProtocolError(
+              "lab client: server echoed a Report query back");
+        }
+        outcome.cohorts.push_back(std::move(reply));
+        break;
+      }
+      case wire::FrameKind::Reject: {
+        outcome.reject = protocol::decode_reject(body);
+        return outcome;
+      }
+      case wire::FrameKind::Result: {
+        Result result = protocol::decode_result(body);
+        parked_results_[result.job_id] = std::move(result);
+        break;
+      }
+      case wire::FrameKind::Status: {
+        parked_statuses_.push_back(protocol::decode_status(body));
+        break;
+      }
+      default:
+        throw net::ProtocolError(
+            "lab client: unexpected frame kind " +
+            std::to_string(static_cast<int>(header.kind)) +
+            " while waiting for a Report stream");
+    }
+  }
+}
+
 Status Client::query_status(std::uint64_t job_id) {
   Status query;
   query.job_id = job_id;

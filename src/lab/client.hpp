@@ -84,6 +84,22 @@ class Client {
   /// Ask the server about `job_id` and wait for its Status reply.
   protocol::Status query_status(std::uint64_t job_id);
 
+  /// What a Report query gets back: the streamed cohort aggregates (empty
+  /// when the named cohort has no records... the server answers anyway) or
+  /// a Reject (bad token, no store behind the server).
+  struct ReportOutcome {
+    std::vector<protocol::Report> cohorts;
+    std::optional<protocol::Reject> reject;
+
+    [[nodiscard]] bool ok() const noexcept { return !reject.has_value(); }
+  };
+
+  /// Query per-cohort aggregates: `cohort` = "" streams every cohort the
+  /// store knows, a name streams just that one. Collects Cohort frames
+  /// until the End marker.
+  ReportOutcome report(const std::string& token, const std::string& tenant,
+                       const std::string& cohort);
+
   /// Send a Bye and shut the connection down. Idempotent.
   void close() noexcept;
 

@@ -1,5 +1,7 @@
 #include "lab/protocol.hpp"
 
+#include <bit>
+
 #include "net/errors.hpp"
 
 namespace pdc::lab::protocol {
@@ -240,6 +242,85 @@ Dispatch decode_dispatch(const mp::Bytes& body) {
   dispatch.submit.source = r.string(kMaxSourceBytes);
   r.expect_end();
   return dispatch;
+}
+
+mp::Bytes encode_report(const Report& report) {
+  mp::Bytes body;
+  wire::put_u16(body, static_cast<std::uint16_t>(report.role));
+  wire::put_string(body, report.token);
+  wire::put_string(body, report.tenant);
+  wire::put_string(body, report.cohort);
+  const store::CohortReport& a = report.aggregate;
+  wire::put_u64(body, a.results);
+  wire::put_u64(body, a.failures);
+  wire::put_u64(body, a.grades);
+  wire::put_u32(body, static_cast<std::uint32_t>(a.verdicts.size()));
+  for (const auto& [verdict, count] : a.verdicts) {
+    wire::put_string(body, verdict);
+    wire::put_u64(body, count);
+  }
+  wire::put_u64(body, a.matched);
+  wire::put_u64(body, a.explored);
+  wire::put_u64(body, a.divergence_count);
+  wire::put_u64(body, std::bit_cast<std::uint64_t>(a.divergence_mean));
+  wire::put_u64(body, std::bit_cast<std::uint64_t>(a.divergence_stddev));
+  wire::put_u64(body, std::bit_cast<std::uint64_t>(a.divergence_min));
+  wire::put_u64(body, std::bit_cast<std::uint64_t>(a.divergence_max));
+  wire::put_u32(body, static_cast<std::uint32_t>(a.histogram.size()));
+  for (const std::uint64_t count : a.histogram) wire::put_u64(body, count);
+  return frame(FrameKind::Report, body);
+}
+
+Report decode_report(const mp::Bytes& body) {
+  Reader r(body);
+  Report report;
+  const std::uint16_t role = r.u16();
+  if (role > static_cast<std::uint16_t>(ReportRole::End)) {
+    throw ProtocolError("lab: unknown report role " + std::to_string(role));
+  }
+  report.role = static_cast<ReportRole>(role);
+  report.token = r.string(kMaxIdentityBytes);
+  report.tenant = r.string(kMaxIdentityBytes);
+  report.cohort = r.string(kMaxIdentityBytes);
+  store::CohortReport& a = report.aggregate;
+  a.cohort = report.cohort;
+  a.results = r.u64();
+  a.failures = r.u64();
+  a.grades = r.u64();
+  const std::uint32_t verdicts = r.u32();
+  if (verdicts > kMaxReportVerdicts) {
+    throw ProtocolError("lab: report claims " + std::to_string(verdicts) +
+                        " verdict kinds (clamp " +
+                        std::to_string(kMaxReportVerdicts) + ")");
+  }
+  a.verdicts.reserve(verdicts);
+  for (std::uint32_t i = 0; i < verdicts; ++i) {
+    std::string verdict = r.string(kMaxNameBytes);
+    const std::uint64_t count = r.u64();
+    a.verdicts.emplace_back(std::move(verdict), count);
+  }
+  a.matched = r.u64();
+  a.explored = r.u64();
+  a.divergence_count = r.u64();
+  a.divergence_mean = std::bit_cast<double>(r.u64());
+  a.divergence_stddev = std::bit_cast<double>(r.u64());
+  a.divergence_min = std::bit_cast<double>(r.u64());
+  a.divergence_max = std::bit_cast<double>(r.u64());
+  const std::uint32_t bins = r.u32();
+  if (bins > kMaxReportBins) {
+    throw ProtocolError("lab: report claims " + std::to_string(bins) +
+                        " histogram bins (clamp " +
+                        std::to_string(kMaxReportBins) + ")");
+  }
+  if (bins > r.remaining() / 8) {
+    throw ProtocolError("lab: report histogram bin count " +
+                        std::to_string(bins) +
+                        " exceeds what the frame carries");
+  }
+  a.histogram.reserve(bins);
+  for (std::uint32_t i = 0; i < bins; ++i) a.histogram.push_back(r.u64());
+  r.expect_end();
+  return report;
 }
 
 std::uint64_t digest(const Submit& submit) noexcept {

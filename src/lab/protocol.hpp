@@ -6,6 +6,7 @@
 
 #include "mp/message.hpp"
 #include "net/wire.hpp"
+#include "store/store.hpp"
 
 namespace pdc::lab {
 /// The lab subsystem frames everything in the PDCN wire vocabulary.
@@ -149,6 +150,34 @@ struct Dispatch {
   bool operator==(const Dispatch&) const = default;
 };
 
+/// Role of a Report frame in the query/stream exchange.
+enum class ReportRole : std::uint16_t {
+  Query = 0,   ///< client → server: send me cohort aggregates
+  Cohort = 1,  ///< server → client: one cohort's aggregate
+  End = 2,     ///< server → client: stream complete (`cohort` = "" always)
+};
+
+/// Clamp on the distinct verdict names one cohort aggregate may carry.
+inline constexpr std::uint32_t kMaxReportVerdicts = 64;
+/// Clamp on the histogram shape a Report frame may claim.
+inline constexpr std::uint32_t kMaxReportBins = 256;
+
+/// Cohort-aggregate exchange. The client sends a Query (`cohort` = "" asks
+/// for every cohort; a name asks for that one, answered even when empty).
+/// The server — store-backed only; without a store the query is Rejected —
+/// streams one Cohort frame per cohort, sorted by name, then one End frame.
+/// The aggregate payload is a store::CohortReport: counts plus the folded
+/// Welford/Histogram state, deterministic for a given record set.
+struct Report {
+  ReportRole role = ReportRole::Query;
+  std::string token;   ///< Query only: authenticates like Submit
+  std::string tenant;  ///< Query only: requester (firewall accounting)
+  std::string cohort;  ///< Query: filter ("" = all); Cohort: the name
+  store::CohortReport aggregate;  ///< Cohort role only
+
+  bool operator==(const Report&) const = default;
+};
+
 // ---- framing -------------------------------------------------------------
 // encode_* return a complete frame (header + body) ready for send_all;
 // decode_* take the received body for the matching FrameKind and throw
@@ -175,6 +204,9 @@ Cancel decode_cancel(const mp::Bytes& body);
 
 mp::Bytes encode_dispatch(const Dispatch& dispatch);
 Dispatch decode_dispatch(const mp::Bytes& body);
+
+mp::Bytes encode_report(const Report& report);
+Report decode_report(const mp::Bytes& body);
 
 /// Content digest of a submission: everything that determines the job's
 /// output (kind, name, np, seed, source) and nothing that doesn't (token,

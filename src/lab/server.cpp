@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "chaos/chaos.hpp"
+#include "grade/gradebook.hpp"
+#include "grade/grader.hpp"
 #include "net/errors.hpp"
 #include "trace/trace.hpp"
 
@@ -18,6 +20,36 @@ using protocol::Submit;
 
 namespace {
 constexpr int kListenBacklog = 64;
+
+/// Lowercase hex of a digest — the store's per-submission tag for grade
+/// records, so re-gradings of the same mutant with different options
+/// (distinct digests) coexist while exact re-submissions upsert.
+std::string digest_hex(std::uint64_t digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[digest & 0xf];
+    digest >>= 4;
+  }
+  return out;
+}
+
+store::ResultRecord to_record(std::uint64_t digest,
+                              const protocol::Submit& submit,
+                              const protocol::Result& result) {
+  store::ResultRecord record;
+  record.digest = digest;
+  record.tenant = submit.tenant;
+  record.kind = static_cast<std::uint16_t>(submit.kind);
+  record.name = submit.name;
+  record.np = submit.np;
+  record.seed = submit.seed;
+  record.exit_code = result.exit_code;
+  record.exec_us = result.exec_us;
+  record.output = result.output;
+  record.error = result.error;
+  return record;
+}
 }  // namespace
 
 bool Server::Session::send(const mp::Bytes& frame) {
@@ -44,6 +76,28 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   if (running_.load()) return;
+
+  // Recover the store (if configured) before anything can submit: replay
+  // log-over-snapshot, then warm the result cache with every cacheable
+  // recovered record — a restarted server answers repeat submissions from
+  // cache at ≈ its pre-restart hit rate instead of re-executing the class.
+  // Failed/cancelled results were journaled but stay out of the cache (the
+  // "failures never cached" rule survives restarts too).
+  if (!config_.store.dir.empty() && !store_) {
+    store_ = std::make_unique<store::Store>(config_.store);
+    for (const auto& [digest, record] : store_->results()) {
+      if (!record.cacheable()) continue;
+      Result result;
+      result.exit_code = record.exit_code;
+      result.exec_us = record.exec_us;
+      result.output = record.output;
+      result.error = record.error;
+      cache_.insert(digest, std::move(result));
+      ++warmed_;
+    }
+    trace::Counter("store.warmed").add(static_cast<double>(warmed_));
+  }
+
   listener_ = net::listen_at(config_.endpoint, kListenBacklog);
   bound_ = net::local_endpoint(listener_, config_.endpoint);
   started_ = std::chrono::steady_clock::now();
@@ -122,6 +176,11 @@ void Server::stop() {
       !config_.endpoint.path.empty()) {
     ::unlink(config_.endpoint.path.c_str());
   }
+
+  // 4. Persistence: every deliver above journaled before sending, so this
+  // sync is a backstop that also covers the fsync=off configuration's
+  // buffered tail. The store object survives stop() for inspection.
+  if (store_) store_->sync();
 }
 
 net::Endpoint Server::endpoint() const { return bound_; }
@@ -140,6 +199,7 @@ ServerStats Server::stats() const {
   out.sessions = stats_.sessions.load();
   out.cancelled = stats_.cancelled.load();
   out.worker_respawns = pool_ ? pool_->respawns() : 0;
+  out.warmed_results = warmed_;
   out.queue_depth = queue_.depth();
   return out;
 }
@@ -215,6 +275,10 @@ void Server::session_loop(const std::shared_ptr<Session>& session) {
         }
         case wire::FrameKind::Cancel: {
           handle_cancel(session, protocol::decode_cancel(body));
+          break;
+        }
+        case wire::FrameKind::Report: {
+          handle_report(session, protocol::decode_report(body));
           break;
         }
         case wire::FrameKind::Bye:
@@ -298,6 +362,9 @@ void Server::admit(const std::shared_ptr<Session>& session, Submit submit) {
     stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     stats_.completed.fetch_add(1, std::memory_order_relaxed);
     trace::Counter("lab.cache_hits").add(1.0);
+    // Same acked ⇒ durable rule as an executed job: the journal upsert
+    // (idempotent for an exact re-submission) lands before the frames.
+    journal(digest, submit, *cached);
     protocol::Accept accept;
     accept.job_id = job_id;
     accept.queue_position = 0;
@@ -311,8 +378,9 @@ void Server::admit(const std::shared_ptr<Session>& session, Submit submit) {
   job.id = job_id;
   job.submit = std::move(submit);
   job.digest = digest;
-  job.deliver = [this, session, job_id, digest](const Result& result) {
-    finish_job(session, job_id, digest, result);
+  job.deliver = [this, session, job_id, digest,
+                 submit = job.submit](const Result& result) {
+    finish_job(session, job_id, digest, submit, result);
   };
   // Incremental Status pushes (shard workers streaming output) go back to
   // the submitting connection, best effort.
@@ -472,7 +540,7 @@ void Server::worker_loop(int worker_index) {
 
 void Server::finish_job(const std::shared_ptr<Session>& session,
                         std::uint64_t job_id, std::uint64_t digest,
-                        const Result& result) {
+                        const Submit& submit, const Result& result) {
   if (result.exit_code == 0) {
     // Only clean runs become golden outputs; a chaos-aborted or failed run
     // must re-execute next time, never haunt the cache.
@@ -483,9 +551,87 @@ void Server::finish_job(const std::shared_ptr<Session>& session,
   }
   set_job_state(job_id, JobState::Done);
   trace::Counter("lab.results").add(1.0);
+  // Journal-before-ack: the record is fsync-covered when journal() returns,
+  // so any Result frame the client ever sees is already durable. A kill
+  // between the two costs the client a frame (a retry re-submits into the
+  // warm cache), never a journaled record.
+  journal(digest, submit, result);
   if (!session->send(protocol::encode_result(result))) {
     stats_.lost_results.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void Server::journal(std::uint64_t digest, const Submit& submit,
+                     const Result& result) {
+  if (!store_) return;
+  store_->put_result(to_record(digest, submit, result));
+  // A successful grade job additionally lands in the grade index: its first
+  // output line is the canonical grade line, parsed back into a structured
+  // verdict. Cohort = tenant, mutant = the submitted MutantSpec id.
+  if (submit.kind != protocol::JobKind::Grade || result.exit_code != 0 ||
+      result.output.empty()) {
+    return;
+  }
+  try {
+    const grade::Grade graded = grade::Grade::parse_line(result.output[0]);
+    store_->put_grade(grade::GradeBook::to_record(graded, submit.tenant,
+                                                  digest_hex(digest)));
+  } catch (const Error&) {
+    // A grade job whose output is not a grade line (a foreign executor or a
+    // hand-rolled worker): the result record above still journals it.
+  }
+}
+
+void Server::handle_report(const std::shared_ptr<Session>& session,
+                           const protocol::Report& query) {
+  if (query.role != protocol::ReportRole::Query) {
+    throw net::ProtocolError("lab server: non-query Report frame from client");
+  }
+  if (query.tenant.empty()) {
+    return reject(session, RejectCode::BadRequest,
+                  "report carries no tenant id");
+  }
+  // Same auth wall as admission: reports leak a whole class's aggregate
+  // state, so bad tokens count toward the same lockout.
+  {
+    std::lock_guard lock(firewall_mutex_);
+    const double now = now_minutes();
+    if (firewall_.is_blocked(query.tenant, now)) {
+      return reject(session, RejectCode::LockedOut, "tenant is locked out");
+    }
+    if (query.token != config_.token) {
+      if (firewall_.record_failure(query.tenant, now)) {
+        stats_.lockouts.fetch_add(1, std::memory_order_relaxed);
+        trace::instant("lab.lockout", "lab");
+        return reject(session, RejectCode::LockedOut,
+                      "too many bad tokens; tenant locked out");
+      }
+      return reject(session, RejectCode::BadToken, "wrong auth token");
+    }
+    firewall_.record_success(query.tenant);
+  }
+  if (!store_) {
+    return reject(session, RejectCode::BadRequest,
+                  "this lab server runs without a store (no --store dir)");
+  }
+
+  // Stream one Cohort frame per cohort (sorted — the store folds in sorted
+  // key order, so the bytes are a pure function of the record set), then
+  // the End marker.
+  const std::vector<std::string> cohorts =
+      query.cohort.empty() ? store_->cohorts()
+                           : std::vector<std::string>{query.cohort};
+  for (const std::string& cohort : cohorts) {
+    protocol::Report reply;
+    reply.role = protocol::ReportRole::Cohort;
+    reply.cohort = cohort;
+    reply.aggregate = store_->report(cohort);
+    if (!session->send(protocol::encode_report(reply))) return;
+    trace::Counter("lab.reports").add(1.0);
+  }
+  protocol::Report end;
+  end.role = protocol::ReportRole::End;
+  session->send(protocol::encode_report(end));
 }
 
 void Server::set_job_state(std::uint64_t job_id, JobState state) {

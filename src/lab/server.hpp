@@ -18,6 +18,7 @@
 #include "lab/shard.hpp"
 #include "net/socket.hpp"
 #include "remote/firewall.hpp"
+#include "store/store.hpp"
 
 namespace pdc::lab {
 
@@ -64,6 +65,15 @@ struct ServerConfig {
 
   /// How often the accept loop wakes to notice stop() (ms).
   int accept_poll_ms = 200;
+
+  /// Persistence. `store.dir` empty = the historic in-memory-only shape.
+  /// With a store: start() recovers it and warms the result cache with
+  /// every cacheable recovered record (warm start ≈ pre-restart hit rate);
+  /// every terminal Result is journaled *durable before its frame is sent*
+  /// (acked ⇒ it survives a kill); grade-job verdicts are additionally
+  /// journaled into the (cohort, mutant, submission) grade index; and
+  /// Report queries stream per-cohort aggregates back.
+  store::StoreConfig store;
 };
 
 /// Monotonic totals since start().
@@ -80,6 +90,7 @@ struct ServerStats {
   std::uint64_t sessions = 0;     ///< connections accepted
   std::uint64_t cancelled = 0;    ///< jobs withdrawn by a Cancel frame
   std::uint64_t worker_respawns = 0;  ///< shard workers respawned after loss
+  std::uint64_t warmed_results = 0;   ///< cache entries recovered at start()
   std::size_t queue_depth = 0;    ///< current (not monotonic)
 };
 
@@ -117,6 +128,9 @@ class Server {
   /// The shard worker pool (Socket mode, after start(); nullptr inline).
   /// The load driver's chaos monkey reads slot pids off it to pick victims.
   [[nodiscard]] WorkerPool* shard_pool() noexcept { return pool_.get(); }
+  /// The persistent store (after start(), when config.store.dir is set;
+  /// nullptr otherwise). Outlives stop() so tests can inspect recovery.
+  [[nodiscard]] store::Store* store() noexcept { return store_.get(); }
 
  private:
   /// One client connection. Workers and the reader both write frames, so
@@ -143,10 +157,18 @@ class Server {
   /// (or Reject) on the wire.
   void handle_cancel(const std::shared_ptr<Session>& session,
                      const protocol::Cancel& cancel);
+  /// Report query: auth, then stream one Cohort frame per cohort + End.
+  void handle_report(const std::shared_ptr<Session>& session,
+                     const protocol::Report& query);
   void reject(const std::shared_ptr<Session>& session, protocol::RejectCode code,
               const std::string& reason);
   void finish_job(const std::shared_ptr<Session>& session, std::uint64_t job_id,
-                  std::uint64_t digest, const protocol::Result& result);
+                  std::uint64_t digest, const protocol::Submit& submit,
+                  const protocol::Result& result);
+  /// Journal one terminal result (and, for grade jobs, its verdict) into
+  /// the store; durable when it returns. No-op without a store.
+  void journal(std::uint64_t digest, const protocol::Submit& submit,
+               const protocol::Result& result);
 
   void set_job_state(std::uint64_t job_id, protocol::JobState state);
   [[nodiscard]] protocol::JobState job_state(std::uint64_t job_id) const;
@@ -157,6 +179,9 @@ class Server {
   Executor executor_;
   ResultCache cache_;
   FairQueue queue_;
+  /// The crash-safe persistence layer; null without --store.
+  std::unique_ptr<store::Store> store_;
+  std::uint64_t warmed_ = 0;  ///< cache entries recovered at start()
   /// The worker-process fleet; null in ExecMode::Inline (rank-per-thread
   /// execution inside this process, the historic shape).
   std::unique_ptr<WorkerPool> pool_;

@@ -162,7 +162,7 @@ Header decode_header(const std::byte (&raw)[kHeaderBytes]) {
   }
   const std::uint16_t kind = r.u16();
   if (kind < static_cast<std::uint16_t>(FrameKind::Hello) ||
-      kind > static_cast<std::uint16_t>(FrameKind::Dispatch)) {
+      kind > static_cast<std::uint16_t>(FrameKind::Report)) {
     throw ProtocolError("wire: unknown frame kind " + std::to_string(kind));
   }
   const std::uint32_t body_len = r.u32();

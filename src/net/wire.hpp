@@ -51,6 +51,8 @@ enum class FrameKind : std::uint16_t {
   Reject = 10, ///< server → client: refused (auth, quota, lockout, bad req)
   Cancel = 11, ///< client → server: dequeue or kill an admitted job
   Dispatch = 12, ///< lab server → worker process: execute this job
+  Report = 13, ///< client → server: cohort-aggregate query; server → client:
+               ///< one streamed per-cohort aggregate (or the end marker)
 };
 
 struct Header {

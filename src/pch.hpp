@@ -1,0 +1,36 @@
+#pragma once
+
+// Precompiled header for the subsystem libraries, enabled with
+// -DPDCLAB_ENABLE_PCH=ON (see src/CMakeLists.txt).
+//
+// Only stable C++ standard library headers belong here — the set nearly
+// every pdclab translation unit pulls in through support/, net/, and the
+// runtime headers. No project headers: those change every edit and would
+// turn the PCH into a full-rebuild trigger; nothing here may depend on
+// build options or platform macros.
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <shared_mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>

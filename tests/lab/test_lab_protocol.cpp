@@ -307,5 +307,100 @@ TEST(LabHostile, DispatchWithUnknownJobKindRejected) {
   EXPECT_THROW(decode_dispatch(body), ProtocolError);
 }
 
+// ---- Report frames -------------------------------------------------------
+
+Report example_cohort_report() {
+  Report report;
+  report.role = ReportRole::Cohort;
+  report.cohort = "ada";
+  store::CohortReport& a = report.aggregate;
+  a.cohort = "ada";  // the decoder mirrors the frame's cohort field
+  a.results = 12;
+  a.failures = 2;
+  a.grades = 5;
+  a.verdicts = {{"flaky", 3}, {"pass", 2}};
+  a.matched = 15;
+  a.explored = 40;
+  a.divergence_count = 5;
+  a.divergence_mean = 1.25;
+  a.divergence_stddev = 0.5;
+  a.divergence_min = 0.0;
+  a.divergence_max = 2.0;
+  a.histogram.assign(store::kReportBins, 0);
+  a.histogram[0] = 2;
+  a.histogram[1] = 2;
+  a.histogram[2] = 1;
+  return report;
+}
+
+TEST(LabProtocol, ReportQueryRoundTrips) {
+  Report query;
+  query.role = ReportRole::Query;
+  query.token = "hands-on";
+  query.tenant = "ada";
+  query.cohort = "";  // every cohort
+  EXPECT_EQ(decode_report(body_of(encode_report(query))), query);
+}
+
+TEST(LabProtocol, ReportCohortRoundTripsTheFullAggregate) {
+  const Report report = example_cohort_report();
+  const Report decoded = decode_report(body_of(encode_report(report)));
+  EXPECT_EQ(decoded, report);
+  // The doubles travel bit-exact (bit_cast, not text), so the receiving
+  // side renders byte-identically to the store that produced them.
+  EXPECT_EQ(store::render_report(decoded.aggregate),
+            store::render_report(report.aggregate));
+}
+
+TEST(LabProtocol, ReportEndRoundTrips) {
+  Report end;
+  end.role = ReportRole::End;
+  EXPECT_EQ(decode_report(body_of(encode_report(end))), end);
+}
+
+TEST(LabHostile, ReportWithUnknownRoleRejected) {
+  mp::Bytes body = body_of(encode_report(example_cohort_report()));
+  body[0] = std::byte{3};  // one past End
+  body[1] = std::byte{0};
+  EXPECT_THROW(decode_report(body), ProtocolError);
+}
+
+TEST(LabHostile, ReportVerdictCountBeyondClampRejected) {
+  Report report = example_cohort_report();
+  report.aggregate.verdicts.assign(kMaxReportVerdicts + 1, {"v", 1});
+  EXPECT_THROW(decode_report(body_of(encode_report(report))), ProtocolError);
+}
+
+TEST(LabHostile, ReportBinCountBeyondClampRejected) {
+  Report report = example_cohort_report();
+  report.aggregate.histogram.assign(kMaxReportBins + 1, 0);
+  EXPECT_THROW(decode_report(body_of(encode_report(report))), ProtocolError);
+}
+
+TEST(LabHostile, ReportBinCountBeyondBodyRejectedBeforeReserve) {
+  // The body ends with the u32 bin count; claim 100 bins (within the
+  // clamp) backed by zero bytes of bins.
+  Report report = example_cohort_report();
+  report.aggregate.histogram.clear();
+  mp::Bytes body = body_of(encode_report(report));
+  body[body.size() - 4] = std::byte{100};
+  body[body.size() - 3] = std::byte{0};
+  body[body.size() - 2] = std::byte{0};
+  body[body.size() - 1] = std::byte{0};
+  EXPECT_THROW(decode_report(body), ProtocolError);
+}
+
+TEST(LabHostile, TruncatedReportBodyThrows) {
+  mp::Bytes body = body_of(encode_report(example_cohort_report()));
+  body.resize(body.size() - 3);
+  EXPECT_THROW(decode_report(body), ProtocolError);
+}
+
+TEST(LabHostile, ReportTrailingBytesRejected) {
+  mp::Bytes body = body_of(encode_report(example_cohort_report()));
+  body.push_back(std::byte{0});
+  EXPECT_THROW(decode_report(body), ProtocolError);
+}
+
 }  // namespace
 }  // namespace pdc::lab::protocol

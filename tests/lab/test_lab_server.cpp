@@ -403,7 +403,7 @@ TEST(LabServer, HostileSubmitFramesGetBadRequestAndNeverKillTheServer) {
     mp::Bytes frame;
     wire::put_u32(frame, wire::kMagic);
     wire::put_u16(frame, wire::kVersion);
-    wire::put_u16(frame, 13);  // one past Dispatch
+    wire::put_u16(frame, 14);  // one past Report
     wire::put_u32(frame, 0);
     const auto reject = poke(server.endpoint(), frame);
     ASSERT_TRUE(reject.has_value());

@@ -53,15 +53,15 @@ TEST(WireHeader, RejectsWrongVersion) {
 TEST(WireHeader, RejectsUnknownKind) {
   EXPECT_THROW(decode_header(header_image(kMagic, kVersion, 0, 0)),
                ProtocolError);
-  // 13 is the first kind past the lab service frames (Dispatch = 12).
-  EXPECT_THROW(decode_header(header_image(kMagic, kVersion, 13, 0)),
+  // 14 is the first kind past the lab service frames (Report = 13).
+  EXPECT_THROW(decode_header(header_image(kMagic, kVersion, 14, 0)),
                ProtocolError);
 }
 
 TEST(WireHeader, LabFrameKindsParseAsControlFrames) {
-  // The lab service frames (Submit..Dispatch) are control frames: the
+  // The lab service frames (Submit..Report) are control frames: the
   // tight 1 MiB clamp applies, not the 256 MiB Data clamp.
-  for (std::uint16_t kind = 6; kind <= 12; ++kind) {
+  for (std::uint16_t kind = 6; kind <= 13; ++kind) {
     const Header ok = decode_header(header_image(kMagic, kVersion, kind, 64));
     EXPECT_EQ(static_cast<std::uint16_t>(ok.kind), kind);
     EXPECT_THROW(decode_header(header_image(kMagic, kVersion, kind,

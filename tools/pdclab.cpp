@@ -10,6 +10,7 @@
 //   pdclab submit --connect ... --tenant ada grade 'spmd~race#0@np4' --seed 1 --source 'k=8'
 //   pdclab cancel --connect ... --tenant ada --job 7
 //   pdclab watch --connect ... --job 7
+//   pdclab report --connect ... --tenant ada [--cohort ada]
 //
 // `pdclab worker` is the shard-pool side of `serve --executor socket`: the
 // server forks one `pdclab worker` process per worker thread and feeds it
@@ -44,6 +45,7 @@ int usage(const char* error) {
       "  pdclab serve --listen <unix:PATH|tcp:HOST:PORT> [--workers N]\n"
       "               [--token T] [--executor inline|socket] [--cache N]\n"
       "               [--quota N] [--max-np N] [--worker-bin PATH]\n"
+      "               [--store DIR] [--compact-every N]\n"
       "  pdclab submit --connect <unix:PATH|tcp:HOST:PORT> --tenant NAME\n"
       "                [--token T] (patternlet|exemplar) PROGRAM [--np N]\n"
       "                [--seed S] [--stream]\n"
@@ -52,6 +54,7 @@ int usage(const char* error) {
       "                [--seed S] [--source 'k=N watchdog_ms=N']\n"
       "  pdclab cancel --connect ... --tenant NAME [--token T] --job ID\n"
       "  pdclab watch --connect ... --job ID [--poll-ms N]\n"
+      "  pdclab report --connect ... --tenant NAME [--token T] [--cohort C]\n"
       "  pdclab worker --connect <unix:PATH> --slot N  (internal: shard pool)\n",
       stderr);
   return 64;
@@ -116,6 +119,14 @@ int run_serve(int argc, char** argv) {
         const char* v = need("--worker-bin");
         if (v == nullptr) return 64;
         config.shard.worker_bin = v;
+      } else if (arg == "--store") {
+        const char* v = need("--store");
+        if (v == nullptr) return 64;
+        config.store.dir = v;
+      } else if (arg == "--compact-every") {
+        const char* v = need("--compact-every");
+        if (v == nullptr) return 64;
+        config.store.compact_every = static_cast<std::uint64_t>(std::atoll(v));
       } else {
         return usage(("unknown serve option '" + arg + "'").c_str());
       }
@@ -141,10 +152,25 @@ int run_serve(int argc, char** argv) {
   std::printf("pdclab: serving at %s (%d workers, executor %s)\n",
               server.endpoint().to_string().c_str(), workers,
               pdc::lab::exec_mode_name(mode));
+  if (const pdc::store::Store* store = server.store()) {
+    const pdc::store::RecoverStats recovered = store->recover_stats();
+    std::printf(
+        "pdclab: store %s recovered %llu results + %llu grades "
+        "(%llu dropped tail bytes), warmed %llu cache entries\n",
+        store->dir().c_str(),
+        static_cast<unsigned long long>(recovered.results),
+        static_cast<unsigned long long>(recovered.grades),
+        static_cast<unsigned long long>(recovered.dropped_bytes),
+        static_cast<unsigned long long>(server.stats().warmed_results));
+  }
   std::fflush(stdout);
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
+  // SIGTERM/SIGINT land here: stop() drains the fleet, journals the drain
+  // Results, then flushes and fsyncs the store — a clean WAL close, not a
+  // torn tail (the recovery path tolerates that too, but a graceful exit
+  // should not need it).
   server.stop();
   const pdc::lab::ServerStats stats = server.stats();
   std::printf(
@@ -404,6 +430,71 @@ int run_watch(int argc, char** argv) {
   }
 }
 
+int run_report(int argc, char** argv) {
+  pdc::lab::ClientConfig client_config;
+  std::string tenant;
+  std::string token = "hands-on";
+  std::string cohort;
+  bool connected = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need = [&]() -> const char* { return value_of(argc, argv, i); };
+    try {
+      if (arg == "--connect") {
+        const char* v = need();
+        if (v == nullptr) return usage("--connect needs a value");
+        client_config.endpoint = pdc::net::Endpoint::parse(v);
+        connected = true;
+      } else if (arg == "--tenant") {
+        const char* v = need();
+        if (v == nullptr) return usage("--tenant needs a value");
+        tenant = v;
+      } else if (arg == "--token") {
+        const char* v = need();
+        if (v == nullptr) return usage("--token needs a value");
+        token = v;
+      } else if (arg == "--cohort") {
+        const char* v = need();
+        if (v == nullptr) return usage("--cohort needs a value");
+        cohort = v;
+      } else {
+        return usage(("unknown report option '" + arg + "'").c_str());
+      }
+    } catch (const pdc::Error& error) {
+      std::fprintf(stderr, "pdclab: %s\n", error.what());
+      return 64;
+    }
+  }
+  if (!connected) return usage("report needs --connect");
+  if (tenant.empty()) return usage("report needs --tenant");
+
+  try {
+    pdc::lab::Client client(client_config);
+    const auto outcome = client.report(token, tenant, cohort);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "pdclab: report rejected (%s): %s\n",
+                   pdc::lab::protocol::reject_code_name(outcome.reject->code),
+                   outcome.reject->reason.c_str());
+      return 2;
+    }
+    // The canonical rendering: deterministic for a given record set, which
+    // is exactly what the kill sweep diffs against an uninterrupted run.
+    bool first = true;
+    for (const auto& reply : outcome.cohorts) {
+      if (!first) std::printf("\n");
+      first = false;
+      for (const std::string& line :
+           pdc::store::render_report(reply.aggregate)) {
+        std::printf("%s\n", line.c_str());
+      }
+    }
+    return 0;
+  } catch (const pdc::Error& error) {
+    std::fprintf(stderr, "pdclab: %s\n", error.what());
+    return 3;
+  }
+}
+
 /// The shard-pool worker process (forked by `serve --executor socket`).
 int run_worker(int argc, char** argv) {
   pdc::net::Endpoint endpoint;
@@ -466,6 +557,7 @@ int main(int argc, char** argv) {
   if (mode == "submit") return run_submit(argc, argv);
   if (mode == "cancel") return run_cancel(argc, argv);
   if (mode == "watch") return run_watch(argc, argv);
+  if (mode == "report") return run_report(argc, argv);
   if (mode == "worker") return run_worker(argc, argv);
   return usage(("unknown mode '" + mode + "'").c_str());
 }
